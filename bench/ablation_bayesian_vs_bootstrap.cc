@@ -1,0 +1,70 @@
+// Ablation — the paper's Bayesian significance treatment (§3.3) vs a
+// frequentist percentile bootstrap. For every frequent COMPAS pattern
+// we compare the Welch-t verdict (|t| >= 2) with whether the 95%
+// bootstrap CI of the divergence excludes zero, and report agreement
+// and runtime. Motivates the paper's choice: the Beta-posterior test is
+// closed-form (microseconds per table) while bootstrap replicates cost
+// ~1000x more for near-identical verdicts.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "stats/bootstrap.h"
+#include "util/stopwatch.h"
+
+using namespace divexp;
+using namespace divexp::bench;
+
+int main() {
+  const BenchmarkDataset ds = LoadDataset("compas");
+  const EncodedDataset encoded = Encode(ds);
+  const PatternTable table =
+      Explore(encoded, ds, Metric::kFalsePositiveRate, 0.05);
+  const PatternRow& root = table.row(*table.Find(Itemset{}));
+
+  Rng rng(2027);
+  Stopwatch sw;
+  size_t agree = 0, bayes_only = 0, boot_only = 0, neither = 0;
+  BootstrapOptions bopts;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    if (row.items.empty()) continue;
+    const bool bayes_sig = row.t >= 2.0;
+    const BootstrapCi ci = BootstrapDivergenceCi(
+        row.counts.t, row.counts.f, root.counts.t, root.counts.f, &rng,
+        bopts);
+    const bool boot_sig = !ci.Contains(0.0);
+    if (bayes_sig && boot_sig) {
+      ++agree;
+    } else if (bayes_sig) {
+      ++bayes_only;
+    } else if (boot_sig) {
+      ++boot_only;
+    } else {
+      ++neither;
+    }
+  }
+  const double boot_ms = sw.Millis();
+  const size_t n = table.size() - 1;
+
+  std::printf(
+      "== Ablation: Bayesian Welch-t vs bootstrap CI (COMPAS FPR, "
+      "s=0.05) ==\n\n");
+  std::printf("patterns: %zu\n", n);
+  std::printf("both significant:      %5zu (%.1f%%)\n", agree,
+              100.0 * agree / n);
+  std::printf("neither significant:   %5zu (%.1f%%)\n", neither,
+              100.0 * neither / n);
+  std::printf("Bayesian only (|t|>=2): %4zu (%.1f%%)\n", bayes_only,
+              100.0 * bayes_only / n);
+  std::printf("bootstrap only:        %5zu (%.1f%%)\n", boot_only,
+              100.0 * boot_only / n);
+  std::printf("verdict agreement:     %5.1f%%\n",
+              100.0 * (agree + neither) / n);
+  std::printf(
+      "\nbootstrap cost: %.1f ms for %zu patterns (%d replicates "
+      "each); the closed-form Beta-posterior test is computed during "
+      "table construction at negligible cost (see "
+      "bench_ablation_significance)\n",
+      boot_ms, n, bopts.resamples);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation — Apriori vs FP-growth backends (the design choice discussed
+// with Algorithm 1): same pattern tables, different mining cost.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace divexp;
+using namespace divexp::bench;
+
+namespace {
+
+struct Prepared {
+  BenchmarkDataset dataset;
+  EncodedDataset encoded;
+};
+
+const Prepared& GetPrepared(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<Prepared>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    auto prepared = std::make_unique<Prepared>();
+    prepared->dataset = LoadDataset(name);
+    prepared->encoded = Encode(prepared->dataset);
+    it = cache.emplace(name, std::move(prepared)).first;
+  }
+  return *it->second;
+}
+
+void BM_Miner(benchmark::State& state, const std::string& name,
+              MinerKind miner, double support) {
+  const Prepared& p = GetPrepared(name);
+  for (auto _ : state) {
+    const PatternTable table = Explore(
+        p.encoded, p.dataset, Metric::kFalsePositiveRate, support, miner);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& name : {"compas", "adult", "bank"}) {
+    for (double s : {0.05, 0.1, 0.2}) {
+      for (MinerKind kind : {MinerKind::kFpGrowth, MinerKind::kApriori,
+                             MinerKind::kEclat}) {
+        const std::string bench_name = "miners/" + name + "/" +
+                                       MinerKindName(kind) +
+                                       "/s=" + FormatDouble(s, 2);
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [name, kind, s](benchmark::State& state) {
+              BM_Miner(state, name, kind, s);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->MinTime(0.2);
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared plumbing for the experiment binaries: dataset construction
+// with cached classifier predictions, and explorer invocation.
+#ifndef DIVEXP_BENCH_BENCH_COMMON_H_
+#define DIVEXP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/explorer.h"
+#include "data/encoder.h"
+#include "datasets/datasets.h"
+
+namespace divexp {
+namespace bench {
+
+/// Builds a dataset by name and guarantees predictions exist (training
+/// the stand-in random forest if needed). Aborts with a message on
+/// failure — experiment binaries have no meaningful recovery.
+inline BenchmarkDataset LoadDataset(const std::string& name) {
+  auto ds = MakeByName(name);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "failed to build dataset %s: %s\n", name.c_str(),
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  ForestOptions fopts;
+  fopts.num_trees = 16;
+  const Status st = EnsurePredictions(&(*ds), fopts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to train predictions for %s: %s\n",
+                 name.c_str(), st.ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(ds).value();
+}
+
+/// Encodes a dataset's discretized frame, aborting on failure.
+inline EncodedDataset Encode(const BenchmarkDataset& ds) {
+  auto encoded = EncodeDataFrame(ds.discretized);
+  if (!encoded.ok()) {
+    std::fprintf(stderr, "failed to encode %s: %s\n", ds.name.c_str(),
+                 encoded.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(encoded).value();
+}
+
+/// Runs a full exploration, aborting on failure.
+inline PatternTable Explore(const EncodedDataset& encoded,
+                            const BenchmarkDataset& ds, Metric metric,
+                            double min_support,
+                            MinerKind miner = MinerKind::kFpGrowth,
+                            ExplorerTimings* timings = nullptr) {
+  ExplorerOptions opts;
+  opts.min_support = min_support;
+  opts.miner = miner;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(encoded, ds.predictions, ds.truth, metric);
+  if (!table.ok()) {
+    std::fprintf(stderr, "exploration failed: %s\n",
+                 table.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (timings != nullptr) *timings = explorer.last_timings();
+  return std::move(table).value();
+}
+
+}  // namespace bench
+}  // namespace divexp
+
+#endif  // DIVEXP_BENCH_BENCH_COMMON_H_

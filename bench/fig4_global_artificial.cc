@@ -1,0 +1,43 @@
+// Experiment F4 — paper Figure 4: global vs individual item divergence
+// for FPR on the artificial dataset (s = 0.01). The attributes a, b, c
+// cause divergence only jointly; global divergence surfaces them while
+// individual divergence is lost in noise.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/global_divergence.h"
+#include "core/report.h"
+
+using namespace divexp;
+using namespace divexp::bench;
+
+int main() {
+  const BenchmarkDataset ds = LoadDataset("artificial");
+  const EncodedDataset encoded = Encode(ds);
+  const PatternTable table =
+      Explore(encoded, ds, Metric::kFalsePositiveRate, 0.01);
+
+  const auto globals = ComputeGlobalItemDivergence(table);
+  std::printf(
+      "== Figure 4: global vs individual FPR divergence, artificial "
+      "(s=0.01) ==\n\n");
+  std::printf("%s\n", FormatGlobalDivergence(table, globals).c_str());
+
+  // Check: the 6 items of attributes a, b, c occupy the top-6 global
+  // ranks.
+  std::vector<GlobalItemDivergence> sorted = globals;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& x, const auto& y) {
+              return x.global > y.global;
+            });
+  size_t abc_in_top6 = 0;
+  for (size_t i = 0; i < 6 && i < sorted.size(); ++i) {
+    if (table.catalog().item(sorted[i].item).attribute < 3) {
+      ++abc_in_top6;
+    }
+  }
+  std::printf("a/b/c items in global top-6: %zu / 6 (paper: 6)\n",
+              abc_in_top6);
+  return 0;
+}

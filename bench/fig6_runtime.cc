@@ -1,0 +1,74 @@
+// Experiment F6 — paper Figure 6: DivExplorer execution time as a
+// function of the minimum support threshold, for all six datasets
+// (FP-growth backend, single thread).
+//
+// Timed work = the full Algorithm 1: outcome computation, augmented
+// mining, divergence + significance for every frequent itemset.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "util/string_util.h"
+
+using namespace divexp;
+using namespace divexp::bench;
+
+namespace {
+
+struct Prepared {
+  BenchmarkDataset dataset;
+  EncodedDataset encoded;
+};
+
+const Prepared& GetPrepared(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<Prepared>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    auto prepared = std::make_unique<Prepared>();
+    prepared->dataset = LoadDataset(name);
+    prepared->encoded = Encode(prepared->dataset);
+    it = cache.emplace(name, std::move(prepared)).first;
+  }
+  return *it->second;
+}
+
+void BM_DivExplorer(benchmark::State& state, const std::string& name,
+                    double support) {
+  const Prepared& p = GetPrepared(name);
+  size_t patterns = 0;
+  for (auto _ : state) {
+    const PatternTable table =
+        Explore(p.encoded, p.dataset, Metric::kFalsePositiveRate,
+                support);
+    patterns = table.size();
+    benchmark::DoNotOptimize(patterns);
+  }
+  state.counters["patterns"] =
+      static_cast<double>(patterns > 0 ? patterns - 1 : 0);
+  state.counters["support"] = support;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double supports[] = {0.01, 0.02, 0.05, 0.1, 0.2};
+  for (const std::string& name : AllDatasetNames()) {
+    for (double s : supports) {
+      const std::string bench_name =
+          "fig6/" + name + "/s=" + FormatDouble(s, 2);
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [name, s](benchmark::State& state) {
+            BM_DivExplorer(state, name, s);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->MinTime(0.2);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Experiment C1 — paper §6.5: DivExplorer vs Slice Finder on the
+// artificial dataset.
+//
+// Paper claims reproduced here:
+//  * DivExplorer (s = 0.01) ranks (a=b=c=0) and (a=b=c=1) as the most
+//    FPR-divergent itemsets.
+//  * Slice Finder at its default effect size stops at the six length-2
+//    fragments of those itemsets and never returns the true source.
+//  * Raising the effect-size threshold lets Slice Finder reach the
+//    length-3 sources (the paper raises it to 1.65 on log loss; with
+//    0/1 loss the fragments' effect size is ~0.4 and the triples' ~1.0,
+//    so we raise to 0.9).
+//  * DivExplorer's full exploration is faster than Slice Finder's
+//    pruned lattice search (single thread in both).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/report.h"
+#include "slicefinder/slicefinder.h"
+#include "util/stopwatch.h"
+
+using namespace divexp;
+using namespace divexp::bench;
+
+int main() {
+  const BenchmarkDataset ds = LoadDataset("artificial");
+  const EncodedDataset encoded = Encode(ds);
+
+  std::printf("== Section 6.5: DivExplorer vs Slice Finder ==\n\n");
+
+  // --- DivExplorer, complete exploration at s = 0.01. ---
+  Stopwatch sw;
+  const PatternTable table =
+      Explore(encoded, ds, Metric::kFalsePositiveRate, 0.01);
+  const double divexp_seconds = sw.Seconds();
+  const auto top = table.TopK(4);
+  std::printf("DivExplorer (s=0.01): %.3fs, %zu patterns\n",
+              divexp_seconds, table.size() - 1);
+  std::printf("top FPR-divergent patterns:\n%s\n",
+              FormatPatternRows(table, top, "d_FPR").c_str());
+
+  bool triples_on_top = top.size() >= 2 &&
+                        table.row(top[0]).items.size() == 3 &&
+                        table.row(top[1]).items.size() == 3;
+  std::printf("true sources (a=b=c) ranked first: %s (paper: yes)\n\n",
+              triples_on_top ? "yes" : "no");
+
+  // --- Slice Finder, default effect size. ---
+  const std::vector<double> loss = ZeroOneLoss(ds.predictions, ds.truth);
+  SliceFinderOptions opts;
+  opts.max_degree = 3;
+  SliceFinder default_finder(opts);
+  sw.Restart();
+  auto slices = default_finder.FindSlices(encoded, loss);
+  const double sf_seconds = sw.Seconds();
+  if (!slices.ok()) return 1;
+  std::printf("Slice Finder (T=%.2f, degree 3): %.3fs, %zu slices\n",
+              opts.effect_size_threshold, sf_seconds, slices->size());
+  size_t len2 = 0, len3 = 0;
+  for (const Slice& s : *slices) {
+    if (s.items.size() == 2) ++len2;
+    if (s.items.size() == 3) ++len3;
+    std::printf("  %-28s size=%6llu effect=%.2f\n",
+                table.ItemsetName(s.items).c_str(),
+                static_cast<unsigned long long>(s.size), s.effect_size);
+  }
+  std::printf(
+      "length-2 fragments: %zu (paper: 6), length-3 sources: %zu "
+      "(paper: 0)\n\n",
+      len2, len3);
+
+  // --- Slice Finder, raised threshold reaches the true sources. ---
+  opts.effect_size_threshold = 0.9;
+  SliceFinder raised_finder(opts);
+  sw.Restart();
+  auto raised = raised_finder.FindSlices(encoded, loss);
+  const double sf_raised_seconds = sw.Seconds();
+  if (!raised.ok()) return 1;
+  std::printf("Slice Finder (T=0.90): %.3fs, %zu slices\n",
+              sf_raised_seconds, raised->size());
+  for (const Slice& s : *raised) {
+    std::printf("  %-28s size=%6llu effect=%.2f\n",
+                table.ItemsetName(s.items).c_str(),
+                static_cast<unsigned long long>(s.size), s.effect_size);
+  }
+  std::printf("\nspeed ratio (SliceFinder default / DivExplorer): %.1fx "
+              "(paper: 4.5x)\n",
+              sf_seconds / divexp_seconds);
+  return 0;
+}

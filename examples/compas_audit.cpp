@@ -1,0 +1,82 @@
+// Example: auditing a black-box risk score, end to end.
+//
+// This walks the full COMPAS-style analysis from the paper: measure
+// overall FPR/FNR, mine all divergent subgroups, explain the worst
+// pattern with Shapley contributions, find corrective items, compare
+// global vs individual item divergence, and render the lattice around
+// the most divergent pattern.
+#include <cstdio>
+
+#include "core/corrective.h"
+#include "core/explorer.h"
+#include "core/global_divergence.h"
+#include "core/lattice.h"
+#include "core/pruning.h"
+#include "core/report.h"
+#include "core/shapley.h"
+#include "data/encoder.h"
+#include "datasets/datasets.h"
+#include "model/metrics.h"
+
+using namespace divexp;
+
+int main() {
+  // 1. Data + black-box predictions. The synthetic COMPAS generator
+  //    ships a biased risk score (see DESIGN.md §4); swap in your own
+  //    CSV + model output for a real audit.
+  auto ds = MakeCompas();
+  DIVEXP_CHECK(ds.ok());
+  const ConfusionMatrix cm = ComputeConfusion(ds->predictions, ds->truth);
+  std::printf("overall: %s\n\n", cm.ToString().c_str());
+
+  auto encoded = EncodeDataFrame(ds->discretized);
+  DIVEXP_CHECK(encoded.ok());
+
+  // 2. Mine every subgroup with support >= 5% and rank by FPR
+  //    divergence.
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                Metric::kFalsePositiveRate);
+  DIVEXP_CHECK(table.ok());
+  std::printf("%zu frequent patterns; FPR(D)=%.3f\n\n", table->size() - 1,
+              table->global_rate());
+
+  const auto top = table->TopK(5);
+  std::printf("most FPR-divergent subgroups:\n%s\n",
+              FormatPatternRows(*table, top, "d_FPR").c_str());
+
+  // 3. Who inside the worst pattern is responsible? (Shapley)
+  const Itemset& worst = table->row(top[0]).items;
+  auto contributions = ShapleyContributions(*table, worst);
+  DIVEXP_CHECK(contributions.ok());
+  std::printf("item contributions for [%s]:\n%s\n",
+              table->ItemsetName(worst).c_str(),
+              FormatContributions(*table, *contributions).c_str());
+
+  // 4. Which attribute values *repair* divergence when present?
+  CorrectiveOptions copts;
+  copts.top_k = 3;
+  const auto corrective = FindCorrectiveItems(*table, copts);
+  std::printf("top corrective items:\n%s\n",
+              FormatCorrectiveItems(*table, corrective, 3).c_str());
+
+  // 5. Global vs individual item divergence: which items skew the
+  //    classifier across all contexts?
+  const auto globals = ComputeGlobalItemDivergence(*table);
+  std::printf("global vs individual item divergence (top 8):\n%s\n",
+              FormatGlobalDivergence(*table, globals, 8).c_str());
+
+  // 6. Redundancy-pruned summary for a report.
+  const auto kept = RedundancyPrune(*table, 0.05);
+  std::printf("summary after eps=0.05 pruning: %zu of %zu patterns\n\n",
+              kept.size(), table->size() - 1);
+
+  // 7. Lattice around the worst pattern (paste into Graphviz).
+  auto lattice = BuildLattice(*table, worst);
+  DIVEXP_CHECK(lattice.ok());
+  std::printf("lattice below the worst pattern:\n%s",
+              LatticeToAscii(*lattice, *table).c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Example: debugging a regression between two model versions.
+//
+// DivExplorer is model-agnostic: it only sees (prediction, truth)
+// pairs, so the same pattern table machinery compares *two models* —
+// mine the divergence of each model's error rate, then diff the
+// pattern tables to find subgroups where the new model got worse,
+// a pattern-level regression report (paper §1: model comparison).
+#include <cstdio>
+#include <vector>
+
+#include "core/explorer.h"
+#include "core/report.h"
+#include "data/encoder.h"
+#include "datasets/datasets.h"
+#include "model/featurize.h"
+#include "model/forest.h"
+#include "model/logistic.h"
+#include "model/metrics.h"
+
+using namespace divexp;
+
+int main() {
+  // 1. Data + two model versions: a logistic baseline (v1) and a
+  //    random forest (v2), both trained on raw features.
+  SizeOptions sopts;
+  sopts.num_rows = 12000;
+  auto ds = MakeAdult(sopts);
+  DIVEXP_CHECK(ds.ok());
+
+  auto x = FeaturizeOneHot(ds->raw, ds->raw.ColumnNames());
+  DIVEXP_CHECK(x.ok());
+  StandardizeInPlace(&(*x));
+  auto x_tree = FeaturizeOrdinal(ds->raw, ds->raw.ColumnNames());
+  DIVEXP_CHECK(x_tree.ok());
+
+  LogisticRegression v1;
+  LogisticOptions lopts;
+  lopts.epochs = 300;
+  lopts.learning_rate = 0.5;
+  DIVEXP_CHECK_OK(v1.Fit(*x, ds->truth, lopts));
+  const std::vector<int> pred_v1 = v1.PredictAll(*x);
+
+  RandomForest v2;
+  ForestOptions fopts;
+  fopts.num_trees = 12;
+  fopts.tree.max_depth = 6;  // deliberately shallow: v2 regresses
+  DIVEXP_CHECK_OK(v2.Fit(*x_tree, ds->truth, fopts));
+  const std::vector<int> pred_v2 = v2.PredictAll(*x_tree);
+
+  std::printf("v1 (logistic): %s\n",
+              ComputeConfusion(pred_v1, ds->truth).ToString().c_str());
+  std::printf("v2 (forest):   %s\n\n",
+              ComputeConfusion(pred_v2, ds->truth).ToString().c_str());
+
+  // 2. Error-rate pattern tables for both models.
+  auto encoded = EncodeDataFrame(ds->discretized);
+  DIVEXP_CHECK(encoded.ok());
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto t1 = explorer.Explore(*encoded, pred_v1, ds->truth,
+                             Metric::kErrorRate);
+  auto t2 = explorer.Explore(*encoded, pred_v2, ds->truth,
+                             Metric::kErrorRate);
+  DIVEXP_CHECK(t1.ok());
+  DIVEXP_CHECK(t2.ok());
+
+  // 3. Diff: rank patterns by error-rate increase from v1 to v2.
+  //    (Absolute rates, not divergences, so the global shift counts.)
+  struct RegressionRow {
+    size_t index_v2;
+    double rate_v1;
+    double rate_v2;
+  };
+  std::vector<RegressionRow> regressions;
+  for (size_t i = 0; i < t2->size(); ++i) {
+    const PatternRow& row = t2->row(i);
+    if (row.items.empty()) continue;
+    auto j = t1->Find(row.items);
+    if (!j.has_value()) continue;
+    regressions.push_back({i, t1->row(*j).rate, row.rate});
+  }
+  std::sort(regressions.begin(), regressions.end(),
+            [](const RegressionRow& a, const RegressionRow& b) {
+              return (a.rate_v2 - a.rate_v1) > (b.rate_v2 - b.rate_v1);
+            });
+
+  std::printf("subgroups with the largest error-rate regressions:\n");
+  std::printf("%-55s %8s %8s %8s\n", "itemset", "v1", "v2", "delta");
+  for (size_t k = 0; k < 6 && k < regressions.size(); ++k) {
+    const RegressionRow& r = regressions[k];
+    std::printf("%-55s %8.3f %8.3f %+8.3f\n",
+                t2->ItemsetName(t2->row(r.index_v2).items).c_str(),
+                r.rate_v1, r.rate_v2, r.rate_v2 - r.rate_v1);
+  }
+
+  // 4. And the subgroups where v2 improved the most.
+  std::printf("\nsubgroups with the largest improvements:\n");
+  for (size_t k = 0; k < 3 && k < regressions.size(); ++k) {
+    const RegressionRow& r = regressions[regressions.size() - 1 - k];
+    std::printf("%-55s %8.3f %8.3f %+8.3f\n",
+                t2->ItemsetName(t2->row(r.index_v2).items).c_str(),
+                r.rate_v1, r.rate_v2, r.rate_v2 - r.rate_v1);
+  }
+  return 0;
+}

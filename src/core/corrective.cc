@@ -1,0 +1,50 @@
+#include "core/corrective.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace divexp {
+
+std::vector<CorrectiveItem> FindCorrectiveItems(
+    const PatternTable& table, const CorrectiveOptions& options) {
+  std::vector<CorrectiveItem> out;
+  // Every frequent superset K = I ∪ {α} defines |K| candidate pairs
+  // (drop each item in turn); enumerating supersets guarantees both
+  // sides of the comparison are in the table.
+  for (const PatternRow& row : table.rows()) {
+    const Itemset& k = row.items;
+    if (k.empty()) continue;
+    for (uint32_t alpha : k) {
+      const Itemset base = Without(k, alpha);
+      if (base.empty()) continue;  // Δ(∅) = 0: nothing to correct
+      const Result<double> base_div = table.Divergence(base);
+      DIVEXP_CHECK(base_div.ok());
+      const double factor =
+          std::fabs(*base_div) - std::fabs(row.divergence);
+      if (factor <= options.min_factor || factor <= 0.0) continue;
+      CorrectiveItem c;
+      c.base = base;
+      c.item = alpha;
+      c.base_divergence = *base_div;
+      c.with_divergence = row.divergence;
+      c.factor = factor;
+      c.t = row.t;
+      out.push_back(std::move(c));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CorrectiveItem& a, const CorrectiveItem& b) {
+                     if (a.factor != b.factor) return a.factor > b.factor;
+                     if (a.base.size() != b.base.size()) {
+                       return a.base.size() < b.base.size();
+                     }
+                     if (a.base != b.base) return a.base < b.base;
+                     return a.item < b.item;
+                   });
+  if (options.top_k != 0 && out.size() > options.top_k) {
+    out.resize(options.top_k);
+  }
+  return out;
+}
+
+}  // namespace divexp

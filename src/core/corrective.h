@@ -1,0 +1,40 @@
+// Corrective items (paper Def. 4.2): items whose addition *reduces* the
+// absolute divergence of a pattern. Only a complete exploration can
+// surface them — pruned searches never visit the corrected superset.
+#ifndef DIVEXP_CORE_CORRECTIVE_H_
+#define DIVEXP_CORE_CORRECTIVE_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace divexp {
+
+/// One corrective (base itemset, item) pair, as in paper Table 3.
+struct CorrectiveItem {
+  Itemset base;                 ///< I
+  uint32_t item = 0;            ///< α ∉ I
+  double base_divergence = 0.0; ///< Δ(I)
+  double with_divergence = 0.0; ///< Δ(I ∪ {α})
+  double factor = 0.0;          ///< |Δ(I)| − |Δ(I ∪ {α})| > 0
+  double t = 0.0;               ///< significance of the corrected itemset
+};
+
+struct CorrectiveOptions {
+  /// Keep only pairs with corrective factor above this value.
+  double min_factor = 0.0;
+  /// Require the corrected itemset's |Δ| to land within this fraction
+  /// of |Δ(I)| is NOT enforced; set min_factor instead. Kept simple on
+  /// purpose: the paper ranks purely by corrective factor.
+  size_t top_k = 0;  ///< 0 = all
+};
+
+/// Scans the pattern table for all corrective (I, α) pairs, ranked by
+/// descending corrective factor. Both I and I ∪ {α} must be frequent,
+/// which the complete exploration guarantees whenever the superset is.
+std::vector<CorrectiveItem> FindCorrectiveItems(
+    const PatternTable& table, const CorrectiveOptions& options = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_CORRECTIVE_H_

@@ -1,0 +1,43 @@
+#include "core/explorer.h"
+
+#include "util/stopwatch.h"
+
+namespace divexp {
+
+Result<PatternTable> DivergenceExplorer::Explore(
+    const EncodedDataset& dataset, const std::vector<int>& predictions,
+    const std::vector<int>& truths, Metric metric) const {
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<Outcome> outcomes,
+                          ComputeOutcomes(metric, predictions, truths));
+  return ExploreOutcomes(dataset, std::move(outcomes));
+}
+
+Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
+    const EncodedDataset& dataset, std::vector<Outcome> outcomes) const {
+  DIVEXP_ASSIGN_OR_RETURN(
+      TransactionDatabase db,
+      TransactionDatabase::Create(dataset, std::move(outcomes)));
+
+  MinerOptions mopts;
+  mopts.min_support = options_.min_support;
+  mopts.max_length = options_.max_length;
+  mopts.num_threads = options_.num_threads;
+
+  std::unique_ptr<FrequentPatternMiner> miner = MakeMiner(options_.miner);
+  if (miner == nullptr) {
+    return Status::InvalidArgument("unknown miner kind");
+  }
+
+  Stopwatch sw;
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<MinedPattern> mined,
+                          miner->Mine(db, mopts));
+  timings_.mining_seconds = sw.Seconds();
+
+  sw.Restart();
+  Result<PatternTable> table = PatternTable::Create(
+      std::move(mined), dataset.catalog, dataset.num_rows);
+  timings_.divergence_seconds = sw.Seconds();
+  return table;
+}
+
+}  // namespace divexp

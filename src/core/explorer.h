@@ -1,0 +1,67 @@
+// DivergenceExplorer: the user-facing facade implementing paper Alg. 1.
+// Given a discretized dataset, predictions, ground truth and a metric,
+// it mines all frequent itemsets with outcome tallies and returns the
+// pattern table.
+#ifndef DIVEXP_CORE_EXPLORER_H_
+#define DIVEXP_CORE_EXPLORER_H_
+
+#include <vector>
+
+#include "core/outcome.h"
+#include "core/pattern.h"
+#include "data/encoder.h"
+#include "fpm/miner.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// Configuration for a divergence exploration.
+struct ExplorerOptions {
+  /// The paper's single input parameter s (relative support).
+  double min_support = 0.05;
+  /// Mining backend; FP-growth is the paper's experimental default.
+  MinerKind miner = MinerKind::kFpGrowth;
+  /// Cap on itemset length; 0 = full exploration.
+  size_t max_length = 0;
+  /// Worker threads for mining; 1 = sequential (the paper's setup).
+  size_t num_threads = 1;
+};
+
+/// Timing breakdown of a run (used for Fig. 6 and the mining-vs-post
+/// processing split reported in §6.1).
+struct ExplorerTimings {
+  double mining_seconds = 0.0;
+  double divergence_seconds = 0.0;
+};
+
+/// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and
+/// significance for every frequent itemset.
+class DivergenceExplorer {
+ public:
+  explicit DivergenceExplorer(ExplorerOptions options = {})
+      : options_(options) {}
+
+  const ExplorerOptions& options() const { return options_; }
+
+  /// Full pipeline from labels: computes the outcome function for
+  /// `metric` from (predictions, truths), then explores.
+  Result<PatternTable> Explore(const EncodedDataset& dataset,
+                               const std::vector<int>& predictions,
+                               const std::vector<int>& truths,
+                               Metric metric) const;
+
+  /// Exploration from precomputed outcomes (any Boolean statistic).
+  Result<PatternTable> ExploreOutcomes(const EncodedDataset& dataset,
+                                       std::vector<Outcome> outcomes) const;
+
+  /// Timing of the last Explore* call on this object.
+  const ExplorerTimings& last_timings() const { return timings_; }
+
+ private:
+  ExplorerOptions options_;
+  mutable ExplorerTimings timings_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_EXPLORER_H_

@@ -1,0 +1,104 @@
+#include "core/global_divergence.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace divexp {
+namespace {
+
+// Factorials 0..n as long double (exact through 25!, far beyond any
+// realistic attribute count).
+std::vector<long double> Factorials(size_t n) {
+  std::vector<long double> f(n + 1, 1.0L);
+  for (size_t i = 1; i <= n; ++i) {
+    f[i] = f[i - 1] * static_cast<long double>(i);
+  }
+  return f;
+}
+
+// Π_{b in attrs(K)} m_b for the attributes of the items of K.
+long double DomainProduct(const ItemCatalog& catalog, const Itemset& k) {
+  long double prod = 1.0L;
+  for (uint32_t id : k) {
+    prod *= static_cast<long double>(
+        catalog.domain_size(catalog.item(id).attribute));
+  }
+  return prod;
+}
+
+}  // namespace
+
+std::vector<GlobalItemDivergence> ComputeGlobalItemDivergence(
+    const PatternTable& table) {
+  const ItemCatalog& catalog = table.catalog();
+  const size_t num_attrs = catalog.num_attributes();
+  const std::vector<long double> fact = Factorials(num_attrs);
+
+  std::vector<GlobalItemDivergence> out(catalog.num_items());
+  for (uint32_t id = 0; id < catalog.num_items(); ++id) {
+    out[id].item = id;
+    const Itemset single{id};
+    if (auto idx = table.Find(single); idx.has_value()) {
+      out[id].individual = table.row(*idx).divergence;
+    }
+  }
+
+  // One pass over all frequent patterns: pattern K contributes its
+  // marginal Δ(K) − Δ(K \ {α}) to every item α ∈ K, with the Eq. 8
+  // weight determined by |K| and the domain sizes of K's attributes.
+  for (const PatternRow& row : table.rows()) {
+    const Itemset& k = row.items;
+    if (k.empty()) continue;
+    const size_t b = k.size() - 1;  // |B| = |J| for J = K \ {α}
+    // Π over B ∪ attr(α) equals the product over all attributes of K.
+    const long double denom =
+        fact[num_attrs] * DomainProduct(catalog, k);
+    const long double weight =
+        fact[b] * fact[num_attrs - b - 1] / denom;
+    for (uint32_t alpha : k) {
+      const Itemset j = Without(k, alpha);
+      const Result<double> dj = table.Divergence(j);
+      // Subsets of frequent itemsets are frequent; missing J would mean
+      // a corrupt table.
+      DIVEXP_CHECK(dj.ok());
+      out[alpha].global += static_cast<double>(
+          weight * (row.divergence - *dj));
+    }
+  }
+  return out;
+}
+
+Result<double> GlobalItemsetDivergence(const PatternTable& table,
+                                       const Itemset& itemset) {
+  if (itemset.empty()) {
+    return Status::InvalidArgument("itemset must be non-empty");
+  }
+  if (!table.Contains(itemset)) {
+    return Status::NotFound("itemset not frequent: " +
+                            ItemsetDebugString(itemset));
+  }
+  const ItemCatalog& catalog = table.catalog();
+  const size_t num_attrs = catalog.num_attributes();
+  const std::vector<long double> fact = Factorials(num_attrs);
+  const size_t i_len = itemset.size();
+
+  long double total = 0.0L;
+  for (const PatternRow& row : table.rows()) {
+    const Itemset& k = row.items;
+    if (k.size() < i_len || !IsSubset(itemset, k)) continue;
+    const size_t b = k.size() - i_len;  // |B| = |J|
+    const long double denom =
+        fact[num_attrs] * DomainProduct(catalog, k);
+    const long double weight =
+        fact[b] * fact[num_attrs - b - i_len] / denom;
+    Itemset j;
+    j.reserve(b);
+    std::set_difference(k.begin(), k.end(), itemset.begin(), itemset.end(),
+                        std::back_inserter(j));
+    DIVEXP_ASSIGN_OR_RETURN(double dj, table.Divergence(j));
+    total += weight * (row.divergence - dj);
+  }
+  return static_cast<double>(total);
+}
+
+}  // namespace divexp

@@ -1,0 +1,161 @@
+#include "core/lattice.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace divexp {
+
+Result<Lattice> BuildLattice(const PatternTable& table,
+                             const Itemset& target) {
+  if (!table.Contains(target)) {
+    return Status::NotFound("target itemset not frequent: " +
+                            ItemsetDebugString(target));
+  }
+  Lattice lattice;
+  lattice.target = target;
+
+  std::vector<Itemset> subsets;
+  ForEachSubset(target, [&](const Itemset& s) { subsets.push_back(s); });
+  std::sort(subsets.begin(), subsets.end(),
+            [](const Itemset& a, const Itemset& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+
+  std::unordered_map<Itemset, size_t, ItemsetHash> node_index;
+  for (const Itemset& s : subsets) {
+    LatticeNode node;
+    node.items = s;
+    node.level = s.size();
+    const auto idx = table.Find(s);
+    if (idx.has_value()) {
+      node.divergence = table.row(*idx).divergence;
+      node.t = table.row(*idx).t;
+    } else {
+      node.frequent = false;  // unreachable for frequent targets
+    }
+    node_index.emplace(s, lattice.nodes.size());
+    lattice.nodes.push_back(std::move(node));
+  }
+
+  for (size_t i = 0; i < lattice.nodes.size(); ++i) {
+    LatticeNode& node = lattice.nodes[i];
+    if (node.items.empty()) continue;
+    for (uint32_t alpha : node.items) {
+      const Itemset parent = Without(node.items, alpha);
+      const auto it = node_index.find(parent);
+      DIVEXP_CHECK(it != node_index.end());
+      lattice.edges.push_back(LatticeEdge{it->second, i});
+      const LatticeNode& parent_node = lattice.nodes[it->second];
+      if (std::fabs(node.divergence) < std::fabs(parent_node.divergence)) {
+        node.corrective = true;
+      }
+    }
+  }
+  return lattice;
+}
+
+namespace {
+
+std::string NodeLabel(const LatticeNode& node, const PatternTable& table,
+                      int digits) {
+  std::string name =
+      node.items.empty() ? "{}" : table.ItemsetName(node.items);
+  return name + "\\nΔ=" + FormatDouble(node.divergence, digits);
+}
+
+bool AboveThreshold(const LatticeNode& node, double threshold) {
+  return !std::isnan(threshold) && node.divergence >= threshold;
+}
+
+}  // namespace
+
+std::string LatticeToDot(const Lattice& lattice, const PatternTable& table,
+                         const LatticeRenderOptions& options) {
+  std::ostringstream os;
+  os << "digraph lattice {\n";
+  os << "  rankdir=TB;\n  node [fontsize=10];\n";
+  for (size_t i = 0; i < lattice.nodes.size(); ++i) {
+    const LatticeNode& node = lattice.nodes[i];
+    os << "  n" << i << " [label=\""
+       << NodeLabel(node, table, options.digits) << "\"";
+    if (AboveThreshold(node, options.divergence_threshold)) {
+      os << ", shape=box, style=filled, fillcolor=\"#e06060\"";
+    } else if (node.corrective) {
+      os << ", shape=diamond, style=filled, fillcolor=\"#a8d8ef\"";
+    } else {
+      os << ", shape=ellipse";
+    }
+    os << "];\n";
+  }
+  for (const LatticeEdge& e : lattice.edges) {
+    os << "  n" << e.from << " -> n" << e.to << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string LatticeToAscii(const Lattice& lattice,
+                           const PatternTable& table,
+                           const LatticeRenderOptions& options) {
+  std::ostringstream os;
+  size_t level = SIZE_MAX;
+  for (const LatticeNode& node : lattice.nodes) {
+    if (node.level != level) {
+      level = node.level;
+      os << "level " << level << ":\n";
+    }
+    os << "  " << (node.items.empty() ? "{}" : table.ItemsetName(node.items))
+       << "  Δ=" << FormatDouble(node.divergence, options.digits);
+    if (AboveThreshold(node, options.divergence_threshold)) {
+      os << "  [DIVERGENT]";
+    }
+    if (node.corrective) os << "  [corrective]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string LatticeToJson(const Lattice& lattice,
+                          const PatternTable& table,
+                          const LatticeRenderOptions& options) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out += '\\';
+      out += ch;
+    }
+    return out;
+  };
+  std::ostringstream os;
+  os << "{\"target\":\"" << escape(table.ItemsetName(lattice.target))
+     << "\",\"nodes\":[";
+  for (size_t i = 0; i < lattice.nodes.size(); ++i) {
+    const LatticeNode& node = lattice.nodes[i];
+    if (i) os << ",";
+    os << "{\"id\":" << i << ",\"itemset\":\""
+       << escape(node.items.empty() ? ""
+                                    : table.ItemsetName(node.items))
+       << "\",\"level\":" << node.level << ",\"divergence\":"
+       << FormatDouble(node.divergence, 6) << ",\"t\":"
+       << FormatDouble(node.t, 4) << ",\"corrective\":"
+       << (node.corrective ? "true" : "false") << ",\"highlighted\":"
+       << (AboveThreshold(node, options.divergence_threshold) ? "true"
+                                                              : "false")
+       << "}";
+  }
+  os << "],\"edges\":[";
+  for (size_t i = 0; i < lattice.edges.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"from\":" << lattice.edges[i].from
+       << ",\"to\":" << lattice.edges[i].to << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace divexp

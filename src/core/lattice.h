@@ -1,0 +1,73 @@
+// Itemset-lattice extraction for visual exploration (paper §6.4,
+// Fig. 11): the sub-lattice of all subsets of a pattern, annotated with
+// divergence, significance, threshold highlighting and corrective-
+// phenomenon markers, rendered to Graphviz DOT or ASCII.
+#ifndef DIVEXP_CORE_LATTICE_H_
+#define DIVEXP_CORE_LATTICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// One lattice node (an itemset J ⊆ target).
+struct LatticeNode {
+  Itemset items;
+  size_t level = 0;          ///< |items|
+  double divergence = 0.0;
+  double t = 0.0;
+  bool frequent = true;
+  /// True if some direct subset J' has |Δ(J)| < |Δ(J')|, i.e. the last
+  /// added item acted correctively (Fig. 11's rhombus nodes).
+  bool corrective = false;
+};
+
+/// Edge from a subset node to its (|J|+1)-item superset node.
+struct LatticeEdge {
+  size_t from = 0;
+  size_t to = 0;
+};
+
+/// The sub-lattice below one target pattern.
+struct Lattice {
+  Itemset target;
+  std::vector<LatticeNode> nodes;  ///< level order: root first
+  std::vector<LatticeEdge> edges;
+};
+
+/// Rendering options.
+struct LatticeRenderOptions {
+  /// Highlight nodes with divergence >= threshold (Fig. 11's red
+  /// squares). NaN disables highlighting.
+  double divergence_threshold = 0.15;
+  /// Decimal places for divergence labels.
+  int digits = 2;
+};
+
+/// Builds the full subset lattice of `target` from the pattern table.
+/// `target` must be frequent; all its subsets are then frequent too.
+Result<Lattice> BuildLattice(const PatternTable& table,
+                             const Itemset& target);
+
+/// Graphviz DOT rendering (rhombus = corrective, red box = above the
+/// divergence threshold).
+std::string LatticeToDot(const Lattice& lattice, const PatternTable& table,
+                         const LatticeRenderOptions& options = {});
+
+/// Plain-text rendering, one level per block.
+std::string LatticeToAscii(const Lattice& lattice,
+                           const PatternTable& table,
+                           const LatticeRenderOptions& options = {});
+
+/// JSON rendering ({"nodes": [...], "edges": [...]}) for interactive
+/// front ends (the paper's §6.4 lattice visualization).
+std::string LatticeToJson(const Lattice& lattice,
+                          const PatternTable& table,
+                          const LatticeRenderOptions& options = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_LATTICE_H_

@@ -1,0 +1,94 @@
+#include "core/outcome.h"
+
+namespace divexp {
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kFalsePositiveRate:
+      return "FPR";
+    case Metric::kFalseNegativeRate:
+      return "FNR";
+    case Metric::kErrorRate:
+      return "ER";
+    case Metric::kAccuracy:
+      return "ACC";
+    case Metric::kTruePositiveRate:
+      return "TPR";
+    case Metric::kTrueNegativeRate:
+      return "TNR";
+    case Metric::kPositivePredictiveValue:
+      return "PPV";
+    case Metric::kFalseDiscoveryRate:
+      return "FDR";
+    case Metric::kFalseOmissionRate:
+      return "FOR";
+    case Metric::kNegativePredictiveValue:
+      return "NPV";
+    case Metric::kPositiveRate:
+      return "POS";
+    case Metric::kPredictedPositiveRate:
+      return "PPOS";
+  }
+  return "?";
+}
+
+Outcome EvalOutcome(Metric metric, bool u, bool v) {
+  switch (metric) {
+    case Metric::kFalsePositiveRate:
+      // T if u ∧ ¬v, F if ¬u ∧ ¬v, ⊥ if v (paper §3.2).
+      if (v) return Outcome::kBottom;
+      return u ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kFalseNegativeRate:
+      if (!v) return Outcome::kBottom;
+      return u ? Outcome::kFalse : Outcome::kTrue;
+    case Metric::kErrorRate:
+      return u != v ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kAccuracy:
+      return u == v ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kTruePositiveRate:
+      if (!v) return Outcome::kBottom;
+      return u ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kTrueNegativeRate:
+      if (v) return Outcome::kBottom;
+      return u ? Outcome::kFalse : Outcome::kTrue;
+    case Metric::kPositivePredictiveValue:
+      if (!u) return Outcome::kBottom;
+      return v ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kFalseDiscoveryRate:
+      if (!u) return Outcome::kBottom;
+      return v ? Outcome::kFalse : Outcome::kTrue;
+    case Metric::kFalseOmissionRate:
+      if (u) return Outcome::kBottom;
+      return v ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kNegativePredictiveValue:
+      if (u) return Outcome::kBottom;
+      return v ? Outcome::kFalse : Outcome::kTrue;
+    case Metric::kPositiveRate:
+      return v ? Outcome::kTrue : Outcome::kFalse;
+    case Metric::kPredictedPositiveRate:
+      return u ? Outcome::kTrue : Outcome::kFalse;
+  }
+  return Outcome::kBottom;
+}
+
+Result<std::vector<Outcome>> ComputeOutcomes(
+    Metric metric, const std::vector<int>& predictions,
+    const std::vector<int>& truths) {
+  if (predictions.size() != truths.size()) {
+    return Status::InvalidArgument(
+        "predictions and truths differ in length");
+  }
+  std::vector<Outcome> out;
+  out.reserve(predictions.size());
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if ((predictions[i] != 0 && predictions[i] != 1) ||
+        (truths[i] != 0 && truths[i] != 1)) {
+      return Status::InvalidArgument("labels must be 0/1 at row " +
+                                     std::to_string(i));
+    }
+    out.push_back(EvalOutcome(metric, predictions[i] == 1, truths[i] == 1));
+  }
+  return out;
+}
+
+}  // namespace divexp

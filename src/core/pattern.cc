@@ -1,0 +1,150 @@
+#include "core/pattern.h"
+
+#include <algorithm>
+
+#include "stats/beta.h"
+#include "stats/welch.h"
+
+namespace divexp {
+
+Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
+                                          ItemCatalog catalog,
+                                          size_t num_rows) {
+  PatternTable table;
+  table.catalog_ = std::move(catalog);
+  table.num_dataset_rows_ = num_rows;
+
+  // Locate the empty itemset to fix the global rate.
+  const MinedPattern* root = nullptr;
+  for (const MinedPattern& p : mined) {
+    if (p.items.empty()) {
+      root = &p;
+      break;
+    }
+  }
+  if (root == nullptr) {
+    return Status::InvalidArgument(
+        "mined patterns must include the empty itemset");
+  }
+  table.global_rate_ = root->counts.PositiveRate();
+  const BetaPosterior global_post =
+      BetaPosteriorFromCounts(root->counts.t, root->counts.f);
+  table.global_mean_ = global_post.mean;
+  table.global_variance_ = global_post.variance;
+
+  table.rows_.reserve(mined.size());
+  table.index_.reserve(mined.size());
+  const double denom =
+      num_rows == 0 ? 1.0 : static_cast<double>(num_rows);
+  for (MinedPattern& p : mined) {
+    PatternRow row;
+    row.counts = p.counts;
+    row.support = static_cast<double>(p.counts.total()) / denom;
+    row.rate = p.counts.PositiveRate();
+    row.divergence = row.rate - table.global_rate_;
+    const BetaPosterior post =
+        BetaPosteriorFromCounts(p.counts.t, p.counts.f);
+    row.t = WelchTFromPosteriors(post.mean, post.variance,
+                                 table.global_mean_,
+                                 table.global_variance_);
+    row.items = std::move(p.items);
+    const auto [it, inserted] =
+        table.index_.emplace(row.items, table.rows_.size());
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate itemset in mined patterns");
+    }
+    table.rows_.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::optional<size_t> PatternTable::Find(const Itemset& items) const {
+  auto it = index_.find(items);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<double> PatternTable::Divergence(const Itemset& items) const {
+  auto idx = Find(items);
+  if (!idx.has_value()) {
+    return Status::NotFound("itemset not frequent: " +
+                            ItemsetDebugString(items));
+  }
+  return rows_[*idx].divergence;
+}
+
+std::vector<size_t> PatternTable::Rank(RankKey key,
+                                       bool descending) const {
+  auto value = [&](size_t i) {
+    switch (key) {
+      case RankKey::kDivergence:
+        return rows_[i].divergence;
+      case RankKey::kSignificance:
+        return rows_[i].t;
+      case RankKey::kSupport:
+        return rows_[i].support;
+    }
+    return 0.0;
+  };
+  std::vector<size_t> order;
+  order.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (!rows_[i].items.empty()) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (value(a) != value(b)) {
+      return descending ? value(a) > value(b) : value(a) < value(b);
+    }
+    // Deterministic tie-break: higher support, then shorter, then items.
+    if (rows_[a].support != rows_[b].support) {
+      return rows_[a].support > rows_[b].support;
+    }
+    if (rows_[a].items.size() != rows_[b].items.size()) {
+      return rows_[a].items.size() < rows_[b].items.size();
+    }
+    return rows_[a].items < rows_[b].items;
+  });
+  return order;
+}
+
+std::vector<size_t> PatternTable::RankByDivergence(bool descending) const {
+  return Rank(RankKey::kDivergence, descending);
+}
+
+std::vector<size_t> PatternTable::TopK(size_t k, bool descending,
+                                       double min_support, size_t min_len,
+                                       size_t max_len) const {
+  std::vector<size_t> out;
+  for (size_t i : RankByDivergence(descending)) {
+    const PatternRow& r = rows_[i];
+    if (r.support < min_support) continue;
+    if (r.items.size() < min_len) continue;
+    if (max_len != 0 && r.items.size() > max_len) continue;
+    out.push_back(i);
+    if (out.size() >= k) break;
+  }
+  return out;
+}
+
+std::string PatternTable::ItemsetName(const Itemset& items) const {
+  if (items.empty()) return "(all)";
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += catalog_.ItemName(items[i]);
+  }
+  return out;
+}
+
+Result<Itemset> PatternTable::ParseItemset(
+    const std::vector<std::pair<std::string, std::string>>& items) const {
+  std::vector<uint32_t> ids;
+  ids.reserve(items.size());
+  for (const auto& [attr, value] : items) {
+    DIVEXP_ASSIGN_OR_RETURN(uint32_t id, catalog_.FindItem(attr, value));
+    ids.push_back(id);
+  }
+  return MakeItemset(std::move(ids));
+}
+
+}  // namespace divexp

@@ -1,0 +1,101 @@
+// The pattern table: every frequent itemset with its support, outcome
+// rate, divergence and significance. All downstream analyses (Shapley,
+// global divergence, corrective items, pruning, lattices) are pure
+// functions over this table — the payoff of the paper's complete
+// exploration.
+#ifndef DIVEXP_CORE_PATTERN_H_
+#define DIVEXP_CORE_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/encoder.h"
+#include "fpm/itemset.h"
+#include "fpm/miner.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// One row of the pattern table.
+struct PatternRow {
+  Itemset items;
+  OutcomeCounts counts;
+  double support = 0.0;     ///< sup(I) = |D(I)| / |D|
+  double rate = 0.0;        ///< f(I), the positive outcome rate
+  double divergence = 0.0;  ///< Δ_f(I) = f(I) − f(D)  (paper Eq. 1)
+  double t = 0.0;           ///< Welch t vs the dataset (paper §3.3)
+};
+
+/// Immutable table of all frequent patterns for one (dataset, outcome
+/// function) pair, with O(1) itemset lookup.
+class PatternTable {
+ public:
+  /// Builds from mined patterns. The empty itemset must be present (the
+  /// miners emit it); it defines the global rate f(D).
+  static Result<PatternTable> Create(std::vector<MinedPattern> mined,
+                                     ItemCatalog catalog, size_t num_rows);
+
+  size_t size() const { return rows_.size(); }
+  const PatternRow& row(size_t i) const { return rows_[i]; }
+  const std::vector<PatternRow>& rows() const { return rows_; }
+
+  const ItemCatalog& catalog() const { return catalog_; }
+  size_t num_dataset_rows() const { return num_dataset_rows_; }
+
+  /// Global positive rate f(D).
+  double global_rate() const { return global_rate_; }
+
+  /// Index of an itemset, if frequent.
+  std::optional<size_t> Find(const Itemset& items) const;
+
+  bool Contains(const Itemset& items) const {
+    return Find(items).has_value();
+  }
+
+  /// Δ_f of a frequent itemset; error if not in the table.
+  Result<double> Divergence(const Itemset& items) const;
+
+  /// Sort key for ranking patterns (paper §5: itemsets can be ranked
+  /// by significance, support or f-divergence).
+  enum class RankKey {
+    kDivergence,
+    kSignificance,  ///< Welch t statistic
+    kSupport,
+  };
+
+  /// Row indices sorted by `key` (descending when `descending`),
+  /// excluding the empty itemset. Ties break deterministically.
+  std::vector<size_t> Rank(RankKey key, bool descending = true) const;
+
+  /// Row indices sorted by divergence (descending when
+  /// `descending`), excluding the empty itemset.
+  std::vector<size_t> RankByDivergence(bool descending = true) const;
+
+  /// Top-k rows by divergence with support >= min_support and length
+  /// within [min_len, max_len] (0 = unbounded max).
+  std::vector<size_t> TopK(size_t k, bool descending = true,
+                           double min_support = 0.0, size_t min_len = 1,
+                           size_t max_len = 0) const;
+
+  /// "attr1=v1, attr2=v2" rendering of an itemset.
+  std::string ItemsetName(const Itemset& items) const;
+
+  /// Resolves "attr=value" item descriptions into an itemset.
+  Result<Itemset> ParseItemset(
+      const std::vector<std::pair<std::string, std::string>>& items) const;
+
+ private:
+  std::vector<PatternRow> rows_;
+  std::unordered_map<Itemset, size_t, ItemsetHash> index_;
+  ItemCatalog catalog_;
+  size_t num_dataset_rows_ = 0;
+  double global_rate_ = 0.0;
+  double global_mean_ = 0.0;      // Beta posterior mean of f(D)
+  double global_variance_ = 0.0;  // Beta posterior variance of f(D)
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_PATTERN_H_

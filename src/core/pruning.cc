@@ -1,0 +1,38 @@
+#include "core/pruning.h"
+
+#include <cmath>
+
+namespace divexp {
+
+std::vector<size_t> RedundancyPrune(const PatternTable& table,
+                                    double epsilon) {
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    if (row.items.empty()) continue;
+    bool redundant = false;
+    for (uint32_t alpha : row.items) {
+      const Itemset base = Without(row.items, alpha);
+      const Result<double> base_div = table.Divergence(base);
+      DIVEXP_CHECK(base_div.ok());
+      if (std::fabs(row.divergence - *base_div) <= epsilon) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(i);
+  }
+  return kept;
+}
+
+std::vector<size_t> PrunedCountsByEpsilon(
+    const PatternTable& table, const std::vector<double>& epsilons) {
+  std::vector<size_t> counts;
+  counts.reserve(epsilons.size());
+  for (double eps : epsilons) {
+    counts.push_back(RedundancyPrune(table, eps).size());
+  }
+  return counts;
+}
+
+}  // namespace divexp

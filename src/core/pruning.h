@@ -1,0 +1,26 @@
+// ε-redundancy pruning (paper §3.5): drop a pattern I if some item
+// α ∈ I changes the divergence by at most ε relative to I \ {α} — the
+// shorter pattern already tells the story.
+#ifndef DIVEXP_CORE_PRUNING_H_
+#define DIVEXP_CORE_PRUNING_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace divexp {
+
+/// Indices of table rows that survive ε-redundancy pruning (the empty
+/// itemset is always dropped; single items survive iff |Δ({α})| > ε,
+/// treating the empty itemset with Δ = 0 as their subset).
+std::vector<size_t> RedundancyPrune(const PatternTable& table,
+                                    double epsilon);
+
+/// Number of surviving patterns for each ε in `epsilons` — the series
+/// plotted in paper Fig. 10.
+std::vector<size_t> PrunedCountsByEpsilon(
+    const PatternTable& table, const std::vector<double>& epsilons);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_PRUNING_H_

@@ -1,0 +1,43 @@
+// Text rendering of analysis results: the tables and "figures" the
+// benchmark harness prints for each paper artifact.
+#ifndef DIVEXP_CORE_REPORT_H_
+#define DIVEXP_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/corrective.h"
+#include "core/global_divergence.h"
+#include "core/pattern.h"
+#include "core/shapley.h"
+
+namespace divexp {
+
+/// Renders rows of the pattern table as "Itemset | Sup | Δ | t" (the
+/// layout of paper Tables 2, 5, 6).
+std::string FormatPatternRows(const PatternTable& table,
+                              const std::vector<size_t>& indices,
+                              const std::string& delta_label);
+
+/// Renders Shapley item contributions as a horizontal ASCII bar chart
+/// (the layout of paper Figures 2, 3, 8).
+std::string FormatContributions(
+    const PatternTable& table,
+    const std::vector<ItemContribution>& contributions);
+
+/// Renders corrective items as "I | corr. item | Δ(I) | Δ(I∪α) | c_f | t"
+/// (paper Table 3).
+std::string FormatCorrectiveItems(const PatternTable& table,
+                                  const std::vector<CorrectiveItem>& items,
+                                  size_t top_k);
+
+/// Renders global vs individual item divergence side by side, sorted by
+/// global value (paper Figures 4, 5, 9). Shows the `top_k` items by
+/// positive global contribution when top_k > 0.
+std::string FormatGlobalDivergence(
+    const PatternTable& table,
+    const std::vector<GlobalItemDivergence>& items, size_t top_k = 0);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_REPORT_H_

@@ -1,0 +1,62 @@
+#include "core/shapley.h"
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+// n! as double; exact for n <= 22, ample for |I| <= #attributes.
+double Factorial(size_t n) {
+  double f = 1.0;
+  for (size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+}  // namespace
+
+Result<std::vector<ItemContribution>> ShapleyContributions(
+    const PatternTable& table, const Itemset& items) {
+  if (!table.Contains(items)) {
+    return Status::NotFound("itemset not in pattern table: " +
+                            ItemsetDebugString(items));
+  }
+  const size_t n = items.size();
+  const double n_fact = Factorial(n);
+
+  std::vector<ItemContribution> out;
+  out.reserve(n);
+  Status failure = Status::OK();
+  for (uint32_t alpha : items) {
+    const Itemset rest = Without(items, alpha);
+    double value = 0.0;
+    ForEachSubset(rest, [&](const Itemset& j) {
+      if (!failure.ok()) return;
+      const Result<double> with = table.Divergence(With(j, alpha));
+      const Result<double> without = table.Divergence(j);
+      if (!with.ok()) {
+        failure = with.status();
+        return;
+      }
+      if (!without.ok()) {
+        failure = without.status();
+        return;
+      }
+      const double weight = Factorial(j.size()) *
+                            Factorial(n - j.size() - 1) / n_fact;
+      value += weight * (*with - *without);
+    });
+    if (!failure.ok()) return failure;
+    out.push_back(ItemContribution{alpha, value});
+  }
+  return out;
+}
+
+Result<double> MarginalContribution(const PatternTable& table,
+                                    const Itemset& items, uint32_t alpha) {
+  DIVEXP_ASSIGN_OR_RETURN(double full, table.Divergence(items));
+  DIVEXP_ASSIGN_OR_RETURN(double without,
+                          table.Divergence(Without(items, alpha)));
+  return full - without;
+}
+
+}  // namespace divexp

@@ -1,0 +1,37 @@
+// Local item contributions to itemset divergence via the Shapley value
+// (paper Def. 4.1): the itemset's items are the "players", its
+// divergence the value of the grand coalition.
+#ifndef DIVEXP_CORE_SHAPLEY_H_
+#define DIVEXP_CORE_SHAPLEY_H_
+
+#include <vector>
+
+#include "core/pattern.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// One item's Shapley contribution to an itemset's divergence.
+struct ItemContribution {
+  uint32_t item = 0;
+  double contribution = 0.0;
+};
+
+/// Shapley contribution Δ(α | I) of each α ∈ I (paper Eq. 5).
+///
+/// Every subset of a frequent itemset is frequent, so all lookups hit
+/// the table; fails with NotFound if `items` itself is not frequent.
+/// Contributions sum to Δ(I) (the Shapley efficiency axiom) — this is
+/// asserted in tests, not here.
+Result<std::vector<ItemContribution>> ShapleyContributions(
+    const PatternTable& table, const Itemset& items);
+
+/// Marginal contribution of `alpha` on top of I\{alpha}:
+/// Δ(I) − Δ(I \ {alpha}). This is the quantity the ε-redundancy pruning
+/// of §3.5 thresholds.
+Result<double> MarginalContribution(const PatternTable& table,
+                                    const Itemset& items, uint32_t alpha);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_SHAPLEY_H_

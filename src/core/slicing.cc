@@ -1,0 +1,94 @@
+#include "core/slicing.h"
+
+#include <unordered_set>
+
+#include "stats/beta.h"
+#include "stats/welch.h"
+
+namespace divexp {
+namespace {
+
+OutcomeCounts Tally(const std::vector<Outcome>& outcomes,
+                    const std::vector<size_t>& rows) {
+  OutcomeCounts c;
+  for (size_t r : rows) {
+    switch (outcomes[r]) {
+      case Outcome::kTrue:
+        ++c.t;
+        break;
+      case Outcome::kFalse:
+        ++c.f;
+        break;
+      case Outcome::kBottom:
+        ++c.bot;
+        break;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<std::vector<SliceReport>> EvaluateSlices(
+    const EncodedDataset& dataset, const std::vector<int>& predictions,
+    const std::vector<int>& truths, Metric metric,
+    const std::vector<SliceSpec>& specs) {
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<Outcome> outcomes,
+                          ComputeOutcomes(metric, predictions, truths));
+  if (outcomes.size() != dataset.num_rows) {
+    return Status::InvalidArgument("label vectors must match dataset rows");
+  }
+
+  OutcomeCounts global;
+  for (Outcome o : outcomes) {
+    switch (o) {
+      case Outcome::kTrue:
+        ++global.t;
+        break;
+      case Outcome::kFalse:
+        ++global.f;
+        break;
+      case Outcome::kBottom:
+        ++global.bot;
+        break;
+    }
+  }
+  const double global_rate = global.PositiveRate();
+  const BetaPosterior global_post =
+      BetaPosteriorFromCounts(global.t, global.f);
+
+  std::vector<SliceReport> out;
+  out.reserve(specs.size());
+  for (const SliceSpec& spec : specs) {
+    std::vector<uint32_t> ids;
+    std::unordered_set<uint32_t> attrs;
+    for (const auto& [attr, value] : spec) {
+      DIVEXP_ASSIGN_OR_RETURN(uint32_t id,
+                              dataset.catalog.FindItem(attr, value));
+      if (!attrs.insert(dataset.catalog.item(id).attribute).second) {
+        return Status::InvalidArgument(
+            "attribute '" + attr + "' appears twice in one slice");
+      }
+      ids.push_back(id);
+    }
+    SliceReport report;
+    report.items = MakeItemset(std::move(ids));
+    report.counts = Tally(outcomes, dataset.Cover(report.items));
+    report.support =
+        dataset.num_rows == 0
+            ? 0.0
+            : static_cast<double>(report.counts.total()) /
+                  static_cast<double>(dataset.num_rows);
+    report.rate = report.counts.PositiveRate();
+    report.divergence = report.rate - global_rate;
+    const BetaPosterior post =
+        BetaPosteriorFromCounts(report.counts.t, report.counts.f);
+    report.t = WelchTFromPosteriors(post.mean, post.variance,
+                                    global_post.mean,
+                                    global_post.variance);
+    out.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,42 @@
+// Manual slice evaluation — the TFMA / MLCube workflow the paper
+// contrasts with in §2: the *user* names the subgroups, and the tool
+// evaluates the metric on each. Complements the automatic exploration:
+// useful for checking known-sensitive subgroups (even below the mining
+// support threshold) without building a full pattern table.
+#ifndef DIVEXP_CORE_SLICING_H_
+#define DIVEXP_CORE_SLICING_H_
+
+#include <string>
+#include <vector>
+
+#include "core/outcome.h"
+#include "data/encoder.h"
+#include "fpm/itemset.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// A user-named slice description: attribute=value pairs.
+using SliceSpec = std::vector<std::pair<std::string, std::string>>;
+
+/// Evaluation of one user-specified slice.
+struct SliceReport {
+  Itemset items;
+  OutcomeCounts counts;
+  double support = 0.0;
+  double rate = 0.0;
+  double divergence = 0.0;  ///< vs the whole dataset, like Eq. 1
+  double t = 0.0;           ///< Bayesian Welch t (paper §3.3)
+};
+
+/// Evaluates `metric` on each named slice by direct scan (no mining, no
+/// support threshold). Fails if a spec names an unknown attribute or
+/// value, or if the same attribute appears twice in one spec.
+Result<std::vector<SliceReport>> EvaluateSlices(
+    const EncodedDataset& dataset, const std::vector<int>& predictions,
+    const std::vector<int>& truths, Metric metric,
+    const std::vector<SliceSpec>& specs);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_SLICING_H_

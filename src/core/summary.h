@@ -1,0 +1,41 @@
+// One-call audit report: composes the library's analyses (overall
+// metrics, top divergent patterns per metric, Shapley drill-down,
+// global item divergence, corrective items, pruned summary) into a
+// single markdown document — the artifact a model auditor would file.
+#ifndef DIVEXP_CORE_SUMMARY_H_
+#define DIVEXP_CORE_SUMMARY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "data/encoder.h"
+#include "util/status.h"
+
+namespace divexp {
+
+struct AuditReportOptions {
+  /// Exploration parameters (support, miner, threads).
+  ExplorerOptions explorer;
+  /// Metrics to report on, in order.
+  std::vector<Metric> metrics = {Metric::kFalsePositiveRate,
+                                 Metric::kFalseNegativeRate,
+                                 Metric::kErrorRate};
+  /// Patterns per metric section.
+  size_t top_k = 5;
+  /// Redundancy-pruning threshold for the summary section.
+  double epsilon = 0.05;
+  /// Corrective pairs to list per metric.
+  size_t corrective_k = 3;
+  /// Title line of the report.
+  std::string title = "Model divergence audit";
+};
+
+/// Runs the full analysis and renders a markdown report.
+Result<std::string> GenerateAuditReport(
+    const EncodedDataset& dataset, const std::vector<int>& predictions,
+    const std::vector<int>& truths, const AuditReportOptions& options = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_SUMMARY_H_

@@ -1,0 +1,40 @@
+// Pattern-table serialization: export the complete exploration result
+// to CSV (for notebooks / spreadsheets) and load it back into a
+// PatternTable without re-mining.
+#ifndef DIVEXP_CORE_TABLE_IO_H_
+#define DIVEXP_CORE_TABLE_IO_H_
+
+#include <string>
+
+#include "core/pattern.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// Serializes a pattern table to CSV text. Columns: itemset (items
+/// joined with " AND "), length, support, t_count, f_count, bot_count,
+/// rate, divergence, t_stat. The empty itemset row (the dataset
+/// baseline) is included with itemset "".
+std::string WritePatternTableCsv(const PatternTable& table);
+
+/// Writes the CSV to a file.
+Status WritePatternTableFile(const PatternTable& table,
+                             const std::string& path);
+
+/// Reconstructs a PatternTable from CSV text produced by
+/// WritePatternTableCsv. The item catalog is rebuilt from the itemset
+/// strings (attribute order = first appearance), so round-tripped
+/// tables support the full analysis API (Shapley, pruning, lattices,
+/// corrective items); global divergence additionally needs the true
+/// domain sizes, which are recovered only for attribute values that
+/// appear in some frequent itemset.
+Result<PatternTable> ReadPatternTableCsv(const std::string& text,
+                                         size_t num_dataset_rows);
+
+/// Reads the CSV from a file.
+Result<PatternTable> ReadPatternTableFile(const std::string& path,
+                                          size_t num_dataset_rows);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_TABLE_IO_H_

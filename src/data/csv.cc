@@ -1,0 +1,209 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace divexp {
+namespace {
+
+// Splits one CSV record honoring double-quote escaping. `pos` is
+// advanced past the record's trailing newline.
+std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
+                                     char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+    } else if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      ++i;
+      break;
+    } else if (ch == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += ch;
+    }
+  }
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s, char delim) {
+  if (!NeedsQuoting(s, delim)) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<DataFrame> ReadCsvString(const std::string& text,
+                                const CsvOptions& options) {
+  size_t pos = 0;
+  if (text.empty()) return Status::InvalidArgument("empty CSV input");
+  const std::vector<std::string> header =
+      ParseRecord(text, &pos, options.delimiter);
+  const size_t ncols = header.size();
+
+  std::vector<std::vector<std::string>> raw(ncols);
+  while (pos < text.size()) {
+    // Skip blank lines (e.g. trailing newline).
+    if (text[pos] == '\n') {
+      ++pos;
+      continue;
+    }
+    std::vector<std::string> rec = ParseRecord(text, &pos, options.delimiter);
+    if (rec.size() == 1 && Trim(rec[0]).empty()) continue;
+    if (rec.size() != ncols) {
+      return Status::InvalidArgument(
+          "CSV record has " + std::to_string(rec.size()) +
+          " fields, expected " + std::to_string(ncols));
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      std::string v = Trim(rec[c]);
+      for (const std::string& na : options.na_values) {
+        if (v == na) {
+          v.clear();
+          break;
+        }
+      }
+      raw[c].push_back(std::move(v));
+    }
+  }
+
+  DataFrame df;
+  for (size_t c = 0; c < ncols; ++c) {
+    const std::string name = Trim(header[c]);
+    bool all_int = true;
+    bool all_double = true;
+    for (const std::string& v : raw[c]) {
+      if (v.empty()) continue;
+      int64_t iv;
+      double dv;
+      if (!ParseInt(v, &iv)) all_int = false;
+      if (!ParseDouble(v, &dv)) {
+        all_double = false;
+        break;
+      }
+    }
+    const bool has_missing =
+        std::any_of(raw[c].begin(), raw[c].end(),
+                    [](const std::string& v) { return v.empty(); });
+    if (all_int && !has_missing) {
+      std::vector<int64_t> vals;
+      vals.reserve(raw[c].size());
+      for (const std::string& v : raw[c]) {
+        int64_t iv = 0;
+        ParseInt(v, &iv);
+        vals.push_back(iv);
+      }
+      DIVEXP_RETURN_NOT_OK(df.AddColumn(Column::MakeInt(name, vals)));
+    } else if (all_double) {
+      std::vector<double> vals;
+      vals.reserve(raw[c].size());
+      for (const std::string& v : raw[c]) {
+        double dv = std::nan("");
+        if (!v.empty()) ParseDouble(v, &dv);
+        vals.push_back(dv);
+      }
+      DIVEXP_RETURN_NOT_OK(df.AddColumn(Column::MakeDouble(name, vals)));
+    } else if (options.strings_as_categorical) {
+      DIVEXP_RETURN_NOT_OK(
+          df.AddColumn(Column::CategoricalFromStrings(name, raw[c])));
+    } else {
+      DIVEXP_RETURN_NOT_OK(df.AddColumn(Column::MakeString(name, raw[c])));
+    }
+  }
+  return df;
+}
+
+Result<DataFrame> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+std::string WriteCsvString(const DataFrame& df, const CsvOptions& options) {
+  std::ostringstream os;
+  for (size_t c = 0; c < df.num_columns(); ++c) {
+    if (c) os << options.delimiter;
+    os << QuoteField(df.GetAt(c).name(), options.delimiter);
+  }
+  os << "\n";
+  for (size_t r = 0; r < df.num_rows(); ++r) {
+    for (size_t c = 0; c < df.num_columns(); ++c) {
+      if (c) os << options.delimiter;
+      os << QuoteField(df.GetAt(c).ValueString(r), options.delimiter);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const DataFrame& df, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for write");
+  out << WriteCsvString(df, options);
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace divexp

@@ -1,0 +1,43 @@
+// Minimal RFC-4180-ish CSV reader/writer with type inference, used to
+// persist and reload synthetic datasets.
+#ifndef DIVEXP_DATA_CSV_H_
+#define DIVEXP_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataframe.h"
+#include "util/status.h"
+
+namespace divexp {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Field values treated as missing (besides the empty string).
+  std::vector<std::string> na_values = {"?", "NA", "nan"};
+  /// If true, non-numeric columns become dictionary-encoded categorical
+  /// columns instead of raw string columns.
+  bool strings_as_categorical = true;
+};
+
+/// Parses CSV text (with a header row) into a DataFrame. Column types
+/// are inferred per column: int64 if all values parse as integers,
+/// double if all parse as numbers, string/categorical otherwise.
+Result<DataFrame> ReadCsvString(const std::string& text,
+                                const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<DataFrame> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options = {});
+
+/// Serializes a DataFrame to CSV text (header included; values quoted
+/// when they contain the delimiter, quotes or newlines).
+std::string WriteCsvString(const DataFrame& df,
+                           const CsvOptions& options = {});
+
+/// Writes a DataFrame to a CSV file.
+Status WriteCsvFile(const DataFrame& df, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_DATA_CSV_H_

@@ -1,0 +1,157 @@
+#include "data/dataframe.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace divexp {
+
+Status DataFrame::AddColumn(Column column) {
+  if (column.name().empty()) {
+    return Status::InvalidArgument("column must have a name");
+  }
+  if (index_.count(column.name()) > 0) {
+    return Status::AlreadyExists("column '" + column.name() +
+                                 "' already exists");
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column '" + column.name() + "' has " +
+        std::to_string(column.size()) + " rows, expected " +
+        std::to_string(num_rows()));
+  }
+  index_.emplace(column.name(), columns_.size());
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status DataFrame::ReplaceColumn(Column column) {
+  auto it = index_.find(column.name());
+  if (it == index_.end()) {
+    return Status::NotFound("column '" + column.name() + "' not found");
+  }
+  if (column.size() != num_rows()) {
+    return Status::InvalidArgument("replacement column length mismatch");
+  }
+  columns_[it->second] = std::move(column);
+  return Status::OK();
+}
+
+Status DataFrame::DropColumn(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("column '" + name + "' not found");
+  }
+  const size_t pos = it->second;
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(pos));
+  index_.clear();
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    index_.emplace(columns_[i].name(), i);
+  }
+  return Status::OK();
+}
+
+bool DataFrame::HasColumn(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+const Column& DataFrame::Get(const std::string& name) const {
+  auto it = index_.find(name);
+  DIVEXP_CHECK(it != index_.end());
+  return columns_[it->second];
+}
+
+const Column& DataFrame::GetAt(size_t i) const {
+  DIVEXP_CHECK(i < columns_.size());
+  return columns_[i];
+}
+
+Result<const Column*> DataFrame::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("column '" + name + "' not found");
+  }
+  return &columns_[it->second];
+}
+
+std::vector<std::string> DataFrame::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& names) const {
+  DataFrame out;
+  for (const std::string& name : names) {
+    DIVEXP_ASSIGN_OR_RETURN(const Column* col, Find(name));
+    DIVEXP_RETURN_NOT_OK(out.AddColumn(*col));
+  }
+  return out;
+}
+
+DataFrame DataFrame::Take(const std::vector<size_t>& indices) const {
+  DataFrame out;
+  for (const Column& c : columns_) {
+    DIVEXP_CHECK_OK(out.AddColumn(c.Take(indices)));
+  }
+  return out;
+}
+
+DataFrame DataFrame::Filter(const std::vector<bool>& mask) const {
+  DIVEXP_CHECK(mask.size() == num_rows());
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) indices.push_back(i);
+  }
+  return Take(indices);
+}
+
+std::vector<size_t> DataFrame::CompleteRows() const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < num_rows(); ++i) {
+    bool complete = true;
+    for (const Column& c : columns_) {
+      if (c.IsMissing(i)) {
+        complete = false;
+        break;
+      }
+    }
+    if (complete) indices.push_back(i);
+  }
+  return indices;
+}
+
+DataFrame DataFrame::DropMissing() const { return Take(CompleteRows()); }
+
+std::string DataFrame::Head(size_t n) const {
+  const size_t rows = std::min(n, num_rows());
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].name().size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      cells[r][c] = columns_[c].ValueString(r);
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? " | " : "") << Pad(columns_[c].name(), widths[c]);
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      os << (c ? " | " : "") << Pad(cells[r][c], widths[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace divexp

@@ -1,0 +1,72 @@
+// In-memory columnar table, the data substrate for DivExplorer.
+#ifndef DIVEXP_DATA_DATAFRAME_H_
+#define DIVEXP_DATA_DATAFRAME_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/column.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// A named collection of equal-length columns.
+///
+/// DataFrame owns its columns; all mutation goes through AddColumn /
+/// ReplaceColumn so the name index stays consistent.
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Appends a column. Fails if the name already exists or the length
+  /// differs from existing columns.
+  Status AddColumn(Column column);
+
+  /// Replaces the column with the same name (must exist, same length).
+  Status ReplaceColumn(Column column);
+
+  /// Removes the named column if present.
+  Status DropColumn(const std::string& name);
+
+  size_t num_rows() const { return columns_.empty() ? 0 : columns_[0].size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Borrowed reference; DIVEXP_CHECK if absent. Use Find for a
+  /// recoverable lookup.
+  const Column& Get(const std::string& name) const;
+  const Column& GetAt(size_t i) const;
+
+  Result<const Column*> Find(const std::string& name) const;
+
+  std::vector<std::string> ColumnNames() const;
+
+  /// New DataFrame with only the named columns, in the given order.
+  Result<DataFrame> Select(const std::vector<std::string>& names) const;
+
+  /// New DataFrame containing rows at `indices` (in order, with repeats
+  /// allowed).
+  DataFrame Take(const std::vector<size_t>& indices) const;
+
+  /// New DataFrame with rows where `mask[i]` is true.
+  DataFrame Filter(const std::vector<bool>& mask) const;
+
+  /// Indices of rows with no missing value in any column.
+  std::vector<size_t> CompleteRows() const;
+
+  /// New DataFrame with rows containing missing values removed.
+  DataFrame DropMissing() const;
+
+  /// Renders the first `n` rows as an aligned ASCII table.
+  std::string Head(size_t n = 10) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_DATA_DATAFRAME_H_

@@ -1,0 +1,113 @@
+#include "data/encoder.h"
+
+namespace divexp {
+
+uint32_t ItemCatalog::AddAttribute(std::string name,
+                                   const std::vector<std::string>& values) {
+  DIVEXP_CHECK(!values.empty());
+  const uint32_t attr = static_cast<uint32_t>(attribute_names_.size());
+  attribute_names_.push_back(std::move(name));
+  attr_first_item_.push_back(num_items());
+  attr_domain_size_.push_back(static_cast<uint32_t>(values.size()));
+  for (const std::string& v : values) {
+    items_.push_back(ItemInfo{attr, v});
+  }
+  return attr;
+}
+
+const std::string& ItemCatalog::attribute_name(uint32_t attr) const {
+  DIVEXP_CHECK(attr < attribute_names_.size());
+  return attribute_names_[attr];
+}
+
+const ItemInfo& ItemCatalog::item(uint32_t id) const {
+  DIVEXP_CHECK(id < items_.size());
+  return items_[id];
+}
+
+uint32_t ItemCatalog::domain_size(uint32_t attr) const {
+  DIVEXP_CHECK(attr < attr_domain_size_.size());
+  return attr_domain_size_[attr];
+}
+
+uint32_t ItemCatalog::first_item(uint32_t attr) const {
+  DIVEXP_CHECK(attr < attr_first_item_.size());
+  return attr_first_item_[attr];
+}
+
+std::string ItemCatalog::ItemName(uint32_t id) const {
+  const ItemInfo& info = item(id);
+  return attribute_name(info.attribute) + "=" + info.value;
+}
+
+Result<uint32_t> ItemCatalog::FindItem(const std::string& attribute,
+                                       const std::string& value) const {
+  DIVEXP_ASSIGN_OR_RETURN(uint32_t attr, FindAttribute(attribute));
+  const uint32_t first = attr_first_item_[attr];
+  for (uint32_t i = 0; i < attr_domain_size_[attr]; ++i) {
+    if (items_[first + i].value == value) return first + i;
+  }
+  return Status::NotFound("no item " + attribute + "=" + value);
+}
+
+Result<uint32_t> ItemCatalog::FindAttribute(const std::string& name) const {
+  for (uint32_t a = 0; a < attribute_names_.size(); ++a) {
+    if (attribute_names_[a] == name) return a;
+  }
+  return Status::NotFound("no attribute '" + name + "'");
+}
+
+std::vector<size_t> EncodedDataset::Cover(
+    const std::vector<uint32_t>& items) const {
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < num_rows; ++r) {
+    bool match = true;
+    for (uint32_t id : items) {
+      const uint32_t attr = catalog.item(id).attribute;
+      if (at(r, attr) != id) {
+        match = false;
+        break;
+      }
+    }
+    if (match) rows.push_back(r);
+  }
+  return rows;
+}
+
+Result<EncodedDataset> EncodeDataFrame(const DataFrame& df) {
+  if (df.num_columns() == 0) {
+    return Status::InvalidArgument("cannot encode an empty DataFrame");
+  }
+  EncodedDataset out;
+  out.num_rows = df.num_rows();
+  out.num_attributes = df.num_columns();
+  std::vector<uint32_t> first_ids(df.num_columns());
+  for (size_t c = 0; c < df.num_columns(); ++c) {
+    const Column& col = df.GetAt(c);
+    if (!col.is_categorical()) {
+      return Status::InvalidArgument(
+          "column '" + col.name() +
+          "' is not categorical; discretize before encoding");
+    }
+    const uint32_t attr = out.catalog.AddAttribute(col.name(),
+                                                   col.categories());
+    first_ids[c] = out.catalog.first_item(attr);
+  }
+  out.cells.resize(out.num_rows * out.num_attributes);
+  for (size_t c = 0; c < df.num_columns(); ++c) {
+    const Column& col = df.GetAt(c);
+    const std::vector<int32_t>& codes = col.codes();
+    for (size_t r = 0; r < out.num_rows; ++r) {
+      if (codes[r] < 0) {
+        return Status::InvalidArgument(
+            "missing value in column '" + col.name() + "' row " +
+            std::to_string(r) + "; call DropMissing() before encoding");
+      }
+      out.cells[r * out.num_attributes + c] =
+          first_ids[c] + static_cast<uint32_t>(codes[r]);
+    }
+  }
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,93 @@
+// Item encoding: maps (attribute, value) pairs to dense item ids and a
+// DataFrame to the row-major item matrix consumed by the miners.
+//
+// Items are the atoms of DivExplorer patterns (paper §3.1): an item is
+// an attribute equality a=c, and every instance is covered by exactly
+// one item per attribute.
+#ifndef DIVEXP_DATA_ENCODER_H_
+#define DIVEXP_DATA_ENCODER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataframe.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// Metadata for a single item (attribute=value).
+struct ItemInfo {
+  uint32_t attribute = 0;  ///< attribute index in the catalog
+  std::string value;       ///< value label, e.g. "Male" or ">3"
+};
+
+/// The dictionary of items for an encoded dataset.
+///
+/// Item ids are dense and grouped by attribute: attribute a's items form
+/// a contiguous id range. This makes "all items of attribute a" loops
+/// trivial for the global-divergence weights (which need the domain
+/// sizes m_a of Eq. 6).
+class ItemCatalog {
+ public:
+  ItemCatalog() = default;
+
+  /// Registers a new attribute and its value labels; returns the
+  /// attribute index. Ids for its items are appended in label order.
+  uint32_t AddAttribute(std::string name,
+                        const std::vector<std::string>& values);
+
+  size_t num_attributes() const { return attribute_names_.size(); }
+  uint32_t num_items() const { return static_cast<uint32_t>(items_.size()); }
+
+  const std::string& attribute_name(uint32_t attr) const;
+  const ItemInfo& item(uint32_t id) const;
+
+  /// Domain size m_a of an attribute.
+  uint32_t domain_size(uint32_t attr) const;
+
+  /// First item id of an attribute (ids are contiguous per attribute).
+  uint32_t first_item(uint32_t attr) const;
+
+  /// "attribute=value" rendering of an item.
+  std::string ItemName(uint32_t id) const;
+
+  /// Item id for (attribute name, value label).
+  Result<uint32_t> FindItem(const std::string& attribute,
+                            const std::string& value) const;
+
+  /// Attribute index by name.
+  Result<uint32_t> FindAttribute(const std::string& name) const;
+
+ private:
+  std::vector<std::string> attribute_names_;
+  std::vector<ItemInfo> items_;
+  std::vector<uint32_t> attr_first_item_;
+  std::vector<uint32_t> attr_domain_size_;
+};
+
+/// A dataset in item-id form: one item per (row, attribute).
+struct EncodedDataset {
+  size_t num_rows = 0;
+  size_t num_attributes = 0;
+  /// Row-major item ids, size num_rows * num_attributes.
+  std::vector<uint32_t> cells;
+  ItemCatalog catalog;
+
+  uint32_t at(size_t row, size_t attr) const {
+    return cells[row * num_attributes + attr];
+  }
+
+  /// Rows covered by the conjunction of `items` (ids). Items must refer
+  /// to distinct attributes for the result to be non-trivial.
+  std::vector<size_t> Cover(const std::vector<uint32_t>& items) const;
+};
+
+/// Encodes a DataFrame whose columns are all categorical (discretize
+/// first). Fails on missing values: call DataFrame::DropMissing()
+/// beforehand, mirroring the paper's preprocessing.
+Result<EncodedDataset> EncodeDataFrame(const DataFrame& df);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_DATA_ENCODER_H_

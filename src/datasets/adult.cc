@@ -1,0 +1,163 @@
+#include <cmath>
+
+#include "data/discretize.h"
+#include "datasets/common.h"
+#include "datasets/datasets.h"
+
+namespace divexp {
+
+using internal::Clip;
+using internal::Pick;
+
+// Synthetic adult/census income data. Income depends strongly on being
+// married, professional/executive occupation, education, age, hours and
+// capital gain — so a classifier trained on it over-predicts high
+// income for married professionals (FPR divergence, paper Table 5) and
+// under-predicts it for the young and unmarried (FNR divergence).
+Result<BenchmarkDataset> MakeAdult(const SizeOptions& options) {
+  const size_t n = options.num_rows == 0 ? 45222 : options.num_rows;
+  Rng rng(options.seed);
+
+  const std::vector<std::string> kWorkclass = {"Private", "Self-emp",
+                                               "Gov", "Other"};
+  const std::vector<std::string> kEducation = {
+      "HS", "Some-college", "Bachelors", "Masters", "Doctorate", "Other"};
+  const std::vector<std::string> kMarital = {"Married", "Unmarried",
+                                             "Divorced", "Widowed"};
+  const std::vector<std::string> kOccupation = {"Prof",    "Exec",
+                                                "Sales",   "Clerical",
+                                                "Service", "Manual"};
+  const std::vector<std::string> kRelationship = {
+      "Husband", "Wife", "Own-child", "Not-in-family", "Other"};
+  const std::vector<std::string> kRace = {"White", "Black", "Asian",
+                                          "Other"};
+  const std::vector<std::string> kSex = {"Male", "Female"};
+
+  std::vector<double> age(n), gain(n), loss(n), hours(n);
+  std::vector<int32_t> workclass(n), education(n), marital(n),
+      occupation(n), relationship(n), race(n), sex(n);
+  std::vector<int> truth(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    sex[i] = rng.Bernoulli(0.67) ? 0 : 1;
+    race[i] = static_cast<int32_t>(Pick(&rng, {0.85, 0.10, 0.03, 0.02}));
+    age[i] = Clip(17.0 + 23.0 * (-std::log(1.0 - rng.Uniform())) *
+                             rng.Uniform(0.45, 1.0),
+                  17.0, 90.0);
+    const bool male = sex[i] == 0;
+
+    education[i] = static_cast<int32_t>(
+        Pick(&rng, {0.33, 0.22, 0.16, 0.05, 0.01, 0.23}));
+    const bool high_edu = education[i] >= 2 && education[i] <= 4;
+    const bool advanced = education[i] == 3 || education[i] == 4;
+
+    const double p_married =
+        Clip(0.06 + 0.018 * (age[i] - 17.0) + (male ? 0.08 : -0.04), 0.02,
+             0.80);
+    const double u = rng.Uniform();
+    if (u < p_married) {
+      marital[i] = 0;
+    } else if (u < p_married + (age[i] < 30 ? 0.55 : 0.15)) {
+      marital[i] = 1;  // unmarried
+    } else if (u < p_married + (age[i] < 30 ? 0.55 : 0.15) + 0.12) {
+      marital[i] = 2;  // divorced
+    } else {
+      marital[i] = age[i] > 55 && rng.Bernoulli(0.3) ? 3 : 1;
+    }
+    const bool married = marital[i] == 0;
+
+    if (married) {
+      relationship[i] = male ? 0 : 1;  // Husband / Wife
+    } else if (age[i] < 28 && rng.Bernoulli(0.6)) {
+      relationship[i] = 2;  // Own-child
+    } else {
+      relationship[i] = rng.Bernoulli(0.75) ? 3 : 4;
+    }
+
+    const double prof_bias = high_edu ? 0.38 : 0.06;
+    occupation[i] = static_cast<int32_t>(
+        Pick(&rng, {prof_bias, prof_bias * 0.7, 0.13, 0.14, 0.16, 0.22}));
+    const bool professional = occupation[i] == 0 || occupation[i] == 1;
+
+    workclass[i] =
+        static_cast<int32_t>(Pick(&rng, {0.70, 0.10, 0.15, 0.05}));
+
+    hours[i] = Clip(
+        rng.Normal(40.0 + (professional ? 5.0 : 0.0) +
+                       (workclass[i] == 1 ? 6.0 : 0.0),
+                   10.0),
+        1.0, 99.0);
+
+    // Capital gain / loss: mostly zero, positive spikes for the
+    // already-privileged strata.
+    const double p_gain =
+        Clip(0.04 + (married ? 0.04 : 0.0) + (professional ? 0.04 : 0.0),
+             0.0, 0.5);
+    gain[i] = rng.Bernoulli(p_gain)
+                  ? std::floor(rng.Uniform(1000.0, 25000.0))
+                  : 0.0;
+    loss[i] = rng.Bernoulli(0.047)
+                  ? std::floor(rng.Uniform(500.0, 4000.0))
+                  : 0.0;
+
+    const double z =
+        -3.4 + 0.040 * Clip(age[i] - 17.0, 0.0, 38.0) +
+        1.45 * (married ? 1.0 : 0.0) + 0.95 * (professional ? 1.0 : 0.0) +
+        0.55 * (education[i] == 2 ? 1.0 : 0.0) +
+        1.05 * (advanced ? 1.0 : 0.0) + 0.022 * (hours[i] - 40.0) +
+        1.30 * (gain[i] > 0 ? 1.0 : 0.0) +
+        0.40 * (loss[i] > 0 ? 1.0 : 0.0) + 0.30 * (male ? 1.0 : 0.0) +
+        rng.Normal(0.0, 1.15);
+    truth[i] = z > 0.0 ? 1 : 0;
+  }
+
+  BenchmarkDataset out;
+  out.name = "adult";
+  out.truth = std::move(truth);
+  out.num_continuous = 4;
+  out.num_categorical = 7;
+
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(Column::MakeDouble("age", age)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("workclass", workclass, kWorkclass)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("edu", education, kEducation)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("status", marital, kMarital)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("occup", occupation, kOccupation)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("relation", relationship, kRelationship)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("race", race, kRace)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("sex", sex, kSex)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("gain", gain)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("loss", loss)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("hoursXW", hours)));
+
+  std::vector<DiscretizeSpec> specs(4);
+  specs[0].column = "age";
+  specs[0].strategy = BinStrategy::kCustom;
+  specs[0].edges = {28.0, 40.0};
+  specs[0].labels = {"<=28", "(28-40]", ">40"};
+  specs[1].column = "gain";
+  specs[1].strategy = BinStrategy::kCustom;
+  specs[1].edges = {0.5};
+  specs[1].labels = {"0", ">0"};
+  specs[2].column = "loss";
+  specs[2].strategy = BinStrategy::kCustom;
+  specs[2].edges = {0.5};
+  specs[2].labels = {"0", ">0"};
+  specs[3].column = "hoursXW";
+  specs[3].strategy = BinStrategy::kCustom;
+  specs[3].edges = {40.0};
+  specs[3].labels = {"<=40", ">40"};
+  DIVEXP_ASSIGN_OR_RETURN(out.discretized, Discretize(out.raw, specs));
+  return out;
+}
+
+}  // namespace divexp

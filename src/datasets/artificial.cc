@@ -1,0 +1,68 @@
+#include "data/discretize.h"
+#include "datasets/datasets.h"
+#include "model/featurize.h"
+#include "model/forest.h"
+
+namespace divexp {
+
+// The paper's artificial dataset (§4.4), implemented exactly as
+// specified: 50,000 instances, attributes a..j i.i.d. uniform binary,
+// training label t iff a=b=c. A random forest is trained on the clean
+// labels (it learns the concept essentially perfectly since the input
+// space has only 2^10 cells), then the ground truth for half of the
+// a=b=c instances is flipped without retraining — simulating
+// classification errors concentrated in a=b=c, which only *global*
+// item divergence can attribute to a, b, c (Fig. 4).
+Result<BenchmarkDataset> MakeArtificial(const SizeOptions& options) {
+  const size_t n = options.num_rows == 0 ? 50000 : options.num_rows;
+  Rng rng(options.seed);
+
+  const std::vector<std::string> kAttrs = {"a", "b", "c", "d", "e",
+                                           "f", "g", "h", "i", "j"};
+  const std::vector<std::string> kValues = {"0", "1"};
+
+  std::vector<std::vector<int32_t>> cols(kAttrs.size());
+  for (auto& col : cols) col.resize(n);
+  std::vector<int> clean_label(n);
+  for (size_t r = 0; r < n; ++r) {
+    for (auto& col : cols) col[r] = rng.Bernoulli(0.5) ? 1 : 0;
+    const bool abc_equal =
+        cols[0][r] == cols[1][r] && cols[1][r] == cols[2][r];
+    clean_label[r] = abc_equal ? 1 : 0;
+  }
+
+  BenchmarkDataset out;
+  out.name = "artificial";
+  out.num_continuous = 0;
+  out.num_categorical = kAttrs.size();
+  for (size_t c = 0; c < kAttrs.size(); ++c) {
+    DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+        Column::MakeCategorical(kAttrs[c], cols[c], kValues)));
+  }
+  out.discretized = out.raw;  // already categorical
+
+  // Train the classifier on the *clean* labels.
+  DIVEXP_ASSIGN_OR_RETURN(
+      Matrix x, FeaturizeOrdinal(out.discretized,
+                                 out.discretized.ColumnNames()));
+  ForestOptions fopts;
+  fopts.num_trees = 16;
+  fopts.tree.max_depth = 14;
+  fopts.seed = options.seed + 1;
+  RandomForest forest;
+  DIVEXP_RETURN_NOT_OK(forest.Fit(x, clean_label, fopts));
+  out.predictions = forest.PredictAll(x);
+
+  // Simulate classification errors: flip the ground truth of half of
+  // the a=b=c instances (without retraining the classifier).
+  out.truth = clean_label;
+  Rng flip_rng(options.seed + 2);
+  for (size_t r = 0; r < n; ++r) {
+    if (clean_label[r] == 1 && flip_rng.Bernoulli(0.5)) {
+      out.truth[r] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,42 @@
+#include "datasets/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace divexp {
+namespace internal {
+
+uint64_t SamplePoisson(Rng* rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  // Knuth: multiply uniforms until below e^-lambda.
+  const double limit = std::exp(-lambda);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng->Uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+double Clip(double v, double lo, double hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+size_t Pick(Rng* rng, const std::vector<double>& weights) {
+  return rng->Categorical(weights);
+}
+
+double ThresholdForPositiveFraction(std::vector<double> scores,
+                                    double fraction) {
+  if (scores.empty()) return 0.0;
+  fraction = Clip(fraction, 0.0, 1.0);
+  std::sort(scores.begin(), scores.end());
+  const size_t idx = static_cast<size_t>(
+      Clip((1.0 - fraction) * static_cast<double>(scores.size()), 0.0,
+           static_cast<double>(scores.size() - 1)));
+  return scores[idx];
+}
+
+}  // namespace internal
+}  // namespace divexp

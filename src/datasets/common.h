@@ -1,0 +1,31 @@
+// Internal helpers shared by the synthetic dataset generators.
+#ifndef DIVEXP_DATASETS_COMMON_H_
+#define DIVEXP_DATASETS_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace divexp {
+namespace internal {
+
+/// Poisson sample (Knuth's method; fine for the small rates used here).
+uint64_t SamplePoisson(Rng* rng, double lambda);
+
+/// Clamps v into [lo, hi].
+double Clip(double v, double lo, double hi);
+
+/// Picks a category index from labelled weights.
+size_t Pick(Rng* rng, const std::vector<double>& weights);
+
+/// Threshold such that roughly `fraction` of `scores` exceed it
+/// (computed as the (1 - fraction) quantile).
+double ThresholdForPositiveFraction(std::vector<double> scores,
+                                    double fraction);
+
+}  // namespace internal
+}  // namespace divexp
+
+#endif  // DIVEXP_DATASETS_COMMON_H_

@@ -1,0 +1,61 @@
+#include "datasets/datasets.h"
+
+#include "model/featurize.h"
+#include "model/split.h"
+
+namespace divexp {
+
+Result<BenchmarkDataset> MakeByName(const std::string& name,
+                                    uint64_t seed) {
+  if (name == "compas") {
+    CompasOptions opts;
+    opts.seed = seed;
+    return MakeCompas(opts);
+  }
+  SizeOptions opts;
+  opts.seed = seed;
+  if (name == "adult") return MakeAdult(opts);
+  if (name == "bank") return MakeBank(opts);
+  if (name == "german") return MakeGerman(opts);
+  if (name == "heart") return MakeHeart(opts);
+  if (name == "artificial") return MakeArtificial(opts);
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"adult", "bank", "compas", "german", "heart", "artificial"};
+}
+
+Status EnsurePredictions(BenchmarkDataset* dataset,
+                         const ForestOptions& options) {
+  DIVEXP_CHECK(dataset != nullptr);
+  if (!dataset->predictions.empty()) return Status::OK();
+  if (dataset->truth.size() != dataset->discretized.num_rows()) {
+    return Status::InvalidArgument("truth size != dataset rows");
+  }
+  // Train on the *raw* (pre-discretization) features: the paper
+  // discretizes only after classification (§5), and raw features keep
+  // within-bin prediction heterogeneity.
+  DIVEXP_ASSIGN_OR_RETURN(
+      Matrix x,
+      FeaturizeOrdinal(dataset->raw, dataset->raw.ColumnNames()));
+  // Train on a random half so the predictions carry realistic errors on
+  // the other half; predict for every row (the whole table is analyzed,
+  // matching the Table 4 sizes).
+  Rng rng(options.seed + 1000);
+  TrainTestSplit split =
+      MakeTrainTestSplit(x.rows(), /*test_fraction=*/0.5, &rng);
+  const Matrix train_x = x.TakeRows(split.train);
+  std::vector<int> train_y;
+  train_y.reserve(split.train.size());
+  for (size_t i : split.train) train_y.push_back(dataset->truth[i]);
+
+  RandomForest forest;
+  ForestOptions fopts = options;
+  if (fopts.tree.max_depth > 10) fopts.tree.max_depth = 10;
+  DIVEXP_RETURN_NOT_OK(forest.Fit(train_x, train_y, fopts));
+  dataset->predictions = forest.PredictAll(x);
+  return Status::OK();
+}
+
+}  // namespace divexp

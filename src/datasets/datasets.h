@@ -1,0 +1,97 @@
+// Synthetic stand-ins for the paper's six evaluation datasets
+// (Table 4). The real CSVs (ProPublica COMPAS, UCI adult/bank/german/
+// heart) are not available offline; these generators reproduce the
+// schema, the continuous/categorical attribute split, the dataset sizes
+// and — for COMPAS and adult — the dependence structure behind the
+// paper's qualitative findings. The `artificial` dataset of §4.4 is
+// fully specified in the paper and implemented exactly. See DESIGN.md §4
+// for the substitution rationale.
+#ifndef DIVEXP_DATASETS_DATASETS_H_
+#define DIVEXP_DATASETS_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataframe.h"
+#include "model/forest.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// A generated dataset ready for divergence analysis.
+struct BenchmarkDataset {
+  std::string name;
+  /// Pre-discretization table (mixed numeric/categorical columns).
+  DataFrame raw;
+  /// Paper-style discretized table (categorical columns only).
+  DataFrame discretized;
+  /// Ground truth v (0/1).
+  std::vector<int> truth;
+  /// Classification outcome u (0/1). Already populated for COMPAS (the
+  /// synthetic black-box score) and artificial (the trained tree
+  /// ensemble); empty otherwise until EnsurePredictions is called.
+  std::vector<int> predictions;
+  size_t num_continuous = 0;
+  size_t num_categorical = 0;
+};
+
+struct CompasOptions {
+  size_t num_rows = 6172;
+  uint64_t seed = 42;
+  /// 3 = paper default bins for #prior (0 / [1,3] / >3); 6 = the finer
+  /// discretization of Fig. 1 (0 / 1 / 2 / 3 / [4,7] / >7).
+  int prior_bins = 3;
+};
+
+struct SizeOptions {
+  size_t num_rows = 0;  ///< 0 = paper's Table 4 size
+  uint64_t seed = 42;
+};
+
+/// COMPAS-like recidivism data: 6 attributes (age, #prior continuous;
+/// race, sex, charge, stay categorical), ground truth = 2-year
+/// recidivism, prediction = a synthetic biased risk score calibrated to
+/// the paper's overall FPR≈0.09 / FNR≈0.70 anchors.
+Result<BenchmarkDataset> MakeCompas(const CompasOptions& options = {});
+
+/// Adult/census-like income data: 11 attributes (4 continuous), label
+/// "income > 50K". Predictions left empty (train a model).
+Result<BenchmarkDataset> MakeAdult(const SizeOptions& options = {});
+
+/// Bank-marketing-like data: 15 attributes (6 continuous), label
+/// "subscribed a term deposit".
+Result<BenchmarkDataset> MakeBank(const SizeOptions& options = {});
+
+/// German-credit-like data: 21 attributes (7 continuous), label
+/// "good credit risk".
+Result<BenchmarkDataset> MakeGerman(const SizeOptions& options = {});
+
+/// Heart-disease-like data: 13 attributes (5 continuous), label
+/// "disease present".
+Result<BenchmarkDataset> MakeHeart(const SizeOptions& options = {});
+
+/// The paper's artificial dataset (§4.4), implemented exactly: 50,000
+/// rows, 10 i.i.d. uniform binary attributes a..j, training label
+/// t iff a=b=c; a random forest is trained on the clean labels, then
+/// the ground truth of half of the a=b=c instances is flipped without
+/// retraining, creating false positives concentrated in a=b=c.
+Result<BenchmarkDataset> MakeArtificial(const SizeOptions& options = {});
+
+/// Factory by dataset name ("compas", "adult", "bank", "german",
+/// "heart", "artificial").
+Result<BenchmarkDataset> MakeByName(const std::string& name,
+                                    uint64_t seed = 42);
+
+/// Names of all six datasets, in Table 4 order.
+std::vector<std::string> AllDatasetNames();
+
+/// If `dataset->predictions` is empty, trains a random forest on a
+/// random half of the discretized data (ordinal features) and fills in
+/// predictions for every row — the stand-in for the paper's
+/// "random forest classifier with default parameters".
+Status EnsurePredictions(BenchmarkDataset* dataset,
+                         const ForestOptions& options = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_DATASETS_DATASETS_H_

@@ -1,0 +1,169 @@
+#include <cmath>
+
+#include "data/discretize.h"
+#include "datasets/common.h"
+#include "datasets/datasets.h"
+
+namespace divexp {
+
+using internal::Clip;
+using internal::Pick;
+using internal::SamplePoisson;
+
+// Synthetic German-credit data (21 attributes: 7 continuous, 14
+// categorical; 1000 rows; label = good credit risk). Its many
+// attributes make it the stress case of the runtime experiments
+// (Figs. 6-7): the frequent-itemset count explodes at low support.
+Result<BenchmarkDataset> MakeGerman(const SizeOptions& options) {
+  const size_t n = options.num_rows == 0 ? 1000 : options.num_rows;
+  Rng rng(options.seed);
+
+  const std::vector<std::string> kChecking = {"<0", "0-200", ">200",
+                                              "none"};
+  const std::vector<std::string> kHistory = {"critical", "delayed",
+                                             "existing", "all-paid"};
+  const std::vector<std::string> kPurpose = {"car", "furniture", "radio-tv",
+                                             "education", "business",
+                                             "other"};
+  const std::vector<std::string> kSavings = {"<100", "100-500", "500-1000",
+                                             ">1000", "unknown"};
+  const std::vector<std::string> kEmployment = {"unemployed", "<1y",
+                                                "1-4y", "4-7y", ">7y"};
+  const std::vector<std::string> kSex = {"male", "female"};
+  const std::vector<std::string> kCivil = {"single", "married",
+                                           "divorced"};
+  const std::vector<std::string> kDebtors = {"none", "co-applicant",
+                                             "guarantor"};
+  const std::vector<std::string> kProperty = {"real-estate", "savings",
+                                              "car", "none"};
+  const std::vector<std::string> kOtherInst = {"bank", "stores", "none"};
+  const std::vector<std::string> kHousing = {"rent", "own", "free"};
+  const std::vector<std::string> kJob = {"unskilled", "skilled",
+                                         "management", "unemployed"};
+  const std::vector<std::string> kYesNo = {"no", "yes"};
+
+  std::vector<double> duration(n), amount(n), age(n);
+  std::vector<int64_t> installment(n), residence(n), credits(n),
+      dependents(n);
+  std::vector<int32_t> checking(n), history(n), purpose(n), savings(n),
+      employment(n), sex(n), civil(n), debtors(n), property(n),
+      other_inst(n), housing(n), job(n), telephone(n), foreign(n);
+  std::vector<int> truth(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    checking[i] =
+        static_cast<int32_t>(Pick(&rng, {0.27, 0.27, 0.06, 0.40}));
+    history[i] =
+        static_cast<int32_t>(Pick(&rng, {0.29, 0.09, 0.53, 0.09}));
+    purpose[i] = static_cast<int32_t>(
+        Pick(&rng, {0.33, 0.18, 0.28, 0.06, 0.10, 0.05}));
+    duration[i] = Clip(std::round(rng.Normal(21.0, 12.0)), 4.0, 72.0);
+    amount[i] = Clip(
+        std::round(900.0 + 2600.0 * (-std::log(1.0 - rng.Uniform()))),
+        250.0, 18500.0);
+    savings[i] = static_cast<int32_t>(
+        Pick(&rng, {0.60, 0.10, 0.06, 0.05, 0.19}));
+    employment[i] = static_cast<int32_t>(
+        Pick(&rng, {0.06, 0.17, 0.34, 0.17, 0.26}));
+    installment[i] = rng.Int(1, 4);
+    sex[i] = rng.Bernoulli(0.69) ? 0 : 1;
+    civil[i] = static_cast<int32_t>(Pick(&rng, {0.55, 0.33, 0.12}));
+    debtors[i] = static_cast<int32_t>(Pick(&rng, {0.91, 0.04, 0.05}));
+    residence[i] = rng.Int(1, 4);
+    property[i] =
+        static_cast<int32_t>(Pick(&rng, {0.28, 0.23, 0.33, 0.16}));
+    age[i] = Clip(std::round(19.0 + 35.0 * rng.Uniform() *
+                                        rng.Uniform(0.4, 1.0)),
+                  19.0, 75.0);
+    other_inst[i] = static_cast<int32_t>(Pick(&rng, {0.14, 0.05, 0.81}));
+    housing[i] = static_cast<int32_t>(Pick(&rng, {0.18, 0.71, 0.11}));
+    credits[i] = 1 + static_cast<int64_t>(SamplePoisson(&rng, 0.45));
+    job[i] = static_cast<int32_t>(Pick(&rng, {0.20, 0.63, 0.15, 0.02}));
+    dependents[i] = rng.Bernoulli(0.15) ? 2 : 1;
+    telephone[i] = rng.Bernoulli(0.40) ? 1 : 0;
+    foreign[i] = rng.Bernoulli(0.96) ? 1 : 0;
+
+    // Intercept calibrated to the real dataset's ~70% good-risk rate.
+    const double z =
+        0.55 - 0.030 * (duration[i] - 21.0) - 0.00011 * (amount[i] - 3200.0) +
+        0.75 * (checking[i] == 3 ? 1.0 : 0.0) -
+        0.55 * (checking[i] == 0 ? 1.0 : 0.0) +
+        0.55 * (history[i] == 0 ? 1.0 : 0.0) +
+        0.40 * (savings[i] >= 2 && savings[i] <= 3 ? 1.0 : 0.0) +
+        0.30 * (employment[i] >= 3 ? 1.0 : 0.0) +
+        0.012 * (age[i] - 35.0) + 0.25 * (housing[i] == 1 ? 1.0 : 0.0) -
+        0.20 * static_cast<double>(installment[i] - 2) +
+        rng.Normal(0.0, 1.0);
+    truth[i] = z > 0.0 ? 1 : 0;
+  }
+
+  BenchmarkDataset out;
+  out.name = "german";
+  out.truth = std::move(truth);
+  out.num_continuous = 7;
+  out.num_categorical = 14;
+
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("checking", checking, kChecking)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("duration", duration)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("history", history, kHistory)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("purpose", purpose, kPurpose)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("amount", amount)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("savings", savings, kSavings)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("employment", employment, kEmployment)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeInt("installment", installment)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("sex", sex, kSex)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("civil-status", civil, kCivil)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("debtors", debtors, kDebtors)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeInt("residence", residence)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("property", property, kProperty)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(Column::MakeDouble("age", age)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("other-installment", other_inst,
+                              kOtherInst)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("housing", housing, kHousing)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeInt("credits", credits)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("job", job, kJob)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeInt("dependents", dependents)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("telephone", telephone, kYesNo)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("foreign-worker", foreign, kYesNo)));
+
+  std::vector<DiscretizeSpec> specs;
+  for (const char* name : {"duration", "amount", "age"}) {
+    DiscretizeSpec spec;
+    spec.column = name;
+    spec.strategy = BinStrategy::kQuantile;
+    spec.num_bins = 3;
+    specs.push_back(std::move(spec));
+  }
+  for (const char* name :
+       {"installment", "residence", "credits", "dependents"}) {
+    DiscretizeSpec spec;
+    spec.column = name;
+    spec.strategy = BinStrategy::kQuantile;
+    spec.num_bins = 2;
+    specs.push_back(std::move(spec));
+  }
+  DIVEXP_ASSIGN_OR_RETURN(out.discretized, Discretize(out.raw, specs));
+  return out;
+}
+
+}  // namespace divexp

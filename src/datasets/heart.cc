@@ -1,0 +1,110 @@
+#include <cmath>
+
+#include "data/discretize.h"
+#include "datasets/common.h"
+#include "datasets/datasets.h"
+
+namespace divexp {
+
+using internal::Clip;
+using internal::Pick;
+
+// Synthetic heart-disease data (13 attributes: 5 continuous, 8
+// categorical; 296 rows; label = disease present). The smallest dataset
+// of the suite — exercises the low-row-count regime of Figs. 6-7 where
+// a support of 0.01 is only 3 records.
+Result<BenchmarkDataset> MakeHeart(const SizeOptions& options) {
+  const size_t n = options.num_rows == 0 ? 296 : options.num_rows;
+  Rng rng(options.seed);
+
+  const std::vector<std::string> kSex = {"male", "female"};
+  const std::vector<std::string> kCp = {"typical", "atypical",
+                                        "non-anginal", "asymptomatic"};
+  const std::vector<std::string> kYesNo = {"no", "yes"};
+  const std::vector<std::string> kRestecg = {"normal", "st-t", "lvh"};
+  const std::vector<std::string> kSlope = {"up", "flat", "down"};
+  const std::vector<std::string> kCa = {"0", "1", "2", "3"};
+  const std::vector<std::string> kThal = {"normal", "fixed",
+                                          "reversible"};
+
+  std::vector<double> age(n), trestbps(n), chol(n), thalach(n),
+      oldpeak(n);
+  std::vector<int32_t> sex(n), cp(n), fbs(n), restecg(n), exang(n),
+      slope(n), ca(n), thal(n);
+  std::vector<int> truth(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    age[i] = Clip(std::round(rng.Normal(54.0, 9.0)), 29.0, 77.0);
+    sex[i] = rng.Bernoulli(0.68) ? 0 : 1;
+    cp[i] = static_cast<int32_t>(Pick(&rng, {0.08, 0.17, 0.28, 0.47}));
+    trestbps[i] = Clip(std::round(rng.Normal(131.0, 17.0)), 94.0, 200.0);
+    chol[i] = Clip(std::round(rng.Normal(246.0, 51.0)), 126.0, 564.0);
+    fbs[i] = rng.Bernoulli(0.15) ? 1 : 0;
+    restecg[i] = static_cast<int32_t>(Pick(&rng, {0.50, 0.02, 0.48}));
+    thalach[i] = Clip(
+        std::round(rng.Normal(170.0 - 0.7 * (age[i] - 29.0), 19.0)), 71.0,
+        202.0);
+    exang[i] = rng.Bernoulli(cp[i] == 3 ? 0.55 : 0.15) ? 1 : 0;
+    oldpeak[i] = Clip(std::round(10.0 * std::max(
+                                            0.0, rng.Normal(0.9, 1.1))) /
+                          10.0,
+                      0.0, 6.2);
+    slope[i] = static_cast<int32_t>(Pick(&rng, {0.47, 0.46, 0.07}));
+    ca[i] = static_cast<int32_t>(Pick(&rng, {0.58, 0.22, 0.13, 0.07}));
+    thal[i] = static_cast<int32_t>(Pick(&rng, {0.55, 0.06, 0.39}));
+
+    const double z =
+        -2.4 + 0.030 * (age[i] - 54.0) + 0.9 * (sex[i] == 0 ? 1.0 : 0.0) +
+        1.2 * (cp[i] == 3 ? 1.0 : 0.0) + 0.9 * (exang[i] == 1 ? 1.0 : 0.0) +
+        0.55 * oldpeak[i] + 0.75 * static_cast<double>(ca[i]) +
+        0.9 * (thal[i] == 2 ? 1.0 : 0.0) -
+        0.012 * (thalach[i] - 150.0) + rng.Normal(0.0, 1.0);
+    truth[i] = z > 0.0 ? 1 : 0;
+  }
+
+  BenchmarkDataset out;
+  out.name = "heart";
+  out.truth = std::move(truth);
+  out.num_continuous = 5;
+  out.num_categorical = 8;
+
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(Column::MakeDouble("age", age)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("sex", sex, kSex)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("cp", cp, kCp)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("trestbps", trestbps)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("chol", chol)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("fbs", fbs, kYesNo)));
+  DIVEXP_RETURN_NOT_OK(out.raw.AddColumn(
+      Column::MakeCategorical("restecg", restecg, kRestecg)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("thalach", thalach)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("exang", exang, kYesNo)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeDouble("oldpeak", oldpeak)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("slope", slope, kSlope)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("ca", ca, kCa)));
+  DIVEXP_RETURN_NOT_OK(
+      out.raw.AddColumn(Column::MakeCategorical("thal", thal, kThal)));
+
+  std::vector<DiscretizeSpec> specs;
+  for (const char* name :
+       {"age", "trestbps", "chol", "thalach", "oldpeak"}) {
+    DiscretizeSpec spec;
+    spec.column = name;
+    spec.strategy = BinStrategy::kQuantile;
+    spec.num_bins = 3;
+    specs.push_back(std::move(spec));
+  }
+  DIVEXP_ASSIGN_OR_RETURN(out.discretized, Discretize(out.raw, specs));
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,136 @@
+#include "fpm/apriori.h"
+
+#include <unordered_set>
+
+#include "fpm/bitmap.h"
+#include "util/parallel.h"
+
+namespace divexp {
+namespace {
+
+struct LevelEntry {
+  Itemset items;
+  Bitmap rows;
+};
+
+// All k-subsets of `candidate` (size k+1) must be frequent.
+bool AllSubsetsFrequent(
+    const Itemset& candidate,
+    const std::unordered_set<Itemset, ItemsetHash>& frequent) {
+  Itemset sub(candidate.begin() + 1, candidate.end());
+  // Drop each position in turn; dropping position p means sub holds
+  // all items except candidate[p].
+  for (size_t p = 0; p < candidate.size(); ++p) {
+    if (frequent.find(sub) == frequent.end()) return false;
+    if (p + 1 < candidate.size()) sub[p] = candidate[p];
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<MinedPattern>> AprioriMiner::Mine(
+    const TransactionDatabase& db, const MinerOptions& options) const {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const size_t n = db.num_rows();
+  const uint64_t min_count = MinCount(options.min_support, n);
+
+  std::vector<MinedPattern> out;
+  out.push_back(MinedPattern{Itemset{}, db.totals()});
+  if (n == 0) return out;
+
+  // Single data scan: vertical bitmaps for every item + outcome masks.
+  Bitmap t_mask(n);
+  Bitmap f_mask(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (db.outcome(r) == Outcome::kTrue) t_mask.Set(r);
+    if (db.outcome(r) == Outcome::kFalse) f_mask.Set(r);
+  }
+  std::vector<Bitmap> item_rows(db.num_items(), Bitmap(n));
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t* row = db.row(r);
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      item_rows[row[a]].Set(r);
+    }
+  }
+
+  auto tally = [&](const Bitmap& rows) {
+    OutcomeCounts c;
+    const uint64_t support = rows.Count();
+    c.t = rows.AndCount(t_mask);
+    c.f = rows.AndCount(f_mask);
+    c.bot = support - c.t - c.f;
+    return c;
+  };
+
+  std::vector<LevelEntry> level;
+  for (uint32_t id = 0; id < db.num_items(); ++id) {
+    if (item_rows[id].Count() < min_count) continue;
+    LevelEntry e;
+    e.items = Itemset{id};
+    e.rows = item_rows[id];
+    out.push_back(MinedPattern{e.items, tally(e.rows)});
+    level.push_back(std::move(e));
+  }
+
+  size_t k = 1;
+  while (!level.empty() &&
+         (options.max_length == 0 || k < options.max_length)) {
+    std::unordered_set<Itemset, ItemsetHash> frequent;
+    frequent.reserve(level.size());
+    for (const LevelEntry& e : level) frequent.insert(e.items);
+
+    // Candidate generation is cheap and sequential; entries are in
+    // sorted order, so itemsets sharing a (k-1)-prefix are adjacent.
+    struct Candidate {
+      Itemset items;
+      size_t left = 0;
+      size_t right = 0;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t i = 0; i < level.size(); ++i) {
+      for (size_t j = i + 1; j < level.size(); ++j) {
+        const Itemset& a = level[i].items;
+        const Itemset& b = level[j].items;
+        if (!std::equal(a.begin(), a.end() - 1, b.begin())) break;
+        // Items of one attribute never co-occur in a transaction.
+        if (db.attribute_of(a.back()) == db.attribute_of(b.back())) {
+          continue;
+        }
+        Itemset candidate = a;
+        candidate.push_back(b.back());
+        if (k >= 2 && !AllSubsetsFrequent(candidate, frequent)) continue;
+        candidates.push_back(Candidate{std::move(candidate), i, j});
+      }
+    }
+
+    // Support counting (bitmap AND + popcounts) is the expensive part
+    // and is embarrassingly parallel across candidates.
+    std::vector<LevelEntry> evaluated(candidates.size());
+    std::vector<OutcomeCounts> counts(candidates.size());
+    std::vector<char> survives(candidates.size(), 0);
+    ParallelFor(options.num_threads, candidates.size(), [&](size_t c) {
+      LevelEntry& e = evaluated[c];
+      e.rows.AssignAnd(level[candidates[c].left].rows,
+                       level[candidates[c].right].rows);
+      if (e.rows.Count() < min_count) return;
+      e.items = std::move(candidates[c].items);
+      counts[c] = tally(e.rows);
+      survives[c] = 1;
+    });
+
+    std::vector<LevelEntry> next;
+    for (size_t c = 0; c < evaluated.size(); ++c) {
+      if (!survives[c]) continue;
+      out.push_back(MinedPattern{evaluated[c].items, counts[c]});
+      next.push_back(std::move(evaluated[c]));
+    }
+    level = std::move(next);
+    ++k;
+  }
+  return out;
+}
+
+}  // namespace divexp

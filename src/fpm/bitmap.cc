@@ -1,0 +1,46 @@
+#include "fpm/bitmap.h"
+
+#include <bit>
+
+#include "util/status.h"
+
+namespace divexp {
+
+uint64_t Bitmap::Count() const {
+  uint64_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint64_t>(std::popcount(w));
+  return n;
+}
+
+void Bitmap::AssignAnd(const Bitmap& a, const Bitmap& b) {
+  DIVEXP_CHECK(a.num_bits_ == b.num_bits_);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] = a.words_[i] & b.words_[i];
+  }
+}
+
+uint64_t Bitmap::AndCount(const Bitmap& other) const {
+  DIVEXP_CHECK(num_bits_ == other.num_bits_);
+  uint64_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<uint64_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return n;
+}
+
+std::vector<size_t> Bitmap::ToIndices() const {
+  std::vector<size_t> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(w * 64 + static_cast<size_t>(bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace divexp

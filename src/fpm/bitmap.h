@@ -1,0 +1,46 @@
+// Fixed-size bitmaps over dataset rows, the vertical representation
+// used by the Apriori miner: a candidate's (T, F, ⊥) tallies are
+// AND+popcount operations against the global outcome masks.
+#ifndef DIVEXP_FPM_BITMAP_H_
+#define DIVEXP_FPM_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace divexp {
+
+/// A bitset over `num_bits` row indices backed by 64-bit words.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t num_bits() const { return num_bits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Number of set bits.
+  uint64_t Count() const;
+
+  /// this := a AND b (all three must have equal size).
+  void AssignAnd(const Bitmap& a, const Bitmap& b);
+
+  /// popcount(this AND other) without materializing the result.
+  uint64_t AndCount(const Bitmap& other) const;
+
+  /// Row indices of set bits.
+  std::vector<size_t> ToIndices() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_BITMAP_H_

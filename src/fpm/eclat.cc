@@ -1,0 +1,136 @@
+#include "fpm/eclat.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "util/parallel.h"
+
+namespace divexp {
+namespace {
+
+using TidList = std::vector<uint32_t>;
+
+struct EclatItem {
+  uint32_t item = 0;
+  TidList tids;
+  OutcomeCounts counts;
+};
+
+OutcomeCounts TallyTids(const TransactionDatabase& db,
+                        const TidList& tids) {
+  OutcomeCounts c;
+  for (uint32_t tid : tids) {
+    switch (db.outcome(tid)) {
+      case Outcome::kTrue:
+        ++c.t;
+        break;
+      case Outcome::kFalse:
+        ++c.f;
+        break;
+      case Outcome::kBottom:
+        ++c.bot;
+        break;
+    }
+  }
+  return c;
+}
+
+TidList Intersect(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void Grow(const TransactionDatabase& db, const Itemset& prefix,
+          const std::vector<EclatItem>& siblings, uint64_t min_count,
+          size_t max_length, std::vector<MinedPattern>* out);
+
+// One step of the depth-first extension: sibling i becomes the next
+// prefix item, joined against the siblings after it.
+void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
+             const std::vector<EclatItem>& siblings, size_t i,
+             uint64_t min_count, size_t max_length,
+             std::vector<MinedPattern>* out) {
+  const EclatItem& head = siblings[i];
+  Itemset items = With(prefix, head.item);
+  out->push_back(MinedPattern{items, head.counts});
+  if (max_length != 0 && items.size() >= max_length) return;
+
+  std::vector<EclatItem> next;
+  for (size_t j = i + 1; j < siblings.size(); ++j) {
+    const EclatItem& tail = siblings[j];
+    if (db.attribute_of(head.item) == db.attribute_of(tail.item)) {
+      continue;  // same-attribute items never co-occur
+    }
+    EclatItem child;
+    child.tids = Intersect(head.tids, tail.tids);
+    if (child.tids.size() < min_count) continue;
+    child.item = tail.item;
+    child.counts = TallyTids(db, child.tids);
+    next.push_back(std::move(child));
+  }
+  if (!next.empty()) Grow(db, items, next, min_count, max_length, out);
+}
+
+// Depth-first extension of `prefix` (whose covered rows are implied by
+// the tid-lists in `siblings`).
+void Grow(const TransactionDatabase& db, const Itemset& prefix,
+          const std::vector<EclatItem>& siblings, uint64_t min_count,
+          size_t max_length, std::vector<MinedPattern>* out) {
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    GrowOne(db, prefix, siblings, i, min_count, max_length, out);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<MinedPattern>> EclatMiner::Mine(
+    const TransactionDatabase& db, const MinerOptions& options) const {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const size_t n = db.num_rows();
+  const uint64_t min_count = MinCount(options.min_support, n);
+
+  std::vector<MinedPattern> out;
+  out.push_back(MinedPattern{Itemset{}, db.totals()});
+  if (n == 0) return out;
+
+  // One scan: vertical tid-lists (sorted by construction).
+  std::vector<TidList> tids(db.num_items());
+  for (size_t r = 0; r < n; ++r) {
+    const uint32_t* row = db.row(r);
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      tids[row[a]].push_back(static_cast<uint32_t>(r));
+    }
+  }
+  std::vector<EclatItem> roots;
+  for (uint32_t id = 0; id < db.num_items(); ++id) {
+    if (tids[id].size() < min_count) continue;
+    EclatItem item;
+    item.item = id;
+    item.counts = TallyTids(db, tids[id]);
+    item.tids = std::move(tids[id]);
+    roots.push_back(std::move(item));
+  }
+  if (options.num_threads <= 1) {
+    Grow(db, Itemset{}, roots, min_count, options.max_length, &out);
+    return out;
+  }
+  // Parallel mode: each root item's subtree is independent; concatenate
+  // in root order so output matches the sequential run exactly.
+  std::vector<std::vector<MinedPattern>> partial(roots.size());
+  ParallelFor(options.num_threads, roots.size(), [&](size_t i) {
+    GrowOne(db, Itemset{}, roots, i, min_count, options.max_length,
+            &partial[i]);
+  });
+  for (std::vector<MinedPattern>& chunk : partial) {
+    out.insert(out.end(), std::make_move_iterator(chunk.begin()),
+               std::make_move_iterator(chunk.end()));
+  }
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,253 @@
+#include "fpm/fpgrowth.h"
+
+#include <algorithm>
+#include <deque>
+#include <iterator>
+#include <unordered_map>
+
+#include "util/parallel.h"
+
+namespace divexp {
+namespace {
+
+struct FpNode {
+  uint32_t item = 0;
+  OutcomeCounts counts;
+  FpNode* parent = nullptr;
+  FpNode* next_header = nullptr;  // chain of same-item nodes
+  FpNode* first_child = nullptr;
+  FpNode* next_sibling = nullptr;
+};
+
+struct HeaderEntry {
+  uint32_t item = 0;
+  OutcomeCounts totals;
+  FpNode* head = nullptr;
+};
+
+// An FP-tree plus its header table, owning its nodes.
+class FpTree {
+ public:
+  FpTree() { root_ = NewNode(); }
+
+  /// Prepares the header for the given (already support-filtered) item
+  /// totals. Items are ranked by descending support count, ties broken
+  /// by ascending id, which fixes the insertion order.
+  void SetItems(std::vector<std::pair<uint32_t, OutcomeCounts>> items) {
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second.total() != b.second.total()) {
+                  return a.second.total() > b.second.total();
+                }
+                return a.first < b.first;
+              });
+    headers_.clear();
+    rank_.clear();
+    headers_.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      HeaderEntry h;
+      h.item = items[i].first;
+      h.totals = items[i].second;
+      headers_.push_back(h);
+      rank_.emplace(items[i].first, static_cast<uint32_t>(i));
+    }
+  }
+
+  bool HasItem(uint32_t item) const { return rank_.count(item) > 0; }
+
+  /// Inserts a transaction; `items` may be in any order and may contain
+  /// items absent from the header (they are dropped). Each node along
+  /// the path accumulates `delta`.
+  void Insert(std::vector<uint32_t> items, const OutcomeCounts& delta) {
+    // Keep only ranked items, sorted by rank (descending support).
+    std::vector<std::pair<uint32_t, uint32_t>> ranked;  // (rank, item)
+    ranked.reserve(items.size());
+    for (uint32_t id : items) {
+      auto it = rank_.find(id);
+      if (it != rank_.end()) ranked.emplace_back(it->second, id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    FpNode* node = root_;
+    for (const auto& [rank, id] : ranked) {
+      FpNode* child = node->first_child;
+      while (child != nullptr && child->item != id) {
+        child = child->next_sibling;
+      }
+      if (child == nullptr) {
+        child = NewNode();
+        child->item = id;
+        child->parent = node;
+        child->next_sibling = node->first_child;
+        node->first_child = child;
+        child->next_header = headers_[rank].head;
+        headers_[rank].head = child;
+      }
+      child->counts += delta;
+      node = child;
+    }
+  }
+
+  const std::vector<HeaderEntry>& headers() const { return headers_; }
+
+  /// Path of items from `node`'s parent up to (excluding) the root.
+  std::vector<uint32_t> PrefixPath(const FpNode* node) const {
+    std::vector<uint32_t> path;
+    for (const FpNode* p = node->parent; p != nullptr && p != root_;
+         p = p->parent) {
+      path.push_back(p->item);
+    }
+    return path;
+  }
+
+ private:
+  FpNode* NewNode() {
+    arena_.emplace_back();
+    return &arena_.back();
+  }
+
+  std::deque<FpNode> arena_;
+  FpNode* root_ = nullptr;
+  std::vector<HeaderEntry> headers_;
+  std::unordered_map<uint32_t, uint32_t> rank_;
+};
+
+void MineTree(const FpTree& tree, const Itemset& suffix,
+              uint64_t min_count, size_t max_length,
+              std::vector<MinedPattern>* out);
+
+// Mines one header item of `tree`: emits the pattern suffix+item, then
+// projects and recurses into its conditional tree.
+void MineHeaderItem(const FpTree& tree, size_t hi, const Itemset& suffix,
+                    uint64_t min_count, size_t max_length,
+                    std::vector<MinedPattern>* out) {
+  const HeaderEntry& h = tree.headers()[hi];
+  Itemset pattern = suffix;
+  pattern.push_back(h.item);
+  std::sort(pattern.begin(), pattern.end());
+  out->push_back(MinedPattern{pattern, h.totals});
+  if (max_length != 0 && suffix.size() + 1 >= max_length) return;
+
+  // Conditional pattern base for this item.
+  std::vector<std::pair<std::vector<uint32_t>, OutcomeCounts>> base;
+  std::unordered_map<uint32_t, OutcomeCounts> cond_totals;
+  for (const FpNode* node = h.head; node != nullptr;
+       node = node->next_header) {
+    std::vector<uint32_t> path = tree.PrefixPath(node);
+    if (path.empty()) continue;
+    for (uint32_t id : path) cond_totals[id] += node->counts;
+    base.emplace_back(std::move(path), node->counts);
+  }
+  std::vector<std::pair<uint32_t, OutcomeCounts>> freq_items;
+  for (const auto& [id, totals] : cond_totals) {
+    if (totals.total() >= min_count) freq_items.emplace_back(id, totals);
+  }
+  if (freq_items.empty()) return;
+
+  FpTree cond;
+  cond.SetItems(std::move(freq_items));
+  for (auto& [path, counts] : base) {
+    cond.Insert(std::move(path), counts);
+  }
+  Itemset next_suffix = suffix;
+  next_suffix.push_back(h.item);
+  MineTree(cond, next_suffix, min_count, max_length, out);
+}
+
+// Recursive FP-growth. `suffix` holds the items already fixed (in
+// arbitrary order; patterns are sorted on emission).
+void MineTree(const FpTree& tree, const Itemset& suffix, uint64_t min_count,
+              size_t max_length, std::vector<MinedPattern>* out) {
+  // Process header items least-frequent first (classic order).
+  for (size_t hi = tree.headers().size(); hi-- > 0;) {
+    MineHeaderItem(tree, hi, suffix, min_count, max_length, out);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
+    const TransactionDatabase& db, const MinerOptions& options) const {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  const size_t n = db.num_rows();
+  const uint64_t min_count = MinCount(options.min_support, n);
+
+  std::vector<MinedPattern> out;
+  out.push_back(MinedPattern{Itemset{}, db.totals()});
+  if (n == 0) return out;
+
+  // Pass 1: global item tallies.
+  std::vector<OutcomeCounts> item_totals(db.num_items());
+  for (size_t r = 0; r < n; ++r) {
+    OutcomeCounts delta;
+    switch (db.outcome(r)) {
+      case Outcome::kTrue:
+        delta.t = 1;
+        break;
+      case Outcome::kFalse:
+        delta.f = 1;
+        break;
+      case Outcome::kBottom:
+        delta.bot = 1;
+        break;
+    }
+    const uint32_t* row = db.row(r);
+    for (size_t a = 0; a < db.num_attributes(); ++a) {
+      item_totals[row[a]] += delta;
+    }
+  }
+  std::vector<std::pair<uint32_t, OutcomeCounts>> freq_items;
+  for (uint32_t id = 0; id < db.num_items(); ++id) {
+    if (item_totals[id].total() >= min_count) {
+      freq_items.emplace_back(id, item_totals[id]);
+    }
+  }
+  if (freq_items.empty()) return out;
+
+  // Pass 2: build the FP-tree with outcome deltas on every node.
+  FpTree tree;
+  tree.SetItems(std::move(freq_items));
+  std::vector<uint32_t> items;
+  for (size_t r = 0; r < n; ++r) {
+    OutcomeCounts delta;
+    switch (db.outcome(r)) {
+      case Outcome::kTrue:
+        delta.t = 1;
+        break;
+      case Outcome::kFalse:
+        delta.f = 1;
+        break;
+      case Outcome::kBottom:
+        delta.bot = 1;
+        break;
+    }
+    items.assign(db.row(r), db.row(r) + db.num_attributes());
+    tree.Insert(items, delta);
+  }
+
+  if (options.num_threads <= 1) {
+    MineTree(tree, Itemset{}, min_count, options.max_length, &out);
+    return out;
+  }
+
+  // Parallel mode: top-level conditional trees are independent; mine
+  // each header item into its own buffer, then concatenate in the
+  // sequential order so output is identical to the single-thread run.
+  const size_t num_headers = tree.headers().size();
+  std::vector<std::vector<MinedPattern>> partial(num_headers);
+  ParallelFor(options.num_threads, num_headers, [&](size_t i) {
+    // Sequential order iterates hi descending; slot i handles that
+    // position.
+    const size_t hi = num_headers - 1 - i;
+    MineHeaderItem(tree, hi, Itemset{}, min_count, options.max_length,
+                   &partial[i]);
+  });
+  for (std::vector<MinedPattern>& chunk : partial) {
+    out.insert(out.end(), std::make_move_iterator(chunk.begin()),
+               std::make_move_iterator(chunk.end()));
+  }
+  return out;
+}
+
+}  // namespace divexp

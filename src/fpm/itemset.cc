@@ -1,0 +1,83 @@
+#include "fpm/itemset.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace divexp {
+
+Itemset MakeItemset(std::vector<uint32_t> items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  return items;
+}
+
+bool IsSubset(const Itemset& sub, const Itemset& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+Itemset Union(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Itemset Without(const Itemset& a, uint32_t alpha) {
+  Itemset out;
+  out.reserve(a.size() > 0 ? a.size() - 1 : 0);
+  bool found = false;
+  for (uint32_t id : a) {
+    if (id == alpha) {
+      found = true;
+      continue;
+    }
+    out.push_back(id);
+  }
+  DIVEXP_CHECK(found);
+  return out;
+}
+
+Itemset With(const Itemset& a, uint32_t alpha) {
+  Itemset out;
+  out.reserve(a.size() + 1);
+  bool inserted = false;
+  for (uint32_t id : a) {
+    DIVEXP_CHECK(id != alpha);
+    if (!inserted && id > alpha) {
+      out.push_back(alpha);
+      inserted = true;
+    }
+    out.push_back(id);
+  }
+  if (!inserted) out.push_back(alpha);
+  return out;
+}
+
+void ForEachSubset(const Itemset& items,
+                   const std::function<void(const Itemset&)>& fn) {
+  DIVEXP_CHECK(items.size() <= 25);
+  const uint32_t n = static_cast<uint32_t>(items.size());
+  Itemset subset;
+  subset.reserve(n);
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    subset.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) subset.push_back(items[i]);
+    }
+    fn(subset);
+  }
+}
+
+std::string ItemsetDebugString(const Itemset& items) {
+  std::string out = "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(items[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace divexp

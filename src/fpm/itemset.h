@@ -1,0 +1,53 @@
+// Itemset value type: a sorted vector of item ids with hashing and
+// subset utilities.
+#ifndef DIVEXP_FPM_ITEMSET_H_
+#define DIVEXP_FPM_ITEMSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace divexp {
+
+/// An itemset is a strictly increasing vector of item ids. The empty
+/// vector is the empty itemset (the whole dataset).
+using Itemset = std::vector<uint32_t>;
+
+/// Returns a sorted, deduplicated copy of `items`.
+Itemset MakeItemset(std::vector<uint32_t> items);
+
+/// True if `sub` ⊆ `super` (both sorted).
+bool IsSubset(const Itemset& sub, const Itemset& super);
+
+/// Sorted union of two itemsets.
+Itemset Union(const Itemset& a, const Itemset& b);
+
+/// `a` with the single item `alpha` removed (must be present).
+Itemset Without(const Itemset& a, uint32_t alpha);
+
+/// `a` with `alpha` inserted in order (must be absent).
+Itemset With(const Itemset& a, uint32_t alpha);
+
+/// Enumerates all subsets of `items` (including empty and full),
+/// invoking `fn` on each. Intended for |items| <= ~25.
+void ForEachSubset(const Itemset& items,
+                   const std::function<void(const Itemset&)>& fn);
+
+/// FNV-1a style hash for itemsets, usable in unordered containers.
+struct ItemsetHash {
+  size_t operator()(const Itemset& items) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (uint32_t id : items) {
+      h ^= id + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Renders "{3, 7, 12}" for debugging.
+std::string ItemsetDebugString(const Itemset& items);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_ITEMSET_H_

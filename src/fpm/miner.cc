@@ -1,0 +1,52 @@
+#include "fpm/miner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fpm/apriori.h"
+#include "fpm/eclat.h"
+#include "fpm/fpgrowth.h"
+
+namespace divexp {
+
+const char* MinerKindName(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kFpGrowth:
+      return "fpgrowth";
+    case MinerKind::kApriori:
+      return "apriori";
+    case MinerKind::kEclat:
+      return "eclat";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<FrequentPatternMiner> MakeMiner(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kFpGrowth:
+      return std::make_unique<FpGrowthMiner>();
+    case MinerKind::kApriori:
+      return std::make_unique<AprioriMiner>();
+    case MinerKind::kEclat:
+      return std::make_unique<EclatMiner>();
+  }
+  return nullptr;
+}
+
+uint64_t MinCount(double min_support, size_t num_rows) {
+  const double raw = min_support * static_cast<double>(num_rows);
+  uint64_t count = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  return std::max<uint64_t>(count, 1);
+}
+
+void SortPatterns(std::vector<MinedPattern>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const MinedPattern& a, const MinedPattern& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+}  // namespace divexp

@@ -1,0 +1,70 @@
+// Common interface for outcome-augmented frequent-pattern miners
+// (paper Alg. 1). Both implementations (Apriori, FP-growth) produce the
+// same (itemset, (T, F, ⊥)) table; divergence is a post-pass in core/.
+#ifndef DIVEXP_FPM_MINER_H_
+#define DIVEXP_FPM_MINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fpm/itemset.h"
+#include "fpm/transactions.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// One mined frequent itemset with its outcome tallies.
+struct MinedPattern {
+  Itemset items;
+  OutcomeCounts counts;
+};
+
+/// Mining parameters. `min_support` is relative (paper's s); an itemset
+/// is frequent iff |D(I)| >= ceil(min_support * |D|) and |D(I)| > 0.
+struct MinerOptions {
+  double min_support = 0.05;
+  /// Maximum itemset length; 0 = unbounded (full exploration).
+  size_t max_length = 0;
+  /// Worker threads for the mining phase (FP-growth parallelizes over
+  /// top-level conditional trees, Apriori over candidate evaluation;
+  /// ECLAT over root items). 1 = sequential, the paper's configuration.
+  size_t num_threads = 1;
+};
+
+/// Which mining algorithm backs a DivergenceExplorer run.
+enum class MinerKind {
+  kFpGrowth,
+  kApriori,
+  kEclat,
+};
+
+const char* MinerKindName(MinerKind kind);
+
+/// Abstract outcome-augmented frequent-pattern miner.
+class FrequentPatternMiner {
+ public:
+  virtual ~FrequentPatternMiner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Mines all frequent itemsets (including the empty itemset, which
+  /// carries the whole-dataset tallies as its counts).
+  virtual Result<std::vector<MinedPattern>> Mine(
+      const TransactionDatabase& db, const MinerOptions& options) const = 0;
+};
+
+/// Factory for the built-in miners.
+std::unique_ptr<FrequentPatternMiner> MakeMiner(MinerKind kind);
+
+/// Absolute support count implied by relative `min_support` over
+/// `num_rows` (at least 1).
+uint64_t MinCount(double min_support, size_t num_rows);
+
+/// Sorts patterns by (length, lexicographic items) for deterministic
+/// comparison across miners.
+void SortPatterns(std::vector<MinedPattern>* patterns);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_MINER_H_

@@ -1,0 +1,38 @@
+#include "fpm/transactions.h"
+
+namespace divexp {
+
+Result<TransactionDatabase> TransactionDatabase::Create(
+    const EncodedDataset& dataset, std::vector<Outcome> outcomes) {
+  if (outcomes.size() != dataset.num_rows) {
+    return Status::InvalidArgument(
+        "outcome vector size " + std::to_string(outcomes.size()) +
+        " != dataset rows " + std::to_string(dataset.num_rows));
+  }
+  TransactionDatabase db;
+  db.num_rows_ = dataset.num_rows;
+  db.num_attributes_ = dataset.num_attributes;
+  db.num_items_ = dataset.catalog.num_items();
+  db.cells_ = dataset.cells;
+  db.outcomes_ = std::move(outcomes);
+  db.attr_of_item_.resize(db.num_items_);
+  for (uint32_t id = 0; id < db.num_items_; ++id) {
+    db.attr_of_item_[id] = dataset.catalog.item(id).attribute;
+  }
+  for (Outcome o : db.outcomes_) {
+    switch (o) {
+      case Outcome::kTrue:
+        ++db.totals_.t;
+        break;
+      case Outcome::kFalse:
+        ++db.totals_.f;
+        break;
+      case Outcome::kBottom:
+        ++db.totals_.bot;
+        break;
+    }
+  }
+  return db;
+}
+
+}  // namespace divexp

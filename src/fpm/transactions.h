@@ -1,0 +1,90 @@
+// Transaction database: the encoded dataset plus the per-instance
+// outcome labels that ride along with support counting (paper Alg. 1,
+// lines 1-2).
+#ifndef DIVEXP_FPM_TRANSACTIONS_H_
+#define DIVEXP_FPM_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/encoder.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// Value of the Boolean outcome function o(x) for one instance
+/// (paper Def. 3.2). kBottom instances do not enter the positive rate.
+enum class Outcome : uint8_t {
+  kTrue = 0,
+  kFalse = 1,
+  kBottom = 2,
+};
+
+/// One-hot outcome tallies (T_I, F_I, ⊥_I) for an itemset or node.
+struct OutcomeCounts {
+  uint64_t t = 0;
+  uint64_t f = 0;
+  uint64_t bot = 0;
+
+  /// |D(I)| — the itemset's absolute support count.
+  uint64_t total() const { return t + f + bot; }
+
+  /// Positive outcome rate f_o (paper Eq. 2); 0 when t + f == 0.
+  double PositiveRate() const {
+    const uint64_t denom = t + f;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(t) / static_cast<double>(denom);
+  }
+
+  OutcomeCounts& operator+=(const OutcomeCounts& other) {
+    t += other.t;
+    f += other.f;
+    bot += other.bot;
+    return *this;
+  }
+  friend bool operator==(const OutcomeCounts&, const OutcomeCounts&) =
+      default;
+};
+
+/// The miners' input: per-row item lists plus per-row outcomes.
+///
+/// Every row has exactly one item per attribute, so itemsets produced
+/// by mining automatically satisfy the "distinct attributes" condition
+/// of paper §3.1.
+class TransactionDatabase {
+ public:
+  /// Builds from an encoded dataset and per-row outcomes
+  /// (outcomes.size() must equal dataset.num_rows).
+  static Result<TransactionDatabase> Create(const EncodedDataset& dataset,
+                                            std::vector<Outcome> outcomes);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_attributes() const { return num_attributes_; }
+  uint32_t num_items() const { return num_items_; }
+
+  /// Item ids of row r (one per attribute, unsorted by id).
+  const uint32_t* row(size_t r) const {
+    return &cells_[r * num_attributes_];
+  }
+
+  Outcome outcome(size_t r) const { return outcomes_[r]; }
+
+  /// Attribute of an item id.
+  uint32_t attribute_of(uint32_t item) const { return attr_of_item_[item]; }
+
+  /// Tallies over the whole dataset (the empty itemset's counts).
+  const OutcomeCounts& totals() const { return totals_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_attributes_ = 0;
+  uint32_t num_items_ = 0;
+  std::vector<uint32_t> cells_;
+  std::vector<Outcome> outcomes_;
+  std::vector<uint32_t> attr_of_item_;
+  OutcomeCounts totals_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_TRANSACTIONS_H_

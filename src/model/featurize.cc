@@ -1,0 +1,94 @@
+#include "model/featurize.h"
+
+#include <cmath>
+
+namespace divexp {
+
+Result<Matrix> FeaturizeOrdinal(const DataFrame& df,
+                                const std::vector<std::string>& columns) {
+  Matrix out(df.num_rows(), columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    DIVEXP_ASSIGN_OR_RETURN(const Column* col, df.Find(columns[c]));
+    for (size_t r = 0; r < df.num_rows(); ++r) {
+      double v = 0.0;
+      switch (col->type()) {
+        case ColumnType::kDouble:
+        case ColumnType::kInt:
+          v = col->Numeric(r);
+          break;
+        case ColumnType::kCategorical:
+          v = static_cast<double>(col->codes()[r]);
+          break;
+        case ColumnType::kString:
+          return Status::InvalidArgument(
+              "column '" + columns[c] +
+              "' is a raw string column; encode it as categorical first");
+      }
+      out.at(r, c) = v;
+    }
+  }
+  return out;
+}
+
+Result<Matrix> FeaturizeOneHot(const DataFrame& df,
+                               const std::vector<std::string>& columns) {
+  size_t width = 0;
+  for (const std::string& name : columns) {
+    DIVEXP_ASSIGN_OR_RETURN(const Column* col, df.Find(name));
+    switch (col->type()) {
+      case ColumnType::kDouble:
+      case ColumnType::kInt:
+        width += 1;
+        break;
+      case ColumnType::kCategorical:
+        width += col->num_categories();
+        break;
+      case ColumnType::kString:
+        return Status::InvalidArgument(
+            "column '" + name +
+            "' is a raw string column; encode it as categorical first");
+    }
+  }
+  Matrix out(df.num_rows(), width);
+  size_t offset = 0;
+  for (const std::string& name : columns) {
+    const Column& col = df.Get(name);
+    if (col.is_categorical()) {
+      const auto& codes = col.codes();
+      for (size_t r = 0; r < df.num_rows(); ++r) {
+        if (codes[r] >= 0) {
+          out.at(r, offset + static_cast<size_t>(codes[r])) = 1.0;
+        }
+      }
+      offset += col.num_categories();
+    } else {
+      for (size_t r = 0; r < df.num_rows(); ++r) {
+        out.at(r, offset) = col.Numeric(r);
+      }
+      offset += 1;
+    }
+  }
+  return out;
+}
+
+void StandardizeInPlace(Matrix* m) {
+  const size_t n = m->rows();
+  if (n == 0) return;
+  for (size_t c = 0; c < m->cols(); ++c) {
+    double sum = 0.0;
+    for (size_t r = 0; r < n; ++r) sum += m->at(r, c);
+    const double mean = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double d = m->at(r, c) - mean;
+      ss += d * d;
+    }
+    const double stddev = std::sqrt(ss / static_cast<double>(n));
+    for (size_t r = 0; r < n; ++r) {
+      m->at(r, c) -= mean;
+      if (stddev > 0.0) m->at(r, c) /= stddev;
+    }
+  }
+}
+
+}  // namespace divexp

@@ -1,0 +1,33 @@
+// DataFrame -> feature matrix conversion for the classifier substrate.
+#ifndef DIVEXP_MODEL_FEATURIZE_H_
+#define DIVEXP_MODEL_FEATURIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataframe.h"
+#include "model/matrix.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// Ordinal featurization: numeric columns keep their values,
+/// categorical columns contribute their dictionary code. Tree models
+/// consume this directly (threshold splits on codes act as subset
+/// splits for binary attributes and ordered-range splits otherwise).
+Result<Matrix> FeaturizeOrdinal(const DataFrame& df,
+                                const std::vector<std::string>& columns);
+
+/// One-hot featurization: numeric columns keep their values (optionally
+/// standardized by the caller), categorical columns expand into one
+/// indicator per category. Linear models / the MLP consume this.
+Result<Matrix> FeaturizeOneHot(const DataFrame& df,
+                               const std::vector<std::string>& columns);
+
+/// Standardizes every column of `m` in place to zero mean / unit
+/// variance (constant columns are left centered only).
+void StandardizeInPlace(Matrix* m);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_FEATURIZE_H_

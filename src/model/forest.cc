@@ -1,0 +1,58 @@
+#include "model/forest.h"
+
+#include <cmath>
+
+namespace divexp {
+
+Status RandomForest::Fit(const Matrix& x, const std::vector<int>& y,
+                         const ForestOptions& options) {
+  if (options.num_trees == 0) {
+    return Status::InvalidArgument("num_trees must be positive");
+  }
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("bad training data shape");
+  }
+  trees_.clear();
+  trees_.resize(options.num_trees);
+  Rng rng(options.seed);
+  TreeOptions topts = options.tree;
+  if (options.sqrt_features) {
+    topts.max_features = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::round(std::sqrt(static_cast<double>(x.cols())))));
+  }
+  for (DecisionTree& tree : trees_) {
+    // Bootstrap sample with replacement.
+    std::vector<size_t> sample(x.rows());
+    std::vector<int> sample_y(x.rows());
+    for (size_t i = 0; i < x.rows(); ++i) {
+      sample[i] = rng.Below(x.rows());
+      sample_y[i] = y[sample[i]];
+    }
+    const Matrix boot = x.TakeRows(sample);
+    Rng tree_rng = rng.Fork();
+    DIVEXP_RETURN_NOT_OK(tree.Fit(boot, sample_y, topts, &tree_rng));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(const double* row) const {
+  DIVEXP_CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) sum += tree.PredictProba(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<int> RandomForest::PredictAll(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.row(r));
+  return out;
+}
+
+std::vector<double> RandomForest::PredictProbaAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = PredictProba(x.row(r));
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,46 @@
+// Random forest: bagged CART trees with sqrt-feature subsampling — the
+// library's analogue of the paper's "random forest classifier with
+// default parameters" used to produce the audited predictions.
+#ifndef DIVEXP_MODEL_FOREST_H_
+#define DIVEXP_MODEL_FOREST_H_
+
+#include <vector>
+
+#include "model/tree.h"
+
+namespace divexp {
+
+struct ForestOptions {
+  size_t num_trees = 32;
+  TreeOptions tree;
+  /// sqrt(num_features) feature subsampling when true (the scikit-learn
+  /// default the paper relies on).
+  bool sqrt_features = true;
+  uint64_t seed = 7;
+};
+
+/// Majority-vote ensemble of CART trees over bootstrap samples.
+class RandomForest {
+ public:
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const ForestOptions& options = {});
+
+  /// Mean of tree leaf probabilities.
+  double PredictProba(const double* row) const;
+
+  int Predict(const double* row) const {
+    return PredictProba(row) >= 0.5 ? 1 : 0;
+  }
+
+  std::vector<int> PredictAll(const Matrix& x) const;
+  std::vector<double> PredictProbaAll(const Matrix& x) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_FOREST_H_

@@ -1,0 +1,79 @@
+#include "model/logistic.h"
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Status LogisticRegression::Fit(const Matrix& x, const std::vector<int>& y,
+                               const LogisticOptions& options) {
+  std::vector<double> targets(y.size());
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 0 && y[i] != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+    targets[i] = static_cast<double>(y[i]);
+  }
+  const std::vector<double> weights(y.size(), 1.0);
+  return FitWeighted(x, targets, weights, options);
+}
+
+Status LogisticRegression::FitWeighted(const Matrix& x,
+                                       const std::vector<double>& targets,
+                                       const std::vector<double>& weights,
+                                       const LogisticOptions& options) {
+  if (x.rows() != targets.size() || x.rows() != weights.size()) {
+    return Status::InvalidArgument("shape mismatch in logistic fit");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  double weight_total = 0.0;
+  for (double w : weights) weight_total += w;
+  if (weight_total <= 0.0) {
+    return Status::InvalidArgument("weights must have positive mass");
+  }
+
+  std::vector<double> grad(d);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = x.row(r);
+      double z = b_;
+      for (size_t c = 0; c < d; ++c) z += w_[c] * row[c];
+      const double err = (Sigmoid(z) - targets[r]) * weights[r];
+      for (size_t c = 0; c < d; ++c) grad[c] += err * row[c];
+      grad_b += err;
+    }
+    const double scale = options.learning_rate / weight_total;
+    for (size_t c = 0; c < d; ++c) {
+      w_[c] -= scale * (grad[c] + options.l2 * w_[c]);
+    }
+    b_ -= scale * grad_b;
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::PredictProba(const double* row) const {
+  double z = b_;
+  for (size_t c = 0; c < w_.size(); ++c) z += w_[c] * row[c];
+  return Sigmoid(z);
+}
+
+std::vector<int> LogisticRegression::PredictAll(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.row(r));
+  return out;
+}
+
+}  // namespace divexp

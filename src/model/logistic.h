@@ -1,0 +1,48 @@
+// L2-regularized logistic regression trained by gradient descent.
+// Used as a light-weight baseline classifier and as the local surrogate
+// model inside the mini-LIME of the user-study experiment.
+#ifndef DIVEXP_MODEL_LOGISTIC_H_
+#define DIVEXP_MODEL_LOGISTIC_H_
+
+#include <vector>
+
+#include "model/matrix.h"
+#include "util/status.h"
+
+namespace divexp {
+
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  size_t epochs = 200;
+};
+
+/// Binary logistic regression: p(y=1|x) = sigmoid(w·x + b).
+class LogisticRegression {
+ public:
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const LogisticOptions& options = {});
+
+  /// Weighted least-squares-style fit against real-valued targets with
+  /// per-sample weights (mini-LIME surrogate; targets in [0, 1]).
+  Status FitWeighted(const Matrix& x, const std::vector<double>& targets,
+                     const std::vector<double>& weights,
+                     const LogisticOptions& options = {});
+
+  double PredictProba(const double* row) const;
+  int Predict(const double* row) const {
+    return PredictProba(row) >= 0.5 ? 1 : 0;
+  }
+  std::vector<int> PredictAll(const Matrix& x) const;
+
+  const std::vector<double>& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_LOGISTIC_H_

@@ -1,0 +1,16 @@
+#include "model/matrix.h"
+
+#include <cstring>
+
+namespace divexp {
+
+Matrix Matrix::TakeRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    DIVEXP_CHECK(indices[i] < rows_);
+    std::memcpy(out.row(i), row(indices[i]), cols_ * sizeof(double));
+  }
+  return out;
+}
+
+}  // namespace divexp

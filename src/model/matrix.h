@@ -1,0 +1,41 @@
+// Dense row-major double matrix: the feature representation consumed by
+// the classifier substrate.
+#ifndef DIVEXP_MODEL_MATRIX_H_
+#define DIVEXP_MODEL_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace divexp {
+
+/// Row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  const double* row(size_t r) const { return &data_[r * cols_]; }
+  double* row(size_t r) { return &data_[r * cols_]; }
+
+  /// New matrix with the rows at `indices` (repeats allowed —
+  /// bootstrap sampling uses this).
+  Matrix TakeRows(const std::vector<size_t>& indices) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_MATRIX_H_

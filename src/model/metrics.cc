@@ -1,0 +1,61 @@
+#include "model/metrics.h"
+
+#include <sstream>
+
+#include "util/status.h"
+
+namespace divexp {
+
+double ConfusionMatrix::Accuracy() const {
+  const size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::FalsePositiveRate() const {
+  const size_t negatives = fp + tn;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(fp) / static_cast<double>(negatives);
+}
+
+double ConfusionMatrix::FalseNegativeRate() const {
+  const size_t positives = fn + tp;
+  if (positives == 0) return 0.0;
+  return static_cast<double>(fn) / static_cast<double>(positives);
+}
+
+double ConfusionMatrix::Precision() const {
+  const size_t predicted_pos = tp + fp;
+  if (predicted_pos == 0) return 0.0;
+  return static_cast<double>(tp) / static_cast<double>(predicted_pos);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "tp=" << tp << " fp=" << fp << " tn=" << tn << " fn=" << fn
+     << " acc=" << Accuracy() << " fpr=" << FalsePositiveRate()
+     << " fnr=" << FalseNegativeRate();
+  return os.str();
+}
+
+ConfusionMatrix ComputeConfusion(const std::vector<int>& predictions,
+                                 const std::vector<int>& truths) {
+  DIVEXP_CHECK(predictions.size() == truths.size());
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool u = predictions[i] == 1;
+    const bool v = truths[i] == 1;
+    if (u && v) {
+      ++cm.tp;
+    } else if (u && !v) {
+      ++cm.fp;
+    } else if (!u && v) {
+      ++cm.fn;
+    } else {
+      ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+}  // namespace divexp

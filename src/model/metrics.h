@@ -1,0 +1,35 @@
+// Classification metrics over (prediction, ground-truth) label pairs.
+#ifndef DIVEXP_MODEL_METRICS_H_
+#define DIVEXP_MODEL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace divexp {
+
+/// Binary confusion matrix and the derived rates the paper analyzes.
+struct ConfusionMatrix {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  size_t total() const { return tp + fp + tn + fn; }
+  double Accuracy() const;
+  double ErrorRate() const { return 1.0 - Accuracy(); }
+  /// FP / (FP + TN); 0 when no negatives.
+  double FalsePositiveRate() const;
+  /// FN / (FN + TP); 0 when no positives.
+  double FalseNegativeRate() const;
+  double TruePositiveRate() const { return 1.0 - FalseNegativeRate(); }
+  double TrueNegativeRate() const { return 1.0 - FalsePositiveRate(); }
+  double Precision() const;
+
+  std::string ToString() const;
+};
+
+/// Tallies a confusion matrix from 0/1 label vectors.
+ConfusionMatrix ComputeConfusion(const std::vector<int>& predictions,
+                                 const std::vector<int>& truths);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_METRICS_H_

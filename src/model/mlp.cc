@@ -1,0 +1,129 @@
+#include "model/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace divexp {
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+Status MlpClassifier::Fit(const Matrix& x, const std::vector<int>& y,
+                          const MlpOptions& options) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    return Status::InvalidArgument("bad training data shape");
+  }
+  if (options.hidden_units == 0 || options.batch_size == 0) {
+    return Status::InvalidArgument("hidden_units/batch_size must be > 0");
+  }
+  input_dim_ = x.cols();
+  hidden_ = options.hidden_units;
+  Rng rng(options.seed);
+
+  const double init_scale =
+      std::sqrt(2.0 / static_cast<double>(input_dim_ + 1));
+  w1_.resize(hidden_ * input_dim_);
+  for (double& w : w1_) w = rng.Normal(0.0, init_scale);
+  b1_.assign(hidden_, 0.0);
+  w2_.resize(hidden_);
+  for (double& w : w2_) {
+    w = rng.Normal(0.0, std::sqrt(2.0 / static_cast<double>(hidden_)));
+  }
+  b2_ = 0.0;
+
+  std::vector<double> vw1(w1_.size(), 0.0), vb1(hidden_, 0.0),
+      vw2(hidden_, 0.0);
+  double vb2 = 0.0;
+
+  std::vector<size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> hidden_act(hidden_);
+  std::vector<double> gw1(w1_.size()), gb1(hidden_), gw2(hidden_);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < order.size();
+         start += options.batch_size) {
+      const size_t stop =
+          std::min(start + options.batch_size, order.size());
+      const double batch_n = static_cast<double>(stop - start);
+      std::fill(gw1.begin(), gw1.end(), 0.0);
+      std::fill(gb1.begin(), gb1.end(), 0.0);
+      std::fill(gw2.begin(), gw2.end(), 0.0);
+      double gb2 = 0.0;
+
+      for (size_t bi = start; bi < stop; ++bi) {
+        const double* row = x.row(order[bi]);
+        // Forward.
+        for (size_t h = 0; h < hidden_; ++h) {
+          double z = b1_[h];
+          const double* w = &w1_[h * input_dim_];
+          for (size_t c = 0; c < input_dim_; ++c) z += w[c] * row[c];
+          hidden_act[h] = z > 0.0 ? z : 0.0;
+        }
+        double z2 = b2_;
+        for (size_t h = 0; h < hidden_; ++h) z2 += w2_[h] * hidden_act[h];
+        const double p = Sigmoid(z2);
+        // Backward (cross-entropy): dL/dz2 = p - y.
+        const double dz2 = p - static_cast<double>(y[order[bi]]);
+        gb2 += dz2;
+        for (size_t h = 0; h < hidden_; ++h) {
+          gw2[h] += dz2 * hidden_act[h];
+          if (hidden_act[h] > 0.0) {
+            const double dz1 = dz2 * w2_[h];
+            gb1[h] += dz1;
+            double* g = &gw1[h * input_dim_];
+            for (size_t c = 0; c < input_dim_; ++c) g[c] += dz1 * row[c];
+          }
+        }
+      }
+
+      const double lr = options.learning_rate / batch_n;
+      for (size_t i = 0; i < w1_.size(); ++i) {
+        vw1[i] = options.momentum * vw1[i] -
+                 lr * (gw1[i] + options.l2 * w1_[i]);
+        w1_[i] += vw1[i];
+      }
+      for (size_t h = 0; h < hidden_; ++h) {
+        vb1[h] = options.momentum * vb1[h] - lr * gb1[h];
+        b1_[h] += vb1[h];
+        vw2[h] = options.momentum * vw2[h] -
+                 lr * (gw2[h] + options.l2 * w2_[h]);
+        w2_[h] += vw2[h];
+      }
+      vb2 = options.momentum * vb2 - lr * gb2;
+      b2_ += vb2;
+    }
+  }
+  return Status::OK();
+}
+
+double MlpClassifier::PredictProba(const double* row) const {
+  DIVEXP_CHECK(input_dim_ > 0);
+  double z2 = b2_;
+  for (size_t h = 0; h < hidden_; ++h) {
+    double z = b1_[h];
+    const double* w = &w1_[h * input_dim_];
+    for (size_t c = 0; c < input_dim_; ++c) z += w[c] * row[c];
+    if (z > 0.0) z2 += w2_[h] * z;
+  }
+  return Sigmoid(z2);
+}
+
+std::vector<int> MlpClassifier::PredictAll(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.row(r));
+  return out;
+}
+
+std::vector<double> MlpClassifier::PredictProbaAll(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = PredictProba(x.row(r));
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,49 @@
+// Multi-layer perceptron (one hidden ReLU layer, sigmoid output,
+// mini-batch SGD with momentum). The paper's user study (§6.6) trains
+// an MLP on a bias-injected dataset; this is that substrate.
+#ifndef DIVEXP_MODEL_MLP_H_
+#define DIVEXP_MODEL_MLP_H_
+
+#include <vector>
+
+#include "model/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace divexp {
+
+struct MlpOptions {
+  size_t hidden_units = 32;
+  size_t epochs = 40;
+  size_t batch_size = 64;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double l2 = 1e-4;
+  uint64_t seed = 11;
+};
+
+/// Feed-forward binary classifier: x -> ReLU(W1 x + b1) -> sigmoid.
+class MlpClassifier {
+ public:
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const MlpOptions& options = {});
+
+  double PredictProba(const double* row) const;
+  int Predict(const double* row) const {
+    return PredictProba(row) >= 0.5 ? 1 : 0;
+  }
+  std::vector<int> PredictAll(const Matrix& x) const;
+  std::vector<double> PredictProbaAll(const Matrix& x) const;
+
+ private:
+  size_t input_dim_ = 0;
+  size_t hidden_ = 0;
+  std::vector<double> w1_;  // hidden_ x input_dim_
+  std::vector<double> b1_;  // hidden_
+  std::vector<double> w2_;  // hidden_
+  double b2_ = 0.0;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_MLP_H_

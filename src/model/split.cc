@@ -1,0 +1,26 @@
+#include "model/split.h"
+
+#include <numeric>
+
+#include "util/status.h"
+
+namespace divexp {
+
+TrainTestSplit MakeTrainTestSplit(size_t n, double test_fraction,
+                                  Rng* rng) {
+  DIVEXP_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+  DIVEXP_CHECK(rng != nullptr);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const size_t test_n = static_cast<size_t>(
+      static_cast<double>(n) * test_fraction);
+  TrainTestSplit split;
+  split.test.assign(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(test_n));
+  split.train.assign(order.begin() + static_cast<ptrdiff_t>(test_n),
+                     order.end());
+  return split;
+}
+
+}  // namespace divexp

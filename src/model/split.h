@@ -1,0 +1,23 @@
+// Train/test splitting utilities.
+#ifndef DIVEXP_MODEL_SPLIT_H_
+#define DIVEXP_MODEL_SPLIT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace divexp {
+
+/// Shuffled split of [0, n) into train and test index sets.
+struct TrainTestSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Splits n rows with the given test fraction (0 < fraction < 1).
+TrainTestSplit MakeTrainTestSplit(size_t n, double test_fraction, Rng* rng);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_SPLIT_H_

@@ -1,0 +1,165 @@
+#include "model/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace divexp {
+namespace {
+
+double GiniOfCounts(double pos, double total) {
+  if (total <= 0.0) return 0.0;
+  const double p = pos / total;
+  return 1.0 - p * p - (1.0 - p) * (1.0 - p);
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const Matrix& x, const std::vector<int>& y,
+                         const TreeOptions& options, Rng* rng) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("X rows != y size");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("cannot fit on an empty dataset");
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      return Status::InvalidArgument("labels must be 0/1");
+    }
+  }
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<size_t> indices(x.rows());
+  std::iota(indices.begin(), indices.end(), 0);
+  Build(x, y, indices, 0, indices.size(), 0, options, rng);
+  return Status::OK();
+}
+
+int32_t DecisionTree::Build(const Matrix& x, const std::vector<int>& y,
+                            std::vector<size_t>& indices, size_t begin,
+                            size_t end, size_t depth,
+                            const TreeOptions& options, Rng* rng) {
+  const size_t n = end - begin;
+  DIVEXP_CHECK(n > 0);
+  depth_ = std::max(depth_, depth);
+
+  size_t pos = 0;
+  for (size_t i = begin; i < end; ++i) pos += static_cast<size_t>(y[indices[i]]);
+
+  const int32_t node_id = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].proba =
+      static_cast<double>(pos) / static_cast<double>(n);
+
+  const bool pure = (pos == 0 || pos == n);
+  if (pure || depth >= options.max_depth || n < options.min_samples_split) {
+    return node_id;
+  }
+
+  // Feature subset for this split.
+  std::vector<size_t> features(x.cols());
+  std::iota(features.begin(), features.end(), 0);
+  if (options.max_features > 0 && options.max_features < x.cols()) {
+    DIVEXP_CHECK(rng != nullptr);
+    rng->Shuffle(&features);
+    features.resize(options.max_features);
+  }
+
+  double best_score = GiniOfCounts(static_cast<double>(pos),
+                                   static_cast<double>(n));
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, int>> vals;
+  vals.reserve(n);
+  for (size_t f : features) {
+    vals.clear();
+    for (size_t i = begin; i < end; ++i) {
+      vals.emplace_back(x.at(indices[i], f), y[indices[i]]);
+    }
+    std::sort(vals.begin(), vals.end());
+    if (vals.front().first == vals.back().first) continue;
+
+    // Candidate boundaries: positions where the value changes.
+    std::vector<size_t> boundaries;
+    for (size_t i = 1; i < n; ++i) {
+      if (vals[i].first != vals[i - 1].first) boundaries.push_back(i);
+    }
+    if (boundaries.size() > options.max_thresholds &&
+        options.max_thresholds > 0) {
+      std::vector<size_t> strided;
+      const double step = static_cast<double>(boundaries.size()) /
+                          static_cast<double>(options.max_thresholds);
+      for (size_t k = 0; k < options.max_thresholds; ++k) {
+        strided.push_back(boundaries[static_cast<size_t>(k * step)]);
+      }
+      boundaries = std::move(strided);
+    }
+
+    std::vector<size_t> prefix_pos(n + 1, 0);
+    for (size_t i = 0; i < n; ++i) {
+      prefix_pos[i + 1] = prefix_pos[i] + static_cast<size_t>(vals[i].second);
+    }
+    for (size_t b : boundaries) {
+      const size_t nl = b;
+      const size_t nr = n - b;
+      if (nl < options.min_samples_leaf || nr < options.min_samples_leaf) {
+        continue;
+      }
+      const double gl = GiniOfCounts(static_cast<double>(prefix_pos[b]),
+                                     static_cast<double>(nl));
+      const double gr =
+          GiniOfCounts(static_cast<double>(pos - prefix_pos[b]),
+                       static_cast<double>(nr));
+      const double score = (static_cast<double>(nl) * gl +
+                            static_cast<double>(nr) * gr) /
+                           static_cast<double>(n);
+      if (score + 1e-12 < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold =
+            0.5 * (vals[b - 1].first + vals[b].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<ptrdiff_t>(begin),
+      indices.begin() + static_cast<ptrdiff_t>(end), [&](size_t i) {
+        return x.at(i, static_cast<size_t>(best_feature)) <= best_threshold;
+      });
+  const size_t mid =
+      static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // numeric edge case
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int32_t left =
+      Build(x, y, indices, begin, mid, depth + 1, options, rng);
+  const int32_t right =
+      Build(x, y, indices, mid, end, depth + 1, options, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const double* row) const {
+  DIVEXP_CHECK(!nodes_.empty());
+  int32_t id = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.feature < 0 || node.left < 0) return node.proba;
+    id = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::vector<int> DecisionTree::PredictAll(const Matrix& x) const {
+  std::vector<int> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) out[r] = Predict(x.row(r));
+  return out;
+}
+
+}  // namespace divexp

@@ -1,0 +1,67 @@
+// CART decision tree for binary classification (Gini impurity,
+// axis-aligned threshold splits). Substrate for the random forest that
+// stands in for the paper's "random forest classifier with default
+// parameters".
+#ifndef DIVEXP_MODEL_TREE_H_
+#define DIVEXP_MODEL_TREE_H_
+
+#include <vector>
+
+#include "model/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace divexp {
+
+struct TreeOptions {
+  size_t max_depth = 16;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// Features considered per split; 0 = all.
+  size_t max_features = 0;
+  /// Candidate thresholds per feature are capped at this many quantile
+  /// cuts (keeps fitting near-linear on big columns).
+  size_t max_thresholds = 32;
+};
+
+/// A fitted CART tree (flattened node array).
+class DecisionTree {
+ public:
+  /// Fits to (X, y) with y in {0, 1}. `rng` drives feature subsampling
+  /// when options.max_features > 0.
+  Status Fit(const Matrix& x, const std::vector<int>& y,
+             const TreeOptions& options, Rng* rng);
+
+  /// P(y = 1 | x) from the leaf reached by `row`.
+  double PredictProba(const double* row) const;
+
+  /// Hard prediction at threshold 0.5.
+  int Predict(const double* row) const {
+    return PredictProba(row) >= 0.5 ? 1 : 0;
+  }
+
+  std::vector<int> PredictAll(const Matrix& x) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;         // -1 = leaf
+    double threshold = 0.0;   // go left if x[feature] <= threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    double proba = 0.0;       // leaf: P(y = 1)
+  };
+
+  int32_t Build(const Matrix& x, const std::vector<int>& y,
+                std::vector<size_t>& indices, size_t begin, size_t end,
+                size_t depth, const TreeOptions& options, Rng* rng);
+
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_MODEL_TREE_H_

@@ -1,0 +1,32 @@
+#include "stats/alpha_investing.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace divexp {
+
+AlphaInvesting::AlphaInvesting(AlphaInvestingOptions options)
+    : options_(options), wealth_(options.alpha) {
+  DIVEXP_CHECK(options_.alpha > 0.0 && options_.alpha < 1.0);
+  DIVEXP_CHECK(options_.payout > 0.0);
+}
+
+bool AlphaInvesting::Test(double p_value) {
+  ++tests_;
+  if (Exhausted()) return false;
+  // Spend half the current wealth per test — a standard investing
+  // policy that never bankrupts on a single acceptance.
+  const double spend = std::min(0.5 * wealth_, 0.5);
+  const bool reject = p_value <= spend;
+  if (reject) {
+    ++rejections_;
+    wealth_ += options_.payout;
+  } else {
+    wealth_ -= spend / (1.0 - spend);
+  }
+  wealth_ = std::max(wealth_, 0.0);
+  return reject;
+}
+
+}  // namespace divexp

@@ -1,0 +1,45 @@
+// Alpha-investing (Foster & Stine, 2008): sequential multiple-testing
+// control used by the original Slice Finder to decide which slices are
+// significant while exploring an unbounded stream of hypotheses.
+//
+// The rule keeps a wealth W (initially alpha). Each test spends a
+// budget a_i <= W: on rejection (p <= a_i) the wealth earns a payout;
+// on acceptance it pays a_i / (1 - a_i). Controls mFDR at level alpha.
+#ifndef DIVEXP_STATS_ALPHA_INVESTING_H_
+#define DIVEXP_STATS_ALPHA_INVESTING_H_
+
+#include <cstddef>
+
+namespace divexp {
+
+struct AlphaInvestingOptions {
+  double alpha = 0.05;   ///< target mFDR level / initial wealth
+  double payout = 0.05;  ///< wealth earned per rejection (ω)
+};
+
+/// Sequential alpha-investing tester.
+class AlphaInvesting {
+ public:
+  explicit AlphaInvesting(AlphaInvestingOptions options = {});
+
+  /// Tests the next hypothesis with the given p-value; returns true if
+  /// rejected (significant). Updates the wealth.
+  bool Test(double p_value);
+
+  double wealth() const { return wealth_; }
+  size_t tests() const { return tests_; }
+  size_t rejections() const { return rejections_; }
+
+  /// True when the remaining wealth cannot reject anything anymore.
+  bool Exhausted() const { return wealth_ <= 1e-12; }
+
+ private:
+  AlphaInvestingOptions options_;
+  double wealth_ = 0.0;
+  size_t tests_ = 0;
+  size_t rejections_ = 0;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_STATS_ALPHA_INVESTING_H_

@@ -1,0 +1,36 @@
+#include "stats/beta.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+#include "util/status.h"
+
+namespace divexp {
+
+BetaPosterior BetaPosteriorFromCounts(uint64_t k_pos, uint64_t k_neg) {
+  const double a = static_cast<double>(k_pos) + 1.0;
+  const double b = static_cast<double>(k_neg) + 1.0;
+  const double n = a + b;
+  BetaPosterior out;
+  out.mean = a / n;
+  out.variance = (a * b) / (n * n * (n + 1.0));
+  return out;
+}
+
+double BetaPdf(double alpha, double beta, double z) {
+  DIVEXP_CHECK(alpha > 0.0 && beta > 0.0);
+  if (z < 0.0 || z > 1.0) return 0.0;
+  if (z == 0.0) return alpha < 1.0 ? INFINITY : (alpha == 1.0 ? beta : 0.0);
+  if (z == 1.0) return beta < 1.0 ? INFINITY : (beta == 1.0 ? alpha : 0.0);
+  const double log_pdf = (alpha - 1.0) * std::log(z) +
+                         (beta - 1.0) * std::log(1.0 - z) +
+                         LogGamma(alpha + beta) - LogGamma(alpha) -
+                         LogGamma(beta);
+  return std::exp(log_pdf);
+}
+
+double BetaCdf(double alpha, double beta, double z) {
+  return RegularizedIncompleteBeta(alpha, beta, z);
+}
+
+}  // namespace divexp

@@ -1,0 +1,34 @@
+// Bayesian treatment of positive-rate estimates (paper §3.3).
+//
+// The outcome function is Boolean, so observing k+ T outcomes and k- F
+// outcomes under a uniform prior yields a Beta(k+ + 1, k- + 1) posterior
+// for the positive rate. Its mean/variance feed a Welch t-test against
+// the whole-dataset rate.
+#ifndef DIVEXP_STATS_BETA_H_
+#define DIVEXP_STATS_BETA_H_
+
+#include <cstdint>
+
+namespace divexp {
+
+/// Posterior summary of a Bernoulli rate after k+ successes / k-
+/// failures starting from the uniform prior (paper Eq. 3).
+struct BetaPosterior {
+  double mean = 0.5;
+  double variance = 1.0 / 12.0;
+};
+
+/// Computes the Beta(k_pos + 1, k_neg + 1) posterior mean and variance.
+/// Well defined even when k_pos + k_neg == 0 (the paper highlights this
+/// numerical-stability property for itemsets where all outcomes are ⊥).
+BetaPosterior BetaPosteriorFromCounts(uint64_t k_pos, uint64_t k_neg);
+
+/// Beta(alpha, beta) density at z (for plots / tests).
+double BetaPdf(double alpha, double beta, double z);
+
+/// Beta(alpha, beta) CDF at z.
+double BetaCdf(double alpha, double beta, double z);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_STATS_BETA_H_

@@ -1,0 +1,70 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/status.h"
+
+namespace divexp {
+namespace {
+
+// One binomial resample of the observed rate, returned as a rate.
+double ResampleRate(uint64_t k_pos, uint64_t n, Rng* rng) {
+  if (n == 0) return 0.0;
+  const double p = static_cast<double>(k_pos) / static_cast<double>(n);
+  // For large n a normal approximation keeps resampling O(1); for
+  // small n draw the binomial exactly.
+  if (n > 4096) {
+    const double mean = p;
+    const double sd =
+        std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+    return std::clamp(rng->Normal(mean, sd), 0.0, 1.0);
+  }
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < n; ++i) hits += rng->Bernoulli(p) ? 1 : 0;
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+BootstrapCi PercentileCi(std::vector<double>* samples,
+                         double confidence) {
+  std::sort(samples->begin(), samples->end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const size_t n = samples->size();
+  const size_t lo_idx = static_cast<size_t>(alpha * (n - 1));
+  const size_t hi_idx = static_cast<size_t>((1.0 - alpha) * (n - 1));
+  return BootstrapCi{(*samples)[lo_idx], (*samples)[hi_idx]};
+}
+
+}  // namespace
+
+BootstrapCi BootstrapRateCi(uint64_t k_pos, uint64_t k_neg, Rng* rng,
+                            const BootstrapOptions& options) {
+  DIVEXP_CHECK(rng != nullptr);
+  DIVEXP_CHECK(options.resamples > 1);
+  DIVEXP_CHECK(options.confidence > 0.0 && options.confidence < 1.0);
+  const uint64_t n = k_pos + k_neg;
+  if (n == 0) return BootstrapCi{0.0, 1.0};
+  std::vector<double> samples(options.resamples);
+  for (double& s : samples) s = ResampleRate(k_pos, n, rng);
+  return PercentileCi(&samples, options.confidence);
+}
+
+BootstrapCi BootstrapDivergenceCi(uint64_t sub_pos, uint64_t sub_neg,
+                                  uint64_t all_pos, uint64_t all_neg,
+                                  Rng* rng,
+                                  const BootstrapOptions& options) {
+  DIVEXP_CHECK(rng != nullptr);
+  DIVEXP_CHECK(options.resamples > 1);
+  const uint64_t n_sub = sub_pos + sub_neg;
+  const uint64_t n_all = all_pos + all_neg;
+  if (n_sub == 0 || n_all == 0) return BootstrapCi{-1.0, 1.0};
+  std::vector<double> samples(options.resamples);
+  for (double& s : samples) {
+    s = ResampleRate(sub_pos, n_sub, rng) -
+        ResampleRate(all_pos, n_all, rng);
+  }
+  return PercentileCi(&samples, options.confidence);
+}
+
+}  // namespace divexp

@@ -1,0 +1,40 @@
+// Bootstrap confidence intervals for rates and divergences — a
+// frequentist alternative to the paper's Bayesian significance (§3.3),
+// used in the ablation comparing the two treatments.
+#ifndef DIVEXP_STATS_BOOTSTRAP_H_
+#define DIVEXP_STATS_BOOTSTRAP_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace divexp {
+
+/// A two-sided confidence interval.
+struct BootstrapCi {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool Contains(double v) const { return v >= lo && v <= hi; }
+};
+
+struct BootstrapOptions {
+  double confidence = 0.95;
+  int resamples = 1000;
+};
+
+/// Percentile-bootstrap CI of a Bernoulli rate observed as k_pos
+/// successes out of k_pos + k_neg trials (resampling the trials).
+BootstrapCi BootstrapRateCi(uint64_t k_pos, uint64_t k_neg, Rng* rng,
+                            const BootstrapOptions& options = {});
+
+/// Percentile-bootstrap CI of a divergence Δ = rate(subgroup) −
+/// rate(dataset): both rates are resampled independently per replicate.
+BootstrapCi BootstrapDivergenceCi(uint64_t sub_pos, uint64_t sub_neg,
+                                  uint64_t all_pos, uint64_t all_neg,
+                                  Rng* rng,
+                                  const BootstrapOptions& options = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_STATS_BOOTSTRAP_H_

@@ -1,0 +1,46 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace divexp {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double SampleVariance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double ss = 0.0;
+  for (double x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+double SampleStdDev(const std::vector<double>& v) {
+  return std::sqrt(SampleVariance(v));
+}
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  DIVEXP_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double EffectSize(double mean1, double var1, double mean2, double var2) {
+  const double pooled = std::sqrt((var1 + var2) / 2.0);
+  if (pooled <= 0.0) return 0.0;
+  return (mean1 - mean2) / pooled;
+}
+
+}  // namespace divexp

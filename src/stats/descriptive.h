@@ -1,0 +1,31 @@
+// Descriptive statistics shared by the significance tests and the
+// Slice Finder baseline.
+#ifndef DIVEXP_STATS_DESCRIPTIVE_H_
+#define DIVEXP_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace divexp {
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than two
+/// samples.
+double SampleVariance(const std::vector<double>& v);
+
+/// Sample standard deviation.
+double SampleStdDev(const std::vector<double>& v);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation on the sorted
+/// sample; 0 for an empty vector.
+double Quantile(std::vector<double> v, double q);
+
+/// Effect size phi used by Slice Finder: difference of means over the
+/// pooled standard deviation sqrt((var1 + var2) / 2).
+double EffectSize(double mean1, double var1, double mean2, double var2);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_STATS_DESCRIPTIVE_H_

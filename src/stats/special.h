@@ -1,0 +1,27 @@
+// Special functions needed by the statistical machinery: log-gamma,
+// regularized incomplete beta, and distribution CDFs built on them.
+#ifndef DIVEXP_STATS_SPECIAL_H_
+#define DIVEXP_STATS_SPECIAL_H_
+
+namespace divexp {
+
+/// Natural log of the gamma function (Lanczos approximation), x > 0.
+double LogGamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x in [0, 1], via the continued-fraction expansion (Numerical-Recipes
+/// style, relative error ~1e-12).
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Two-sided p-value for a t statistic with `df` degrees of freedom.
+double TwoSidedTPValue(double t, double df);
+
+/// CDF of the standard normal distribution.
+double NormalCdf(double z);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_STATS_SPECIAL_H_

@@ -1,0 +1,41 @@
+#include "stats/welch.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+#include "util/status.h"
+
+namespace divexp {
+
+double WelchTFromPosteriors(double mean1, double var1, double mean2,
+                            double var2) {
+  const double denom = std::sqrt(var1 + var2);
+  if (denom <= 0.0) return 0.0;
+  return std::fabs(mean1 - mean2) / denom;
+}
+
+WelchResult WelchTTest(double mean1, double var1, size_t n1, double mean2,
+                       double var2, size_t n2) {
+  WelchResult out;
+  if (n1 < 2 || n2 < 2) return out;
+  const double se1 = var1 / static_cast<double>(n1);
+  const double se2 = var2 / static_cast<double>(n2);
+  const double denom = std::sqrt(se1 + se2);
+  if (denom <= 0.0) return out;
+  out.t = std::fabs(mean1 - mean2) / denom;
+  const double num = (se1 + se2) * (se1 + se2);
+  const double den = se1 * se1 / (static_cast<double>(n1) - 1.0) +
+                     se2 * se2 / (static_cast<double>(n2) - 1.0);
+  out.df = den > 0.0 ? num / den : 1.0;
+  out.p_value = TwoSidedTPValue(out.t, out.df);
+  return out;
+}
+
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  return WelchTTest(Mean(a), SampleVariance(a), a.size(), Mean(b),
+                    SampleVariance(b), b.size());
+}
+
+}  // namespace divexp

@@ -1,0 +1,36 @@
+// Welch's t-test, used both on Beta posteriors (paper §3.3) and on raw
+// samples (Slice Finder baseline).
+#ifndef DIVEXP_STATS_WELCH_H_
+#define DIVEXP_STATS_WELCH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace divexp {
+
+/// Result of a Welch two-sample comparison.
+struct WelchResult {
+  double t = 0.0;        ///< |t| statistic
+  double df = 1.0;       ///< Welch–Satterthwaite degrees of freedom
+  double p_value = 1.0;  ///< two-sided
+};
+
+/// Welch t statistic between two (mean, variance-of-the-mean) pairs, as
+/// the paper uses it on Beta posteriors: t = |mu1 - mu2| /
+/// sqrt(v1 + v2). The variances here are already variances of the mean
+/// estimate, not per-sample variances.
+double WelchTFromPosteriors(double mean1, double var1, double mean2,
+                            double var2);
+
+/// Full Welch test from per-sample summary statistics (sample means,
+/// sample variances, sample sizes).
+WelchResult WelchTTest(double mean1, double var1, size_t n1, double mean2,
+                       double var2, size_t n2);
+
+/// Full Welch test from raw samples.
+WelchResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_STATS_WELCH_H_

@@ -1,0 +1,40 @@
+// Minimal data-parallel helper: static partitioning of an index range
+// over std::thread workers. Used by the miners' optional multi-threaded
+// mode; with num_threads <= 1 it degrades to a plain loop.
+#ifndef DIVEXP_UTIL_PARALLEL_H_
+#define DIVEXP_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace divexp {
+
+/// Invokes fn(i) for every i in [0, n), split contiguously over
+/// `num_threads` workers. fn must be safe to call concurrently for
+/// distinct i (typically writing to per-i output slots).
+inline void ParallelFor(size_t num_threads, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t workers = std::min(num_threads, n);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([w, workers, n, &fn] {
+      // Contiguous chunks keep per-thread output cache-friendly.
+      const size_t begin = w * n / workers;
+      const size_t end = (w + 1) * n / workers;
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_PARALLEL_H_

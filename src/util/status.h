@@ -1,0 +1,172 @@
+// Status and Result<T> error-handling primitives, in the style of
+// Arrow/RocksDB: recoverable errors are returned, never thrown; logic
+// errors abort via DIVEXP_CHECK.
+#ifndef DIVEXP_UTIL_STATUS_H_
+#define DIVEXP_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace divexp {
+
+/// Error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that can fail without a value payload.
+///
+/// A Status is cheap to copy when OK (no allocation) and carries a code
+/// plus message otherwise. Use the DIVEXP_RETURN_NOT_OK macro to
+/// propagate failures.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or a failure Status ("StatusOr").
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
+  // mirrors arrow::Result ergonomics.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; aborts if not ok().
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `alt` if this Result holds an error.
+  T ValueOr(T alt) const { return ok() ? *value_ : std::move(alt); }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::cerr << "Result accessed while holding error: "
+                << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace divexp
+
+/// Propagate a non-OK Status to the caller.
+#define DIVEXP_RETURN_NOT_OK(expr)         \
+  do {                                     \
+    ::divexp::Status _st = (expr);         \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+/// Assign a Result's value to `lhs`, or propagate its Status.
+#define DIVEXP_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto DIVEXP_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!DIVEXP_CONCAT_(_res_, __LINE__).ok())        \
+    return DIVEXP_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(DIVEXP_CONCAT_(_res_, __LINE__)).value()
+
+#define DIVEXP_CONCAT_INNER_(a, b) a##b
+#define DIVEXP_CONCAT_(a, b) DIVEXP_CONCAT_INNER_(a, b)
+
+/// Abort with a message if `cond` does not hold. For programmer errors
+/// (invariant violations), not data errors.
+#define DIVEXP_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__     \
+                << ": " #cond << std::endl;                              \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define DIVEXP_CHECK_OK(expr)                                            \
+  do {                                                                   \
+    ::divexp::Status _st = (expr);                                       \
+    if (!_st.ok()) {                                                     \
+      std::cerr << "CHECK_OK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " << _st.ToString() << std::endl;                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#endif  // DIVEXP_UTIL_STATUS_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch for the runtime experiments (Fig. 6, §6.5).
+#ifndef DIVEXP_UTIL_STOPWATCH_H_
+#define DIVEXP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace divexp {
+
+/// Measures elapsed wall-clock time from construction or Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_STOPWATCH_H_

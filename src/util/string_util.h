@@ -1,0 +1,34 @@
+// Small string helpers used across the library (CSV parsing, report
+// formatting).
+#ifndef DIVEXP_UTIL_STRING_UTIL_H_
+#define DIVEXP_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace divexp {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+/// Left-pads/truncates `s` to exactly `width` characters (right-aligned
+/// when `right_align`, else left-aligned).
+std::string Pad(std::string_view s, size_t width, bool right_align = false);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_STRING_UTIL_H_

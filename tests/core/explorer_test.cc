@@ -1,0 +1,107 @@
+#include "core/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+
+TEST(DivergenceExplorerTest, ExploreFromLabels) {
+  // Predictions wrong exactly on a0=v1 rows -> FPR divergence there.
+  const EncodedDataset ds =
+      MakeEncoded({{0}, {0}, {0}, {0}, {1}, {1}, {1}, {1}}, {2});
+  const std::vector<int> truths = {0, 0, 0, 0, 0, 0, 0, 0};
+  const std::vector<int> preds = {0, 0, 0, 0, 1, 1, 1, 0};
+  ExplorerOptions opts;
+  opts.min_support = 0.2;
+  DivergenceExplorer explorer(opts);
+  auto table =
+      explorer.Explore(ds, preds, truths, Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(table->global_rate(), 3.0 / 8.0, 1e-12);
+  auto div = table->Divergence(Itemset{1});
+  ASSERT_TRUE(div.ok());
+  EXPECT_NEAR(*div, 0.75 - 0.375, 1e-12);
+}
+
+TEST(DivergenceExplorerTest, BothMinersGiveIdenticalTables) {
+  const EncodedDataset ds = MakeEncoded(
+      {{0, 1, 0}, {1, 0, 1}, {0, 0, 0}, {1, 1, 1}, {0, 1, 1}, {1, 0, 0}},
+      {2, 2, 2});
+  const std::vector<Outcome> outcomes =
+      testing::OutcomesFromString("TFBTFB");
+  for (double support : {0.1, 0.3, 0.5}) {
+    ExplorerOptions fp_opts;
+    fp_opts.min_support = support;
+    fp_opts.miner = MinerKind::kFpGrowth;
+    ExplorerOptions ap_opts = fp_opts;
+    ap_opts.miner = MinerKind::kApriori;
+    auto fp_table =
+        DivergenceExplorer(fp_opts).ExploreOutcomes(ds, outcomes);
+    auto ap_table =
+        DivergenceExplorer(ap_opts).ExploreOutcomes(ds, outcomes);
+    ASSERT_TRUE(fp_table.ok());
+    ASSERT_TRUE(ap_table.ok());
+    ASSERT_EQ(fp_table->size(), ap_table->size());
+    for (size_t i = 0; i < fp_table->size(); ++i) {
+      const PatternRow& r = fp_table->row(i);
+      auto j = ap_table->Find(r.items);
+      ASSERT_TRUE(j.has_value());
+      EXPECT_EQ(ap_table->row(*j).counts, r.counts);
+      EXPECT_DOUBLE_EQ(ap_table->row(*j).divergence, r.divergence);
+    }
+  }
+}
+
+TEST(DivergenceExplorerTest, MaxLengthLimitsExploration) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0, 0}, {0, 0, 0}, {1, 1, 1}}, {2, 2, 2});
+  ExplorerOptions opts;
+  opts.min_support = 0.3;
+  opts.max_length = 1;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(
+      ds, testing::OutcomesFromString("TTF"));
+  ASSERT_TRUE(table.ok());
+  for (size_t i = 0; i < table->size(); ++i) {
+    EXPECT_LE(table->row(i).items.size(), 1u);
+  }
+}
+
+TEST(DivergenceExplorerTest, TimingsPopulated) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}}, {2});
+  DivergenceExplorer explorer;
+  auto table =
+      explorer.ExploreOutcomes(ds, testing::OutcomesFromString("TF"));
+  ASSERT_TRUE(table.ok());
+  EXPECT_GE(explorer.last_timings().mining_seconds, 0.0);
+  EXPECT_GE(explorer.last_timings().divergence_seconds, 0.0);
+}
+
+TEST(DivergenceExplorerTest, MismatchedOutcomeSizeFails) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}}, {2});
+  DivergenceExplorer explorer;
+  auto table =
+      explorer.ExploreOutcomes(ds, testing::OutcomesFromString("T"));
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(DivergenceExplorerTest, AllBottomDatasetHasZeroRates) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}, {0}}, {2});
+  ExplorerOptions opts;
+  opts.min_support = 0.3;
+  DivergenceExplorer explorer(opts);
+  auto table =
+      explorer.ExploreOutcomes(ds, testing::OutcomesFromString("BBB"));
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table->global_rate(), 0.0);
+  for (size_t i = 0; i < table->size(); ++i) {
+    EXPECT_DOUBLE_EQ(table->row(i).divergence, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace divexp

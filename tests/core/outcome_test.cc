@@ -1,0 +1,110 @@
+#include "core/outcome.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace {
+
+TEST(EvalOutcomeTest, FalsePositiveRateMatchesPaperDefinition) {
+  // Paper §3.2: T if u ∧ ¬v, F if ¬u ∧ ¬v, ⊥ if v.
+  EXPECT_EQ(EvalOutcome(Metric::kFalsePositiveRate, true, false),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kFalsePositiveRate, false, false),
+            Outcome::kFalse);
+  EXPECT_EQ(EvalOutcome(Metric::kFalsePositiveRate, true, true),
+            Outcome::kBottom);
+  EXPECT_EQ(EvalOutcome(Metric::kFalsePositiveRate, false, true),
+            Outcome::kBottom);
+}
+
+TEST(EvalOutcomeTest, FalseNegativeRate) {
+  EXPECT_EQ(EvalOutcome(Metric::kFalseNegativeRate, false, true),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kFalseNegativeRate, true, true),
+            Outcome::kFalse);
+  EXPECT_EQ(EvalOutcome(Metric::kFalseNegativeRate, true, false),
+            Outcome::kBottom);
+}
+
+TEST(EvalOutcomeTest, ErrorAndAccuracyAreComplements) {
+  for (bool u : {false, true}) {
+    for (bool v : {false, true}) {
+      const Outcome err = EvalOutcome(Metric::kErrorRate, u, v);
+      const Outcome acc = EvalOutcome(Metric::kAccuracy, u, v);
+      EXPECT_NE(err, Outcome::kBottom);
+      EXPECT_NE(acc, Outcome::kBottom);
+      EXPECT_NE(err == Outcome::kTrue, acc == Outcome::kTrue);
+    }
+  }
+}
+
+TEST(EvalOutcomeTest, TprTnrConditionOnTruth) {
+  EXPECT_EQ(EvalOutcome(Metric::kTruePositiveRate, true, true),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kTruePositiveRate, false, true),
+            Outcome::kFalse);
+  EXPECT_EQ(EvalOutcome(Metric::kTruePositiveRate, true, false),
+            Outcome::kBottom);
+  EXPECT_EQ(EvalOutcome(Metric::kTrueNegativeRate, false, false),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kTrueNegativeRate, true, false),
+            Outcome::kFalse);
+  EXPECT_EQ(EvalOutcome(Metric::kTrueNegativeRate, false, true),
+            Outcome::kBottom);
+}
+
+TEST(EvalOutcomeTest, PrecisionFamilyConditionsOnPrediction) {
+  EXPECT_EQ(EvalOutcome(Metric::kPositivePredictiveValue, true, true),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kPositivePredictiveValue, true, false),
+            Outcome::kFalse);
+  EXPECT_EQ(EvalOutcome(Metric::kPositivePredictiveValue, false, true),
+            Outcome::kBottom);
+  EXPECT_EQ(EvalOutcome(Metric::kFalseDiscoveryRate, true, false),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kFalseOmissionRate, false, true),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kFalseOmissionRate, true, true),
+            Outcome::kBottom);
+  EXPECT_EQ(EvalOutcome(Metric::kNegativePredictiveValue, false, false),
+            Outcome::kTrue);
+}
+
+TEST(EvalOutcomeTest, RatesIgnoreTheOtherLabel) {
+  EXPECT_EQ(EvalOutcome(Metric::kPositiveRate, false, true),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kPositiveRate, true, false),
+            Outcome::kFalse);
+  EXPECT_EQ(EvalOutcome(Metric::kPredictedPositiveRate, true, false),
+            Outcome::kTrue);
+  EXPECT_EQ(EvalOutcome(Metric::kPredictedPositiveRate, false, true),
+            Outcome::kFalse);
+}
+
+TEST(ComputeOutcomesTest, Vectorized) {
+  auto out = ComputeOutcomes(Metric::kFalsePositiveRate, {1, 0, 1},
+                             {0, 0, 1});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0], Outcome::kTrue);
+  EXPECT_EQ((*out)[1], Outcome::kFalse);
+  EXPECT_EQ((*out)[2], Outcome::kBottom);
+}
+
+TEST(ComputeOutcomesTest, LengthMismatchRejected) {
+  EXPECT_FALSE(ComputeOutcomes(Metric::kAccuracy, {1}, {1, 0}).ok());
+}
+
+TEST(ComputeOutcomesTest, NonBinaryLabelRejected) {
+  EXPECT_FALSE(ComputeOutcomes(Metric::kAccuracy, {2}, {0}).ok());
+  EXPECT_FALSE(ComputeOutcomes(Metric::kAccuracy, {1}, {-1}).ok());
+}
+
+TEST(MetricNameTest, ShortIdentifiers) {
+  EXPECT_STREQ(MetricName(Metric::kFalsePositiveRate), "FPR");
+  EXPECT_STREQ(MetricName(Metric::kFalseNegativeRate), "FNR");
+  EXPECT_STREQ(MetricName(Metric::kErrorRate), "ER");
+  EXPECT_STREQ(MetricName(Metric::kAccuracy), "ACC");
+}
+
+}  // namespace
+}  // namespace divexp

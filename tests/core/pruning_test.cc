@@ -1,0 +1,116 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/test_explore.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+using testing::ExploreForTest;
+
+PatternTable MakeNoisyTable(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> rows;
+  std::string outcomes;
+  for (int i = 0; i < 300; ++i) {
+    const int a0 = static_cast<int>(rng.Below(2));
+    const int a1 = static_cast<int>(rng.Below(2));
+    const int a2 = static_cast<int>(rng.Below(3));
+    rows.push_back({a0, a1, a2});
+    // Rate depends on a0 strongly, a1 weakly, a2 not at all.
+    const double p = 0.2 + 0.5 * a0 + 0.05 * a1;
+    outcomes += rng.Bernoulli(p) ? 'T' : 'F';
+  }
+  return ExploreForTest(rows, {2, 2, 3}, outcomes, 0.02);
+}
+
+TEST(RedundancyPruneTest, SurvivorsHaveLargeMarginalsEverywhere) {
+  const PatternTable table = MakeNoisyTable(5);
+  const double eps = 0.05;
+  for (size_t i : RedundancyPrune(table, eps)) {
+    const PatternRow& row = table.row(i);
+    for (uint32_t alpha : row.items) {
+      const double marginal =
+          row.divergence - *table.Divergence(Without(row.items, alpha));
+      EXPECT_GT(std::fabs(marginal), eps)
+          << table.ItemsetName(row.items);
+    }
+  }
+}
+
+TEST(RedundancyPruneTest, PrunedRowsHaveSomeSmallMarginal) {
+  const PatternTable table = MakeNoisyTable(5);
+  const double eps = 0.05;
+  const auto kept = RedundancyPrune(table, eps);
+  std::vector<bool> is_kept(table.size(), false);
+  for (size_t i : kept) is_kept[i] = true;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    if (row.items.empty() || is_kept[i]) continue;
+    bool found_small = false;
+    for (uint32_t alpha : row.items) {
+      const double marginal =
+          row.divergence - *table.Divergence(Without(row.items, alpha));
+      if (std::fabs(marginal) <= eps) found_small = true;
+    }
+    EXPECT_TRUE(found_small) << table.ItemsetName(row.items);
+  }
+}
+
+TEST(RedundancyPruneTest, CountMonotoneInEpsilon) {
+  // Paper Fig. 10: larger ε prunes more.
+  const PatternTable table = MakeNoisyTable(9);
+  const std::vector<double> epsilons = {0.0, 0.01, 0.02, 0.05, 0.1, 0.3};
+  const auto counts = PrunedCountsByEpsilon(table, epsilons);
+  ASSERT_EQ(counts.size(), epsilons.size());
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_LE(counts[i], counts[i - 1]);
+  }
+  // ε = 0 keeps every pattern whose items all matter (non-zero
+  // marginals); a huge ε prunes everything.
+  EXPECT_EQ(RedundancyPrune(table, 10.0).size(), 0u);
+}
+
+TEST(RedundancyPruneTest, EmptyItemsetAlwaysDropped) {
+  const PatternTable table = MakeNoisyTable(11);
+  for (size_t i : RedundancyPrune(table, 0.0)) {
+    EXPECT_FALSE(table.row(i).items.empty());
+  }
+}
+
+TEST(RedundancyPruneTest, IrrelevantAttributePatternsPruned) {
+  // Deterministic grid where attribute a2 carries exactly zero signal:
+  // every pattern containing an a2 item has a zero marginal for it and
+  // must be pruned even at ε = 0.
+  std::vector<std::vector<int>> rows;
+  std::string outcomes;
+  for (int a0 : {0, 1}) {
+    for (int a1 : {0, 1}) {
+      for (int a2 : {0, 1, 2}) {
+        for (int k = 0; k < 10; ++k) {
+          rows.push_back({a0, a1, a2});
+          // Exact per-(a0, a1) cell rates, identical across a2.
+          const int t_count = 2 + 5 * a0 + 2 * a1;
+          outcomes += (k < t_count) ? 'T' : 'F';
+        }
+      }
+    }
+  }
+  const PatternTable table = ExploreForTest(rows, {2, 2, 3}, outcomes,
+                                            0.01);
+  const auto kept = RedundancyPrune(table, 0.0);
+  EXPECT_FALSE(kept.empty());
+  for (size_t i : kept) {
+    for (uint32_t alpha : table.row(i).items) {
+      EXPECT_NE(table.catalog().item(alpha).attribute, 2u)
+          << table.ItemsetName(table.row(i).items);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace divexp

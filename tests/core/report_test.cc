@@ -1,0 +1,89 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/test_explore.h"
+
+namespace divexp {
+namespace {
+
+using testing::ExploreForTest;
+
+PatternTable MakeTable() {
+  return ExploreForTest(
+      {{0, 0}, {0, 0}, {0, 1}, {0, 1}, {1, 0}, {1, 0}, {1, 1}, {1, 1}},
+      {2, 2}, "FFFTTTTB", 0.1);
+}
+
+TEST(FormatPatternRowsTest, HeaderAndRowsRendered) {
+  const PatternTable table = MakeTable();
+  const auto top = table.TopK(3);
+  const std::string out = FormatPatternRows(table, top, "d_FPR");
+  EXPECT_NE(out.find("Itemset"), std::string::npos);
+  EXPECT_NE(out.find("d_FPR"), std::string::npos);
+  EXPECT_NE(out.find("Sup"), std::string::npos);
+  // One header + 3 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(FormatContributionsTest, SortedWithBars) {
+  const PatternTable table = MakeTable();
+  auto contributions = ShapleyContributions(table, Itemset{1, 3});
+  ASSERT_TRUE(contributions.ok());
+  const std::string out = FormatContributions(table, *contributions);
+  EXPECT_NE(out.find("a0=v1"), std::string::npos);
+  EXPECT_NE(out.find("a1=v1"), std::string::npos);
+  EXPECT_NE(out.find("#"), std::string::npos);  // at least one bar
+}
+
+TEST(FormatCorrectiveItemsTest, RendersColumns) {
+  const PatternTable table = MakeTable();
+  std::vector<CorrectiveItem> items(1);
+  items[0].base = Itemset{1};
+  items[0].item = 3;
+  items[0].base_divergence = 0.4;
+  items[0].with_divergence = 0.1;
+  items[0].factor = 0.3;
+  items[0].t = 2.5;
+  const std::string out = FormatCorrectiveItems(table, items, 0);
+  EXPECT_NE(out.find("corr. item"), std::string::npos);
+  EXPECT_NE(out.find("a0=v1"), std::string::npos);
+  EXPECT_NE(out.find("a1=v1"), std::string::npos);
+  EXPECT_NE(out.find("0.300"), std::string::npos);
+}
+
+TEST(FormatCorrectiveItemsTest, TopKLimitsRows) {
+  const PatternTable table = MakeTable();
+  std::vector<CorrectiveItem> items(5);
+  for (auto& c : items) {
+    c.base = Itemset{1};
+    c.item = 3;
+  }
+  const std::string out = FormatCorrectiveItems(table, items, 2);
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(FormatGlobalDivergenceTest, SortedByGlobal) {
+  const PatternTable table = MakeTable();
+  const auto globals = ComputeGlobalItemDivergence(table);
+  const std::string out = FormatGlobalDivergence(table, globals);
+  EXPECT_NE(out.find("global"), std::string::npos);
+  EXPECT_NE(out.find("individual"), std::string::npos);
+  // All four items present.
+  EXPECT_NE(out.find("a0=v0"), std::string::npos);
+  EXPECT_NE(out.find("a1=v1"), std::string::npos);
+}
+
+TEST(FormatGlobalDivergenceTest, TopKTruncates) {
+  const PatternTable table = MakeTable();
+  const auto globals = ComputeGlobalItemDivergence(table);
+  const std::string out = FormatGlobalDivergence(table, globals, 2);
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace divexp

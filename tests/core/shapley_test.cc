@@ -1,0 +1,147 @@
+#include "core/shapley.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testing/test_explore.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+using testing::ExploreForTest;
+
+PatternTable MakeRandomTable(uint64_t seed, size_t rows = 120,
+                             size_t attrs = 3, int domain = 2,
+                             double support = 0.01) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells(rows, std::vector<int>(attrs));
+  std::string outcomes;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < attrs; ++a) {
+      cells[r][a] = static_cast<int>(rng.Below(domain));
+    }
+    const double u = rng.Uniform();
+    outcomes += (u < 0.35 ? 'T' : u < 0.8 ? 'F' : 'B');
+  }
+  return ExploreForTest(cells, std::vector<int>(attrs, domain), outcomes,
+                        support);
+}
+
+TEST(ShapleyTest, EfficiencyAxiomContributionsSumToDivergence) {
+  // Fundamental Shapley property: sum of contributions equals Δ(I).
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const PatternTable table = MakeRandomTable(seed);
+    for (size_t i = 0; i < table.size(); ++i) {
+      const PatternRow& row = table.row(i);
+      if (row.items.empty()) continue;
+      auto contributions = ShapleyContributions(table, row.items);
+      ASSERT_TRUE(contributions.ok());
+      double sum = 0.0;
+      for (const auto& c : *contributions) sum += c.contribution;
+      EXPECT_NEAR(sum, row.divergence, 1e-9)
+          << table.ItemsetName(row.items);
+    }
+  }
+}
+
+TEST(ShapleyTest, SingleItemContributionIsItsDivergence) {
+  const PatternTable table = MakeRandomTable(7);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    if (row.items.size() != 1) continue;
+    auto contributions = ShapleyContributions(table, row.items);
+    ASSERT_TRUE(contributions.ok());
+    ASSERT_EQ(contributions->size(), 1u);
+    EXPECT_NEAR((*contributions)[0].contribution, row.divergence, 1e-12);
+  }
+}
+
+TEST(ShapleyTest, SymmetryForInterchangeableItems) {
+  // Two perfectly correlated attributes: their items contribute equally
+  // (Shapley symmetry axiom).
+  std::vector<std::vector<int>> rows;
+  std::string outcomes;
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    const int v = rng.Bernoulli(0.5) ? 1 : 0;
+    rows.push_back({v, v});
+    // Divergent outcomes when v == 1.
+    outcomes += (v == 1 ? (rng.Bernoulli(0.9) ? 'T' : 'F')
+                        : (rng.Bernoulli(0.3) ? 'T' : 'F'));
+  }
+  const PatternTable table = ExploreForTest(rows, {2, 2}, outcomes, 0.05);
+  // Itemset {a0=v1, a1=v1} = items {1, 3}.
+  auto contributions = ShapleyContributions(table, Itemset{1, 3});
+  ASSERT_TRUE(contributions.ok());
+  ASSERT_EQ(contributions->size(), 2u);
+  EXPECT_NEAR((*contributions)[0].contribution,
+              (*contributions)[1].contribution, 1e-12);
+}
+
+TEST(ShapleyTest, NullItemGetsZero) {
+  // Attribute a1 is pure noise with identical outcome distribution on
+  // both values; construct deterministic rows so Δ is exactly equal
+  // with and without the a1 items.
+  std::vector<std::vector<int>> rows;
+  std::string outcomes;
+  // For each a0 value, outcomes identical across a1 values.
+  for (int a0 : {0, 1}) {
+    for (int a1 : {0, 1}) {
+      // a0=1 gets 3 T + 1 F, a0=0 gets 1 T + 3 F, regardless of a1.
+      for (int k = 0; k < 4; ++k) {
+        rows.push_back({a0, a1});
+        const bool t = (a0 == 1) ? (k < 3) : (k < 1);
+        outcomes += t ? 'T' : 'F';
+      }
+    }
+  }
+  const PatternTable table = ExploreForTest(rows, {2, 2}, outcomes, 0.05);
+  // In {a0=v1, a1=v0} (items {1, 2}), a1=v0 adds nothing.
+  auto contributions = ShapleyContributions(table, Itemset{1, 2});
+  ASSERT_TRUE(contributions.ok());
+  for (const auto& c : *contributions) {
+    if (c.item == 2) EXPECT_NEAR(c.contribution, 0.0, 1e-12);
+  }
+}
+
+TEST(ShapleyTest, MatchesManualTwoItemFormula) {
+  // For |I| = 2: Δ(α|I) = 0.5·[Δ(α) − Δ(∅)] + 0.5·[Δ(I) − Δ(β)].
+  const PatternTable table = MakeRandomTable(13);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    if (row.items.size() != 2) continue;
+    auto contributions = ShapleyContributions(table, row.items);
+    ASSERT_TRUE(contributions.ok());
+    const uint32_t alpha = row.items[0];
+    const uint32_t beta = row.items[1];
+    const double expected =
+        0.5 * (*table.Divergence(Itemset{alpha})) +
+        0.5 * (row.divergence - *table.Divergence(Itemset{beta}));
+    EXPECT_NEAR((*contributions)[0].contribution, expected, 1e-12);
+  }
+}
+
+TEST(ShapleyTest, InfrequentItemsetRejected) {
+  const PatternTable table = MakeRandomTable(17);
+  EXPECT_FALSE(ShapleyContributions(table, Itemset{0, 99}).ok());
+}
+
+TEST(MarginalContributionTest, MatchesDivergenceDifference) {
+  const PatternTable table = MakeRandomTable(19);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    if (row.items.size() < 2) continue;
+    for (uint32_t alpha : row.items) {
+      auto marginal = MarginalContribution(table, row.items, alpha);
+      ASSERT_TRUE(marginal.ok());
+      const double expected =
+          row.divergence - *table.Divergence(Without(row.items, alpha));
+      EXPECT_NEAR(*marginal, expected, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace divexp

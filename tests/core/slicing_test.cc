@@ -1,0 +1,112 @@
+#include "core/slicing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "testing/test_data.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+
+struct Labeled {
+  EncodedDataset dataset;
+  std::vector<int> preds;
+  std::vector<int> truths;
+};
+
+Labeled MakeLabeled(uint64_t seed, size_t rows = 400) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells;
+  Labeled out;
+  for (size_t r = 0; r < rows; ++r) {
+    cells.push_back({static_cast<int>(rng.Below(3)),
+                     static_cast<int>(rng.Below(2))});
+    out.preds.push_back(
+        rng.Bernoulli(0.2 + 0.3 * cells.back()[1]) ? 1 : 0);
+    out.truths.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+  }
+  out.dataset = MakeEncoded(cells, {3, 2});
+  return out;
+}
+
+TEST(EvaluateSlicesTest, AgreesWithPatternTableOnFrequentSlices) {
+  const Labeled data = MakeLabeled(1);
+  ExplorerOptions opts;
+  opts.min_support = 0.01;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(data.dataset, data.preds, data.truths,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+
+  const std::vector<SliceSpec> specs = {
+      {{"a0", "v1"}},
+      {{"a1", "v1"}},
+      {{"a0", "v2"}, {"a1", "v0"}},
+  };
+  auto reports = EvaluateSlices(data.dataset, data.preds, data.truths,
+                                Metric::kFalsePositiveRate, specs);
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), specs.size());
+  for (const SliceReport& r : *reports) {
+    auto idx = table->Find(r.items);
+    ASSERT_TRUE(idx.has_value());
+    const PatternRow& row = table->row(*idx);
+    EXPECT_EQ(r.counts, row.counts);
+    EXPECT_DOUBLE_EQ(r.support, row.support);
+    EXPECT_DOUBLE_EQ(r.divergence, row.divergence);
+    EXPECT_DOUBLE_EQ(r.t, row.t);
+  }
+}
+
+TEST(EvaluateSlicesTest, WorksBelowAnyMiningThreshold) {
+  // A slice so specific it would never be frequent still evaluates.
+  std::vector<std::vector<int>> cells(100, {0, 0});
+  cells[7] = {2, 1};  // a single row
+  Labeled data;
+  data.dataset = MakeEncoded(cells, {3, 2});
+  data.preds.assign(100, 0);
+  data.truths.assign(100, 0);
+  data.preds[7] = 1;  // the one row is a false positive
+  auto reports =
+      EvaluateSlices(data.dataset, data.preds, data.truths,
+                     Metric::kFalsePositiveRate,
+                     {{{"a0", "v2"}, {"a1", "v1"}}});
+  ASSERT_TRUE(reports.ok());
+  ASSERT_EQ(reports->size(), 1u);
+  EXPECT_EQ((*reports)[0].counts.total(), 1u);
+  EXPECT_DOUBLE_EQ((*reports)[0].rate, 1.0);
+  EXPECT_NEAR((*reports)[0].divergence, 1.0 - 0.01, 1e-12);
+}
+
+TEST(EvaluateSlicesTest, EmptySpecIsWholeDataset) {
+  const Labeled data = MakeLabeled(3);
+  auto reports = EvaluateSlices(data.dataset, data.preds, data.truths,
+                                Metric::kErrorRate, {SliceSpec{}});
+  ASSERT_TRUE(reports.ok());
+  EXPECT_DOUBLE_EQ((*reports)[0].support, 1.0);
+  EXPECT_DOUBLE_EQ((*reports)[0].divergence, 0.0);
+}
+
+TEST(EvaluateSlicesTest, BadSpecsRejected) {
+  const Labeled data = MakeLabeled(5);
+  EXPECT_FALSE(EvaluateSlices(data.dataset, data.preds, data.truths,
+                              Metric::kErrorRate, {{{"zzz", "v0"}}})
+                   .ok());
+  EXPECT_FALSE(EvaluateSlices(data.dataset, data.preds, data.truths,
+                              Metric::kErrorRate, {{{"a0", "nope"}}})
+                   .ok());
+  EXPECT_FALSE(
+      EvaluateSlices(data.dataset, data.preds, data.truths,
+                     Metric::kErrorRate,
+                     {{{"a0", "v0"}, {"a0", "v1"}}})
+          .ok());
+  EXPECT_FALSE(EvaluateSlices(data.dataset, {1, 0}, data.truths,
+                              Metric::kErrorRate, {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace divexp

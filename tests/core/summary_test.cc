@@ -1,0 +1,97 @@
+#include "core/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+
+struct Labeled {
+  EncodedDataset dataset;
+  std::vector<int> preds;
+  std::vector<int> truths;
+};
+
+Labeled MakeLabeled(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells;
+  Labeled out;
+  for (int r = 0; r < 500; ++r) {
+    cells.push_back({static_cast<int>(rng.Below(2)),
+                     static_cast<int>(rng.Below(3))});
+    out.truths.push_back(rng.Bernoulli(0.4) ? 1 : 0);
+    // High-FPR pocket at a0=1.
+    const double p = cells.back()[0] == 1 ? 0.5 : 0.1;
+    out.preds.push_back(
+        out.truths.back() == 1 || rng.Bernoulli(p) ? 1 : 0);
+  }
+  out.dataset = MakeEncoded(cells, {2, 3});
+  return out;
+}
+
+TEST(AuditReportTest, ContainsAllSections) {
+  const Labeled data = MakeLabeled(1);
+  AuditReportOptions opts;
+  opts.explorer.min_support = 0.05;
+  auto report = GenerateAuditReport(data.dataset, data.preds,
+                                    data.truths, opts);
+  ASSERT_TRUE(report.ok());
+  const std::string& md = *report;
+  EXPECT_NE(md.find("# Model divergence audit"), std::string::npos);
+  EXPECT_NE(md.find("## FPR divergence"), std::string::npos);
+  EXPECT_NE(md.find("## FNR divergence"), std::string::npos);
+  EXPECT_NE(md.find("## ER divergence"), std::string::npos);
+  EXPECT_NE(md.find("## Global item divergence"), std::string::npos);
+  EXPECT_NE(md.find("Redundancy pruning"), std::string::npos);
+  EXPECT_NE(md.find("Item contributions"), std::string::npos);
+  // The injected high-FPR pocket shows up.
+  EXPECT_NE(md.find("a0=v1"), std::string::npos);
+}
+
+TEST(AuditReportTest, CustomTitleAndMetrics) {
+  const Labeled data = MakeLabeled(2);
+  AuditReportOptions opts;
+  opts.title = "Quarterly fairness review";
+  opts.metrics = {Metric::kAccuracy};
+  auto report = GenerateAuditReport(data.dataset, data.preds,
+                                    data.truths, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("# Quarterly fairness review"),
+            std::string::npos);
+  EXPECT_NE(report->find("## ACC divergence"), std::string::npos);
+  EXPECT_EQ(report->find("## FPR divergence"), std::string::npos);
+}
+
+TEST(AuditReportTest, EmptyMetricsRejected) {
+  const Labeled data = MakeLabeled(3);
+  AuditReportOptions opts;
+  opts.metrics.clear();
+  EXPECT_FALSE(GenerateAuditReport(data.dataset, data.preds,
+                                   data.truths, opts)
+                   .ok());
+}
+
+TEST(AuditReportTest, MarkdownTablesWellFormed) {
+  const Labeled data = MakeLabeled(4);
+  auto report =
+      GenerateAuditReport(data.dataset, data.preds, data.truths);
+  ASSERT_TRUE(report.ok());
+  // Every table header is followed by its separator row.
+  size_t pos = 0;
+  int tables = 0;
+  while ((pos = report->find("| pattern |", pos)) != std::string::npos) {
+    const size_t nl = report->find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_EQ(report->compare(nl + 1, 4, "|---"), 0);
+    ++tables;
+    ++pos;
+  }
+  EXPECT_EQ(tables, 3);  // one per default metric
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,133 @@
+#include "core/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/shapley.h"
+#include "testing/test_explore.h"
+
+namespace divexp {
+namespace {
+
+using testing::ExploreForTest;
+
+PatternTable MakeTable() {
+  return ExploreForTest(
+      {{0, 0}, {0, 0}, {0, 1}, {0, 1}, {1, 0}, {1, 0}, {1, 1}, {1, 1}},
+      {2, 2}, "FFFTTTTB", 0.1);
+}
+
+TEST(TableIoTest, CsvHasHeaderAndAllRows) {
+  const PatternTable table = MakeTable();
+  const std::string csv = WritePatternTableCsv(table);
+  EXPECT_NE(csv.find("itemset,length,support"), std::string::npos);
+  // header + one line per pattern (incl. baseline).
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            table.size() + 1);
+  EXPECT_NE(csv.find("a0=v0 AND a1=v1"), std::string::npos);
+}
+
+TEST(TableIoTest, RoundTripPreservesEverything) {
+  const PatternTable table = MakeTable();
+  const std::string csv = WritePatternTableCsv(table);
+  auto back = ReadPatternTableCsv(csv, table.num_dataset_rows());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), table.size());
+  EXPECT_DOUBLE_EQ(back->global_rate(), table.global_rate());
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
+    // Item ids may be renumbered; match by rendered name.
+    auto parsed = back->ParseItemset([&] {
+      std::vector<std::pair<std::string, std::string>> desc;
+      for (uint32_t id : row.items) {
+        const auto& info = table.catalog().item(id);
+        desc.emplace_back(
+            table.catalog().attribute_name(info.attribute), info.value);
+      }
+      return desc;
+    }());
+    ASSERT_TRUE(parsed.ok());
+    auto j = back->Find(*parsed);
+    ASSERT_TRUE(j.has_value()) << table.ItemsetName(row.items);
+    const PatternRow& other = back->row(*j);
+    EXPECT_EQ(other.counts, row.counts);
+    EXPECT_DOUBLE_EQ(other.support, row.support);
+    EXPECT_DOUBLE_EQ(other.divergence, row.divergence);
+    EXPECT_NEAR(other.t, row.t, 1e-9);
+  }
+}
+
+TEST(TableIoTest, RoundTrippedTableSupportsAnalysis) {
+  const PatternTable table = MakeTable();
+  auto back = ReadPatternTableCsv(WritePatternTableCsv(table),
+                                  table.num_dataset_rows());
+  ASSERT_TRUE(back.ok());
+  // Shapley over the reloaded table works and satisfies efficiency.
+  auto pair = back->ParseItemset({{"a0", "v1"}, {"a1", "v1"}});
+  ASSERT_TRUE(pair.ok());
+  auto contributions = ShapleyContributions(*back, *pair);
+  ASSERT_TRUE(contributions.ok());
+  double sum = 0.0;
+  for (const auto& c : *contributions) sum += c.contribution;
+  EXPECT_NEAR(sum, *back->Divergence(*pair), 1e-9);
+}
+
+TEST(TableIoTest, FileRoundTrip) {
+  const PatternTable table = MakeTable();
+  const std::string path = "/tmp/divexp_table_io_test.csv";
+  ASSERT_TRUE(WritePatternTableFile(table, path).ok());
+  auto back = ReadPatternTableFile(path, table.num_dataset_rows());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), table.size());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, ValuesWithCommasSurviveQuoting) {
+  // Values containing commas (e.g. interval labels "[1,3]") must be
+  // quoted on write and recovered on read.
+  std::vector<std::vector<int>> rows;
+  std::string outcomes;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back({i % 2});
+    outcomes += (i % 3 == 0) ? 'T' : 'F';
+  }
+  EncodedDataset ds;
+  ds.num_rows = rows.size();
+  ds.num_attributes = 1;
+  ds.catalog.AddAttribute("prior", {"[1,3]", ">3"});
+  for (const auto& row : rows) {
+    ds.cells.push_back(static_cast<uint32_t>(row[0]));
+  }
+  ExplorerOptions opts;
+  opts.min_support = 0.1;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(
+      ds, testing::OutcomesFromString(outcomes));
+  ASSERT_TRUE(table.ok());
+  auto back = ReadPatternTableCsv(WritePatternTableCsv(*table),
+                                  table->num_dataset_rows());
+  ASSERT_TRUE(back.ok());
+  auto item = back->ParseItemset({{"prior", "[1,3]"}});
+  ASSERT_TRUE(item.ok());
+  EXPECT_TRUE(back->Contains(*item));
+}
+
+TEST(TableIoTest, MissingColumnsRejected) {
+  auto r = ReadPatternTableCsv("foo,bar\n1,2\n", 10);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableIoTest, MissingBaselineRejected) {
+  // A CSV without the empty-itemset row cannot define the global rate.
+  const std::string csv =
+      "itemset,length,support,t_count,f_count,bot_count,rate,divergence,"
+      "t_stat\n"
+      "a=x,1,0.5,1,1,0,0.5,0.0,0.0\n";
+  auto r = ReadPatternTableCsv(csv, 4);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace divexp

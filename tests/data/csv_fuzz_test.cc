@@ -1,0 +1,93 @@
+// Robustness fuzzing for the CSV parser: random byte soup and
+// structured-but-hostile inputs must never crash — every input either
+// parses or returns a Status.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "data/csv.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+TEST(CsvFuzzTest, RandomByteSoupNeverCrashes) {
+  Rng rng(2024);
+  const std::string alphabet =
+      "abcXYZ019 ,\"\n\r\t.;|?-";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const size_t len = rng.Below(400);
+    for (size_t i = 0; i < len; ++i) {
+      text += alphabet[rng.Below(alphabet.size())];
+    }
+    auto result = ReadCsvString(text);
+    if (result.ok()) {
+      // Parsed tables must be internally consistent.
+      for (size_t c = 0; c < result->num_columns(); ++c) {
+        EXPECT_EQ(result->GetAt(c).size(), result->num_rows());
+      }
+    }
+  }
+}
+
+TEST(CsvFuzzTest, HostileStructuredInputs) {
+  const char* inputs[] = {
+      "\n",
+      "\n\n\n",
+      ",",
+      ",,,\n,,,\n",
+      "\"",
+      "a,b\n\"unterminated,1\n",
+      "a,b\n\"\"\"\",2\n",
+      "a\n" "999999999999999999999999999\n",
+      "a\n-\n",
+      "a\n1e400\n",      // double overflow
+      "a\nnan\n",        // NA token
+      "x,y\r\n\"a\r\nb\",2\r\n",  // newline inside quotes
+  };
+  for (const char* text : inputs) {
+    auto result = ReadCsvString(text);  // must not crash either way
+    if (result.ok()) {
+      for (size_t c = 0; c < result->num_columns(); ++c) {
+        EXPECT_EQ(result->GetAt(c).size(), result->num_rows());
+      }
+    }
+  }
+}
+
+TEST(CsvFuzzTest, EmbeddedNewlineInQuotesRoundTrips) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddColumn(Column::MakeCategorical(
+                               "c", {0, 1}, {"line1\nline2", "plain"}))
+                  .ok());
+  auto back = ReadCsvString(WriteCsvString(df));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->Get("c").ValueString(0), "line1\nline2");
+}
+
+TEST(CsvFuzzTest, VeryWideAndVeryTallTables) {
+  // 200 columns.
+  std::string wide = "c0";
+  for (int c = 1; c < 200; ++c) wide += ",c" + std::to_string(c);
+  wide += "\n";
+  for (int r = 0; r < 3; ++r) {
+    wide += "1";
+    for (int c = 1; c < 200; ++c) wide += ",2";
+    wide += "\n";
+  }
+  auto wide_result = ReadCsvString(wide);
+  ASSERT_TRUE(wide_result.ok());
+  EXPECT_EQ(wide_result->num_columns(), 200u);
+
+  // 20000 rows.
+  std::string tall = "v\n";
+  for (int r = 0; r < 20000; ++r) tall += std::to_string(r % 7) + "\n";
+  auto tall_result = ReadCsvString(tall);
+  ASSERT_TRUE(tall_result.ok());
+  EXPECT_EQ(tall_result->num_rows(), 20000u);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,111 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace divexp {
+namespace {
+
+TEST(CsvReadTest, InfersIntDoubleCategorical) {
+  const std::string text =
+      "id,score,label\n"
+      "1,0.5,yes\n"
+      "2,1.5,no\n"
+      "3,2.0,yes\n";
+  auto df = ReadCsvString(text);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 3u);
+  EXPECT_EQ(df->Get("id").type(), ColumnType::kInt);
+  EXPECT_EQ(df->Get("score").type(), ColumnType::kDouble);
+  EXPECT_EQ(df->Get("label").type(), ColumnType::kCategorical);
+  EXPECT_EQ(df->Get("label").ValueString(1), "no");
+}
+
+TEST(CsvReadTest, NaValuesBecomeMissing) {
+  const std::string text = "a,b\n1.5,x\n?,y\n2.5,NA\n";
+  auto df = ReadCsvString(text);
+  ASSERT_TRUE(df.ok());
+  EXPECT_TRUE(df->Get("a").IsMissing(1));
+  EXPECT_TRUE(df->Get("b").IsMissing(2));
+}
+
+TEST(CsvReadTest, IntColumnWithMissingBecomesDouble) {
+  const std::string text = "n\n1\n?\n3\n";
+  auto df = ReadCsvString(text);
+  ASSERT_TRUE(df.ok());
+  // Ints cannot represent missing, so the column is promoted.
+  EXPECT_EQ(df->Get("n").type(), ColumnType::kDouble);
+  EXPECT_TRUE(df->Get("n").IsMissing(1));
+}
+
+TEST(CsvReadTest, QuotedFieldsWithDelimitersAndQuotes) {
+  const std::string text =
+      "name,notes\n"
+      "\"Smith, John\",\"said \"\"hi\"\"\"\n";
+  CsvOptions opts;
+  opts.strings_as_categorical = false;
+  auto df = ReadCsvString(text, opts);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->Get("name").strings()[0], "Smith, John");
+  EXPECT_EQ(df->Get("notes").strings()[0], "said \"hi\"");
+}
+
+TEST(CsvReadTest, CrLfLineEndings) {
+  const std::string text = "a,b\r\n1,2\r\n3,4\r\n";
+  auto df = ReadCsvString(text);
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 2u);
+  EXPECT_EQ(df->Get("b").ints()[1], 4);
+}
+
+TEST(CsvReadTest, FieldCountMismatchIsError) {
+  auto df = ReadCsvString("a,b\n1,2,3\n");
+  EXPECT_FALSE(df.ok());
+  EXPECT_EQ(df.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvReadTest, EmptyInputIsError) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvReadTest, HeaderOnlyGivesEmptyColumns) {
+  auto df = ReadCsvString("x,y\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_columns(), 2u);
+  EXPECT_EQ(df->num_rows(), 0u);
+}
+
+TEST(CsvRoundTripTest, WriteThenReadPreservesValues) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddColumn(Column::MakeInt("n", {1, 2})).ok());
+  ASSERT_TRUE(df.AddColumn(Column::MakeCategorical(
+                               "c", {0, 1}, {"alpha", "beta,comma"}))
+                  .ok());
+  const std::string text = WriteCsvString(df);
+  auto back = ReadCsvString(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 2u);
+  EXPECT_EQ(back->Get("n").ints()[1], 2);
+  EXPECT_EQ(back->Get("c").ValueString(1), "beta,comma");
+}
+
+TEST(CsvFileTest, WriteAndReadFile) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddColumn(Column::MakeDouble("v", {0.25, 0.75})).ok());
+  const std::string path = "/tmp/divexp_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(df, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->Get("v").doubles()[1], 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/tmp/definitely_missing_divexp_file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace divexp

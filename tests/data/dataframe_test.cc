@@ -1,0 +1,144 @@
+#include "data/dataframe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+DataFrame MakeSample() {
+  DataFrame df;
+  EXPECT_TRUE(df.AddColumn(Column::MakeInt("id", {1, 2, 3, 4})).ok());
+  EXPECT_TRUE(
+      df.AddColumn(Column::MakeDouble("v", {0.1, 0.2, 0.3, 0.4})).ok());
+  EXPECT_TRUE(df.AddColumn(Column::MakeCategorical(
+                               "cat", {0, 1, 0, 1}, {"a", "b"}))
+                  .ok());
+  return df;
+}
+
+TEST(DataFrameTest, AddAndLookup) {
+  DataFrame df = MakeSample();
+  EXPECT_EQ(df.num_rows(), 4u);
+  EXPECT_EQ(df.num_columns(), 3u);
+  EXPECT_TRUE(df.HasColumn("v"));
+  EXPECT_FALSE(df.HasColumn("missing"));
+  EXPECT_EQ(df.Get("id").ints()[2], 3);
+  EXPECT_EQ(df.GetAt(0).name(), "id");
+}
+
+TEST(DataFrameTest, DuplicateNameRejected) {
+  DataFrame df = MakeSample();
+  const Status s = df.AddColumn(Column::MakeInt("id", {9, 9, 9, 9}));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DataFrameTest, LengthMismatchRejected) {
+  DataFrame df = MakeSample();
+  const Status s = df.AddColumn(Column::MakeInt("short", {1, 2}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DataFrameTest, UnnamedColumnRejected) {
+  DataFrame df;
+  const Status s = df.AddColumn(Column::MakeInt("", {1}));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DataFrameTest, ReplaceColumn) {
+  DataFrame df = MakeSample();
+  EXPECT_TRUE(
+      df.ReplaceColumn(Column::MakeInt("id", {10, 20, 30, 40})).ok());
+  EXPECT_EQ(df.Get("id").ints()[0], 10);
+  EXPECT_EQ(df.num_columns(), 3u);
+}
+
+TEST(DataFrameTest, ReplaceMissingColumnFails) {
+  DataFrame df = MakeSample();
+  const Status s = df.ReplaceColumn(Column::MakeInt("nope", {1, 2, 3, 4}));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(DataFrameTest, DropColumnReindexes) {
+  DataFrame df = MakeSample();
+  EXPECT_TRUE(df.DropColumn("v").ok());
+  EXPECT_EQ(df.num_columns(), 2u);
+  EXPECT_FALSE(df.HasColumn("v"));
+  // Remaining columns still reachable after reindex.
+  EXPECT_EQ(df.Get("cat").codes()[1], 1);
+  EXPECT_EQ(df.Get("id").ints()[3], 4);
+}
+
+TEST(DataFrameTest, FindReturnsStatusForMissing) {
+  DataFrame df = MakeSample();
+  EXPECT_TRUE(df.Find("id").ok());
+  EXPECT_EQ(df.Find("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataFrameTest, SelectReordersColumns) {
+  DataFrame df = MakeSample();
+  auto sel = df.Select({"cat", "id"});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->num_columns(), 2u);
+  EXPECT_EQ(sel->GetAt(0).name(), "cat");
+  EXPECT_EQ(sel->GetAt(1).name(), "id");
+}
+
+TEST(DataFrameTest, SelectMissingFails) {
+  DataFrame df = MakeSample();
+  EXPECT_FALSE(df.Select({"id", "nope"}).ok());
+}
+
+TEST(DataFrameTest, TakeAndFilter) {
+  DataFrame df = MakeSample();
+  DataFrame taken = df.Take({3, 1});
+  EXPECT_EQ(taken.num_rows(), 2u);
+  EXPECT_EQ(taken.Get("id").ints()[0], 4);
+
+  DataFrame filtered = df.Filter({true, false, false, true});
+  EXPECT_EQ(filtered.num_rows(), 2u);
+  EXPECT_EQ(filtered.Get("id").ints()[1], 4);
+}
+
+TEST(DataFrameTest, DropMissingRemovesIncompleteRows) {
+  DataFrame df;
+  ASSERT_TRUE(
+      df.AddColumn(Column::MakeDouble("x", {1.0, std::nan(""), 3.0}))
+          .ok());
+  ASSERT_TRUE(df.AddColumn(Column::MakeCategorical("c", {0, 0, -1},
+                                                   {"only"}))
+                  .ok());
+  DataFrame clean = df.DropMissing();
+  EXPECT_EQ(clean.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(clean.Get("x").doubles()[0], 1.0);
+}
+
+TEST(DataFrameTest, CompleteRowsIndices) {
+  DataFrame df;
+  ASSERT_TRUE(
+      df.AddColumn(Column::MakeDouble("x", {std::nan(""), 2.0})).ok());
+  const auto rows = df.CompleteRows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(DataFrameTest, HeadRendersHeaderAndRows) {
+  DataFrame df = MakeSample();
+  const std::string head = df.Head(2);
+  EXPECT_NE(head.find("id"), std::string::npos);
+  EXPECT_NE(head.find("cat"), std::string::npos);
+  EXPECT_NE(head.find("a"), std::string::npos);
+  // Only 2 data rows + 1 header line.
+  EXPECT_EQ(std::count(head.begin(), head.end(), '\n'), 3);
+}
+
+TEST(DataFrameTest, EmptyFrameBasics) {
+  DataFrame df;
+  EXPECT_EQ(df.num_rows(), 0u);
+  EXPECT_EQ(df.num_columns(), 0u);
+  EXPECT_TRUE(df.ColumnNames().empty());
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,99 @@
+#include "data/encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace {
+
+DataFrame MakeCategoricalFrame() {
+  DataFrame df;
+  EXPECT_TRUE(df.AddColumn(Column::MakeCategorical(
+                               "color", {0, 1, 0, 2}, {"r", "g", "b"}))
+                  .ok());
+  EXPECT_TRUE(df.AddColumn(Column::MakeCategorical(
+                               "size", {1, 0, 1, 1}, {"S", "L"}))
+                  .ok());
+  return df;
+}
+
+TEST(ItemCatalogTest, ContiguousIdsPerAttribute) {
+  ItemCatalog catalog;
+  const uint32_t a0 = catalog.AddAttribute("x", {"1", "2", "3"});
+  const uint32_t a1 = catalog.AddAttribute("y", {"u", "v"});
+  EXPECT_EQ(a0, 0u);
+  EXPECT_EQ(a1, 1u);
+  EXPECT_EQ(catalog.num_items(), 5u);
+  EXPECT_EQ(catalog.first_item(0), 0u);
+  EXPECT_EQ(catalog.first_item(1), 3u);
+  EXPECT_EQ(catalog.domain_size(0), 3u);
+  EXPECT_EQ(catalog.domain_size(1), 2u);
+  EXPECT_EQ(catalog.item(4).attribute, 1u);
+  EXPECT_EQ(catalog.ItemName(3), "y=u");
+}
+
+TEST(ItemCatalogTest, FindItemAndAttribute) {
+  ItemCatalog catalog;
+  catalog.AddAttribute("x", {"1", "2"});
+  catalog.AddAttribute("y", {"u"});
+  auto id = catalog.FindItem("y", "u");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2u);
+  EXPECT_FALSE(catalog.FindItem("y", "zzz").ok());
+  EXPECT_FALSE(catalog.FindItem("nope", "u").ok());
+  auto attr = catalog.FindAttribute("x");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(*attr, 0u);
+}
+
+TEST(EncodeDataFrameTest, EncodesCellsRowMajor) {
+  auto encoded = EncodeDataFrame(MakeCategoricalFrame());
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->num_rows, 4u);
+  EXPECT_EQ(encoded->num_attributes, 2u);
+  EXPECT_EQ(encoded->catalog.num_items(), 5u);
+  // Row 0: color=r (item 0), size=L (item 3 + 1 = 4).
+  EXPECT_EQ(encoded->at(0, 0), 0u);
+  EXPECT_EQ(encoded->at(0, 1), 4u);
+  // Row 3: color=b (item 2), size=L (item 4).
+  EXPECT_EQ(encoded->at(3, 0), 2u);
+  EXPECT_EQ(encoded->at(3, 1), 4u);
+}
+
+TEST(EncodeDataFrameTest, NonCategoricalRejected) {
+  DataFrame df;
+  ASSERT_TRUE(df.AddColumn(Column::MakeDouble("x", {1.0})).ok());
+  auto encoded = EncodeDataFrame(df);
+  EXPECT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EncodeDataFrameTest, MissingValueRejected) {
+  DataFrame df;
+  ASSERT_TRUE(
+      df.AddColumn(Column::MakeCategorical("c", {0, -1}, {"v"})).ok());
+  EXPECT_FALSE(EncodeDataFrame(df).ok());
+}
+
+TEST(EncodeDataFrameTest, EmptyFrameRejected) {
+  EXPECT_FALSE(EncodeDataFrame(DataFrame()).ok());
+}
+
+TEST(EncodedDatasetTest, CoverMatchesConjunction) {
+  auto encoded = EncodeDataFrame(MakeCategoricalFrame());
+  ASSERT_TRUE(encoded.ok());
+  // color=r is item 0; rows 0 and 2.
+  auto rows = encoded->Cover({0});
+  EXPECT_EQ(rows, (std::vector<size_t>{0, 2}));
+  // color=r AND size=L (item 4): rows 0 and 2 both have size=L.
+  rows = encoded->Cover({0, 4});
+  EXPECT_EQ(rows, (std::vector<size_t>{0, 2}));
+  // color=g AND size=L: row 1 has size=S, so empty.
+  rows = encoded->Cover({1, 4});
+  EXPECT_TRUE(rows.empty());
+  // Empty itemset covers everything.
+  rows = encoded->Cover({});
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,192 @@
+#include "datasets/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "data/csv.h"
+#include "data/encoder.h"
+#include "model/metrics.h"
+
+namespace divexp {
+namespace {
+
+TEST(DatasetFactoryTest, AllNamesResolve) {
+  for (const std::string& name : AllDatasetNames()) {
+    auto ds = MakeByName(name);
+    ASSERT_TRUE(ds.ok()) << name;
+    EXPECT_EQ(ds->name, name);
+    EXPECT_EQ(ds->truth.size(), ds->discretized.num_rows());
+    EXPECT_EQ(ds->raw.num_rows(), ds->discretized.num_rows());
+  }
+  EXPECT_FALSE(MakeByName("nope").ok());
+}
+
+struct TableFourRow {
+  const char* name;
+  size_t rows, attrs, cont, cat;
+};
+
+class TableFourTest : public ::testing::TestWithParam<TableFourRow> {};
+
+TEST_P(TableFourTest, MatchesPaperCharacteristics) {
+  const TableFourRow& expected = GetParam();
+  auto ds = MakeByName(expected.name);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->discretized.num_rows(), expected.rows);
+  EXPECT_EQ(ds->discretized.num_columns(), expected.attrs);
+  EXPECT_EQ(ds->num_continuous, expected.cont);
+  EXPECT_EQ(ds->num_categorical, expected.cat);
+  // Discretized frame is ready for encoding.
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->catalog.num_attributes(), expected.attrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable4, TableFourTest,
+    ::testing::Values(TableFourRow{"adult", 45222, 11, 4, 7},
+                      TableFourRow{"bank", 11162, 15, 6, 9},
+                      TableFourRow{"compas", 6172, 6, 2, 4},
+                      TableFourRow{"german", 1000, 21, 7, 14},
+                      TableFourRow{"heart", 296, 13, 5, 8},
+                      TableFourRow{"artificial", 50000, 10, 0, 10}),
+    [](const ::testing::TestParamInfo<TableFourRow>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(CompasDatasetTest, OverallRatesNearPaperAnchors) {
+  auto ds = MakeCompas();
+  ASSERT_TRUE(ds.ok());
+  ASSERT_FALSE(ds->predictions.empty());
+  const ConfusionMatrix cm = ComputeConfusion(ds->predictions, ds->truth);
+  // Paper Table 1: FPR = 0.088, FNR = 0.698. The synthetic stand-in is
+  // calibrated to land near those anchors.
+  EXPECT_GT(cm.FalsePositiveRate(), 0.04);
+  EXPECT_LT(cm.FalsePositiveRate(), 0.16);
+  EXPECT_GT(cm.FalseNegativeRate(), 0.55);
+  EXPECT_LT(cm.FalseNegativeRate(), 0.82);
+}
+
+TEST(CompasDatasetTest, TargetSubgroupHasPositiveFprDivergence) {
+  // The paper's headline finding: African-American males with many
+  // priors in age 25-45 have much higher FPR than overall (Table 2).
+  auto ds = MakeCompas();
+  ASSERT_TRUE(ds.ok());
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+  auto target = table->ParseItemset(
+      {{"race", "Afr-Am"}, {"sex", "Male"}, {"#prior", ">3"}});
+  ASSERT_TRUE(target.ok());
+  auto div = table->Divergence(*target);
+  ASSERT_TRUE(div.ok()) << "target pattern must be frequent";
+  EXPECT_GT(*div, 0.05);
+}
+
+TEST(CompasDatasetTest, OlderCaucasianHasPositiveFnrDivergence) {
+  auto ds = MakeCompas();
+  ASSERT_TRUE(ds.ok());
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                Metric::kFalseNegativeRate);
+  ASSERT_TRUE(table.ok());
+  auto target =
+      table->ParseItemset({{"age", ">45"}, {"race", "Cauc"}});
+  ASSERT_TRUE(target.ok());
+  auto div = table->Divergence(*target);
+  ASSERT_TRUE(div.ok());
+  EXPECT_GT(*div, 0.02);
+}
+
+TEST(CompasDatasetTest, FinerPriorBinsAvailable) {
+  CompasOptions opts;
+  opts.prior_bins = 6;
+  auto ds = MakeCompas(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->discretized.Get("#prior").num_categories(), 6u);
+  opts.prior_bins = 4;
+  EXPECT_FALSE(MakeCompas(opts).ok());
+}
+
+TEST(ArtificialDatasetTest, MatchesPaperConstruction) {
+  SizeOptions opts;
+  opts.num_rows = 20000;  // smaller for test speed
+  auto ds = MakeArtificial(opts);
+  ASSERT_TRUE(ds.ok());
+  // The classifier must have learned a=b=c almost perfectly.
+  size_t agree = 0;
+  const auto& a = ds->discretized.Get("a").codes();
+  const auto& b = ds->discretized.Get("b").codes();
+  const auto& c = ds->discretized.Get("c").codes();
+  size_t abc = 0;
+  size_t flipped = 0;
+  for (size_t i = 0; i < ds->predictions.size(); ++i) {
+    const bool abc_equal = a[i] == b[i] && b[i] == c[i];
+    abc += abc_equal;
+    if (ds->predictions[i] == (abc_equal ? 1 : 0)) ++agree;
+    if (abc_equal && ds->truth[i] == 0) ++flipped;
+  }
+  EXPECT_GT(static_cast<double>(agree) / ds->predictions.size(), 0.99);
+  // About one quarter of the data is a=b=c; about half of it flipped.
+  EXPECT_NEAR(static_cast<double>(abc) / ds->predictions.size(), 0.25,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(flipped) / abc, 0.5, 0.05);
+}
+
+TEST(EnsurePredictionsTest, TrainsForestWhenMissing) {
+  SizeOptions opts;
+  opts.num_rows = 2000;
+  auto ds = MakeAdult(opts);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->predictions.empty());
+  ForestOptions fopts;
+  fopts.num_trees = 8;
+  ASSERT_TRUE(EnsurePredictions(&(*ds), fopts).ok());
+  ASSERT_EQ(ds->predictions.size(), ds->truth.size());
+  const ConfusionMatrix cm = ComputeConfusion(ds->predictions, ds->truth);
+  EXPECT_GT(cm.Accuracy(), 0.6);  // far better than chance
+  // Idempotent: second call keeps existing predictions.
+  const std::vector<int> before = ds->predictions;
+  ASSERT_TRUE(EnsurePredictions(&(*ds), fopts).ok());
+  EXPECT_EQ(ds->predictions, before);
+}
+
+TEST(DatasetDeterminismTest, SameSeedSameData) {
+  auto a = MakeByName("bank", 5);
+  auto b = MakeByName("bank", 5);
+  auto c = MakeByName("bank", 6);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->truth, b->truth);
+  EXPECT_NE(a->truth, c->truth);
+  EXPECT_EQ(WriteCsvString(a->discretized).substr(0, 4000),
+            WriteCsvString(b->discretized).substr(0, 4000));
+}
+
+TEST(SmallSizeOverrideTest, GeneratorsHonorNumRows) {
+  for (const std::string& name : {"adult", "bank", "german", "heart"}) {
+    SizeOptions opts;
+    opts.num_rows = 123;
+    auto ds = MakeByName(name) /* default size */;
+    ASSERT_TRUE(ds.ok());
+    auto small = name == "adult"   ? MakeAdult(opts)
+                 : name == "bank"  ? MakeBank(opts)
+                 : name == "german" ? MakeGerman(opts)
+                                    : MakeHeart(opts);
+    ASSERT_TRUE(small.ok());
+    EXPECT_EQ(small->discretized.num_rows(), 123u);
+  }
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,153 @@
+// Distributional sanity checks for the synthetic generators — the
+// properties the experiments depend on (docs/data-generators.md).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/datasets.h"
+
+namespace divexp {
+namespace {
+
+double CategoryFraction(const Column& col, const std::string& value) {
+  int32_t code = -1;
+  for (size_t i = 0; i < col.categories().size(); ++i) {
+    if (col.categories()[i] == value) code = static_cast<int32_t>(i);
+  }
+  EXPECT_GE(code, 0) << value;
+  size_t hits = 0;
+  for (int32_t c : col.codes()) hits += c == code;
+  return static_cast<double>(hits) / static_cast<double>(col.size());
+}
+
+double PositiveFraction(const std::vector<int>& v) {
+  size_t hits = 0;
+  for (int x : v) hits += x;
+  return static_cast<double>(hits) / static_cast<double>(v.size());
+}
+
+TEST(CompasDistributionTest, DemographicMarginals) {
+  auto ds = MakeCompas();
+  ASSERT_TRUE(ds.ok());
+  const Column& race = ds->discretized.Get("race");
+  EXPECT_NEAR(CategoryFraction(race, "Afr-Am"), 0.51, 0.03);
+  EXPECT_NEAR(CategoryFraction(race, "Cauc"), 0.34, 0.03);
+  const Column& sex = ds->discretized.Get("sex");
+  EXPECT_NEAR(CategoryFraction(sex, "Male"), 0.81, 0.03);
+}
+
+TEST(CompasDistributionTest, PriorTailSupportsFinerBins) {
+  CompasOptions opts;
+  opts.prior_bins = 6;
+  auto ds = MakeCompas(opts);
+  ASSERT_TRUE(ds.ok());
+  // The ">7" bin must clear the Fig. 1 support threshold of 0.05.
+  EXPECT_GT(CategoryFraction(ds->discretized.Get("#prior"), ">7"), 0.05);
+}
+
+TEST(CompasDistributionTest, BaseRateRealistic) {
+  auto ds = MakeCompas();
+  ASSERT_TRUE(ds.ok());
+  const double recid = PositiveFraction(ds->truth);
+  EXPECT_GT(recid, 0.35);
+  EXPECT_LT(recid, 0.60);
+  // Flag rate matches the calibrated 22% (± quantile rounding).
+  EXPECT_NEAR(PositiveFraction(ds->predictions), 0.22, 0.02);
+}
+
+TEST(AdultDistributionTest, IncomeBaseRateAndSkew) {
+  SizeOptions opts;
+  opts.num_rows = 8000;
+  auto ds = MakeAdult(opts);
+  ASSERT_TRUE(ds.ok());
+  const double rate = PositiveFraction(ds->truth);
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.40);  // real adult: ~0.25 high income
+  // Married earners dominate the positive class.
+  const Column& status = ds->discretized.Get("status");
+  size_t married_pos = 0, pos = 0;
+  for (size_t i = 0; i < ds->truth.size(); ++i) {
+    if (ds->truth[i] == 1) {
+      ++pos;
+      married_pos += status.ValueString(i) == "Married";
+    }
+  }
+  EXPECT_GT(static_cast<double>(married_pos) / pos, 0.6);
+}
+
+TEST(BankDistributionTest, SubscriptionRateAndDurationSignal) {
+  SizeOptions opts;
+  opts.num_rows = 6000;
+  auto ds = MakeBank(opts);
+  ASSERT_TRUE(ds.ok());
+  const double rate = PositiveFraction(ds->truth);
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.6);
+  // Long calls convert more (the classic bank-marketing signal).
+  const Column& duration = ds->raw.Get("duration");
+  double pos_mean = 0.0, neg_mean = 0.0;
+  size_t pos = 0, neg = 0;
+  for (size_t i = 0; i < ds->truth.size(); ++i) {
+    if (ds->truth[i] == 1) {
+      pos_mean += duration.Numeric(i);
+      ++pos;
+    } else {
+      neg_mean += duration.Numeric(i);
+      ++neg;
+    }
+  }
+  EXPECT_GT(pos_mean / pos, neg_mean / neg);
+}
+
+TEST(GermanDistributionTest, GoodRiskMajorityAndDominantCategories) {
+  auto ds = MakeGerman();
+  ASSERT_TRUE(ds.ok());
+  const double rate = PositiveFraction(ds->truth);
+  EXPECT_GT(rate, 0.5);  // real german: 70% good credit
+  EXPECT_LT(rate, 0.85);
+  // Dominant categories produce the deep-itemset explosion of Fig. 7.
+  EXPECT_GT(CategoryFraction(ds->discretized.Get("foreign-worker"),
+                             "yes"),
+            0.9);
+  EXPECT_GT(CategoryFraction(ds->discretized.Get("debtors"), "none"),
+            0.85);
+}
+
+TEST(HeartDistributionTest, DiseasePrevalenceAndRiskFactors) {
+  auto ds = MakeHeart();
+  ASSERT_TRUE(ds.ok());
+  const double rate = PositiveFraction(ds->truth);
+  EXPECT_GT(rate, 0.3);
+  EXPECT_LT(rate, 0.65);
+  // Asymptomatic chest pain is the strongest classic predictor.
+  const Column& cp = ds->discretized.Get("cp");
+  size_t asympt_pos = 0, asympt = 0;
+  for (size_t i = 0; i < ds->truth.size(); ++i) {
+    if (cp.ValueString(i) == "asymptomatic") {
+      ++asympt;
+      asympt_pos += ds->truth[i];
+    }
+  }
+  ASSERT_GT(asympt, 0u);
+  EXPECT_GT(static_cast<double>(asympt_pos) / asympt, rate);
+}
+
+TEST(ArtificialDistributionTest, UniformIndependentAttributes) {
+  SizeOptions opts;
+  opts.num_rows = 20000;
+  auto ds = MakeArtificial(opts);
+  ASSERT_TRUE(ds.ok());
+  for (size_t c = 0; c < ds->discretized.num_columns(); ++c) {
+    const Column& col = ds->discretized.GetAt(c);
+    EXPECT_NEAR(CategoryFraction(col, "1"), 0.5, 0.02) << col.name();
+  }
+  // Pairwise independence spot-check: P(a=1, d=1) ≈ 0.25.
+  const auto& a = ds->discretized.Get("a").codes();
+  const auto& d = ds->discretized.Get("d").codes();
+  size_t both = 0;
+  for (size_t i = 0; i < a.size(); ++i) both += (a[i] == 1 && d[i] == 1);
+  EXPECT_NEAR(static_cast<double>(both) / a.size(), 0.25, 0.02);
+}
+
+}  // namespace
+}  // namespace divexp

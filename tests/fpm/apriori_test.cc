@@ -1,0 +1,120 @@
+#include "fpm/apriori.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/test_data.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+using testing::OutcomesFromString;
+
+std::map<Itemset, OutcomeCounts> ToMap(
+    const std::vector<MinedPattern>& patterns) {
+  std::map<Itemset, OutcomeCounts> out;
+  for (const auto& p : patterns) {
+    EXPECT_EQ(out.count(p.items), 0u) << "duplicate itemset";
+    out[p.items] = p.counts;
+  }
+  return out;
+}
+
+TEST(AprioriTest, MinesTinyDatasetCompletely) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTFF"));
+  ASSERT_TRUE(db.ok());
+  AprioriMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.25;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  const auto map = ToMap(*patterns);
+  EXPECT_EQ(map.size(), 9u);
+  EXPECT_EQ(map.at(Itemset{}), (OutcomeCounts{2, 2, 0}));
+  EXPECT_EQ(map.at(Itemset{0}), (OutcomeCounts{2, 0, 0}));
+  // {a0=v1, a1=v1} covers row 3 only (outcome F).
+  EXPECT_EQ(map.at(Itemset{1, 3}), (OutcomeCounts{0, 1, 0}));
+}
+
+TEST(AprioriTest, NoSameAttributeCandidates) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}, {2}}, {3});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTT"));
+  ASSERT_TRUE(db.ok());
+  AprioriMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.3;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  for (const auto& p : *patterns) {
+    EXPECT_LE(p.items.size(), 1u);
+  }
+}
+
+TEST(AprioriTest, ThreeAttributeDeepPatterns) {
+  const EncodedDataset ds = MakeEncoded(
+      {{0, 0, 0}, {0, 0, 0}, {0, 0, 1}, {1, 1, 1}}, {2, 2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTFF"));
+  ASSERT_TRUE(db.ok());
+  AprioriMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.25;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  const auto map = ToMap(*patterns);
+  // {a0=v0, a1=v0, a2=v0} covers rows 0, 1.
+  ASSERT_EQ(map.count(Itemset{0, 2, 4}), 1u);
+  EXPECT_EQ(map.at(Itemset{0, 2, 4}), (OutcomeCounts{2, 0, 0}));
+  // {a0=v1, a1=v1, a2=v1} covers row 3.
+  EXPECT_EQ(map.at(Itemset{1, 3, 5}), (OutcomeCounts{0, 1, 0}));
+}
+
+TEST(AprioriTest, MaxLengthRespected) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0, 0}, {0, 0, 0}}, {2, 2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TT"));
+  ASSERT_TRUE(db.ok());
+  AprioriMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.5;
+  opts.max_length = 1;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  for (const auto& p : *patterns) {
+    EXPECT_LE(p.items.size(), 1u);
+  }
+}
+
+TEST(AprioriTest, InvalidSupportRejected) {
+  const EncodedDataset ds = MakeEncoded({{0}}, {1});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("T"));
+  ASSERT_TRUE(db.ok());
+  AprioriMiner miner;
+  MinerOptions opts;
+  opts.min_support = -0.1;
+  EXPECT_FALSE(miner.Mine(*db, opts).ok());
+}
+
+TEST(MinCountTest, CeilingSemantics) {
+  EXPECT_EQ(MinCount(0.1, 100), 10u);
+  EXPECT_EQ(MinCount(0.101, 100), 11u);
+  EXPECT_EQ(MinCount(0.0001, 100), 1u);  // never below 1
+  EXPECT_EQ(MinCount(1.0, 7), 7u);
+}
+
+TEST(MinerFactoryTest, ProducesBothKinds) {
+  auto fp = MakeMiner(MinerKind::kFpGrowth);
+  auto ap = MakeMiner(MinerKind::kApriori);
+  ASSERT_NE(fp, nullptr);
+  ASSERT_NE(ap, nullptr);
+  EXPECT_EQ(fp->name(), "fpgrowth");
+  EXPECT_EQ(ap->name(), "apriori");
+  EXPECT_STREQ(MinerKindName(MinerKind::kFpGrowth), "fpgrowth");
+  EXPECT_STREQ(MinerKindName(MinerKind::kApriori), "apriori");
+}
+
+}  // namespace
+}  // namespace divexp

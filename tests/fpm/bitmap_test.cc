@@ -1,0 +1,62 @@
+#include "fpm/bitmap.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace {
+
+TEST(BitmapTest, SetGetCount) {
+  Bitmap b(130);  // spans three words
+  EXPECT_EQ(b.Count(), 0u);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(63));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_FALSE(b.Get(1));
+  EXPECT_FALSE(b.Get(128));
+  EXPECT_EQ(b.Count(), 4u);
+}
+
+TEST(BitmapTest, AssignAnd) {
+  Bitmap a(100), b(100), c;
+  a.Set(1);
+  a.Set(50);
+  a.Set(99);
+  b.Set(50);
+  b.Set(99);
+  b.Set(2);
+  c.AssignAnd(a, b);
+  EXPECT_EQ(c.Count(), 2u);
+  EXPECT_TRUE(c.Get(50));
+  EXPECT_TRUE(c.Get(99));
+  EXPECT_FALSE(c.Get(1));
+}
+
+TEST(BitmapTest, AndCountWithoutMaterializing) {
+  Bitmap a(200), b(200);
+  for (size_t i = 0; i < 200; i += 2) a.Set(i);
+  for (size_t i = 0; i < 200; i += 3) b.Set(i);
+  // Multiples of 6 in [0, 200): 34 values.
+  EXPECT_EQ(a.AndCount(b), 34u);
+}
+
+TEST(BitmapTest, ToIndicesSortedAscending) {
+  Bitmap b(70);
+  b.Set(69);
+  b.Set(0);
+  b.Set(33);
+  EXPECT_EQ(b.ToIndices(), (std::vector<size_t>{0, 33, 69}));
+}
+
+TEST(BitmapTest, EmptyBitmap) {
+  Bitmap b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.ToIndices().empty());
+}
+
+}  // namespace
+}  // namespace divexp

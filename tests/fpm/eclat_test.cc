@@ -1,0 +1,120 @@
+#include "fpm/eclat.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fpm/fpgrowth.h"
+#include "testing/test_data.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+using testing::OutcomesFromString;
+
+std::map<Itemset, OutcomeCounts> ToMap(
+    const std::vector<MinedPattern>& patterns) {
+  std::map<Itemset, OutcomeCounts> out;
+  for (const auto& p : patterns) {
+    EXPECT_EQ(out.count(p.items), 0u) << "duplicate itemset";
+    out[p.items] = p.counts;
+  }
+  return out;
+}
+
+TEST(EclatTest, MinesTinyDatasetCompletely) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTFF"));
+  ASSERT_TRUE(db.ok());
+  EclatMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.25;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  const auto map = ToMap(*patterns);
+  EXPECT_EQ(map.size(), 9u);
+  EXPECT_EQ(map.at(Itemset{}), (OutcomeCounts{2, 2, 0}));
+  EXPECT_EQ(map.at(Itemset{0}), (OutcomeCounts{2, 0, 0}));
+  EXPECT_EQ(map.at(Itemset{1, 3}), (OutcomeCounts{0, 1, 0}));
+}
+
+TEST(EclatTest, AgreesWithFpGrowthOnRandomData) {
+  Rng rng(31);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::vector<int>> cells;
+    std::vector<Outcome> outcomes;
+    for (int r = 0; r < 200; ++r) {
+      cells.push_back({static_cast<int>(rng.Below(3)),
+                       static_cast<int>(rng.Below(2)),
+                       static_cast<int>(rng.Below(4))});
+      const double u = rng.Uniform();
+      outcomes.push_back(u < 0.4   ? Outcome::kTrue
+                         : u < 0.8 ? Outcome::kFalse
+                                   : Outcome::kBottom);
+    }
+    const EncodedDataset ds = MakeEncoded(cells, {3, 2, 4});
+    auto db = TransactionDatabase::Create(ds, outcomes);
+    ASSERT_TRUE(db.ok());
+    MinerOptions opts;
+    opts.min_support = 0.03 + 0.04 * round;
+    EclatMiner eclat;
+    FpGrowthMiner fp;
+    auto a = eclat.Mine(*db, opts);
+    auto b = fp.Mine(*db, opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(ToMap(*a), ToMap(*b)) << "round " << round;
+  }
+}
+
+TEST(EclatTest, MaxLengthRespected) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0, 0}, {0, 0, 0}, {1, 1, 1}}, {2, 2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTF"));
+  ASSERT_TRUE(db.ok());
+  EclatMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.3;
+  opts.max_length = 2;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  size_t pairs = 0;
+  for (const auto& p : *patterns) {
+    EXPECT_LE(p.items.size(), 2u);
+    pairs += p.items.size() == 2;
+  }
+  EXPECT_GT(pairs, 0u);
+}
+
+TEST(EclatTest, EmptyDatabaseYieldsOnlyRoot) {
+  const EncodedDataset ds = MakeEncoded({}, {2});
+  auto db = TransactionDatabase::Create(ds, {});
+  ASSERT_TRUE(db.ok());
+  EclatMiner miner;
+  auto patterns = miner.Mine(*db, MinerOptions{});
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 1u);
+}
+
+TEST(EclatTest, InvalidSupportRejected) {
+  const EncodedDataset ds = MakeEncoded({{0}}, {1});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("T"));
+  ASSERT_TRUE(db.ok());
+  EclatMiner miner;
+  MinerOptions opts;
+  opts.min_support = 2.0;
+  EXPECT_FALSE(miner.Mine(*db, opts).ok());
+}
+
+TEST(EclatTest, RegisteredInFactory) {
+  auto miner = MakeMiner(MinerKind::kEclat);
+  ASSERT_NE(miner, nullptr);
+  EXPECT_EQ(miner->name(), "eclat");
+  EXPECT_STREQ(MinerKindName(MinerKind::kEclat), "eclat");
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,144 @@
+#include "fpm/fpgrowth.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/test_data.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+using testing::OutcomesFromString;
+
+std::map<Itemset, OutcomeCounts> ToMap(
+    const std::vector<MinedPattern>& patterns) {
+  std::map<Itemset, OutcomeCounts> out;
+  for (const auto& p : patterns) {
+    EXPECT_EQ(out.count(p.items), 0u) << "duplicate itemset";
+    out[p.items] = p.counts;
+  }
+  return out;
+}
+
+TEST(FpGrowthTest, MinesTinyDatasetCompletely) {
+  // Two binary attributes, four rows covering every combination.
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTFF"));
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.25;  // 1 row
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  const auto map = ToMap(*patterns);
+  // 1 empty + 4 single + 4 pairs (same-attribute pairs are impossible).
+  EXPECT_EQ(map.size(), 9u);
+  EXPECT_EQ(map.at(Itemset{}), (OutcomeCounts{2, 2, 0}));
+  // a0=v0 covers rows 0, 1 -> both T.
+  EXPECT_EQ(map.at(Itemset{0}), (OutcomeCounts{2, 0, 0}));
+  // a0=v1 covers rows 2, 3 -> both F.
+  EXPECT_EQ(map.at(Itemset{1}), (OutcomeCounts{0, 2, 0}));
+  // {a0=v0, a1=v1} covers row 1 only.
+  EXPECT_EQ(map.at(Itemset{0, 3}), (OutcomeCounts{1, 0, 0}));
+}
+
+TEST(FpGrowthTest, SupportThresholdFilters) {
+  // Row {1,1} appears once out of 5: below support 0.3.
+  const EncodedDataset ds = MakeEncoded(
+      {{0, 0}, {0, 0}, {0, 1}, {0, 1}, {1, 1}}, {2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTTTT"));
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.3;  // min count 2
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  const auto map = ToMap(*patterns);
+  EXPECT_EQ(map.count(Itemset{1}), 0u);     // a0=v1 support 1
+  EXPECT_EQ(map.count(Itemset{0}), 1u);     // a0=v0 support 4
+  EXPECT_EQ(map.count(Itemset{0, 2}), 1u);  // support 2
+  EXPECT_EQ(map.count(Itemset{1, 3}), 0u);  // support 1
+}
+
+TEST(FpGrowthTest, BottomOutcomesCountedInSupport) {
+  const EncodedDataset ds = MakeEncoded({{0}, {0}, {0}, {1}}, {2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("BBTF"));
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.5;  // needs 2 rows
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  const auto map = ToMap(*patterns);
+  // a0=v0 has support 3 (2 bottoms + 1 T) and passes.
+  ASSERT_EQ(map.count(Itemset{0}), 1u);
+  EXPECT_EQ(map.at(Itemset{0}), (OutcomeCounts{1, 0, 2}));
+  EXPECT_EQ(map.count(Itemset{1}), 0u);
+}
+
+TEST(FpGrowthTest, MaxLengthBoundsPatternSize) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0, 0}, {0, 0, 0}, {1, 1, 1}}, {2, 2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TTF"));
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.3;
+  opts.max_length = 2;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  for (const auto& p : *patterns) {
+    EXPECT_LE(p.items.size(), 2u);
+  }
+  // Length-2 patterns must still be present.
+  bool has_pair = false;
+  for (const auto& p : *patterns) has_pair |= p.items.size() == 2;
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(FpGrowthTest, EmptyDatabaseYieldsOnlyRoot) {
+  const EncodedDataset ds = MakeEncoded({}, {2});
+  auto db = TransactionDatabase::Create(ds, {});
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  auto patterns = miner.Mine(*db, MinerOptions{});
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_TRUE(patterns->front().items.empty());
+}
+
+TEST(FpGrowthTest, InvalidSupportRejected) {
+  const EncodedDataset ds = MakeEncoded({{0}}, {1});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("T"));
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  MinerOptions opts;
+  opts.min_support = 0.0;
+  EXPECT_FALSE(miner.Mine(*db, opts).ok());
+  opts.min_support = 1.5;
+  EXPECT_FALSE(miner.Mine(*db, opts).ok());
+}
+
+TEST(FpGrowthTest, PatternCountsSumConsistency) {
+  // For every pattern, t+f+bot must equal its true cover size.
+  const EncodedDataset ds = MakeEncoded(
+      {{0, 1, 0}, {1, 1, 0}, {0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {0, 1, 0}},
+      {2, 2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TFBTFB"));
+  ASSERT_TRUE(db.ok());
+  FpGrowthMiner miner;
+  MinerOptions opts;
+  opts.min_support = 1.0 / 6.0;
+  auto patterns = miner.Mine(*db, opts);
+  ASSERT_TRUE(patterns.ok());
+  for (const auto& p : *patterns) {
+    EXPECT_EQ(p.counts.total(), ds.Cover(p.items).size())
+        << ItemsetDebugString(p.items);
+  }
+}
+
+}  // namespace
+}  // namespace divexp

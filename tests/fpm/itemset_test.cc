@@ -1,0 +1,74 @@
+#include "fpm/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace divexp {
+namespace {
+
+TEST(MakeItemsetTest, SortsAndDedupes) {
+  EXPECT_EQ(MakeItemset({3, 1, 3, 2}), (Itemset{1, 2, 3}));
+  EXPECT_EQ(MakeItemset({}), Itemset{});
+}
+
+TEST(IsSubsetTest, Basics) {
+  EXPECT_TRUE(IsSubset({1, 3}, {1, 2, 3}));
+  EXPECT_TRUE(IsSubset({}, {1}));
+  EXPECT_TRUE(IsSubset({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({4}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({1, 2, 3}, {1, 3}));
+}
+
+TEST(UnionTest, MergesSorted) {
+  EXPECT_EQ(Union({1, 3}, {2, 3}), (Itemset{1, 2, 3}));
+  EXPECT_EQ(Union({}, {5}), Itemset{5});
+}
+
+TEST(WithoutTest, RemovesSingleItem) {
+  EXPECT_EQ(Without({1, 2, 3}, 2), (Itemset{1, 3}));
+  EXPECT_EQ(Without({7}, 7), Itemset{});
+}
+
+TEST(WithTest, InsertsInOrder) {
+  EXPECT_EQ(With({1, 3}, 2), (Itemset{1, 2, 3}));
+  EXPECT_EQ(With({1, 3}, 0), (Itemset{0, 1, 3}));
+  EXPECT_EQ(With({1, 3}, 9), (Itemset{1, 3, 9}));
+  EXPECT_EQ(With({}, 5), Itemset{5});
+}
+
+TEST(WithWithoutTest, AreInverses) {
+  const Itemset base = {2, 5, 9};
+  for (uint32_t alpha : {0u, 4u, 11u}) {
+    EXPECT_EQ(Without(With(base, alpha), alpha), base);
+  }
+}
+
+TEST(ForEachSubsetTest, EnumeratesAllSubsets) {
+  std::set<Itemset> seen;
+  ForEachSubset({1, 2, 3}, [&](const Itemset& s) { seen.insert(s); });
+  EXPECT_EQ(seen.size(), 8u);
+  EXPECT_TRUE(seen.count({}));
+  EXPECT_TRUE(seen.count({1, 2, 3}));
+  EXPECT_TRUE(seen.count({1, 3}));
+}
+
+TEST(ForEachSubsetTest, EmptyItemsetHasOneSubset) {
+  int count = 0;
+  ForEachSubset({}, [&](const Itemset&) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ItemsetHashTest, EqualItemsetsHashEqual) {
+  ItemsetHash h;
+  EXPECT_EQ(h(Itemset{1, 2}), h(Itemset{1, 2}));
+  EXPECT_NE(h(Itemset{1, 2}), h(Itemset{2, 1, 0}));
+}
+
+TEST(ItemsetDebugStringTest, Renders) {
+  EXPECT_EQ(ItemsetDebugString({1, 2}), "{1, 2}");
+  EXPECT_EQ(ItemsetDebugString({}), "{}");
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,71 @@
+#include "fpm/transactions.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+using testing::OutcomesFromString;
+
+TEST(OutcomeCountsTest, TotalsAndRate) {
+  OutcomeCounts c{3, 1, 6};
+  EXPECT_EQ(c.total(), 10u);
+  EXPECT_DOUBLE_EQ(c.PositiveRate(), 0.75);
+}
+
+TEST(OutcomeCountsTest, AllBottomRateIsZero) {
+  OutcomeCounts c{0, 0, 5};
+  EXPECT_DOUBLE_EQ(c.PositiveRate(), 0.0);
+}
+
+TEST(OutcomeCountsTest, Accumulation) {
+  OutcomeCounts a{1, 2, 3};
+  a += OutcomeCounts{4, 5, 6};
+  EXPECT_EQ(a, (OutcomeCounts{5, 7, 9}));
+}
+
+TEST(TransactionDatabaseTest, CreateComputesTotals) {
+  const EncodedDataset ds =
+      MakeEncoded({{0, 0}, {0, 1}, {1, 0}, {1, 1}}, {2, 2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TFBT"));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_rows(), 4u);
+  EXPECT_EQ(db->num_attributes(), 2u);
+  EXPECT_EQ(db->num_items(), 4u);
+  EXPECT_EQ(db->totals(), (OutcomeCounts{2, 1, 1}));
+}
+
+TEST(TransactionDatabaseTest, RowAccessAndAttributeOfItem) {
+  const EncodedDataset ds = MakeEncoded({{1, 0}}, {2, 3});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("T"));
+  ASSERT_TRUE(db.ok());
+  const uint32_t* row = db->row(0);
+  EXPECT_EQ(row[0], 1u);  // a0=v1
+  EXPECT_EQ(row[1], 2u);  // a1=v0 (first id after a0's two items)
+  EXPECT_EQ(db->attribute_of(0), 0u);
+  EXPECT_EQ(db->attribute_of(1), 0u);
+  EXPECT_EQ(db->attribute_of(2), 1u);
+  EXPECT_EQ(db->attribute_of(4), 1u);
+}
+
+TEST(TransactionDatabaseTest, SizeMismatchRejected) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}}, {2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("T"));
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransactionDatabaseTest, OutcomePerRow) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}, {0}}, {2});
+  auto db = TransactionDatabase::Create(ds, OutcomesFromString("TFB"));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->outcome(0), Outcome::kTrue);
+  EXPECT_EQ(db->outcome(1), Outcome::kFalse);
+  EXPECT_EQ(db->outcome(2), Outcome::kBottom);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,78 @@
+// Cross-dataset integration sweep: every synthetic generator (at a
+// reduced size) must survive the full pipeline — predictions, encoding,
+// exploration with each miner — with sane statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/explorer.h"
+#include "data/encoder.h"
+#include "datasets/datasets.h"
+#include "model/metrics.h"
+
+namespace divexp {
+namespace {
+
+class CrossDatasetTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrossDatasetTest, FullPipelineRuns) {
+  const std::string name = GetParam();
+  Result<BenchmarkDataset> ds = [&]() -> Result<BenchmarkDataset> {
+    if (name == "compas") {
+      CompasOptions opts;
+      opts.num_rows = 2000;
+      return MakeCompas(opts);
+    }
+    SizeOptions opts;
+    if (name != "heart" && name != "german") opts.num_rows = 2000;
+    if (name == "adult") return MakeAdult(opts);
+    if (name == "bank") return MakeBank(opts);
+    if (name == "german") return MakeGerman(opts);
+    if (name == "heart") return MakeHeart(opts);
+    return MakeArtificial(opts);
+  }();
+  ASSERT_TRUE(ds.ok());
+
+  ForestOptions fopts;
+  fopts.num_trees = 8;
+  ASSERT_TRUE(EnsurePredictions(&(*ds), fopts).ok());
+  ASSERT_EQ(ds->predictions.size(), ds->truth.size());
+
+  // The trained model must beat the majority-class baseline.
+  const ConfusionMatrix cm = ComputeConfusion(ds->predictions, ds->truth);
+  size_t pos = 0;
+  for (int v : ds->truth) pos += static_cast<size_t>(v);
+  const double base_rate = static_cast<double>(pos) / ds->truth.size();
+  const double majority = std::max(base_rate, 1.0 - base_rate);
+  EXPECT_GT(cm.Accuracy() + 0.02, majority) << name;
+
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+  for (MinerKind miner :
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+    ExplorerOptions opts;
+    opts.min_support = 0.1;
+    opts.miner = miner;
+    // german at support 0.1 still mines fine; cap length to keep the
+    // Apriori run snappy on 21 attributes.
+    if (name == "german") opts.max_length = 4;
+    DivergenceExplorer explorer(opts);
+    auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                  Metric::kErrorRate);
+    ASSERT_TRUE(table.ok()) << name << " " << MinerKindName(miner);
+    EXPECT_GT(table->size(), 1u);
+    // The baseline row must match the confusion matrix error rate.
+    EXPECT_NEAR(table->global_rate(), cm.ErrorRate(), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, CrossDatasetTest,
+                         ::testing::Values("adult", "bank", "compas",
+                                           "german", "heart",
+                                           "artificial"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,170 @@
+// End-to-end flows: CSV -> discretize -> encode -> explore -> analyze,
+// and the full synthetic-dataset pipelines used by the benchmarks.
+#include <gtest/gtest.h>
+
+#include "core/explorer.h"
+#include "core/global_divergence.h"
+#include "core/lattice.h"
+#include "core/pruning.h"
+#include "core/report.h"
+#include "core/shapley.h"
+#include "data/csv.h"
+#include "data/discretize.h"
+#include "data/encoder.h"
+#include "datasets/datasets.h"
+#include "model/featurize.h"
+#include "model/forest.h"
+#include "slicefinder/slicefinder.h"
+
+namespace divexp {
+namespace {
+
+TEST(EndToEndTest, CsvToDivergenceTable) {
+  // A miniature CSV with an obvious divergent subgroup (group=b has all
+  // the false positives).
+  std::string csv = "score,group,pred,label\n";
+  for (int i = 0; i < 40; ++i) {
+    const bool b = i % 2 == 0;
+    const bool fp = b && i % 4 == 0;
+    csv += std::to_string(i % 10) + "," + (b ? "b" : "a") + "," +
+           (fp ? "1" : "0") + ",0\n";
+  }
+  auto df = ReadCsvString(csv);
+  ASSERT_TRUE(df.ok());
+
+  std::vector<int> preds, labels;
+  for (size_t i = 0; i < df->num_rows(); ++i) {
+    preds.push_back(static_cast<int>(df->Get("pred").ints()[i]));
+    labels.push_back(static_cast<int>(df->Get("label").ints()[i]));
+  }
+  ASSERT_TRUE(df->DropColumn("pred").ok());
+  ASSERT_TRUE(df->DropColumn("label").ok());
+
+  auto binned = DiscretizeAll(*df, BinStrategy::kQuantile, 2);
+  ASSERT_TRUE(binned.ok());
+  auto encoded = EncodeDataFrame(*binned);
+  ASSERT_TRUE(encoded.ok());
+
+  ExplorerOptions opts;
+  opts.min_support = 0.1;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, preds, labels,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+
+  auto group_b = table->ParseItemset({{"group", "b"}});
+  ASSERT_TRUE(group_b.ok());
+  EXPECT_GT(*table->Divergence(*group_b), 0.1);
+  auto group_a = table->ParseItemset({{"group", "a"}});
+  ASSERT_TRUE(group_a.ok());
+  EXPECT_LT(*table->Divergence(*group_a), 0.0);
+}
+
+TEST(EndToEndTest, CompasFullAnalysisPipeline) {
+  CompasOptions copts;
+  copts.num_rows = 3000;  // trimmed for test runtime
+  auto ds = MakeCompas(copts);
+  ASSERT_TRUE(ds.ok());
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT(table->size(), 50u);
+
+  // Top-k, Shapley, global, corrective, pruning and lattice must all
+  // run cleanly off one table.
+  const auto top = table->TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  auto contributions =
+      ShapleyContributions(*table, table->row(top[0]).items);
+  ASSERT_TRUE(contributions.ok());
+  double sum = 0.0;
+  for (const auto& c : *contributions) sum += c.contribution;
+  EXPECT_NEAR(sum, table->row(top[0]).divergence, 1e-9);
+
+  const auto globals = ComputeGlobalItemDivergence(*table);
+  EXPECT_EQ(globals.size(), table->catalog().num_items());
+
+  const auto corrective = FindCorrectiveItems(*table);
+  EXPECT_FALSE(corrective.empty());
+
+  const auto kept = RedundancyPrune(*table, 0.05);
+  EXPECT_LT(kept.size(), table->size());
+
+  auto lattice = BuildLattice(*table, table->row(top[0]).items);
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_EQ(lattice->nodes.size(),
+            1u << table->row(top[0]).items.size());
+
+  // Reports render.
+  EXPECT_FALSE(FormatPatternRows(*table, top, "d").empty());
+  EXPECT_FALSE(FormatGlobalDivergence(*table, globals, 5).empty());
+}
+
+TEST(EndToEndTest, TrainedModelAuditPipeline) {
+  // adult-style flow: generate, train forest, audit FNR.
+  SizeOptions sopts;
+  sopts.num_rows = 3000;
+  auto ds = MakeAdult(sopts);
+  ASSERT_TRUE(ds.ok());
+  ForestOptions fopts;
+  fopts.num_trees = 8;
+  ASSERT_TRUE(EnsurePredictions(&(*ds), fopts).ok());
+
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                Metric::kFalseNegativeRate);
+  ASSERT_TRUE(table.ok());
+  // Some divergence structure must exist.
+  const auto top = table->TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_GT(table->row(top[0]).divergence, 0.0);
+}
+
+TEST(EndToEndTest, DivExplorerAndSliceFinderAgreeOnObviousSlice) {
+  // Both tools, fed the same misclassification structure, should point
+  // at the same region.
+  CompasOptions copts;
+  copts.num_rows = 3000;
+  auto ds = MakeCompas(copts);
+  ASSERT_TRUE(ds.ok());
+  auto encoded = EncodeDataFrame(ds->discretized);
+  ASSERT_TRUE(encoded.ok());
+
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(*encoded, ds->predictions, ds->truth,
+                                Metric::kErrorRate);
+  ASSERT_TRUE(table.ok());
+  const auto top = table->TopK(5);
+  ASSERT_FALSE(top.empty());
+
+  SliceFinderOptions sf_opts;
+  sf_opts.effect_size_threshold = 0.3;
+  SliceFinder finder(sf_opts);
+  auto slices = finder.FindSlices(
+      *encoded, ZeroOneLoss(ds->predictions, ds->truth));
+  ASSERT_TRUE(slices.ok());
+  ASSERT_FALSE(slices->empty());
+  // Every problematic slice must itself have positive error-rate
+  // divergence in the DivExplorer table (when frequent).
+  for (const Slice& s : *slices) {
+    auto div = table->Divergence(s.items);
+    if (div.ok()) {
+      EXPECT_GT(*div, 0.0) << ItemsetDebugString(s.items);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace divexp

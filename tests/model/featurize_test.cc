@@ -1,0 +1,100 @@
+#include "model/featurize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+DataFrame MakeMixedFrame() {
+  DataFrame df;
+  EXPECT_TRUE(df.AddColumn(Column::MakeDouble("x", {1.0, 2.0, 3.0})).ok());
+  EXPECT_TRUE(df.AddColumn(Column::MakeInt("n", {10, 20, 30})).ok());
+  EXPECT_TRUE(df.AddColumn(Column::MakeCategorical(
+                               "c", {0, 2, 1}, {"a", "b", "c"}))
+                  .ok());
+  return df;
+}
+
+TEST(FeaturizeOrdinalTest, NumericKeptCategoricalCoded) {
+  auto m = FeaturizeOrdinal(MakeMixedFrame(), {"x", "n", "c"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->rows(), 3u);
+  EXPECT_EQ(m->cols(), 3u);
+  EXPECT_DOUBLE_EQ(m->at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m->at(2, 1), 30.0);
+  EXPECT_DOUBLE_EQ(m->at(1, 2), 2.0);  // code of "c"
+}
+
+TEST(FeaturizeOrdinalTest, ColumnSubsetAndOrder) {
+  auto m = FeaturizeOrdinal(MakeMixedFrame(), {"c", "x"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->cols(), 2u);
+  EXPECT_DOUBLE_EQ(m->at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m->at(0, 1), 1.0);
+}
+
+TEST(FeaturizeOrdinalTest, MissingColumnFails) {
+  EXPECT_FALSE(FeaturizeOrdinal(MakeMixedFrame(), {"zzz"}).ok());
+}
+
+TEST(FeaturizeOneHotTest, ExpandsCategoricals) {
+  auto m = FeaturizeOneHot(MakeMixedFrame(), {"x", "c"});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->cols(), 1u + 3u);
+  // Row 1: c = "c" (code 2) -> indicator at offset 1 + 2.
+  EXPECT_DOUBLE_EQ(m->at(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(m->at(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m->at(1, 0), 2.0);  // numeric passthrough
+}
+
+TEST(FeaturizeOneHotTest, EachRowHasExactlyOneIndicatorPerCategorical) {
+  auto m = FeaturizeOneHot(MakeMixedFrame(), {"c"});
+  ASSERT_TRUE(m.ok());
+  for (size_t r = 0; r < m->rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < m->cols(); ++c) sum += m->at(r, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  Matrix m(4, 2);
+  for (size_t r = 0; r < 4; ++r) {
+    m.at(r, 0) = static_cast<double>(r);
+    m.at(r, 1) = 5.0;  // constant column
+  }
+  StandardizeInPlace(&m);
+  double mean0 = 0.0;
+  double ss0 = 0.0;
+  for (size_t r = 0; r < 4; ++r) {
+    mean0 += m.at(r, 0);
+  }
+  mean0 /= 4.0;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  for (size_t r = 0; r < 4; ++r) {
+    ss0 += m.at(r, 0) * m.at(r, 0);
+  }
+  EXPECT_NEAR(ss0 / 4.0, 1.0, 1e-12);
+  // Constant column centered, not scaled.
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(m.at(r, 1), 0.0);
+  }
+}
+
+TEST(MatrixTest, TakeRowsWithRepeats) {
+  Matrix m(3, 2);
+  for (size_t r = 0; r < 3; ++r) {
+    m.at(r, 0) = static_cast<double>(r);
+    m.at(r, 1) = static_cast<double>(10 * r);
+  }
+  const Matrix t = m.TakeRows({2, 2, 0});
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(t.at(1, 1), 20.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,120 @@
+#include "model/forest.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+struct Synth {
+  Matrix x;
+  std::vector<int> y;
+};
+
+Synth MakeLinearlySeparable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 3);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x.at(i, c) = rng.Uniform();
+    y[i] = x.at(i, 0) + x.at(i, 1) > 1.0 ? 1 : 0;
+  }
+  return {std::move(x), std::move(y)};
+}
+
+TEST(RandomForestTest, FitsSeparableData) {
+  const Synth data = MakeLinearlySeparable(600, 1);
+  RandomForest forest;
+  ForestOptions opts;
+  opts.num_trees = 16;
+  ASSERT_TRUE(forest.Fit(data.x, data.y, opts).ok());
+  const std::vector<int> preds = forest.PredictAll(data.x);
+  size_t correct = 0;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    correct += preds[i] == data.y[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / preds.size(), 0.93);
+}
+
+TEST(RandomForestTest, LearnsXorStyleInteraction) {
+  // The bootstrap noise lets greedy trees escape the zero-gain root of
+  // an equality concept (this mirrors the paper's artificial dataset).
+  Rng rng(2);
+  const size_t n = 4000;
+  Matrix x(n, 4);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 4; ++c) {
+      x.at(i, c) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    }
+    y[i] = (x.at(i, 0) == x.at(i, 1)) ? 1 : 0;
+  }
+  RandomForest forest;
+  ForestOptions opts;
+  opts.num_trees = 16;
+  opts.tree.max_depth = 12;
+  ASSERT_TRUE(forest.Fit(x, y, opts).ok());
+  const std::vector<int> preds = forest.PredictAll(x);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) correct += preds[i] == y[i];
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+}
+
+TEST(RandomForestTest, ProbabilitiesInUnitInterval) {
+  const Synth data = MakeLinearlySeparable(200, 3);
+  RandomForest forest;
+  ForestOptions opts;
+  opts.num_trees = 8;
+  ASSERT_TRUE(forest.Fit(data.x, data.y, opts).ok());
+  for (double p : forest.PredictProbaAll(data.x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForestTest, DeterministicForFixedSeed) {
+  const Synth data = MakeLinearlySeparable(300, 4);
+  ForestOptions opts;
+  opts.num_trees = 8;
+  opts.seed = 77;
+  RandomForest f1, f2;
+  ASSERT_TRUE(f1.Fit(data.x, data.y, opts).ok());
+  ASSERT_TRUE(f2.Fit(data.x, data.y, opts).ok());
+  EXPECT_EQ(f1.PredictAll(data.x), f2.PredictAll(data.x));
+}
+
+TEST(RandomForestTest, DifferentSeedsDifferSomewhere) {
+  const Synth data = MakeLinearlySeparable(300, 5);
+  ForestOptions a, b;
+  a.num_trees = b.num_trees = 4;
+  a.seed = 1;
+  b.seed = 2;
+  RandomForest f1, f2;
+  ASSERT_TRUE(f1.Fit(data.x, data.y, a).ok());
+  ASSERT_TRUE(f2.Fit(data.x, data.y, b).ok());
+  const auto p1 = f1.PredictProbaAll(data.x);
+  const auto p2 = f2.PredictProbaAll(data.x);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(RandomForestTest, RejectsBadOptions) {
+  const Synth data = MakeLinearlySeparable(50, 6);
+  RandomForest forest;
+  ForestOptions opts;
+  opts.num_trees = 0;
+  EXPECT_FALSE(forest.Fit(data.x, data.y, opts).ok());
+  EXPECT_FALSE(forest.Fit(Matrix(0, 3), {}, ForestOptions{}).ok());
+}
+
+TEST(RandomForestTest, NumTreesReported) {
+  const Synth data = MakeLinearlySeparable(100, 7);
+  RandomForest forest;
+  ForestOptions opts;
+  opts.num_trees = 5;
+  ASSERT_TRUE(forest.Fit(data.x, data.y, opts).ok());
+  EXPECT_EQ(forest.num_trees(), 5u);
+}
+
+}  // namespace
+}  // namespace divexp

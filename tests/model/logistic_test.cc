@@ -1,0 +1,87 @@
+#include "model/logistic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+TEST(LogisticRegressionTest, LearnsLinearBoundary) {
+  Rng rng(1);
+  const size_t n = 800;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.Uniform(-1.0, 1.0);
+    x.at(i, 1) = rng.Uniform(-1.0, 1.0);
+    y[i] = x.at(i, 0) + x.at(i, 1) > 0.0 ? 1 : 0;
+  }
+  LogisticRegression model;
+  LogisticOptions opts;
+  opts.epochs = 500;
+  opts.learning_rate = 0.5;
+  ASSERT_TRUE(model.Fit(x, y, opts).ok());
+  size_t correct = 0;
+  const auto preds = model.PredictAll(x);
+  for (size_t i = 0; i < n; ++i) correct += preds[i] == y[i];
+  EXPECT_GT(static_cast<double>(correct) / n, 0.95);
+  // Both weights should be positive and similar.
+  EXPECT_GT(model.weights()[0], 0.0);
+  EXPECT_GT(model.weights()[1], 0.0);
+}
+
+TEST(LogisticRegressionTest, ProbaMonotoneInScore) {
+  LogisticRegression model;
+  Matrix x(4, 1);
+  x.at(0, 0) = -2.0;
+  x.at(1, 0) = -1.0;
+  x.at(2, 0) = 1.0;
+  x.at(3, 0) = 2.0;
+  ASSERT_TRUE(model.Fit(x, {0, 0, 1, 1}, LogisticOptions{}).ok());
+  double last = -1.0;
+  for (size_t i = 0; i < 4; ++i) {
+    const double p = model.PredictProba(x.row(i));
+    EXPECT_GT(p, last);
+    last = p;
+  }
+}
+
+TEST(LogisticRegressionTest, RejectsNonBinaryLabels) {
+  Matrix x(2, 1);
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(x, {0, 2}, LogisticOptions{}).ok());
+}
+
+TEST(LogisticRegressionTest, RejectsShapeMismatch) {
+  Matrix x(2, 1);
+  LogisticRegression model;
+  EXPECT_FALSE(model.Fit(x, {0}, LogisticOptions{}).ok());
+  EXPECT_FALSE(model.Fit(Matrix(0, 1), {}, LogisticOptions{}).ok());
+}
+
+TEST(LogisticRegressionTest, WeightedFitFollowsWeights) {
+  // Two conflicting points; weight decides which side wins.
+  Matrix x(2, 1);
+  x.at(0, 0) = 1.0;
+  x.at(1, 0) = 1.0;
+  LogisticRegression model;
+  LogisticOptions opts;
+  opts.epochs = 400;
+  opts.learning_rate = 1.0;
+  ASSERT_TRUE(
+      model.FitWeighted(x, {1.0, 0.0}, {10.0, 1.0}, opts).ok());
+  EXPECT_GT(model.PredictProba(x.row(0)), 0.5);
+  ASSERT_TRUE(
+      model.FitWeighted(x, {1.0, 0.0}, {1.0, 10.0}, opts).ok());
+  EXPECT_LT(model.PredictProba(x.row(0)), 0.5);
+}
+
+TEST(LogisticRegressionTest, WeightedFitRejectsZeroMass) {
+  Matrix x(1, 1);
+  LogisticRegression model;
+  EXPECT_FALSE(model.FitWeighted(x, {1.0}, {0.0}, LogisticOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace divexp

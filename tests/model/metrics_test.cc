@@ -1,0 +1,56 @@
+#include "model/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace {
+
+TEST(ConfusionMatrixTest, TalliesAllFourCells) {
+  const ConfusionMatrix cm =
+      ComputeConfusion({1, 1, 0, 0, 1}, {1, 0, 1, 0, 1});
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 5u);
+}
+
+TEST(ConfusionMatrixTest, DerivedRates) {
+  ConfusionMatrix cm;
+  cm.tp = 30;
+  cm.fn = 70;   // FNR = 0.7
+  cm.fp = 9;
+  cm.tn = 91;   // FPR = 0.09
+  EXPECT_DOUBLE_EQ(cm.FalseNegativeRate(), 0.7);
+  EXPECT_DOUBLE_EQ(cm.FalsePositiveRate(), 0.09);
+  EXPECT_DOUBLE_EQ(cm.TruePositiveRate(), 0.3);
+  EXPECT_DOUBLE_EQ(cm.TrueNegativeRate(), 0.91);
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), (30.0 + 91.0) / 200.0);
+  EXPECT_DOUBLE_EQ(cm.ErrorRate(), 1.0 - cm.Accuracy());
+  EXPECT_DOUBLE_EQ(cm.Precision(), 30.0 / 39.0);
+}
+
+TEST(ConfusionMatrixTest, DegenerateDenominators) {
+  ConfusionMatrix cm;  // all zero
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.FalsePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.FalseNegativeRate(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.Precision(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, PerfectClassifier) {
+  const ConfusionMatrix cm = ComputeConfusion({1, 0, 1}, {1, 0, 1});
+  EXPECT_DOUBLE_EQ(cm.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.FalsePositiveRate(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.FalseNegativeRate(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  const ConfusionMatrix cm = ComputeConfusion({1}, {0});
+  const std::string s = cm.ToString();
+  EXPECT_NE(s.find("fp=1"), std::string::npos);
+  EXPECT_NE(s.find("tp=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace divexp

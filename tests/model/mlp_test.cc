@@ -1,0 +1,100 @@
+#include "model/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+TEST(MlpTest, LearnsLinearBoundary) {
+  Rng rng(1);
+  const size_t n = 600;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.Uniform(-1.0, 1.0);
+    x.at(i, 1) = rng.Uniform(-1.0, 1.0);
+    y[i] = x.at(i, 0) - x.at(i, 1) > 0.0 ? 1 : 0;
+  }
+  MlpClassifier mlp;
+  MlpOptions opts;
+  opts.epochs = 60;
+  ASSERT_TRUE(mlp.Fit(x, y, opts).ok());
+  const auto preds = mlp.PredictAll(x);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) correct += preds[i] == y[i];
+  EXPECT_GT(static_cast<double>(correct) / n, 0.92);
+}
+
+TEST(MlpTest, LearnsXor) {
+  // The hidden layer is required here; a linear model cannot do XOR.
+  Rng rng(2);
+  const size_t n = 2000;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x.at(i, 0) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    x.at(i, 1) = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    y[i] = (x.at(i, 0) != x.at(i, 1)) ? 1 : 0;
+  }
+  MlpClassifier mlp;
+  MlpOptions opts;
+  opts.hidden_units = 16;
+  opts.epochs = 80;
+  opts.learning_rate = 0.1;
+  ASSERT_TRUE(mlp.Fit(x, y, opts).ok());
+  const auto preds = mlp.PredictAll(x);
+  size_t correct = 0;
+  for (size_t i = 0; i < n; ++i) correct += preds[i] == y[i];
+  EXPECT_GT(static_cast<double>(correct) / n, 0.97);
+}
+
+TEST(MlpTest, ProbabilitiesInUnitInterval) {
+  Rng rng(3);
+  Matrix x(50, 3);
+  std::vector<int> y(50);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t c = 0; c < 3; ++c) x.at(i, c) = rng.Normal();
+    y[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  MlpClassifier mlp;
+  ASSERT_TRUE(mlp.Fit(x, y, MlpOptions{}).ok());
+  for (size_t i = 0; i < 50; ++i) {
+    const double p = mlp.PredictProba(x.row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MlpTest, DeterministicForFixedSeed) {
+  Rng rng(4);
+  Matrix x(100, 2);
+  std::vector<int> y(100);
+  for (size_t i = 0; i < 100; ++i) {
+    x.at(i, 0) = rng.Uniform();
+    x.at(i, 1) = rng.Uniform();
+    y[i] = x.at(i, 0) > 0.5 ? 1 : 0;
+  }
+  MlpClassifier m1, m2;
+  MlpOptions opts;
+  opts.epochs = 10;
+  ASSERT_TRUE(m1.Fit(x, y, opts).ok());
+  ASSERT_TRUE(m2.Fit(x, y, opts).ok());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(m1.PredictProba(x.row(i)), m2.PredictProba(x.row(i)));
+  }
+}
+
+TEST(MlpTest, RejectsBadOptionsAndShapes) {
+  Matrix x(2, 1);
+  MlpClassifier mlp;
+  MlpOptions opts;
+  opts.hidden_units = 0;
+  EXPECT_FALSE(mlp.Fit(x, {0, 1}, opts).ok());
+  EXPECT_FALSE(mlp.Fit(x, {0}, MlpOptions{}).ok());
+  EXPECT_FALSE(mlp.Fit(Matrix(0, 1), {}, MlpOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,47 @@
+#include "model/split.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace divexp {
+namespace {
+
+TEST(TrainTestSplitTest, SizesMatchFraction) {
+  Rng rng(1);
+  const TrainTestSplit split = MakeTrainTestSplit(100, 0.3, &rng);
+  EXPECT_EQ(split.test.size(), 30u);
+  EXPECT_EQ(split.train.size(), 70u);
+}
+
+TEST(TrainTestSplitTest, PartitionIsDisjointAndComplete) {
+  Rng rng(2);
+  const TrainTestSplit split = MakeTrainTestSplit(57, 0.25, &rng);
+  std::set<size_t> all;
+  for (size_t i : split.train) all.insert(i);
+  for (size_t i : split.test) {
+    EXPECT_EQ(all.count(i), 0u);
+    all.insert(i);
+  }
+  EXPECT_EQ(all.size(), 57u);
+  EXPECT_EQ(*all.rbegin(), 56u);
+}
+
+TEST(TrainTestSplitTest, DeterministicForSeed) {
+  Rng r1(7), r2(7);
+  const TrainTestSplit a = MakeTrainTestSplit(40, 0.5, &r1);
+  const TrainTestSplit b = MakeTrainTestSplit(40, 0.5, &r2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(TrainTestSplitTest, ShuffledNotSorted) {
+  Rng rng(3);
+  const TrainTestSplit split = MakeTrainTestSplit(200, 0.5, &rng);
+  EXPECT_FALSE(
+      std::is_sorted(split.train.begin(), split.train.end()));
+}
+
+}  // namespace
+}  // namespace divexp

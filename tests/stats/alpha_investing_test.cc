@@ -1,0 +1,80 @@
+#include "stats/alpha_investing.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+TEST(AlphaInvestingTest, RejectsTinyPValues) {
+  AlphaInvesting investor;
+  EXPECT_TRUE(investor.Test(1e-9));
+  EXPECT_EQ(investor.rejections(), 1u);
+  EXPECT_EQ(investor.tests(), 1u);
+}
+
+TEST(AlphaInvestingTest, AcceptsLargePValues) {
+  AlphaInvesting investor;
+  EXPECT_FALSE(investor.Test(0.9));
+  EXPECT_EQ(investor.rejections(), 0u);
+}
+
+TEST(AlphaInvestingTest, WealthGrowsOnRejection) {
+  AlphaInvesting investor;
+  const double before = investor.wealth();
+  investor.Test(1e-9);
+  EXPECT_GT(investor.wealth(), before);
+}
+
+TEST(AlphaInvestingTest, WealthShrinksOnAcceptance) {
+  AlphaInvesting investor;
+  const double before = investor.wealth();
+  investor.Test(0.9);
+  EXPECT_LT(investor.wealth(), before);
+}
+
+TEST(AlphaInvestingTest, ExhaustionStopsRejections) {
+  AlphaInvesting investor;
+  // Burn the wealth with repeated acceptances.
+  for (int i = 0; i < 200; ++i) investor.Test(0.99);
+  EXPECT_TRUE(investor.Exhausted());
+  // Even an impossibly small p-value is no longer rejected.
+  EXPECT_FALSE(investor.Test(1e-12));
+}
+
+TEST(AlphaInvestingTest, WealthNeverNegative) {
+  AlphaInvesting investor;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    investor.Test(rng.Uniform());
+    EXPECT_GE(investor.wealth(), 0.0);
+  }
+}
+
+TEST(AlphaInvestingTest, RejectionsReplenishBudgetForLaterTests) {
+  // A stream of strong signals keeps the tester alive indefinitely.
+  AlphaInvesting investor;
+  size_t rejected = 0;
+  for (int i = 0; i < 100; ++i) {
+    rejected += investor.Test(1e-8) ? 1 : 0;
+  }
+  EXPECT_EQ(rejected, 100u);
+  EXPECT_FALSE(investor.Exhausted());
+}
+
+TEST(AlphaInvestingTest, ControlsFalseRejectionsUnderNull) {
+  // With uniform p-values (all nulls), the expected number of false
+  // rejections stays small — far below a fixed per-test alpha = 0.05
+  // over 1000 tests (which would give ~50).
+  Rng rng(7);
+  AlphaInvesting investor;
+  size_t rejected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    rejected += investor.Test(rng.Uniform()) ? 1 : 0;
+  }
+  EXPECT_LT(rejected, 10u);
+}
+
+}  // namespace
+}  // namespace divexp

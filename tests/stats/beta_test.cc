@@ -1,0 +1,88 @@
+#include "stats/beta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+TEST(BetaPosteriorTest, UniformPriorWhenNoObservations) {
+  // Paper §3.3: the form stays numerically stable at k+ + k- = 0 (all
+  // outcomes ⊥) — it degrades to the uniform prior.
+  const BetaPosterior p = BetaPosteriorFromCounts(0, 0);
+  EXPECT_DOUBLE_EQ(p.mean, 0.5);
+  EXPECT_DOUBLE_EQ(p.variance, 1.0 / 12.0);
+}
+
+TEST(BetaPosteriorTest, MatchesPaperEquation3) {
+  // mu = (k+ + 1) / (k+ + k- + 2), v per Eq. 3.
+  const uint64_t kp = 7;
+  const uint64_t km = 3;
+  const BetaPosterior p = BetaPosteriorFromCounts(kp, km);
+  EXPECT_DOUBLE_EQ(p.mean, 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(p.variance, (8.0 * 4.0) / (12.0 * 12.0 * 13.0));
+}
+
+TEST(BetaPosteriorTest, MeanConvergesToEmpiricalRate) {
+  const BetaPosterior p = BetaPosteriorFromCounts(30000, 10000);
+  EXPECT_NEAR(p.mean, 0.75, 1e-4);
+  EXPECT_LT(p.variance, 1e-5);
+}
+
+TEST(BetaPosteriorTest, VarianceShrinksWithData) {
+  double last = 1.0;
+  for (uint64_t n : {1u, 10u, 100u, 1000u}) {
+    const BetaPosterior p = BetaPosteriorFromCounts(n, n);
+    EXPECT_LT(p.variance, last);
+    last = p.variance;
+  }
+}
+
+TEST(BetaPosteriorTest, SymmetricCountsGiveHalf) {
+  const BetaPosterior p = BetaPosteriorFromCounts(5, 5);
+  EXPECT_DOUBLE_EQ(p.mean, 0.5);
+}
+
+TEST(BetaPdfTest, UniformWhenAlphaBetaOne) {
+  for (double z : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(BetaPdf(1.0, 1.0, z), 1.0, 1e-10);
+  }
+}
+
+TEST(BetaPdfTest, IntegratesToOne) {
+  // Trapezoid integration of Beta(3, 5).
+  const int n = 20000;
+  double integral = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z0 = static_cast<double>(i) / n;
+    const double z1 = static_cast<double>(i + 1) / n;
+    integral += 0.5 * (BetaPdf(3, 5, z0) + BetaPdf(3, 5, z1)) * (z1 - z0);
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(BetaPdfTest, ZeroOutsideSupport) {
+  EXPECT_DOUBLE_EQ(BetaPdf(2, 2, -0.1), 0.0);
+  EXPECT_DOUBLE_EQ(BetaPdf(2, 2, 1.1), 0.0);
+}
+
+TEST(BetaCdfTest, MonotoneAndBounded) {
+  double last = -1.0;
+  for (double z = 0.0; z <= 1.0; z += 0.05) {
+    const double c = BetaCdf(4.0, 2.0, z);
+    EXPECT_GE(c, last);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    last = c;
+  }
+  EXPECT_DOUBLE_EQ(BetaCdf(4.0, 2.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BetaCdf(4.0, 2.0, 1.0), 1.0);
+}
+
+TEST(BetaCdfTest, MedianOfSymmetricBetaIsHalf) {
+  EXPECT_NEAR(BetaCdf(6.0, 6.0, 0.5), 0.5, 1e-10);
+}
+
+}  // namespace
+}  // namespace divexp

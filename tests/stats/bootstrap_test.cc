@@ -1,0 +1,100 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+TEST(BootstrapRateCiTest, ContainsPointEstimate) {
+  Rng rng(1);
+  const BootstrapCi ci = BootstrapRateCi(30, 70, &rng);
+  EXPECT_TRUE(ci.Contains(0.3));
+  EXPECT_GT(ci.hi, ci.lo);
+  EXPECT_GE(ci.lo, 0.0);
+  EXPECT_LE(ci.hi, 1.0);
+}
+
+TEST(BootstrapRateCiTest, WidthShrinksWithSampleSize) {
+  Rng rng(2);
+  const BootstrapCi small = BootstrapRateCi(30, 70, &rng);
+  const BootstrapCi large = BootstrapRateCi(3000, 7000, &rng);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(BootstrapRateCiTest, LargeSampleNormalPathConsistent) {
+  // Above the exact-binomial cutoff the normal approximation is used;
+  // the CI should be close to the analytic Wald interval.
+  Rng rng(3);
+  const uint64_t pos = 3000, neg = 7000;
+  BootstrapOptions opts;
+  opts.resamples = 4000;
+  const BootstrapCi ci = BootstrapRateCi(pos, neg, &rng, opts);
+  const double p = 0.3;
+  const double se = std::sqrt(p * (1 - p) / 10000.0);
+  EXPECT_NEAR(ci.lo, p - 1.96 * se, 3e-3);
+  EXPECT_NEAR(ci.hi, p + 1.96 * se, 3e-3);
+}
+
+TEST(BootstrapRateCiTest, DegenerateCounts) {
+  Rng rng(4);
+  EXPECT_TRUE(BootstrapRateCi(0, 0, &rng).Contains(0.5));
+  const BootstrapCi all_pos = BootstrapRateCi(50, 0, &rng);
+  EXPECT_DOUBLE_EQ(all_pos.lo, 1.0);
+  EXPECT_DOUBLE_EQ(all_pos.hi, 1.0);
+}
+
+TEST(BootstrapRateCiTest, CoversTruthAtNominalRate) {
+  // Simulation: CI from binomial draws covers the true rate roughly
+  // 95% of the time (loose bounds to stay robust).
+  Rng rng(5);
+  const double true_p = 0.35;
+  const uint64_t n = 400;
+  int covered = 0;
+  const int trials = 200;
+  BootstrapOptions opts;
+  opts.resamples = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    uint64_t pos = 0;
+    for (uint64_t i = 0; i < n; ++i) pos += rng.Bernoulli(true_p) ? 1 : 0;
+    if (BootstrapRateCi(pos, n - pos, &rng, opts).Contains(true_p)) {
+      ++covered;
+    }
+  }
+  const double coverage = static_cast<double>(covered) / trials;
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(BootstrapDivergenceCiTest, ZeroDivergenceCiStraddlesZero) {
+  Rng rng(6);
+  // Subgroup rate equals the dataset rate: CI must contain 0.
+  const BootstrapCi ci = BootstrapDivergenceCi(30, 70, 300, 700, &rng);
+  EXPECT_TRUE(ci.Contains(0.0));
+}
+
+TEST(BootstrapDivergenceCiTest, StrongDivergenceExcludesZero) {
+  Rng rng(7);
+  // Subgroup rate 0.8 vs dataset 0.2 with decent counts.
+  const BootstrapCi ci =
+      BootstrapDivergenceCi(160, 40, 2000, 8000, &rng);
+  EXPECT_FALSE(ci.Contains(0.0));
+  EXPECT_GT(ci.lo, 0.3);
+}
+
+TEST(BootstrapDivergenceCiTest, AgreesWithWelchTOnSignificance) {
+  // The two significance treatments should usually agree: a |t| >= 3
+  // pattern should have a CI excluding zero, a |t| < 0.5 one should
+  // not.
+  Rng rng(8);
+  const BootstrapCi strong =
+      BootstrapDivergenceCi(90, 10, 5000, 5000, &rng);
+  EXPECT_FALSE(strong.Contains(0.0));
+  const BootstrapCi weak =
+      BootstrapDivergenceCi(52, 48, 5000, 5000, &rng);
+  EXPECT_TRUE(weak.Contains(0.0));
+}
+
+}  // namespace
+}  // namespace divexp

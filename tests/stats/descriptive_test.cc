@@ -1,0 +1,52 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace {
+
+TEST(MeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-5.0}), -5.0);
+}
+
+TEST(SampleVarianceTest, UnbiasedDenominator) {
+  // var of {1, 2, 3} with n-1: ((1)+(0)+(1))/2 = 1.
+  EXPECT_DOUBLE_EQ(SampleVariance({1.0, 2.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({7.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+}
+
+TEST(SampleStdDevTest, SquareRootOfVariance) {
+  EXPECT_DOUBLE_EQ(SampleStdDev({1.0, 2.0, 3.0}), 1.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(QuantileTest, EmptyGivesZero) {
+  EXPECT_DOUBLE_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(EffectSizeTest, CohensDStyle) {
+  // means 1 apart, both variances 1 -> pooled std 1 -> effect 1.
+  EXPECT_DOUBLE_EQ(EffectSize(2.0, 1.0, 1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(EffectSize(1.0, 1.0, 2.0, 1.0), -1.0);
+}
+
+TEST(EffectSizeTest, ZeroPooledVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(EffectSize(2.0, 0.0, 1.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,91 @@
+#include "stats/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace divexp {
+namespace {
+
+TEST(LogGammaTest, MatchesKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-9);
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-9);
+  EXPECT_NEAR(LogGamma(10.0), std::log(362880.0), 1e-7);
+}
+
+TEST(LogGammaTest, AgreesWithStdLgamma) {
+  for (double x : {0.1, 0.7, 1.3, 3.7, 12.5, 100.0}) {
+    EXPECT_NEAR(LogGamma(x), std::lgamma(x), 1e-8) << "x=" << x;
+  }
+}
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetricCase) {
+  // I_0.5(a, a) = 0.5 by symmetry.
+  for (double a : {0.5, 1.0, 2.0, 7.0}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(a, a, 0.5), 0.5, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.75, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, ClosedFormQuadratic) {
+  // I_x(2, 1) = x^2 and I_x(1, 2) = 1 - (1 - x)^2.
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 1.0, x), x * x, 1e-10);
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 2.0, x),
+                1.0 - (1.0 - x) * (1.0 - x), 1e-10);
+  }
+}
+
+TEST(IncompleteBetaTest, ComplementIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.15, 0.4, 0.85}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(3.0, 5.0, x),
+                1.0 - RegularizedIncompleteBeta(5.0, 3.0, 1.0 - x),
+                1e-10);
+  }
+}
+
+TEST(StudentTCdfTest, SymmetricAroundZero) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(1.3, 8.0) + StudentTCdf(-1.3, 8.0), 1.0, 1e-12);
+}
+
+TEST(StudentTCdfTest, KnownQuantiles) {
+  // t = 2.776 is the 97.5% quantile for df = 4.
+  EXPECT_NEAR(StudentTCdf(2.776, 4.0), 0.975, 1e-3);
+  // t = 1.812 is the 95% quantile for df = 10.
+  EXPECT_NEAR(StudentTCdf(1.812, 10.0), 0.95, 1e-3);
+}
+
+TEST(StudentTCdfTest, LargeDfApproachesNormal) {
+  EXPECT_NEAR(StudentTCdf(1.96, 100000.0), NormalCdf(1.96), 1e-4);
+}
+
+TEST(TwoSidedTPValueTest, MatchesCdf) {
+  const double t = 2.0;
+  const double df = 12.0;
+  EXPECT_NEAR(TwoSidedTPValue(t, df), 2.0 * (1.0 - StudentTCdf(t, df)),
+              1e-10);
+}
+
+TEST(NormalCdfTest, StandardValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-4);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-4);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,78 @@
+#include "stats/welch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/beta.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+TEST(WelchFromPosteriorsTest, MatchesPaperFormula) {
+  // t = |mu1 - mu2| / sqrt(v1 + v2).
+  EXPECT_DOUBLE_EQ(WelchTFromPosteriors(0.5, 0.01, 0.3, 0.03), 1.0);
+  EXPECT_DOUBLE_EQ(WelchTFromPosteriors(0.3, 0.01, 0.5, 0.03), 1.0);
+}
+
+TEST(WelchFromPosteriorsTest, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(WelchTFromPosteriors(0.5, 0.0, 0.3, 0.0), 0.0);
+}
+
+TEST(WelchFromPosteriorsTest, GrowsWithDivergenceAndData) {
+  // More data -> tighter posterior -> bigger t for the same gap.
+  const BetaPosterior small = BetaPosteriorFromCounts(8, 2);
+  const BetaPosterior large = BetaPosteriorFromCounts(800, 200);
+  const BetaPosterior ref = BetaPosteriorFromCounts(5000, 5000);
+  const double t_small = WelchTFromPosteriors(small.mean, small.variance,
+                                              ref.mean, ref.variance);
+  const double t_large = WelchTFromPosteriors(large.mean, large.variance,
+                                              ref.mean, ref.variance);
+  EXPECT_GT(t_large, t_small);
+}
+
+TEST(WelchTTestSummaryTest, IdenticalSamplesGiveZeroT) {
+  const WelchResult r = WelchTTest(1.0, 0.5, 100, 1.0, 0.5, 100);
+  EXPECT_DOUBLE_EQ(r.t, 0.0);
+  EXPECT_NEAR(r.p_value, 1.0, 1e-12);
+}
+
+TEST(WelchTTestSummaryTest, TinySamplesAreDegenerate) {
+  const WelchResult r = WelchTTest(1.0, 0.5, 1, 2.0, 0.5, 100);
+  EXPECT_DOUBLE_EQ(r.t, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchTTestSummaryTest, KnownExample) {
+  // Classic textbook example: n1=n2=10, means 20/22, variances 4/9.
+  const WelchResult r = WelchTTest(20.0, 4.0, 10, 22.0, 9.0, 10);
+  EXPECT_NEAR(r.t, 2.0 / std::sqrt(0.4 + 0.9), 1e-12);
+  EXPECT_GT(r.df, 15.0);
+  EXPECT_LT(r.df, 18.0);
+  EXPECT_LT(r.p_value, 0.15);
+  EXPECT_GT(r.p_value, 0.05);
+}
+
+TEST(WelchTTestRawTest, DetectsMeanShift) {
+  Rng rng(99);
+  std::vector<double> a(500), b(500);
+  for (auto& x : a) x = rng.Normal(0.0, 1.0);
+  for (auto& x : b) x = rng.Normal(0.5, 1.0);
+  const WelchResult r = WelchTTest(a, b);
+  EXPECT_GT(r.t, 4.0);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(WelchTTestRawTest, NoShiftUsuallyInsignificant) {
+  Rng rng(7);
+  std::vector<double> a(500), b(500);
+  for (auto& x : a) x = rng.Normal(0.0, 1.0);
+  for (auto& x : b) x = rng.Normal(0.0, 1.0);
+  const WelchResult r = WelchTTest(a, b);
+  EXPECT_LT(r.t, 3.0);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+}  // namespace
+}  // namespace divexp

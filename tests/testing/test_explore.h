@@ -1,0 +1,30 @@
+// Helper for core tests: run a full exploration over a small dataset.
+#ifndef DIVEXP_TESTS_TESTING_TEST_EXPLORE_H_
+#define DIVEXP_TESTS_TESTING_TEST_EXPLORE_H_
+
+#include "core/explorer.h"
+#include "testing/test_data.h"
+
+namespace divexp {
+namespace testing {
+
+/// Explores integer cell data + outcome string with the given support.
+inline PatternTable ExploreForTest(
+    const std::vector<std::vector<int>>& rows,
+    const std::vector<int>& domain_sizes, const std::string& outcomes,
+    double min_support, MinerKind miner = MinerKind::kFpGrowth) {
+  const EncodedDataset ds = MakeEncoded(rows, domain_sizes);
+  ExplorerOptions opts;
+  opts.min_support = min_support;
+  opts.miner = miner;
+  DivergenceExplorer explorer(opts);
+  auto table =
+      explorer.ExploreOutcomes(ds, OutcomesFromString(outcomes));
+  DIVEXP_CHECK(table.ok());
+  return std::move(table).value();
+}
+
+}  // namespace testing
+}  // namespace divexp
+
+#endif  // DIVEXP_TESTS_TESTING_TEST_EXPLORE_H_

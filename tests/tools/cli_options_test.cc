@@ -1,0 +1,144 @@
+#include "tools/cli_options.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace cli {
+namespace {
+
+TEST(ParseMetricTest, AllNamesRoundTrip) {
+  const char* names[] = {"FPR", "FNR", "ER",  "ACC", "TPR", "TNR",
+                         "PPV", "FDR", "FOR", "NPV", "POS", "PPOS"};
+  for (const char* name : names) {
+    auto metric = ParseMetric(name);
+    ASSERT_TRUE(metric.ok()) << name;
+    EXPECT_STREQ(MetricName(*metric), name);
+  }
+  EXPECT_FALSE(ParseMetric("nope").ok());
+  EXPECT_FALSE(ParseMetric("fpr").ok());  // case sensitive
+}
+
+TEST(ParseCliOptionsTest, DefaultsWithCsv) {
+  auto opts = ParseCliOptions({"--csv", "data.csv"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->csv_path, "data.csv");
+  EXPECT_EQ(opts->pred_column, "prediction");
+  EXPECT_EQ(opts->truth_column, "label");
+  EXPECT_EQ(opts->metric, Metric::kFalsePositiveRate);
+  EXPECT_DOUBLE_EQ(opts->min_support, 0.05);
+  EXPECT_EQ(opts->bins, 3);
+  EXPECT_EQ(opts->top_k, 10u);
+  EXPECT_LT(opts->epsilon, 0.0);
+  EXPECT_FALSE(opts->show_global);
+}
+
+TEST(ParseCliOptionsTest, AllFlags) {
+  auto opts = ParseCliOptions(
+      {"--csv", "d.csv", "--pred-col", "p", "--truth-col", "t",
+       "--metric", "FNR", "--support", "0.02", "--bins", "5", "--top",
+       "7", "--epsilon", "0.1", "--global", "--corrective", "--shapley",
+       "--lattice", "a=1,b=2"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->pred_column, "p");
+  EXPECT_EQ(opts->truth_column, "t");
+  EXPECT_EQ(opts->metric, Metric::kFalseNegativeRate);
+  EXPECT_DOUBLE_EQ(opts->min_support, 0.02);
+  EXPECT_EQ(opts->bins, 5);
+  EXPECT_EQ(opts->top_k, 7u);
+  EXPECT_DOUBLE_EQ(opts->epsilon, 0.1);
+  EXPECT_TRUE(opts->show_global);
+  EXPECT_TRUE(opts->show_corrective);
+  EXPECT_TRUE(opts->show_shapley);
+  EXPECT_EQ(opts->lattice_pattern, "a=1,b=2");
+}
+
+TEST(ParseCliOptionsTest, MissingCsvRejected) {
+  auto opts = ParseCliOptions({"--metric", "FPR"});
+  EXPECT_FALSE(opts.ok());
+}
+
+TEST(ParseCliOptionsTest, HelpDoesNotRequireCsv) {
+  auto opts = ParseCliOptions({"--help"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_TRUE(opts->show_help);
+}
+
+TEST(ParseCliOptionsTest, BadValuesRejected) {
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--support", "0"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--support", "1.5"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--support", "abc"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--bins", "1"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--top", "0"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--epsilon", "-1"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--metric", "XXX"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv"}).ok());  // missing value
+  EXPECT_FALSE(ParseCliOptions({"--unknown"}).ok());
+}
+
+TEST(ParsePatternTest, SplitsPairs) {
+  auto p = ParsePattern("sex=Male, age=<=28");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->size(), 2u);
+  EXPECT_EQ((*p)[0].first, "sex");
+  EXPECT_EQ((*p)[0].second, "Male");
+  EXPECT_EQ((*p)[1].first, "age");
+  EXPECT_EQ((*p)[1].second, "<=28");
+}
+
+TEST(ParsePatternTest, ValueMayContainComparison) {
+  auto p = ParsePattern("gain=0");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)[0].second, "0");
+}
+
+TEST(ParsePatternTest, BadPatternsRejected) {
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("noequals").ok());
+  EXPECT_FALSE(ParsePattern("=value").ok());
+  EXPECT_FALSE(ParsePattern("attr=").ok());
+}
+
+TEST(ParseMinerKindTest, AllBackends) {
+  for (const char* name : {"fpgrowth", "apriori", "eclat"}) {
+    auto kind = ParseMinerKind(name);
+    ASSERT_TRUE(kind.ok()) << name;
+    EXPECT_STREQ(MinerKindName(*kind), name);
+  }
+  EXPECT_FALSE(ParseMinerKind("FPGROWTH").ok());
+  EXPECT_FALSE(ParseMinerKind("").ok());
+}
+
+TEST(ParseCliOptionsTest, NewFlags) {
+  auto opts = ParseCliOptions({"--csv", "d.csv", "--multi", "--export",
+                               "out.csv", "--miner", "eclat"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_TRUE(opts->multi);
+  EXPECT_EQ(opts->export_path, "out.csv");
+  EXPECT_EQ(opts->miner, MinerKind::kEclat);
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--miner", "magic"}).ok());
+}
+
+TEST(ParseCliOptionsTest, ThreadsFlag) {
+  auto opts = ParseCliOptions({"--csv", "d.csv", "--threads", "4"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->num_threads, 4u);
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--threads", "0"}).ok());
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--threads", "999"}).ok());
+}
+
+TEST(UsageStringTest, MentionsAllFlags) {
+  const std::string usage = UsageString();
+  for (const char* flag :
+       {"--csv", "--pred-col", "--truth-col", "--metric", "--support",
+        "--bins", "--top", "--epsilon", "--shapley", "--global",
+        "--corrective", "--lattice", "--multi", "--export",
+        "--miner", "--threads", "--report"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace divexp

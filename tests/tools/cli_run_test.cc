@@ -1,0 +1,178 @@
+// Integration tests of the CLI pipeline: write a CSV fixture with a
+// known divergent pocket, run cli::Run, and check the reports.
+#include "tools/cli_run.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/random.h"
+
+namespace divexp {
+namespace cli {
+namespace {
+
+// CSV with a high-FPR pocket at group=b & flag=y.
+std::string WriteFixture(const std::string& path, bool with_missing) {
+  Rng rng(77);
+  std::ofstream out(path);
+  out << "age,group,flag,prediction,label\n";
+  for (int i = 0; i < 2000; ++i) {
+    const double age = rng.Uniform(18.0, 80.0);
+    const bool b = rng.Bernoulli(0.5);
+    const bool y = rng.Bernoulli(0.5);
+    const int label = 0;
+    const double fp_rate = (b && y) ? 0.6 : 0.05;
+    const int pred = rng.Bernoulli(fp_rate) ? 1 : 0;
+    if (with_missing && i % 97 == 0) {
+      out << "?," << (b ? "b" : "a") << "," << (y ? "y" : "n") << ","
+          << pred << "," << label << "\n";
+    } else {
+      out << age << "," << (b ? "b" : "a") << "," << (y ? "y" : "n")
+          << "," << pred << "," << label << "\n";
+    }
+  }
+  out.close();
+  return path;
+}
+
+struct RunResult {
+  Status status;
+  std::string out;
+  std::string log;
+};
+
+RunResult RunWith(CliOptions opts) {
+  std::ostringstream out, log;
+  const Status status = Run(opts, out, log);
+  return {status, out.str(), log.str()};
+}
+
+class CliRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/divexp_cli_run_test.csv";
+    WriteFixture(path_, /*with_missing=*/false);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CliRunTest, FindsInjectedPocket) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.top_k = 3;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.out.find("group=b, flag=y"), std::string::npos) << r.out;
+  EXPECT_NE(r.log.find("loaded 2000 rows"), std::string::npos);
+}
+
+TEST_F(CliRunTest, ShapleyGlobalCorrectiveSectionsRender) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.show_shapley = true;
+  opts.show_global = true;
+  opts.show_corrective = true;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NE(r.out.find("item contributions for"), std::string::npos);
+  EXPECT_NE(r.out.find("global vs individual"), std::string::npos);
+  EXPECT_NE(r.out.find("corrective items"), std::string::npos);
+}
+
+TEST_F(CliRunTest, EpsilonPruningPath) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.epsilon = 0.03;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NE(r.out.find("pruning"), std::string::npos);
+}
+
+TEST_F(CliRunTest, MultiMetricSection) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.multi = true;
+  opts.top_k = 2;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NE(r.out.find("all metrics for the top patterns"),
+            std::string::npos);
+  EXPECT_NE(r.out.find("d_ACC="), std::string::npos);
+}
+
+TEST_F(CliRunTest, ExportWritesTableCsv) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.export_path = "/tmp/divexp_cli_export_test.csv";
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok());
+  std::ifstream in(opts.export_path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("itemset,length,support"), std::string::npos);
+  std::remove(opts.export_path.c_str());
+}
+
+TEST_F(CliRunTest, LatticeDotEmitted) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.lattice_pattern = "group=b,flag=y";
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NE(r.out.find("digraph lattice"), std::string::npos);
+}
+
+TEST_F(CliRunTest, AllMinersAgreeOnTopPattern) {
+  std::string fp_out;
+  for (MinerKind kind :
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+    CliOptions opts;
+    opts.csv_path = path_;
+    opts.miner = kind;
+    opts.top_k = 1;
+    const RunResult r = RunWith(opts);
+    ASSERT_TRUE(r.status.ok());
+    if (fp_out.empty()) {
+      fp_out = r.out;
+    } else {
+      EXPECT_EQ(r.out, fp_out) << MinerKindName(kind);
+    }
+  }
+}
+
+TEST_F(CliRunTest, MissingRowsDroppedWithLog) {
+  const std::string path = "/tmp/divexp_cli_missing_test.csv";
+  WriteFixture(path, /*with_missing=*/true);
+  CliOptions opts;
+  opts.csv_path = path;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_NE(r.log.find("rows with missing values"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CliRunTest, ErrorsSurfaceCleanly) {
+  CliOptions opts;
+  opts.csv_path = "/tmp/definitely_missing_divexp.csv";
+  EXPECT_FALSE(RunWith(opts).status.ok());
+
+  opts.csv_path = path_;
+  opts.pred_column = "no_such_column";
+  EXPECT_FALSE(RunWith(opts).status.ok());
+
+  opts.pred_column = "age";  // non-binary column
+  EXPECT_FALSE(RunWith(opts).status.ok());
+
+  opts.pred_column = "prediction";
+  opts.lattice_pattern = "group=zzz";
+  EXPECT_FALSE(RunWith(opts).status.ok());
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace divexp

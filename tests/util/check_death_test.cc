@@ -1,0 +1,53 @@
+// Death tests for the library's programmer-error contracts: misuse
+// aborts loudly instead of corrupting state.
+#include <gtest/gtest.h>
+
+#include "fpm/itemset.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace divexp {
+namespace {
+
+TEST(CheckDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH({ DIVEXP_CHECK(1 == 2); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ DIVEXP_CHECK_OK(Status::NotFound("gone")); },
+               "CHECK_OK failed");
+}
+
+TEST(CheckDeathTest, ResultValueOnErrorAborts) {
+  EXPECT_DEATH(
+      {
+        Result<int> r(Status::Internal("boom"));
+        (void)r.value();
+      },
+      "Result accessed while holding error");
+}
+
+TEST(CheckDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r((Status())); },
+               "Result constructed from OK status");
+}
+
+TEST(CheckDeathTest, RngBelowZeroAborts) {
+  EXPECT_DEATH(
+      {
+        Rng rng(1);
+        (void)rng.Below(0);
+      },
+      "CHECK failed");
+}
+
+TEST(CheckDeathTest, WithoutMissingItemAborts) {
+  EXPECT_DEATH({ (void)Without(Itemset{1, 2}, 9); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, WithDuplicateItemAborts) {
+  EXPECT_DEATH({ (void)With(Itemset{1, 2}, 2); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace divexp

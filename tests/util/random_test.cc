@@ -1,0 +1,166 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace divexp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, BelowCoversAllValues) {
+  Rng rng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, IntInclusiveBounds) {
+  Rng rng(19);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.Int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(31);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(37);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.Categorical(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsReturnsLast) {
+  Rng rng(43);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0, 0.0}), 2u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleEmptyVectorIsNoop) {
+  Rng rng(53);
+  std::vector<int> v;
+  rng.Shuffle(&v);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(59);
+  Rng forked = a.Fork();
+  // Forked stream should not reproduce the parent's next outputs.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == forked.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -1,0 +1,41 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace divexp {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const double a = sw.Seconds();
+  const double b = sw.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(sw.Millis(), 15.0);
+  EXPECT_LT(sw.Seconds(), 5.0);  // sanity upper bound
+}
+
+TEST(StopwatchTest, RestartResetsTheClock) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sw.Restart();
+  EXPECT_LT(sw.Millis(), 15.0);
+}
+
+TEST(StopwatchTest, MillisMatchesSeconds) {
+  Stopwatch sw;
+  const double s = sw.Seconds();
+  const double ms = sw.Millis();
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_LT(ms, s * 1e3 + 50.0);
+}
+
+}  // namespace
+}  // namespace divexp

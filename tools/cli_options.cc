@@ -1,0 +1,200 @@
+#include "tools/cli_options.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace divexp {
+namespace cli {
+namespace {
+
+Result<double> ParseDouble(const std::string& flag,
+                           const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || value.empty()) {
+    return Status::InvalidArgument("bad value for " + flag + ": '" +
+                                   value + "'");
+  }
+  return v;
+}
+
+Result<long> ParseInt(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || value.empty()) {
+    return Status::InvalidArgument("bad value for " + flag + ": '" +
+                                   value + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Metric> ParseMetric(const std::string& name) {
+  static const std::pair<const char*, Metric> kNames[] = {
+      {"FPR", Metric::kFalsePositiveRate},
+      {"FNR", Metric::kFalseNegativeRate},
+      {"ER", Metric::kErrorRate},
+      {"ACC", Metric::kAccuracy},
+      {"TPR", Metric::kTruePositiveRate},
+      {"TNR", Metric::kTrueNegativeRate},
+      {"PPV", Metric::kPositivePredictiveValue},
+      {"FDR", Metric::kFalseDiscoveryRate},
+      {"FOR", Metric::kFalseOmissionRate},
+      {"NPV", Metric::kNegativePredictiveValue},
+      {"POS", Metric::kPositiveRate},
+      {"PPOS", Metric::kPredictedPositiveRate},
+  };
+  for (const auto& [label, metric] : kNames) {
+    if (name == label) return metric;
+  }
+  return Status::InvalidArgument(
+      "unknown metric '" + name +
+      "' (use FPR, FNR, ER, ACC, TPR, TNR, PPV, FDR, FOR, NPV, POS, "
+      "PPOS)");
+}
+
+Result<MinerKind> ParseMinerKind(const std::string& name) {
+  for (MinerKind kind :
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+    if (name == MinerKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown miner '" + name + "' (use fpgrowth, apriori, eclat)");
+}
+
+Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
+  CliOptions opts;
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.show_help = true;
+    } else if (arg == "--csv") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.csv_path, next());
+    } else if (arg == "--pred-col") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.pred_column, next());
+    } else if (arg == "--truth-col") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.truth_column, next());
+    } else if (arg == "--metric") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.metric, ParseMetric(name));
+    } else if (arg == "--support") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.min_support, ParseDouble(arg, v));
+      if (opts.min_support <= 0.0 || opts.min_support > 1.0) {
+        return Status::InvalidArgument("--support must be in (0, 1]");
+      }
+    } else if (arg == "--bins") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long bins, ParseInt(arg, v));
+      if (bins < 2 || bins > 64) {
+        return Status::InvalidArgument("--bins must be in [2, 64]");
+      }
+      opts.bins = static_cast<int>(bins);
+    } else if (arg == "--top") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long top, ParseInt(arg, v));
+      if (top < 1) return Status::InvalidArgument("--top must be >= 1");
+      opts.top_k = static_cast<size_t>(top);
+    } else if (arg == "--epsilon") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.epsilon, ParseDouble(arg, v));
+      if (opts.epsilon < 0.0) {
+        return Status::InvalidArgument("--epsilon must be >= 0");
+      }
+    } else if (arg == "--global") {
+      opts.show_global = true;
+    } else if (arg == "--corrective") {
+      opts.show_corrective = true;
+    } else if (arg == "--shapley") {
+      opts.show_shapley = true;
+    } else if (arg == "--lattice") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.lattice_pattern, next());
+    } else if (arg == "--export") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.export_path, next());
+    } else if (arg == "--report") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.report_path, next());
+    } else if (arg == "--multi") {
+      opts.multi = true;
+    } else if (arg == "--threads") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long t, ParseInt(arg, v));
+      if (t < 1 || t > 256) {
+        return Status::InvalidArgument("--threads must be in [1, 256]");
+      }
+      opts.num_threads = static_cast<size_t>(t);
+    } else if (arg == "--miner") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.miner, ParseMinerKind(name));
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (!opts.show_help && opts.csv_path.empty()) {
+    return Status::InvalidArgument("--csv is required");
+  }
+  return opts;
+}
+
+std::string UsageString() {
+  return
+      "divexp — pattern-divergence analysis of classifier behavior\n"
+      "\n"
+      "usage: divexp --csv FILE [options]\n"
+      "\n"
+      "required:\n"
+      "  --csv FILE         input CSV (header row required)\n"
+      "\n"
+      "data options:\n"
+      "  --pred-col NAME    0/1 prediction column  (default: prediction)\n"
+      "  --truth-col NAME   0/1 ground-truth column (default: label)\n"
+      "  --bins K           quantile bins for continuous attributes "
+      "(default: 3)\n"
+      "\n"
+      "analysis options:\n"
+      "  --metric M         FPR FNR ER ACC TPR TNR PPV FDR FOR NPV POS "
+      "PPOS (default: FPR)\n"
+      "  --support S        minimum support threshold (default: 0.05)\n"
+      "  --top K            patterns to display (default: 10)\n"
+      "  --epsilon E        redundancy-prune with threshold E\n"
+      "  --shapley          item contributions for the top pattern\n"
+      "  --global           global vs individual item divergence\n"
+      "  --corrective       top corrective items\n"
+      "  --lattice \"a=v,b=w\"  render the lattice below a pattern "
+      "(Graphviz DOT)\n"
+      "  --multi            print every metric for the top patterns\n"
+      "  --export FILE      write the full pattern table as CSV\n"
+      "  --miner NAME       fpgrowth (default), apriori, or eclat\n"
+      "  --threads N        worker threads for mining (default: 1)\n"
+      "  --report FILE      write a composed markdown audit report\n";
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ParsePattern(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& part : Split(text, ',')) {
+    const std::string trimmed = Trim(part);
+    const size_t eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= trimmed.size()) {
+      return Status::InvalidArgument("bad pattern item '" + trimmed +
+                                     "' (want attr=value)");
+    }
+    out.emplace_back(Trim(trimmed.substr(0, eq)),
+                     Trim(trimmed.substr(eq + 1)));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("empty pattern");
+  }
+  return out;
+}
+
+}  // namespace cli
+}  // namespace divexp

@@ -1,0 +1,64 @@
+// Command-line parsing for the divexp CLI, kept separate from main()
+// so it can be unit tested.
+#ifndef DIVEXP_TOOLS_CLI_OPTIONS_H_
+#define DIVEXP_TOOLS_CLI_OPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/outcome.h"
+#include "fpm/miner.h"
+#include "util/status.h"
+
+namespace divexp {
+namespace cli {
+
+/// Parsed CLI configuration.
+struct CliOptions {
+  std::string csv_path;
+  std::string pred_column = "prediction";
+  std::string truth_column = "label";
+  Metric metric = Metric::kFalsePositiveRate;
+  double min_support = 0.05;
+  int bins = 3;             ///< quantile bins for continuous attributes
+  size_t top_k = 10;
+  double epsilon = -1.0;    ///< redundancy pruning; < 0 disables
+  bool show_global = false;
+  bool show_corrective = false;
+  bool show_shapley = false;
+  /// "attr=value,attr=value" — render the lattice below this pattern.
+  std::string lattice_pattern;
+  /// Write the full pattern table as CSV to this path.
+  std::string export_path;
+  /// Write a composed markdown audit report to this path.
+  std::string report_path;
+  /// Print all 12 metrics for the top patterns (multi-metric run).
+  bool multi = false;
+  /// Mining backend.
+  MinerKind miner = MinerKind::kFpGrowth;
+  /// Worker threads for mining.
+  size_t num_threads = 1;
+  bool show_help = false;
+};
+
+/// Parses a metric name ("FPR", "FNR", "ER", "ACC", ...).
+Result<Metric> ParseMetric(const std::string& name);
+
+/// Parses a miner name ("fpgrowth", "apriori", "eclat").
+Result<MinerKind> ParseMinerKind(const std::string& name);
+
+/// Parses argv (excluding argv[0]). Returns InvalidArgument with a
+/// usage-oriented message on bad input.
+Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string UsageString();
+
+/// Splits "attr=value,attr=value" into pairs.
+Result<std::vector<std::pair<std::string, std::string>>> ParsePattern(
+    const std::string& text);
+
+}  // namespace cli
+}  // namespace divexp
+
+#endif  // DIVEXP_TOOLS_CLI_OPTIONS_H_

@@ -1,0 +1,205 @@
+#include "tools/cli_run.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/corrective.h"
+#include "core/explorer.h"
+#include "core/global_divergence.h"
+#include "core/lattice.h"
+#include "core/multi.h"
+#include "core/pruning.h"
+#include "core/report.h"
+#include "core/shapley.h"
+#include "core/summary.h"
+#include "core/table_io.h"
+#include "data/csv.h"
+#include "data/discretize.h"
+#include "data/encoder.h"
+#include "util/string_util.h"
+
+namespace divexp {
+namespace cli {
+namespace {
+
+Result<std::vector<int>> ExtractLabels(const DataFrame& df,
+                                       const std::string& column) {
+  DIVEXP_ASSIGN_OR_RETURN(const Column* col, df.Find(column));
+  std::vector<int> labels;
+  labels.reserve(df.num_rows());
+  for (size_t r = 0; r < col->size(); ++r) {
+    if (col->IsMissing(r)) {
+      return Status::InvalidArgument("missing label in column '" +
+                                     column + "' row " +
+                                     std::to_string(r));
+    }
+    double v = 0.0;
+    switch (col->type()) {
+      case ColumnType::kInt:
+      case ColumnType::kDouble:
+        v = col->Numeric(r);
+        break;
+      default:
+        return Status::InvalidArgument("label column '" + column +
+                                       "' must be numeric 0/1");
+    }
+    if (v != 0.0 && v != 1.0) {
+      return Status::InvalidArgument("label column '" + column +
+                                     "' must contain only 0/1");
+    }
+    labels.push_back(v == 1.0 ? 1 : 0);
+  }
+  return labels;
+}
+
+}  // namespace
+
+Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
+  DIVEXP_ASSIGN_OR_RETURN(DataFrame df, ReadCsvFile(opts.csv_path));
+  log << "loaded " << df.num_rows() << " rows x " << df.num_columns()
+      << " columns from " << opts.csv_path << "\n";
+
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<int> preds,
+                          ExtractLabels(df, opts.pred_column));
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<int> truths,
+                          ExtractLabels(df, opts.truth_column));
+  DIVEXP_RETURN_NOT_OK(df.DropColumn(opts.pred_column));
+  DIVEXP_RETURN_NOT_OK(df.DropColumn(opts.truth_column));
+
+  // Drop rows with missing attribute values (paper preprocessing),
+  // keeping labels aligned.
+  const std::vector<size_t> complete = df.CompleteRows();
+  if (complete.size() != df.num_rows()) {
+    log << "dropping " << (df.num_rows() - complete.size())
+        << " rows with missing values\n";
+    df = df.Take(complete);
+    std::vector<int> p, t;
+    for (size_t r : complete) {
+      p.push_back(preds[r]);
+      t.push_back(truths[r]);
+    }
+    preds = std::move(p);
+    truths = std::move(t);
+  }
+
+  DIVEXP_ASSIGN_OR_RETURN(
+      DataFrame binned,
+      DiscretizeAll(df, BinStrategy::kQuantile, opts.bins));
+  DIVEXP_ASSIGN_OR_RETURN(EncodedDataset encoded,
+                          EncodeDataFrame(binned));
+
+  ExplorerOptions eopts;
+  eopts.min_support = opts.min_support;
+  eopts.miner = opts.miner;
+  eopts.num_threads = opts.num_threads;
+  DivergenceExplorer explorer(eopts);
+  DIVEXP_ASSIGN_OR_RETURN(
+      PatternTable table,
+      explorer.Explore(encoded, preds, truths, opts.metric));
+
+  const std::string label = std::string("d_") + MetricName(opts.metric);
+  out << (table.size() - 1) << " frequent patterns (s=" << opts.min_support
+      << "); " << MetricName(opts.metric) << "(D)=" << table.global_rate()
+      << "\n\n";
+
+  std::vector<size_t> shown;
+  if (opts.epsilon >= 0.0) {
+    const std::vector<size_t> kept = RedundancyPrune(table, opts.epsilon);
+    std::vector<bool> mask(table.size(), false);
+    for (size_t i : kept) mask[i] = true;
+    for (size_t i : table.RankByDivergence(true)) {
+      if (!mask[i]) continue;
+      shown.push_back(i);
+      if (shown.size() >= opts.top_k) break;
+    }
+    out << "top " << shown.size() << " divergent patterns after eps="
+        << opts.epsilon << " pruning (" << kept.size() << " survive):\n";
+  } else {
+    shown = table.TopK(opts.top_k);
+    out << "top " << shown.size() << " divergent patterns:\n";
+  }
+  out << FormatPatternRows(table, shown, label) << "\n";
+
+  if (opts.show_shapley && !shown.empty()) {
+    const Itemset& best = table.row(shown[0]).items;
+    DIVEXP_ASSIGN_OR_RETURN(std::vector<ItemContribution> contributions,
+                            ShapleyContributions(table, best));
+    out << "item contributions for [" << table.ItemsetName(best)
+        << "]:\n"
+        << FormatContributions(table, contributions) << "\n";
+  }
+
+  if (opts.show_global) {
+    const auto globals = ComputeGlobalItemDivergence(table);
+    out << "global vs individual item divergence:\n"
+        << FormatGlobalDivergence(table, globals, opts.top_k) << "\n";
+  }
+
+  if (opts.show_corrective) {
+    CorrectiveOptions copts;
+    copts.top_k = opts.top_k;
+    const auto corrective = FindCorrectiveItems(table, copts);
+    out << "top corrective items:\n"
+        << FormatCorrectiveItems(table, corrective, opts.top_k) << "\n";
+  }
+
+  if (opts.multi) {
+    MultiExplorer multi(eopts);
+    DIVEXP_ASSIGN_OR_RETURN(MultiPatternTable mtable,
+                            multi.Explore(encoded, preds, truths));
+    static constexpr Metric kAll[] = {
+        Metric::kFalsePositiveRate,      Metric::kFalseNegativeRate,
+        Metric::kErrorRate,              Metric::kAccuracy,
+        Metric::kTruePositiveRate,       Metric::kTrueNegativeRate,
+        Metric::kPositivePredictiveValue, Metric::kFalseDiscoveryRate,
+        Metric::kFalseOmissionRate,      Metric::kNegativePredictiveValue,
+        Metric::kPositiveRate,           Metric::kPredictedPositiveRate,
+    };
+    out << "all metrics for the top patterns:\n";
+    for (size_t i : shown) {
+      const Itemset& items = table.row(i).items;
+      out << "  [" << table.ItemsetName(items) << "]\n   ";
+      for (Metric m : kAll) {
+        DIVEXP_ASSIGN_OR_RETURN(double div, mtable.Divergence(m, items));
+        out << " d_" << MetricName(m) << "=" << FormatDouble(div, 3);
+      }
+      out << "\n";
+    }
+    out << "\n";
+  }
+
+  if (!opts.export_path.empty()) {
+    DIVEXP_RETURN_NOT_OK(WritePatternTableFile(table, opts.export_path));
+    log << "pattern table written to " << opts.export_path << "\n";
+  }
+
+  if (!opts.report_path.empty()) {
+    AuditReportOptions ropts;
+    ropts.explorer = eopts;
+    ropts.top_k = opts.top_k;
+    ropts.epsilon = opts.epsilon >= 0.0 ? opts.epsilon : 0.05;
+    DIVEXP_ASSIGN_OR_RETURN(
+        std::string report,
+        GenerateAuditReport(encoded, preds, truths, ropts));
+    std::ofstream report_file(opts.report_path);
+    if (!report_file) {
+      return Status::IOError("cannot open '" + opts.report_path + "'");
+    }
+    report_file << report;
+    log << "audit report written to " << opts.report_path << "\n";
+  }
+
+  if (!opts.lattice_pattern.empty()) {
+    DIVEXP_ASSIGN_OR_RETURN(auto description,
+                            ParsePattern(opts.lattice_pattern));
+    DIVEXP_ASSIGN_OR_RETURN(Itemset target,
+                            table.ParseItemset(description));
+    DIVEXP_ASSIGN_OR_RETURN(Lattice lattice, BuildLattice(table, target));
+    out << LatticeToDot(lattice, table);
+  }
+  return Status::OK();
+}
+
+}  // namespace cli
+}  // namespace divexp

@@ -1,0 +1,20 @@
+// The CLI's pipeline (CSV -> discretize -> explore -> reports),
+// separated from main() so integration tests can drive it.
+#ifndef DIVEXP_TOOLS_CLI_RUN_H_
+#define DIVEXP_TOOLS_CLI_RUN_H_
+
+#include <ostream>
+
+#include "tools/cli_options.h"
+
+namespace divexp {
+namespace cli {
+
+/// Executes the analysis described by `opts`, writing reports to `out`
+/// and progress/log lines to `log`.
+Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log);
+
+}  // namespace cli
+}  // namespace divexp
+
+#endif  // DIVEXP_TOOLS_CLI_RUN_H_

@@ -1,0 +1,39 @@
+// divexp — command-line pattern-divergence analysis.
+//
+// Reads a CSV with prediction/label columns, discretizes the remaining
+// attributes, runs DivExplorer and prints the requested reports. See
+// --help for the flag reference; examples:
+//
+//   divexp --csv data.csv --metric FNR --support 0.02 --top 15
+//   divexp --csv data.csv --global --corrective --epsilon 0.05
+//   divexp --csv data.csv --multi --export patterns.csv --miner eclat
+//   divexp --csv data.csv --lattice "sex=Male,age=<=28" > lattice.dot
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli_options.h"
+#include "tools/cli_run.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto opts = divexp::cli::ParseCliOptions(args);
+  if (!opts.ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s",
+                 opts.status().message().c_str(),
+                 divexp::cli::UsageString().c_str());
+    return 2;
+  }
+  if (opts->show_help) {
+    std::printf("%s", divexp::cli::UsageString().c_str());
+    return 0;
+  }
+  const divexp::Status status =
+      divexp::cli::Run(*opts, std::cout, std::cerr);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
