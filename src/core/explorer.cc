@@ -1,12 +1,55 @@
 #include "core/explorer.h"
 
+#include <algorithm>
+#include <string>
+
 #include "util/stopwatch.h"
 
 namespace divexp {
 
+const char* LimitActionName(LimitAction action) {
+  switch (action) {
+    case LimitAction::kFail:
+      return "fail";
+    case LimitAction::kTruncate:
+      return "truncate";
+    case LimitAction::kEscalate:
+      return "escalate";
+  }
+  return "unknown";
+}
+
+Status ValidateExplorerOptions(const ExplorerOptions& options) {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (options.num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options.limits.deadline_ms < 0) {
+    return Status::InvalidArgument("deadline_ms must be >= 0");
+  }
+  if (options.on_limit == LimitAction::kEscalate &&
+      options.escalate_factor <= 1.0) {
+    return Status::InvalidArgument(
+        "escalate_factor must be > 1 for on_limit=escalate");
+  }
+  return Status::OK();
+}
+
 Result<PatternTable> DivergenceExplorer::Explore(
     const EncodedDataset& dataset, const std::vector<int>& predictions,
     const std::vector<int>& truths, Metric metric) const {
+  if (predictions.size() != dataset.num_rows) {
+    return Status::InvalidArgument(
+        "predictions length " + std::to_string(predictions.size()) +
+        " != dataset rows " + std::to_string(dataset.num_rows));
+  }
+  if (truths.size() != dataset.num_rows) {
+    return Status::InvalidArgument(
+        "truths length " + std::to_string(truths.size()) +
+        " != dataset rows " + std::to_string(dataset.num_rows));
+  }
   DIVEXP_ASSIGN_OR_RETURN(std::vector<Outcome> outcomes,
                           ComputeOutcomes(metric, predictions, truths));
   return ExploreOutcomes(dataset, std::move(outcomes));
@@ -14,30 +57,94 @@ Result<PatternTable> DivergenceExplorer::Explore(
 
 Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     const EncodedDataset& dataset, std::vector<Outcome> outcomes) const {
+  DIVEXP_RETURN_NOT_OK(ValidateExplorerOptions(options_));
+  if (outcomes.size() != dataset.num_rows) {
+    return Status::InvalidArgument(
+        "outcomes length " + std::to_string(outcomes.size()) +
+        " != dataset rows " + std::to_string(dataset.num_rows));
+  }
   DIVEXP_ASSIGN_OR_RETURN(
       TransactionDatabase db,
       TransactionDatabase::Create(dataset, std::move(outcomes)));
-
-  MinerOptions mopts;
-  mopts.min_support = options_.min_support;
-  mopts.max_length = options_.max_length;
-  mopts.num_threads = options_.num_threads;
 
   std::unique_ptr<FrequentPatternMiner> miner = MakeMiner(options_.miner);
   if (miner == nullptr) {
     return Status::InvalidArgument("unknown miner kind");
   }
 
-  Stopwatch sw;
-  DIVEXP_ASSIGN_OR_RETURN(std::vector<MinedPattern> mined,
-                          miner->Mine(db, mopts));
-  timings_.mining_seconds = sw.Seconds();
+  // One guard governs the whole run (all escalation attempts). An
+  // external guard, if provided, takes precedence so callers can cancel
+  // from another thread; otherwise one is built from options_.limits.
+  // With no limits and no external guard the miners skip all polling.
+  RunGuard local_guard(options_.limits);
+  RunGuard* guard = options_.guard != nullptr ? options_.guard
+                    : options_.limits.unlimited() ? nullptr
+                                                  : &local_guard;
 
-  sw.Restart();
-  Result<PatternTable> table = PatternTable::Create(
-      std::move(mined), dataset.catalog, dataset.num_rows);
-  timings_.divergence_seconds = sw.Seconds();
-  return table;
+  stats_ = ExplorerRunStats{};
+  timings_ = ExplorerTimings{};
+  Stopwatch total;
+
+  double support = options_.min_support;
+  for (size_t attempt = 0;; ++attempt) {
+    if (attempt > 0 && guard != nullptr) guard->Reset();
+
+    MinerOptions mopts;
+    mopts.min_support = support;
+    mopts.max_length = options_.max_length;
+    mopts.num_threads = options_.num_threads;
+    mopts.guard = guard;
+
+    Stopwatch sw;
+    DIVEXP_ASSIGN_OR_RETURN(std::vector<MinedPattern> mined,
+                            miner->Mine(db, mopts));
+    timings_.mining_seconds = sw.Seconds();
+
+    if (guard != nullptr && guard->stopped() &&
+        options_.on_limit == LimitAction::kFail) {
+      return guard->ToStatus();
+    }
+
+    sw.Restart();
+    Result<PatternTable> table = PatternTable::Create(
+        std::move(mined), dataset.catalog, dataset.num_rows, guard);
+    timings_.divergence_seconds = sw.Seconds();
+    if (!table.ok()) return table;
+
+    stats_.patterns = table->size() > 0 ? table->size() - 1 : 0;
+    stats_.effective_min_support = support;
+    stats_.escalations = attempt;
+    if (guard != nullptr) {
+      stats_.peak_memory_bytes = guard->peak_memory_bytes();
+    }
+    stats_.elapsed_ms = total.Millis();
+
+    const LimitBreach breach =
+        guard != nullptr ? guard->breach() : LimitBreach::kNone;
+    if (breach == LimitBreach::kNone) return table;
+    // Cancellation never degrades to a partial result or a retry: the
+    // caller asked for the run to stop, not for a smaller answer.
+    if (breach == LimitBreach::kCancelled) return guard->ToStatus();
+
+    switch (options_.on_limit) {
+      case LimitAction::kFail:
+        // Reached only when the breach happened in the post-pass.
+        return guard->ToStatus();
+      case LimitAction::kTruncate:
+        stats_.truncated = true;
+        stats_.reason = breach;
+        return table;
+      case LimitAction::kEscalate: {
+        if (attempt >= options_.max_escalations || support >= 1.0) {
+          stats_.truncated = true;
+          stats_.reason = breach;
+          return table;
+        }
+        support = std::min(1.0, support * options_.escalate_factor);
+        break;
+      }
+    }
+  }
 }
 
 }  // namespace divexp

@@ -1,7 +1,10 @@
 // DivergenceExplorer: the user-facing facade implementing paper Alg. 1.
 // Given a discretized dataset, predictions, ground truth and a metric,
 // it mines all frequent itemsets with outcome tallies and returns the
-// pattern table.
+// pattern table. Runs can be governed by a RunGuard (deadline, pattern
+// and memory budgets, cooperative cancellation); on a limit breach the
+// explorer either fails fast, returns the truncated table, or escalates
+// min-support and retries, per `on_limit`.
 #ifndef DIVEXP_CORE_EXPLORER_H_
 #define DIVEXP_CORE_EXPLORER_H_
 
@@ -11,9 +14,28 @@
 #include "core/pattern.h"
 #include "data/encoder.h"
 #include "fpm/miner.h"
+#include "util/run_guard.h"
 #include "util/status.h"
 
 namespace divexp {
+
+/// What to do when a resource limit trips mid-exploration.
+enum class LimitAction {
+  /// Return a non-OK Status (kCancelled / kDeadlineExceeded /
+  /// kResourceExhausted) and no table.
+  kFail,
+  /// Return the patterns mined so far; last_run_stats().truncated is
+  /// set with the breach reason. Deadline/memory truncation points are
+  /// timing-dependent; pattern-budget truncation is deterministic.
+  kTruncate,
+  /// Raise min_support by escalate_factor and retry (exponential
+  /// backoff on the support threshold) until an attempt completes
+  /// within the limits or max_escalations is exhausted — then degrade
+  /// to the last attempt's truncated table. Cancellation always fails.
+  kEscalate,
+};
+
+const char* LimitActionName(LimitAction action);
 
 /// Configuration for a divergence exploration.
 struct ExplorerOptions {
@@ -25,13 +47,54 @@ struct ExplorerOptions {
   size_t max_length = 0;
   /// Worker threads for mining; 1 = sequential (the paper's setup).
   size_t num_threads = 1;
+  /// Resource limits for the run; all-zero (the default) = ungoverned.
+  RunLimits limits;
+  /// Degradation mode when a limit trips.
+  LimitAction on_limit = LimitAction::kFail;
+  /// Multiplier applied to min_support per kEscalate retry (> 1).
+  double escalate_factor = 2.0;
+  /// Maximum number of kEscalate retries.
+  size_t max_escalations = 8;
+  /// Optional external guard (non-owning; must outlive the run). When
+  /// set it replaces the internally constructed guard, so a caller
+  /// (e.g. a server's timeout handler) can RequestCancel() from another
+  /// thread; its limits take precedence over `limits`.
+  RunGuard* guard = nullptr;
 };
+
+/// Validates an options struct up front (support range, thread count,
+/// escalation parameters) so misconfiguration surfaces as
+/// InvalidArgument instead of undefined downstream behavior.
+Status ValidateExplorerOptions(const ExplorerOptions& options);
 
 /// Timing breakdown of a run (used for Fig. 6 and the mining-vs-post
 /// processing split reported in §6.1).
 struct ExplorerTimings {
   double mining_seconds = 0.0;
   double divergence_seconds = 0.0;
+};
+
+/// Resource accounting of a run. `truncated` distinguishes a complete
+/// pattern table from a partial one — significance estimates over a
+/// truncated table are only valid for the patterns present (see
+/// docs/operational-limits.md).
+struct ExplorerRunStats {
+  /// True when the returned table is partial (kTruncate, or kEscalate
+  /// that ran out of retries).
+  bool truncated = false;
+  /// Why the (last) attempt stopped early; kNone for complete runs.
+  LimitBreach reason = LimitBreach::kNone;
+  /// Non-empty patterns in the returned table.
+  uint64_t patterns = 0;
+  /// High-water mark of guard-tracked allocations (bytes).
+  uint64_t peak_memory_bytes = 0;
+  /// Wall-clock time of the whole Explore call (all attempts).
+  double elapsed_ms = 0.0;
+  /// Number of kEscalate retries performed.
+  size_t escalations = 0;
+  /// The min_support of the returned table (> options.min_support
+  /// after escalation).
+  double effective_min_support = 0.0;
 };
 
 /// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and
@@ -57,9 +120,13 @@ class DivergenceExplorer {
   /// Timing of the last Explore* call on this object.
   const ExplorerTimings& last_timings() const { return timings_; }
 
+  /// Resource accounting of the last Explore* call on this object.
+  const ExplorerRunStats& last_run_stats() const { return stats_; }
+
  private:
   ExplorerOptions options_;
   mutable ExplorerTimings timings_;
+  mutable ExplorerRunStats stats_;
 };
 
 }  // namespace divexp

@@ -80,6 +80,7 @@ Result<PatternTable> MultiPatternTable::Project(Metric metric) const {
 Result<MultiPatternTable> MultiExplorer::Explore(
     const EncodedDataset& dataset, const std::vector<int>& predictions,
     const std::vector<int>& truths) const {
+  DIVEXP_RETURN_NOT_OK(ValidateExplorerOptions(options_));
   if (predictions.size() != truths.size() ||
       predictions.size() != dataset.num_rows) {
     return Status::InvalidArgument("label vectors must match dataset rows");

@@ -9,7 +9,12 @@ namespace divexp {
 
 Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
                                           ItemCatalog catalog,
-                                          size_t num_rows) {
+                                          size_t num_rows,
+                                          RunGuard* guard) {
+  // Only enforce limits that are still live: when mining already
+  // breached, the post-pass must still process the partial pattern set
+  // (bounded by what mining emitted) so truncate mode has a table.
+  const bool enforce = guard != nullptr && !guard->hard_stopped();
   PatternTable table;
   table.catalog_ = std::move(catalog);
   table.num_dataset_rows_ = num_rows;
@@ -37,6 +42,12 @@ Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
   const double denom =
       num_rows == 0 ? 1.0 : static_cast<double>(num_rows);
   for (MinedPattern& p : mined) {
+    // The first row (the empty itemset) is always kept so a truncated
+    // table still carries the global rate.
+    if (enforce && !table.rows_.empty() &&
+        (!guard->Tick() || !guard->AddMemory(sizeof(PatternRow)))) {
+      break;  // partial table; the guard has latched the breach
+    }
     PatternRow row;
     row.counts = p.counts;
     row.support = static_cast<double>(p.counts.total()) / denom;

@@ -14,6 +14,7 @@
 #include "data/encoder.h"
 #include "fpm/itemset.h"
 #include "fpm/miner.h"
+#include "util/run_guard.h"
 #include "util/status.h"
 
 namespace divexp {
@@ -34,8 +35,16 @@ class PatternTable {
  public:
   /// Builds from mined patterns. The empty itemset must be present (the
   /// miners emit it); it defines the global rate f(D).
+  ///
+  /// The optional `guard` governs the divergence/significance post-pass
+  /// itself: if a deadline/memory limit trips mid-pass, the remaining
+  /// patterns are dropped and the guard latches the breach (callers
+  /// decide between fail and truncate). A guard that already stopped
+  /// during mining is not re-enforced here, so a truncated mining run
+  /// still gets divergences for the patterns it produced.
   static Result<PatternTable> Create(std::vector<MinedPattern> mined,
-                                     ItemCatalog catalog, size_t num_rows);
+                                     ItemCatalog catalog, size_t num_rows,
+                                     RunGuard* guard = nullptr);
 
   size_t size() const { return rows_.size(); }
   const PatternRow& row(size_t i) const { return rows_[i]; }

@@ -13,15 +13,24 @@ namespace divexp {
 namespace {
 
 // Splits one CSV record honoring double-quote escaping. `pos` is
-// advanced past the record's trailing newline.
-std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
-                                     char delim) {
+// advanced past the record's trailing newline. `record` is the 1-based
+// record number, used in error messages. Rejects malformed input
+// (embedded NUL bytes, unterminated quoted fields) instead of silently
+// producing garbage rows.
+Result<std::vector<std::string>> ParseRecord(const std::string& text,
+                                             size_t* pos, char delim,
+                                             size_t record) {
   std::vector<std::string> fields;
   std::string field;
   bool in_quotes = false;
   size_t i = *pos;
   for (; i < text.size(); ++i) {
     const char ch = text[i];
+    if (ch == '\0') {
+      return Status::InvalidArgument(
+          "CSV record " + std::to_string(record) +
+          " contains a NUL byte (binary or corrupt input?)");
+    }
     if (in_quotes) {
       if (ch == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -46,6 +55,11 @@ std::vector<std::string> ParseRecord(const std::string& text, size_t* pos,
     } else {
       field += ch;
     }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        "unterminated quoted field in CSV record " +
+        std::to_string(record));
   }
   fields.push_back(std::move(field));
   *pos = i;
@@ -95,8 +109,10 @@ Result<DataFrame> ReadCsvString(const std::string& text,
                                 const CsvOptions& options) {
   size_t pos = 0;
   if (text.empty()) return Status::InvalidArgument("empty CSV input");
-  const std::vector<std::string> header =
-      ParseRecord(text, &pos, options.delimiter);
+  size_t record = 1;
+  DIVEXP_ASSIGN_OR_RETURN(
+      const std::vector<std::string> header,
+      ParseRecord(text, &pos, options.delimiter, record));
   const size_t ncols = header.size();
 
   std::vector<std::vector<std::string>> raw(ncols);
@@ -106,12 +122,16 @@ Result<DataFrame> ReadCsvString(const std::string& text,
       ++pos;
       continue;
     }
-    std::vector<std::string> rec = ParseRecord(text, &pos, options.delimiter);
+    ++record;
+    DIVEXP_ASSIGN_OR_RETURN(
+        std::vector<std::string> rec,
+        ParseRecord(text, &pos, options.delimiter, record));
     if (rec.size() == 1 && Trim(rec[0]).empty()) continue;
     if (rec.size() != ncols) {
       return Status::InvalidArgument(
-          "CSV record has " + std::to_string(rec.size()) +
-          " fields, expected " + std::to_string(ncols));
+          "CSV record " + std::to_string(record) + " has " +
+          std::to_string(rec.size()) + " fields, expected " +
+          std::to_string(ncols));
     }
     for (size_t c = 0; c < ncols; ++c) {
       std::string v = Trim(rec[c]);

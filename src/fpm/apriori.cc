@@ -1,5 +1,7 @@
 #include "fpm/apriori.h"
 
+#include <exception>
+#include <string>
 #include <unordered_set>
 
 #include "fpm/bitmap.h"
@@ -36,6 +38,13 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
   }
   const size_t n = db.num_rows();
   const uint64_t min_count = MinCount(options.min_support, n);
+  RunGuard* guard = options.guard;
+  // All emissions happen on the calling thread (workers only count
+  // supports), so a single MineControl keeps budget-truncated output
+  // deterministic regardless of num_threads.
+  MineControl ctrl(guard);
+  // Approximate footprint of one row bitmap.
+  const uint64_t bm_bytes = sizeof(Bitmap) + ((n + 63) / 64) * 8;
 
   std::vector<MinedPattern> out;
   out.push_back(MinedPattern{Itemset{}, db.totals()});
@@ -49,7 +58,16 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     if (db.outcome(r) == Outcome::kFalse) f_mask.Set(r);
   }
   std::vector<Bitmap> item_rows(db.num_items(), Bitmap(n));
+  const uint64_t item_rows_bytes = db.num_items() * bm_bytes;
+  if (guard != nullptr && !guard->AddMemory(item_rows_bytes)) {
+    guard->SubMemory(item_rows_bytes);
+    return out;
+  }
   for (size_t r = 0; r < n; ++r) {
+    if (guard != nullptr && !guard->Tick()) {
+      guard->SubMemory(item_rows_bytes);
+      return out;
+    }
     const uint32_t* row = db.row(r);
     for (size_t a = 0; a < db.num_attributes(); ++a) {
       item_rows[row[a]].Set(r);
@@ -68,15 +86,27 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
   std::vector<LevelEntry> level;
   for (uint32_t id = 0; id < db.num_items(); ++id) {
     if (item_rows[id].Count() < min_count) continue;
+    if (!ctrl.Emit(1)) break;
     LevelEntry e;
     e.items = Itemset{id};
-    e.rows = item_rows[id];
+    e.rows = std::move(item_rows[id]);
     out.push_back(MinedPattern{e.items, tally(e.rows)});
     level.push_back(std::move(e));
   }
+  // The singleton bitmaps now live in `level`; drop the item-indexed
+  // vector and re-account the survivors as the live level.
+  item_rows.clear();
+  uint64_t live_level_bytes = level.size() * bm_bytes;
+  if (guard != nullptr) {
+    guard->SubMemory(item_rows_bytes);
+    if (!guard->AddMemory(live_level_bytes)) {
+      guard->SubMemory(live_level_bytes);
+      return out;
+    }
+  }
 
   size_t k = 1;
-  while (!level.empty() &&
+  while (!level.empty() && !ctrl.stopped() &&
          (options.max_length == 0 || k < options.max_length)) {
     std::unordered_set<Itemset, ItemsetHash> frequent;
     frequent.reserve(level.size());
@@ -90,7 +120,8 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
       size_t right = 0;
     };
     std::vector<Candidate> candidates;
-    for (size_t i = 0; i < level.size(); ++i) {
+    for (size_t i = 0; i < level.size() && !ctrl.stopped(); ++i) {
+      if (guard != nullptr) guard->Tick();
       for (size_t j = i + 1; j < level.size(); ++j) {
         const Itemset& a = level[i].items;
         const Itemset& b = level[j].items;
@@ -106,30 +137,55 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
       }
     }
 
+    if (guard != nullptr &&
+        !guard->AddMemory(candidates.size() * bm_bytes)) {
+      guard->SubMemory(candidates.size() * bm_bytes);
+      break;
+    }
+
     // Support counting (bitmap AND + popcounts) is the expensive part
     // and is embarrassingly parallel across candidates.
     std::vector<LevelEntry> evaluated(candidates.size());
     std::vector<OutcomeCounts> counts(candidates.size());
     std::vector<char> survives(candidates.size(), 0);
-    ParallelFor(options.num_threads, candidates.size(), [&](size_t c) {
-      LevelEntry& e = evaluated[c];
-      e.rows.AssignAnd(level[candidates[c].left].rows,
-                       level[candidates[c].right].rows);
-      if (e.rows.Count() < min_count) return;
-      e.items = std::move(candidates[c].items);
-      counts[c] = tally(e.rows);
-      survives[c] = 1;
-    });
+    try {
+      ParallelFor(options.num_threads, candidates.size(), [&](size_t c) {
+        if (guard != nullptr && !guard->Tick()) return;
+        LevelEntry& e = evaluated[c];
+        e.rows.AssignAnd(level[candidates[c].left].rows,
+                         level[candidates[c].right].rows);
+        if (e.rows.Count() < min_count) return;
+        e.items = std::move(candidates[c].items);
+        counts[c] = tally(e.rows);
+        survives[c] = 1;
+      });
+    } catch (const std::exception& e) {
+      if (guard != nullptr) {
+        guard->SubMemory(live_level_bytes + candidates.size() * bm_bytes);
+      }
+      return Status::Internal(std::string("apriori worker failed: ") +
+                              e.what());
+    }
 
+    // Emission stays on the calling thread: budget truncation is
+    // deterministic even though counting was parallel.
     std::vector<LevelEntry> next;
     for (size_t c = 0; c < evaluated.size(); ++c) {
       if (!survives[c]) continue;
+      if (!ctrl.Emit(evaluated[c].items.size())) break;
       out.push_back(MinedPattern{evaluated[c].items, counts[c]});
       next.push_back(std::move(evaluated[c]));
+    }
+    if (guard != nullptr) {
+      // Non-surviving candidate bitmaps and the replaced level die here.
+      guard->SubMemory(live_level_bytes +
+                       (candidates.size() - next.size()) * bm_bytes);
+      live_level_bytes = next.size() * bm_bytes;
     }
     level = std::move(next);
     ++k;
   }
+  if (guard != nullptr) guard->SubMemory(live_level_bytes);
   return out;
 }
 

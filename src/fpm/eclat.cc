@@ -1,7 +1,9 @@
 #include "fpm/eclat.h"
 
 #include <algorithm>
+#include <exception>
 #include <iterator>
+#include <string>
 
 #include "util/parallel.h"
 
@@ -43,23 +45,34 @@ TidList Intersect(const TidList& a, const TidList& b) {
   return out;
 }
 
+uint64_t TidListBytes(const std::vector<EclatItem>& items) {
+  uint64_t bytes = 0;
+  for (const EclatItem& item : items) {
+    bytes += sizeof(EclatItem) + item.tids.capacity() * sizeof(uint32_t);
+  }
+  return bytes;
+}
+
 void Grow(const TransactionDatabase& db, const Itemset& prefix,
           const std::vector<EclatItem>& siblings, uint64_t min_count,
-          size_t max_length, std::vector<MinedPattern>* out);
+          size_t max_length, MineControl* ctrl,
+          std::vector<MinedPattern>* out);
 
 // One step of the depth-first extension: sibling i becomes the next
 // prefix item, joined against the siblings after it.
 void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
              const std::vector<EclatItem>& siblings, size_t i,
-             uint64_t min_count, size_t max_length,
+             uint64_t min_count, size_t max_length, MineControl* ctrl,
              std::vector<MinedPattern>* out) {
   const EclatItem& head = siblings[i];
+  if (!ctrl->Emit(prefix.size() + 1)) return;
   Itemset items = With(prefix, head.item);
   out->push_back(MinedPattern{items, head.counts});
   if (max_length != 0 && items.size() >= max_length) return;
 
   std::vector<EclatItem> next;
   for (size_t j = i + 1; j < siblings.size(); ++j) {
+    if (ctrl->stopped()) return;
     const EclatItem& tail = siblings[j];
     if (db.attribute_of(head.item) == db.attribute_of(tail.item)) {
       continue;  // same-attribute items never co-occur
@@ -71,16 +84,26 @@ void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
     child.counts = TallyTids(db, child.tids);
     next.push_back(std::move(child));
   }
-  if (!next.empty()) Grow(db, items, next, min_count, max_length, out);
+  if (next.empty()) return;
+  RunGuard* guard = ctrl->guard();
+  const uint64_t next_bytes = guard != nullptr ? TidListBytes(next) : 0;
+  if (guard != nullptr && !guard->AddMemory(next_bytes)) {
+    guard->SubMemory(next_bytes);
+    return;
+  }
+  Grow(db, items, next, min_count, max_length, ctrl, out);
+  if (guard != nullptr) guard->SubMemory(next_bytes);
 }
 
 // Depth-first extension of `prefix` (whose covered rows are implied by
 // the tid-lists in `siblings`).
 void Grow(const TransactionDatabase& db, const Itemset& prefix,
           const std::vector<EclatItem>& siblings, uint64_t min_count,
-          size_t max_length, std::vector<MinedPattern>* out) {
+          size_t max_length, MineControl* ctrl,
+          std::vector<MinedPattern>* out) {
   for (size_t i = 0; i < siblings.size(); ++i) {
-    GrowOne(db, prefix, siblings, i, min_count, max_length, out);
+    if (ctrl->stopped()) return;
+    GrowOne(db, prefix, siblings, i, min_count, max_length, ctrl, out);
   }
 }
 
@@ -93,6 +116,7 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
   }
   const size_t n = db.num_rows();
   const uint64_t min_count = MinCount(options.min_support, n);
+  RunGuard* guard = options.guard;
 
   std::vector<MinedPattern> out;
   out.push_back(MinedPattern{Itemset{}, db.totals()});
@@ -101,6 +125,7 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
   // One scan: vertical tid-lists (sorted by construction).
   std::vector<TidList> tids(db.num_items());
   for (size_t r = 0; r < n; ++r) {
+    if (guard != nullptr && !guard->Tick()) return out;
     const uint32_t* row = db.row(r);
     for (size_t a = 0; a < db.num_attributes(); ++a) {
       tids[row[a]].push_back(static_cast<uint32_t>(r));
@@ -115,21 +140,40 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
     item.tids = std::move(tids[id]);
     roots.push_back(std::move(item));
   }
+  tids.clear();
+  const uint64_t root_bytes = guard != nullptr ? TidListBytes(roots) : 0;
+  if (guard != nullptr && !guard->AddMemory(root_bytes)) {
+    guard->SubMemory(root_bytes);
+    return out;
+  }
   if (options.num_threads <= 1) {
-    Grow(db, Itemset{}, roots, min_count, options.max_length, &out);
+    MineControl ctrl(guard);
+    Grow(db, Itemset{}, roots, min_count, options.max_length, &ctrl, &out);
+    if (guard != nullptr) guard->SubMemory(root_bytes);
     return out;
   }
   // Parallel mode: each root item's subtree is independent; concatenate
-  // in root order so output matches the sequential run exactly.
+  // in root order so output matches the sequential run exactly. Each
+  // shard enforces the pattern budget locally; the post-merge
+  // truncation keeps the budget semantics deterministic.
   std::vector<std::vector<MinedPattern>> partial(roots.size());
-  ParallelFor(options.num_threads, roots.size(), [&](size_t i) {
-    GrowOne(db, Itemset{}, roots, i, min_count, options.max_length,
-            &partial[i]);
-  });
+  try {
+    ParallelFor(options.num_threads, roots.size(), [&](size_t i) {
+      MineControl ctrl(guard);
+      GrowOne(db, Itemset{}, roots, i, min_count, options.max_length,
+              &ctrl, &partial[i]);
+    });
+  } catch (const std::exception& e) {
+    if (guard != nullptr) guard->SubMemory(root_bytes);
+    return Status::Internal(std::string("eclat worker failed: ") +
+                            e.what());
+  }
+  if (guard != nullptr) guard->SubMemory(root_bytes);
   for (std::vector<MinedPattern>& chunk : partial) {
     out.insert(out.end(), std::make_move_iterator(chunk.begin()),
                std::make_move_iterator(chunk.end()));
   }
+  EnforcePatternBudget(guard, &out);
   return out;
 }
 

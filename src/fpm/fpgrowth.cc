@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <exception>
 #include <iterator>
+#include <string>
 #include <unordered_map>
 
 #include "util/parallel.h"
@@ -89,6 +91,12 @@ class FpTree {
 
   const std::vector<HeaderEntry>& headers() const { return headers_; }
 
+  /// Approximate heap footprint, for the guard's memory accounting.
+  uint64_t MemoryBytes() const {
+    return arena_.size() * sizeof(FpNode) +
+           headers_.size() * (sizeof(HeaderEntry) + 3 * sizeof(uint64_t));
+  }
+
   /// Path of items from `node`'s parent up to (excluding) the root.
   std::vector<uint32_t> PrefixPath(const FpNode* node) const {
     std::vector<uint32_t> path;
@@ -112,15 +120,16 @@ class FpTree {
 };
 
 void MineTree(const FpTree& tree, const Itemset& suffix,
-              uint64_t min_count, size_t max_length,
+              uint64_t min_count, size_t max_length, MineControl* ctrl,
               std::vector<MinedPattern>* out);
 
 // Mines one header item of `tree`: emits the pattern suffix+item, then
 // projects and recurses into its conditional tree.
 void MineHeaderItem(const FpTree& tree, size_t hi, const Itemset& suffix,
                     uint64_t min_count, size_t max_length,
-                    std::vector<MinedPattern>* out) {
+                    MineControl* ctrl, std::vector<MinedPattern>* out) {
   const HeaderEntry& h = tree.headers()[hi];
+  if (!ctrl->Emit(suffix.size() + 1)) return;
   Itemset pattern = suffix;
   pattern.push_back(h.item);
   std::sort(pattern.begin(), pattern.end());
@@ -148,18 +157,27 @@ void MineHeaderItem(const FpTree& tree, size_t hi, const Itemset& suffix,
   for (auto& [path, counts] : base) {
     cond.Insert(std::move(path), counts);
   }
+  RunGuard* guard = ctrl->guard();
+  const uint64_t cond_bytes = cond.MemoryBytes();
+  if (guard != nullptr && !guard->AddMemory(cond_bytes)) {
+    guard->SubMemory(cond_bytes);
+    return;
+  }
   Itemset next_suffix = suffix;
   next_suffix.push_back(h.item);
-  MineTree(cond, next_suffix, min_count, max_length, out);
+  MineTree(cond, next_suffix, min_count, max_length, ctrl, out);
+  if (guard != nullptr) guard->SubMemory(cond_bytes);
 }
 
 // Recursive FP-growth. `suffix` holds the items already fixed (in
 // arbitrary order; patterns are sorted on emission).
 void MineTree(const FpTree& tree, const Itemset& suffix, uint64_t min_count,
-              size_t max_length, std::vector<MinedPattern>* out) {
+              size_t max_length, MineControl* ctrl,
+              std::vector<MinedPattern>* out) {
   // Process header items least-frequent first (classic order).
   for (size_t hi = tree.headers().size(); hi-- > 0;) {
-    MineHeaderItem(tree, hi, suffix, min_count, max_length, out);
+    if (ctrl->stopped()) return;
+    MineHeaderItem(tree, hi, suffix, min_count, max_length, ctrl, out);
   }
 }
 
@@ -172,6 +190,7 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
   }
   const size_t n = db.num_rows();
   const uint64_t min_count = MinCount(options.min_support, n);
+  RunGuard* guard = options.guard;
 
   std::vector<MinedPattern> out;
   out.push_back(MinedPattern{Itemset{}, db.totals()});
@@ -210,6 +229,7 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
   tree.SetItems(std::move(freq_items));
   std::vector<uint32_t> items;
   for (size_t r = 0; r < n; ++r) {
+    if (guard != nullptr && !guard->Tick()) return out;
     OutcomeCounts delta;
     switch (db.outcome(r)) {
       case Outcome::kTrue:
@@ -226,27 +246,46 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
     tree.Insert(items, delta);
   }
 
+  const uint64_t tree_bytes = tree.MemoryBytes();
+  if (guard != nullptr && !guard->AddMemory(tree_bytes)) {
+    guard->SubMemory(tree_bytes);
+    return out;
+  }
+
   if (options.num_threads <= 1) {
-    MineTree(tree, Itemset{}, min_count, options.max_length, &out);
+    MineControl ctrl(guard);
+    MineTree(tree, Itemset{}, min_count, options.max_length, &ctrl, &out);
+    if (guard != nullptr) guard->SubMemory(tree_bytes);
     return out;
   }
 
   // Parallel mode: top-level conditional trees are independent; mine
   // each header item into its own buffer, then concatenate in the
   // sequential order so output is identical to the single-thread run.
+  // Each shard gets its own MineControl (full pattern budget); the
+  // post-merge truncation keeps the budget semantics deterministic.
   const size_t num_headers = tree.headers().size();
   std::vector<std::vector<MinedPattern>> partial(num_headers);
-  ParallelFor(options.num_threads, num_headers, [&](size_t i) {
-    // Sequential order iterates hi descending; slot i handles that
-    // position.
-    const size_t hi = num_headers - 1 - i;
-    MineHeaderItem(tree, hi, Itemset{}, min_count, options.max_length,
-                   &partial[i]);
-  });
+  try {
+    ParallelFor(options.num_threads, num_headers, [&](size_t i) {
+      // Sequential order iterates hi descending; slot i handles that
+      // position.
+      const size_t hi = num_headers - 1 - i;
+      MineControl ctrl(guard);
+      MineHeaderItem(tree, hi, Itemset{}, min_count, options.max_length,
+                     &ctrl, &partial[i]);
+    });
+  } catch (const std::exception& e) {
+    if (guard != nullptr) guard->SubMemory(tree_bytes);
+    return Status::Internal(std::string("fpgrowth worker failed: ") +
+                            e.what());
+  }
+  if (guard != nullptr) guard->SubMemory(tree_bytes);
   for (std::vector<MinedPattern>& chunk : partial) {
     out.insert(out.end(), std::make_move_iterator(chunk.begin()),
                std::make_move_iterator(chunk.end()));
   }
+  EnforcePatternBudget(guard, &out);
   return out;
 }
 

@@ -39,6 +39,17 @@ uint64_t MinCount(double min_support, size_t num_rows) {
   return std::max<uint64_t>(count, 1);
 }
 
+void EnforcePatternBudget(RunGuard* guard,
+                          std::vector<MinedPattern>* patterns) {
+  if (guard == nullptr) return;
+  const uint64_t budget = guard->limits().max_patterns;
+  if (budget == 0) return;
+  if (patterns->size() > budget + 1) {  // +1 for the empty itemset
+    patterns->resize(budget + 1);
+    guard->NotePatternBudgetBreach();
+  }
+}
+
 void SortPatterns(std::vector<MinedPattern>* patterns) {
   std::sort(patterns->begin(), patterns->end(),
             [](const MinedPattern& a, const MinedPattern& b) {

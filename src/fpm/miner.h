@@ -10,6 +10,7 @@
 
 #include "fpm/itemset.h"
 #include "fpm/transactions.h"
+#include "util/run_guard.h"
 #include "util/status.h"
 
 namespace divexp {
@@ -30,6 +31,12 @@ struct MinerOptions {
   /// top-level conditional trees, Apriori over candidate evaluation;
   /// ECLAT over root items). 1 = sequential, the paper's configuration.
   size_t num_threads = 1;
+  /// Optional cancellation token / resource governor (non-owning; must
+  /// outlive the Mine call). When a limit trips, Mine returns OK with
+  /// the patterns mined so far and guard->stopped() reports the breach;
+  /// callers wanting fail-fast map guard->ToStatus() themselves (the
+  /// DivergenceExplorer does this based on its on_limit mode).
+  RunGuard* guard = nullptr;
 };
 
 /// Which mining algorithm backs a DivergenceExplorer run.
@@ -64,6 +71,61 @@ uint64_t MinCount(double min_support, size_t num_rows);
 /// Sorts patterns by (length, lexicographic items) for deterministic
 /// comparison across miners.
 void SortPatterns(std::vector<MinedPattern>* patterns);
+
+/// Per-shard mining control used inside the miner backends. Polls the
+/// shared RunGuard's hard limits (cancel/deadline/memory) and enforces
+/// the pattern budget *locally*: every shard may emit up to the full
+/// budget, and the parallel merge truncates to the budget in sequential
+/// emission order (EnforcePatternBudget), so budget-truncated output is
+/// deterministic and identical between sequential and parallel runs.
+class MineControl {
+ public:
+  explicit MineControl(RunGuard* guard)
+      : guard_(guard),
+        budget_(guard != nullptr ? guard->limits().max_patterns : 0) {}
+
+  /// Call before emitting one non-empty pattern of `num_items` items.
+  /// Returns false when this shard must stop mining.
+  bool Emit(size_t num_items) {
+    if (stop_) return false;
+    if (guard_ == nullptr) return true;
+    if (budget_ != 0 && emitted_ >= budget_) {
+      guard_->NotePatternBudgetBreach();
+      stop_ = true;
+      return false;
+    }
+    if (!guard_->Tick() ||
+        !guard_->AddMemory(sizeof(MinedPattern) +
+                           num_items * sizeof(uint32_t))) {
+      stop_ = true;
+      return false;
+    }
+    ++emitted_;
+    return true;
+  }
+
+  /// Cheap hard-stop check for loop heads and recursion entries.
+  bool stopped() {
+    if (stop_) return true;
+    if (guard_ != nullptr && guard_->hard_stopped()) stop_ = true;
+    return stop_;
+  }
+
+  RunGuard* guard() const { return guard_; }
+
+ private:
+  RunGuard* guard_;
+  uint64_t budget_ = 0;
+  uint64_t emitted_ = 0;
+  bool stop_ = false;
+};
+
+/// Truncates a merged pattern vector (empty itemset at index 0) to
+/// 1 + max_patterns entries, latching the budget breach on the guard.
+/// No-op without a guard or budget. Used after parallel merges, where
+/// each shard was individually capped at the full budget.
+void EnforcePatternBudget(RunGuard* guard,
+                          std::vector<MinedPattern>* patterns);
 
 }  // namespace divexp
 

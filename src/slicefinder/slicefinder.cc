@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "fpm/bitmap.h"
+#include "fpm/miner.h"
 #include "stats/alpha_investing.h"
 #include "stats/descriptive.h"
 #include "stats/welch.h"
@@ -65,10 +66,14 @@ void ComputeStats(const Bitmap& rows, const std::vector<double>& loss,
 Result<std::vector<Slice>> SliceFinder::FindSlices(
     const EncodedDataset& dataset, const std::vector<double>& loss) {
   const size_t n = dataset.num_rows;
+  last_breach_ = LimitBreach::kNone;
   if (loss.size() != n) {
     return Status::InvalidArgument("loss vector size != dataset rows");
   }
   if (n == 0) return std::vector<Slice>{};
+  RunGuard* guard = options_.guard;
+  MineControl ctrl(guard);
+  const uint64_t bm_bytes = sizeof(Bitmap) + ((n + 63) / 64) * 8;
 
   double total_sum = 0.0;
   double total_sq_sum = 0.0;
@@ -106,12 +111,21 @@ Result<std::vector<Slice>> SliceFinder::FindSlices(
     c.rows = item_rows[id];
     frontier.push_back(std::move(c));
   }
+  uint64_t frontier_bytes = frontier.size() * bm_bytes;
+  if (guard != nullptr &&
+      !guard->AddMemory((num_items + frontier.size()) * bm_bytes)) {
+    guard->SubMemory((num_items + frontier.size()) * bm_bytes);
+    last_breach_ = guard->breach();
+    return std::vector<Slice>{};
+  }
 
   std::unordered_set<Itemset, ItemsetHash> seen;
   for (size_t degree = 1;
        degree <= options_.max_degree && !frontier.empty(); ++degree) {
     std::vector<Candidate> next;
+    uint64_t next_bytes = 0;
     for (Candidate& cand : frontier) {
+      if (ctrl.stopped() || (guard != nullptr && !guard->Tick())) break;
       const uint64_t size = cand.rows.Count();
       if (size < options_.min_size) continue;
       if (dominated(cand.items)) continue;
@@ -138,6 +152,7 @@ Result<std::vector<Slice>> SliceFinder::FindSlices(
               : welch.p_value < options_.alpha;
       const bool is_problematic = large_effect && significant;
       if (is_problematic) {
+        if (!ctrl.Emit(cand.items.size())) break;
         Slice s;
         s.items = cand.items;
         s.size = size;
@@ -168,10 +183,22 @@ Result<std::vector<Slice>> SliceFinder::FindSlices(
         child.items = std::move(items);
         child.rows.AssignAnd(cand.rows, item_rows[id]);
         if (child.rows.Count() < options_.min_size) continue;
+        if (guard != nullptr && !guard->AddMemory(bm_bytes)) {
+          guard->SubMemory(bm_bytes);
+          break;
+        }
+        next_bytes += bm_bytes;
         next.push_back(std::move(child));
       }
     }
+    if (guard != nullptr) guard->SubMemory(frontier_bytes);
+    frontier_bytes = next_bytes;
     frontier = std::move(next);
+    if (ctrl.stopped()) break;
+  }
+  if (guard != nullptr) {
+    guard->SubMemory(num_items * bm_bytes + frontier_bytes);
+    last_breach_ = guard->breach();
   }
 
   std::stable_sort(problematic.begin(), problematic.end(),

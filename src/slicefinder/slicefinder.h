@@ -12,6 +12,7 @@
 
 #include "data/encoder.h"
 #include "fpm/itemset.h"
+#include "util/run_guard.h"
 #include "util/status.h"
 
 namespace divexp {
@@ -35,6 +36,12 @@ struct SliceFinderOptions {
   /// reference implementation's multiple-testing control) instead of a
   /// fixed per-test alpha.
   bool alpha_investing = false;
+  /// Optional cancellation token / resource governor (non-owning; must
+  /// outlive the FindSlices call). The same guard knobs as the miners:
+  /// deadline, max_patterns (problematic slices emitted) and memory.
+  /// On a breach the search stops and the slices found so far are
+  /// returned; last_breach() reports why.
+  RunGuard* guard = nullptr;
 };
 
 /// A problematic slice.
@@ -59,8 +66,15 @@ class SliceFinder {
   Result<std::vector<Slice>> FindSlices(const EncodedDataset& dataset,
                                         const std::vector<double>& loss);
 
+  /// Why the last FindSlices stopped early; kNone for complete runs.
+  LimitBreach last_breach() const { return last_breach_; }
+  bool last_truncated() const {
+    return last_breach_ != LimitBreach::kNone;
+  }
+
  private:
   SliceFinderOptions options_;
+  LimitBreach last_breach_ = LimitBreach::kNone;
 };
 
 /// 0/1 misclassification loss per instance.

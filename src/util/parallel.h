@@ -4,7 +4,9 @@
 #ifndef DIVEXP_UTIL_PARALLEL_H_
 #define DIVEXP_UTIL_PARALLEL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -14,6 +16,12 @@ namespace divexp {
 /// Invokes fn(i) for every i in [0, n), split contiguously over
 /// `num_threads` workers. fn must be safe to call concurrently for
 /// distinct i (typically writing to per-i output slots).
+///
+/// Exception safety: if a worker's fn throws, the first exception is
+/// captured and rethrown on the calling thread after all workers have
+/// joined (an uncaught exception on a std::thread would otherwise call
+/// std::terminate). Once an exception is pending, the remaining workers
+/// skip their unstarted iterations and wind down early.
 inline void ParallelFor(size_t num_threads, size_t n,
                         const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -22,17 +30,32 @@ inline void ParallelFor(size_t num_threads, size_t n,
     return;
   }
   const size_t workers = std::min(num_threads, n);
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([w, workers, n, &fn] {
+    threads.emplace_back([w, workers, n, &fn, &first_error, &failed] {
       // Contiguous chunks keep per-thread output cache-friendly.
       const size_t begin = w * n / workers;
       const size_t end = (w + 1) * n / workers;
-      for (size_t i = begin; i < end; ++i) fn(i);
+      for (size_t i = begin; i < end; ++i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          // Only the first failing worker stores its exception; the
+          // exchange makes the store race-free.
+          if (!failed.exchange(true, std::memory_order_relaxed)) {
+            first_error = std::current_exception();
+          }
+          return;
+        }
+      }
     });
   }
   for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace divexp

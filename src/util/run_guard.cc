@@ -1,0 +1,132 @@
+#include "util/run_guard.h"
+
+namespace divexp {
+
+const char* LimitBreachName(LimitBreach breach) {
+  switch (breach) {
+    case LimitBreach::kNone:
+      return "none";
+    case LimitBreach::kCancelled:
+      return "cancelled";
+    case LimitBreach::kDeadline:
+      return "deadline";
+    case LimitBreach::kPatternBudget:
+      return "pattern-budget";
+    case LimitBreach::kMemoryBudget:
+      return "memory-budget";
+  }
+  return "unknown";
+}
+
+RunGuard::RunGuard(const RunLimits& limits)
+    : limits_(limits), start_(Clock::now()) {
+  deadline_ = limits_.deadline_ms > 0
+                  ? start_ + std::chrono::milliseconds(limits_.deadline_ms)
+                  : Clock::time_point::max();
+}
+
+void RunGuard::RequestCancel() {
+  cancelled_.store(true, std::memory_order_relaxed);
+  LatchHard(LimitBreach::kCancelled);
+}
+
+void RunGuard::LatchHard(LimitBreach breach) {
+  int expected = static_cast<int>(LimitBreach::kNone);
+  hard_breach_.compare_exchange_strong(expected, static_cast<int>(breach),
+                                       std::memory_order_relaxed);
+}
+
+bool RunGuard::CheckDeadline() {
+  if (Clock::now() < deadline_) return true;
+  LatchHard(LimitBreach::kDeadline);
+  return false;
+}
+
+bool RunGuard::Tick() {
+  if (hard_stopped()) return false;
+  // Amortize the clock read: only every kTickStride ticks (and on the
+  // very first tick, so a 1 ms deadline trips even on tiny inputs).
+  const uint32_t n = ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (n % kTickStride != 0) return true;
+  return CheckDeadline();
+}
+
+bool RunGuard::AddMemory(uint64_t bytes) {
+  const uint64_t now =
+      mem_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = peak_mem_bytes_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_mem_bytes_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  if (limits_.max_memory_mb > 0 &&
+      now > limits_.max_memory_mb * (uint64_t{1} << 20)) {
+    LatchHard(LimitBreach::kMemoryBudget);
+    return false;
+  }
+  return !hard_stopped();
+}
+
+void RunGuard::SubMemory(uint64_t bytes) {
+  mem_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void RunGuard::NotePatternBudgetBreach() {
+  budget_breached_.store(true, std::memory_order_relaxed);
+}
+
+LimitBreach RunGuard::breach() const {
+  const int hard = hard_breach_.load(std::memory_order_relaxed);
+  if (hard != static_cast<int>(LimitBreach::kNone)) {
+    return static_cast<LimitBreach>(hard);
+  }
+  if (budget_breached_.load(std::memory_order_relaxed)) {
+    return LimitBreach::kPatternBudget;
+  }
+  return LimitBreach::kNone;
+}
+
+double RunGuard::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+      .count();
+}
+
+Status RunGuard::ToStatus() const {
+  switch (breach()) {
+    case LimitBreach::kNone:
+      return Status::OK();
+    case LimitBreach::kCancelled:
+      return Status::Cancelled("run cancelled by caller");
+    case LimitBreach::kDeadline:
+      return Status::DeadlineExceeded(
+          "deadline of " + std::to_string(limits_.deadline_ms) +
+          " ms exceeded");
+    case LimitBreach::kPatternBudget:
+      return Status::ResourceExhausted(
+          "pattern budget of " + std::to_string(limits_.max_patterns) +
+          " exhausted");
+    case LimitBreach::kMemoryBudget:
+      return Status::ResourceExhausted(
+          "memory budget of " + std::to_string(limits_.max_memory_mb) +
+          " MiB exhausted");
+  }
+  return Status::Internal("unknown limit breach");
+}
+
+void RunGuard::Reset() {
+  hard_breach_.store(static_cast<int>(LimitBreach::kNone),
+                     std::memory_order_relaxed);
+  budget_breached_.store(false, std::memory_order_relaxed);
+  ticks_.store(0, std::memory_order_relaxed);
+  mem_bytes_.store(0, std::memory_order_relaxed);
+  peak_mem_bytes_.store(0, std::memory_order_relaxed);
+  start_ = Clock::now();
+  deadline_ = limits_.deadline_ms > 0
+                  ? start_ + std::chrono::milliseconds(limits_.deadline_ms)
+                  : Clock::time_point::max();
+  // Cancellation is sticky: re-latch it after clearing the breach.
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    LatchHard(LimitBreach::kCancelled);
+  }
+}
+
+}  // namespace divexp

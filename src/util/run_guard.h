@@ -1,0 +1,148 @@
+// RunGuard: cooperative cancellation token + resource governor for the
+// exhaustive exploration paths. The paper's Alg. 1 enumerates *all*
+// frequent itemsets, and runtime/pattern counts explode combinatorially
+// as min-support drops (§6.1, Fig. 6); on a shared service a single
+// low-support request can pin a core for minutes. A RunGuard carries a
+// wall-clock deadline, a max-pattern budget and an approximate memory
+// budget, and is polled cheaply (amortized) from inside the miners, the
+// divergence post-pass and the Slice Finder lattice search.
+//
+// Threading model: one RunGuard is shared by every worker of a run.
+// Deadline, memory and cancellation are global hard stops (first
+// breach wins; detection timing under parallel mining is inherently
+// racy, so *which* patterns a deadline-truncated run returns is not
+// deterministic). The pattern budget is deliberately NOT a global
+// counter: each mining shard enforces it locally and the merge
+// truncates to the budget in sequential emission order, so
+// budget-truncated output is deterministic and identical between
+// sequential and parallel runs (see docs/operational-limits.md).
+#ifndef DIVEXP_UTIL_RUN_GUARD_H_
+#define DIVEXP_UTIL_RUN_GUARD_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace divexp {
+
+/// Resource limits for one exploration run. Zero always means
+/// "unlimited" so a default-constructed RunLimits imposes nothing.
+struct RunLimits {
+  /// Wall-clock budget in milliseconds; 0 = no deadline.
+  int64_t deadline_ms = 0;
+  /// Maximum number of (non-empty) patterns mined; 0 = unlimited.
+  uint64_t max_patterns = 0;
+  /// Approximate memory budget in MiB for tracked allocations (pattern
+  /// output + the miners' large auxiliary structures); 0 = unlimited.
+  uint64_t max_memory_mb = 0;
+
+  bool unlimited() const {
+    return deadline_ms == 0 && max_patterns == 0 && max_memory_mb == 0;
+  }
+};
+
+/// Why a guarded run stopped early.
+enum class LimitBreach {
+  kNone = 0,
+  kCancelled,       ///< RequestCancel() was called
+  kDeadline,        ///< wall-clock deadline exceeded
+  kPatternBudget,   ///< max_patterns reached with more patterns left
+  kMemoryBudget,    ///< tracked allocations exceeded max_memory_mb
+};
+
+/// Human-readable breach name ("deadline", "pattern-budget", ...).
+const char* LimitBreachName(LimitBreach breach);
+
+/// Shared, thread-safe cancellation token + resource governor.
+///
+/// Deadline checks are amortized: Tick() reads the clock only every
+/// kTickStride calls, so it is cheap enough for per-pattern polling.
+class RunGuard {
+ public:
+  /// How many Tick() calls elapse between wall-clock reads.
+  static constexpr uint32_t kTickStride = 256;
+
+  RunGuard() : RunGuard(RunLimits{}) {}
+  explicit RunGuard(const RunLimits& limits);
+
+  const RunLimits& limits() const { return limits_; }
+
+  /// Requests cooperative cancellation (thread-safe, callable from any
+  /// thread, e.g. a server's request-timeout handler). Sticky: survives
+  /// Reset(), so an escalating retry loop also stops.
+  void RequestCancel();
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// One unit of exploration work. Returns false when the run must
+  /// stop (cancelled, past the deadline, or out of memory budget).
+  bool Tick();
+
+  /// Records `bytes` of tracked allocation; returns false on breach.
+  bool AddMemory(uint64_t bytes);
+  /// Releases previously recorded bytes (never breaches).
+  void SubMemory(uint64_t bytes);
+
+  /// Records that a miner hit the pattern budget with patterns still
+  /// unmined. The budget itself is enforced locally by each shard (see
+  /// file comment); this only latches the breach for reporting.
+  void NotePatternBudgetBreach();
+
+  /// True once any hard limit (cancel/deadline/memory) tripped. Does
+  /// NOT include pattern-budget breaches: those stop only the shard
+  /// that hit them, keeping parallel output deterministic.
+  bool hard_stopped() const {
+    return hard_breach_.load(std::memory_order_relaxed) !=
+           static_cast<int>(LimitBreach::kNone);
+  }
+
+  /// True once any limit (including the pattern budget) was breached.
+  bool stopped() const { return breach() != LimitBreach::kNone; }
+
+  /// The first breach observed (hard breaches take precedence).
+  LimitBreach breach() const;
+
+  /// Currently tracked live bytes and the high-water mark.
+  uint64_t memory_bytes() const {
+    return mem_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_memory_bytes() const {
+    return peak_mem_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Milliseconds since construction or the last Reset().
+  double elapsed_ms() const;
+
+  /// Maps the current breach to a Status: kNone -> OK, cancellation ->
+  /// kCancelled, deadline -> kDeadlineExceeded, pattern/memory budget
+  /// -> kResourceExhausted.
+  Status ToStatus() const;
+
+  /// Re-arms the guard for a retry attempt: clears breaches and
+  /// counters and restarts the deadline from now. A pending cancel
+  /// request is preserved (cancellation is sticky).
+  void Reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  bool CheckDeadline();
+  void LatchHard(LimitBreach breach);
+
+  RunLimits limits_;
+  Clock::time_point start_;
+  Clock::time_point deadline_;
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> hard_breach_{static_cast<int>(LimitBreach::kNone)};
+  std::atomic<bool> budget_breached_{false};
+  std::atomic<uint32_t> ticks_{0};
+  std::atomic<uint64_t> mem_bytes_{0};
+  std::atomic<uint64_t> peak_mem_bytes_{0};
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_RUN_GUARD_H_

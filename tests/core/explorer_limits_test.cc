@@ -1,0 +1,246 @@
+// Resource-governed exploration: option validation, the three
+// degradation modes (fail / truncate / escalate) and external-guard
+// cancellation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/explorer.h"
+#include "testing/test_data.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+
+EncodedDataset MakeRandomDataset(uint64_t seed, size_t rows,
+                                 std::vector<Outcome>* outcomes) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells;
+  for (size_t r = 0; r < rows; ++r) {
+    cells.push_back({static_cast<int>(rng.Below(3)),
+                     static_cast<int>(rng.Below(3)),
+                     static_cast<int>(rng.Below(2)),
+                     static_cast<int>(rng.Below(2))});
+    outcomes->push_back(rng.Uniform() < 0.4 ? Outcome::kTrue
+                                            : Outcome::kFalse);
+  }
+  return MakeEncoded(cells, {3, 3, 2, 2});
+}
+
+TEST(ValidateExplorerOptionsTest, RejectsBadMinSupport) {
+  for (double s : {0.0, -0.1, 1.5}) {
+    ExplorerOptions opts;
+    opts.min_support = s;
+    const Status status = ValidateExplorerOptions(opts);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << "s=" << s;
+  }
+  ExplorerOptions opts;
+  opts.min_support = 1.0;
+  EXPECT_TRUE(ValidateExplorerOptions(opts).ok());
+}
+
+TEST(ValidateExplorerOptionsTest, RejectsZeroThreads) {
+  ExplorerOptions opts;
+  opts.num_threads = 0;
+  EXPECT_EQ(ValidateExplorerOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateExplorerOptionsTest, RejectsNegativeDeadline) {
+  ExplorerOptions opts;
+  opts.limits.deadline_ms = -5;
+  EXPECT_EQ(ValidateExplorerOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateExplorerOptionsTest, RejectsNonIncreasingEscalateFactor) {
+  ExplorerOptions opts;
+  opts.on_limit = LimitAction::kEscalate;
+  opts.escalate_factor = 1.0;
+  EXPECT_EQ(ValidateExplorerOptions(opts).code(),
+            StatusCode::kInvalidArgument);
+  // The factor is only constrained when escalation is selected.
+  opts.on_limit = LimitAction::kFail;
+  EXPECT_TRUE(ValidateExplorerOptions(opts).ok());
+}
+
+TEST(ExplorerLimitsTest, ExploreRejectsLabelLengthMismatch) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}, {0}}, {2});
+  DivergenceExplorer explorer;
+  auto short_preds = explorer.Explore(ds, {0, 1}, {0, 1, 0},
+                                      Metric::kFalsePositiveRate);
+  EXPECT_EQ(short_preds.status().code(), StatusCode::kInvalidArgument);
+  auto short_truths = explorer.Explore(ds, {0, 1, 0}, {0, 1},
+                                       Metric::kFalsePositiveRate);
+  EXPECT_EQ(short_truths.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplorerLimitsTest, ExploreOutcomesRejectsLengthMismatch) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}, {0}}, {2});
+  DivergenceExplorer explorer;
+  auto r = explorer.ExploreOutcomes(
+      ds, {Outcome::kTrue, Outcome::kFalse});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplorerLimitsTest, InvalidOptionsSurfaceBeforeMining) {
+  const EncodedDataset ds = MakeEncoded({{0}, {1}}, {2});
+  ExplorerOptions opts;
+  opts.min_support = 0.0;
+  auto r = DivergenceExplorer(opts).ExploreOutcomes(
+      ds, {Outcome::kTrue, Outcome::kFalse});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplorerLimitsTest, FailModeReturnsResourceExhausted) {
+  std::vector<Outcome> outcomes;
+  const EncodedDataset ds = MakeRandomDataset(7, 400, &outcomes);
+  ExplorerOptions opts;
+  opts.min_support = 0.02;
+  opts.limits.max_patterns = 3;
+  opts.on_limit = LimitAction::kFail;
+  auto r = DivergenceExplorer(opts).ExploreOutcomes(ds, outcomes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExplorerLimitsTest, TruncateModeReturnsPartialTableWithStats) {
+  std::vector<Outcome> outcomes;
+  const EncodedDataset ds = MakeRandomDataset(7, 400, &outcomes);
+  ExplorerOptions opts;
+  opts.min_support = 0.02;
+  opts.limits.max_patterns = 3;
+  opts.on_limit = LimitAction::kTruncate;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(table.ok());
+
+  // Budget patterns + the empty itemset, which anchors the global rate
+  // so divergences in the partial table stay well-defined.
+  EXPECT_EQ(table->size(), 4u);
+  EXPECT_TRUE(table->Contains(Itemset{}));
+  EXPECT_GT(table->global_rate(), 0.0);
+
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.reason, LimitBreach::kPatternBudget);
+  EXPECT_EQ(stats.patterns, 3u);
+  EXPECT_EQ(stats.escalations, 0u);
+  EXPECT_DOUBLE_EQ(stats.effective_min_support, 0.02);
+  EXPECT_GT(stats.peak_memory_bytes, 0u);
+  EXPECT_GE(stats.elapsed_ms, 0.0);
+}
+
+TEST(ExplorerLimitsTest, UngovernedRunReportsCompleteStats) {
+  std::vector<Outcome> outcomes;
+  const EncodedDataset ds = MakeRandomDataset(9, 200, &outcomes);
+  ExplorerOptions opts;
+  opts.min_support = 0.1;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(table.ok());
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.reason, LimitBreach::kNone);
+  EXPECT_EQ(stats.patterns, table->size() - 1);
+}
+
+TEST(ExplorerLimitsTest, EscalateModeConvergesToCompleteRun) {
+  std::vector<Outcome> outcomes;
+  const EncodedDataset ds = MakeRandomDataset(11, 400, &outcomes);
+
+  // Find how many patterns a fairly high support yields, then set the
+  // budget so the low-support attempt breaches but the escalated one
+  // fits.
+  ExplorerOptions probe;
+  probe.min_support = 0.32;
+  auto high = DivergenceExplorer(probe).ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(high.ok());
+  const uint64_t budget = high->size() - 1;
+  ASSERT_GT(budget, 0u);
+
+  ExplorerOptions opts;
+  opts.min_support = 0.02;
+  opts.limits.max_patterns = budget;
+  opts.on_limit = LimitAction::kEscalate;
+  opts.escalate_factor = 2.0;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(table.ok());
+
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.escalations, 0u);
+  EXPECT_GT(stats.effective_min_support, opts.min_support);
+  EXPECT_LE(table->size() - 1, budget);
+  // The converged table is a *complete* run at the effective support:
+  // re-running plainly at that support gives the same table.
+  ExplorerOptions plain;
+  plain.min_support = stats.effective_min_support;
+  auto expected = DivergenceExplorer(plain).ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_EQ(table->size(), expected->size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    EXPECT_TRUE(table->Contains(expected->row(i).items));
+  }
+}
+
+TEST(ExplorerLimitsTest, EscalateDegradesToTruncatedWhenExhausted) {
+  // Two constant attributes: even at min_support = 1.0 there are three
+  // non-empty frequent patterns, so a budget of 1 can never be met and
+  // escalation must degrade to a truncated table.
+  const EncodedDataset ds = MakeEncoded({{0, 0}, {0, 0}, {0, 0}}, {1, 1});
+  std::vector<Outcome> outcomes(3, Outcome::kTrue);
+  ExplorerOptions opts;
+  opts.min_support = 0.5;
+  opts.limits.max_patterns = 1;
+  opts.on_limit = LimitAction::kEscalate;
+  opts.max_escalations = 2;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), 2u);
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.reason, LimitBreach::kPatternBudget);
+}
+
+TEST(ExplorerLimitsTest, CancelledRunFailsInEveryMode) {
+  std::vector<Outcome> outcomes;
+  const EncodedDataset ds = MakeRandomDataset(13, 300, &outcomes);
+  for (LimitAction action : {LimitAction::kFail, LimitAction::kTruncate,
+                             LimitAction::kEscalate}) {
+    RunGuard guard;
+    guard.RequestCancel();
+    ExplorerOptions opts;
+    opts.min_support = 0.02;
+    opts.guard = &guard;
+    opts.on_limit = action;
+    auto r = DivergenceExplorer(opts).ExploreOutcomes(ds, outcomes);
+    ASSERT_FALSE(r.ok()) << LimitActionName(action);
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+        << LimitActionName(action);
+  }
+}
+
+TEST(ExplorerLimitsTest, ExternalGuardReportsPeakMemory) {
+  std::vector<Outcome> outcomes;
+  const EncodedDataset ds = MakeRandomDataset(17, 300, &outcomes);
+  RunGuard guard;  // unlimited, but still accounts memory
+  ExplorerOptions opts;
+  opts.min_support = 0.05;
+  opts.guard = &guard;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.ExploreOutcomes(ds, outcomes);
+  ASSERT_TRUE(table.ok());
+  EXPECT_GT(explorer.last_run_stats().peak_memory_bytes, 0u);
+  // Every AddMemory was paired with a SubMemory: nothing leaks in the
+  // accounting once the run is over (pattern-output bytes excepted —
+  // the caller owns those rows now).
+  EXPECT_LE(guard.memory_bytes(), guard.peak_memory_bytes());
+}
+
+}  // namespace
+}  // namespace divexp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 
 namespace divexp {
 namespace {
@@ -105,6 +106,80 @@ TEST(CsvFileTest, MissingFileIsIOError) {
   auto r = ReadCsvFile("/tmp/definitely_missing_divexp_file.csv");
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+// Hostile inputs: a malformed file must produce a diagnosable error,
+// never a silently garbled DataFrame.
+
+TEST(CsvHostileTest, EmptyInputIsInvalidArgument) {
+  auto r = ReadCsvString("");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvHostileTest, UnterminatedQuoteInHeader) {
+  auto r = ReadCsvString("a,\"b\n1,2\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvHostileTest, UnterminatedQuoteInRecordNamesTheRecord) {
+  auto r = ReadCsvString("a,b\n1,2\n3,\"oops\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Header is record 1, so the bad row is record 3.
+  EXPECT_NE(r.status().message().find("record 3"), std::string::npos);
+}
+
+TEST(CsvHostileTest, EmbeddedNulByteIsRejected) {
+  std::string text = "a,b\n1,2\n";
+  text[6] = '\0';
+  auto r = ReadCsvString(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("NUL"), std::string::npos);
+}
+
+TEST(CsvHostileTest, NulInsideQuotedFieldIsRejected) {
+  std::string text = "a\n\"x_y\"\n";
+  text[4] = '\0';
+  auto r = ReadCsvString(text);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvHostileTest, RaggedRowsNameTheRecord) {
+  auto too_few = ReadCsvString("a,b,c\n1,2,3\n4,5\n");
+  ASSERT_FALSE(too_few.ok());
+  EXPECT_EQ(too_few.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(too_few.status().message().find("record 3"),
+            std::string::npos);
+  auto too_many = ReadCsvString("a,b\n1,2,3\n");
+  ASSERT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvHostileTest, WellFormedQuotingStillWorks) {
+  // Regression guard for the hardening: legitimate quoted fields with
+  // escaped quotes, delimiters and newlines keep parsing.
+  auto df = ReadCsvString("a,b\n\"x,\"\"y\"\"\nz\",2\n");
+  ASSERT_TRUE(df.ok());
+  EXPECT_EQ(df->num_rows(), 1u);
+  EXPECT_EQ(df->Get("a").ValueString(0), "x,\"y\"\nz");
+}
+
+TEST(CsvHostileTest, BinaryGarbageFileFailsCleanly) {
+  const std::string path = "/tmp/divexp_csv_hostile_test.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char bytes[] = {'a', ',', 'b', '\n', 0x00, 0x01, 0x02, '\n'};
+    out.write(bytes, sizeof(bytes));
+  }
+  auto r = ReadCsvFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -39,6 +39,46 @@ TEST(ParallelForTest, MoreThreadsThanWork) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ParallelForTest, WorkerExceptionIsRethrownAfterJoin) {
+  // A throwing worker must not crash the process (std::terminate from
+  // an exception escaping a thread); the first exception is captured
+  // and rethrown on the calling thread once every worker has joined.
+  for (size_t threads : {1u, 2u, 4u}) {
+    EXPECT_THROW(
+        ParallelFor(threads, 64,
+                    [](size_t i) {
+                      if (i == 13) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+  }
+}
+
+TEST(ParallelForTest, FirstExceptionWinsAndWorkStopsEarly) {
+  std::atomic<int> calls{0};
+  try {
+    ParallelFor(4, 10000, [&](size_t i) {
+      calls.fetch_add(1);
+      if (i < 8) throw std::runtime_error("early");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "early");
+  }
+  // Remaining iterations are skipped once a failure is observed; with
+  // the failing indices at the front, far fewer than all 10000 run.
+  EXPECT_LT(calls.load(), 10000);
+}
+
+TEST(ParallelForTest, SequentialPathPropagatesException) {
+  // threads == 1 short-circuits to a plain loop; it must throw the
+  // same way the threaded path does.
+  EXPECT_THROW(ParallelFor(1, 5,
+                           [](size_t i) {
+                             if (i == 2) throw std::logic_error("seq");
+                           }),
+               std::logic_error);
+}
+
 struct ParallelCase {
   EncodedDataset dataset;
   std::vector<Outcome> outcomes;

@@ -1,0 +1,263 @@
+// Pattern-budget truncation semantics, which all miners must share:
+// deterministic output, sequential == parallel, a consistent truncated
+// flag, and truncated sets that are genuine subsets of the full run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fpm/miner.h"
+#include "testing/test_data.h"
+#include "util/random.h"
+#include "util/run_guard.h"
+
+namespace divexp {
+namespace {
+
+using testing::MakeEncoded;
+
+TransactionDatabase MakeDb(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells;
+  std::vector<Outcome> outcomes;
+  for (size_t r = 0; r < rows; ++r) {
+    cells.push_back({static_cast<int>(rng.Below(3)),
+                     static_cast<int>(rng.Below(3)),
+                     static_cast<int>(rng.Below(2)),
+                     static_cast<int>(rng.Below(2))});
+    const double u = rng.Uniform();
+    outcomes.push_back(u < 0.35  ? Outcome::kTrue
+                       : u < 0.8 ? Outcome::kFalse
+                                 : Outcome::kBottom);
+  }
+  auto db = TransactionDatabase::Create(MakeEncoded(cells, {3, 3, 2, 2}),
+                                        outcomes);
+  DIVEXP_CHECK(db.ok());
+  return *std::move(db);
+}
+
+void ExpectSamePatterns(const std::vector<MinedPattern>& a,
+                        const std::vector<MinedPattern>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].items, b[i].items) << "at " << i;
+    EXPECT_EQ(a[i].counts, b[i].counts) << "at " << i;
+  }
+}
+
+class TruncationTest : public ::testing::TestWithParam<MinerKind> {};
+
+TEST_P(TruncationTest, BudgetedRunIsEmissionOrderPrefixOfFullRun) {
+  const TransactionDatabase db = MakeDb(17, 600);
+  auto miner = MakeMiner(GetParam());
+  MinerOptions opts;
+  opts.min_support = 0.02;
+
+  auto full = miner->Mine(db, opts);
+  ASSERT_TRUE(full.ok());
+  const uint64_t budget = 10;
+  ASSERT_GT(full->size(), budget + 1);
+
+  RunLimits limits;
+  limits.max_patterns = budget;
+  RunGuard guard(limits);
+  MinerOptions bounded = opts;
+  bounded.guard = &guard;
+  auto truncated = miner->Mine(db, bounded);
+  ASSERT_TRUE(truncated.ok());
+
+  // Exactly budget patterns plus the empty itemset, and the breach is
+  // the soft pattern-budget one (no hard stop).
+  ASSERT_EQ(truncated->size(), budget + 1);
+  EXPECT_TRUE((*truncated)[0].items.empty());
+  EXPECT_EQ(guard.breach(), LimitBreach::kPatternBudget);
+  EXPECT_TRUE(guard.stopped());
+  EXPECT_FALSE(guard.hard_stopped());
+
+  // The truncated output is the prefix of the full output in this
+  // miner's emission order — budget truncation never reorders.
+  for (size_t i = 0; i < truncated->size(); ++i) {
+    EXPECT_EQ((*truncated)[i].items, (*full)[i].items) << "at " << i;
+    EXPECT_EQ((*truncated)[i].counts, (*full)[i].counts) << "at " << i;
+  }
+}
+
+TEST_P(TruncationTest, BudgetedRunIsDeterministic) {
+  const TransactionDatabase db = MakeDb(23, 600);
+  auto miner = MakeMiner(GetParam());
+  MinerOptions opts;
+  opts.min_support = 0.02;
+
+  RunLimits limits;
+  limits.max_patterns = 25;
+  std::vector<MinedPattern> previous;
+  for (int run = 0; run < 3; ++run) {
+    RunGuard guard(limits);
+    MinerOptions bounded = opts;
+    bounded.guard = &guard;
+    auto out = miner->Mine(db, bounded);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(guard.breach(), LimitBreach::kPatternBudget);
+    if (run > 0) ExpectSamePatterns(*out, previous);
+    previous = *std::move(out);
+  }
+}
+
+TEST_P(TruncationTest, ParallelBudgetedRunMatchesSequential) {
+  const TransactionDatabase db = MakeDb(31, 600);
+  auto miner = MakeMiner(GetParam());
+  RunLimits limits;
+  limits.max_patterns = 15;
+
+  RunGuard seq_guard(limits);
+  MinerOptions seq;
+  seq.min_support = 0.02;
+  seq.guard = &seq_guard;
+  auto sequential = miner->Mine(db, seq);
+  ASSERT_TRUE(sequential.ok());
+  EXPECT_EQ(seq_guard.breach(), LimitBreach::kPatternBudget);
+
+  for (size_t threads : {2u, 4u}) {
+    RunGuard par_guard(limits);
+    MinerOptions par = seq;
+    par.num_threads = threads;
+    par.guard = &par_guard;
+    auto parallel = miner->Mine(db, par);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(par_guard.breach(), LimitBreach::kPatternBudget)
+        << "threads=" << threads;
+    ExpectSamePatterns(*parallel, *sequential);
+  }
+}
+
+TEST_P(TruncationTest, SortedTruncatedSetIsSubsetOfFullSet) {
+  const TransactionDatabase db = MakeDb(41, 600);
+  auto miner = MakeMiner(GetParam());
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  auto full = miner->Mine(db, opts);
+  ASSERT_TRUE(full.ok());
+
+  RunLimits limits;
+  limits.max_patterns = 12;
+  RunGuard guard(limits);
+  MinerOptions bounded = opts;
+  bounded.guard = &guard;
+  auto truncated = miner->Mine(db, bounded);
+  ASSERT_TRUE(truncated.ok());
+
+  SortPatterns(&*full);
+  SortPatterns(&*truncated);
+  size_t fi = 0;
+  for (const MinedPattern& p : *truncated) {
+    while (fi < full->size() && (*full)[fi].items != p.items) ++fi;
+    ASSERT_LT(fi, full->size())
+        << "truncated pattern missing from the full run";
+    EXPECT_EQ((*full)[fi].counts, p.counts);
+  }
+}
+
+TEST_P(TruncationTest, GenerousBudgetDoesNotTruncate) {
+  const TransactionDatabase db = MakeDb(47, 400);
+  auto miner = MakeMiner(GetParam());
+  MinerOptions opts;
+  opts.min_support = 0.02;
+  auto full = miner->Mine(db, opts);
+  ASSERT_TRUE(full.ok());
+
+  // A budget equal to the number of non-empty patterns must not latch
+  // a breach: truncation means patterns were actually left unmined.
+  RunLimits limits;
+  limits.max_patterns = full->size() - 1;
+  RunGuard guard(limits);
+  MinerOptions bounded = opts;
+  bounded.guard = &guard;
+  auto out = miner->Mine(db, bounded);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(guard.breach(), LimitBreach::kNone);
+  ExpectSamePatterns(*out, *full);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMiners, TruncationTest,
+                         ::testing::Values(MinerKind::kFpGrowth,
+                                           MinerKind::kApriori,
+                                           MinerKind::kEclat),
+                         [](const auto& info) {
+                           return std::string(MinerKindName(info.param));
+                         });
+
+TEST(TruncationAgreementTest, AllMinersAgreeOnTruncatedFlag) {
+  const TransactionDatabase db = MakeDb(53, 500);
+  for (uint64_t budget : {5u, 50u, 100000u}) {
+    RunLimits limits;
+    limits.max_patterns = budget;
+    int truncated_count = 0;
+    size_t expected_size = 0;
+    bool first = true;
+    for (MinerKind kind : {MinerKind::kFpGrowth, MinerKind::kApriori,
+                           MinerKind::kEclat}) {
+      RunGuard guard(limits);
+      MinerOptions opts;
+      opts.min_support = 0.02;
+      opts.guard = &guard;
+      auto out = MakeMiner(kind)->Mine(db, opts);
+      ASSERT_TRUE(out.ok());
+      if (guard.stopped()) ++truncated_count;
+      // All miners enumerate the same total set, so the truncated
+      // output size is identical even when its contents differ.
+      if (first) {
+        expected_size = out->size();
+        first = false;
+      } else {
+        EXPECT_EQ(out->size(), expected_size)
+            << MinerKindName(kind) << " budget=" << budget;
+      }
+    }
+    EXPECT_TRUE(truncated_count == 0 || truncated_count == 3)
+        << "miners disagree on truncation at budget=" << budget;
+  }
+}
+
+TEST(TruncationAgreementTest, MinersAgreeExactlyOnCraftedSingletonOrder) {
+  // One attribute with strictly increasing value frequencies: v0 once,
+  // v1 twice, v2 three times, v3 four times. Every miner then emits
+  // singletons in the same order — FP-growth mines least-frequent
+  // headers first (= ascending id here, no ties), Apriori and ECLAT go
+  // in id order — so with max_length=1 the truncated outputs must be
+  // *identical* across backends, not merely same-sized.
+  std::vector<std::vector<int>> cells;
+  for (int v = 0; v < 4; ++v) {
+    for (int k = 0; k <= v; ++k) cells.push_back({v});
+  }
+  std::vector<Outcome> outcomes(cells.size(), Outcome::kTrue);
+  auto db =
+      TransactionDatabase::Create(MakeEncoded(cells, {4}), outcomes);
+  ASSERT_TRUE(db.ok());
+
+  std::vector<std::vector<MinedPattern>> results;
+  for (MinerKind kind : {MinerKind::kFpGrowth, MinerKind::kApriori,
+                         MinerKind::kEclat}) {
+    RunLimits limits;
+    limits.max_patterns = 2;
+    RunGuard guard(limits);
+    MinerOptions opts;
+    opts.min_support = 0.05;  // min count 1: all four singletons frequent
+    opts.max_length = 1;
+    opts.guard = &guard;
+    auto out = MakeMiner(kind)->Mine(*db, opts);
+    ASSERT_TRUE(out.ok()) << MinerKindName(kind);
+    EXPECT_EQ(guard.breach(), LimitBreach::kPatternBudget)
+        << MinerKindName(kind);
+    ASSERT_EQ(out->size(), 3u) << MinerKindName(kind);
+    results.push_back(*std::move(out));
+  }
+  ExpectSamePatterns(results[1], results[0]);
+  ExpectSamePatterns(results[2], results[0]);
+  // And the order is the known one: empty, then v0 (support 1), v1.
+  EXPECT_TRUE(results[0][0].items.empty());
+  EXPECT_EQ(results[0][1].counts.total(), 1u);
+  EXPECT_EQ(results[0][2].counts.total(), 2u);
+}
+
+}  // namespace
+}  // namespace divexp

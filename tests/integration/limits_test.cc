@@ -1,0 +1,160 @@
+// Resource-governed exploration on the benchmark generators: a
+// min_support low enough to blow up the lattice, bounded by a 1 ms
+// deadline or a 10-pattern budget, must return promptly in all three
+// degradation modes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/explorer.h"
+#include "data/encoder.h"
+#include "datasets/datasets.h"
+
+namespace divexp {
+namespace {
+
+struct GeneratedCase {
+  EncodedDataset encoded;
+  std::vector<int> predictions;
+  std::vector<int> truth;
+};
+
+GeneratedCase MakeArtificialCase(size_t rows) {
+  SizeOptions opts;
+  opts.num_rows = rows;
+  auto ds = MakeArtificial(opts);
+  DIVEXP_CHECK(ds.ok());
+  auto encoded = EncodeDataFrame(ds->discretized);
+  DIVEXP_CHECK(encoded.ok());
+  return {*std::move(encoded), std::move(ds->predictions),
+          std::move(ds->truth)};
+}
+
+GeneratedCase MakeAdultCase(size_t rows) {
+  SizeOptions opts;
+  opts.num_rows = rows;
+  auto ds = MakeAdult(opts);
+  DIVEXP_CHECK(ds.ok());
+  auto encoded = EncodeDataFrame(ds->discretized);
+  DIVEXP_CHECK(encoded.ok());
+  // Predictions = truth: valid 0/1 labels without the cost of training
+  // a model — the limit machinery doesn't care about divergence values.
+  return {*std::move(encoded), ds->truth, ds->truth};
+}
+
+TEST(LimitsIntegrationTest, AdultOneMsDeadlineFailsFast) {
+  const GeneratedCase c = MakeAdultCase(3000);
+  ExplorerOptions opts;
+  opts.min_support = 0.001;
+  opts.limits.deadline_ms = 1;
+  opts.on_limit = LimitAction::kFail;
+  DivergenceExplorer explorer(opts);
+  auto r = explorer.Explore(c.encoded, c.predictions, c.truth,
+                            Metric::kFalsePositiveRate);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(LimitsIntegrationTest, AdultOneMsDeadlineTruncatesPromptly) {
+  const GeneratedCase c = MakeAdultCase(3000);
+  ExplorerOptions opts;
+  opts.min_support = 0.001;
+  opts.limits.deadline_ms = 1;
+  opts.on_limit = LimitAction::kTruncate;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(c.encoded, c.predictions, c.truth,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->Contains(Itemset{}));
+
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_EQ(stats.reason, LimitBreach::kDeadline);
+  EXPECT_EQ(stats.patterns, table->size() - 1);
+  // "Promptly": a 1 ms deadline must not take seconds to notice. The
+  // bound is deliberately loose for slow CI machines.
+  EXPECT_LT(stats.elapsed_ms, 10000.0);
+}
+
+TEST(LimitsIntegrationTest, ArtificialPatternBudgetFailsFast) {
+  const GeneratedCase c = MakeArtificialCase(10000);
+  ExplorerOptions opts;
+  opts.min_support = 0.001;
+  opts.limits.max_patterns = 10;
+  opts.on_limit = LimitAction::kFail;
+  for (MinerKind kind : {MinerKind::kFpGrowth, MinerKind::kApriori,
+                         MinerKind::kEclat}) {
+    ExplorerOptions mopts = opts;
+    mopts.miner = kind;
+    auto r = DivergenceExplorer(mopts).Explore(
+        c.encoded, c.predictions, c.truth, Metric::kFalsePositiveRate);
+    ASSERT_FALSE(r.ok()) << MinerKindName(kind);
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted)
+        << MinerKindName(kind);
+  }
+}
+
+TEST(LimitsIntegrationTest, ArtificialPatternBudgetTruncates) {
+  const GeneratedCase c = MakeArtificialCase(10000);
+  for (MinerKind kind : {MinerKind::kFpGrowth, MinerKind::kApriori,
+                         MinerKind::kEclat}) {
+    ExplorerOptions opts;
+    opts.min_support = 0.001;
+    opts.limits.max_patterns = 10;
+    opts.on_limit = LimitAction::kTruncate;
+    opts.miner = kind;
+    DivergenceExplorer explorer(opts);
+    auto table = explorer.Explore(c.encoded, c.predictions, c.truth,
+                                  Metric::kFalsePositiveRate);
+    ASSERT_TRUE(table.ok()) << MinerKindName(kind);
+    EXPECT_EQ(table->size(), 11u) << MinerKindName(kind);
+    EXPECT_TRUE(table->Contains(Itemset{}));
+    const ExplorerRunStats& stats = explorer.last_run_stats();
+    EXPECT_TRUE(stats.truncated);
+    EXPECT_EQ(stats.reason, LimitBreach::kPatternBudget);
+    EXPECT_EQ(stats.patterns, 10u);
+    EXPECT_GT(stats.peak_memory_bytes, 0u);
+  }
+}
+
+TEST(LimitsIntegrationTest, ArtificialBudgetTruncationIsDeterministic) {
+  const GeneratedCase c = MakeArtificialCase(10000);
+  ExplorerOptions opts;
+  opts.min_support = 0.001;
+  opts.limits.max_patterns = 10;
+  opts.on_limit = LimitAction::kTruncate;
+  DivergenceExplorer explorer(opts);
+  auto first = explorer.Explore(c.encoded, c.predictions, c.truth,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(first.ok());
+  auto second = explorer.Explore(c.encoded, c.predictions, c.truth,
+                                 Metric::kFalsePositiveRate);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t i = 0; i < first->size(); ++i) {
+    EXPECT_EQ(first->row(i).items, second->row(i).items);
+    EXPECT_EQ(first->row(i).counts, second->row(i).counts);
+  }
+}
+
+TEST(LimitsIntegrationTest, ArtificialBudgetEscalatesToCompletion) {
+  const GeneratedCase c = MakeArtificialCase(10000);
+  ExplorerOptions opts;
+  opts.min_support = 0.001;
+  opts.limits.max_patterns = 10;
+  opts.on_limit = LimitAction::kEscalate;
+  opts.max_escalations = 12;
+  DivergenceExplorer explorer(opts);
+  auto table = explorer.Explore(c.encoded, c.predictions, c.truth,
+                                Metric::kFalsePositiveRate);
+  ASSERT_TRUE(table.ok());
+
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_GT(stats.escalations, 0u);
+  EXPECT_GT(stats.effective_min_support, opts.min_support);
+  EXPECT_LE(table->size() - 1, 10u);
+}
+
+}  // namespace
+}  // namespace divexp

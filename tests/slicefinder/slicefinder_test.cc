@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "fpm/miner.h"
 #include "testing/test_data.h"
 #include "util/random.h"
 
@@ -201,6 +202,80 @@ TEST(SliceFinderTest, AlphaInvestingStillFindsStrongSlices) {
     if (s.items == Itemset({1, 3})) has_pair = true;
   }
   EXPECT_TRUE(has_pair);
+}
+
+TEST(SliceFinderGuardTest, UngovernedRunReportsNoBreach) {
+  const LossyCase c = MakePairCase();
+  SliceFinder finder;
+  auto slices = finder.FindSlices(c.dataset, c.loss);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_FALSE(finder.last_truncated());
+  EXPECT_EQ(finder.last_breach(), LimitBreach::kNone);
+}
+
+TEST(SliceFinderGuardTest, SliceBudgetTruncatesSearch) {
+  const LossyCase c = MakePairCase();
+  // The default threshold finds at least the two fragment slices; a
+  // budget of 1 stops the search after the first.
+  RunLimits limits;
+  limits.max_patterns = 1;
+  RunGuard guard(limits);
+  SliceFinderOptions opts;
+  opts.guard = &guard;
+  SliceFinder finder(opts);
+  auto slices = finder.FindSlices(c.dataset, c.loss);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_EQ(slices->size(), 1u);
+  EXPECT_TRUE(finder.last_truncated());
+  EXPECT_EQ(finder.last_breach(), LimitBreach::kPatternBudget);
+}
+
+TEST(SliceFinderGuardTest, CancelledSearchReturnsEarly) {
+  const LossyCase c = MakePairCase();
+  RunGuard guard;
+  guard.RequestCancel();
+  SliceFinderOptions opts;
+  opts.guard = &guard;
+  SliceFinder finder(opts);
+  auto slices = finder.FindSlices(c.dataset, c.loss);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_TRUE(slices->empty());
+  EXPECT_EQ(finder.last_breach(), LimitBreach::kCancelled);
+}
+
+TEST(SliceFinderGuardTest, MemoryAccountingBalancesAfterRun) {
+  const LossyCase c = MakePairCase();
+  RunGuard guard;
+  SliceFinderOptions opts;
+  opts.guard = &guard;
+  SliceFinder finder(opts);
+  auto slices = finder.FindSlices(c.dataset, c.loss);
+  ASSERT_TRUE(slices.ok());
+  EXPECT_GT(guard.peak_memory_bytes(), 0u);
+  // All working bitmaps were released; what remains tracked is exactly
+  // the emitted output (owned by the caller now, like miner patterns).
+  uint64_t out_bytes = 0;
+  for (const Slice& s : *slices) {
+    out_bytes += sizeof(MinedPattern) + s.items.size() * sizeof(uint32_t);
+  }
+  EXPECT_EQ(guard.memory_bytes(), out_bytes);
+}
+
+TEST(SliceFinderGuardTest, BreachStateResetsBetweenRuns) {
+  const LossyCase c = MakePairCase();
+  RunLimits limits;
+  limits.max_patterns = 1;
+  RunGuard guard(limits);
+  SliceFinderOptions opts;
+  opts.guard = &guard;
+  SliceFinder finder(opts);
+  ASSERT_TRUE(finder.FindSlices(c.dataset, c.loss).ok());
+  EXPECT_TRUE(finder.last_truncated());
+
+  // A fresh, ungoverned finder over the same data is complete again.
+  SliceFinder plain;
+  ASSERT_TRUE(plain.FindSlices(c.dataset, c.loss).ok());
+  EXPECT_FALSE(plain.last_truncated());
 }
 
 TEST(ZeroOneLossTest, OnePerMistake) {

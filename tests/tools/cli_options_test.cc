@@ -128,13 +128,59 @@ TEST(ParseCliOptionsTest, ThreadsFlag) {
       ParseCliOptions({"--csv", "d", "--threads", "999"}).ok());
 }
 
+TEST(ParseCliOptionsTest, LimitFlagsDefaultToUnlimitedFail) {
+  auto opts = ParseCliOptions({"--csv", "d.csv"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->deadline_ms, 0);
+  EXPECT_EQ(opts->max_patterns, 0u);
+  EXPECT_EQ(opts->max_memory_mb, 0u);
+  EXPECT_EQ(opts->on_limit, LimitAction::kFail);
+}
+
+TEST(ParseCliOptionsTest, LimitFlags) {
+  auto opts = ParseCliOptions(
+      {"--csv", "d.csv", "--deadline-ms", "1500", "--max-patterns",
+       "100000", "--max-memory-mb", "512", "--on-limit", "truncate"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->deadline_ms, 1500);
+  EXPECT_EQ(opts->max_patterns, 100000u);
+  EXPECT_EQ(opts->max_memory_mb, 512u);
+  EXPECT_EQ(opts->on_limit, LimitAction::kTruncate);
+}
+
+TEST(ParseCliOptionsTest, LimitFlagsRejectBadValues) {
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--deadline-ms", "-1"}).ok());
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--deadline-ms", "soon"}).ok());
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--max-patterns", "-3"}).ok());
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--max-memory-mb", "-1"}).ok());
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--on-limit", "explode"}).ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--on-limit"}).ok());
+}
+
+TEST(ParseLimitActionTest, RoundTripsAllActions) {
+  for (LimitAction action : {LimitAction::kFail, LimitAction::kTruncate,
+                             LimitAction::kEscalate}) {
+    auto parsed = ParseLimitAction(LimitActionName(action));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, action);
+  }
+  EXPECT_FALSE(ParseLimitAction("FAIL").ok());
+  EXPECT_FALSE(ParseLimitAction("").ok());
+}
+
 TEST(UsageStringTest, MentionsAllFlags) {
   const std::string usage = UsageString();
   for (const char* flag :
        {"--csv", "--pred-col", "--truth-col", "--metric", "--support",
         "--bins", "--top", "--epsilon", "--shapley", "--global",
         "--corrective", "--lattice", "--multi", "--export",
-        "--miner", "--threads", "--report"}) {
+        "--miner", "--threads", "--report", "--deadline-ms",
+        "--max-patterns", "--max-memory-mb", "--on-limit"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

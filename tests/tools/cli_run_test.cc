@@ -118,6 +118,61 @@ TEST_F(CliRunTest, ExportWritesTableCsv) {
   std::remove(opts.export_path.c_str());
 }
 
+TEST_F(CliRunTest, PatternBudgetFailModeReturnsError) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.min_support = 0.01;
+  opts.max_patterns = 2;
+  opts.on_limit = LimitAction::kFail;
+  const RunResult r = RunWith(opts);
+  ASSERT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(CliRunTest, PatternBudgetTruncateModeWarnsAndSucceeds) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.min_support = 0.01;
+  opts.max_patterns = 5;
+  opts.on_limit = LimitAction::kTruncate;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.out.find("5 frequent patterns"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.log.find("WARNING"), std::string::npos) << r.log;
+  EXPECT_NE(r.log.find("pattern-budget"), std::string::npos) << r.log;
+}
+
+TEST_F(CliRunTest, EscalateModeLogsTheNewSupport) {
+  CliOptions opts;
+  opts.csv_path = path_;
+  opts.min_support = 0.01;
+  opts.max_patterns = 10;
+  opts.on_limit = LimitAction::kEscalate;
+  const RunResult r = RunWith(opts);
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  EXPECT_NE(r.log.find("min-support escalated"), std::string::npos)
+      << r.log;
+  EXPECT_EQ(r.log.find("WARNING"), std::string::npos) << r.log;
+}
+
+TEST_F(CliRunTest, GenerousLimitsLeaveOutputUnchanged) {
+  CliOptions baseline;
+  baseline.csv_path = path_;
+  const RunResult plain = RunWith(baseline);
+  ASSERT_TRUE(plain.status.ok());
+
+  CliOptions limited = baseline;
+  limited.deadline_ms = 600000;
+  limited.max_patterns = 10000000;
+  limited.max_memory_mb = 65536;
+  limited.on_limit = LimitAction::kTruncate;
+  const RunResult governed = RunWith(limited);
+  ASSERT_TRUE(governed.status.ok());
+  EXPECT_EQ(governed.out, plain.out);
+  EXPECT_EQ(governed.log.find("WARNING"), std::string::npos);
+}
+
 TEST_F(CliRunTest, LatticeDotEmitted) {
   CliOptions opts;
   opts.csv_path = path_;

@@ -1,0 +1,171 @@
+#include "util/run_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace divexp {
+namespace {
+
+TEST(RunLimitsTest, DefaultIsUnlimited) {
+  RunLimits limits;
+  EXPECT_TRUE(limits.unlimited());
+  limits.deadline_ms = 1;
+  EXPECT_FALSE(limits.unlimited());
+  limits = RunLimits{};
+  limits.max_patterns = 1;
+  EXPECT_FALSE(limits.unlimited());
+  limits = RunLimits{};
+  limits.max_memory_mb = 1;
+  EXPECT_FALSE(limits.unlimited());
+}
+
+TEST(RunGuardTest, UnlimitedGuardNeverStops) {
+  RunGuard guard;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(guard.Tick());
+  }
+  EXPECT_TRUE(guard.AddMemory(1ull << 40));
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_EQ(guard.breach(), LimitBreach::kNone);
+  EXPECT_TRUE(guard.ToStatus().ok());
+}
+
+TEST(RunGuardTest, CancellationStopsTicks) {
+  RunGuard guard;
+  EXPECT_TRUE(guard.Tick());
+  guard.RequestCancel();
+  EXPECT_TRUE(guard.cancel_requested());
+  EXPECT_FALSE(guard.Tick());
+  EXPECT_TRUE(guard.hard_stopped());
+  EXPECT_EQ(guard.breach(), LimitBreach::kCancelled);
+  EXPECT_EQ(guard.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(RunGuardTest, CancellationIsStickyAcrossReset) {
+  RunGuard guard;
+  guard.RequestCancel();
+  EXPECT_FALSE(guard.Tick());
+  guard.Reset();
+  // The cancel request survives the reset.
+  EXPECT_FALSE(guard.Tick());
+  EXPECT_EQ(guard.breach(), LimitBreach::kCancelled);
+}
+
+TEST(RunGuardTest, DeadlineTripsAfterExpiry) {
+  RunLimits limits;
+  limits.deadline_ms = 1;
+  RunGuard guard(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The first Tick reads the clock, so expiry is noticed immediately.
+  EXPECT_FALSE(guard.Tick());
+  EXPECT_EQ(guard.breach(), LimitBreach::kDeadline);
+  EXPECT_EQ(guard.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  // Once latched, every further Tick fails without reading the clock.
+  EXPECT_FALSE(guard.Tick());
+}
+
+TEST(RunGuardTest, GenerousDeadlineDoesNotTrip) {
+  RunLimits limits;
+  limits.deadline_ms = 60000;
+  RunGuard guard(limits);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(guard.Tick());
+  EXPECT_FALSE(guard.stopped());
+}
+
+TEST(RunGuardTest, MemoryBudgetTripsAndLatches) {
+  RunLimits limits;
+  limits.max_memory_mb = 1;
+  RunGuard guard(limits);
+  EXPECT_TRUE(guard.AddMemory(512 * 1024));
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_FALSE(guard.AddMemory(1024 * 1024));
+  EXPECT_EQ(guard.breach(), LimitBreach::kMemoryBudget);
+  EXPECT_EQ(guard.ToStatus().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(guard.Tick());
+}
+
+TEST(RunGuardTest, SubMemoryTracksLiveAndPeak) {
+  RunGuard guard;
+  EXPECT_TRUE(guard.AddMemory(100));
+  EXPECT_TRUE(guard.AddMemory(50));
+  guard.SubMemory(100);
+  EXPECT_EQ(guard.memory_bytes(), 50u);
+  EXPECT_EQ(guard.peak_memory_bytes(), 150u);
+  guard.SubMemory(50);
+  EXPECT_EQ(guard.memory_bytes(), 0u);
+  EXPECT_EQ(guard.peak_memory_bytes(), 150u);
+}
+
+TEST(RunGuardTest, PatternBudgetBreachIsSoft) {
+  RunLimits limits;
+  limits.max_patterns = 10;
+  RunGuard guard(limits);
+  guard.NotePatternBudgetBreach();
+  // Soft breach: reported, but does not hard-stop other shards.
+  EXPECT_TRUE(guard.stopped());
+  EXPECT_FALSE(guard.hard_stopped());
+  EXPECT_TRUE(guard.Tick());
+  EXPECT_EQ(guard.breach(), LimitBreach::kPatternBudget);
+  EXPECT_EQ(guard.ToStatus().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RunGuardTest, HardBreachTakesPrecedenceOverBudget) {
+  RunGuard guard;
+  guard.NotePatternBudgetBreach();
+  guard.RequestCancel();
+  guard.Tick();
+  EXPECT_EQ(guard.breach(), LimitBreach::kCancelled);
+}
+
+TEST(RunGuardTest, FirstHardBreachWins) {
+  RunLimits limits;
+  limits.max_memory_mb = 1;
+  RunGuard guard(limits);
+  EXPECT_FALSE(guard.AddMemory(2 * 1024 * 1024));
+  guard.RequestCancel();
+  guard.Tick();
+  EXPECT_EQ(guard.breach(), LimitBreach::kMemoryBudget);
+}
+
+TEST(RunGuardTest, ResetClearsBreachAndCounters) {
+  RunLimits limits;
+  limits.max_memory_mb = 1;
+  RunGuard guard(limits);
+  EXPECT_FALSE(guard.AddMemory(2 * 1024 * 1024));
+  EXPECT_TRUE(guard.stopped());
+  guard.Reset();
+  EXPECT_FALSE(guard.stopped());
+  EXPECT_EQ(guard.memory_bytes(), 0u);
+  EXPECT_EQ(guard.peak_memory_bytes(), 0u);
+  EXPECT_TRUE(guard.Tick());
+  EXPECT_TRUE(guard.AddMemory(100));
+}
+
+TEST(RunGuardTest, CancelFromAnotherThreadIsObserved) {
+  RunGuard guard;
+  std::thread canceller([&guard] { guard.RequestCancel(); });
+  canceller.join();
+  EXPECT_FALSE(guard.Tick());
+  EXPECT_EQ(guard.breach(), LimitBreach::kCancelled);
+}
+
+TEST(RunGuardTest, ElapsedMsIsMonotonic) {
+  RunGuard guard;
+  const double t0 = guard.elapsed_ms();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(guard.elapsed_ms(), t0);
+}
+
+TEST(LimitBreachTest, Names) {
+  EXPECT_STREQ(LimitBreachName(LimitBreach::kNone), "none");
+  EXPECT_STREQ(LimitBreachName(LimitBreach::kCancelled), "cancelled");
+  EXPECT_STREQ(LimitBreachName(LimitBreach::kDeadline), "deadline");
+  EXPECT_STREQ(LimitBreachName(LimitBreach::kPatternBudget),
+               "pattern-budget");
+  EXPECT_STREQ(LimitBreachName(LimitBreach::kMemoryBudget),
+               "memory-budget");
+}
+
+}  // namespace
+}  // namespace divexp

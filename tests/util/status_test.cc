@@ -27,6 +27,19 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, LimitCodesRenderTheirNames) {
+  EXPECT_EQ(Status::Cancelled("c").ToString(), "Cancelled: c");
+  EXPECT_EQ(Status::DeadlineExceeded("d").ToString(),
+            "DeadlineExceeded: d");
+  EXPECT_EQ(Status::ResourceExhausted("r").ToString(),
+            "ResourceExhausted: r");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -64,6 +64,16 @@ Result<MinerKind> ParseMinerKind(const std::string& name) {
       "unknown miner '" + name + "' (use fpgrowth, apriori, eclat)");
 }
 
+Result<LimitAction> ParseLimitAction(const std::string& name) {
+  for (LimitAction action : {LimitAction::kFail, LimitAction::kTruncate,
+                             LimitAction::kEscalate}) {
+    if (name == LimitActionName(action)) return action;
+  }
+  return Status::InvalidArgument(
+      "unknown limit action '" + name +
+      "' (use fail, truncate, escalate)");
+}
+
 Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
   CliOptions opts;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -133,6 +143,30 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
     } else if (arg == "--miner") {
       DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
       DIVEXP_ASSIGN_OR_RETURN(opts.miner, ParseMinerKind(name));
+    } else if (arg == "--deadline-ms") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long d, ParseInt(arg, v));
+      if (d < 0) {
+        return Status::InvalidArgument("--deadline-ms must be >= 0");
+      }
+      opts.deadline_ms = static_cast<int64_t>(d);
+    } else if (arg == "--max-patterns") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long p, ParseInt(arg, v));
+      if (p < 0) {
+        return Status::InvalidArgument("--max-patterns must be >= 0");
+      }
+      opts.max_patterns = static_cast<uint64_t>(p);
+    } else if (arg == "--max-memory-mb") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long m, ParseInt(arg, v));
+      if (m < 0) {
+        return Status::InvalidArgument("--max-memory-mb must be >= 0");
+      }
+      opts.max_memory_mb = static_cast<uint64_t>(m);
+    } else if (arg == "--on-limit") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.on_limit, ParseLimitAction(name));
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -173,7 +207,16 @@ std::string UsageString() {
       "  --export FILE      write the full pattern table as CSV\n"
       "  --miner NAME       fpgrowth (default), apriori, or eclat\n"
       "  --threads N        worker threads for mining (default: 1)\n"
-      "  --report FILE      write a composed markdown audit report\n";
+      "  --report FILE      write a composed markdown audit report\n"
+      "\n"
+      "resource limits (0 = unlimited):\n"
+      "  --deadline-ms MS   wall-clock budget for the exploration run\n"
+      "  --max-patterns N   stop after emitting N frequent patterns\n"
+      "  --max-memory-mb M  approximate working-memory budget\n"
+      "  --on-limit MODE    fail (default), truncate, or escalate\n"
+      "                     fail: return an error when a limit trips\n"
+      "                     truncate: return the partial pattern table\n"
+      "                     escalate: retry at higher min-support\n";
 }
 
 Result<std::vector<std::pair<std::string, std::string>>> ParsePattern(

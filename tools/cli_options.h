@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/explorer.h"
 #include "core/outcome.h"
 #include "fpm/miner.h"
 #include "util/status.h"
@@ -38,6 +39,12 @@ struct CliOptions {
   MinerKind miner = MinerKind::kFpGrowth;
   /// Worker threads for mining.
   size_t num_threads = 1;
+  /// Resource limits for the exploration run (0 = unlimited).
+  int64_t deadline_ms = 0;
+  uint64_t max_patterns = 0;
+  uint64_t max_memory_mb = 0;
+  /// What to do when a limit trips: fail, truncate or escalate.
+  LimitAction on_limit = LimitAction::kFail;
   bool show_help = false;
 };
 
@@ -46,6 +53,9 @@ Result<Metric> ParseMetric(const std::string& name);
 
 /// Parses a miner name ("fpgrowth", "apriori", "eclat").
 Result<MinerKind> ParseMinerKind(const std::string& name);
+
+/// Parses a limit action ("fail", "truncate", "escalate").
+Result<LimitAction> ParseLimitAction(const std::string& name);
 
 /// Parses argv (excluding argv[0]). Returns InvalidArgument with a
 /// usage-oriented message on bad input.

@@ -93,15 +93,30 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   eopts.min_support = opts.min_support;
   eopts.miner = opts.miner;
   eopts.num_threads = opts.num_threads;
+  eopts.limits.deadline_ms = opts.deadline_ms;
+  eopts.limits.max_patterns = opts.max_patterns;
+  eopts.limits.max_memory_mb = opts.max_memory_mb;
+  eopts.on_limit = opts.on_limit;
   DivergenceExplorer explorer(eopts);
   DIVEXP_ASSIGN_OR_RETURN(
       PatternTable table,
       explorer.Explore(encoded, preds, truths, opts.metric));
 
+  const ExplorerRunStats& stats = explorer.last_run_stats();
+  if (stats.truncated) {
+    log << "WARNING: exploration truncated ("
+        << LimitBreachName(stats.reason)
+        << "); results below are a partial view\n";
+  }
+  if (stats.escalations > 0) {
+    log << "min-support escalated " << stats.escalations << "x to "
+        << stats.effective_min_support << " to fit the limits\n";
+  }
+
   const std::string label = std::string("d_") + MetricName(opts.metric);
-  out << (table.size() - 1) << " frequent patterns (s=" << opts.min_support
-      << "); " << MetricName(opts.metric) << "(D)=" << table.global_rate()
-      << "\n\n";
+  out << (table.size() - 1) << " frequent patterns (s="
+      << stats.effective_min_support << "); " << MetricName(opts.metric)
+      << "(D)=" << table.global_rate() << "\n\n";
 
   std::vector<size_t> shown;
   if (opts.epsilon >= 0.0) {
