@@ -5,14 +5,97 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/explorer.h"
 #include "data/encoder.h"
 #include "datasets/datasets.h"
+#include "obs/json.h"
 
 namespace divexp {
 namespace bench {
+
+/// One machine-readable benchmark measurement (schema of the
+/// BENCH_*.json files validated by obs::ValidateBenchJson and the CI
+/// bench smoke step; see docs/observability.md).
+struct BenchRecord {
+  std::string name;     ///< e.g. "fig6/compas/s=0.05"
+  std::string dataset;  ///< dataset name alone
+  double min_support = 0.0;
+  double wall_ms = 0.0;
+  double mining_ms = 0.0;
+  double divergence_ms = 0.0;
+  uint64_t patterns = 0;
+};
+
+/// Process-wide accumulator the experiment binaries push records into;
+/// main() flushes it with WriteBenchJson before exiting.
+inline std::vector<BenchRecord>& BenchRecords() {
+  static std::vector<BenchRecord>* records =
+      new std::vector<BenchRecord>();
+  return *records;
+}
+
+/// Records a measurement, replacing any earlier record with the same
+/// name (Google Benchmark re-invokes a function while calibrating the
+/// iteration count; the last run is the measured one).
+inline void UpsertBenchRecord(BenchRecord record) {
+  for (BenchRecord& r : BenchRecords()) {
+    if (r.name == record.name) {
+      r = std::move(record);
+      return;
+    }
+  }
+  BenchRecords().push_back(std::move(record));
+}
+
+/// Serializes the accumulated records. `benchmark` names the
+/// experiment ("fig6_runtime"); output matches obs::ValidateBenchJson.
+inline std::string BenchRecordsToJson(const std::string& benchmark) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(int64_t{obs::kMetricsSchemaVersion});
+  w.Key("benchmark").Value(benchmark);
+  w.Key("records").BeginArray();
+  for (const BenchRecord& r : BenchRecords()) {
+    w.BeginObject();
+    w.Key("name").Value(r.name);
+    w.Key("dataset").Value(r.dataset);
+    w.Key("min_support").Value(r.min_support);
+    w.Key("wall_ms").Value(r.wall_ms);
+    w.Key("mining_ms").Value(r.mining_ms);
+    w.Key("divergence_ms").Value(r.divergence_ms);
+    w.Key("patterns").Value(r.patterns);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+/// Writes BENCH_<suffix>.json with every accumulated record. The
+/// directory comes from $DIVEXP_BENCH_JSON_DIR (default: cwd); setting
+/// $DIVEXP_BENCH_JSON_DIR=- disables the file entirely. No-op when no
+/// records were collected (e.g. a --benchmark_filter matched nothing).
+inline void WriteBenchJson(const std::string& benchmark,
+                           const std::string& suffix) {
+  if (BenchRecords().empty()) return;
+  const char* dir = std::getenv("DIVEXP_BENCH_JSON_DIR");
+  if (dir != nullptr && std::string(dir) == "-") return;
+  std::string path = dir != nullptr && dir[0] != '\0'
+                         ? std::string(dir) + "/"
+                         : std::string();
+  path += "BENCH_" + suffix + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << BenchRecordsToJson(benchmark) << "\n";
+  std::fprintf(stderr, "benchmark records written to %s\n", path.c_str());
+}
 
 /// Builds a dataset by name and guarantees predictions exist (training
 /// the stand-in random forest if needed). Aborts with a message on

@@ -6,6 +6,7 @@
 // mining, divergence + significance for every frequent itemset.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 #include <memory>
 
@@ -34,20 +35,38 @@ const Prepared& GetPrepared(const std::string& name) {
   return *it->second;
 }
 
-void BM_DivExplorer(benchmark::State& state, const std::string& name,
-                    double support) {
+void BM_DivExplorer(benchmark::State& state, const std::string& bench_name,
+                    const std::string& name, double support) {
   const Prepared& p = GetPrepared(name);
   size_t patterns = 0;
+  ExplorerTimings timings;
+  double wall_ms = 0.0;
+  size_t iterations = 0;
   for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
     const PatternTable table =
         Explore(p.encoded, p.dataset, Metric::kFalsePositiveRate,
-                support);
+                support, MinerKind::kFpGrowth, &timings);
+    wall_ms += std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+    ++iterations;
     patterns = table.size();
     benchmark::DoNotOptimize(patterns);
   }
   state.counters["patterns"] =
       static_cast<double>(patterns > 0 ? patterns - 1 : 0);
   state.counters["support"] = support;
+
+  BenchRecord record;
+  record.name = bench_name;
+  record.dataset = name;
+  record.min_support = support;
+  record.wall_ms = iterations > 0 ? wall_ms / iterations : 0.0;
+  record.mining_ms = timings.mining_seconds * 1e3;
+  record.divergence_ms = timings.divergence_seconds * 1e3;
+  record.patterns = patterns > 0 ? patterns - 1 : 0;
+  UpsertBenchRecord(std::move(record));
 }
 
 }  // namespace
@@ -60,8 +79,8 @@ int main(int argc, char** argv) {
           "fig6/" + name + "/s=" + FormatDouble(s, 2);
       benchmark::RegisterBenchmark(
           bench_name.c_str(),
-          [name, s](benchmark::State& state) {
-            BM_DivExplorer(state, name, s);
+          [bench_name, name, s](benchmark::State& state) {
+            BM_DivExplorer(state, bench_name, name, s);
           })
           ->Unit(benchmark::kMillisecond)
           ->MinTime(0.2);
@@ -70,5 +89,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  WriteBenchJson("fig6_runtime", "runtime");
   return 0;
 }

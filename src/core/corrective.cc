@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
+
 namespace divexp {
 
 std::vector<CorrectiveItem> FindCorrectiveItems(
     const PatternTable& table, const CorrectiveOptions& options) {
+  obs::ScopedSpan span(obs::kStageCorrective);
   std::vector<CorrectiveItem> out;
   // Every frequent superset K = I ∪ {α} defines |K| candidate pairs
   // (drop each item in turn); enumerating supersets guarantees both

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace divexp {
@@ -63,9 +65,18 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
         "outcomes length " + std::to_string(outcomes.size()) +
         " != dataset rows " + std::to_string(dataset.num_rows));
   }
-  DIVEXP_ASSIGN_OR_RETURN(
-      TransactionDatabase db,
-      TransactionDatabase::Create(dataset, std::move(outcomes)));
+  obs::ScopedSpan explore_span("explore");
+  obs::StageCollector stages;
+
+  TransactionDatabase db;
+  {
+    obs::StageTimer timer(&stages, obs::kStageTransactions);
+    obs::ScopedSpan span(obs::kStageTransactions);
+    DIVEXP_ASSIGN_OR_RETURN(
+        db, TransactionDatabase::Create(dataset, std::move(outcomes)));
+    timer.AddItems(dataset.num_rows);
+    timer.SetPeakBytes(db.MemoryBytes());
+  }
 
   std::unique_ptr<FrequentPatternMiner> miner = MakeMiner(options_.miner);
   if (miner == nullptr) {
@@ -94,6 +105,7 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     mopts.max_length = options_.max_length;
     mopts.num_threads = options_.num_threads;
     mopts.guard = guard;
+    mopts.stages = &stages;
 
     Stopwatch sw;
     DIVEXP_ASSIGN_OR_RETURN(std::vector<MinedPattern> mined,
@@ -106,10 +118,29 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     }
 
     sw.Restart();
+    const size_t mined_count = mined.size();
+    const uint64_t div_checks0 =
+        guard != nullptr ? guard->check_count() : 0;
+    obs::StageTimer div_timer(&stages, obs::kStageDivergence);
+    obs::ScopedSpan div_span(obs::kStageDivergence);
     Result<PatternTable> table = PatternTable::Create(
         std::move(mined), dataset.catalog, dataset.num_rows, guard);
+    div_timer.AddItems(mined_count);
+    if (guard != nullptr) {
+      div_timer.AddGuardChecks(guard->check_count() - div_checks0);
+    }
+    div_timer.Finish();
+    div_span.End();
     timings_.divergence_seconds = sw.Seconds();
     if (!table.ok()) return table;
+
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    reg.GetCounter("explore.attempts")->Add(1);
+    reg.GetHistogram("explore.mining_ms")
+        ->Record(static_cast<uint64_t>(timings_.mining_seconds * 1e3));
+    reg.GetHistogram("explore.divergence_ms")
+        ->Record(
+            static_cast<uint64_t>(timings_.divergence_seconds * 1e3));
 
     stats_.patterns = table->size() > 0 ? table->size() - 1 : 0;
     stats_.effective_min_support = support;
@@ -118,10 +149,24 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
       stats_.peak_memory_bytes = guard->peak_memory_bytes();
     }
     stats_.elapsed_ms = total.Millis();
+    stats_.stages = stages.stages();
+
+    // Run-level metrics for the table-returning exits below; the
+    // escalation `break` never reaches a return, so re-invoking this on
+    // a later attempt overwrites nothing (counters only ever add).
+    auto record_run = [&]() {
+      reg.GetCounter("explore.runs")->Add(1);
+      reg.GetCounter("explore.patterns")->Add(stats_.patterns);
+      reg.GetGauge("explore.peak_memory_bytes")
+          ->UpdateMax(static_cast<int64_t>(stats_.peak_memory_bytes));
+    };
 
     const LimitBreach breach =
         guard != nullptr ? guard->breach() : LimitBreach::kNone;
-    if (breach == LimitBreach::kNone) return table;
+    if (breach == LimitBreach::kNone) {
+      record_run();
+      return table;
+    }
     // Cancellation never degrades to a partial result or a retry: the
     // caller asked for the run to stop, not for a smaller answer.
     if (breach == LimitBreach::kCancelled) return guard->ToStatus();
@@ -133,11 +178,13 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
       case LimitAction::kTruncate:
         stats_.truncated = true;
         stats_.reason = breach;
+        record_run();
         return table;
       case LimitAction::kEscalate: {
         if (attempt >= options_.max_escalations || support >= 1.0) {
           stats_.truncated = true;
           stats_.reason = breach;
+          record_run();
           return table;
         }
         support = std::min(1.0, support * options_.escalate_factor);

@@ -14,6 +14,7 @@
 #include "core/pattern.h"
 #include "data/encoder.h"
 #include "fpm/miner.h"
+#include "obs/stage.h"
 #include "util/run_guard.h"
 #include "util/status.h"
 
@@ -95,6 +96,11 @@ struct ExplorerRunStats {
   /// The min_support of the returned table (> options.min_support
   /// after escalation).
   double effective_min_support = 0.0;
+  /// Per-stage breakdown (transaction build, miner build/grow phases,
+  /// divergence post-pass), merged by stage name across escalation
+  /// attempts. The CLI folds these into its run-level summary table
+  /// and --metrics-json output.
+  std::vector<obs::StageStats> stages;
 };
 
 /// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
+
 namespace divexp {
 namespace {
 
@@ -30,6 +33,7 @@ long double DomainProduct(const ItemCatalog& catalog, const Itemset& k) {
 
 std::vector<GlobalItemDivergence> ComputeGlobalItemDivergence(
     const PatternTable& table) {
+  obs::ScopedSpan span(obs::kStageGlobal);
   const ItemCatalog& catalog = table.catalog();
   const size_t num_attrs = catalog.num_attributes();
   const std::vector<long double> fact = Factorials(num_attrs);

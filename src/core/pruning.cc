@@ -2,10 +2,14 @@
 
 #include <cmath>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
+
 namespace divexp {
 
 std::vector<size_t> RedundancyPrune(const PatternTable& table,
                                     double epsilon) {
+  obs::ScopedSpan span(obs::kStagePrune);
   std::vector<size_t> kept;
   for (size_t i = 0; i < table.size(); ++i) {
     const PatternRow& row = table.row(i);

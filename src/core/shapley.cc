@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
+
 namespace divexp {
 namespace {
 
@@ -16,6 +19,7 @@ double Factorial(size_t n) {
 
 Result<std::vector<ItemContribution>> ShapleyContributions(
     const PatternTable& table, const Itemset& items) {
+  obs::ScopedSpan span(obs::kStageShapley);
   if (!table.Contains(items)) {
     return Status::NotFound("itemset not in pattern table: " +
                             ItemsetDebugString(items));

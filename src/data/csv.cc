@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace divexp {
@@ -193,6 +195,7 @@ Result<DataFrame> ReadCsvString(const std::string& text,
 
 Result<DataFrame> ReadCsvFile(const std::string& path,
                               const CsvOptions& options) {
+  obs::ScopedSpan span(obs::kStageCsvLoad);
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream buf;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace divexp {
@@ -140,6 +142,7 @@ Result<DataFrame> Discretize(const DataFrame& df,
 
 Result<DataFrame> DiscretizeAll(const DataFrame& df, BinStrategy strategy,
                                 int num_bins) {
+  obs::ScopedSpan span(obs::kStageDiscretize);
   std::vector<DiscretizeSpec> specs;
   for (size_t c = 0; c < df.num_columns(); ++c) {
     const Column& col = df.GetAt(c);

@@ -1,5 +1,8 @@
 #include "data/encoder.h"
 
+#include "obs/stage.h"
+#include "obs/trace.h"
+
 namespace divexp {
 
 uint32_t ItemCatalog::AddAttribute(std::string name,
@@ -75,6 +78,7 @@ std::vector<size_t> EncodedDataset::Cover(
 }
 
 Result<EncodedDataset> EncodeDataFrame(const DataFrame& df) {
+  obs::ScopedSpan span(obs::kStageEncode);
   if (df.num_columns() == 0) {
     return Status::InvalidArgument("cannot encode an empty DataFrame");
   }

@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "fpm/bitmap.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace divexp {
@@ -50,6 +52,21 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
   out.push_back(MinedPattern{Itemset{}, db.totals()});
   if (n == 0) return out;
 
+  // Stage accounting: build covers the vertical bitmap scan, grow the
+  // level-wise candidate loop (including singleton emission).
+  obs::StageTimer build_timer(options.stages, obs::kStageMineBuild);
+  obs::ScopedSpan build_span(obs::kStageMineBuild);
+  const uint64_t build_checks0 =
+      guard != nullptr ? guard->check_count() : 0;
+  auto close_build = [&](uint64_t bytes) {
+    build_timer.SetPeakBytes(bytes);
+    if (guard != nullptr) {
+      build_timer.AddGuardChecks(guard->check_count() - build_checks0);
+    }
+    build_timer.Finish();
+    build_span.End();
+  };
+
   // Single data scan: vertical bitmaps for every item + outcome masks.
   Bitmap t_mask(n);
   Bitmap f_mask(n);
@@ -61,11 +78,13 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
   const uint64_t item_rows_bytes = db.num_items() * bm_bytes;
   if (guard != nullptr && !guard->AddMemory(item_rows_bytes)) {
     guard->SubMemory(item_rows_bytes);
+    close_build(item_rows_bytes);
     return out;
   }
   for (size_t r = 0; r < n; ++r) {
     if (guard != nullptr && !guard->Tick()) {
       guard->SubMemory(item_rows_bytes);
+      close_build(item_rows_bytes);
       return out;
     }
     const uint32_t* row = db.row(r);
@@ -73,6 +92,13 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
       item_rows[row[a]].Set(r);
     }
   }
+  build_timer.AddItems(n);
+  close_build(item_rows_bytes);
+
+  obs::StageTimer grow_timer(options.stages, obs::kStageMineGrow);
+  obs::ScopedSpan grow_span(obs::kStageMineGrow);
+  const uint64_t grow_checks0 =
+      guard != nullptr ? guard->check_count() : 0;
 
   auto tally = [&](const Bitmap& rows) {
     OutcomeCounts c;
@@ -142,6 +168,8 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
       guard->SubMemory(candidates.size() * bm_bytes);
       break;
     }
+    grow_timer.SetPeakBytes(live_level_bytes +
+                            candidates.size() * bm_bytes);
 
     // Support counting (bitmap AND + popcounts) is the expensive part
     // and is embarrassingly parallel across candidates.
@@ -186,6 +214,10 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     ++k;
   }
   if (guard != nullptr) guard->SubMemory(live_level_bytes);
+  grow_timer.AddItems(ctrl.emitted());
+  if (guard != nullptr) {
+    grow_timer.AddGuardChecks(guard->check_count() - grow_checks0);
+  }
   return out;
 }
 

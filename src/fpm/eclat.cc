@@ -5,6 +5,8 @@
 #include <iterator>
 #include <string>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace divexp {
@@ -122,15 +124,34 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
   out.push_back(MinedPattern{Itemset{}, db.totals()});
   if (n == 0) return out;
 
+  // Stage accounting: build covers the vertical scan + root tid-lists,
+  // grow covers the depth-first enumeration.
+  obs::StageTimer build_timer(options.stages, obs::kStageMineBuild);
+  obs::ScopedSpan build_span(obs::kStageMineBuild);
+  const uint64_t build_checks0 =
+      guard != nullptr ? guard->check_count() : 0;
+  auto close_build = [&](uint64_t bytes) {
+    build_timer.SetPeakBytes(bytes);
+    if (guard != nullptr) {
+      build_timer.AddGuardChecks(guard->check_count() - build_checks0);
+    }
+    build_timer.Finish();
+    build_span.End();
+  };
+
   // One scan: vertical tid-lists (sorted by construction).
   std::vector<TidList> tids(db.num_items());
   for (size_t r = 0; r < n; ++r) {
-    if (guard != nullptr && !guard->Tick()) return out;
+    if (guard != nullptr && !guard->Tick()) {
+      close_build(0);
+      return out;
+    }
     const uint32_t* row = db.row(r);
     for (size_t a = 0; a < db.num_attributes(); ++a) {
       tids[row[a]].push_back(static_cast<uint32_t>(r));
     }
   }
+  build_timer.AddItems(n);
   std::vector<EclatItem> roots;
   for (uint32_t id = 0; id < db.num_items(); ++id) {
     if (tids[id].size() < min_count) continue;
@@ -141,15 +162,33 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
     roots.push_back(std::move(item));
   }
   tids.clear();
-  const uint64_t root_bytes = guard != nullptr ? TidListBytes(roots) : 0;
+  const uint64_t root_bytes = TidListBytes(roots);
   if (guard != nullptr && !guard->AddMemory(root_bytes)) {
     guard->SubMemory(root_bytes);
+    close_build(root_bytes);
     return out;
   }
+  close_build(root_bytes);
+
+  obs::StageTimer grow_timer(options.stages, obs::kStageMineGrow);
+  obs::ScopedSpan grow_span(obs::kStageMineGrow);
+  const uint64_t grow_checks0 =
+      guard != nullptr ? guard->check_count() : 0;
+  auto close_grow = [&]() {
+    grow_timer.AddItems(out.size() - 1);  // non-empty patterns emitted
+    if (guard != nullptr) {
+      grow_timer.SetPeakBytes(guard->peak_memory_bytes());
+      grow_timer.AddGuardChecks(guard->check_count() - grow_checks0);
+    }
+    grow_timer.Finish();
+    grow_span.End();
+  };
+
   if (options.num_threads <= 1) {
     MineControl ctrl(guard);
     Grow(db, Itemset{}, roots, min_count, options.max_length, &ctrl, &out);
     if (guard != nullptr) guard->SubMemory(root_bytes);
+    close_grow();
     return out;
   }
   // Parallel mode: each root item's subtree is independent; concatenate
@@ -174,6 +213,7 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
                std::make_move_iterator(chunk.end()));
   }
   EnforcePatternBudget(guard, &out);
+  close_grow();
   return out;
 }
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/stage.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace divexp {
@@ -196,6 +198,24 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
   out.push_back(MinedPattern{Itemset{}, db.totals()});
   if (n == 0) return out;
 
+  // Stage accounting: build covers both data passes (tallies + tree
+  // insertion), grow covers the enumeration. Truncated runs record
+  // whatever the timers saw so far (the RAII destructors fire on every
+  // return path).
+  FpTree tree;
+  obs::StageTimer build_timer(options.stages, obs::kStageMineBuild);
+  obs::ScopedSpan build_span(obs::kStageMineBuild);
+  const uint64_t build_checks0 =
+      guard != nullptr ? guard->check_count() : 0;
+  auto close_build = [&]() {
+    build_timer.SetPeakBytes(tree.MemoryBytes());
+    if (guard != nullptr) {
+      build_timer.AddGuardChecks(guard->check_count() - build_checks0);
+    }
+    build_timer.Finish();
+    build_span.End();
+  };
+
   // Pass 1: global item tallies.
   std::vector<OutcomeCounts> item_totals(db.num_items());
   for (size_t r = 0; r < n; ++r) {
@@ -216,20 +236,26 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
       item_totals[row[a]] += delta;
     }
   }
+  build_timer.AddItems(n);
   std::vector<std::pair<uint32_t, OutcomeCounts>> freq_items;
   for (uint32_t id = 0; id < db.num_items(); ++id) {
     if (item_totals[id].total() >= min_count) {
       freq_items.emplace_back(id, item_totals[id]);
     }
   }
-  if (freq_items.empty()) return out;
+  if (freq_items.empty()) {
+    close_build();
+    return out;
+  }
 
   // Pass 2: build the FP-tree with outcome deltas on every node.
-  FpTree tree;
   tree.SetItems(std::move(freq_items));
   std::vector<uint32_t> items;
   for (size_t r = 0; r < n; ++r) {
-    if (guard != nullptr && !guard->Tick()) return out;
+    if (guard != nullptr && !guard->Tick()) {
+      close_build();
+      return out;
+    }
     OutcomeCounts delta;
     switch (db.outcome(r)) {
       case Outcome::kTrue:
@@ -246,16 +272,34 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
     tree.Insert(items, delta);
   }
 
+  build_timer.AddItems(n);
   const uint64_t tree_bytes = tree.MemoryBytes();
   if (guard != nullptr && !guard->AddMemory(tree_bytes)) {
     guard->SubMemory(tree_bytes);
+    close_build();
     return out;
   }
+  close_build();
+
+  obs::StageTimer grow_timer(options.stages, obs::kStageMineGrow);
+  obs::ScopedSpan grow_span(obs::kStageMineGrow);
+  const uint64_t grow_checks0 =
+      guard != nullptr ? guard->check_count() : 0;
+  auto close_grow = [&]() {
+    grow_timer.AddItems(out.size() - 1);  // non-empty patterns emitted
+    if (guard != nullptr) {
+      grow_timer.SetPeakBytes(guard->peak_memory_bytes());
+      grow_timer.AddGuardChecks(guard->check_count() - grow_checks0);
+    }
+    grow_timer.Finish();
+    grow_span.End();
+  };
 
   if (options.num_threads <= 1) {
     MineControl ctrl(guard);
     MineTree(tree, Itemset{}, min_count, options.max_length, &ctrl, &out);
     if (guard != nullptr) guard->SubMemory(tree_bytes);
+    close_grow();
     return out;
   }
 
@@ -286,6 +330,7 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
                std::make_move_iterator(chunk.end()));
   }
   EnforcePatternBudget(guard, &out);
+  close_grow();
   return out;
 }
 

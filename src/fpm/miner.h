@@ -10,6 +10,7 @@
 
 #include "fpm/itemset.h"
 #include "fpm/transactions.h"
+#include "obs/stage.h"
 #include "util/run_guard.h"
 #include "util/status.h"
 
@@ -37,6 +38,12 @@ struct MinerOptions {
   /// callers wanting fail-fast map guard->ToStatus() themselves (the
   /// DivergenceExplorer does this based on its on_limit mode).
   RunGuard* guard = nullptr;
+  /// Optional per-stage accounting sink (non-owning; must outlive the
+  /// Mine call). Miners record kStageMineBuild (structure construction:
+  /// FP-tree / tid-lists / item bitmaps) and kStageMineGrow (the
+  /// enumeration proper) into it. Only the coordinating thread touches
+  /// the collector; workers report through aggregate numbers.
+  obs::StageCollector* stages = nullptr;
 };
 
 /// Which mining algorithm backs a DivergenceExplorer run.
@@ -88,7 +95,10 @@ class MineControl {
   /// Returns false when this shard must stop mining.
   bool Emit(size_t num_items) {
     if (stop_) return false;
-    if (guard_ == nullptr) return true;
+    if (guard_ == nullptr) {
+      ++emitted_;
+      return true;
+    }
     if (budget_ != 0 && emitted_ >= budget_) {
       guard_->NotePatternBudgetBreach();
       stop_ = true;
@@ -103,6 +113,10 @@ class MineControl {
     ++emitted_;
     return true;
   }
+
+  /// Patterns emitted through this control so far (plain member read;
+  /// each shard owns its control, so no synchronization is needed).
+  uint64_t emitted() const { return emitted_; }
 
   /// Cheap hard-stop check for loop heads and recursion entries.
   bool stopped() {

@@ -75,6 +75,13 @@ class TransactionDatabase {
   /// Tallies over the whole dataset (the empty itemset's counts).
   const OutcomeCounts& totals() const { return totals_; }
 
+  /// Approximate heap footprint, for stage-level accounting.
+  uint64_t MemoryBytes() const {
+    return cells_.capacity() * sizeof(uint32_t) +
+           outcomes_.capacity() * sizeof(Outcome) +
+           attr_of_item_.capacity() * sizeof(uint32_t);
+  }
+
  private:
   size_t num_rows_ = 0;
   size_t num_attributes_ = 0;

@@ -1,0 +1,584 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace divexp {
+namespace obs {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.back()) out_ += ',';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  has_element_.back() = true;
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  has_element_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  has_element_.back() = true;
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  has_element_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  if (has_element_.back()) out_ += ',';
+  out_ += JsonQuote(name);
+  out_ += ':';
+  has_element_.back() = true;
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  Separate();
+  has_element_.back() = true;
+  out_ += JsonQuote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) {
+  return Value(std::string(v));
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  has_element_.back() = true;
+  if (!std::isfinite(v)) {
+    // JSON has no Infinity/NaN; clamp to null, which validators treat
+    // as "unmeasured".
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  Separate();
+  has_element_.back() = true;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  Separate();
+  has_element_.back() = true;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  has_element_.back() = true;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+std::string MetricsReportToJson(const MetricsReport& report) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(int64_t{kMetricsSchemaVersion});
+
+  w.Key("run").BeginObject();
+  w.Key("tool").Value(report.run.tool);
+  w.Key("elapsed_ms").Value(report.run.elapsed_ms);
+  w.Key("patterns").Value(report.run.patterns);
+  w.Key("peak_memory_bytes").Value(report.run.peak_memory_bytes);
+  w.Key("truncated").Value(report.run.truncated);
+  w.Key("breach").Value(report.run.breach);
+  w.Key("effective_min_support").Value(report.run.effective_min_support);
+  w.Key("escalations").Value(report.run.escalations);
+  w.EndObject();
+
+  w.Key("stages").BeginArray();
+  for (const StageStats& s : report.stages) {
+    w.BeginObject();
+    w.Key("name").Value(s.name);
+    w.Key("wall_ms").Value(s.wall_ms);
+    w.Key("items").Value(s.items);
+    w.Key("peak_bytes").Value(s.peak_bytes);
+    w.Key("guard_checks").Value(s.guard_checks);
+    w.Key("calls").Value(s.calls);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : report.metrics.counters) {
+    w.Key(name).Value(value);
+  }
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : report.metrics.gauges) {
+    w.Key(name).Value(value);
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, data] : report.metrics.histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Value(data.count);
+    w.Key("sum").Value(data.sum);
+    w.Key("buckets").BeginArray();
+    for (uint64_t b : data.buckets) w.Value(b);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.Key("spans").BeginArray();
+  for (const SpanStats& s : report.spans) {
+    w.BeginObject();
+    w.Key("name").Value(s.name);
+    w.Key("parent").Value(s.parent);
+    w.Key("count").Value(s.count);
+    w.Key("total_ns").Value(s.total_ns);
+    w.Key("min_ns").Value(s.min_ns);
+    w.Key("max_ns").Value(s.max_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    DIVEXP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipWhitespace();
+    if (depth_ > 64) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++depth_;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (Consume('}')) {
+      --depth_;
+      return out;
+    }
+    while (true) {
+      SkipWhitespace();
+      DIVEXP_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      if (!Consume(':')) return Error("expected ':' in object");
+      DIVEXP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.object.emplace(std::move(key.string), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    --depth_;
+    return out;
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++depth_;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (Consume(']')) {
+      --depth_;
+      return out;
+    }
+    while (true) {
+      DIVEXP_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      out.array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    --depth_;
+    return out;
+  }
+
+  Result<JsonValue> ParseString() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out.string += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.string += esc;
+          break;
+        case 'n':
+          out.string += '\n';
+          break;
+        case 'r':
+          out.string += '\r';
+          break;
+        case 't':
+          out.string += '\t';
+          break;
+        case 'b':
+          out.string += '\b';
+          break;
+        case 'f':
+          out.string += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad \\u escape");
+            }
+          }
+          // Our own writer only emits \u00xx; decode BMP code points
+          // as UTF-8 for completeness.
+          if (code < 0x80) {
+            out.string += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out.string += static_cast<char>(0xC0 | (code >> 6));
+            out.string += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out.string += static_cast<char>(0xE0 | (code >> 12));
+            out.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out.string += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return out;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return out;
+    }
+    return Error("expected boolean");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Error("expected null");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' ||
+                 c == '+') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return Error("expected number");
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::strtod(text_.c_str() + start, nullptr);
+    return out;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+Status Violation(const std::string& rule) {
+  return Status::InvalidArgument("schema violation: " + rule);
+}
+
+Status RequireNumber(const JsonValue& obj, const std::string& key,
+                     const std::string& context) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Violation(context + " must have numeric '" + key + "'");
+  }
+  return Status::OK();
+}
+
+Status RequireString(const JsonValue& obj, const std::string& key,
+                     const std::string& context) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Violation(context + " must have string '" + key + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Status ValidateMetricsJson(const std::string& text,
+                           const std::vector<std::string>& required_stages) {
+  DIVEXP_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  if (!doc.is_object()) return Violation("document must be an object");
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->number != kMetricsSchemaVersion) {
+    return Violation("schema_version must be " +
+                     std::to_string(kMetricsSchemaVersion));
+  }
+
+  const JsonValue* run = doc.Find("run");
+  if (run == nullptr || !run->is_object()) {
+    return Violation("missing 'run' object");
+  }
+  DIVEXP_RETURN_NOT_OK(RequireString(*run, "tool", "run"));
+  for (const char* key :
+       {"elapsed_ms", "patterns", "peak_memory_bytes",
+        "effective_min_support", "escalations"}) {
+    DIVEXP_RETURN_NOT_OK(RequireNumber(*run, key, "run"));
+  }
+  const JsonValue* truncated = run->Find("truncated");
+  if (truncated == nullptr ||
+      truncated->kind != JsonValue::Kind::kBool) {
+    return Violation("run must have boolean 'truncated'");
+  }
+  DIVEXP_RETURN_NOT_OK(RequireString(*run, "breach", "run"));
+
+  const JsonValue* stages = doc.Find("stages");
+  if (stages == nullptr || !stages->is_array() || stages->array.empty()) {
+    return Violation("missing non-empty 'stages' array");
+  }
+  std::map<std::string, double> stage_wall;
+  for (const JsonValue& stage : stages->array) {
+    if (!stage.is_object()) return Violation("stage must be an object");
+    DIVEXP_RETURN_NOT_OK(RequireString(stage, "name", "stage"));
+    for (const char* key :
+         {"wall_ms", "items", "peak_bytes", "guard_checks", "calls"}) {
+      DIVEXP_RETURN_NOT_OK(RequireNumber(stage, key, "stage"));
+    }
+    stage_wall[stage.Find("name")->string] =
+        stage.Find("wall_ms")->number;
+  }
+  for (const std::string& name : required_stages) {
+    auto it = stage_wall.find(name);
+    if (it == stage_wall.end()) {
+      return Violation("required stage '" + name + "' missing");
+    }
+    if (!(it->second > 0.0)) {
+      return Violation("required stage '" + name +
+                       "' has zero wall time");
+    }
+  }
+
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    const JsonValue* section = doc.Find(key);
+    if (section == nullptr || !section->is_object()) {
+      return Violation(std::string("missing '") + key + "' object");
+    }
+  }
+  const JsonValue* histograms = doc.Find("histograms");
+  for (const auto& [name, histogram] : histograms->object) {
+    if (!histogram.is_object()) {
+      return Violation("histogram '" + name + "' must be an object");
+    }
+    DIVEXP_RETURN_NOT_OK(RequireNumber(histogram, "count", "histogram"));
+    DIVEXP_RETURN_NOT_OK(RequireNumber(histogram, "sum", "histogram"));
+    const JsonValue* buckets = histogram.Find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      return Violation("histogram '" + name + "' must have buckets");
+    }
+  }
+
+  const JsonValue* spans = doc.Find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return Violation("missing 'spans' array");
+  }
+  for (const JsonValue& span : spans->array) {
+    if (!span.is_object()) return Violation("span must be an object");
+    DIVEXP_RETURN_NOT_OK(RequireString(span, "name", "span"));
+    DIVEXP_RETURN_NOT_OK(RequireNumber(span, "count", "span"));
+    DIVEXP_RETURN_NOT_OK(RequireNumber(span, "total_ns", "span"));
+  }
+  return Status::OK();
+}
+
+Status ValidateBenchJson(const std::string& text) {
+  DIVEXP_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  if (!doc.is_object()) return Violation("document must be an object");
+  const JsonValue* version = doc.Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->number != kMetricsSchemaVersion) {
+    return Violation("schema_version must be " +
+                     std::to_string(kMetricsSchemaVersion));
+  }
+  DIVEXP_RETURN_NOT_OK(RequireString(doc, "benchmark", "document"));
+  const JsonValue* records = doc.Find("records");
+  if (records == nullptr || !records->is_array() ||
+      records->array.empty()) {
+    return Violation("missing non-empty 'records' array");
+  }
+  for (const JsonValue& record : records->array) {
+    if (!record.is_object()) return Violation("record must be an object");
+    DIVEXP_RETURN_NOT_OK(RequireString(record, "name", "record"));
+    DIVEXP_RETURN_NOT_OK(RequireString(record, "dataset", "record"));
+    for (const char* key :
+         {"min_support", "wall_ms", "mining_ms", "divergence_ms",
+          "patterns"}) {
+      DIVEXP_RETURN_NOT_OK(RequireNumber(record, key, "record"));
+    }
+    if (!(record.Find("wall_ms")->number >= 0.0)) {
+      return Violation("record wall_ms must be >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace divexp

@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <thread>
+
+namespace divexp {
+namespace obs {
+namespace {
+
+// 64-bit mix (SplitMix64 finalizer) to spread thread-id hashes across
+// shards even when ids are sequential.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t Counter::ShardIndex() {
+  // Computed once per thread; the hash of std::this_thread::get_id is
+  // stable for the thread's lifetime.
+  static thread_local const size_t shard =
+      static_cast<size_t>(Mix64(std::hash<std::thread::id>{}(
+          std::this_thread::get_id()))) %
+      kShards;
+  return shard;
+}
+
+void Histogram::Record(uint64_t value) {
+  // Bucket index = floor(log2(value + 1)), capped to the last bucket.
+  // value + 1 overflows to 0 at UINT64_MAX; that belongs in the last
+  // bucket, not bucket 0.
+  const uint64_t v = value == UINT64_MAX ? UINT64_MAX : value + 1;
+  size_t idx = 0;
+  // std::bit_width would do, but keep it dependency-light: count the
+  // highest set bit.
+  uint64_t x = v;
+  while (x > 1) {
+    x >>= 1;
+    ++idx;
+  }
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i >= kBuckets - 1) return UINT64_MAX;
+  return (uint64_t{2} << i) - 2;
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(total) + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (histogram->bucket(i) != 0) last = i + 1;
+    }
+    data.buckets.reserve(last);
+    for (size_t i = 0; i < last; ++i) {
+      data.buckets.push_back(histogram->bucket(i));
+    }
+    snap.histograms[name] = std::move(data);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace obs
+}  // namespace divexp

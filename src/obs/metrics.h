@@ -1,0 +1,155 @@
+// Thread-safe metrics primitives and a process-wide registry.
+//
+// Design targets (ROADMAP: production service, heavy traffic):
+//  * Counter::Add on the hot path is one relaxed fetch_add on a
+//    per-thread shard (cache-line padded), folded only at snapshot
+//    time — no contention between mining workers.
+//  * Histogram::Record is one relaxed fetch_add into a fixed
+//    log2-scale bucket (no floating point, no locks).
+//  * Registry lookups (GetCounter etc.) take a mutex but are meant to
+//    be done once per call site and cached in a local pointer; the
+//    returned pointers are stable for the registry's lifetime.
+#ifndef DIVEXP_OBS_METRICS_H_
+#define DIVEXP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace divexp {
+namespace obs {
+
+/// Monotonic counter, sharded across threads. Shard choice hashes the
+/// thread id once per thread; collisions only cost contention, never
+/// correctness.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t delta) {
+    shards_[ShardIndex()].value.fetch_add(delta,
+                                          std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Folds all shards (relaxed; concurrent Adds may or may not be
+  /// included, like any live counter read).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t ShardIndex();
+
+  Shard shards_[kShards];
+};
+
+/// Last-writer-wins instantaneous value, plus a monotone max update
+/// (for high-water marks like peak bytes).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void UpdateMax(int64_t value) {
+    int64_t prev = value_.load(std::memory_order_relaxed);
+    while (value > prev && !value_.compare_exchange_weak(
+                               prev, value, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency histogram with fixed log2-scale buckets: bucket i counts
+/// values v with 2^i <= v+1 < 2^(i+1) (bucket 0 holds v == 0). With 40
+/// buckets a nanosecond-valued histogram spans 1 ns .. ~18 minutes.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Inclusive upper bound of bucket i (2^(i+1) - 2; bucket 0 -> 0).
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Smallest bucket upper bound with at least `q` (0..1) of the mass
+  /// at or below it — a conservative quantile estimate.
+  uint64_t ApproxQuantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time view of a registry, safe to serialize.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  struct HistogramData {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<uint64_t> buckets;  ///< trailing zero buckets trimmed
+  };
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Named metric registry. Get* registers on first use and returns a
+/// stable pointer; concurrent Get* of the same name return the same
+/// instance.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the pipeline instrumentation.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (tests / per-run CLI output).
+  /// Instruments stay registered so cached pointers remain valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace divexp
+
+#endif  // DIVEXP_OBS_METRICS_H_

@@ -1,0 +1,120 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace divexp {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+#ifndef DIVEXP_OBS_STRIPPED
+// Innermost active span of this thread (nesting stack via parent_
+// links). thread_local keeps Enter/Exit allocation- and lock-free.
+thread_local ScopedSpan* t_current_span = nullptr;
+#endif
+
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceCollector& TraceCollector::Default() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Record(const char* name, const char* parent,
+                            uint64_t ns) {
+  const char* parent_name = parent != nullptr ? parent : "";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpanStats& s : spans_) {
+    if (s.name == name && s.parent == parent_name) {
+      ++s.count;
+      s.total_ns += ns;
+      s.min_ns = std::min(s.min_ns, ns);
+      s.max_ns = std::max(s.max_ns, ns);
+      return;
+    }
+  }
+  SpanStats s;
+  s.name = name;
+  s.parent = parent_name;
+  s.count = 1;
+  s.total_ns = s.min_ns = s.max_ns = ns;
+  spans_.push_back(std::move(s));
+}
+
+std::vector<SpanStats> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+#ifndef DIVEXP_OBS_STRIPPED
+void ScopedSpan::Enter(const char* name) {
+  name_ = name;
+  parent_ = t_current_span;
+  t_current_span = this;
+  start_ = Clock::now();
+}
+
+void ScopedSpan::Exit() {
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start_)
+          .count());
+  // The parent's name lives in its ScopedSpan; reach through the stack.
+  const char* parent_name = nullptr;
+  if (parent_ != nullptr) parent_name = parent_->name_;
+  t_current_span = parent_;
+  TraceCollector::Default().Record(name_, parent_name, ns);
+}
+#endif
+
+std::string FormatSpanTree(const std::vector<SpanStats>& spans) {
+  std::string out;
+  // Depth-first from root edges, preserving first-seen order per level.
+  // Depth is capped: the aggregate graph can contain edge cycles (e.g.
+  // mutually recursive spans) that the live span stack never had.
+  constexpr int kMaxDepth = 16;
+  std::function<void(const std::string&, int)> emit =
+      [&](const std::string& parent, int depth) {
+        if (depth > kMaxDepth) return;
+        for (const SpanStats& s : spans) {
+          if (s.parent != parent) continue;
+          out += std::string(static_cast<size_t>(depth) * 2, ' ');
+          out += s.name;
+          out += "  total=" + FormatDouble(
+                                  static_cast<double>(s.total_ns) / 1e6, 3) +
+                 "ms";
+          out += " count=" + std::to_string(s.count);
+          if (s.count > 1) {
+            out += " mean=" +
+                   FormatDouble(static_cast<double>(s.total_ns) /
+                                    static_cast<double>(s.count) / 1e6,
+                                3) +
+                   "ms";
+          }
+          out += "\n";
+          if (s.name != parent) emit(s.name, depth + 1);
+        }
+      };
+  emit("", 0);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace divexp

@@ -1,0 +1,113 @@
+// Lightweight scoped tracing spans for the exploration pipeline.
+//
+// A ScopedSpan measures the wall time (steady_clock) of one lexical
+// scope and records it, keyed by (span name, parent span name), into a
+// process-wide TraceCollector. Spans nest through a thread-local stack,
+// so the collector can reconstruct the stage hierarchy (e.g.
+// explore > mine > mine.grow) without any allocation on the hot path.
+//
+// Cost model: tracing is off by default. A disabled ScopedSpan performs
+// exactly one relaxed atomic load and one branch — cheap enough to
+// leave in per-stage (not per-item) positions permanently. Compiling
+// with -DDIVEXP_OBS_STRIPPED removes even that load (spans become empty
+// structs), which is the baseline the overhead regression test and
+// docs/observability.md refer to.
+#ifndef DIVEXP_OBS_TRACE_H_
+#define DIVEXP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace divexp {
+namespace obs {
+
+/// Global runtime switch for span recording. Off by default; the CLI's
+/// --trace flag and tests turn it on. Thread-safe (relaxed atomics:
+/// spans that straddle the transition may or may not be recorded).
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Aggregated statistics for one (name, parent) span edge.
+struct SpanStats {
+  std::string name;
+  std::string parent;  ///< empty for root spans
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// Process-wide sink for completed spans. Aggregation is per
+/// (name, parent) edge under a mutex — span completion is per-stage,
+/// not per-item, so the lock is far off the hot path.
+class TraceCollector {
+ public:
+  /// The collector ScopedSpan records into.
+  static TraceCollector& Default();
+
+  /// Records one completed span (thread-safe).
+  void Record(const char* name, const char* parent, uint64_t ns);
+
+  /// Aggregated spans in first-seen order (deterministic for a
+  /// sequential run).
+  std::vector<SpanStats> Snapshot() const;
+
+  /// Drops all recorded spans (tests and per-run CLI output).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanStats> spans_;
+};
+
+/// RAII span. Usage: `obs::ScopedSpan span("mine.grow");`
+class ScopedSpan {
+ public:
+#ifdef DIVEXP_OBS_STRIPPED
+  explicit ScopedSpan(const char*) {}
+  void End() {}
+#else
+  explicit ScopedSpan(const char* name) {
+    if (!TracingEnabled()) return;
+    Enter(name);
+  }
+  ~ScopedSpan() { End(); }
+
+  /// Ends the span now instead of at scope exit (idempotent). Lets a
+  /// function close one phase's span before opening the next without
+  /// introducing artificial scopes around early-returning code.
+  void End() {
+    if (name_ != nullptr) Exit();
+    name_ = nullptr;
+  }
+#endif
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+#ifndef DIVEXP_OBS_STRIPPED
+  using Clock = std::chrono::steady_clock;
+
+  void Enter(const char* name);
+  void Exit();
+
+  const char* name_ = nullptr;
+  ScopedSpan* parent_ = nullptr;
+  Clock::time_point start_;
+#endif
+};
+
+/// Renders a snapshot as an indented tree (for --trace stderr output).
+/// Root spans appear in first-seen order; children are grouped under
+/// their parent edge with total/count/mean columns.
+std::string FormatSpanTree(const std::vector<SpanStats>& spans);
+
+}  // namespace obs
+}  // namespace divexp
+
+#endif  // DIVEXP_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 
 #include "fpm/bitmap.h"
 #include "fpm/miner.h"
+#include "obs/trace.h"
 #include "stats/alpha_investing.h"
 #include "stats/descriptive.h"
 #include "stats/welch.h"
@@ -75,6 +76,11 @@ Result<std::vector<Slice>> SliceFinder::FindSlices(
   MineControl ctrl(guard);
   const uint64_t bm_bytes = sizeof(Bitmap) + ((n + 63) / 64) * 8;
 
+  obs::StageTimer stage(options_.stages, obs::kStageSliceFinder);
+  obs::ScopedSpan span(obs::kStageSliceFinder);
+  const uint64_t checks0 = guard != nullptr ? guard->check_count() : 0;
+  uint64_t candidates_evaluated = 0;
+
   double total_sum = 0.0;
   double total_sq_sum = 0.0;
   for (double l : loss) {
@@ -124,8 +130,10 @@ Result<std::vector<Slice>> SliceFinder::FindSlices(
        degree <= options_.max_degree && !frontier.empty(); ++degree) {
     std::vector<Candidate> next;
     uint64_t next_bytes = 0;
+    stage.SetPeakBytes((num_items + frontier.size()) * bm_bytes);
     for (Candidate& cand : frontier) {
       if (ctrl.stopped() || (guard != nullptr && !guard->Tick())) break;
+      ++candidates_evaluated;
       const uint64_t size = cand.rows.Count();
       if (size < options_.min_size) continue;
       if (dominated(cand.items)) continue;
@@ -199,6 +207,10 @@ Result<std::vector<Slice>> SliceFinder::FindSlices(
   if (guard != nullptr) {
     guard->SubMemory(num_items * bm_bytes + frontier_bytes);
     last_breach_ = guard->breach();
+  }
+  stage.AddItems(candidates_evaluated);
+  if (guard != nullptr) {
+    stage.AddGuardChecks(guard->check_count() - checks0);
   }
 
   std::stable_sort(problematic.begin(), problematic.end(),

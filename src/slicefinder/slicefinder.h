@@ -12,6 +12,7 @@
 
 #include "data/encoder.h"
 #include "fpm/itemset.h"
+#include "obs/stage.h"
 #include "util/run_guard.h"
 #include "util/status.h"
 
@@ -42,6 +43,10 @@ struct SliceFinderOptions {
   /// On a breach the search stops and the slices found so far are
   /// returned; last_breach() reports why.
   RunGuard* guard = nullptr;
+  /// Optional per-stage accounting sink (non-owning; must outlive the
+  /// FindSlices call). Records kStageSliceFinder: items = candidates
+  /// evaluated, peak_bytes = bitmap high-water estimate.
+  obs::StageCollector* stages = nullptr;
 };
 
 /// A problematic slice.

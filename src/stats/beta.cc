@@ -33,4 +33,33 @@ double BetaCdf(double alpha, double beta, double z) {
   return RegularizedIncompleteBeta(alpha, beta, z);
 }
 
+double BetaQuantile(double alpha, double beta, double p) {
+  DIVEXP_CHECK(alpha > 0.0 && beta > 0.0);
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Bisection: the CDF is strictly increasing on (0, 1), so the
+  // bracket never degenerates. ~50 halvings reach double resolution.
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 200 && hi - lo > 1e-16; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (BetaCdf(alpha, beta, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+CredibleInterval BetaCredibleInterval(double alpha, double beta,
+                                      double mass) {
+  DIVEXP_CHECK(mass >= 0.0 && mass <= 1.0);
+  const double tail = 0.5 * (1.0 - mass);
+  CredibleInterval out;
+  out.lo = BetaQuantile(alpha, beta, tail);
+  out.hi = BetaQuantile(alpha, beta, 1.0 - tail);
+  return out;
+}
+
 }  // namespace divexp

@@ -46,12 +46,13 @@ bool RunGuard::Tick() {
   if (hard_stopped()) return false;
   // Amortize the clock read: only every kTickStride ticks (and on the
   // very first tick, so a 1 ms deadline trips even on tiny inputs).
-  const uint32_t n = ticks_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = ticks_.fetch_add(1, std::memory_order_relaxed);
   if (n % kTickStride != 0) return true;
   return CheckDeadline();
 }
 
 bool RunGuard::AddMemory(uint64_t bytes) {
+  mem_checks_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t now =
       mem_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   uint64_t peak = peak_mem_bytes_.load(std::memory_order_relaxed);
@@ -117,6 +118,7 @@ void RunGuard::Reset() {
                      std::memory_order_relaxed);
   budget_breached_.store(false, std::memory_order_relaxed);
   ticks_.store(0, std::memory_order_relaxed);
+  mem_checks_.store(0, std::memory_order_relaxed);
   mem_bytes_.store(0, std::memory_order_relaxed);
   peak_mem_bytes_.store(0, std::memory_order_relaxed);
   start_ = Clock::now();

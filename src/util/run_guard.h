@@ -113,6 +113,14 @@ class RunGuard {
     return peak_mem_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Total guard polls since construction or the last Reset() (Tick()
+  /// calls + AddMemory() checks). The observability layer reads deltas
+  /// of this to attribute governor overhead to pipeline stages.
+  uint64_t check_count() const {
+    return ticks_.load(std::memory_order_relaxed) +
+           mem_checks_.load(std::memory_order_relaxed);
+  }
+
   /// Milliseconds since construction or the last Reset().
   double elapsed_ms() const;
 
@@ -138,7 +146,8 @@ class RunGuard {
   std::atomic<bool> cancelled_{false};
   std::atomic<int> hard_breach_{static_cast<int>(LimitBreach::kNone)};
   std::atomic<bool> budget_breached_{false};
-  std::atomic<uint32_t> ticks_{0};
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> mem_checks_{0};
   std::atomic<uint64_t> mem_bytes_{0};
   std::atomic<uint64_t> peak_mem_bytes_{0};
 };

@@ -1,0 +1,173 @@
+// Unit tests for the observability JSON layer: writer escaping, the
+// parser, and the two schema validators the CI artifacts depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace divexp {
+namespace obs {
+namespace {
+
+TEST(JsonQuoteTest, EscapesSpecials) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonQuote("line\n"), "\"line\\n\"");
+  EXPECT_EQ(JsonQuote("back\\slash"), "\"back\\\\slash\"");
+}
+
+TEST(JsonWriterTest, RoundTripsThroughParser) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").Value("mine.grow");
+  w.Key("count").Value(uint64_t{42});
+  w.Key("ratio").Value(0.25);
+  w.Key("negative").Value(int64_t{-3});
+  w.Key("ok").Value(true);
+  w.Key("list").BeginArray();
+  w.Value(uint64_t{1}).Value(uint64_t{2});
+  w.EndArray();
+  w.Key("nested").BeginObject();
+  w.Key("k").Value("v");
+  w.EndObject();
+  w.EndObject();
+
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->Find("name")->string, "mine.grow");
+  EXPECT_EQ(parsed->Find("count")->number, 42.0);
+  EXPECT_EQ(parsed->Find("ratio")->number, 0.25);
+  EXPECT_EQ(parsed->Find("negative")->number, -3.0);
+  EXPECT_TRUE(parsed->Find("ok")->boolean);
+  ASSERT_TRUE(parsed->Find("list")->is_array());
+  EXPECT_EQ(parsed->Find("list")->array.size(), 2u);
+  EXPECT_EQ(parsed->Find("nested")->Find("k")->string, "v");
+}
+
+TEST(ParseJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_TRUE(ParseJson("  {\"a\": [1, 2.5, \"x\", null, false]} ").ok());
+}
+
+MetricsReport MakeReport() {
+  MetricsReport report;
+  report.run.tool = "divexp-cli";
+  report.run.elapsed_ms = 12.5;
+  report.run.patterns = 9;
+  report.run.peak_memory_bytes = 4096;
+  report.run.effective_min_support = 0.05;
+
+  StageStats stage;
+  stage.name = kStageMineGrow;
+  stage.wall_ms = 3.5;
+  stage.items = 9;
+  stage.calls = 1;
+  report.stages.push_back(stage);
+  stage.name = kStageDivergence;
+  stage.wall_ms = 0.5;
+  report.stages.push_back(stage);
+
+  report.metrics.counters["explore.runs"] = 1;
+  report.metrics.gauges["explore.peak_memory_bytes"] = 4096;
+  MetricsSnapshot::HistogramData hist;
+  hist.count = 2;
+  hist.sum = 10;
+  hist.buckets = {0, 1, 1};
+  report.metrics.histograms["explore.mining_ms"] = hist;
+
+  SpanStats span;
+  span.name = "explore";
+  span.count = 1;
+  span.total_ns = span.min_ns = span.max_ns = 1000;
+  report.spans.push_back(span);
+  return report;
+}
+
+TEST(ValidateMetricsJsonTest, AcceptsSerializedReport) {
+  const std::string text = MetricsReportToJson(MakeReport());
+  EXPECT_TRUE(ValidateMetricsJson(text).ok());
+  EXPECT_TRUE(
+      ValidateMetricsJson(text, {kStageMineGrow, kStageDivergence}).ok());
+}
+
+TEST(ValidateMetricsJsonTest, RejectsMissingRequiredStage) {
+  const std::string text = MetricsReportToJson(MakeReport());
+  const Status status = ValidateMetricsJson(text, {kStageCsvLoad});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find(kStageCsvLoad), std::string::npos);
+}
+
+TEST(ValidateMetricsJsonTest, RejectsZeroWallTimeForRequiredStage) {
+  MetricsReport report = MakeReport();
+  report.stages[0].wall_ms = 0.0;
+  const std::string text = MetricsReportToJson(report);
+  EXPECT_TRUE(ValidateMetricsJson(text).ok());
+  EXPECT_FALSE(ValidateMetricsJson(text, {kStageMineGrow}).ok());
+}
+
+TEST(ValidateMetricsJsonTest, RejectsTamperedDocuments) {
+  const std::string good = MetricsReportToJson(MakeReport());
+  // Not JSON at all.
+  EXPECT_FALSE(ValidateMetricsJson("not json").ok());
+  // Wrong schema version.
+  std::string bad = good;
+  const std::string version = "\"schema_version\":1";
+  ASSERT_NE(bad.find(version), std::string::npos);
+  bad.replace(bad.find(version), version.size(), "\"schema_version\":99");
+  EXPECT_FALSE(ValidateMetricsJson(bad).ok());
+  // Empty document.
+  EXPECT_FALSE(ValidateMetricsJson("{}").ok());
+}
+
+TEST(ValidateBenchJsonTest, AcceptsWellFormedRecords) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(int64_t{kMetricsSchemaVersion});
+  w.Key("benchmark").Value("fig6_runtime");
+  w.Key("records").BeginArray();
+  w.BeginObject();
+  w.Key("name").Value("fig6/compas/s=0.05");
+  w.Key("dataset").Value("compas");
+  w.Key("min_support").Value(0.05);
+  w.Key("wall_ms").Value(12.0);
+  w.Key("mining_ms").Value(10.0);
+  w.Key("divergence_ms").Value(1.5);
+  w.Key("patterns").Value(uint64_t{250});
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_TRUE(ValidateBenchJson(w.str()).ok());
+}
+
+TEST(ValidateBenchJsonTest, RejectsEmptyOrIncompleteRecords) {
+  EXPECT_FALSE(ValidateBenchJson("{}").ok());
+  EXPECT_FALSE(ValidateBenchJson("not json").ok());
+  // Record missing `patterns`.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Value(int64_t{kMetricsSchemaVersion});
+  w.Key("benchmark").Value("fig6_runtime");
+  w.Key("records").BeginArray();
+  w.BeginObject();
+  w.Key("name").Value("x");
+  w.Key("dataset").Value("y");
+  w.Key("min_support").Value(0.05);
+  w.Key("wall_ms").Value(1.0);
+  w.Key("mining_ms").Value(0.5);
+  w.Key("divergence_ms").Value(0.1);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_FALSE(ValidateBenchJson(w.str()).ok());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace divexp

@@ -1,0 +1,152 @@
+// Unit tests for the metrics primitives: sharded counters (including
+// concurrent adds), gauges with monotone max updates, log2-bucket
+// histograms, and the registry's stable-pointer / snapshot contract.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace divexp {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAndUpdateMax) {
+  Gauge g;
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(5);  // lower: no effect
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Set(-3);  // Set is last-writer-wins, not monotone
+  EXPECT_EQ(g.Value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(GaugeTest, ConcurrentUpdateMaxKeepsMaximum) {
+  Gauge g;
+  std::vector<std::thread> threads;
+  for (int t = 1; t <= 8; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < 5000; ++i) g.UpdateMax(t * 10000 + i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.Value(), 8 * 10000 + 4999);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket i holds v with 2^i <= v+1 < 2^(i+1): bucket 0 = {0},
+  // bucket 1 = {1, 2}, bucket 2 = {3..6}, ...
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 6u);
+
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(6);
+  h.Record(7);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 6 + 7);
+}
+
+TEST(HistogramTest, HugeValuesLandInLastBucket) {
+  Histogram h;
+  h.Record(~uint64_t{0});
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, ApproxQuantile) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(0);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  // 90% of the mass is at 0; the p50 bound is bucket 0's bound.
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);
+  // The p99 bound must cover the 1000s: its bucket upper bound >= 1000.
+  EXPECT_GE(h.ApproxQuantile(0.99), 1000u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, StablePointersAndSnapshot) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  c->Add(7);
+  registry.GetGauge("test.gauge")->Set(11);
+  registry.GetHistogram("test.histo")->Record(3);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.count("test.counter"), 1u);
+  EXPECT_EQ(snap.counters.at("test.counter"), 7u);
+  EXPECT_EQ(snap.gauges.at("test.gauge"), 11);
+  EXPECT_EQ(snap.histograms.at("test.histo").count, 1u);
+  EXPECT_EQ(snap.histograms.at("test.histo").sum, 3u);
+
+  // ResetAll zeroes values but keeps the instruments (cached pointers
+  // stay valid).
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+  EXPECT_EQ(registry.Snapshot().counters.at("test.counter"), 0u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetReturnsOneInstance) {
+  MetricsRegistry registry;
+  std::vector<Counter*> seen(8, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.GetCounter("race.counter");
+      c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), 8u);
+}
+
+TEST(MetricsRegistryTest, DefaultIsProcessWide) {
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace divexp

@@ -1,0 +1,41 @@
+// The overhead regression test's workload, compiled twice from
+// overhead_workload.inc: once with the observability calls present
+// (runtime-disabled, the shipping configuration) and once with them
+// preprocessed out entirely (the DIVEXP_OBS_STRIPPED baseline the
+// trace.h cost model refers to). Comparing the two binariless-identical
+// mining runs bounds the cost of disabled instrumentation.
+#ifndef DIVEXP_TESTS_OBS_OVERHEAD_WORKLOAD_H_
+#define DIVEXP_TESTS_OBS_OVERHEAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fpm/transactions.h"
+
+namespace divexp {
+namespace obs_test {
+
+struct WorkloadInput {
+  const TransactionDatabase* db = nullptr;
+  /// Raw cell values scanned by the instrumented per-chunk loop.
+  const std::vector<uint32_t>* cells = nullptr;
+  size_t rows = 0;
+  double min_support = 0.1;
+};
+
+struct WorkloadResult {
+  uint64_t checksum = 0;   ///< scan checksum (anti-dead-code)
+  uint64_t patterns = 0;   ///< mined pattern count
+};
+
+/// Instrumented variant: pipeline-density obs calls (spans, stage
+/// timers, counters) around a row scan plus a full FP-growth mine.
+WorkloadResult RunWorkloadInstrumented(const WorkloadInput& in);
+
+/// Identical computation with every obs call preprocessed out.
+WorkloadResult RunWorkloadStripped(const WorkloadInput& in);
+
+}  // namespace obs_test
+}  // namespace divexp
+
+#endif  // DIVEXP_TESTS_OBS_OVERHEAD_WORKLOAD_H_

@@ -1,0 +1,5 @@
+// Instrumented arm of the overhead workload (runtime-disabled obs
+// calls present, as shipped).
+#define DIVEXP_OVERHEAD_USE_OBS 1
+#define DIVEXP_OVERHEAD_FN RunWorkloadInstrumented
+#include "overhead_workload.inc"

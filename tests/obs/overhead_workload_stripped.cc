@@ -1,0 +1,5 @@
+// Stripped arm of the overhead workload: every obs call preprocessed
+// out, the DIVEXP_OBS_STRIPPED-equivalent baseline.
+#define DIVEXP_OVERHEAD_USE_OBS 0
+#define DIVEXP_OVERHEAD_FN RunWorkloadStripped
+#include "overhead_workload.inc"

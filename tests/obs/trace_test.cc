@@ -1,0 +1,126 @@
+// Unit tests for scoped tracing spans: the runtime switch, nesting via
+// the thread-local stack, early End(), and the collector's (name,
+// parent) aggregation.
+//
+// Tracing state is process-global, so every test restores the disabled
+// default and resets the collector.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace divexp {
+namespace obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingEnabled(false);
+    TraceCollector::Default().Reset();
+  }
+  void TearDown() override {
+    SetTracingEnabled(false);
+    TraceCollector::Default().Reset();
+  }
+};
+
+const SpanStats* FindEdge(const std::vector<SpanStats>& spans,
+                          const std::string& name,
+                          const std::string& parent) {
+  for (const SpanStats& s : spans) {
+    if (s.name == name && s.parent == parent) return &s;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  EXPECT_TRUE(TraceCollector::Default().Snapshot().empty());
+}
+
+TEST_F(TraceTest, NestedSpansRecordParentEdges) {
+  SetTracingEnabled(true);
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan inner("inner"); }
+    { ScopedSpan inner("inner"); }
+  }
+  const auto spans = TraceCollector::Default().Snapshot();
+  const SpanStats* outer = FindEdge(spans, "outer", "");
+  const SpanStats* inner = FindEdge(spans, "inner", "outer");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1u);
+  EXPECT_EQ(inner->count, 2u);
+  // Children completed strictly inside the parent's lifetime.
+  EXPECT_LE(inner->total_ns, outer->total_ns);
+  EXPECT_LE(inner->min_ns, inner->max_ns);
+}
+
+TEST_F(TraceTest, EndClosesEarlyAndIsIdempotent) {
+  SetTracingEnabled(true);
+  {
+    ScopedSpan first("first");
+    first.End();
+    first.End();  // second End must not double-record
+    ScopedSpan second("second");
+  }
+  const auto spans = TraceCollector::Default().Snapshot();
+  const SpanStats* first = FindEdge(spans, "first", "");
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->count, 1u);
+  // `second` opened after `first` ended, so it is a root, not a child.
+  EXPECT_NE(FindEdge(spans, "second", ""), nullptr);
+  EXPECT_EQ(FindEdge(spans, "second", "first"), nullptr);
+}
+
+TEST_F(TraceTest, ResetDropsSpans) {
+  SetTracingEnabled(true);
+  { ScopedSpan span("x"); }
+  EXPECT_FALSE(TraceCollector::Default().Snapshot().empty());
+  TraceCollector::Default().Reset();
+  EXPECT_TRUE(TraceCollector::Default().Snapshot().empty());
+}
+
+TEST_F(TraceTest, FormatSpanTreeShowsHierarchy) {
+  SetTracingEnabled(true);
+  {
+    ScopedSpan outer("explore");
+    { ScopedSpan inner("mine.grow"); }
+  }
+  const std::string tree =
+      FormatSpanTree(TraceCollector::Default().Snapshot());
+  EXPECT_NE(tree.find("explore"), std::string::npos);
+  EXPECT_NE(tree.find("mine.grow"), std::string::npos);
+  // The child is indented under its parent.
+  EXPECT_LT(tree.find("explore"), tree.find("mine.grow"));
+}
+
+TEST_F(TraceTest, CollectorRecordAggregatesByEdge) {
+  TraceCollector collector;
+  collector.Record("a", "", 10);
+  collector.Record("a", "", 30);
+  collector.Record("a", "p", 5);
+  const auto spans = collector.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanStats* root = FindEdge(spans, "a", "");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->count, 2u);
+  EXPECT_EQ(root->total_ns, 40u);
+  EXPECT_EQ(root->min_ns, 10u);
+  EXPECT_EQ(root->max_ns, 30u);
+  const SpanStats* child = FindEdge(spans, "a", "p");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->total_ns, 5u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace divexp

@@ -1,0 +1,138 @@
+// Golden-value checks of the statistical machinery against closed-form
+// references, to 1e-9. The Beta quantiles use shapes whose CDFs invert
+// analytically (polynomials in z), so the expected values are exact:
+//   Beta(1,1): F(z) = z            => q(p) = p
+//   Beta(2,1): F(z) = z^2          => q(p) = sqrt(p)
+//   Beta(1,2): F(z) = 1 - (1-z)^2  => q(p) = 1 - sqrt(1-p)
+//   Beta(3,1): F(z) = z^3          => q(p) = cbrt(p)
+//   Beta(2,2): F(z) = 3z^2 - 2z^3  => q(5/32) = 1/4, q(27/32) = 3/4
+// Degenerate inputs (zero variance, n = 1, all-⊥ outcomes) pin the
+// documented fallback behavior so it can't drift silently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/beta.h"
+#include "stats/welch.h"
+
+namespace divexp {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(BetaQuantileGoldenTest, UniformShapeIsIdentity) {
+  for (double p : {0.0, 0.025, 0.25, 0.5, 0.75, 0.975, 1.0}) {
+    EXPECT_NEAR(BetaQuantile(1.0, 1.0, p), p, kTol) << "p=" << p;
+  }
+}
+
+TEST(BetaQuantileGoldenTest, PolynomialShapes) {
+  for (double p : {0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99}) {
+    EXPECT_NEAR(BetaQuantile(2.0, 1.0, p), std::sqrt(p), kTol);
+    EXPECT_NEAR(BetaQuantile(1.0, 2.0, p), 1.0 - std::sqrt(1.0 - p), kTol);
+    EXPECT_NEAR(BetaQuantile(3.0, 1.0, p), std::cbrt(p), kTol);
+  }
+  // Beta(2,2): F(1/4) = 3/16 - 2/64 = 5/32, F(3/4) = 27/16 - 54/64.
+  EXPECT_NEAR(BetaQuantile(2.0, 2.0, 5.0 / 32.0), 0.25, kTol);
+  EXPECT_NEAR(BetaQuantile(2.0, 2.0, 27.0 / 32.0), 0.75, kTol);
+  EXPECT_NEAR(BetaQuantile(2.0, 2.0, 0.5), 0.5, kTol);
+}
+
+TEST(BetaQuantileGoldenTest, RoundTripsThroughCdf) {
+  for (double alpha : {0.5, 1.0, 3.5, 12.0}) {
+    for (double beta : {0.5, 2.0, 7.0}) {
+      for (double p : {0.025, 0.5, 0.975}) {
+        const double q = BetaQuantile(alpha, beta, p);
+        EXPECT_NEAR(BetaCdf(alpha, beta, q), p, kTol)
+            << "alpha=" << alpha << " beta=" << beta << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(BetaQuantileGoldenTest, ClampsOutOfRangeProbability) {
+  EXPECT_EQ(BetaQuantile(2.0, 3.0, -0.5), 0.0);
+  EXPECT_EQ(BetaQuantile(2.0, 3.0, 1.5), 1.0);
+}
+
+TEST(BetaCredibleIntervalGoldenTest, AllBottomOutcomesStayUniform) {
+  // An itemset whose rows are all ⊥ contributes k+ = k- = 0: the
+  // posterior is the Beta(1,1) prior and the 95% central interval is
+  // exactly [0.025, 0.975] (the paper's numerical-stability case).
+  const BetaPosterior post = BetaPosteriorFromCounts(0, 0);
+  EXPECT_NEAR(post.mean, 0.5, kTol);
+  EXPECT_NEAR(post.variance, 1.0 / 12.0, kTol);
+  const CredibleInterval ci = BetaCredibleInterval(1.0, 1.0, 0.95);
+  EXPECT_NEAR(ci.lo, 0.025, kTol);
+  EXPECT_NEAR(ci.hi, 0.975, kTol);
+}
+
+TEST(BetaCredibleIntervalGoldenTest, OneSuccessShape) {
+  // One T, zero F outcomes => Beta(2,1); q(p) = sqrt(p).
+  const CredibleInterval ci = BetaCredibleInterval(2.0, 1.0, 0.9);
+  EXPECT_NEAR(ci.lo, std::sqrt(0.05), kTol);
+  EXPECT_NEAR(ci.hi, std::sqrt(0.95), kTol);
+}
+
+TEST(BetaCredibleIntervalGoldenTest, FullMassIsWholeSupport) {
+  const CredibleInterval ci = BetaCredibleInterval(4.0, 6.0, 1.0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(WelchGoldenTest, PosteriorTStatistic) {
+  // |0.3 - 0.5| / sqrt(0.01 + 0.0025) = 0.2 / sqrt(0.0125).
+  EXPECT_NEAR(WelchTFromPosteriors(0.3, 0.01, 0.5, 0.0025),
+              1.7888543819998317, kTol);
+  // Symmetric in the two posteriors.
+  EXPECT_NEAR(WelchTFromPosteriors(0.5, 0.0025, 0.3, 0.01),
+              1.7888543819998317, kTol);
+}
+
+TEST(WelchGoldenTest, ZeroVariancePosteriorsAreNotSignificant) {
+  // Degenerate zero-variance posteriors: the documented fallback is
+  // t = 0 rather than a NaN/Inf escaping into the divergence table.
+  EXPECT_EQ(WelchTFromPosteriors(0.2, 0.0, 0.8, 0.0), 0.0);
+}
+
+TEST(WelchGoldenTest, SummaryStatisticsTest) {
+  // mean1=1, var1=4, n1=4 vs mean2=3, var2=9, n2=9:
+  //   se^2 = 4/4 + 9/9 = 2          => t = 2 / sqrt(2) = sqrt(2)
+  //   df = 2^2 / (1/3 + 1/8) = 96/11.
+  const WelchResult r = WelchTTest(1.0, 4.0, 4, 3.0, 9.0, 9);
+  EXPECT_NEAR(r.t, 1.4142135623730951, kTol);
+  EXPECT_NEAR(r.df, 96.0 / 11.0, kTol);
+  EXPECT_GT(r.p_value, 0.0);
+  EXPECT_LT(r.p_value, 1.0);
+}
+
+TEST(WelchGoldenTest, DegenerateSampleSizes) {
+  // n = 1 (or 0) on either side cannot estimate a variance; the
+  // documented result is the null (t=0, df=1, p=1).
+  for (const WelchResult& r :
+       {WelchTTest(1.0, 4.0, 1, 3.0, 9.0, 9),
+        WelchTTest(1.0, 4.0, 4, 3.0, 9.0, 1),
+        WelchTTest(1.0, 4.0, 0, 3.0, 9.0, 9)}) {
+    EXPECT_EQ(r.t, 0.0);
+    EXPECT_EQ(r.df, 1.0);
+    EXPECT_EQ(r.p_value, 1.0);
+  }
+  // Zero sample variance on both sides: same null fallback.
+  const WelchResult r = WelchTTest(1.0, 0.0, 5, 1.0, 0.0, 5);
+  EXPECT_EQ(r.t, 0.0);
+  EXPECT_EQ(r.p_value, 1.0);
+}
+
+TEST(WelchGoldenTest, RawSamplesMatchSummaryPath) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> b = {2.0, 4.0, 6.0};
+  const WelchResult raw = WelchTTest(a, b);
+  // mean(a)=2.5, var(a)=5/3, mean(b)=4, var(b)=4.
+  const WelchResult summary = WelchTTest(2.5, 5.0 / 3.0, 4, 4.0, 4.0, 3);
+  EXPECT_NEAR(raw.t, summary.t, kTol);
+  EXPECT_NEAR(raw.df, summary.df, kTol);
+  EXPECT_NEAR(raw.p_value, summary.p_value, kTol);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -13,6 +15,13 @@
 namespace divexp {
 namespace cli {
 namespace {
+
+// gtest_discover_tests runs each case as its own ctest process, and
+// `ctest -j` runs them concurrently — fixture paths must be unique per
+// process or one case's TearDown deletes the file another is reading.
+std::string TempPath(const std::string& stem) {
+  return "/tmp/" + stem + "." + std::to_string(::getpid()) + ".csv";
+}
 
 // CSV with a high-FPR pocket at group=b & flag=y.
 std::string WriteFixture(const std::string& path, bool with_missing) {
@@ -53,7 +62,7 @@ RunResult RunWith(CliOptions opts) {
 class CliRunTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = "/tmp/divexp_cli_run_test.csv";
+    path_ = TempPath("divexp_cli_run_test");
     WriteFixture(path_, /*with_missing=*/false);
   }
   void TearDown() override { std::remove(path_.c_str()); }
@@ -107,7 +116,7 @@ TEST_F(CliRunTest, MultiMetricSection) {
 TEST_F(CliRunTest, ExportWritesTableCsv) {
   CliOptions opts;
   opts.csv_path = path_;
-  opts.export_path = "/tmp/divexp_cli_export_test.csv";
+  opts.export_path = TempPath("divexp_cli_export_test");
   const RunResult r = RunWith(opts);
   ASSERT_TRUE(r.status.ok());
   std::ifstream in(opts.export_path);
@@ -201,7 +210,7 @@ TEST_F(CliRunTest, AllMinersAgreeOnTopPattern) {
 }
 
 TEST_F(CliRunTest, MissingRowsDroppedWithLog) {
-  const std::string path = "/tmp/divexp_cli_missing_test.csv";
+  const std::string path = TempPath("divexp_cli_missing_test");
   WriteFixture(path, /*with_missing=*/true);
   CliOptions opts;
   opts.csv_path = path;

@@ -76,13 +76,28 @@ Result<LimitAction> ParseLimitAction(const std::string& name) {
 
 Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
   CliOptions opts;
-  for (size_t i = 0; i < args.size(); ++i) {
-    const std::string& arg = args[i];
+  // Accept --flag=value as well as --flag value: split at the first '='
+  // of any token that starts with "--". Values containing '=' (e.g.
+  // --lattice "a=v") arrive as their own tokens and are not split.
+  std::vector<std::string> expanded;
+  expanded.reserve(args.size());
+  for (const std::string& arg : args) {
+    size_t eq;
+    if (arg.rfind("--", 0) == 0 &&
+        (eq = arg.find('=')) != std::string::npos) {
+      expanded.push_back(arg.substr(0, eq));
+      expanded.push_back(arg.substr(eq + 1));
+    } else {
+      expanded.push_back(arg);
+    }
+  }
+  for (size_t i = 0; i < expanded.size(); ++i) {
+    const std::string& arg = expanded[i];
     auto next = [&]() -> Result<std::string> {
-      if (i + 1 >= args.size()) {
+      if (i + 1 >= expanded.size()) {
         return Status::InvalidArgument("missing value for " + arg);
       }
-      return args[++i];
+      return expanded[++i];
     };
     if (arg == "--help" || arg == "-h") {
       opts.show_help = true;
@@ -167,6 +182,10 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
     } else if (arg == "--on-limit") {
       DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
       DIVEXP_ASSIGN_OR_RETURN(opts.on_limit, ParseLimitAction(name));
+    } else if (arg == "--metrics-json") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.metrics_json_path, next());
+    } else if (arg == "--trace") {
+      opts.trace = true;
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -208,6 +227,12 @@ std::string UsageString() {
       "  --miner NAME       fpgrowth (default), apriori, or eclat\n"
       "  --threads N        worker threads for mining (default: 1)\n"
       "  --report FILE      write a composed markdown audit report\n"
+      "\n"
+      "observability:\n"
+      "  --metrics-json FILE  write per-stage metrics + counters as "
+      "JSON\n"
+      "  --trace            record tracing spans; print the stage table\n"
+      "                     and span tree to stderr\n"
       "\n"
       "resource limits (0 = unlimited):\n"
       "  --deadline-ms MS   wall-clock budget for the exploration run\n"

@@ -45,6 +45,11 @@ struct CliOptions {
   uint64_t max_memory_mb = 0;
   /// What to do when a limit trips: fail, truncate or escalate.
   LimitAction on_limit = LimitAction::kFail;
+  /// Write per-stage metrics + registry snapshot as JSON to this path.
+  std::string metrics_json_path;
+  /// Enable tracing spans and print the stage table + span tree to
+  /// stderr at the end of the run.
+  bool trace = false;
   bool show_help = false;
 };
 

@@ -17,6 +17,11 @@
 #include "data/csv.h"
 #include "data/discretize.h"
 #include "data/encoder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/stage.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 
 namespace divexp {
@@ -56,7 +61,23 @@ Result<std::vector<int>> ExtractLabels(const DataFrame& df,
 }  // namespace
 
 Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
-  DIVEXP_ASSIGN_OR_RETURN(DataFrame df, ReadCsvFile(opts.csv_path));
+  // Fresh observability state per run: Run() is also driven from tests
+  // and would otherwise accumulate spans/counters across invocations.
+  const bool want_metrics = !opts.metrics_json_path.empty();
+  if (want_metrics || opts.trace) {
+    obs::TraceCollector::Default().Reset();
+    obs::MetricsRegistry::Default().ResetAll();
+  }
+  if (opts.trace) obs::SetTracingEnabled(true);
+  Stopwatch total;
+  obs::StageCollector run_stages;
+
+  DataFrame df;
+  {
+    obs::StageTimer timer(&run_stages, obs::kStageCsvLoad);
+    DIVEXP_ASSIGN_OR_RETURN(df, ReadCsvFile(opts.csv_path));
+    timer.AddItems(df.num_rows());
+  }
   log << "loaded " << df.num_rows() << " rows x " << df.num_columns()
       << " columns from " << opts.csv_path << "\n";
 
@@ -83,11 +104,20 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     truths = std::move(t);
   }
 
-  DIVEXP_ASSIGN_OR_RETURN(
-      DataFrame binned,
-      DiscretizeAll(df, BinStrategy::kQuantile, opts.bins));
-  DIVEXP_ASSIGN_OR_RETURN(EncodedDataset encoded,
-                          EncodeDataFrame(binned));
+  DataFrame binned;
+  {
+    obs::StageTimer timer(&run_stages, obs::kStageDiscretize);
+    DIVEXP_ASSIGN_OR_RETURN(
+        binned, DiscretizeAll(df, BinStrategy::kQuantile, opts.bins));
+    timer.AddItems(binned.num_rows());
+  }
+  EncodedDataset encoded;
+  {
+    obs::StageTimer timer(&run_stages, obs::kStageEncode);
+    DIVEXP_ASSIGN_OR_RETURN(encoded, EncodeDataFrame(binned));
+    timer.AddItems(encoded.num_rows);
+    timer.SetPeakBytes(encoded.cells.capacity() * sizeof(uint32_t));
+  }
 
   ExplorerOptions eopts;
   eopts.min_support = opts.min_support;
@@ -103,6 +133,7 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
       explorer.Explore(encoded, preds, truths, opts.metric));
 
   const ExplorerRunStats& stats = explorer.last_run_stats();
+  run_stages.MergeFrom(stats.stages);
   if (stats.truncated) {
     log << "WARNING: exploration truncated ("
         << LimitBreachName(stats.reason)
@@ -120,7 +151,10 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
 
   std::vector<size_t> shown;
   if (opts.epsilon >= 0.0) {
+    obs::StageTimer timer(&run_stages, obs::kStagePrune);
     const std::vector<size_t> kept = RedundancyPrune(table, opts.epsilon);
+    timer.AddItems(table.size());
+    timer.Finish();
     std::vector<bool> mask(table.size(), false);
     for (size_t i : kept) mask[i] = true;
     for (size_t i : table.RankByDivergence(true)) {
@@ -137,24 +171,33 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   out << FormatPatternRows(table, shown, label) << "\n";
 
   if (opts.show_shapley && !shown.empty()) {
+    obs::StageTimer timer(&run_stages, obs::kStageShapley);
     const Itemset& best = table.row(shown[0]).items;
     DIVEXP_ASSIGN_OR_RETURN(std::vector<ItemContribution> contributions,
                             ShapleyContributions(table, best));
+    timer.AddItems(contributions.size());
+    timer.Finish();
     out << "item contributions for [" << table.ItemsetName(best)
         << "]:\n"
         << FormatContributions(table, contributions) << "\n";
   }
 
   if (opts.show_global) {
+    obs::StageTimer timer(&run_stages, obs::kStageGlobal);
     const auto globals = ComputeGlobalItemDivergence(table);
+    timer.AddItems(globals.size());
+    timer.Finish();
     out << "global vs individual item divergence:\n"
         << FormatGlobalDivergence(table, globals, opts.top_k) << "\n";
   }
 
   if (opts.show_corrective) {
+    obs::StageTimer timer(&run_stages, obs::kStageCorrective);
     CorrectiveOptions copts;
     copts.top_k = opts.top_k;
     const auto corrective = FindCorrectiveItems(table, copts);
+    timer.AddItems(corrective.size());
+    timer.Finish();
     out << "top corrective items:\n"
         << FormatCorrectiveItems(table, corrective, opts.top_k) << "\n";
   }
@@ -212,6 +255,41 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
                             table.ParseItemset(description));
     DIVEXP_ASSIGN_OR_RETURN(Lattice lattice, BuildLattice(table, target));
     out << LatticeToDot(lattice, table);
+  }
+
+  if (opts.trace) {
+    log << "\nper-stage summary:\n"
+        << obs::FormatStageTable(run_stages.stages());
+    const std::vector<obs::SpanStats> spans =
+        obs::TraceCollector::Default().Snapshot();
+    if (!spans.empty()) {
+      log << "\nspan tree:\n" << obs::FormatSpanTree(spans);
+    }
+  }
+  if (want_metrics) {
+    obs::MetricsReport report;
+    report.run.tool = "divexp-cli";
+    report.run.elapsed_ms = total.Millis();
+    report.run.patterns = stats.patterns;
+    report.run.peak_memory_bytes = stats.peak_memory_bytes;
+    report.run.truncated = stats.truncated;
+    report.run.breach = LimitBreachName(stats.reason);
+    report.run.effective_min_support = stats.effective_min_support;
+    report.run.escalations = stats.escalations;
+    report.stages = run_stages.stages();
+    report.metrics = obs::MetricsRegistry::Default().Snapshot();
+    report.spans = obs::TraceCollector::Default().Snapshot();
+    std::ofstream metrics_file(opts.metrics_json_path);
+    if (!metrics_file) {
+      return Status::IOError("cannot open '" + opts.metrics_json_path +
+                             "'");
+    }
+    metrics_file << obs::MetricsReportToJson(report) << "\n";
+    if (!metrics_file.good()) {
+      return Status::IOError("write to '" + opts.metrics_json_path +
+                             "' failed");
+    }
+    log << "metrics written to " << opts.metrics_json_path << "\n";
   }
   return Status::OK();
 }

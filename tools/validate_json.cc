@@ -1,0 +1,56 @@
+// Schema validator for the observability JSON artifacts: the CLI's
+// --metrics-json output and the benchmarks' BENCH_*.json records. CI
+// runs this after the bench smoke step; exits non-zero with the first
+// violated rule on stderr.
+//
+// usage: divexp-validate-json --kind=metrics|bench FILE [STAGE...]
+//   STAGE... (metrics only): stage names that must be present with
+//   wall_ms > 0 (e.g. load.csv mine.grow explore.divergence).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  std::string kind;
+  std::string path;
+  std::vector<std::string> required_stages;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--kind=", 0) == 0) {
+      kind = arg.substr(7);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      required_stages.push_back(arg);
+    }
+  }
+  if ((kind != "metrics" && kind != "bench") || path.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: divexp-validate-json --kind=metrics|bench FILE "
+        "[REQUIRED_STAGE...]\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const divexp::Status status =
+      kind == "metrics"
+          ? divexp::obs::ValidateMetricsJson(buf.str(), required_stages)
+          : divexp::obs::ValidateBenchJson(buf.str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (%s schema)\n", path.c_str(), kind.c_str());
+  return 0;
+}
