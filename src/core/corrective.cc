@@ -14,22 +14,27 @@ std::vector<CorrectiveItem> FindCorrectiveItems(
   std::vector<CorrectiveItem> out;
   // Every frequent superset K = I ∪ {α} defines |K| candidate pairs
   // (drop each item in turn); enumerating supersets guarantees both
-  // sides of the comparison are in the table.
-  for (const PatternRow& row : table.rows()) {
+  // sides of the comparison are in the table. The base row I comes
+  // straight off the lattice links; an itemset is materialized only
+  // for the (rare) pairs that actually qualify.
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PatternRow& row = table.row(i);
     const Itemset& k = row.items;
     if (k.empty()) continue;
-    for (uint32_t alpha : k) {
-      const Itemset base = Without(k, alpha);
-      if (base.empty()) continue;  // Δ(∅) = 0: nothing to correct
-      const Result<double> base_div = table.Divergence(base);
-      DIVEXP_CHECK(base_div.ok());
+    const std::span<const uint32_t> links = table.SubsetLinks(i);
+    for (size_t j = 0; j < k.size(); ++j) {
+      const uint32_t link = links[j];
+      // kNoLink: subset dropped by a guard truncation — skip the pair.
+      if (link == PatternTable::kNoLink) continue;
+      const PatternRow& base_row = table.row(link);
+      if (base_row.items.empty()) continue;  // Δ(∅) = 0: nothing to correct
       const double factor =
-          std::fabs(*base_div) - std::fabs(row.divergence);
+          std::fabs(base_row.divergence) - std::fabs(row.divergence);
       if (factor <= options.min_factor || factor <= 0.0) continue;
       CorrectiveItem c;
-      c.base = base;
-      c.item = alpha;
-      c.base_divergence = *base_div;
+      c.base = base_row.items;
+      c.item = k[j];
+      c.base_divergence = base_row.divergence;
       c.with_divergence = row.divergence;
       c.factor = factor;
       c.t = row.t;

@@ -123,8 +123,12 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
         guard != nullptr ? guard->check_count() : 0;
     obs::StageTimer div_timer(&stages, obs::kStageDivergence);
     obs::ScopedSpan div_span(obs::kStageDivergence);
-    Result<PatternTable> table = PatternTable::Create(
-        std::move(mined), dataset.catalog, dataset.num_rows, guard);
+    PatternTableOptions topts;
+    topts.num_threads = options_.num_threads;
+    topts.stages = &stages;
+    Result<PatternTable> table =
+        PatternTable::Create(std::move(mined), dataset.catalog,
+                             dataset.num_rows, guard, topts);
     div_timer.AddItems(mined_count);
     if (guard != nullptr) {
       div_timer.AddGuardChecks(guard->check_count() - div_checks0);

@@ -26,7 +26,7 @@ Result<Lattice> BuildLattice(const PatternTable& table,
               return a < b;
             });
 
-  std::unordered_map<Itemset, size_t, ItemsetHash> node_index;
+  std::unordered_map<Itemset, size_t, ItemsetHash, ItemsetEq> node_index;
   for (const Itemset& s : subsets) {
     LatticeNode node;
     node.items = s;
@@ -45,9 +45,11 @@ Result<Lattice> BuildLattice(const PatternTable& table,
   for (size_t i = 0; i < lattice.nodes.size(); ++i) {
     LatticeNode& node = lattice.nodes[i];
     if (node.items.empty()) continue;
-    for (uint32_t alpha : node.items) {
-      const Itemset parent = Without(node.items, alpha);
-      const auto it = node_index.find(parent);
+    for (size_t j = 0; j < node.items.size(); ++j) {
+      // Parent = items \ {items[j]}, looked up through the transparent
+      // hash without materializing the subset.
+      const auto it =
+          node_index.find(ItemsetSkipView{ItemSpan(node.items), j});
       DIVEXP_CHECK(it != node_index.end());
       lattice.edges.push_back(LatticeEdge{it->second, i});
       const LatticeNode& parent_node = lattice.nodes[it->second];

@@ -2,15 +2,29 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "stats/beta.h"
 #include "stats/welch.h"
+#include "util/parallel.h"
 
 namespace divexp {
+namespace {
+
+// Actual heap + inline footprint of one table row: the row struct, the
+// itemset's heap buffer, and its slot in the flat subset-link array.
+uint64_t RowFootprintBytes(const PatternRow& row) {
+  return sizeof(PatternRow) +
+         row.items.capacity() * sizeof(uint32_t) +  // items heap buffer
+         row.items.size() * sizeof(uint32_t);       // subset-link slots
+}
+
+}  // namespace
 
 Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
                                           ItemCatalog catalog,
                                           size_t num_rows,
-                                          RunGuard* guard) {
+                                          RunGuard* guard,
+                                          const PatternTableOptions& options) {
   // Only enforce limits that are still live: when mining already
   // breached, the post-pass must still process the partial pattern set
   // (bounded by what mining emitted) so truncate mode has a table.
@@ -31,6 +45,9 @@ Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
     return Status::InvalidArgument(
         "mined patterns must include the empty itemset");
   }
+  if (mined.size() >= static_cast<size_t>(kNoLink)) {
+    return Status::InvalidArgument("pattern table exceeds link capacity");
+  }
   table.global_rate_ = root->counts.PositiveRate();
   const BetaPosterior global_post =
       BetaPosteriorFromCounts(root->counts.t, root->counts.f);
@@ -39,26 +56,16 @@ Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
 
   table.rows_.reserve(mined.size());
   table.index_.reserve(mined.size());
-  const double denom =
-      num_rows == 0 ? 1.0 : static_cast<double>(num_rows);
   for (MinedPattern& p : mined) {
+    PatternRow row;
+    row.counts = p.counts;
+    row.items = std::move(p.items);
     // The first row (the empty itemset) is always kept so a truncated
     // table still carries the global rate.
     if (enforce && !table.rows_.empty() &&
-        (!guard->Tick() || !guard->AddMemory(sizeof(PatternRow)))) {
+        (!guard->Tick() || !guard->AddMemory(RowFootprintBytes(row)))) {
       break;  // partial table; the guard has latched the breach
     }
-    PatternRow row;
-    row.counts = p.counts;
-    row.support = static_cast<double>(p.counts.total()) / denom;
-    row.rate = p.counts.PositiveRate();
-    row.divergence = row.rate - table.global_rate_;
-    const BetaPosterior post =
-        BetaPosteriorFromCounts(p.counts.t, p.counts.f);
-    row.t = WelchTFromPosteriors(post.mean, post.variance,
-                                 table.global_mean_,
-                                 table.global_variance_);
-    row.items = std::move(p.items);
     const auto [it, inserted] =
         table.index_.emplace(row.items, table.rows_.size());
     if (!inserted) {
@@ -66,11 +73,61 @@ Result<PatternTable> PatternTable::Create(std::vector<MinedPattern> mined,
     }
     table.rows_.push_back(std::move(row));
   }
+
+  // Post-index pass: per-row stats (Beta posterior + Welch t) and the
+  // immediate-subset lattice links. Both are pure per-row computations
+  // over the now-frozen row set, so they parallelize with results
+  // identical across thread counts.
+  obs::StageTimer timer(options.stages, obs::kStagePostIndex);
+  obs::ScopedSpan span(obs::kStagePostIndex);
+  const size_t n = table.rows_.size();
+  const double denom =
+      num_rows == 0 ? 1.0 : static_cast<double>(num_rows);
+
+  table.link_offsets_.resize(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    table.link_offsets_[i + 1] =
+        table.link_offsets_[i] + table.rows_[i].items.size();
+  }
+  table.subset_links_.assign(table.link_offsets_[n], kNoLink);
+
+  ParallelFor(options.num_threads, n, [&table, denom](size_t i) {
+    PatternRow& row = table.rows_[i];
+    row.support = static_cast<double>(row.counts.total()) / denom;
+    row.rate = row.counts.PositiveRate();
+    row.divergence = row.rate - table.global_rate_;
+    const BetaPosterior post =
+        BetaPosteriorFromCounts(row.counts.t, row.counts.f);
+    row.t = WelchTFromPosteriors(post.mean, post.variance,
+                                 table.global_mean_,
+                                 table.global_variance_);
+    const ItemSpan items(row.items);
+    uint32_t* links = table.subset_links_.data() + table.link_offsets_[i];
+    for (size_t j = 0; j < items.size(); ++j) {
+      // kNoLink stays only when a guard truncation dropped the subset.
+      const auto sub = table.Find(ItemsetSkipView{items, j});
+      if (sub.has_value()) links[j] = static_cast<uint32_t>(*sub);
+    }
+  });
+  timer.AddItems(n);
+  timer.SetPeakBytes(table.subset_links_.size() * sizeof(uint32_t));
   return table;
 }
 
 std::optional<size_t> PatternTable::Find(const Itemset& items) const {
   auto it = index_.find(items);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> PatternTable::Find(ItemSpan items) const {
+  auto it = index_.find(items);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> PatternTable::Find(const ItemsetSkipView& view) const {
+  auto it = index_.find(view);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
@@ -84,36 +141,47 @@ Result<double> PatternTable::Divergence(const Itemset& items) const {
   return rows_[*idx].divergence;
 }
 
+bool PatternTable::RankLess(size_t a, size_t b,
+                            const std::vector<double>& keys,
+                            bool descending) const {
+  if (keys[a] != keys[b]) {
+    return descending ? keys[a] > keys[b] : keys[a] < keys[b];
+  }
+  // Deterministic tie-break: higher support, then shorter, then items.
+  if (rows_[a].support != rows_[b].support) {
+    return rows_[a].support > rows_[b].support;
+  }
+  if (rows_[a].items.size() != rows_[b].items.size()) {
+    return rows_[a].items.size() < rows_[b].items.size();
+  }
+  return rows_[a].items < rows_[b].items;
+}
+
 std::vector<size_t> PatternTable::Rank(RankKey key,
                                        bool descending) const {
-  auto value = [&](size_t i) {
+  // One key per row, computed once: the comparator runs O(n log n)
+  // times and must not re-derive its operands per comparison.
+  std::vector<double> keys(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
     switch (key) {
       case RankKey::kDivergence:
-        return rows_[i].divergence;
+        keys[i] = rows_[i].divergence;
+        break;
       case RankKey::kSignificance:
-        return rows_[i].t;
+        keys[i] = rows_[i].t;
+        break;
       case RankKey::kSupport:
-        return rows_[i].support;
+        keys[i] = rows_[i].support;
+        break;
     }
-    return 0.0;
-  };
+  }
   std::vector<size_t> order;
   order.reserve(rows_.size());
   for (size_t i = 0; i < rows_.size(); ++i) {
     if (!rows_[i].items.empty()) order.push_back(i);
   }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (value(a) != value(b)) {
-      return descending ? value(a) > value(b) : value(a) < value(b);
-    }
-    // Deterministic tie-break: higher support, then shorter, then items.
-    if (rows_[a].support != rows_[b].support) {
-      return rows_[a].support > rows_[b].support;
-    }
-    if (rows_[a].items.size() != rows_[b].items.size()) {
-      return rows_[a].items.size() < rows_[b].items.size();
-    }
-    return rows_[a].items < rows_[b].items;
+    return RankLess(a, b, keys, descending);
   });
   return order;
 }
@@ -125,16 +193,31 @@ std::vector<size_t> PatternTable::RankByDivergence(bool descending) const {
 std::vector<size_t> PatternTable::TopK(size_t k, bool descending,
                                        double min_support, size_t min_len,
                                        size_t max_len) const {
-  std::vector<size_t> out;
-  for (size_t i : RankByDivergence(descending)) {
+  std::vector<double> keys(rows_.size());
+  std::vector<size_t> candidates;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    keys[i] = rows_[i].divergence;
     const PatternRow& r = rows_[i];
+    if (r.items.empty()) continue;
     if (r.support < min_support) continue;
     if (r.items.size() < min_len) continue;
     if (max_len != 0 && r.items.size() > max_len) continue;
-    out.push_back(i);
-    if (out.size() >= k) break;
+    candidates.push_back(i);
   }
-  return out;
+  const auto cmp = [&](size_t a, size_t b) {
+    return RankLess(a, b, keys, descending);
+  };
+  // The comparator is a strict total order (the tie-break ends on the
+  // unique itemset), so a partial selection returns exactly the prefix
+  // a full stable sort would.
+  if (k < candidates.size()) {
+    std::partial_sort(candidates.begin(), candidates.begin() + k,
+                      candidates.end(), cmp);
+    candidates.resize(k);
+  } else {
+    std::sort(candidates.begin(), candidates.end(), cmp);
+  }
+  return candidates;
 }
 
 std::string PatternTable::ItemsetName(const Itemset& items) const {

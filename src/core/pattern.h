@@ -3,6 +3,12 @@
 // global divergence, corrective items, pruning, lattices) are pure
 // functions over this table — the payoff of the paper's complete
 // exploration.
+//
+// The table carries a one-time *lattice index*: for each row K, the row
+// indices of its |K| immediate subsets K \ {α}, stored inline in one
+// flat array. The divergence post-pass walks these integer links
+// instead of materializing temporary itemsets and re-hashing them (see
+// docs/performance.md).
 #ifndef DIVEXP_CORE_PATTERN_H_
 #define DIVEXP_CORE_PATTERN_H_
 
@@ -14,6 +20,7 @@
 #include "data/encoder.h"
 #include "fpm/itemset.h"
 #include "fpm/miner.h"
+#include "obs/stage.h"
 #include "util/run_guard.h"
 #include "util/status.h"
 
@@ -29,10 +36,28 @@ struct PatternRow {
   double t = 0.0;           ///< Welch t vs the dataset (paper §3.3)
 };
 
+/// Construction knobs for the divergence/significance post-pass.
+struct PatternTableOptions {
+  /// Worker threads for the per-row stat pass and the lattice-index
+  /// build; 1 = sequential. Results are identical across thread counts
+  /// (both passes are pure per-row computations).
+  size_t num_threads = 1;
+  /// Optional per-stage accounting sink: the index/stat pass records an
+  /// obs::kStagePostIndex record (a sub-interval of
+  /// obs::kStageDivergence).
+  obs::StageCollector* stages = nullptr;
+};
+
 /// Immutable table of all frequent patterns for one (dataset, outcome
-/// function) pair, with O(1) itemset lookup.
+/// function) pair, with O(1) itemset lookup and precomputed
+/// immediate-subset links.
 class PatternTable {
  public:
+  /// Sentinel link for an absent immediate subset. Only possible on
+  /// guard-truncated tables (a complete exploration contains every
+  /// subset of every frequent itemset).
+  static constexpr uint32_t kNoLink = UINT32_MAX;
+
   /// Builds from mined patterns. The empty itemset must be present (the
   /// miners emit it); it defines the global rate f(D).
   ///
@@ -44,7 +69,8 @@ class PatternTable {
   /// still gets divergences for the patterns it produced.
   static Result<PatternTable> Create(std::vector<MinedPattern> mined,
                                      ItemCatalog catalog, size_t num_rows,
-                                     RunGuard* guard = nullptr);
+                                     RunGuard* guard = nullptr,
+                                     const PatternTableOptions& options = {});
 
   size_t size() const { return rows_.size(); }
   const PatternRow& row(size_t i) const { return rows_[i]; }
@@ -59,12 +85,28 @@ class PatternTable {
   /// Index of an itemset, if frequent.
   std::optional<size_t> Find(const Itemset& items) const;
 
+  /// Heterogeneous lookup: no Itemset is materialized for the query.
+  std::optional<size_t> Find(ItemSpan items) const;
+
+  /// Lookup of the immediate subset row(i).items \ {items[skip]}
+  /// without materializing it.
+  std::optional<size_t> Find(const ItemsetSkipView& view) const;
+
   bool Contains(const Itemset& items) const {
     return Find(items).has_value();
   }
 
   /// Δ_f of a frequent itemset; error if not in the table.
   Result<double> Divergence(const Itemset& items) const;
+
+  /// Row indices of row i's immediate subsets, aligned with
+  /// row(i).items: SubsetLinks(i)[j] is the row of items \ {items[j]},
+  /// or kNoLink if that subset was dropped by a guard truncation. Empty
+  /// span for the empty itemset.
+  std::span<const uint32_t> SubsetLinks(size_t i) const {
+    return std::span<const uint32_t>(subset_links_)
+        .subspan(link_offsets_[i], link_offsets_[i + 1] - link_offsets_[i]);
+  }
 
   /// Sort key for ranking patterns (paper §5: itemsets can be ranked
   /// by significance, support or f-divergence).
@@ -83,7 +125,8 @@ class PatternTable {
   std::vector<size_t> RankByDivergence(bool descending = true) const;
 
   /// Top-k rows by divergence with support >= min_support and length
-  /// within [min_len, max_len] (0 = unbounded max).
+  /// within [min_len, max_len] (0 = unbounded max). Partial selection:
+  /// O(n + k log n) instead of a full sort for small k.
   std::vector<size_t> TopK(size_t k, bool descending = true,
                            double min_support = 0.0, size_t min_len = 1,
                            size_t max_len = 0) const;
@@ -96,8 +139,19 @@ class PatternTable {
       const std::vector<std::pair<std::string, std::string>>& items) const;
 
  private:
+  /// Comparator shared by Rank and TopK: orders row indices by a
+  /// precomputed key vector with the deterministic tie-break chain
+  /// (higher support, then shorter, then items). Total order, so
+  /// unstable sorts produce the same permutation as stable ones.
+  bool RankLess(size_t a, size_t b, const std::vector<double>& keys,
+                bool descending) const;
+
   std::vector<PatternRow> rows_;
-  std::unordered_map<Itemset, size_t, ItemsetHash> index_;
+  std::unordered_map<Itemset, size_t, ItemsetHash, ItemsetEq> index_;
+  /// Flat immediate-subset links; row i owns
+  /// [link_offsets_[i], link_offsets_[i+1]).
+  std::vector<uint32_t> subset_links_;
+  std::vector<size_t> link_offsets_;
   ItemCatalog catalog_;
   size_t num_dataset_rows_ = 0;
   double global_rate_ = 0.0;

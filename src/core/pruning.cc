@@ -1,6 +1,7 @@
 #include "core/pruning.h"
 
 #include <cmath>
+#include <span>
 
 #include "obs/stage.h"
 #include "obs/trace.h"
@@ -14,12 +15,14 @@ std::vector<size_t> RedundancyPrune(const PatternTable& table,
   for (size_t i = 0; i < table.size(); ++i) {
     const PatternRow& row = table.row(i);
     if (row.items.empty()) continue;
+    const std::span<const uint32_t> links = table.SubsetLinks(i);
     bool redundant = false;
-    for (uint32_t alpha : row.items) {
-      const Itemset base = Without(row.items, alpha);
-      const Result<double> base_div = table.Divergence(base);
-      DIVEXP_CHECK(base_div.ok());
-      if (std::fabs(row.divergence - *base_div) <= epsilon) {
+    for (uint32_t link : links) {
+      // kNoLink: subset dropped by a guard truncation — the comparison
+      // is unavailable, so it cannot prove the pattern redundant.
+      if (link == PatternTable::kNoLink) continue;
+      if (std::fabs(row.divergence - table.row(link).divergence) <=
+          epsilon) {
         redundant = true;
         break;
       }

@@ -1,66 +1,111 @@
 #include "core/shapley.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "obs/stage.h"
 #include "obs/trace.h"
+#include "stats/special.h"
 
 namespace divexp {
-namespace {
-
-// n! as double; exact for n <= 22, ample for |I| <= #attributes.
-double Factorial(size_t n) {
-  double f = 1.0;
-  for (size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
-  return f;
-}
-
-}  // namespace
 
 Result<std::vector<ItemContribution>> ShapleyContributions(
     const PatternTable& table, const Itemset& items) {
   obs::ScopedSpan span(obs::kStageShapley);
-  if (!table.Contains(items)) {
+  const auto row_idx = table.Find(items);
+  if (!row_idx.has_value()) {
     return Status::NotFound("itemset not in pattern table: " +
                             ItemsetDebugString(items));
   }
   const size_t n = items.size();
   const double n_fact = Factorial(n);
+  // Immediate subsets I \ {α} come straight off the lattice links; the
+  // non-immediate subsets go through the heterogeneous hash with one
+  // scratch buffer reused across the whole enumeration, so no Itemset
+  // is materialized on the hot path.
+  const std::span<const uint32_t> links = table.SubsetLinks(*row_idx);
+  Itemset scratch;
+  scratch.reserve(n);
+
+  // Row index of the subset of `items` selected by `mask`; `extra`
+  // (npos = none) forces one additional position in. nullopt only on
+  // guard-truncated tables (subsets of frequent itemsets are frequent).
+  const auto find_subset =
+      [&](uint64_t mask, size_t extra) -> std::optional<size_t> {
+    scratch.clear();
+    for (size_t p = 0; p < n; ++p) {
+      if ((mask & (1ULL << p)) || p == extra) scratch.push_back(items[p]);
+    }
+    return table.Find(ItemSpan(scratch));
+  };
 
   std::vector<ItemContribution> out;
   out.reserve(n);
-  Status failure = Status::OK();
-  for (uint32_t alpha : items) {
-    const Itemset rest = Without(items, alpha);
+  for (size_t a = 0; a < n; ++a) {
     double value = 0.0;
-    ForEachSubset(rest, [&](const Itemset& j) {
-      if (!failure.ok()) return;
-      const Result<double> with = table.Divergence(With(j, alpha));
-      const Result<double> without = table.Divergence(j);
-      if (!with.ok()) {
-        failure = with.status();
-        return;
+    // All subsets J ⊆ I \ {α}: masks over the n positions with bit a
+    // forced off.
+    const uint64_t full = (n >= 64 ? ~0ULL : (1ULL << n) - 1);
+    const uint64_t rest = full & ~(1ULL << a);
+    // Enumerate submasks of `rest` in increasing order.
+    uint64_t mask = 0;
+    while (true) {
+      double with_div;
+      double without_div;
+      size_t j_size;
+      if (mask == rest) {
+        // J = I \ {α}: both rows are already linked — J ∪ {α} is I
+        // itself and J is its α-link.
+        if (links[a] == PatternTable::kNoLink) {
+          return Status::NotFound("subset dropped by truncation under " +
+                                  ItemsetDebugString(items));
+        }
+        with_div = table.row(*row_idx).divergence;
+        without_div = table.row(links[a]).divergence;
+        j_size = n - 1;
+      } else {
+        const auto with = find_subset(mask, a);
+        const auto without = find_subset(mask, static_cast<size_t>(-1));
+        if (!with.has_value() || !without.has_value()) {
+          return Status::NotFound("subset dropped by truncation under " +
+                                  ItemsetDebugString(items));
+        }
+        with_div = table.row(*with).divergence;
+        without_div = table.row(*without).divergence;
+        j_size = static_cast<size_t>(std::popcount(mask));
       }
-      if (!without.ok()) {
-        failure = without.status();
-        return;
-      }
-      const double weight = Factorial(j.size()) *
-                            Factorial(n - j.size() - 1) / n_fact;
-      value += weight * (*with - *without);
-    });
-    if (!failure.ok()) return failure;
-    out.push_back(ItemContribution{alpha, value});
+      const double weight =
+          Factorial(j_size) * Factorial(n - j_size - 1) / n_fact;
+      value += weight * (with_div - without_div);
+      if (mask == rest) break;
+      mask = (mask - rest) & rest;  // next submask of rest
+    }
+    out.push_back(ItemContribution{items[a], value});
   }
   return out;
 }
 
 Result<double> MarginalContribution(const PatternTable& table,
                                     const Itemset& items, uint32_t alpha) {
-  DIVEXP_ASSIGN_OR_RETURN(double full, table.Divergence(items));
-  DIVEXP_ASSIGN_OR_RETURN(double without,
-                          table.Divergence(Without(items, alpha)));
-  return full - without;
+  const auto row_idx = table.Find(items);
+  if (!row_idx.has_value()) {
+    return Status::NotFound("itemset not frequent: " +
+                            ItemsetDebugString(items));
+  }
+  const Itemset& k = table.row(*row_idx).items;
+  const auto pos = std::lower_bound(k.begin(), k.end(), alpha);
+  if (pos == k.end() || *pos != alpha) {
+    return Status::NotFound("item not in itemset: " +
+                            ItemsetDebugString(items));
+  }
+  const uint32_t link =
+      table.SubsetLinks(*row_idx)[static_cast<size_t>(pos - k.begin())];
+  if (link == PatternTable::kNoLink) {
+    return Status::NotFound("subset dropped by truncation under " +
+                            ItemsetDebugString(items));
+  }
+  return table.row(*row_idx).divergence - table.row(link).divergence;
 }
 
 }  // namespace divexp

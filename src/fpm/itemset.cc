@@ -1,12 +1,29 @@
 #include "fpm/itemset.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/status.h"
 
 namespace divexp {
+namespace {
+
+std::atomic<uint64_t> g_itemset_allocs{0};
+
+}  // namespace
+
+uint64_t ItemsetAllocCount() {
+  return g_itemset_allocs.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void BumpItemsetAlloc() {
+  g_itemset_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
 
 Itemset MakeItemset(std::vector<uint32_t> items) {
+  internal::BumpItemsetAlloc();
   std::sort(items.begin(), items.end());
   items.erase(std::unique(items.begin(), items.end()), items.end());
   return items;
@@ -17,6 +34,7 @@ bool IsSubset(const Itemset& sub, const Itemset& super) {
 }
 
 Itemset Union(const Itemset& a, const Itemset& b) {
+  internal::BumpItemsetAlloc();
   Itemset out;
   out.reserve(a.size() + b.size());
   std::set_union(a.begin(), a.end(), b.begin(), b.end(),
@@ -25,6 +43,7 @@ Itemset Union(const Itemset& a, const Itemset& b) {
 }
 
 Itemset Without(const Itemset& a, uint32_t alpha) {
+  internal::BumpItemsetAlloc();
   Itemset out;
   out.reserve(a.size() > 0 ? a.size() - 1 : 0);
   bool found = false;
@@ -40,6 +59,7 @@ Itemset Without(const Itemset& a, uint32_t alpha) {
 }
 
 Itemset With(const Itemset& a, uint32_t alpha) {
+  internal::BumpItemsetAlloc();
   Itemset out;
   out.reserve(a.size() + 1);
   bool inserted = false;

@@ -31,6 +31,9 @@ inline constexpr const char* kStageTransactions = "explore.transactions";
 inline constexpr const char* kStageMineBuild = "mine.build";
 inline constexpr const char* kStageMineGrow = "mine.grow";
 inline constexpr const char* kStageDivergence = "explore.divergence";
+/// Sub-interval of explore.divergence: the pattern table's lattice
+/// index build + parallel per-row stat pass (see docs/performance.md).
+inline constexpr const char* kStagePostIndex = "explore.post_index";
 inline constexpr const char* kStageShapley = "analysis.shapley";
 inline constexpr const char* kStageGlobal = "analysis.global";
 inline constexpr const char* kStageCorrective = "analysis.corrective";

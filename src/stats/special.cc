@@ -45,6 +45,20 @@ double BetaContinuedFraction(double a, double b, double x) {
 
 }  // namespace
 
+double Factorial(size_t n) {
+  double f = 1.0;
+  for (size_t i = 2; i <= n; ++i) f *= static_cast<double>(i);
+  return f;
+}
+
+std::vector<long double> Factorials(size_t n) {
+  std::vector<long double> f(n + 1, 1.0L);
+  for (size_t i = 1; i <= n; ++i) {
+    f[i] = f[i - 1] * static_cast<long double>(i);
+  }
+  return f;
+}
+
 double LogGamma(double x) {
   DIVEXP_CHECK(x > 0.0);
   // Lanczos approximation, g=7, n=9.

@@ -1,9 +1,22 @@
 // Special functions needed by the statistical machinery: log-gamma,
-// regularized incomplete beta, and distribution CDFs built on them.
+// regularized incomplete beta, distribution CDFs built on them, and the
+// small factorial tables the Shapley-style weights are built from.
 #ifndef DIVEXP_STATS_SPECIAL_H_
 #define DIVEXP_STATS_SPECIAL_H_
 
+#include <cstddef>
+#include <vector>
+
 namespace divexp {
+
+/// n! as double; exact for n <= 22, ample for itemset lengths (bounded
+/// by the number of attributes).
+double Factorial(size_t n);
+
+/// Factorials 0..n as long double (exact through 25!, far beyond any
+/// realistic attribute count). Shared by the Shapley / global-divergence
+/// weight computations so the two agree bit-for-bit.
+std::vector<long double> Factorials(size_t n);
 
 /// Natural log of the gamma function (Lanczos approximation), x > 0.
 double LogGamma(double x);

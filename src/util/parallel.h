@@ -4,6 +4,7 @@
 #ifndef DIVEXP_UTIL_PARALLEL_H_
 #define DIVEXP_UTIL_PARALLEL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <exception>
@@ -50,6 +51,50 @@ inline void ParallelFor(size_t num_threads, size_t n,
             first_error = std::current_exception();
           }
           return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Number of contiguous chunks ParallelForChunks splits [0, n) into:
+/// min(num_threads, n) (0 when n == 0). Exposed so callers can size
+/// per-chunk accumulators before launching.
+inline size_t ParallelChunkCount(size_t num_threads, size_t n) {
+  if (n == 0) return 0;
+  if (num_threads <= 1) return 1;
+  return std::min(num_threads, n);
+}
+
+/// Invokes fn(chunk, begin, end) once per contiguous chunk of [0, n),
+/// chunk boundaries identical to ParallelFor's worker partition. Meant
+/// for reductions: each chunk fills its own accumulator slot and the
+/// caller combines slots in chunk order, so the reduction order — and
+/// therefore the floating-point result — is deterministic for a fixed
+/// thread count. Same exception contract as ParallelFor.
+inline void ParallelForChunks(
+    size_t num_threads, size_t n,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  const size_t chunks = ParallelChunkCount(num_threads, n);
+  if (chunks == 0) return;
+  if (chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  threads.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    threads.emplace_back([c, chunks, n, &fn, &first_error, &failed] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(c, c * n / chunks, (c + 1) * n / chunks);
+      } catch (...) {
+        if (!failed.exchange(true, std::memory_order_relaxed)) {
+          first_error = std::current_exception();
         }
       }
     });

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
+
 #include "testing/test_explore.h"
 
 namespace divexp {
@@ -135,6 +138,46 @@ TEST(PatternTableTest, CreateRejectsDuplicates) {
   catalog.AddAttribute("a", {"x"});
   auto table = PatternTable::Create(std::move(mined), catalog, 1);
   EXPECT_FALSE(table.ok());
+}
+
+TEST(PatternTableTest, SubsetLinksResolveImmediateSubsets) {
+  const PatternTable table = MakeSmallTable();
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Itemset& items = table.row(i).items;
+    const auto links = table.SubsetLinks(i);
+    ASSERT_EQ(links.size(), items.size());
+    for (size_t j = 0; j < items.size(); ++j) {
+      // Complete exploration: every immediate subset is present.
+      ASSERT_NE(links[j], PatternTable::kNoLink);
+      Itemset expected = items;
+      expected.erase(expected.begin() + static_cast<ptrdiff_t>(j));
+      EXPECT_EQ(table.row(links[j]).items, expected);
+    }
+  }
+}
+
+TEST(PatternTableTest, HeterogeneousFindMatchesItemsetFind) {
+  const PatternTable table = MakeSmallTable();
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Itemset& items = table.row(i).items;
+    const auto by_span = table.Find(ItemSpan(items));
+    ASSERT_TRUE(by_span.has_value());
+    EXPECT_EQ(*by_span, i);
+  }
+  const Itemset absent = {0, 1};  // two values of the same attribute
+  EXPECT_FALSE(table.Find(ItemSpan(absent)).has_value());
+}
+
+TEST(PatternTableTest, TopKMatchesRankPrefix) {
+  const PatternTable table = MakeSmallTable();
+  const auto ranked = table.RankByDivergence(true);
+  for (size_t k : {size_t{1}, size_t{3}, ranked.size(), ranked.size() + 5}) {
+    const auto top = table.TopK(k);
+    ASSERT_EQ(top.size(), std::min(k, ranked.size()));
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i], ranked[i]) << "k=" << k << " i=" << i;
+    }
+  }
 }
 
 TEST(PatternTableTest, SignificanceGrowsWithSampleSize) {

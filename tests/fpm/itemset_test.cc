@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <unordered_map>
 
 namespace divexp {
 namespace {
@@ -63,6 +64,67 @@ TEST(ItemsetHashTest, EqualItemsetsHashEqual) {
   ItemsetHash h;
   EXPECT_EQ(h(Itemset{1, 2}), h(Itemset{1, 2}));
   EXPECT_NE(h(Itemset{1, 2}), h(Itemset{2, 1, 0}));
+}
+
+TEST(ItemsetHashTest, SpanHashesLikeItemset) {
+  ItemsetHash h;
+  const Itemset items = {3, 7, 11};
+  EXPECT_EQ(h(ItemSpan(items)), h(items));
+  EXPECT_EQ(h(ItemSpan()), h(Itemset{}));
+}
+
+TEST(ItemsetHashTest, SkipViewHashesLikeWithout) {
+  ItemsetHash h;
+  const Itemset items = {2, 5, 9, 14};
+  for (size_t skip = 0; skip < items.size(); ++skip) {
+    const Itemset materialized = Without(items, items[skip]);
+    EXPECT_EQ(h(ItemsetSkipView{ItemSpan(items), skip}), h(materialized))
+        << "skip=" << skip;
+  }
+}
+
+TEST(ItemsetEqTest, ComparesAcrossRepresentations) {
+  ItemsetEq eq;
+  const Itemset items = {2, 5, 9};
+  EXPECT_TRUE(eq(items, ItemSpan(items)));
+  EXPECT_TRUE(eq(ItemSpan(items), items));
+  EXPECT_FALSE(eq(items, ItemSpan(Itemset{2, 5})));
+  const Itemset full = {2, 5, 9, 14};
+  for (size_t skip = 0; skip < full.size(); ++skip) {
+    const ItemsetSkipView view{ItemSpan(full), skip};
+    EXPECT_TRUE(eq(view, Without(full, full[skip])));
+    EXPECT_TRUE(eq(Without(full, full[skip]), view));
+    EXPECT_FALSE(eq(view, full));
+  }
+}
+
+TEST(ItemsetHashTest, HeterogeneousMapLookupIsAllocationFree) {
+  std::unordered_map<Itemset, int, ItemsetHash, ItemsetEq> map;
+  map[MakeItemset({1, 2, 3})] = 1;
+  map[MakeItemset({1, 3})] = 2;
+  map[MakeItemset({})] = 3;
+
+  const Itemset query = {1, 2, 3};
+  const uint64_t before = ItemsetAllocCount();
+  auto it = map.find(ItemSpan(query));
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 1);
+  // {1,2,3} \ {2} = {1,3}.
+  it = map.find(ItemsetSkipView{ItemSpan(query), 1});
+  ASSERT_NE(it, map.end());
+  EXPECT_EQ(it->second, 2);
+  EXPECT_EQ(map.find(ItemsetSkipView{ItemSpan(query), 0}), map.end());
+  EXPECT_EQ(ItemsetAllocCount(), before);
+}
+
+TEST(ItemsetAllocCountTest, CountsMaterializations) {
+  const uint64_t before = ItemsetAllocCount();
+  const Itemset a = MakeItemset({4, 1});
+  EXPECT_EQ(ItemsetAllocCount(), before + 1);
+  (void)Union(a, a);
+  (void)Without(a, 1);
+  (void)With(a, 9);
+  EXPECT_EQ(ItemsetAllocCount(), before + 4);
 }
 
 TEST(ItemsetDebugStringTest, Renders) {

@@ -184,7 +184,9 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
 
   if (opts.show_global) {
     obs::StageTimer timer(&run_stages, obs::kStageGlobal);
-    const auto globals = ComputeGlobalItemDivergence(table);
+    GlobalDivergenceOptions gopts;
+    gopts.num_threads = opts.num_threads;
+    const auto globals = ComputeGlobalItemDivergence(table, gopts);
     timer.AddItems(globals.size());
     timer.Finish();
     out << "global vs individual item divergence:\n"
