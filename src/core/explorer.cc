@@ -5,6 +5,9 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "recovery/checkpoint.h"
+#include "recovery/failpoint.h"
+#include "recovery/mining_snapshot.h"
 #include "util/stopwatch.h"
 
 namespace divexp {
@@ -35,6 +38,10 @@ Status ValidateExplorerOptions(const ExplorerOptions& options) {
       options.escalate_factor <= 1.0) {
     return Status::InvalidArgument(
         "escalate_factor must be > 1 for on_limit=escalate");
+  }
+  if (options.resume && options.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "resume requires a checkpoint directory");
   }
   return Status::OK();
 }
@@ -83,6 +90,24 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     return Status::InvalidArgument("unknown miner kind");
   }
 
+  // Crash recovery: one Checkpointer spans all escalation attempts. It
+  // is keyed to the exact dataset via a fingerprint so a snapshot can
+  // never restore onto different data.
+  std::unique_ptr<recovery::Checkpointer> checkpointer;
+  uint64_t fingerprint = 0;
+  if (!options_.checkpoint_dir.empty()) {
+    recovery::CheckpointerOptions copts;
+    copts.dir = options_.checkpoint_dir;
+    copts.every_ms = options_.checkpoint_every_ms;
+    copts.resume = options_.resume;
+    DIVEXP_ASSIGN_OR_RETURN(checkpointer,
+                            recovery::Checkpointer::Create(copts));
+    fingerprint = recovery::DatasetFingerprint(db);
+  }
+  const uint64_t faults0 =
+      recovery::FailPointRegistry::Default().faults_injected();
+  bool resumed_any = false;
+
   // One guard governs the whole run (all escalation attempts). An
   // external guard, if provided, takes precedence so callers can cancel
   // from another thread; otherwise one is built from options_.limits.
@@ -106,10 +131,33 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     mopts.num_threads = options_.num_threads;
     mopts.guard = guard;
     mopts.stages = &stages;
+    if (checkpointer != nullptr) {
+      // Strict on the first attempt of an explicit --resume: a snapshot
+      // that cannot apply is an error, not a silent remine.
+      DIVEXP_ASSIGN_OR_RETURN(
+          const bool restored,
+          checkpointer->BeginAttempt(fingerprint, options_.miner, support,
+                                     options_.max_length,
+                                     options_.resume && attempt == 0));
+      resumed_any = resumed_any || restored;
+      checkpointer->AttachGuard(guard);
+      mopts.checkpoint = checkpointer.get();
+    }
 
     Stopwatch sw;
-    DIVEXP_ASSIGN_OR_RETURN(std::vector<MinedPattern> mined,
-                            miner->Mine(db, mopts));
+    DIVEXP_FAILPOINT_STATUS("core.explore.mine");
+    // Injected faults may surface as exceptions from any seam the
+    // miners do not themselves catch; contain them to this attempt.
+    Result<std::vector<MinedPattern>> mine_result = [&] {
+      try {
+        return miner->Mine(db, mopts);
+      } catch (const std::exception& e) {
+        return Result<std::vector<MinedPattern>>(Status::Internal(
+            std::string("mining failed: ") + e.what()));
+      }
+    }();
+    DIVEXP_RETURN_NOT_OK(mine_result.status());
+    std::vector<MinedPattern> mined = std::move(mine_result).value();
     timings_.mining_seconds = sw.Seconds();
 
     if (guard != nullptr && guard->stopped() &&
@@ -118,6 +166,7 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     }
 
     sw.Restart();
+    DIVEXP_FAILPOINT_STATUS("core.explore.divergence");
     const size_t mined_count = mined.size();
     const uint64_t div_checks0 =
         guard != nullptr ? guard->check_count() : 0;
@@ -154,6 +203,15 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     }
     stats_.elapsed_ms = total.Millis();
     stats_.stages = stages.stages();
+    stats_.resumed_from_checkpoint = resumed_any;
+    stats_.faults_injected =
+        recovery::FailPointRegistry::Default().faults_injected() - faults0;
+    auto sync_recovery_stats = [&]() {
+      if (checkpointer == nullptr) return;
+      stats_.checkpoints_written = checkpointer->checkpoints_written();
+      stats_.checkpoint_bytes = checkpointer->checkpoint_bytes();
+    };
+    sync_recovery_stats();
 
     // Run-level metrics for the table-returning exits below; the
     // escalation `break` never reaches a return, so re-invoking this on
@@ -182,12 +240,22 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
       case LimitAction::kTruncate:
         stats_.truncated = true;
         stats_.reason = breach;
+        // Capture the state the breach truncated, so a --resume can
+        // pick the run back up (best-effort; the table still returns).
+        if (checkpointer != nullptr) {
+          (void)checkpointer->Flush();
+          sync_recovery_stats();
+        }
         record_run();
         return table;
       case LimitAction::kEscalate: {
         if (attempt >= options_.max_escalations || support >= 1.0) {
           stats_.truncated = true;
           stats_.reason = breach;
+          if (checkpointer != nullptr) {
+            (void)checkpointer->Flush();
+            sync_recovery_stats();
+          }
           record_run();
           return table;
         }

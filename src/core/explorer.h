@@ -61,6 +61,22 @@ struct ExplorerOptions {
   /// (e.g. a server's timeout handler) can RequestCancel() from another
   /// thread; its limits take precedence over `limits`.
   RunGuard* guard = nullptr;
+  /// Directory for crash-recovery snapshots (created if missing); empty
+  /// = no checkpointing. While mining, completed work units are
+  /// persisted to <dir>/mining.ckpt (CRC-checked, atomically replaced);
+  /// see docs/recovery.md.
+  std::string checkpoint_dir;
+  /// Minimum milliseconds between snapshot writes; 0 = snapshot after
+  /// every completed unit. A RunGuard breach forces a snapshot
+  /// regardless of cadence, so the state a LimitBreach is about to
+  /// truncate is captured first.
+  uint64_t checkpoint_every_ms = 0;
+  /// Restore completed units from an existing <checkpoint_dir>/
+  /// mining.ckpt before mining. A missing snapshot means a fresh run; a
+  /// corrupt snapshot or one from a different dataset/configuration is
+  /// an InvalidArgument error. The resumed result is bit-identical to
+  /// an uninterrupted run.
+  bool resume = false;
 };
 
 /// Validates an options struct up front (support range, thread count,
@@ -101,6 +117,16 @@ struct ExplorerRunStats {
   /// attempts. The CLI folds these into its run-level summary table
   /// and --metrics-json output.
   std::vector<obs::StageStats> stages;
+  /// True when any attempt restored completed units from a
+  /// --resume snapshot.
+  bool resumed_from_checkpoint = false;
+  /// Snapshot files written during the run.
+  uint64_t checkpoints_written = 0;
+  /// Cumulative bytes of all snapshot files written.
+  uint64_t checkpoint_bytes = 0;
+  /// Faults fired by armed failpoints while this run executed (a
+  /// process-wide delta; meaningful when one run is active at a time).
+  uint64_t faults_injected = 0;
 };
 
 /// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and

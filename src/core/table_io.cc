@@ -1,11 +1,13 @@
 #include "core/table_io.h"
 
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "data/csv.h"
+#include "recovery/atomic_file.h"
+#include "recovery/failpoint.h"
 #include "util/string_util.h"
 
 namespace divexp {
@@ -44,11 +46,10 @@ std::string WritePatternTableCsv(const PatternTable& table) {
 
 Status WritePatternTableFile(const PatternTable& table,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "'");
-  out << WritePatternTableCsv(table);
-  if (!out) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  DIVEXP_FAILPOINT_STATUS("io.table.write");
+  // Atomic replace: a crash mid-write never leaves a torn CSV at
+  // `path` — readers see either the old file or the new one.
+  return recovery::WriteFileAtomic(path, WritePatternTableCsv(table));
 }
 
 Result<PatternTable> ReadPatternTableCsv(const std::string& text,
@@ -137,11 +138,10 @@ Result<PatternTable> ReadPatternTableCsv(const std::string& text,
 
 Result<PatternTable> ReadPatternTableFile(const std::string& path,
                                           size_t num_dataset_rows) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return ReadPatternTableCsv(buf.str(), num_dataset_rows);
+  DIVEXP_FAILPOINT_STATUS("io.table.read");
+  DIVEXP_ASSIGN_OR_RETURN(std::string text,
+                          recovery::ReadFileToString(path));
+  return ReadPatternTableCsv(text, num_dataset_rows);
 }
 
 }  // namespace divexp

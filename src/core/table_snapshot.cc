@@ -1,0 +1,182 @@
+#include "core/table_snapshot.h"
+
+#include <utility>
+
+#include "recovery/snapshot_file.h"
+
+namespace divexp {
+
+/// Friend of PatternTable: the only code that touches its private
+/// representation outside pattern.cc.
+class TableSnapshotAccess {
+ public:
+  static std::string Serialize(const PatternTable& table) {
+    recovery::ByteWriter w;
+    // Catalog: attributes in id order, each with its value labels;
+    // AddAttribute replay reproduces the exact item-id assignment.
+    const ItemCatalog& catalog = table.catalog_;
+    w.PutU64(catalog.num_attributes());
+    for (uint32_t a = 0; a < catalog.num_attributes(); ++a) {
+      w.PutString(catalog.attribute_name(a));
+      const uint32_t first = catalog.first_item(a);
+      const uint32_t domain = catalog.domain_size(a);
+      w.PutU64(domain);
+      for (uint32_t j = 0; j < domain; ++j) {
+        w.PutString(catalog.item(first + j).value);
+      }
+    }
+    w.PutU64(table.num_dataset_rows_);
+    w.PutF64(table.global_rate_);
+    w.PutF64(table.global_mean_);
+    w.PutF64(table.global_variance_);
+    w.PutU64(table.rows_.size());
+    for (const PatternRow& row : table.rows_) {
+      w.PutU32Vector(row.items);
+      w.PutU64(row.counts.t);
+      w.PutU64(row.counts.f);
+      w.PutU64(row.counts.bot);
+      w.PutF64(row.support);
+      w.PutF64(row.rate);
+      w.PutF64(row.divergence);
+      w.PutF64(row.t);
+    }
+    w.PutU32Vector(table.subset_links_);
+    w.PutU64(table.link_offsets_.size());
+    for (const size_t off : table.link_offsets_) w.PutU64(off);
+    return w.Take();
+  }
+
+  static Result<PatternTable> Deserialize(const std::string& payload) {
+    recovery::ByteReader r(payload);
+    PatternTable table;
+
+    DIVEXP_ASSIGN_OR_RETURN(const uint64_t num_attrs, r.GetU64());
+    for (uint64_t a = 0; a < num_attrs; ++a) {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, r.GetBytes());
+      DIVEXP_ASSIGN_OR_RETURN(const uint64_t domain, r.GetU64());
+      if (domain > r.remaining() / 8) {
+        return Status::OutOfRange("attribute '" + name + "' claims " +
+                                  std::to_string(domain) +
+                                  " values, more than the payload holds");
+      }
+      std::vector<std::string> values;
+      values.reserve(domain);
+      for (uint64_t j = 0; j < domain; ++j) {
+        DIVEXP_ASSIGN_OR_RETURN(std::string value, r.GetBytes());
+        values.push_back(std::move(value));
+      }
+      table.catalog_.AddAttribute(std::move(name), values);
+    }
+
+    DIVEXP_ASSIGN_OR_RETURN(table.num_dataset_rows_, r.GetU64());
+    DIVEXP_ASSIGN_OR_RETURN(table.global_rate_, r.GetF64());
+    DIVEXP_ASSIGN_OR_RETURN(table.global_mean_, r.GetF64());
+    DIVEXP_ASSIGN_OR_RETURN(table.global_variance_, r.GetF64());
+
+    DIVEXP_ASSIGN_OR_RETURN(const uint64_t num_rows, r.GetU64());
+    // One serialized row takes >= 72 bytes (empty itemset + 3 counters
+    // + 4 doubles), so an absurd count fails before reserving.
+    if (num_rows > r.remaining() / 72) {
+      return Status::OutOfRange("table claims " + std::to_string(num_rows) +
+                                " rows, more than the payload holds");
+    }
+    table.rows_.reserve(num_rows);
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      PatternRow row;
+      DIVEXP_RETURN_NOT_OK(r.GetU32Vector(&row.items));
+      DIVEXP_ASSIGN_OR_RETURN(row.counts.t, r.GetU64());
+      DIVEXP_ASSIGN_OR_RETURN(row.counts.f, r.GetU64());
+      DIVEXP_ASSIGN_OR_RETURN(row.counts.bot, r.GetU64());
+      DIVEXP_ASSIGN_OR_RETURN(row.support, r.GetF64());
+      DIVEXP_ASSIGN_OR_RETURN(row.rate, r.GetF64());
+      DIVEXP_ASSIGN_OR_RETURN(row.divergence, r.GetF64());
+      DIVEXP_ASSIGN_OR_RETURN(row.t, r.GetF64());
+      table.rows_.push_back(std::move(row));
+    }
+
+    DIVEXP_RETURN_NOT_OK(r.GetU32Vector(&table.subset_links_));
+    DIVEXP_ASSIGN_OR_RETURN(const uint64_t num_offsets, r.GetU64());
+    if (num_offsets != num_rows + 1) {
+      return Status::InvalidArgument(
+          "table has " + std::to_string(num_offsets) +
+          " link offsets for " + std::to_string(num_rows) + " rows");
+    }
+    if (num_offsets > r.remaining() / 8 + 1) {
+      return Status::OutOfRange("link offsets exceed the payload");
+    }
+    table.link_offsets_.reserve(num_offsets);
+    for (uint64_t i = 0; i < num_offsets; ++i) {
+      DIVEXP_ASSIGN_OR_RETURN(const uint64_t off, r.GetU64());
+      table.link_offsets_.push_back(off);
+    }
+    if (!r.empty()) {
+      return Status::InvalidArgument(
+          "table snapshot has " + std::to_string(r.remaining()) +
+          " trailing bytes");
+    }
+
+    // Structural validation before any SubsetLinks span is formed.
+    if (table.link_offsets_.front() != 0 ||
+        table.link_offsets_.back() != table.subset_links_.size()) {
+      return Status::InvalidArgument(
+          "link offsets do not span the subset-link array");
+    }
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      const size_t begin = table.link_offsets_[i];
+      const size_t end = table.link_offsets_[i + 1];
+      if (end < begin || end - begin != table.rows_[i].items.size()) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(i) + " has " +
+            std::to_string(end < begin ? 0 : end - begin) +
+            " subset links for " +
+            std::to_string(table.rows_[i].items.size()) + " items");
+      }
+    }
+    for (const uint32_t link : table.subset_links_) {
+      if (link != PatternTable::kNoLink && link >= table.rows_.size()) {
+        return Status::InvalidArgument("subset link " +
+                                       std::to_string(link) +
+                                       " points past the last row");
+      }
+    }
+
+    // The hash index is derived state; rebuild it.
+    table.index_.reserve(table.rows_.size());
+    for (size_t i = 0; i < table.rows_.size(); ++i) {
+      if (!table.index_.emplace(table.rows_[i].items, i).second) {
+        return Status::InvalidArgument("table repeats itemset at row " +
+                                       std::to_string(i));
+      }
+    }
+    return table;
+  }
+};
+
+std::string SerializePatternTable(const PatternTable& table) {
+  return TableSnapshotAccess::Serialize(table);
+}
+
+Result<PatternTable> DeserializePatternTable(const std::string& payload) {
+  return TableSnapshotAccess::Deserialize(payload);
+}
+
+Status SavePatternTable(const std::string& path, const PatternTable& table,
+                        uint64_t* bytes_written) {
+  const std::string payload = SerializePatternTable(table);
+  DIVEXP_RETURN_NOT_OK(recovery::WriteSnapshotFile(
+      path, recovery::SnapshotKind::kPatternTable, payload));
+  if (bytes_written != nullptr) {
+    *bytes_written = recovery::kSnapshotHeaderSize + payload.size();
+  }
+  return Status::OK();
+}
+
+Result<PatternTable> LoadPatternTable(const std::string& path) {
+  DIVEXP_ASSIGN_OR_RETURN(
+      const std::string payload,
+      recovery::ReadSnapshotFile(path,
+                                 recovery::SnapshotKind::kPatternTable));
+  return DeserializePatternTable(payload);
+}
+
+}  // namespace divexp

@@ -1,0 +1,37 @@
+// Binary serialization of a PatternTable into a CRC-checked
+// kPatternTable snapshot (see src/recovery/snapshot_file.h for the
+// envelope). The payload captures the full private representation —
+// rows, catalog, lattice index (subset links), and the Beta-posterior
+// global stats — so loading reproduces the table bit-identically
+// without re-running the divergence post-pass. Guard-truncated tables
+// (with kNoLink holes) round-trip exactly as well.
+#ifndef DIVEXP_CORE_TABLE_SNAPSHOT_H_
+#define DIVEXP_CORE_TABLE_SNAPSHOT_H_
+
+#include <string>
+
+#include "core/pattern.h"
+#include "util/status.h"
+
+namespace divexp {
+
+/// Serializes `table` into a snapshot payload (no envelope).
+std::string SerializePatternTable(const PatternTable& table);
+
+/// Parses a snapshot payload into a PatternTable. Malformed input —
+/// truncation, inconsistent offsets, out-of-range links — yields a
+/// descriptive Status, never UB.
+Result<PatternTable> DeserializePatternTable(const std::string& payload);
+
+/// Writes `table` as a CRC-checked kPatternTable snapshot file
+/// (write-temp/fsync/rename). `bytes_written` (optional) receives the
+/// file size.
+Status SavePatternTable(const std::string& path, const PatternTable& table,
+                        uint64_t* bytes_written = nullptr);
+
+/// Loads and verifies a kPatternTable snapshot file.
+Result<PatternTable> LoadPatternTable(const std::string& path);
+
+}  // namespace divexp
+
+#endif  // DIVEXP_CORE_TABLE_SNAPSHOT_H_

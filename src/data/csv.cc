@@ -9,6 +9,8 @@
 
 #include "obs/stage.h"
 #include "obs/trace.h"
+#include "recovery/atomic_file.h"
+#include "recovery/failpoint.h"
 #include "util/string_util.h"
 
 namespace divexp {
@@ -222,11 +224,9 @@ std::string WriteCsvString(const DataFrame& df, const CsvOptions& options) {
 
 Status WriteCsvFile(const DataFrame& df, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for write");
-  out << WriteCsvString(df, options);
-  if (!out) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+  DIVEXP_FAILPOINT_STATUS("io.csv.write");
+  // Atomic replace: a crash mid-write never leaves a torn CSV.
+  return recovery::WriteFileAtomic(path, WriteCsvString(df, options));
 }
 
 }  // namespace divexp

@@ -7,6 +7,7 @@
 #include "fpm/bitmap.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
+#include "recovery/failpoint.h"
 #include "util/parallel.h"
 
 namespace divexp {
@@ -109,18 +110,67 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     return c;
   };
 
+  // Units for checkpoint/resume are whole levels (1-based; unit 1 =
+  // the singletons). Restored levels splice their patterns into `out`
+  // verbatim; the topmost restored level's row bitmaps are rebuilt by
+  // intersecting the singleton bitmaps, and mining continues from the
+  // next level. Restored emissions count against the single control's
+  // budget so a resumed run truncates at the same point.
+  MiningCheckpointSink* sink = options.checkpoint;
+  if (sink != nullptr) sink->BeginRun(0);  // level count emerges later
+
   std::vector<LevelEntry> level;
-  for (uint32_t id = 0; id < db.num_items(); ++id) {
-    if (item_rows[id].Count() < min_count) continue;
-    if (!ctrl.Emit(1)) break;
-    LevelEntry e;
-    e.items = Itemset{id};
-    e.rows = std::move(item_rows[id]);
-    out.push_back(MinedPattern{e.items, tally(e.rows)});
-    level.push_back(std::move(e));
+  size_t k = 0;  // last completed level
+  if (sink != nullptr) {
+    const std::vector<MinedPattern>* top = nullptr;
+    while (const std::vector<MinedPattern>* restored =
+               sink->RestoredUnit(k + 1)) {
+      ++k;
+      ctrl.RestorePriorEmissions(restored->size());
+      out.insert(out.end(), restored->begin(), restored->end());
+      top = restored;
+    }
+    if (top != nullptr) {
+      // Only the topmost restored level continues mining; rebuild its
+      // row bitmaps from the singleton bitmaps.
+      for (const MinedPattern& p : *top) {
+        LevelEntry e;
+        e.items = p.items;
+        e.rows = item_rows[p.items[0]];
+        for (size_t j = 1; j < p.items.size(); ++j) {
+          Bitmap joined(n);
+          joined.AssignAnd(e.rows, item_rows[p.items[j]]);
+          e.rows = std::move(joined);
+        }
+        level.push_back(std::move(e));
+      }
+    }
   }
-  // The singleton bitmaps now live in `level`; drop the item-indexed
-  // vector and re-account the survivors as the live level.
+  if (k == 0) {
+    std::vector<MinedPattern> singleton_patterns;
+    bool complete = true;
+    for (uint32_t id = 0; id < db.num_items(); ++id) {
+      if (item_rows[id].Count() < min_count) continue;
+      if (!ctrl.Emit(1)) {
+        complete = false;
+        break;
+      }
+      LevelEntry e;
+      e.items = Itemset{id};
+      e.rows = std::move(item_rows[id]);
+      MinedPattern p{e.items, tally(e.rows)};
+      if (sink != nullptr) singleton_patterns.push_back(p);
+      out.push_back(std::move(p));
+      level.push_back(std::move(e));
+    }
+    k = 1;
+    if (sink != nullptr && complete && !ctrl.stopped()) {
+      sink->UnitMined(1, singleton_patterns);
+    }
+  }
+  // The singleton bitmaps (or their level-k joins) now live in `level`;
+  // drop the item-indexed vector and re-account the survivors as the
+  // live level.
   item_rows.clear();
   uint64_t live_level_bytes = level.size() * bm_bytes;
   if (guard != nullptr) {
@@ -131,9 +181,9 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     }
   }
 
-  size_t k = 1;
   while (!level.empty() && !ctrl.stopped() &&
          (options.max_length == 0 || k < options.max_length)) {
+    DIVEXP_FAILPOINT_STATUS("fpm.apriori.level");
     std::unordered_set<Itemset, ItemsetHash> frequent;
     frequent.reserve(level.size());
     for (const LevelEntry& e : level) frequent.insert(e.items);
@@ -198,10 +248,17 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     // Emission stays on the calling thread: budget truncation is
     // deterministic even though counting was parallel.
     std::vector<LevelEntry> next;
+    std::vector<MinedPattern> next_patterns;
+    bool complete = true;
     for (size_t c = 0; c < evaluated.size(); ++c) {
       if (!survives[c]) continue;
-      if (!ctrl.Emit(evaluated[c].items.size())) break;
-      out.push_back(MinedPattern{evaluated[c].items, counts[c]});
+      if (!ctrl.Emit(evaluated[c].items.size())) {
+        complete = false;
+        break;
+      }
+      MinedPattern p{evaluated[c].items, counts[c]};
+      if (sink != nullptr) next_patterns.push_back(p);
+      out.push_back(std::move(p));
       next.push_back(std::move(evaluated[c]));
     }
     if (guard != nullptr) {
@@ -212,6 +269,9 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     }
     level = std::move(next);
     ++k;
+    if (sink != nullptr && complete && !ctrl.stopped()) {
+      sink->UnitMined(k, next_patterns);
+    }
   }
   if (guard != nullptr) guard->SubMemory(live_level_bytes);
   grow_timer.AddItems(ctrl.emitted());

@@ -7,6 +7,7 @@
 
 #include "obs/stage.h"
 #include "obs/trace.h"
+#include "recovery/failpoint.h"
 #include "util/parallel.h"
 
 namespace divexp {
@@ -66,6 +67,7 @@ void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
              const std::vector<EclatItem>& siblings, size_t i,
              uint64_t min_count, size_t max_length, MineControl* ctrl,
              std::vector<MinedPattern>* out) {
+  DIVEXP_FAILPOINT("fpm.eclat.grow");
   const EclatItem& head = siblings[i];
   if (!ctrl->Emit(prefix.size() + 1)) return;
   Itemset items = With(prefix, head.item);
@@ -184,23 +186,44 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
     grow_span.End();
   };
 
-  if (options.num_threads <= 1) {
+  MiningCheckpointSink* sink = options.checkpoint;
+  if (options.num_threads <= 1 && sink == nullptr) {
     MineControl ctrl(guard);
-    Grow(db, Itemset{}, roots, min_count, options.max_length, &ctrl, &out);
+    try {
+      Grow(db, Itemset{}, roots, min_count, options.max_length, &ctrl,
+           &out);
+    } catch (const std::exception& e) {
+      if (guard != nullptr) guard->SubMemory(root_bytes);
+      return Status::Internal(std::string("eclat worker failed: ") +
+                              e.what());
+    }
     if (guard != nullptr) guard->SubMemory(root_bytes);
     close_grow();
     return out;
   }
-  // Parallel mode: each root item's subtree is independent; concatenate
-  // in root order so output matches the sequential run exactly. Each
-  // shard enforces the pattern budget locally; the post-merge
-  // truncation keeps the budget semantics deterministic.
+  // Sharded mode (parallel, or any run with a checkpoint sink): each
+  // root item's subtree is independent; concatenate in root order so
+  // output matches the sequential run exactly. Each shard enforces the
+  // pattern budget locally; the post-merge truncation keeps the budget
+  // semantics deterministic. Restored units are spliced in unmined;
+  // only units that ran to completion are reported back.
+  if (sink != nullptr) sink->BeginRun(roots.size());
   std::vector<std::vector<MinedPattern>> partial(roots.size());
   try {
     ParallelFor(options.num_threads, roots.size(), [&](size_t i) {
+      if (sink != nullptr) {
+        const std::vector<MinedPattern>* restored = sink->RestoredUnit(i);
+        if (restored != nullptr) {
+          partial[i] = *restored;
+          return;
+        }
+      }
       MineControl ctrl(guard);
       GrowOne(db, Itemset{}, roots, i, min_count, options.max_length,
               &ctrl, &partial[i]);
+      if (sink != nullptr && !ctrl.stopped()) {
+        sink->UnitMined(i, partial[i]);
+      }
     });
   } catch (const std::exception& e) {
     if (guard != nullptr) guard->SubMemory(root_bytes);

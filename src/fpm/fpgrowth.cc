@@ -9,6 +9,7 @@
 
 #include "obs/stage.h"
 #include "obs/trace.h"
+#include "recovery/failpoint.h"
 #include "util/parallel.h"
 
 namespace divexp {
@@ -130,6 +131,7 @@ void MineTree(const FpTree& tree, const Itemset& suffix,
 void MineHeaderItem(const FpTree& tree, size_t hi, const Itemset& suffix,
                     uint64_t min_count, size_t max_length,
                     MineControl* ctrl, std::vector<MinedPattern>* out) {
+  DIVEXP_FAILPOINT("fpm.fpgrowth.grow");
   const HeaderEntry& h = tree.headers()[hi];
   if (!ctrl->Emit(suffix.size() + 1)) return;
   Itemset pattern = suffix;
@@ -295,29 +297,51 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
     grow_span.End();
   };
 
-  if (options.num_threads <= 1) {
+  MiningCheckpointSink* sink = options.checkpoint;
+  if (options.num_threads <= 1 && sink == nullptr) {
     MineControl ctrl(guard);
-    MineTree(tree, Itemset{}, min_count, options.max_length, &ctrl, &out);
+    try {
+      MineTree(tree, Itemset{}, min_count, options.max_length, &ctrl,
+               &out);
+    } catch (const std::exception& e) {
+      if (guard != nullptr) guard->SubMemory(tree_bytes);
+      return Status::Internal(std::string("fpgrowth worker failed: ") +
+                              e.what());
+    }
     if (guard != nullptr) guard->SubMemory(tree_bytes);
     close_grow();
     return out;
   }
 
-  // Parallel mode: top-level conditional trees are independent; mine
-  // each header item into its own buffer, then concatenate in the
-  // sequential order so output is identical to the single-thread run.
-  // Each shard gets its own MineControl (full pattern budget); the
-  // post-merge truncation keeps the budget semantics deterministic.
+  // Sharded mode (parallel, or any run with a checkpoint sink):
+  // top-level conditional trees are independent; mine each header item
+  // into its own buffer, then concatenate in the sequential order so
+  // output is identical to the single-thread run. Each shard gets its
+  // own MineControl (full pattern budget); the post-merge truncation
+  // keeps the budget semantics deterministic. Units restored from a
+  // checkpoint are spliced into their slots unmined; only units that
+  // ran to completion are reported back.
   const size_t num_headers = tree.headers().size();
+  if (sink != nullptr) sink->BeginRun(num_headers);
   std::vector<std::vector<MinedPattern>> partial(num_headers);
   try {
     ParallelFor(options.num_threads, num_headers, [&](size_t i) {
+      if (sink != nullptr) {
+        const std::vector<MinedPattern>* restored = sink->RestoredUnit(i);
+        if (restored != nullptr) {
+          partial[i] = *restored;
+          return;
+        }
+      }
       // Sequential order iterates hi descending; slot i handles that
       // position.
       const size_t hi = num_headers - 1 - i;
       MineControl ctrl(guard);
       MineHeaderItem(tree, hi, Itemset{}, min_count, options.max_length,
                      &ctrl, &partial[i]);
+      if (sink != nullptr && !ctrl.stopped()) {
+        sink->UnitMined(i, partial[i]);
+      }
     });
   } catch (const std::exception& e) {
     if (guard != nullptr) guard->SubMemory(tree_bytes);

@@ -22,6 +22,46 @@ struct MinedPattern {
   OutcomeCounts counts;
 };
 
+/// Checkpoint/resume hook for the miners (implemented by
+/// recovery::Checkpointer; declared here so fpm stays decoupled from
+/// the snapshot layer).
+///
+/// Every miner decomposes its run into ordered, independent *units*
+/// whose outputs concatenate in unit order to the sequential result:
+/// FP-growth units are top-level header positions, Eclat units are root
+/// items, Apriori units are whole levels (1-based). With a sink
+/// attached a miner (a) asks RestoredUnit() before mining each unit and
+/// splices the restored output in place, and (b) reports each freshly
+/// *completed* unit via UnitMined — a unit cut short by a guard stop or
+/// an exception is never reported, so no snapshot ever contains a
+/// partial unit.
+///
+/// BeginRun is called once from the coordinating thread before any
+/// unit; RestoredUnit and UnitMined may be called concurrently from
+/// worker threads for distinct units.
+class MiningCheckpointSink {
+ public:
+  virtual ~MiningCheckpointSink() = default;
+
+  /// Announces the unit count (0 when unknown up front, e.g. Apriori's
+  /// level count).
+  virtual void BeginRun(size_t num_units) = 0;
+
+  /// Patterns of `unit` restored from a snapshot, or nullptr if the
+  /// unit must be mined. The pointee stays valid until the next
+  /// BeginRun.
+  virtual const std::vector<MinedPattern>* RestoredUnit(size_t unit) = 0;
+
+  /// Reports a freshly completed unit. Persistence errors are absorbed
+  /// by the sink (checkpointing is best-effort; mining continues).
+  virtual void UnitMined(size_t unit,
+                         const std::vector<MinedPattern>& patterns) = 0;
+
+  /// Forces a snapshot of all completed units now (e.g. just before a
+  /// limit breach truncates the run).
+  virtual Status Flush() = 0;
+};
+
 /// Mining parameters. `min_support` is relative (paper's s); an itemset
 /// is frequent iff |D(I)| >= ceil(min_support * |D|) and |D(I)| > 0.
 struct MinerOptions {
@@ -44,6 +84,12 @@ struct MinerOptions {
   /// enumeration proper) into it. Only the coordinating thread touches
   /// the collector; workers report through aggregate numbers.
   obs::StageCollector* stages = nullptr;
+  /// Optional checkpoint/resume sink (non-owning; must outlive the Mine
+  /// call). When set, miners use their sharded unit decomposition even
+  /// at num_threads == 1 so unit outputs are well defined; results are
+  /// identical either way (the PR 1 sequential/parallel equivalence
+  /// invariant).
+  MiningCheckpointSink* checkpoint = nullptr;
 };
 
 /// Which mining algorithm backs a DivergenceExplorer run.
@@ -117,6 +163,12 @@ class MineControl {
   /// Patterns emitted through this control so far (plain member read;
   /// each shard owns its control, so no synchronization is needed).
   uint64_t emitted() const { return emitted_; }
+
+  /// Accounts `n` patterns restored from a checkpoint against the
+  /// budget, so a resumed run truncates at the same total emission
+  /// count as the uninterrupted one (used by Apriori, whose single
+  /// control spans all levels).
+  void RestorePriorEmissions(uint64_t n) { emitted_ += n; }
 
   /// Cheap hard-stop check for loop heads and recursion entries.
   bool stopped() {

@@ -147,6 +147,10 @@ std::string MetricsReportToJson(const MetricsReport& report) {
   w.Key("breach").Value(report.run.breach);
   w.Key("effective_min_support").Value(report.run.effective_min_support);
   w.Key("escalations").Value(report.run.escalations);
+  w.Key("resumed_from_checkpoint").Value(report.run.resumed_from_checkpoint);
+  w.Key("checkpoints_written").Value(report.run.checkpoints_written);
+  w.Key("checkpoint_bytes").Value(report.run.checkpoint_bytes);
+  w.Key("faults_injected").Value(report.run.faults_injected);
   w.EndObject();
 
   w.Key("stages").BeginArray();
@@ -481,13 +485,16 @@ Status ValidateMetricsJson(const std::string& text,
   DIVEXP_RETURN_NOT_OK(RequireString(*run, "tool", "run"));
   for (const char* key :
        {"elapsed_ms", "patterns", "peak_memory_bytes",
-        "effective_min_support", "escalations"}) {
+        "effective_min_support", "escalations", "checkpoints_written",
+        "checkpoint_bytes", "faults_injected"}) {
     DIVEXP_RETURN_NOT_OK(RequireNumber(*run, key, "run"));
   }
-  const JsonValue* truncated = run->Find("truncated");
-  if (truncated == nullptr ||
-      truncated->kind != JsonValue::Kind::kBool) {
-    return Violation("run must have boolean 'truncated'");
+  for (const char* key : {"truncated", "resumed_from_checkpoint"}) {
+    const JsonValue* flag = run->Find(key);
+    if (flag == nullptr || flag->kind != JsonValue::Kind::kBool) {
+      return Violation(std::string("run must have boolean '") + key +
+                       "'");
+    }
   }
   DIVEXP_RETURN_NOT_OK(RequireString(*run, "breach", "run"));
 

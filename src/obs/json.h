@@ -59,6 +59,11 @@ struct RunSummary {
   std::string breach = "none";
   double effective_min_support = 0.0;
   uint64_t escalations = 0;
+  // Crash-recovery accounting (schema v2).
+  bool resumed_from_checkpoint = false;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t faults_injected = 0;
 };
 
 /// Everything the CLI writes to --metrics-json.
@@ -70,7 +75,9 @@ struct MetricsReport {
 };
 
 /// Schema version written into every report; bump on breaking changes.
-inline constexpr int kMetricsSchemaVersion = 1;
+/// v2 added the run-level crash-recovery fields (resumed_from_checkpoint,
+/// checkpoints_written, checkpoint_bytes, faults_injected).
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// Serializes a full report (schema_version, run, stages, counters,
 /// gauges, histograms, spans).

@@ -1,0 +1,152 @@
+#include "recovery/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "recovery/failpoint.h"
+
+namespace divexp {
+namespace recovery {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync the directory containing `path` so a rename into it is
+/// durable. Best-effort on filesystems that reject directory fds.
+void SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TempFileGuard() {
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+  void Release() { path_.clear(); }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  DIVEXP_FAILPOINT_STATUS("io.atomic.begin");
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("open", tmp));
+  }
+  TempFileGuard guard(tmp);
+
+  size_t written = 0;
+  const size_t midpoint = contents.size() / 2;
+  while (written < contents.size()) {
+#if defined(DIVEXP_FAILPOINTS_ENABLED)
+    // Simulated mid-write death: half the payload is on disk, then the
+    // process aborts (or the write errors out). Either way the
+    // destination must be left untouched.
+    if (written >= midpoint && written > 0 &&
+        FailPointRegistry::Default().armed()) {
+      const Status fp_status =
+          FailPointRegistry::Default().Hit("io.atomic.mid_write");
+      if (!fp_status.ok()) {
+        ::close(fd);
+        return fp_status;
+      }
+    }
+#endif
+    size_t chunk = contents.size() - written;
+#if defined(DIVEXP_FAILPOINTS_ENABLED)
+    // Stop the first write at the midpoint so the mid_write failpoint
+    // above observes a genuinely half-written temp file.
+    if (written < midpoint) chunk = midpoint - written;
+#endif
+    const ssize_t n = ::write(fd, contents.data() + written, chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IOError(Errno("write", tmp));
+      ::close(fd);
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  if (::fsync(fd) != 0) {
+    const Status status = Status::IOError(Errno("fsync", tmp));
+    ::close(fd);
+    return status;
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError(Errno("close", tmp));
+  }
+  DIVEXP_FAILPOINT_STATUS("io.atomic.before_rename");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError(Errno("rename", tmp + " -> " + path));
+  }
+  guard.Release();
+  SyncDirectory(DirName(path));
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  DIVEXP_FAILPOINT_STATUS("io.atomic.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read '" + path + "' failed");
+  }
+  return std::move(buffer).str();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("empty directory path");
+  }
+  // Create each path component in turn (mkdir -p).
+  for (size_t pos = 1; pos <= path.size(); ++pos) {
+    if (pos < path.size() && path[pos] != '/') continue;
+    const std::string prefix = path.substr(0, pos);
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(Errno("mkdir", prefix));
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("'" + path + "' is not a directory");
+  }
+  return Status::OK();
+}
+
+}  // namespace recovery
+}  // namespace divexp

@@ -1,0 +1,38 @@
+// Crash-safe file replacement: write-temp / fsync / rename.
+//
+// WriteFileAtomic() guarantees that after any crash (including one
+// injected mid-write via the io.atomic.mid_write failpoint) the
+// destination path holds either its previous contents or the complete
+// new contents — never a torn mix. The temp file lives in the same
+// directory as the destination so the rename is atomic within one
+// filesystem; the directory itself is fsync'd after the rename so the
+// new directory entry is durable.
+#ifndef DIVEXP_RECOVERY_ATOMIC_FILE_H_
+#define DIVEXP_RECOVERY_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace divexp {
+namespace recovery {
+
+/// Atomically replaces `path` with `contents`. On any error the temp
+/// file is unlinked and the destination is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// Reads the whole file into a string. NotFound if it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Creates `path` (and missing parents) as a directory; OK if it
+/// already exists as one.
+Status EnsureDirectory(const std::string& path);
+
+}  // namespace recovery
+}  // namespace divexp
+
+#endif  // DIVEXP_RECOVERY_ATOMIC_FILE_H_

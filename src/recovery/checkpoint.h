@@ -1,0 +1,122 @@
+// Checkpointer: the MiningCheckpointSink implementation backing
+// --checkpoint-dir / --resume.
+//
+// One Checkpointer covers one exploration (all escalation attempts).
+// It owns <dir>/mining.ckpt: a kMiningState snapshot holding every
+// completed unit of the attempt in flight. Snapshot writes are
+// crash-safe (write-temp/fsync/rename, CRC-checked on load) and
+// best-effort: a failed write is remembered in last_write_error() but
+// never interrupts mining — availability of the run beats durability
+// of the checkpoint.
+//
+// Cadence: a snapshot is written when a unit completes and (a)
+// every_ms milliseconds have passed since the last write (0 = write
+// after every unit), or (b) the attached RunGuard has stopped — so the
+// state that a LimitBreach is about to truncate is captured first. The
+// explorer additionally calls Flush() on its truncation paths.
+#ifndef DIVEXP_RECOVERY_CHECKPOINT_H_
+#define DIVEXP_RECOVERY_CHECKPOINT_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fpm/miner.h"
+#include "recovery/mining_snapshot.h"
+#include "util/run_guard.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace divexp {
+namespace recovery {
+
+struct CheckpointerOptions {
+  /// Directory for snapshot files; created if missing.
+  std::string dir;
+  /// Minimum milliseconds between snapshot writes; 0 = snapshot after
+  /// every completed unit.
+  uint64_t every_ms = 0;
+  /// Load an existing <dir>/mining.ckpt at Create. A missing file means
+  /// a fresh run; a corrupt or unreadable file is an error (a resume
+  /// request must never silently remine what it was asked to restore).
+  bool resume = false;
+};
+
+class Checkpointer final : public MiningCheckpointSink {
+ public:
+  static Result<std::unique_ptr<Checkpointer>> Create(
+      const CheckpointerOptions& options);
+
+  const std::string& snapshot_path() const { return path_; }
+
+  /// True when Create loaded an existing snapshot that has not yet been
+  /// consumed by a matching attempt.
+  bool has_pending_snapshot() const { return loaded_.has_value(); }
+
+  /// Starts an attempt with the given mining parameters; resets the
+  /// unit state. When a loaded snapshot matches (fingerprint, miner,
+  /// max_length, bit-equal min_support) its units become restorable and
+  /// true is returned. A min_support-only mismatch keeps the snapshot
+  /// pending (a later escalation attempt may reach its support); any
+  /// other mismatch discards it — or, with `strict` (the first attempt
+  /// of a --resume run), returns a descriptive error instead.
+  Result<bool> BeginAttempt(uint64_t fingerprint, MinerKind miner,
+                            double min_support, uint64_t max_length,
+                            bool strict);
+
+  /// Attaches the run's guard so a breach forces the next unit's
+  /// snapshot regardless of cadence. Non-owning; may be nullptr.
+  void AttachGuard(RunGuard* guard) { guard_ = guard; }
+
+  // MiningCheckpointSink:
+  void BeginRun(size_t num_units) override;
+  const std::vector<MinedPattern>* RestoredUnit(size_t unit) override;
+  void UnitMined(size_t unit,
+                 const std::vector<MinedPattern>& patterns) override;
+  Status Flush() override;
+
+  /// True when any attempt of this run restored units from a snapshot.
+  bool resumed() const { return resumed_; }
+  /// Restored non-empty patterns of the current attempt (for budget
+  /// accounting via MineControl::RestorePriorEmissions).
+  uint64_t restored_pattern_count() const;
+  uint64_t checkpoints_written() const { return writes_; }
+  /// Cumulative bytes of all snapshot files written.
+  uint64_t checkpoint_bytes() const { return bytes_written_; }
+  /// First snapshot write failure of the run, if any (mining is never
+  /// interrupted by one).
+  Status last_write_error() const;
+
+ private:
+  explicit Checkpointer(const CheckpointerOptions& options);
+
+  /// Writes the current state; caller holds mu_.
+  Status WriteLocked();
+
+  std::string path_;
+  uint64_t every_ms_ = 0;
+  RunGuard* guard_ = nullptr;
+
+  /// Snapshot loaded at Create, pending until an attempt matches it.
+  std::optional<MiningStateSnapshot> loaded_;
+  /// Units restored into the current attempt; immutable between
+  /// BeginAttempt calls, so RestoredUnit reads race-free.
+  std::map<uint64_t, std::vector<MinedPattern>> restored_;
+  bool resumed_ = false;
+
+  mutable std::mutex mu_;
+  MiningStateSnapshot state_;  ///< completed units of the attempt
+  bool dirty_ = false;
+  Stopwatch since_write_;
+  bool wrote_once_ = false;
+  uint64_t writes_ = 0;
+  uint64_t bytes_written_ = 0;
+  Status write_error_;
+};
+
+}  // namespace recovery
+}  // namespace divexp
+
+#endif  // DIVEXP_RECOVERY_CHECKPOINT_H_

@@ -1,0 +1,179 @@
+#include "recovery/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace divexp {
+namespace recovery {
+
+const char* FailPointActionName(FailPointAction action) {
+  switch (action) {
+    case FailPointAction::kReturnError:
+      return "return-error";
+    case FailPointAction::kThrow:
+      return "throw";
+    case FailPointAction::kAbort:
+      return "abort";
+    case FailPointAction::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+Result<std::vector<FailPointSpec>> ParseFailPointSpecs(
+    const std::string& spec) {
+  std::vector<FailPointSpec> out;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string entry = Trim(raw);
+    if (entry.empty()) continue;
+    const size_t at = entry.find('@');
+    const size_t colon = entry.find(':', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || colon == std::string::npos ||
+        at == 0 || colon <= at + 1 || colon + 1 >= entry.size()) {
+      return Status::InvalidArgument(
+          "bad failpoint '" + entry +
+          "' (want name@ordinal:action, e.g. fpm.fpgrowth.grow@3:throw)");
+    }
+    FailPointSpec fp;
+    fp.name = entry.substr(0, at);
+    const std::string ordinal = entry.substr(at + 1, colon - at - 1);
+    char* end = nullptr;
+    const unsigned long long n =
+        std::strtoull(ordinal.c_str(), &end, 10);
+    if (end != ordinal.c_str() + ordinal.size() || n == 0) {
+      return Status::InvalidArgument("bad failpoint ordinal '" + ordinal +
+                                     "' (want an integer >= 1)");
+    }
+    fp.ordinal = n;
+    const std::string action = entry.substr(colon + 1);
+    if (action == "return-error") {
+      fp.action = FailPointAction::kReturnError;
+    } else if (action == "throw") {
+      fp.action = FailPointAction::kThrow;
+    } else if (action == "abort") {
+      fp.action = FailPointAction::kAbort;
+    } else if (action.rfind("delay-", 0) == 0) {
+      const std::string ms = action.substr(6);
+      const unsigned long long delay =
+          std::strtoull(ms.c_str(), &end, 10);
+      if (ms.empty() || end != ms.c_str() + ms.size()) {
+        return Status::InvalidArgument("bad failpoint delay '" + action +
+                                       "' (want delay-<ms>)");
+      }
+      fp.action = FailPointAction::kDelay;
+      fp.delay_ms = delay;
+    } else {
+      return Status::InvalidArgument(
+          "unknown failpoint action '" + action +
+          "' (use return-error, throw, abort, delay-<ms>)");
+    }
+    out.push_back(std::move(fp));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("empty failpoint spec");
+  }
+  return out;
+}
+
+FailPointRegistry& FailPointRegistry::Default() {
+  static FailPointRegistry* registry = new FailPointRegistry();
+  return *registry;
+}
+
+Status FailPointRegistry::Arm(const std::string& spec) {
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<FailPointSpec> specs,
+                          ParseFailPointSpecs(spec));
+  return Arm(std::move(specs));
+}
+
+Status FailPointRegistry::Arm(std::vector<FailPointSpec> specs) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("empty failpoint spec");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  points_.clear();
+  for (FailPointSpec& spec : specs) {
+    auto [it, inserted] = points_.try_emplace(spec.name);
+    if (inserted) it->second = std::make_unique<Point>();
+    it->second->specs.push_back(std::move(spec));
+  }
+  armed_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void FailPointRegistry::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  points_.clear();
+}
+
+FailPointRegistry::Point* FailPointRegistry::FindPoint(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return nullptr;
+  auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+const FailPointSpec* FailPointRegistry::Count(Point* point) {
+  // The 1-based hit ordinal; exactly one concurrent hitter observes
+  // each value, so at most one worker fires per armed entry.
+  const uint64_t ordinal =
+      point->hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const FailPointSpec& spec : point->specs) {
+    if (spec.ordinal == ordinal) return &spec;
+  }
+  return nullptr;
+}
+
+Status FailPointRegistry::Fire(const FailPointSpec& spec) {
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Default()
+      .GetCounter("recovery.failpoint." + spec.name)
+      ->Increment();
+  switch (spec.action) {
+    case FailPointAction::kReturnError:
+      return Status::Internal("failpoint '" + spec.name + "' fired at " +
+                              std::to_string(spec.ordinal));
+    case FailPointAction::kThrow:
+      throw FailPointError("failpoint '" + spec.name + "' fired at " +
+                           std::to_string(spec.ordinal));
+    case FailPointAction::kAbort:
+      std::abort();
+    case FailPointAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(spec.delay_ms));
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+Status FailPointRegistry::Hit(const char* name) {
+  Point* point = FindPoint(name);
+  if (point == nullptr) return Status::OK();
+  const FailPointSpec* spec = Count(point);
+  if (spec == nullptr) return Status::OK();
+  return Fire(*spec);
+}
+
+void FailPointRegistry::HitOrThrow(const char* name) {
+  Point* point = FindPoint(name);
+  if (point == nullptr) return;
+  const FailPointSpec* spec = Count(point);
+  if (spec == nullptr) return;
+  if (spec->action == FailPointAction::kReturnError) {
+    FailPointSpec promoted = *spec;
+    promoted.action = FailPointAction::kThrow;
+    Fire(promoted);  // throws
+    return;
+  }
+  const Status status = Fire(*spec);
+  (void)status;  // kDelay returns OK; kThrow/kAbort never get here
+}
+
+}  // namespace recovery
+}  // namespace divexp

@@ -1,0 +1,183 @@
+// Deterministic fault injection for crash-safety testing.
+//
+// A *failpoint* is a named hook compiled into the hot seams of the
+// pipeline (miner frontier expansion, explorer stage transitions,
+// table/snapshot I/O, ParallelFor worker startup). In production the
+// hooks are disarmed and cost one relaxed atomic load; built with
+// -DDIVEXP_ENABLE_FAILPOINTS=OFF they compile out entirely.
+//
+// Armed via a spec string (CLI --failpoints, tests):
+//
+//   name@ordinal:action[,name@ordinal:action...]
+//
+// `ordinal` is 1-based and deterministic: the action fires on exactly
+// the Nth hit of that failpoint since Arm() (hits are counted with one
+// atomic per point, so under parallel mining exactly one worker fires
+// even though *which* work item it is executing is scheduling
+// dependent). Actions:
+//
+//   return-error  the enclosing function returns Status::Internal
+//                 (DIVEXP_FAILPOINT throws FailPointError instead,
+//                 exercising the exception-safety paths)
+//   throw         throw FailPointError
+//   abort         std::abort() — simulated process death
+//   delay-<ms>    sleep for <ms> milliseconds, then continue
+//
+// Every fired fault increments the obs counter
+// `recovery.failpoint.<name>` and the registry's faults_injected()
+// total (surfaced as ExplorerRunStats::faults_injected). The failpoint
+// catalog is documented in docs/recovery.md.
+#ifndef DIVEXP_RECOVERY_FAILPOINT_H_
+#define DIVEXP_RECOVERY_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace divexp {
+namespace recovery {
+
+/// What an armed failpoint does when its ordinal comes up.
+enum class FailPointAction {
+  kReturnError,
+  kThrow,
+  kAbort,
+  kDelay,
+};
+
+const char* FailPointActionName(FailPointAction action);
+
+/// One armed entry: fire `action` on the `ordinal`-th hit (1-based).
+struct FailPointSpec {
+  std::string name;
+  uint64_t ordinal = 1;
+  FailPointAction action = FailPointAction::kThrow;
+  uint64_t delay_ms = 0;  ///< only for kDelay
+};
+
+/// Parses "name@ordinal:action[,...]"; see the file comment for the
+/// grammar. Exposed so the CLI can validate --failpoints up front.
+Result<std::vector<FailPointSpec>> ParseFailPointSpecs(
+    const std::string& spec);
+
+/// Exception thrown by kThrow faults (and by kReturnError faults hit
+/// at a void-context failpoint). Derives from std::runtime_error so the
+/// existing worker exception machinery converts it to Status::Internal.
+class FailPointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Process-wide failpoint registry. Disarmed checks are one relaxed
+/// atomic load; Arm/Disarm are test/CLI-time operations.
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& Default();
+
+  /// Replaces the armed set with the parsed `spec` and resets all hit
+  /// counters. An empty spec is InvalidArgument (use Disarm()).
+  Status Arm(const std::string& spec);
+  Status Arm(std::vector<FailPointSpec> specs);
+
+  /// Clears all armed points and hit counters. Does not reset
+  /// faults_injected(), which is monotone for metrics deltas.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Total faults fired since process start (monotone).
+  uint64_t faults_injected() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a hit of `name`; fires the armed action when the ordinal
+  /// matches. kReturnError comes back as a non-OK Status; kThrow
+  /// raises FailPointError; kAbort does not return.
+  Status Hit(const char* name);
+
+  /// Hit() for void contexts: kReturnError is promoted to kThrow.
+  void HitOrThrow(const char* name);
+
+ private:
+  struct Point {
+    std::atomic<uint64_t> hits{0};
+    std::vector<FailPointSpec> specs;  ///< immutable while armed
+  };
+
+  /// nullptr when `name` is not armed.
+  Point* FindPoint(const char* name);
+  /// Returns the action to fire for this hit, if any.
+  const FailPointSpec* Count(Point* point);
+  Status Fire(const FailPointSpec& spec);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Point>> points_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> fired_{0};
+};
+
+/// RAII helper for tests: arms on construction, disarms on scope exit.
+class ScopedFailPoints {
+ public:
+  /// Arms nothing yet; call Arm() to install a schedule. Disarm still
+  /// happens on destruction, so the scope stays exception-safe.
+  ScopedFailPoints() = default;
+  explicit ScopedFailPoints(const std::string& spec) {
+    DIVEXP_CHECK_OK(FailPointRegistry::Default().Arm(spec));
+  }
+  ~ScopedFailPoints() { FailPointRegistry::Default().Disarm(); }
+
+  /// Parses and installs `spec`; a parse error leaves nothing armed.
+  Status Arm(const std::string& spec) {
+    return FailPointRegistry::Default().Arm(spec);
+  }
+
+  ScopedFailPoints(const ScopedFailPoints&) = delete;
+  ScopedFailPoints& operator=(const ScopedFailPoints&) = delete;
+};
+
+}  // namespace recovery
+}  // namespace divexp
+
+#if defined(DIVEXP_FAILPOINTS_ENABLED)
+
+/// Failpoint in a void context: throws FailPointError / aborts /
+/// delays. return-error behaves like throw here.
+#define DIVEXP_FAILPOINT(name)                                        \
+  do {                                                                \
+    if (::divexp::recovery::FailPointRegistry::Default().armed()) {   \
+      ::divexp::recovery::FailPointRegistry::Default().HitOrThrow(    \
+          name);                                                      \
+    }                                                                 \
+  } while (false)
+
+/// Failpoint in a Status/Result-returning context: return-error makes
+/// the enclosing function return Status::Internal.
+#define DIVEXP_FAILPOINT_STATUS(name)                                 \
+  do {                                                                \
+    if (::divexp::recovery::FailPointRegistry::Default().armed()) {   \
+      ::divexp::Status _fp_status =                                   \
+          ::divexp::recovery::FailPointRegistry::Default().Hit(name); \
+      if (!_fp_status.ok()) return _fp_status;                        \
+    }                                                                 \
+  } while (false)
+
+#else  // !DIVEXP_FAILPOINTS_ENABLED
+
+#define DIVEXP_FAILPOINT(name) \
+  do {                         \
+  } while (false)
+#define DIVEXP_FAILPOINT_STATUS(name) \
+  do {                                \
+  } while (false)
+
+#endif  // DIVEXP_FAILPOINTS_ENABLED
+
+#endif  // DIVEXP_RECOVERY_FAILPOINT_H_

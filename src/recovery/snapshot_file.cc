@@ -1,0 +1,144 @@
+#include "recovery/snapshot_file.h"
+
+#include <cstring>
+
+#include "recovery/atomic_file.h"
+#include "recovery/crc32.h"
+#include "recovery/failpoint.h"
+
+namespace divexp {
+namespace recovery {
+
+void ByteWriter::PutF64(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void ByteWriter::PutBytes(std::string_view bytes) {
+  PutU64(bytes.size());
+  out_.append(bytes.data(), bytes.size());
+}
+
+Status ByteReader::Need(size_t n) {
+  if (remaining() < n) {
+    return Status::OutOfRange(
+        "truncated payload: need " + std::to_string(n) + " bytes at offset " +
+        std::to_string(pos_) + ", have " + std::to_string(remaining()));
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  DIVEXP_RETURN_NOT_OK(Need(1));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteReader::GetU32() {
+  DIVEXP_RETURN_NOT_OK(Need(4));
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteReader::GetU64() {
+  DIVEXP_RETURN_NOT_OK(Need(8));
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> ByteReader::GetI64() {
+  DIVEXP_ASSIGN_OR_RETURN(const uint64_t bits, GetU64());
+  return static_cast<int64_t>(bits);
+}
+
+Result<double> ByteReader::GetF64() {
+  DIVEXP_ASSIGN_OR_RETURN(const uint64_t bits, GetU64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::string> ByteReader::GetBytes() {
+  DIVEXP_ASSIGN_OR_RETURN(const uint64_t n, GetU64());
+  if (n > remaining()) {
+    return Status::OutOfRange("byte-buffer length " + std::to_string(n) +
+                              " exceeds remaining payload " +
+                              std::to_string(remaining()));
+  }
+  std::string out(data_.substr(pos_, n));
+  pos_ += n;
+  return out;
+}
+
+Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
+                         std::string_view payload) {
+  DIVEXP_FAILPOINT_STATUS("io.snapshot.write");
+  ByteWriter header;
+  header.PutU64(kSnapshotMagic);
+  header.PutU32(kSnapshotVersion);
+  header.PutU32(static_cast<uint32_t>(kind));
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload));
+  std::string file = header.Take();
+  file.append(payload.data(), payload.size());
+  return WriteFileAtomic(path, file);
+}
+
+Result<std::string> ReadSnapshotFile(const std::string& path,
+                                     SnapshotKind expected_kind) {
+  DIVEXP_ASSIGN_OR_RETURN(const std::string file, ReadFileToString(path));
+  if (file.size() < kSnapshotHeaderSize) {
+    return Status::OutOfRange("snapshot '" + path + "' truncated: " +
+                              std::to_string(file.size()) +
+                              " bytes is smaller than the header");
+  }
+  ByteReader reader(file);
+  DIVEXP_ASSIGN_OR_RETURN(const uint64_t magic, reader.GetU64());
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' has bad magic (not a divexp snapshot)");
+  }
+  DIVEXP_ASSIGN_OR_RETURN(const uint32_t version, reader.GetU32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has version " + std::to_string(version) +
+        "; this build reads version " + std::to_string(kSnapshotVersion));
+  }
+  DIVEXP_ASSIGN_OR_RETURN(const uint32_t kind, reader.GetU32());
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' has kind " + std::to_string(kind) +
+        ", expected " +
+        std::to_string(static_cast<uint32_t>(expected_kind)));
+  }
+  DIVEXP_ASSIGN_OR_RETURN(const uint64_t payload_size, reader.GetU64());
+  DIVEXP_ASSIGN_OR_RETURN(const uint32_t expected_crc, reader.GetU32());
+  if (payload_size != file.size() - kSnapshotHeaderSize) {
+    return Status::OutOfRange(
+        "snapshot '" + path + "' payload size mismatch: header says " +
+        std::to_string(payload_size) + ", file holds " +
+        std::to_string(file.size() - kSnapshotHeaderSize));
+  }
+  const std::string_view payload =
+      std::string_view(file).substr(kSnapshotHeaderSize);
+  const uint32_t actual_crc = Crc32(payload);
+  if (actual_crc != expected_crc) {
+    return Status::InvalidArgument(
+        "snapshot '" + path + "' failed CRC32 check (corrupt payload)");
+  }
+  return std::string(payload);
+}
+
+}  // namespace recovery
+}  // namespace divexp

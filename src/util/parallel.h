@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "recovery/failpoint.h"
+
 namespace divexp {
 
 /// Invokes fn(i) for every i in [0, n), split contiguously over
@@ -27,6 +29,9 @@ inline void ParallelFor(size_t num_threads, size_t n,
                         const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (num_threads <= 1 || n == 1) {
+    // The worker-startup failpoint fires on the degraded path too, so a
+    // fault schedule behaves the same at num_threads == 1.
+    DIVEXP_FAILPOINT("parallel.worker");
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
@@ -40,6 +45,14 @@ inline void ParallelFor(size_t num_threads, size_t n,
       // Contiguous chunks keep per-thread output cache-friendly.
       const size_t begin = w * n / workers;
       const size_t end = (w + 1) * n / workers;
+      try {
+        DIVEXP_FAILPOINT("parallel.worker");
+      } catch (...) {
+        if (!failed.exchange(true, std::memory_order_relaxed)) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
       for (size_t i = begin; i < end; ++i) {
         if (failed.load(std::memory_order_relaxed)) return;
         try {

@@ -112,13 +112,29 @@ TEST(ValidateMetricsJsonTest, RejectsZeroWallTimeForRequiredStage) {
   EXPECT_FALSE(ValidateMetricsJson(text, {kStageMineGrow}).ok());
 }
 
+TEST(ValidateMetricsJsonTest, RequiresRecoveryFields) {
+  // Schema v2: the run summary must carry the crash-recovery fields.
+  const std::string good = MetricsReportToJson(MakeReport());
+  for (const char* field :
+       {"\"resumed_from_checkpoint\":false", "\"checkpoints_written\":0",
+        "\"checkpoint_bytes\":0", "\"faults_injected\":0"}) {
+    EXPECT_NE(good.find(field), std::string::npos) << field;
+  }
+  // Removing one of them must fail validation.
+  std::string bad = good;
+  const std::string victim = ",\"faults_injected\":0";
+  ASSERT_NE(bad.find(victim), std::string::npos);
+  bad.erase(bad.find(victim), victim.size());
+  EXPECT_FALSE(ValidateMetricsJson(bad).ok());
+}
+
 TEST(ValidateMetricsJsonTest, RejectsTamperedDocuments) {
   const std::string good = MetricsReportToJson(MakeReport());
   // Not JSON at all.
   EXPECT_FALSE(ValidateMetricsJson("not json").ok());
   // Wrong schema version.
   std::string bad = good;
-  const std::string version = "\"schema_version\":1";
+  const std::string version = "\"schema_version\":2";
   ASSERT_NE(bad.find(version), std::string::npos);
   bad.replace(bad.find(version), version.size(), "\"schema_version\":99");
   EXPECT_FALSE(ValidateMetricsJson(bad).ok());

@@ -1,0 +1,102 @@
+// Crash-safe file replacement: round trips, atomicity under injected
+// mid-write and pre-rename faults, and directory creation.
+#include "recovery/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "recovery/failpoint.h"
+
+namespace divexp {
+namespace recovery {
+namespace {
+
+std::string TempDir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base != nullptr ? base : "/tmp") +
+                    "/divexp_atomic_file_test";
+  DIVEXP_CHECK_OK(EnsureDirectory(dir));
+  return dir;
+}
+
+TEST(AtomicFileTest, RoundTripsContents) {
+  const std::string path = TempDir() + "/roundtrip.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\nworld\n").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello\nworld\n");
+  // Overwrite replaces in full.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  EXPECT_EQ(*ReadFileToString(path), "v2");
+  EXPECT_TRUE(FileExists(path));
+}
+
+TEST(AtomicFileTest, EmptyAndBinaryContents) {
+  const std::string path = TempDir() + "/binary.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, std::string_view("", 0)).ok());
+  EXPECT_EQ(ReadFileToString(path)->size(), 0u);
+  std::string blob(1024, '\0');
+  for (size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<char>(i * 31);
+  }
+  ASSERT_TRUE(WriteFileAtomic(path, blob).ok());
+  EXPECT_EQ(*ReadFileToString(path), blob);
+}
+
+TEST(AtomicFileTest, MissingFileIsNotFound) {
+  const auto read = ReadFileToString(TempDir() + "/nope.txt");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(FileExists(TempDir() + "/nope.txt"));
+}
+
+TEST(AtomicFileTest, FaultMidWriteKeepsPreviousContents) {
+  const std::string path = TempDir() + "/midwrite.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  {
+    ScopedFailPoints scope("io.atomic.mid_write@1:return-error");
+    EXPECT_FALSE(WriteFileAtomic(path, "NEW CONTENTS XXXX").ok());
+  }
+  // The destination is untouched and no temp file survives the scope.
+  EXPECT_EQ(*ReadFileToString(path), "old contents");
+}
+
+TEST(AtomicFileTest, FaultBeforeRenameKeepsPreviousContents) {
+  const std::string path = TempDir() + "/prerename.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  {
+    ScopedFailPoints scope("io.atomic.before_rename@1:return-error");
+    EXPECT_FALSE(WriteFileAtomic(path, "NEW").ok());
+  }
+  EXPECT_EQ(*ReadFileToString(path), "old contents");
+}
+
+TEST(AtomicFileTest, FaultAtBeginLeavesMissingFileMissing) {
+  const std::string path = TempDir() + "/never_created.txt";
+  std::remove(path.c_str());
+  ScopedFailPoints scope("io.atomic.begin@1:return-error");
+  EXPECT_FALSE(WriteFileAtomic(path, "data").ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(EnsureDirectoryTest, CreatesNestedAndIsIdempotent) {
+  const std::string dir = TempDir() + "/a/b/c";
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(WriteFileAtomic(dir + "/f.txt", "x").ok());
+  EXPECT_TRUE(FileExists(dir + "/f.txt"));
+}
+
+TEST(EnsureDirectoryTest, FailsWhenPathIsAFile) {
+  const std::string path = TempDir() + "/iamafile";
+  ASSERT_TRUE(WriteFileAtomic(path, "x").ok());
+  EXPECT_FALSE(EnsureDirectory(path).ok());
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace divexp

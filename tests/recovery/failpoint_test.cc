@@ -1,0 +1,132 @@
+// Deterministic fault-injection framework: spec parsing, ordinal
+// counting (including under concurrency), action dispatch, and the
+// disarmed fast path.
+#include "recovery/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace divexp {
+namespace recovery {
+namespace {
+
+TEST(ParseFailPointSpecsTest, ParsesFullGrammar) {
+  auto specs = ParseFailPointSpecs(
+      "io.atomic.mid_write@2:abort, fpm.apriori.level@1:throw,"
+      "core.explore.mine@7:return-error,parallel.worker@1:delay-50");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs->size(), 4u);
+  EXPECT_EQ((*specs)[0].name, "io.atomic.mid_write");
+  EXPECT_EQ((*specs)[0].ordinal, 2u);
+  EXPECT_EQ((*specs)[0].action, FailPointAction::kAbort);
+  EXPECT_EQ((*specs)[1].ordinal, 1u);
+  EXPECT_EQ((*specs)[1].action, FailPointAction::kThrow);
+  EXPECT_EQ((*specs)[2].action, FailPointAction::kReturnError);
+  EXPECT_EQ((*specs)[3].action, FailPointAction::kDelay);
+  EXPECT_EQ((*specs)[3].delay_ms, 50u);
+}
+
+TEST(ParseFailPointSpecsTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "noaction", "name:throw", "name@:throw", "name@x:throw",
+        "name@0:throw", "name@1:", "name@1:explode", "name@1:delay-",
+        "name@1:delay-x", "@1:throw", ","}) {
+    EXPECT_FALSE(ParseFailPointSpecs(bad).ok()) << "'" << bad << "'";
+  }
+  // Stray empty entries between commas are tolerated.
+  EXPECT_TRUE(ParseFailPointSpecs("a@1:throw,,b@1:throw").ok());
+}
+
+TEST(FailPointRegistryTest, DisarmedHitsAreFree) {
+  FailPointRegistry& reg = FailPointRegistry::Default();
+  reg.Disarm();
+  EXPECT_FALSE(reg.armed());
+  EXPECT_TRUE(reg.Hit("anything").ok());
+}
+
+TEST(FailPointRegistryTest, FiresOnExactOrdinalOnly) {
+  ScopedFailPoints scope("p.ordinal@3:return-error");
+  FailPointRegistry& reg = FailPointRegistry::Default();
+  EXPECT_TRUE(reg.Hit("p.ordinal").ok());   // hit 1
+  EXPECT_TRUE(reg.Hit("p.ordinal").ok());   // hit 2
+  EXPECT_FALSE(reg.Hit("p.ordinal").ok());  // hit 3 fires
+  EXPECT_TRUE(reg.Hit("p.ordinal").ok());   // hit 4
+  EXPECT_TRUE(reg.Hit("p.other").ok());     // unarmed point never fires
+}
+
+TEST(FailPointRegistryTest, ThrowActionAndPromotion) {
+  ScopedFailPoints scope("p.throw@1:throw,p.err@1:return-error");
+  FailPointRegistry& reg = FailPointRegistry::Default();
+  EXPECT_THROW(reg.HitOrThrow("p.throw"), FailPointError);
+  // HitOrThrow promotes return-error so void contexts still fault.
+  EXPECT_THROW(reg.HitOrThrow("p.err"), FailPointError);
+}
+
+TEST(FailPointRegistryTest, CountsInjectedFaults) {
+  FailPointRegistry& reg = FailPointRegistry::Default();
+  const uint64_t before = reg.faults_injected();
+  {
+    ScopedFailPoints scope("p.count@1:return-error,p.count@3:return-error");
+    EXPECT_FALSE(reg.Hit("p.count").ok());
+    EXPECT_TRUE(reg.Hit("p.count").ok());
+    EXPECT_FALSE(reg.Hit("p.count").ok());
+  }
+  EXPECT_EQ(reg.faults_injected() - before, 2u);
+  EXPECT_GE(obs::MetricsRegistry::Default()
+                .GetCounter("recovery.failpoint.p.count")
+                ->Value(),
+            2u);
+}
+
+TEST(FailPointRegistryTest, RearmResetsHitCounters) {
+  FailPointRegistry& reg = FailPointRegistry::Default();
+  ASSERT_TRUE(reg.Arm("p.rearm@2:return-error").ok());
+  EXPECT_TRUE(reg.Hit("p.rearm").ok());
+  ASSERT_TRUE(reg.Arm("p.rearm@2:return-error").ok());
+  EXPECT_TRUE(reg.Hit("p.rearm").ok());  // counter restarted at 0
+  EXPECT_FALSE(reg.Hit("p.rearm").ok());
+  reg.Disarm();
+}
+
+TEST(FailPointRegistryTest, ExactlyOneConcurrentHitterFires) {
+  // 8 threads hammer one point armed at ordinal 100; the atomic hit
+  // counter guarantees exactly one observes the firing ordinal.
+  ScopedFailPoints scope("p.race@100:return-error");
+  FailPointRegistry& reg = FailPointRegistry::Default();
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!reg.Hit("p.race").ok()) fired.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(FailPointMacroTest, StatusMacroReturnsInjectedError) {
+  ScopedFailPoints scope("p.macro@1:return-error");
+  auto f = []() -> Status {
+    DIVEXP_FAILPOINT_STATUS("p.macro");
+    return Status::OK();
+  };
+  EXPECT_FALSE(f().ok());
+  EXPECT_TRUE(f().ok());
+}
+
+TEST(FailPointMacroTest, VoidMacroThrows) {
+  ScopedFailPoints scope("p.void@1:throw");
+  EXPECT_THROW({ DIVEXP_FAILPOINT("p.void"); }, FailPointError);
+  EXPECT_NO_THROW({ DIVEXP_FAILPOINT("p.void"); });
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace divexp

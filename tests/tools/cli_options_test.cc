@@ -162,6 +162,39 @@ TEST(ParseCliOptionsTest, LimitFlagsRejectBadValues) {
   EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--on-limit"}).ok());
 }
 
+TEST(ParseCliOptionsTest, RecoveryFlags) {
+  auto opts = ParseCliOptions(
+      {"--csv", "d", "--checkpoint-dir", "/tmp/ck",
+       "--checkpoint-every-ms", "250", "--resume", "--failpoints",
+       "io.atomic.mid_write@2:abort,fpm.apriori.level@1:throw"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->checkpoint_dir, "/tmp/ck");
+  EXPECT_EQ(opts->checkpoint_every_ms, 250u);
+  EXPECT_TRUE(opts->resume);
+  EXPECT_EQ(opts->failpoints,
+            "io.atomic.mid_write@2:abort,fpm.apriori.level@1:throw");
+}
+
+TEST(ParseCliOptionsTest, RecoveryFlagsDefaultOff) {
+  auto opts = ParseCliOptions({"--csv", "d"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_TRUE(opts->checkpoint_dir.empty());
+  EXPECT_EQ(opts->checkpoint_every_ms, 0u);
+  EXPECT_FALSE(opts->resume);
+  EXPECT_TRUE(opts->failpoints.empty());
+}
+
+TEST(ParseCliOptionsTest, RecoveryFlagsRejectInconsistentCombos) {
+  // --resume and a cadence are meaningless without a checkpoint dir.
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--resume"}).ok());
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--checkpoint-every-ms", "10"})
+          .ok());
+  EXPECT_FALSE(ParseCliOptions({"--csv", "d", "--checkpoint-dir", "c",
+                                "--checkpoint-every-ms", "-5"})
+                   .ok());
+}
+
 TEST(ParseLimitActionTest, RoundTripsAllActions) {
   for (LimitAction action : {LimitAction::kFail, LimitAction::kTruncate,
                              LimitAction::kEscalate}) {
@@ -180,7 +213,9 @@ TEST(UsageStringTest, MentionsAllFlags) {
         "--bins", "--top", "--epsilon", "--shapley", "--global",
         "--corrective", "--lattice", "--multi", "--export",
         "--miner", "--threads", "--report", "--deadline-ms",
-        "--max-patterns", "--max-memory-mb", "--on-limit"}) {
+        "--max-patterns", "--max-memory-mb", "--on-limit",
+        "--checkpoint-dir", "--checkpoint-every-ms", "--resume",
+        "--failpoints"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -184,6 +184,20 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
       DIVEXP_ASSIGN_OR_RETURN(opts.on_limit, ParseLimitAction(name));
     } else if (arg == "--metrics-json") {
       DIVEXP_ASSIGN_OR_RETURN(opts.metrics_json_path, next());
+    } else if (arg == "--checkpoint-dir") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.checkpoint_dir, next());
+    } else if (arg == "--checkpoint-every-ms") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long ms, ParseInt(arg, v));
+      if (ms < 0) {
+        return Status::InvalidArgument(
+            "--checkpoint-every-ms must be >= 0");
+      }
+      opts.checkpoint_every_ms = static_cast<uint64_t>(ms);
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (arg == "--failpoints") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.failpoints, next());
     } else if (arg == "--trace") {
       opts.trace = true;
     } else {
@@ -192,6 +206,13 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
   }
   if (!opts.show_help && opts.csv_path.empty()) {
     return Status::InvalidArgument("--csv is required");
+  }
+  if (opts.resume && opts.checkpoint_dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  if (opts.checkpoint_every_ms > 0 && opts.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "--checkpoint-every-ms requires --checkpoint-dir");
   }
   return opts;
 }
@@ -233,6 +254,18 @@ std::string UsageString() {
       "JSON\n"
       "  --trace            record tracing spans; print the stage table\n"
       "                     and span tree to stderr\n"
+      "\n"
+      "crash recovery:\n"
+      "  --checkpoint-dir DIR    persist completed mining units to\n"
+      "                     DIR/mining.ckpt (CRC-checked, atomically\n"
+      "                     replaced)\n"
+      "  --checkpoint-every-ms MS  minimum gap between snapshots\n"
+      "                     (default 0 = snapshot every unit)\n"
+      "  --resume           restore completed units from an existing\n"
+      "                     snapshot before mining\n"
+      "  --failpoints SPEC  deterministic fault injection, e.g.\n"
+      "                     \"io.atomic.mid_write@2:abort\"; actions:\n"
+      "                     return-error, throw, abort, delay-<ms>\n"
       "\n"
       "resource limits (0 = unlimited):\n"
       "  --deadline-ms MS   wall-clock budget for the exploration run\n"

@@ -47,6 +47,16 @@ struct CliOptions {
   LimitAction on_limit = LimitAction::kFail;
   /// Write per-stage metrics + registry snapshot as JSON to this path.
   std::string metrics_json_path;
+  /// Crash recovery: snapshot directory (empty = no checkpointing),
+  /// minimum milliseconds between snapshots, and whether to restore
+  /// completed mining units from an existing snapshot.
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every_ms = 0;
+  bool resume = false;
+  /// Deterministic fault-injection schedule, e.g.
+  /// "io.atomic.mid_write@2:abort,fpm.fpgrowth.grow@5:throw".
+  /// Requires a failpoints-enabled build (DIVEXP_ENABLE_FAILPOINTS).
+  std::string failpoints;
   /// Enable tracing spans and print the stage table + span tree to
   /// stderr at the end of the run.
   bool trace = false;

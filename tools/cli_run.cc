@@ -1,6 +1,5 @@
 #include "tools/cli_run.h"
 
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +20,8 @@
 #include "obs/metrics.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
+#include "recovery/atomic_file.h"
+#include "recovery/failpoint.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -69,6 +70,19 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     obs::MetricsRegistry::Default().ResetAll();
   }
   if (opts.trace) obs::SetTracingEnabled(true);
+  // Deterministic fault injection: arm the schedule for the duration of
+  // this run only. A no-op build rejects a non-empty schedule so a
+  // fault the operator asked for is never silently skipped.
+  recovery::ScopedFailPoints failpoints;
+  if (!opts.failpoints.empty()) {
+#ifdef DIVEXP_FAILPOINTS_ENABLED
+    DIVEXP_RETURN_NOT_OK(failpoints.Arm(opts.failpoints));
+    log << "failpoints armed: " << opts.failpoints << "\n";
+#else
+    return Status::InvalidArgument(
+        "--failpoints requires a build with DIVEXP_ENABLE_FAILPOINTS");
+#endif
+  }
   Stopwatch total;
   obs::StageCollector run_stages;
 
@@ -127,6 +141,9 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   eopts.limits.max_patterns = opts.max_patterns;
   eopts.limits.max_memory_mb = opts.max_memory_mb;
   eopts.on_limit = opts.on_limit;
+  eopts.checkpoint_dir = opts.checkpoint_dir;
+  eopts.checkpoint_every_ms = opts.checkpoint_every_ms;
+  eopts.resume = opts.resume;
   DivergenceExplorer explorer(eopts);
   DIVEXP_ASSIGN_OR_RETURN(
       PatternTable table,
@@ -142,6 +159,13 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   if (stats.escalations > 0) {
     log << "min-support escalated " << stats.escalations << "x to "
         << stats.effective_min_support << " to fit the limits\n";
+  }
+  if (stats.resumed_from_checkpoint) {
+    log << "resumed from checkpoint in " << opts.checkpoint_dir << "\n";
+  }
+  if (stats.checkpoints_written > 0) {
+    log << "wrote " << stats.checkpoints_written << " checkpoint(s), "
+        << stats.checkpoint_bytes << " bytes\n";
   }
 
   const std::string label = std::string("d_") + MetricName(opts.metric);
@@ -242,11 +266,8 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     DIVEXP_ASSIGN_OR_RETURN(
         std::string report,
         GenerateAuditReport(encoded, preds, truths, ropts));
-    std::ofstream report_file(opts.report_path);
-    if (!report_file) {
-      return Status::IOError("cannot open '" + opts.report_path + "'");
-    }
-    report_file << report;
+    DIVEXP_RETURN_NOT_OK(
+        recovery::WriteFileAtomic(opts.report_path, report));
     log << "audit report written to " << opts.report_path << "\n";
   }
 
@@ -278,19 +299,15 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     report.run.breach = LimitBreachName(stats.reason);
     report.run.effective_min_support = stats.effective_min_support;
     report.run.escalations = stats.escalations;
+    report.run.resumed_from_checkpoint = stats.resumed_from_checkpoint;
+    report.run.checkpoints_written = stats.checkpoints_written;
+    report.run.checkpoint_bytes = stats.checkpoint_bytes;
+    report.run.faults_injected = stats.faults_injected;
     report.stages = run_stages.stages();
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     report.spans = obs::TraceCollector::Default().Snapshot();
-    std::ofstream metrics_file(opts.metrics_json_path);
-    if (!metrics_file) {
-      return Status::IOError("cannot open '" + opts.metrics_json_path +
-                             "'");
-    }
-    metrics_file << obs::MetricsReportToJson(report) << "\n";
-    if (!metrics_file.good()) {
-      return Status::IOError("write to '" + opts.metrics_json_path +
-                             "' failed");
-    }
+    DIVEXP_RETURN_NOT_OK(recovery::WriteFileAtomic(
+        opts.metrics_json_path, obs::MetricsReportToJson(report) + "\n"));
     log << "metrics written to " << opts.metrics_json_path << "\n";
   }
   return Status::OK();
