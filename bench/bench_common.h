@@ -5,7 +5,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +12,7 @@
 #include "data/encoder.h"
 #include "datasets/datasets.h"
 #include "obs/json.h"
+#include "recovery/atomic_file.h"
 
 namespace divexp {
 namespace bench {
@@ -88,12 +88,13 @@ inline void WriteBenchJson(const std::string& benchmark,
                          ? std::string(dir) + "/"
                          : std::string();
   path += "BENCH_" + suffix + ".json";
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  const Status st =
+      recovery::WriteFileAtomic(path, BenchRecordsToJson(benchmark) + "\n");
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
     return;
   }
-  out << BenchRecordsToJson(benchmark) << "\n";
   std::fprintf(stderr, "benchmark records written to %s\n", path.c_str());
 }
 

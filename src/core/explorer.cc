@@ -6,7 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "recovery/checkpoint.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "recovery/mining_snapshot.h"
 #include "util/stopwatch.h"
 
@@ -210,6 +210,7 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
       if (checkpointer == nullptr) return;
       stats_.checkpoints_written = checkpointer->checkpoints_written();
       stats_.checkpoint_bytes = checkpointer->checkpoint_bytes();
+      stats_.checkpoint_write_error = checkpointer->last_write_error();
     };
     sync_recovery_stats();
 
@@ -243,7 +244,8 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
         // Capture the state the breach truncated, so a --resume can
         // pick the run back up (best-effort; the table still returns).
         if (checkpointer != nullptr) {
-          (void)checkpointer->Flush();
+          // A failed flush is captured by last_write_error() below.
+          Status ignored = checkpointer->Flush();  // best-effort: ^
           sync_recovery_stats();
         }
         record_run();
@@ -253,7 +255,8 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
           stats_.truncated = true;
           stats_.reason = breach;
           if (checkpointer != nullptr) {
-            (void)checkpointer->Flush();
+            // A failed flush is captured by last_write_error() below.
+            Status ignored = checkpointer->Flush();  // best-effort: ^
             sync_recovery_stats();
           }
           record_run();

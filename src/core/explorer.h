@@ -127,6 +127,12 @@ struct ExplorerRunStats {
   /// Faults fired by armed failpoints while this run executed (a
   /// process-wide delta; meaningful when one run is active at a time).
   uint64_t faults_injected = 0;
+  /// First checkpoint-write failure of the run (OK when every snapshot
+  /// write succeeded or no checkpointing was configured). Checkpoint
+  /// writes are best-effort — they never interrupt mining — but the
+  /// failure must surface here, not vanish: a user relying on --resume
+  /// needs to know the snapshot on disk is stale.
+  Status checkpoint_write_error;
 };
 
 /// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and

@@ -7,7 +7,7 @@
 
 #include "data/csv.h"
 #include "recovery/atomic_file.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace divexp {

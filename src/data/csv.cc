@@ -10,7 +10,7 @@
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "recovery/atomic_file.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 
 namespace divexp {

@@ -7,7 +7,7 @@
 #include "fpm/bitmap.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 
 namespace divexp {

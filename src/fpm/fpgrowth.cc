@@ -9,7 +9,7 @@
 
 #include "obs/stage.h"
 #include "obs/trace.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "util/parallel.h"
 
 namespace divexp {

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "util/failpoint.h"
+
 namespace divexp {
 namespace obs {
 namespace {
@@ -14,6 +16,19 @@ uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
 }
+
+// Bridge installed at static-init time: every fired fault bumps the
+// `recovery.failpoint.<name>` counter. Living here (obs -> util) keeps
+// the failpoint registry itself below obs in the layer order; a binary
+// that can observe the counter necessarily links this object file.
+[[maybe_unused]] const bool kFailPointBridgeInstalled = [] {
+  SetFailPointFiredHook(+[](const std::string& name) {
+    MetricsRegistry::Default()
+        .GetCounter("recovery.failpoint." + name)
+        ->Increment();
+  });
+  return true;
+}();
 
 }  // namespace
 
@@ -78,28 +93,28 @@ MetricsRegistry& MetricsRegistry::Default() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters[name] = counter->Value();
@@ -125,7 +140,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

@@ -35,7 +35,7 @@ TraceCollector& TraceCollector::Default() {
 void TraceCollector::Record(const char* name, const char* parent,
                             uint64_t ns) {
   const char* parent_name = parent != nullptr ? parent : "";
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (SpanStats& s : spans_) {
     if (s.name == name && s.parent == parent_name) {
       ++s.count;
@@ -54,12 +54,12 @@ void TraceCollector::Record(const char* name, const char* parent,
 }
 
 std::vector<SpanStats> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 void TraceCollector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
 }
 

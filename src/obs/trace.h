@@ -18,9 +18,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace divexp {
 namespace obs {
@@ -50,18 +52,19 @@ class TraceCollector {
   static TraceCollector& Default();
 
   /// Records one completed span (thread-safe).
-  void Record(const char* name, const char* parent, uint64_t ns);
+  void Record(const char* name, const char* parent, uint64_t ns)
+      EXCLUDES(mu_);
 
   /// Aggregated spans in first-seen order (deterministic for a
   /// sequential run).
-  std::vector<SpanStats> Snapshot() const;
+  std::vector<SpanStats> Snapshot() const EXCLUDES(mu_);
 
   /// Drops all recorded spans (tests and per-run CLI output).
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<SpanStats> spans_;
+  mutable Mutex mu_;
+  std::vector<SpanStats> spans_ GUARDED_BY(mu_);
 };
 
 /// RAII span. Usage: `obs::ScopedSpan span("mine.grow");`

@@ -10,7 +10,7 @@
 #include <fstream>
 #include <sstream>
 
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 
 namespace divexp {
 namespace recovery {

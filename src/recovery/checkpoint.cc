@@ -31,6 +31,7 @@ Result<std::unique_ptr<Checkpointer>> Checkpointer::Create(
   if (options.resume && FileExists(cp->path_)) {
     DIVEXP_ASSIGN_OR_RETURN(MiningStateSnapshot loaded,
                             LoadMiningState(cp->path_));
+    MutexLock lock(cp->mu_);
     cp->loaded_ = std::move(loaded);
   }
   return cp;
@@ -39,7 +40,7 @@ Result<std::unique_ptr<Checkpointer>> Checkpointer::Create(
 Result<bool> Checkpointer::BeginAttempt(uint64_t fingerprint,
                                         MinerKind miner, double min_support,
                                         uint64_t max_length, bool strict) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   restored_.clear();
   state_ = MiningStateSnapshot{};
   state_.fingerprint = fingerprint;
@@ -85,7 +86,7 @@ Result<bool> Checkpointer::BeginAttempt(uint64_t fingerprint,
 }
 
 void Checkpointer::BeginRun(size_t num_units) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   state_.num_units = num_units;
   if (num_units > 0) {
     // Defensive: a matching snapshot always agrees on the unit count,
@@ -97,19 +98,39 @@ void Checkpointer::BeginRun(size_t num_units) {
 }
 
 const std::vector<MinedPattern>* Checkpointer::RestoredUnit(size_t unit) {
+  // Workers call this concurrently; the map itself is only mutated
+  // between runs, but the lookup takes mu_ anyway (once per unit, far
+  // off the hot path) so the capability analysis can prove it.
+  MutexLock lock(mu_);
   const auto it = restored_.find(unit);
   return it == restored_.end() ? nullptr : &it->second;
 }
 
+bool Checkpointer::resumed() const {
+  MutexLock lock(mu_);
+  return resumed_;
+}
+
 uint64_t Checkpointer::restored_pattern_count() const {
+  MutexLock lock(mu_);
   uint64_t n = 0;
   for (const auto& [unit, patterns] : restored_) n += patterns.size();
   return n;
 }
 
+uint64_t Checkpointer::checkpoints_written() const {
+  MutexLock lock(mu_);
+  return writes_;
+}
+
+uint64_t Checkpointer::checkpoint_bytes() const {
+  MutexLock lock(mu_);
+  return bytes_written_;
+}
+
 void Checkpointer::UnitMined(size_t unit,
                              const std::vector<MinedPattern>& patterns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   state_.units[unit] = patterns;
   dirty_ = true;
   const bool cadence_due =
@@ -122,7 +143,7 @@ void Checkpointer::UnitMined(size_t unit,
 }
 
 Status Checkpointer::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!dirty_) return Status::OK();
   const Status status = WriteLocked();
   if (!status.ok() && write_error_.ok()) write_error_ = status;
@@ -145,7 +166,7 @@ Status Checkpointer::WriteLocked() {
 }
 
 Status Checkpointer::last_write_error() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return write_error_;
 }
 

@@ -18,16 +18,17 @@
 #define DIVEXP_RECOVERY_CHECKPOINT_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fpm/miner.h"
 #include "recovery/mining_snapshot.h"
+#include "util/mutex.h"
 #include "util/run_guard.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace divexp {
 namespace recovery {
@@ -64,56 +65,62 @@ class Checkpointer final : public MiningCheckpointSink {
   /// of a --resume run), returns a descriptive error instead.
   Result<bool> BeginAttempt(uint64_t fingerprint, MinerKind miner,
                             double min_support, uint64_t max_length,
-                            bool strict);
+                            bool strict) EXCLUDES(mu_);
 
   /// Attaches the run's guard so a breach forces the next unit's
   /// snapshot regardless of cadence. Non-owning; may be nullptr.
   void AttachGuard(RunGuard* guard) { guard_ = guard; }
 
   // MiningCheckpointSink:
-  void BeginRun(size_t num_units) override;
-  const std::vector<MinedPattern>* RestoredUnit(size_t unit) override;
+  void BeginRun(size_t num_units) override EXCLUDES(mu_);
+  const std::vector<MinedPattern>* RestoredUnit(size_t unit) override
+      EXCLUDES(mu_);
   void UnitMined(size_t unit,
-                 const std::vector<MinedPattern>& patterns) override;
-  Status Flush() override;
+                 const std::vector<MinedPattern>& patterns) override
+      EXCLUDES(mu_);
+  Status Flush() override EXCLUDES(mu_);
 
   /// True when any attempt of this run restored units from a snapshot.
-  bool resumed() const { return resumed_; }
+  bool resumed() const EXCLUDES(mu_);
   /// Restored non-empty patterns of the current attempt (for budget
   /// accounting via MineControl::RestorePriorEmissions).
-  uint64_t restored_pattern_count() const;
-  uint64_t checkpoints_written() const { return writes_; }
+  uint64_t restored_pattern_count() const EXCLUDES(mu_);
+  uint64_t checkpoints_written() const EXCLUDES(mu_);
   /// Cumulative bytes of all snapshot files written.
-  uint64_t checkpoint_bytes() const { return bytes_written_; }
+  uint64_t checkpoint_bytes() const EXCLUDES(mu_);
   /// First snapshot write failure of the run, if any (mining is never
   /// interrupted by one).
-  Status last_write_error() const;
+  Status last_write_error() const EXCLUDES(mu_);
 
  private:
   explicit Checkpointer(const CheckpointerOptions& options);
 
-  /// Writes the current state; caller holds mu_.
-  Status WriteLocked();
+  /// Writes the current state.
+  Status WriteLocked() REQUIRES(mu_);
 
   std::string path_;
   uint64_t every_ms_ = 0;
   RunGuard* guard_ = nullptr;
 
   /// Snapshot loaded at Create, pending until an attempt matches it.
-  std::optional<MiningStateSnapshot> loaded_;
-  /// Units restored into the current attempt; immutable between
-  /// BeginAttempt calls, so RestoredUnit reads race-free.
-  std::map<uint64_t, std::vector<MinedPattern>> restored_;
-  bool resumed_ = false;
+  /// Only touched by BeginAttempt (coordinating thread) under mu_.
+  std::optional<MiningStateSnapshot> loaded_ GUARDED_BY(mu_);
+  /// Units restored into the current attempt. Written only by
+  /// BeginAttempt/BeginRun between runs; RestoredUnit hands out
+  /// pointers into the map, which std::map keeps stable until the next
+  /// BeginAttempt clears it (documented in MiningCheckpointSink).
+  std::map<uint64_t, std::vector<MinedPattern>> restored_
+      GUARDED_BY(mu_);
+  bool resumed_ GUARDED_BY(mu_) = false;
 
-  mutable std::mutex mu_;
-  MiningStateSnapshot state_;  ///< completed units of the attempt
-  bool dirty_ = false;
-  Stopwatch since_write_;
-  bool wrote_once_ = false;
-  uint64_t writes_ = 0;
-  uint64_t bytes_written_ = 0;
-  Status write_error_;
+  mutable Mutex mu_;
+  MiningStateSnapshot state_ GUARDED_BY(mu_);  ///< completed units
+  bool dirty_ GUARDED_BY(mu_) = false;
+  Stopwatch since_write_ GUARDED_BY(mu_);
+  bool wrote_once_ GUARDED_BY(mu_) = false;
+  uint64_t writes_ GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  Status write_error_ GUARDED_BY(mu_);
 };
 
 }  // namespace recovery

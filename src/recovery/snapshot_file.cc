@@ -4,7 +4,7 @@
 
 #include "recovery/atomic_file.h"
 #include "recovery/crc32.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 
 namespace divexp {
 namespace recovery {

@@ -1,14 +1,21 @@
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 
 #include <chrono>
 #include <cstdlib>
 #include <thread>
 
-#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace divexp {
-namespace recovery {
+
+namespace {
+// Fired-fault observer; obs/metrics.cc installs the counter bridge.
+std::atomic<FailPointFiredHook> g_fired_hook{nullptr};
+}  // namespace
+
+void SetFailPointFiredHook(FailPointFiredHook hook) {
+  g_fired_hook.store(hook, std::memory_order_release);
+}
 
 const char* FailPointActionName(FailPointAction action) {
   switch (action) {
@@ -94,7 +101,7 @@ Status FailPointRegistry::Arm(std::vector<FailPointSpec> specs) {
   if (specs.empty()) {
     return Status::InvalidArgument("empty failpoint spec");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.store(false, std::memory_order_relaxed);
   points_.clear();
   for (FailPointSpec& spec : specs) {
@@ -107,13 +114,13 @@ Status FailPointRegistry::Arm(std::vector<FailPointSpec> specs) {
 }
 
 void FailPointRegistry::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   armed_.store(false, std::memory_order_relaxed);
   points_.clear();
 }
 
 FailPointRegistry::Point* FailPointRegistry::FindPoint(const char* name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!armed_.load(std::memory_order_relaxed)) return nullptr;
   auto it = points_.find(name);
   return it == points_.end() ? nullptr : it->second.get();
@@ -132,9 +139,10 @@ const FailPointSpec* FailPointRegistry::Count(Point* point) {
 
 Status FailPointRegistry::Fire(const FailPointSpec& spec) {
   fired_.fetch_add(1, std::memory_order_relaxed);
-  obs::MetricsRegistry::Default()
-      .GetCounter("recovery.failpoint." + spec.name)
-      ->Increment();
+  if (FailPointFiredHook hook =
+          g_fired_hook.load(std::memory_order_acquire)) {
+    hook(spec.name);
+  }
   switch (spec.action) {
     case FailPointAction::kReturnError:
       return Status::Internal("failpoint '" + spec.name + "' fired at " +
@@ -168,12 +176,11 @@ void FailPointRegistry::HitOrThrow(const char* name) {
   if (spec->action == FailPointAction::kReturnError) {
     FailPointSpec promoted = *spec;
     promoted.action = FailPointAction::kThrow;
-    Fire(promoted);  // throws
+    Status ignored = Fire(promoted);  // best-effort: kThrow never returns
     return;
   }
-  const Status status = Fire(*spec);
-  (void)status;  // kDelay returns OK; kThrow/kAbort never get here
+  Status ignored = Fire(*spec);  // best-effort: kDelay returns OK;
+                                 // kThrow/kAbort never get here
 }
 
-}  // namespace recovery
 }  // namespace divexp

@@ -6,6 +6,11 @@
 // hooks are disarmed and cost one relaxed atomic load; built with
 // -DDIVEXP_ENABLE_FAILPOINTS=OFF they compile out entirely.
 //
+// Layering: this file lives in util/ (below obs) because ParallelFor
+// and the data layer carry failpoint hooks. The obs metrics bridge is
+// inverted: obs/metrics.cc installs a fired-hook via
+// SetFailPointFiredHook, so util never includes obs.
+//
 // Armed via a spec string (CLI --failpoints, tests):
 //
 //   name@ordinal:action[,name@ordinal:action...]
@@ -27,22 +32,22 @@
 // `recovery.failpoint.<name>` and the registry's faults_injected()
 // total (surfaced as ExplorerRunStats::faults_injected). The failpoint
 // catalog is documented in docs/recovery.md.
-#ifndef DIVEXP_RECOVERY_FAILPOINT_H_
-#define DIVEXP_RECOVERY_FAILPOINT_H_
+#ifndef DIVEXP_UTIL_FAILPOINT_H_
+#define DIVEXP_UTIL_FAILPOINT_H_
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace divexp {
-namespace recovery {
 
 /// What an armed failpoint does when its ordinal comes up.
 enum class FailPointAction {
@@ -75,8 +80,20 @@ class FailPointError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Observer invoked once per fired fault with the failpoint name.
+/// obs/metrics.cc installs the bridge that bumps the
+/// `recovery.failpoint.<name>` counter — any binary able to observe
+/// that counter necessarily links metrics.cc, so the bridge being
+/// absent is unobservable.
+using FailPointFiredHook = void (*)(const std::string& name);
+
+/// Installs the fired-fault observer (nullptr to clear). Thread-safe.
+void SetFailPointFiredHook(FailPointFiredHook hook);
+
 /// Process-wide failpoint registry. Disarmed checks are one relaxed
-/// atomic load; Arm/Disarm are test/CLI-time operations.
+/// atomic load; Arm/Disarm are test/CLI-time operations and must not
+/// run concurrently with workers hitting armed points (the armed set
+/// is immutable while a run is in flight).
 class FailPointRegistry {
  public:
   static FailPointRegistry& Default();
@@ -111,14 +128,17 @@ class FailPointRegistry {
     std::vector<FailPointSpec> specs;  ///< immutable while armed
   };
 
-  /// nullptr when `name` is not armed.
-  Point* FindPoint(const char* name);
+  /// nullptr when `name` is not armed. The returned pointee is stable
+  /// until the next Arm/Disarm (see class comment), so callers may use
+  /// it outside mu_.
+  Point* FindPoint(const char* name) EXCLUDES(mu_);
   /// Returns the action to fire for this hit, if any.
   const FailPointSpec* Count(Point* point);
   Status Fire(const FailPointSpec& spec);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::unique_ptr<Point>> points_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Point>> points_
+      GUARDED_BY(mu_);
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> fired_{0};
 };
@@ -143,7 +163,21 @@ class ScopedFailPoints {
   ScopedFailPoints& operator=(const ScopedFailPoints&) = delete;
 };
 
+/// Historical alias namespace: the failpoint API lived in
+/// src/recovery/ until the include-layering fix moved it below obs;
+/// recovery-era call sites spell divexp::recovery::FailPointRegistry.
+namespace recovery {
+using divexp::FailPointAction;
+using divexp::FailPointActionName;
+using divexp::FailPointError;
+using divexp::FailPointFiredHook;
+using divexp::FailPointRegistry;
+using divexp::FailPointSpec;
+using divexp::ParseFailPointSpecs;
+using divexp::ScopedFailPoints;
+using divexp::SetFailPointFiredHook;
 }  // namespace recovery
+
 }  // namespace divexp
 
 #if defined(DIVEXP_FAILPOINTS_ENABLED)
@@ -152,9 +186,8 @@ class ScopedFailPoints {
 /// delays. return-error behaves like throw here.
 #define DIVEXP_FAILPOINT(name)                                        \
   do {                                                                \
-    if (::divexp::recovery::FailPointRegistry::Default().armed()) {   \
-      ::divexp::recovery::FailPointRegistry::Default().HitOrThrow(    \
-          name);                                                      \
+    if (::divexp::FailPointRegistry::Default().armed()) {             \
+      ::divexp::FailPointRegistry::Default().HitOrThrow(name);        \
     }                                                                 \
   } while (false)
 
@@ -162,9 +195,9 @@ class ScopedFailPoints {
 /// the enclosing function return Status::Internal.
 #define DIVEXP_FAILPOINT_STATUS(name)                                 \
   do {                                                                \
-    if (::divexp::recovery::FailPointRegistry::Default().armed()) {   \
+    if (::divexp::FailPointRegistry::Default().armed()) {             \
       ::divexp::Status _fp_status =                                   \
-          ::divexp::recovery::FailPointRegistry::Default().Hit(name); \
+          ::divexp::FailPointRegistry::Default().Hit(name);           \
       if (!_fp_status.ok()) return _fp_status;                        \
     }                                                                 \
   } while (false)
@@ -180,4 +213,4 @@ class ScopedFailPoints {
 
 #endif  // DIVEXP_FAILPOINTS_ENABLED
 
-#endif  // DIVEXP_RECOVERY_FAILPOINT_H_
+#endif  // DIVEXP_UTIL_FAILPOINT_H_

@@ -1,0 +1,50 @@
+// Annotated mutex wrapper for the clang capability analysis.
+//
+// divexp::Mutex is a zero-overhead std::mutex wrapper carrying the
+// CAPABILITY attribute, and divexp::MutexLock the matching RAII guard,
+// so classes can declare fields GUARDED_BY(mu_) and have the
+// `-Werror=thread-safety` build enforce the discipline (libstdc++'s
+// std::mutex carries no capability attributes, which is why
+// std::lock_guard<std::mutex> cannot participate in the analysis).
+#ifndef DIVEXP_UTIL_MUTEX_H_
+#define DIVEXP_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace divexp {
+
+/// Exclusive mutex participating in capability analysis. Same cost as
+/// std::mutex (the wrapper is fully inlined).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for divexp::Mutex (the std::lock_guard equivalent the
+/// analysis understands).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_MUTEX_H_

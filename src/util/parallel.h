@@ -12,9 +12,51 @@
 #include <thread>
 #include <vector>
 
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace divexp {
+namespace internal {
+
+/// First-exception latch shared by the ParallelFor variants. `failed`
+/// is the workers' cheap poll; the exception slot itself is
+/// mutex-guarded so the capability analysis can verify the handoff
+/// (the join() barrier would also order it, but a protocol the
+/// compiler can check beats one it has to trust).
+class ParallelErrorLatch {
+ public:
+  /// Records the current in-flight exception if this is the first
+  /// failure; later failures are dropped.
+  void Capture() EXCLUDES(mu_) {
+    if (failed_.exchange(true, std::memory_order_relaxed)) return;
+    MutexLock lock(mu_);
+    error_ = std::current_exception();
+  }
+
+  /// Cheap poll for workers deciding whether to wind down early.
+  bool failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+  /// Rethrows the first captured exception, if any. Call after all
+  /// workers have joined.
+  void Rethrow() EXCLUDES(mu_) {
+    std::exception_ptr error;
+    {
+      MutexLock lock(mu_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mu_;
+  std::exception_ptr error_ GUARDED_BY(mu_);
+  std::atomic<bool> failed_{false};
+};
+
+}  // namespace internal
 
 /// Invokes fn(i) for every i in [0, n), split contiguously over
 /// `num_threads` workers. fn must be safe to call concurrently for
@@ -36,40 +78,33 @@ inline void ParallelFor(size_t num_threads, size_t n,
     return;
   }
   const size_t workers = std::min(num_threads, n);
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
+  internal::ParallelErrorLatch latch;
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([w, workers, n, &fn, &first_error, &failed] {
+    threads.emplace_back([w, workers, n, &fn, &latch] {
       // Contiguous chunks keep per-thread output cache-friendly.
       const size_t begin = w * n / workers;
       const size_t end = (w + 1) * n / workers;
       try {
         DIVEXP_FAILPOINT("parallel.worker");
       } catch (...) {
-        if (!failed.exchange(true, std::memory_order_relaxed)) {
-          first_error = std::current_exception();
-        }
+        latch.Capture();
         return;
       }
       for (size_t i = begin; i < end; ++i) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (latch.failed()) return;
         try {
           fn(i);
         } catch (...) {
-          // Only the first failing worker stores its exception; the
-          // exchange makes the store race-free.
-          if (!failed.exchange(true, std::memory_order_relaxed)) {
-            first_error = std::current_exception();
-          }
+          latch.Capture();
           return;
         }
       }
     });
   }
   for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  latch.Rethrow();
 }
 
 /// Number of contiguous chunks ParallelForChunks splits [0, n) into:
@@ -96,24 +131,21 @@ inline void ParallelForChunks(
     fn(0, 0, n);
     return;
   }
-  std::exception_ptr first_error;
-  std::atomic<bool> failed{false};
+  internal::ParallelErrorLatch latch;
   std::vector<std::thread> threads;
   threads.reserve(chunks);
   for (size_t c = 0; c < chunks; ++c) {
-    threads.emplace_back([c, chunks, n, &fn, &first_error, &failed] {
-      if (failed.load(std::memory_order_relaxed)) return;
+    threads.emplace_back([c, chunks, n, &fn, &latch] {
+      if (latch.failed()) return;
       try {
         fn(c, c * n / chunks, (c + 1) * n / chunks);
       } catch (...) {
-        if (!failed.exchange(true, std::memory_order_relaxed)) {
-          first_error = std::current_exception();
-        }
+        latch.Capture();
       }
     });
   }
   for (std::thread& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  latch.Rethrow();
 }
 
 }  // namespace divexp

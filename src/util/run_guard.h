@@ -59,6 +59,14 @@ const char* LimitBreachName(LimitBreach breach);
 ///
 /// Deadline checks are amortized: Tick() reads the clock only every
 /// kTickStride calls, so it is cheap enough for per-pattern polling.
+///
+/// Capability analysis: this class is intentionally lock-free — every
+/// cross-thread member is a std::atomic, so there is no capability to
+/// annotate. The non-atomic members (limits_, start_, deadline_) are
+/// written only by the constructor and Reset(); Reset() must only be
+/// called from the coordinating thread between attempts, while no
+/// worker is polling (the explorer's escalation loop satisfies this by
+/// construction: workers are joined before it re-arms).
 class RunGuard {
  public:
   /// How many Tick() calls elapse between wall-clock reads.

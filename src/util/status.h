@@ -36,7 +36,12 @@ const char* StatusCodeName(StatusCode code);
 /// A Status is cheap to copy when OK (no allocation) and carries a code
 /// plus message otherwise. Use the DIVEXP_RETURN_NOT_OK macro to
 /// propagate failures.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a returned Status is exactly how a
+/// truncated run gets reported as complete; ignoring one is a compile
+/// error (-Werror=unused-result). Deliberate drops must say why:
+///   Status ignored = DoThing();  // best-effort: <reason>
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -90,7 +95,7 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 
 /// Either a value of type T or a failure Status ("StatusOr").
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): implicit by design,
   // mirrors arrow::Result ergonomics.

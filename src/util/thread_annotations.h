@@ -1,0 +1,91 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These annotations turn the locking discipline documented in header
+// comments into compiler-checked contracts: a field declared
+// GUARDED_BY(mu_) cannot be read or written without holding mu_, a
+// function declared REQUIRES(mu_) cannot be called without it, and a
+// violation is a hard error in the `-Werror=thread-safety` CI build
+// (see docs/static-analysis.md). Under GCC — which has no capability
+// analysis — every macro expands to nothing, so the annotations are
+// zero-cost documentation there.
+//
+// The analysis only understands types annotated as capabilities;
+// libstdc++'s std::mutex is not. Lock-protected classes therefore use
+// divexp::Mutex / divexp::MutexLock (util/mutex.h), a zero-overhead
+// annotated wrapper, instead of std::mutex / std::lock_guard.
+#ifndef DIVEXP_UTIL_THREAD_ANNOTATIONS_H_
+#define DIVEXP_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DIVEXP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DIVEXP_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Marks a type as a capability (lockable). `x` names the capability
+/// kind in diagnostics, e.g. CAPABILITY("mutex").
+#define CAPABILITY(x) DIVEXP_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability (e.g. MutexLock).
+#define SCOPED_CAPABILITY DIVEXP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define GUARDED_BY(x) DIVEXP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer
+/// itself may be read freely).
+#define PT_GUARDED_BY(x) DIVEXP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that may only be called while holding the listed
+/// capabilities (and does not release them).
+#define REQUIRES(...) \
+  DIVEXP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DIVEXP_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and holds them on
+/// return.
+#define ACQUIRE(...) \
+  DIVEXP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DIVEXP_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities (which must be held
+/// on entry).
+#define RELEASE(...) \
+  DIVEXP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DIVEXP_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  DIVEXP_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+/// Function that must NOT be called while holding the listed
+/// capabilities (deadlock prevention for non-reentrant locks).
+#define EXCLUDES(...) DIVEXP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that one capability must be acquired before/after another
+/// (lock-ordering, checked under -Wthread-safety-beta).
+#define ACQUIRED_BEFORE(...) \
+  DIVEXP_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DIVEXP_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returning a reference to the capability guarding its
+/// result.
+#define RETURN_CAPABILITY(x) DIVEXP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch for functions whose safety the analysis cannot see
+/// (e.g. protocol-based immutability). Every use must carry a comment
+/// justifying why the access is safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DIVEXP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+/// Runtime assertion that the calling thread holds `x`; informs the
+/// analysis without acquiring.
+#define ASSERT_CAPABILITY(x) \
+  DIVEXP_THREAD_ANNOTATION_(assert_capability(x))
+
+#endif  // DIVEXP_UTIL_THREAD_ANNOTATIONS_H_

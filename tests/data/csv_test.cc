@@ -3,7 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <fstream>
+
+#include "recovery/atomic_file.h"
 
 namespace divexp {
 namespace {
@@ -171,11 +172,10 @@ TEST(CsvHostileTest, WellFormedQuotingStillWorks) {
 
 TEST(CsvHostileTest, BinaryGarbageFileFailsCleanly) {
   const std::string path = "/tmp/divexp_csv_hostile_test.bin";
-  {
-    std::ofstream out(path, std::ios::binary);
-    const char bytes[] = {'a', ',', 'b', '\n', 0x00, 0x01, 0x02, '\n'};
-    out.write(bytes, sizeof(bytes));
-  }
+  const char bytes[] = {'a', ',', 'b', '\n', 0x00, 0x01, 0x02, '\n'};
+  ASSERT_TRUE(
+      recovery::WriteFileAtomic(path, std::string(bytes, sizeof(bytes)))
+          .ok());
   auto r = ReadCsvFile(path);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);

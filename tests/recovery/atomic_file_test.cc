@@ -8,7 +8,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 
 namespace divexp {
 namespace recovery {

@@ -22,7 +22,7 @@
 #include "core/explorer.h"
 #include "core/table_snapshot.h"
 #include "recovery/atomic_file.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "recovery/mining_snapshot.h"
 #include "testing/test_data.h"
 #include "util/random.h"

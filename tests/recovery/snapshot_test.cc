@@ -12,7 +12,7 @@
 #include "core/table_snapshot.h"
 #include "recovery/atomic_file.h"
 #include "recovery/checkpoint.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "recovery/mining_snapshot.h"
 #include "recovery/snapshot_file.h"
 #include "testing/test_data.h"
@@ -261,6 +261,34 @@ TEST(CheckpointerTest, WriteFailureIsRememberedNotFatal) {
   // The next write succeeds and the file is loadable.
   (*cp)->UnitMined(1, {});
   EXPECT_TRUE(LoadMiningState(dir + "/mining.ckpt").ok());
+}
+
+TEST(CheckpointerTest, WriteFailureSurfacesInExplorerRunStats) {
+  // Regression: checkpoint writes are best-effort and must never fail a
+  // run, but the explorer used to drop Checkpointer::last_write_error()
+  // on the floor — a run with a broken snapshot reported itself as
+  // fully checkpointed. The failure has to surface in
+  // last_run_stats().checkpoint_write_error.
+  const std::string dir = TempDir("ckpt_stats_writefail");
+  std::remove((dir + "/mining.ckpt").c_str());
+  const EncodedDataset ds =
+      MakeEncoded({{0, 1}, {1, 0}, {0, 0}, {1, 1}}, {2, 2});
+
+  ExplorerOptions opts;
+  opts.checkpoint_dir = dir;
+  DivergenceExplorer explorer(opts);
+  {
+    ScopedFailPoints scope("io.snapshot.write@1:return-error");
+    auto table = explorer.ExploreOutcomes(ds, OutcomesFromString("TFBT"));
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    EXPECT_FALSE(explorer.last_run_stats().checkpoint_write_error.ok());
+  }
+
+  // Unfaulted control: the same run reports no write error.
+  std::remove((dir + "/mining.ckpt").c_str());
+  auto table = explorer.ExploreOutcomes(ds, OutcomesFromString("TFBT"));
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_TRUE(explorer.last_run_stats().checkpoint_write_error.ok());
 }
 
 }  // namespace

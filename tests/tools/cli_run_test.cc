@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "recovery/atomic_file.h"
 #include "util/random.h"
 
 namespace divexp {
@@ -26,7 +27,7 @@ std::string TempPath(const std::string& stem) {
 // CSV with a high-FPR pocket at group=b & flag=y.
 std::string WriteFixture(const std::string& path, bool with_missing) {
   Rng rng(77);
-  std::ofstream out(path);
+  std::ostringstream out;
   out << "age,group,flag,prediction,label\n";
   for (int i = 0; i < 2000; ++i) {
     const double age = rng.Uniform(18.0, 80.0);
@@ -43,7 +44,7 @@ std::string WriteFixture(const std::string& path, bool with_missing) {
           << "," << pred << "," << label << "\n";
     }
   }
-  out.close();
+  DIVEXP_CHECK_OK(recovery::WriteFileAtomic(path, out.str()));
   return path;
 }
 

@@ -1,0 +1,13 @@
+// lint-path: tests/recovery/bad_spec_test.cc
+// expect: failpoint-name
+//
+// Spec strings must follow name@ordinal:action with ordinal >= 1.
+#include "util/failpoint.h"
+
+namespace divexp {
+
+void BadSpec() {
+  ScopedFailPoints scope("io.snapshot.write@0:return-error");
+}
+
+}  // namespace divexp

@@ -1,0 +1,14 @@
+// lint-path: src/fpm/bad_failpoint.cc
+// expect: failpoint-name
+//
+// Every DIVEXP_FAILPOINT site must be listed in the catalog table of
+// docs/recovery.md so --failpoints users can discover it.
+#include "util/failpoint.h"
+
+namespace divexp {
+
+void BadFailpoint() {
+  DIVEXP_FAILPOINT("fpm.nonexistent.site");
+}
+
+}  // namespace divexp

@@ -1,0 +1,13 @@
+// lint-path: src/core/bad_no_reason.cc
+// expect: no-ignored-status
+//
+// The sanctioned drop form requires its reason on the same line.
+#include "recovery/atomic_file.h"
+
+namespace divexp {
+
+void BadNoReason() {
+  Status ignored = recovery::WriteFileAtomic("/tmp/x", "payload");
+}
+
+}  // namespace divexp

@@ -1,0 +1,14 @@
+// lint-path: src/core/bad_void_cast.cc
+// expect: no-ignored-status
+//
+// A cast-to-void silences [[nodiscard]] without recording why the
+// error may be dropped.
+#include "recovery/atomic_file.h"
+
+namespace divexp {
+
+void BadVoidCast() {
+  (void)recovery::WriteFileAtomic("/tmp/x", "payload");
+}
+
+}  // namespace divexp

@@ -1,0 +1,12 @@
+// lint-path: src/util/bad_layering.cc
+// expect: include-layering
+//
+// util/ is the bottom layer; reaching up into core/ inverts the tree
+// (util <- data <- fpm <- core <- tools).
+#include "core/explorer.h"
+
+namespace divexp {
+
+void BadLayering() {}
+
+}  // namespace divexp

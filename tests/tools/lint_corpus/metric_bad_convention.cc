@@ -1,0 +1,13 @@
+// lint-path: src/obs/bad_metric.cc
+// expect: metric-name-convention
+//
+// Metric names are dotted snake_case (subsystem.noun[_verb]).
+#include "obs/metrics.h"
+
+namespace divexp {
+
+void BadMetricName() {
+  obs::MetricsRegistry::Default().GetCounter("Explore.Runs")->Add(1);
+}
+
+}  // namespace divexp

@@ -1,0 +1,14 @@
+// lint-path: src/core/bad_metric_doc.cc
+// expect: metric-name-convention
+//
+// A well-formed metric registered in src/ must also appear in the
+// metrics list of docs/observability.md.
+#include "obs/metrics.h"
+
+namespace divexp {
+
+void UndocumentedMetric() {
+  obs::MetricsRegistry::Default().GetCounter("core.unheard_of")->Add(1);
+}
+
+}  // namespace divexp

@@ -1,0 +1,15 @@
+// lint-path: src/data/bad_raw_output.cc
+// expect: no-raw-file-output
+//
+// Direct stream output can leave a half-written file behind on a
+// crash; everything must go through recovery::WriteFileAtomic.
+#include <fstream>
+
+namespace divexp {
+
+void BadRawOutput() {
+  std::ofstream out("/tmp/report.csv");
+  out << "a,b\n";
+}
+
+}  // namespace divexp

@@ -1,0 +1,17 @@
+// lint-path: src/obs/stage.h
+// expect: stage-name-documented
+//
+// Every kStage* constant must be in the stage table of
+// docs/observability.md.
+#ifndef DIVEXP_LINT_CORPUS_STAGE_UNDOCUMENTED_H_
+#define DIVEXP_LINT_CORPUS_STAGE_UNDOCUMENTED_H_
+
+namespace divexp {
+namespace obs {
+
+inline constexpr const char* kStageBogus = "bogus.stage";
+
+}  // namespace obs
+}  // namespace divexp
+
+#endif  // DIVEXP_LINT_CORPUS_STAGE_UNDOCUMENTED_H_

@@ -1,0 +1,154 @@
+// divexp-lint self-tests: rule unit checks, suppression semantics and
+// the known-bad corpus (tests/tools/lint_corpus/). Every fixture
+// declares the rule it violates via `// expect: <rule-id>` lines and
+// must produce exactly those diagnostics — no more, no fewer — so a
+// rule that goes blind (or noisy) fails here before it reaches CI.
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef DIVEXP_SOURCE_ROOT
+#error "DIVEXP_SOURCE_ROOT must point at the repo root"
+#endif
+
+namespace divexp {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const Catalogs& SharedCatalogs() {
+  static const Catalogs* catalogs = [] {
+    auto* c = new Catalogs();
+    std::string error;
+    if (!LoadCatalogs(DIVEXP_SOURCE_ROOT, c, &error)) {
+      ADD_FAILURE() << "LoadCatalogs: " << error;
+    }
+    return c;
+  }();
+  return *catalogs;
+}
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path.string();
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(LintNamesTest, DottedNameGrammar) {
+  EXPECT_TRUE(IsDottedName("explore.runs"));
+  EXPECT_TRUE(IsDottedName("recovery.checkpoint.bytes"));
+  EXPECT_TRUE(IsDottedName("explore.peak_memory_bytes"));
+  EXPECT_FALSE(IsDottedName("explore"));          // one segment
+  EXPECT_FALSE(IsDottedName("Explore.Runs"));     // case
+  EXPECT_FALSE(IsDottedName("explore..runs"));    // empty segment
+  EXPECT_FALSE(IsDottedName("explore.runs_"));    // trailing underscore
+  EXPECT_FALSE(IsDottedName(".explore.runs"));
+  EXPECT_FALSE(IsDottedName(""));
+}
+
+TEST(LintLayersTest, LayerOrderMatchesTheTree) {
+  EXPECT_LT(LayerOf("src/util/status.h"), LayerOf("src/obs/metrics.h"));
+  EXPECT_LT(LayerOf("src/obs/metrics.h"), LayerOf("src/data/csv.cc"));
+  EXPECT_LT(LayerOf("src/data/csv.cc"), LayerOf("src/fpm/fpgrowth.cc"));
+  EXPECT_LT(LayerOf("src/fpm/fpgrowth.cc"),
+            LayerOf("src/core/explorer.cc"));
+  EXPECT_LT(LayerOf("src/core/explorer.cc"),
+            LayerOf("tools/cli_run.cc"));
+  EXPECT_LT(LayerOf("tools/cli_run.cc"),
+            LayerOf("tests/core/explorer_test.cc"));
+  // The pinned recovery IO files sit below data/ so csv.cc can write
+  // atomically; the rest of recovery/ sits above fpm/.
+  EXPECT_LT(LayerOf("src/recovery/atomic_file.cc"),
+            LayerOf("src/data/csv.cc"));
+  EXPECT_GT(LayerOf("src/recovery/checkpoint.cc"),
+            LayerOf("src/fpm/fpgrowth.cc"));
+  EXPECT_EQ(LayerOf("third_party/whatever.h"), -1);
+}
+
+TEST(LintCatalogsTest, LoadsTheRepoReferenceData) {
+  const Catalogs& catalogs = SharedCatalogs();
+  EXPECT_GT(catalogs.failpoints.count("io.snapshot.write"), 0u);
+  EXPECT_GT(catalogs.failpoints.count("parallel.worker"), 0u);
+  EXPECT_GT(catalogs.documented_names.count("explore.runs"), 0u);
+  EXPECT_GT(catalogs.documented_names.count("mine.grow"), 0u);
+  EXPECT_GT(catalogs.dynamic_prefixes.count("recovery.failpoint."), 0u);
+  EXPECT_GT(catalogs.status_functions.count("WriteFileAtomic"), 0u);
+  EXPECT_GT(catalogs.status_functions.count("Flush"), 0u);
+}
+
+TEST(LintSuppressionTest, AllowWithReasonSuppresses) {
+  // Token assembled by literal concatenation so this test file itself
+  // stays lint-clean.
+  const std::string token = std::string("of") + "stream";
+  std::vector<Diagnostic> diags;
+  LintFile("src/data/x.cc",
+           "std::" + token + " out(p);  // lint:allow(" +
+               std::string(kRuleNoRawFileOutput) + "): fixture\n",
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintSuppressionTest, AllowWithoutReasonDoesNotSuppress) {
+  const std::string token = std::string("of") + "stream";
+  std::vector<Diagnostic> diags;
+  LintFile("src/data/x.cc",
+           "std::" + token + " out(p);  // lint:allow(" +
+               std::string(kRuleNoRawFileOutput) + ")\n",
+           SharedCatalogs(), &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleNoRawFileOutput);
+}
+
+TEST(LintCorpusTest, EveryFixtureProducesExactlyItsDeclaredFindings) {
+  const fs::path corpus =
+      fs::path(DIVEXP_SOURCE_ROOT) / "tests" / "tools" / "lint_corpus";
+  ASSERT_TRUE(fs::exists(corpus)) << corpus.string();
+  size_t fixtures = 0;
+  for (const auto& entry : fs::directory_iterator(corpus)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") continue;
+    ++fixtures;
+    SCOPED_TRACE(entry.path().filename().string());
+    const std::string content = ReadFileOrDie(entry.path());
+
+    std::vector<std::string> expected;
+    std::istringstream in(content);
+    std::string line;
+    const std::string marker = "// expect: ";
+    while (std::getline(in, line)) {
+      size_t pos = line.find(marker);
+      if (pos != std::string::npos) {
+        expected.push_back(line.substr(pos + marker.size()));
+      }
+    }
+    ASSERT_FALSE(expected.empty())
+        << "fixture declares no `// expect: <rule-id>` line";
+
+    std::vector<Diagnostic> diags;
+    LintFile("tests/tools/lint_corpus/" +
+                 entry.path().filename().string(),
+             content, SharedCatalogs(), &diags);
+    std::vector<std::string> actual;
+    for (const auto& d : diags) actual.push_back(d.rule);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+  // The corpus must keep covering every rule the linter ships.
+  EXPECT_GE(fixtures, 6u);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace divexp

@@ -21,7 +21,7 @@
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "recovery/atomic_file.h"
-#include "recovery/failpoint.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 
@@ -166,6 +166,12 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   if (stats.checkpoints_written > 0) {
     log << "wrote " << stats.checkpoints_written << " checkpoint(s), "
         << stats.checkpoint_bytes << " bytes\n";
+  }
+  if (!stats.checkpoint_write_error.ok()) {
+    log << "WARNING: checkpoint write failed ("
+        << stats.checkpoint_write_error.ToString()
+        << "); --resume from " << opts.checkpoint_dir
+        << " would restart from a stale snapshot\n";
   }
 
   const std::string label = std::string("d_") + MetricName(opts.metric);

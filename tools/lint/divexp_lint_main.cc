@@ -1,0 +1,123 @@
+// divexp-lint CLI. With no file arguments it lints the whole tree
+// (src/ tools/ tests/ bench/ examples/) under --root; with file
+// arguments it lints exactly those files, which is how the corpus
+// fixtures and CI's changed-file mode drive it.
+//
+// Exit codes: 0 clean, 1 diagnostics found, 2 usage/configuration
+// error (missing docs, unreadable file).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool HasLintableExtension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+std::vector<fs::path> CollectTreeFiles(const fs::path& root) {
+  std::vector<fs::path> files;
+  for (const char* dir :
+       {"src", "tools", "tests", "bench", "examples"}) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      if (!HasLintableExtension(entry.path())) continue;
+      // Corpus fixtures are deliberately bad; only the fixture tests
+      // and CI's self-check gate run the linter over them.
+      if (entry.path().string().find("lint_corpus") != std::string::npos) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+int Usage() {
+  std::cerr << "usage: divexp-lint [--root DIR] [file...]\n"
+               "  Lints the repo tree (or the given files) against the\n"
+               "  rules in docs/static-analysis.md.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) return Usage();
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "divexp-lint: unknown flag " << arg << "\n";
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  root = fs::absolute(root).lexically_normal();
+
+  divexp::lint::Catalogs catalogs;
+  std::string error;
+  if (!divexp::lint::LoadCatalogs(root.string(), &catalogs, &error)) {
+    std::cerr << "divexp-lint: " << error << "\n";
+    return 2;
+  }
+
+  if (files.empty()) files = CollectTreeFiles(root);
+
+  std::vector<divexp::lint::Diagnostic> diagnostics;
+  size_t linted = 0;
+  for (const fs::path& file : files) {
+    std::string content;
+    if (!ReadFile(file, &content)) {
+      std::cerr << "divexp-lint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    const fs::path abs = fs::absolute(file).lexically_normal();
+    std::string logical = fs::relative(abs, root).generic_string();
+    if (logical.empty() || logical.compare(0, 2, "..") == 0) {
+      // Outside the root (e.g. a fixture fed by absolute path): fall
+      // back to the raw path; a `// lint-path:` comment may still pin
+      // the logical location.
+      logical = file.generic_string();
+    }
+    divexp::lint::LintFile(logical, content, catalogs, &diagnostics);
+    ++linted;
+  }
+
+  for (const auto& d : diagnostics) {
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  std::cout << "divexp-lint: " << linted << " files, "
+            << diagnostics.size() << " finding"
+            << (diagnostics.size() == 1 ? "" : "s") << "\n";
+  return diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,676 @@
+#include "lint/lint.h"
+
+#include <cctype>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace divexp {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(content);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// True for lines that are entirely comment ("//...", or a "*"-led
+// continuation of a block comment). Content rules skip these so prose
+// examples never trip token scans.
+bool IsCommentLine(const std::string& line) {
+  size_t i = line.find_first_not_of(" \t");
+  if (i == std::string::npos) return false;
+  if (line.compare(i, 2, "//") == 0) return true;
+  if (line[i] == '*') return true;
+  if (line.compare(i, 2, "/*") == 0) return true;
+  return false;
+}
+
+// `lint:allow(<rule>): <reason>` on the diagnostic's line suppresses
+// it. The reason is mandatory: an allow without one does not suppress.
+bool HasAllow(const std::string& line, const std::string& rule) {
+  const std::string needle = "lint:allow(" + rule + ")";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t after = pos + needle.size();
+  if (after >= line.size() || line[after] != ':') return false;
+  size_t reason = line.find_first_not_of(" \t", after + 1);
+  return reason != std::string::npos;
+}
+
+// All directory ranks are spaced by 10 so future layers can slot in
+// between without renumbering every suppression-free include.
+const std::map<std::string, int>& SrcDirLayers() {
+  static const std::map<std::string, int> kLayers = {
+      {"util", 0},    {"obs", 10},      {"stats", 10},
+      {"data", 20},   {"model", 30},    {"fpm", 40},
+      {"datasets", 50}, {"recovery", 60}, {"core", 70},
+      {"slicefinder", 70},
+  };
+  return kLayers;
+}
+
+// atomic_file/crc32/snapshot_file are low-level IO with no dependency
+// above util; pinning them below data/ lets data/csv.cc use
+// WriteFileAtomic without inverting the data <- recovery order.
+int PinnedRecoveryIoLayer(const std::string& src_relative) {
+  static const char* kPinned[] = {"recovery/atomic_file.",
+                                  "recovery/crc32.",
+                                  "recovery/snapshot_file."};
+  for (const char* prefix : kPinned) {
+    if (StartsWith(src_relative, prefix)) return 10;
+  }
+  return -1;
+}
+
+// Maps a quoted include string (as written in the source, e.g.
+// "util/status.h") to (layer, implied repo-relative path). Unknown
+// first segments — single-file includes, third-party — yield layer -1
+// and are never flagged.
+struct IncludeTarget {
+  int layer = -1;
+  std::string implied_path;
+};
+
+IncludeTarget ResolveInclude(const std::string& inc) {
+  IncludeTarget t;
+  size_t slash = inc.find('/');
+  if (slash == std::string::npos) return t;
+  const std::string head = inc.substr(0, slash);
+  if (head == "testing") {
+    t.layer = 85;
+    t.implied_path = "tests/" + inc;
+    return t;
+  }
+  if (head == "tools") {
+    t.layer = 80;
+    t.implied_path = inc;
+    return t;
+  }
+  auto it = SrcDirLayers().find(head);
+  if (it == SrcDirLayers().end()) return t;
+  t.layer = it->second;
+  const int pinned = PinnedRecoveryIoLayer(inc);
+  if (pinned >= 0) t.layer = pinned;
+  t.implied_path = "src/" + inc;
+  return t;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool IsNameSegment(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+          std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+      return false;
+    }
+  }
+  return s.front() != '_' && s.back() != '_';
+}
+
+// Extracts every `token` between backticks on a markdown line.
+std::vector<std::string> BacktickTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t pos = 0;
+  while (true) {
+    size_t open = line.find('`', pos);
+    if (open == std::string::npos) break;
+    size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) break;
+    tokens.push_back(line.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return tokens;
+}
+
+std::string ReadFileOrEmpty(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::string();
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Parses a double-quoted string literal starting at `pos` (which must
+// point at the opening quote). Returns false on malformed input.
+bool ParseStringLiteral(const std::string& line, size_t pos,
+                        std::string* value, size_t* end) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  std::string out;
+  for (size_t i = pos + 1; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      out += line[i + 1];
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') {
+      *value = std::move(out);
+      *end = i + 1;
+      return true;
+    }
+    out += line[i];
+  }
+  return false;
+}
+
+size_t SkipSpaces(const std::string& line, size_t pos) {
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == '\t')) {
+    ++pos;
+  }
+  return pos;
+}
+
+// Validates one `name@ordinal:action` fail-point spec. Mirrors
+// ParseFailPointSpecs in util/failpoint.cc; docs/recovery.md documents
+// the grammar.
+bool ValidateFailPointSpec(const std::string& spec, std::string* why) {
+  size_t at = spec.find('@');
+  if (at == std::string::npos) {
+    *why = "missing '@ordinal'";
+    return false;
+  }
+  const std::string name = spec.substr(0, at);
+  if (!IsDottedName(name)) {
+    *why = "name '" + name + "' is not dotted snake_case";
+    return false;
+  }
+  size_t colon = spec.find(':', at + 1);
+  if (colon == std::string::npos) {
+    *why = "missing ':action'";
+    return false;
+  }
+  const std::string ordinal = spec.substr(at + 1, colon - at - 1);
+  if (ordinal.empty() ||
+      ordinal.find_first_not_of("0123456789") != std::string::npos ||
+      ordinal == std::string(ordinal.size(), '0')) {
+    *why = "ordinal '" + ordinal + "' must be an integer >= 1";
+    return false;
+  }
+  const std::string action = spec.substr(colon + 1);
+  if (action == "return-error" || action == "throw" || action == "abort") {
+    return true;
+  }
+  if (StartsWith(action, "delay-")) {
+    const std::string ms = action.substr(6);
+    if (!ms.empty() &&
+        ms.find_first_not_of("0123456789") == std::string::npos) {
+      return true;
+    }
+  }
+  *why = "unknown action '" + action + "'";
+  return false;
+}
+
+class FileLinter {
+ public:
+  FileLinter(std::string logical_path, const Catalogs& catalogs,
+             std::vector<Diagnostic>* out)
+      : path_(std::move(logical_path)), catalogs_(catalogs), out_(out) {
+    in_layered_src_ =
+        StartsWith(path_, "src/") || StartsWith(path_, "tools/");
+  }
+
+  void Lint(const std::string& content) {
+    const std::vector<std::string> lines = SplitLines(content);
+    // A fixture may pin its logical path for path-dependent rules.
+    for (size_t i = 0; i < lines.size() && i < 5; ++i) {
+      const std::string marker = "// lint-path: ";
+      size_t pos = lines[i].find(marker);
+      if (pos != std::string::npos) {
+        path_ = lines[i].substr(pos + marker.size());
+        while (!path_.empty() &&
+               (path_.back() == ' ' || path_.back() == '\r')) {
+          path_.pop_back();
+        }
+        in_layered_src_ =
+            StartsWith(path_, "src/") || StartsWith(path_, "tools/");
+        break;
+      }
+    }
+    source_layer_ = LayerOf(path_);
+    for (size_t i = 0; i < lines.size(); ++i) {
+      const std::string& line = lines[i];
+      const int lineno = static_cast<int>(i) + 1;
+      CheckInclude(line, lineno);
+      if (IsCommentLine(line)) continue;
+      CheckIgnoredStatus(line, lineno);
+      CheckRawFileOutput(line, lineno);
+      CheckFailPoints(line, lineno);
+      CheckMetricNames(line, lineno);
+      CheckStageNames(line, lineno);
+    }
+  }
+
+ private:
+  void Emit(const std::string& line, int lineno, const char* rule,
+            std::string message) {
+    if (HasAllow(line, rule)) return;
+    out_->push_back(Diagnostic{path_, lineno, rule, std::move(message)});
+  }
+
+  void CheckInclude(const std::string& line, int lineno) {
+    if (source_layer_ < 0) return;
+    size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') return;
+    size_t inc = line.find("include", i);
+    if (inc == std::string::npos) return;
+    size_t open = line.find('"', inc);
+    if (open == std::string::npos) return;  // <...> includes are exempt
+    std::string target;
+    size_t end = 0;
+    if (!ParseStringLiteral(line, open, &target, &end)) return;
+    const IncludeTarget t = ResolveInclude(target);
+    if (t.layer < 0) return;
+    if (DirName(t.implied_path) == DirName(path_)) return;
+    if (t.layer < source_layer_) return;
+    Emit(line, lineno, kRuleIncludeLayering,
+         "\"" + target + "\" (layer " + std::to_string(t.layer) +
+             ") is not below " + path_ + " (layer " +
+             std::to_string(source_layer_) +
+             "); the tree layers util <- data <- fpm <- core <- tools");
+  }
+
+  void CheckIgnoredStatus(const std::string& line, int lineno) {
+    // A cast-to-void of a Status/Result-returning call silences the
+    // [[nodiscard]] check without leaving a reason behind.
+    size_t pos = 0;
+    while ((pos = line.find("(void)", pos)) != std::string::npos) {
+      size_t p = SkipSpaces(line, pos + 6);
+      size_t start = p;
+      while (p < line.size() &&
+             (IsWordChar(line[p]) || line[p] == ':' || line[p] == '.' ||
+              line[p] == '>' || line[p] == '-' || line[p] == '*')) {
+        ++p;
+      }
+      if (p < line.size() && p > start && line[p] == '(') {
+        std::string chain = line.substr(start, p - start);
+        size_t cut = chain.find_last_of(":.>");
+        const std::string callee =
+            cut == std::string::npos ? chain : chain.substr(cut + 1);
+        if (catalogs_.status_functions.count(callee) > 0) {
+          Emit(line, lineno, kRuleNoIgnoredStatus,
+               "'" + callee +
+                   "' returns a Status/Result; a void cast hides the "
+                   "drop. Use `Status ignored = ...;  // best-effort: <reason>`");
+        }
+      }
+      pos += 6;
+    }
+    // The sanctioned drop form must carry its reason on the same line.
+    static const std::regex kIgnored(R"(\bStatus\s+ignored\s*=)");
+    if (std::regex_search(line, kIgnored) &&
+        line.find("best-effort:") == std::string::npos) {
+      Emit(line, lineno, kRuleNoIgnoredStatus,
+           "dropped Status must explain itself: append `// best-effort: "
+           "<reason>`");
+    }
+  }
+
+  void CheckRawFileOutput(const std::string& line, int lineno) {
+    if (path_ == "src/recovery/atomic_file.cc") return;
+    struct Token {
+      const char* text;
+      bool needs_call;  // must be followed by '(' to count
+    };
+    static const Token kTokens[] = {{"ofstream", false},  // lint:allow(no-raw-file-output): the rule's own token table
+                                    {"fopen", true},  // lint:allow(no-raw-file-output): the rule's own token table
+                                    {"fwrite", true},  // lint:allow(no-raw-file-output): the rule's own token table
+                                    {"fputs", true},  // lint:allow(no-raw-file-output): the rule's own token table
+                                    {"fprintf", true}};  // lint:allow(no-raw-file-output): the rule's own token table
+    for (const Token& token : kTokens) {
+      const std::string text = token.text;
+      size_t pos = 0;
+      while ((pos = line.find(text, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+        size_t after = pos + text.size();
+        const bool right_ok =
+            after >= line.size() || !IsWordChar(line[after]);
+        bool is_call = true;
+        if (token.needs_call) {
+          size_t paren = SkipSpaces(line, after);
+          is_call = paren < line.size() && line[paren] == '(';
+          if (is_call) {
+            // Console diagnostics are fine; the rule is about files.
+            // A call wrapped before its first argument cannot be
+            // judged line-locally and is skipped.
+            const std::string rest = line.substr(paren);
+            if (rest.find("stderr") != std::string::npos ||
+                rest.find("stdout") != std::string::npos ||
+                SkipSpaces(rest, 1) >= rest.size()) {
+              is_call = false;
+            }
+          }
+        }
+        if (left_ok && right_ok && is_call) {
+          Emit(line, lineno, kRuleNoRawFileOutput,
+               "raw file output ('" + text +
+                   "') outside src/recovery/atomic_file.cc; use "
+                   "recovery::WriteFileAtomic so partial writes can "
+                   "never be observed");
+          break;  // one diagnostic per token per line is enough
+        }
+        pos = after;
+      }
+    }
+  }
+
+  void CheckFailPoints(const std::string& line, int lineno) {
+    // Definition sites: DIVEXP_FAILPOINT("name") literals.
+    static const char* kMacros[] = {"DIVEXP_FAILPOINT_STATUS",
+                                    "DIVEXP_FAILPOINT"};
+    size_t scan = 0;
+    while (scan < line.size()) {
+      size_t best = std::string::npos;
+      const char* macro = nullptr;
+      for (const char* m : kMacros) {
+        size_t pos = line.find(m, scan);
+        if (pos != std::string::npos &&
+            (best == std::string::npos || pos < best)) {
+          best = pos;
+          macro = m;
+        }
+      }
+      if (best == std::string::npos) break;
+      size_t p = best + std::string(macro).size();
+      // Skip the shorter macro matching inside the longer one.
+      if (p < line.size() && IsWordChar(line[p])) {
+        scan = best + 1;
+        continue;
+      }
+      p = SkipSpaces(line, p);
+      if (p >= line.size() || line[p] != '(') {
+        scan = best + 1;
+        continue;
+      }
+      p = SkipSpaces(line, p + 1);
+      std::string name;
+      size_t end = 0;
+      if (ParseStringLiteral(line, p, &name, &end)) {
+        if (!IsDottedName(name)) {
+          Emit(line, lineno, kRuleFailpointName,
+               "fail point '" + name +
+                   "' must be dotted snake_case (subsystem.site)");
+        } else if (in_layered_src_ &&
+                   catalogs_.failpoints.count(name) == 0) {
+          Emit(line, lineno, kRuleFailpointName,
+               "fail point '" + name +
+                   "' is not in the catalog table of docs/recovery.md; "
+                   "add it so --failpoints users can discover it");
+        }
+      }
+      scan = best + 1;
+    }
+    // Arming sites: spec strings ("name@ordinal:action[,...]")
+    // passed to ScopedFailPoints / Arm / ParseFailPointSpecs.
+    if (line.find("ScopedFailPoints") == std::string::npos &&
+        line.find("ParseFailPointSpecs") == std::string::npos &&
+        line.find("Arm(") == std::string::npos &&
+        line.find("--failpoints") == std::string::npos) {
+      return;
+    }
+    size_t pos = 0;
+    while ((pos = line.find('"', pos)) != std::string::npos) {
+      std::string literal;
+      size_t end = 0;
+      if (!ParseStringLiteral(line, pos, &literal, &end)) break;
+      pos = end;
+      if (literal.find('@') == std::string::npos) continue;
+      std::string specs = literal;
+      const std::string flag = "--failpoints=";
+      if (StartsWith(specs, flag)) specs = specs.substr(flag.size());
+      std::istringstream split(specs);
+      std::string spec;
+      while (std::getline(split, spec, ',')) {
+        std::string why;
+        if (!ValidateFailPointSpec(spec, &why)) {
+          Emit(line, lineno, kRuleFailpointName,
+               "fail-point spec '" + spec + "': " + why +
+                   " (grammar: name@ordinal:action, action one of "
+                   "return-error|throw|abort|delay-<ms>)");
+        } else if (in_layered_src_) {
+          const std::string name = spec.substr(0, spec.find('@'));
+          if (catalogs_.failpoints.count(name) == 0) {
+            Emit(line, lineno, kRuleFailpointName,
+                 "fail point '" + name +
+                     "' is not in the catalog table of docs/recovery.md");
+          }
+        }
+      }
+    }
+  }
+
+  void CheckMetricNames(const std::string& line, int lineno) {
+    static const char* kGetters[] = {"GetCounter", "GetGauge",
+                                     "GetHistogram"};
+    for (const char* getter : kGetters) {
+      size_t pos = 0;
+      while ((pos = line.find(getter, pos)) != std::string::npos) {
+        const size_t after = pos + std::string(getter).size();
+        const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+        pos = after;
+        if (!left_ok || after >= line.size() || line[after] != '(') {
+          continue;
+        }
+        size_t p = SkipSpaces(line, after + 1);
+        std::string name;
+        size_t end = 0;
+        if (!ParseStringLiteral(line, p, &name, &end)) continue;
+        const bool concatenated =
+            SkipSpaces(line, end) < line.size() &&
+            line[SkipSpaces(line, end)] == '+';
+        if (concatenated) {
+          // A dynamic family: the literal is a prefix ending in '.',
+          // and the family itself must be documented (e.g.
+          // `recovery.failpoint.<name>`).
+          if (name.empty() || name.back() != '.' ||
+              !IsDottedName(name + "x")) {
+            Emit(line, lineno, kRuleMetricName,
+                 "dynamic metric prefix '" + name +
+                     "' must be dotted snake_case ending in '.'");
+          } else if (in_layered_src_ &&
+                     catalogs_.dynamic_prefixes.count(name) == 0) {
+            Emit(line, lineno, kRuleMetricName,
+                 "dynamic metric family '" + name +
+                     "<...>' is not documented in docs/observability.md "
+                     "or docs/recovery.md");
+          }
+          continue;
+        }
+        if (!IsDottedName(name)) {
+          Emit(line, lineno, kRuleMetricName,
+               "metric '" + name +
+                   "' must follow subsystem.noun[_verb] (dotted "
+                   "snake_case, >= 2 segments)");
+        } else if (in_layered_src_ &&
+                   catalogs_.documented_names.count(name) == 0) {
+          Emit(line, lineno, kRuleMetricName,
+               "metric '" + name +
+                   "' is not documented in docs/observability.md; the "
+                   "--metrics-json schema and dashboards track that "
+                   "list");
+        }
+      }
+    }
+  }
+
+  void CheckStageNames(const std::string& line, int lineno) {
+    if (path_ != "src/obs/stage.h") return;
+    size_t pos = line.find("kStage");
+    if (pos == std::string::npos) return;
+    size_t eq = line.find('=', pos);
+    if (eq == std::string::npos) return;
+    size_t p = SkipSpaces(line, eq + 1);
+    std::string value;
+    size_t end = 0;
+    if (!ParseStringLiteral(line, p, &value, &end)) return;
+    if (catalogs_.documented_names.count(value) == 0) {
+      Emit(line, lineno, kRuleStageDocumented,
+           "stage '" + value +
+               "' is not in the stage table of docs/observability.md; "
+               "every kStage* constant must be documented there");
+    }
+  }
+
+  std::string path_;
+  const Catalogs& catalogs_;
+  std::vector<Diagnostic>* out_;
+  bool in_layered_src_ = false;
+  int source_layer_ = -1;
+};
+
+}  // namespace
+
+bool IsDottedName(const std::string& name) {
+  size_t start = 0;
+  int segments = 0;
+  while (true) {
+    size_t dot = name.find('.', start);
+    const std::string segment =
+        dot == std::string::npos ? name.substr(start)
+                                 : name.substr(start, dot - start);
+    if (!IsNameSegment(segment)) return false;
+    ++segments;
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 2;
+}
+
+int LayerOf(const std::string& logical_path) {
+  if (StartsWith(logical_path, "src/")) {
+    const std::string rest = logical_path.substr(4);
+    const int pinned = PinnedRecoveryIoLayer(rest);
+    if (pinned >= 0) return pinned;
+    size_t slash = rest.find('/');
+    if (slash == std::string::npos) return -1;
+    auto it = SrcDirLayers().find(rest.substr(0, slash));
+    return it == SrcDirLayers().end() ? -1 : it->second;
+  }
+  if (StartsWith(logical_path, "tools/") ||
+      StartsWith(logical_path, "bench/") ||
+      StartsWith(logical_path, "examples/")) {
+    return 80;
+  }
+  if (StartsWith(logical_path, "tests/testing/")) return 85;
+  if (StartsWith(logical_path, "tests/")) return 90;
+  return -1;
+}
+
+void LintFile(const std::string& logical_path, const std::string& content,
+              const Catalogs& catalogs, std::vector<Diagnostic>* out) {
+  FileLinter linter(logical_path, catalogs, out);
+  linter.Lint(content);
+}
+
+bool LoadCatalogs(const std::string& root, Catalogs* catalogs,
+                  std::string* error) {
+  const std::string recovery_md =
+      ReadFileOrEmpty(fs::path(root) / "docs" / "recovery.md");
+  const std::string observability_md =
+      ReadFileOrEmpty(fs::path(root) / "docs" / "observability.md");
+  if (recovery_md.empty() || observability_md.empty()) {
+    *error = "missing docs/recovery.md or docs/observability.md under " +
+             root;
+    return false;
+  }
+
+  // Fail-point catalog: backticked names in the first cell of the
+  // table under "### Fail-point catalog".
+  bool in_catalog = false;
+  for (const std::string& line : SplitLines(recovery_md)) {
+    if (line.find("Fail-point catalog") != std::string::npos) {
+      in_catalog = true;
+      continue;
+    }
+    if (in_catalog && StartsWith(line, "#")) in_catalog = false;
+    if (!in_catalog || line.empty() || line[0] != '|') continue;
+    size_t cell_end = line.find('|', 1);
+    if (cell_end == std::string::npos) continue;
+    for (const std::string& token :
+         BacktickTokens(line.substr(0, cell_end))) {
+      if (IsDottedName(token)) catalogs->failpoints.insert(token);
+    }
+  }
+
+  // Documented dotted names (metrics and stages) from both docs;
+  // `family.<name>` placeholders become dynamic prefixes.
+  for (const std::string* doc : {&observability_md, &recovery_md}) {
+    for (const std::string& line : SplitLines(*doc)) {
+      for (const std::string& token : BacktickTokens(line)) {
+        if (IsDottedName(token)) {
+          catalogs->documented_names.insert(token);
+          continue;
+        }
+        size_t angle = token.find('<');
+        if (angle != std::string::npos && angle > 0 &&
+            token[angle - 1] == '.') {
+          const std::string prefix = token.substr(0, angle);
+          if (IsDottedName(prefix + "x")) {
+            catalogs->dynamic_prefixes.insert(prefix);
+          }
+        }
+      }
+    }
+  }
+
+  // Status/Result-returning function names from every header in src/
+  // and tools/ (declaration scan; good enough to recognise a silenced
+  // call by its callee name).
+  static const std::regex kStatusDecl(
+      R"((?:^|[^\w:])(?:Status|Result<[^;{}()]*>)\s+([A-Za-z_]\w*)\s*\()");
+  for (const char* dir : {"src", "tools"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".h") continue;
+      const std::string text = ReadFileOrEmpty(entry.path());
+      for (std::sregex_iterator it(text.begin(), text.end(), kStatusDecl),
+           end;
+           it != end; ++it) {
+        catalogs->status_functions.insert((*it)[1].str());
+      }
+    }
+  }
+
+  if (catalogs->failpoints.empty()) {
+    *error = "no fail-point catalog parsed from docs/recovery.md";
+    return false;
+  }
+  if (catalogs->documented_names.empty()) {
+    *error = "no documented metric/stage names parsed from docs/";
+    return false;
+  }
+  if (catalogs->status_functions.empty()) {
+    *error = "no Status/Result-returning declarations found under src/";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lint
+}  // namespace divexp

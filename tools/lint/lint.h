@@ -1,0 +1,81 @@
+// divexp-lint: repo-specific invariant checker. Complements the
+// compiler-enforced layer (clang thread-safety analysis and
+// [[nodiscard]] Status/Result) with textual rules the compiler cannot
+// express: error-drop suppression discipline, the atomic-write
+// invariant, fail-point and metric naming conventions, and the include
+// layering of the source tree. See docs/static-analysis.md for the
+// rule catalog and suppression syntax.
+//
+// Deliberately std-only (no project includes): the linter must build
+// and run even when the tree it checks does not compile.
+#ifndef DIVEXP_TOOLS_LINT_LINT_H_
+#define DIVEXP_TOOLS_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace divexp {
+namespace lint {
+
+// Stable rule identifiers. Diagnostics, suppression comments
+// (`lint:allow(<rule-id>): <reason>`) and corpus fixtures
+// (`// expect: <rule-id>`) all refer to these strings; renaming one is
+// a breaking change to every suppression in the tree.
+inline constexpr const char* kRuleNoIgnoredStatus = "no-ignored-status";
+inline constexpr const char* kRuleNoRawFileOutput = "no-raw-file-output";
+inline constexpr const char* kRuleFailpointName = "failpoint-name";
+inline constexpr const char* kRuleMetricName = "metric-name-convention";
+inline constexpr const char* kRuleStageDocumented = "stage-name-documented";
+inline constexpr const char* kRuleIncludeLayering = "include-layering";
+
+struct Diagnostic {
+  std::string file;  // logical repo-relative path
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// Reference data the rules check against, extracted from the tree
+// itself so the lint never drifts from the documentation:
+//  - failpoints: the catalog table in docs/recovery.md
+//  - documented_names: dotted names (metrics, stages) in
+//    docs/observability.md and docs/recovery.md
+//  - dynamic_prefixes: documented families like
+//    `recovery.failpoint.<name>` reduced to their literal prefix
+//  - status_functions: names of functions/methods declared in headers
+//    with a Status or Result<...> return type
+struct Catalogs {
+  std::set<std::string> failpoints;
+  std::set<std::string> documented_names;
+  std::set<std::string> dynamic_prefixes;
+  std::set<std::string> status_functions;
+};
+
+// Loads all catalogs from a repo root. Missing docs or an empty
+// catalog is a configuration error reported via `error` (the caller
+// should treat it as a lint failure, not silently pass).
+bool LoadCatalogs(const std::string& root, Catalogs* catalogs,
+                  std::string* error);
+
+// Lints one file's contents. `logical_path` is the repo-relative path
+// used for all path-dependent rules (layering, exemptions); for corpus
+// fixtures it may be overridden by a `// lint-path: <path>` comment in
+// the first lines of the content.
+void LintFile(const std::string& logical_path, const std::string& content,
+              const Catalogs& catalogs, std::vector<Diagnostic>* out);
+
+// The include-layering rank of a repo-relative path, or -1 when the
+// path is outside the layered tree (unknown directories are skipped,
+// never flagged). Exposed for tests.
+int LayerOf(const std::string& logical_path);
+
+// True when `name` is a well-formed dotted identifier
+// (`subsystem.noun[_verb]`): at least two dot-separated segments, each
+// lower-case snake_case. Exposed for tests.
+bool IsDottedName(const std::string& name);
+
+}  // namespace lint
+}  // namespace divexp
+
+#endif  // DIVEXP_TOOLS_LINT_LINT_H_
