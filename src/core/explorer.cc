@@ -158,6 +158,11 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     }();
     DIVEXP_RETURN_NOT_OK(mine_result.status());
     std::vector<MinedPattern> mined = std::move(mine_result).value();
+    // Canonical shortest-first order: the table layout must not
+    // depend on the miner's traversal order (or on checkpoint/resume
+    // and shard-merge history), so every subset precedes its
+    // supersets and equal runs serialize bit-identically.
+    SortPatterns(&mined);
     timings_.mining_seconds = sw.Seconds();
 
     if (guard != nullptr && guard->stopped() &&
@@ -211,6 +216,7 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
       stats_.checkpoints_written = checkpointer->checkpoints_written();
       stats_.checkpoint_bytes = checkpointer->checkpoint_bytes();
       stats_.checkpoint_write_error = checkpointer->last_write_error();
+      stats_.checkpoint_write_failures = checkpointer->write_failures();
     };
     sync_recovery_stats();
 

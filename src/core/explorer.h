@@ -133,6 +133,28 @@ struct ExplorerRunStats {
   /// failure must surface here, not vanish: a user relying on --resume
   /// needs to know the snapshot on disk is stale.
   Status checkpoint_write_error;
+  /// Total snapshot writes that failed (the CLI warns once per run
+  /// with this count instead of once per failed interval).
+  uint64_t checkpoint_write_failures = 0;
+
+  // Sharded-exploration accounting (metrics-JSON schema v3). A
+  // monolithic run reports one shard and full coverage; a sharded run
+  // (src/shard) fills these in so downstream consumers can see exactly
+  // what population the divergence scores describe.
+  /// Shards the dataset was split into (1 for monolithic runs).
+  uint64_t shards = 1;
+  /// Shards whose retry budget was exhausted.
+  uint64_t shards_failed = 0;
+  /// Failed shards excluded from the merge (--on-shard-failure=drop).
+  uint64_t shards_dropped = 0;
+  /// Failed shards represented only by their last checkpoint's
+  /// candidates (--on-shard-failure=stale).
+  uint64_t shards_stale = 0;
+  /// Shard-unit retries performed across the whole run.
+  uint64_t retries_total = 0;
+  /// Fraction of dataset rows the merged table's tallies cover;
+  /// < 1.0 only when shards were dropped.
+  double rows_covered_fraction = 1.0;
 };
 
 /// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and

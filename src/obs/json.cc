@@ -151,6 +151,14 @@ std::string MetricsReportToJson(const MetricsReport& report) {
   w.Key("checkpoints_written").Value(report.run.checkpoints_written);
   w.Key("checkpoint_bytes").Value(report.run.checkpoint_bytes);
   w.Key("faults_injected").Value(report.run.faults_injected);
+  w.Key("shards").Value(report.run.shards);
+  w.Key("shards_failed").Value(report.run.shards_failed);
+  w.Key("shards_dropped").Value(report.run.shards_dropped);
+  w.Key("shards_stale").Value(report.run.shards_stale);
+  w.Key("retries_total").Value(report.run.retries_total);
+  w.Key("rows_covered_fraction").Value(report.run.rows_covered_fraction);
+  w.Key("checkpoint_write_failures")
+      .Value(report.run.checkpoint_write_failures);
   w.EndObject();
 
   w.Key("stages").BeginArray();
@@ -486,8 +494,14 @@ Status ValidateMetricsJson(const std::string& text,
   for (const char* key :
        {"elapsed_ms", "patterns", "peak_memory_bytes",
         "effective_min_support", "escalations", "checkpoints_written",
-        "checkpoint_bytes", "faults_injected"}) {
+        "checkpoint_bytes", "faults_injected", "shards", "shards_failed",
+        "shards_dropped", "shards_stale", "retries_total",
+        "rows_covered_fraction", "checkpoint_write_failures"}) {
     DIVEXP_RETURN_NOT_OK(RequireNumber(*run, key, "run"));
+  }
+  const JsonValue* coverage = run->Find("rows_covered_fraction");
+  if (coverage->number < 0.0 || coverage->number > 1.0) {
+    return Violation("run rows_covered_fraction must be in [0, 1]");
   }
   for (const char* key : {"truncated", "resumed_from_checkpoint"}) {
     const JsonValue* flag = run->Find(key);

@@ -64,6 +64,15 @@ struct RunSummary {
   uint64_t checkpoints_written = 0;
   uint64_t checkpoint_bytes = 0;
   uint64_t faults_injected = 0;
+  // Sharded-exploration accounting (schema v3). Monolithic runs report
+  // shards = 1 and rows_covered_fraction = 1.0.
+  uint64_t shards = 1;
+  uint64_t shards_failed = 0;
+  uint64_t shards_dropped = 0;
+  uint64_t shards_stale = 0;
+  uint64_t retries_total = 0;
+  double rows_covered_fraction = 1.0;
+  uint64_t checkpoint_write_failures = 0;
 };
 
 /// Everything the CLI writes to --metrics-json.
@@ -77,7 +86,10 @@ struct MetricsReport {
 /// Schema version written into every report; bump on breaking changes.
 /// v2 added the run-level crash-recovery fields (resumed_from_checkpoint,
 /// checkpoints_written, checkpoint_bytes, faults_injected).
-inline constexpr int kMetricsSchemaVersion = 2;
+/// v3 added the sharded-exploration fields (shards, shards_failed,
+/// shards_dropped, shards_stale, retries_total, rows_covered_fraction,
+/// checkpoint_write_failures).
+inline constexpr int kMetricsSchemaVersion = 3;
 
 /// Serializes a full report (schema_version, run, stages, counters,
 /// gauges, histograms, spans).

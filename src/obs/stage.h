@@ -39,6 +39,11 @@ inline constexpr const char* kStageGlobal = "analysis.global";
 inline constexpr const char* kStageCorrective = "analysis.corrective";
 inline constexpr const char* kStagePrune = "analysis.prune";
 inline constexpr const char* kStageSliceFinder = "slicefinder.search";
+/// Sharded exploration (src/shard): per-shard mining attempts, the
+/// SON phase-2 candidate recount, and the final table merge.
+inline constexpr const char* kStageShardMine = "shard.mine";
+inline constexpr const char* kStageShardVerify = "shard.verify";
+inline constexpr const char* kStageShardMerge = "shard.merge";
 
 /// One pipeline stage's resource report.
 struct StageStats {

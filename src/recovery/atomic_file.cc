@@ -81,6 +81,17 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
     // Stop the first write at the midpoint so the mid_write failpoint
     // above observes a genuinely half-written temp file.
     if (written < midpoint) chunk = midpoint - written;
+    // Simulated ENOSPC: the kernel accepts the open but the write
+    // itself fails (or makes no progress).
+    if (FailPointRegistry::Default().armed()) {
+      const Status fp_status =
+          FailPointRegistry::Default().Hit("io.atomic.write_fail");
+      if (!fp_status.ok()) {
+        ::close(fd);
+        return Status::IOError("write '" + tmp +
+                               "': " + fp_status.message());
+      }
+    }
 #endif
     const ssize_t n = ::write(fd, contents.data() + written, chunk);
     if (n < 0) {
@@ -88,6 +99,14 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
       const Status status = Status::IOError(Errno("write", tmp));
       ::close(fd);
       return status;
+    }
+    if (n == 0) {
+      // A zero-byte write with a non-zero request means the device can
+      // make no progress (full disk / quota). Without this check the
+      // loop would spin forever instead of failing cleanly.
+      ::close(fd);
+      return Status::IOError("write '" + tmp +
+                             "': short write, no progress (device full?)");
     }
     written += static_cast<size_t>(n);
   }

@@ -152,7 +152,21 @@ Status Checkpointer::Flush() {
 
 Status Checkpointer::WriteLocked() {
   uint64_t bytes = 0;
-  DIVEXP_RETURN_NOT_OK(SaveMiningState(path_, state_, &bytes));
+  const Status saved = SaveMiningState(path_, state_, &bytes);
+  if (!saved.ok()) {
+    ++write_failures_;
+    obs::MetricsRegistry::Default()
+        .GetCounter("recovery.checkpoint.write_failures")
+        ->Add(1);
+    // Keep the low-level errno message but name the snapshot and the
+    // write ordinal so a retrying caller (the shard driver, an
+    // operator reading the warning) knows exactly which checkpoint is
+    // failing and how persistently.
+    return Status(saved.code(), "checkpoint snapshot '" + path_ +
+                                    "' (write attempt " +
+                                    std::to_string(write_failures_) +
+                                    "): " + saved.message());
+  }
   dirty_ = false;
   wrote_once_ = true;
   since_write_.Restart();
@@ -168,6 +182,11 @@ Status Checkpointer::WriteLocked() {
 Status Checkpointer::last_write_error() const {
   MutexLock lock(mu_);
   return write_error_;
+}
+
+uint64_t Checkpointer::write_failures() const {
+  MutexLock lock(mu_);
+  return write_failures_;
 }
 
 }  // namespace recovery

@@ -89,8 +89,13 @@ class Checkpointer final : public MiningCheckpointSink {
   /// Cumulative bytes of all snapshot files written.
   uint64_t checkpoint_bytes() const EXCLUDES(mu_);
   /// First snapshot write failure of the run, if any (mining is never
-  /// interrupted by one).
+  /// interrupted by one). The message carries the snapshot path and the
+  /// underlying errno text so a retry/warning layer need not
+  /// reconstruct them.
   Status last_write_error() const EXCLUDES(mu_);
+  /// Total snapshot writes that failed (each interval may fail once;
+  /// the CLI warns once for the whole run, with this count).
+  uint64_t write_failures() const EXCLUDES(mu_);
 
  private:
   explicit Checkpointer(const CheckpointerOptions& options);
@@ -120,6 +125,7 @@ class Checkpointer final : public MiningCheckpointSink {
   bool wrote_once_ GUARDED_BY(mu_) = false;
   uint64_t writes_ GUARDED_BY(mu_) = 0;
   uint64_t bytes_written_ GUARDED_BY(mu_) = 0;
+  uint64_t write_failures_ GUARDED_BY(mu_) = 0;
   Status write_error_ GUARDED_BY(mu_);
 };
 

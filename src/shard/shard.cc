@@ -1,0 +1,447 @@
+#include "shard/shard.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "fpm/transactions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "recovery/checkpoint.h"
+#include "recovery/mining_snapshot.h"
+#include "util/failpoint.h"
+#include "util/parallel.h"
+#include "util/stopwatch.h"
+
+namespace divexp {
+namespace shard {
+namespace {
+
+/// XOR mask applied by the shard.unit.fingerprint failpoint to emulate
+/// a corrupted contribution stamp.
+constexpr uint64_t kFingerprintCorruption = 0xbadc0ffee0ddf00dULL;
+
+std::string ShardCheckpointDir(const std::string& base_dir, size_t shard) {
+  return base_dir + "/shard_" + std::to_string(shard);
+}
+
+/// Immutable per-shard inputs, built once and reused by every attempt.
+struct ShardWork {
+  EncodedDataset data;
+  TransactionDatabase db;
+  uint64_t fingerprint = 0;
+  bool empty = false;
+};
+
+ShardOutcome RunShardUnit(size_t shard_index, const ShardWork& work,
+                          const ShardedExplorerOptions& options) {
+  ShardOutcome out;
+  out.shard = shard_index;
+  obs::StageCollector collector;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+
+  const std::unique_ptr<FrequentPatternMiner> miner =
+      MakeMiner(options.base.miner);
+  if (miner == nullptr) {
+    out.status = Status::InvalidArgument("unknown miner kind");
+    return out;
+  }
+
+  auto attempt_fn = [&](size_t attempt) -> Status {
+    reg.GetCounter("shard.attempts")->Add(1);
+    // An externally cancelled run must not be retried into.
+    if (options.base.guard != nullptr &&
+        options.base.guard->cancel_requested()) {
+      return options.base.guard->ToStatus();
+    }
+    DIVEXP_FAILPOINT_STATUS("shard.unit.mine");
+    obs::StageTimer unit_timer(&collector, obs::kStageShardMine);
+
+    // Fresh guard per attempt; the retry policy's per-attempt timeout
+    // (escalated on every retry) overrides the base deadline so
+    // deadline-induced failures converge.
+    RunLimits limits = options.base.limits;
+    const int64_t timeout = RetryAttemptTimeoutMs(options.retry, attempt);
+    if (timeout > 0) limits.deadline_ms = timeout;
+    RunGuard guard(limits);
+    RunGuard* guard_ptr = limits.unlimited() ? nullptr : &guard;
+
+    std::unique_ptr<recovery::Checkpointer> checkpointer;
+    if (!options.base.checkpoint_dir.empty()) {
+      recovery::CheckpointerOptions copts;
+      copts.dir =
+          ShardCheckpointDir(options.base.checkpoint_dir, shard_index);
+      copts.every_ms = options.base.checkpoint_every_ms;
+      // Retries always resume: whatever the previous attempt managed
+      // to persist is progress this attempt keeps.
+      copts.resume = options.base.resume || attempt > 0;
+      const std::string snapshot = copts.dir + "/mining.ckpt";
+      Result<std::unique_ptr<recovery::Checkpointer>> created =
+          recovery::Checkpointer::Create(copts);
+      if (!created.ok()) {
+        // Corrupt or unreadable snapshot: discard it so the next
+        // attempt remines from scratch instead of failing identically.
+        std::remove(snapshot.c_str());
+        return created.status();
+      }
+      checkpointer = std::move(*created);
+      Result<bool> restored = checkpointer->BeginAttempt(
+          work.fingerprint, options.base.miner, options.base.min_support,
+          options.base.max_length, /*strict=*/false);
+      if (!restored.ok()) {
+        std::remove(snapshot.c_str());
+        return restored.status();
+      }
+      checkpointer->AttachGuard(guard_ptr);
+    }
+    // Fold this attempt's checkpoint accounting into the outcome on
+    // every exit path — failed attempts wrote snapshots too.
+    auto absorb_checkpoint_stats = [&]() {
+      if (checkpointer == nullptr) return;
+      out.resumed = out.resumed || checkpointer->resumed();
+      out.checkpoints_written += checkpointer->checkpoints_written();
+      out.checkpoint_bytes += checkpointer->checkpoint_bytes();
+      out.checkpoint_write_failures += checkpointer->write_failures();
+      const Status write_error = checkpointer->last_write_error();
+      if (!write_error.ok() && out.checkpoint_write_error.ok()) {
+        out.checkpoint_write_error = write_error;
+      }
+    };
+
+    MinerOptions mopts;
+    mopts.min_support = options.base.min_support;
+    mopts.max_length = options.base.max_length;
+    mopts.num_threads = options.base.num_threads;
+    mopts.guard = guard_ptr;
+    mopts.stages = &collector;
+    mopts.checkpoint = checkpointer.get();
+
+    std::vector<MinedPattern> patterns;
+    try {
+      Result<std::vector<MinedPattern>> mined =
+          miner->Mine(work.db, mopts);
+      if (!mined.ok()) {
+        absorb_checkpoint_stats();
+        return mined.status();
+      }
+      patterns = std::move(*mined);
+    } catch (const std::exception& e) {
+      absorb_checkpoint_stats();
+      return Status::Internal("shard " + std::to_string(shard_index) +
+                              " mining failed: " + e.what());
+    }
+    if (guard_ptr != nullptr) {
+      out.peak_memory_bytes =
+          std::max(out.peak_memory_bytes, guard_ptr->peak_memory_bytes());
+      if (guard_ptr->stopped()) {
+        if (checkpointer != nullptr) {
+          // A failed flush is already latched in last_write_error.
+          Status ignored = checkpointer->Flush();  // best-effort: keep the truncated units for the retry
+        }
+        absorb_checkpoint_stats();
+        return guard_ptr->ToStatus();
+      }
+    }
+    absorb_checkpoint_stats();
+
+    uint64_t observed = work.fingerprint;
+#if defined(DIVEXP_FAILPOINTS_ENABLED)
+    if (recovery::FailPointRegistry::Default().armed()) {
+      const Status corrupted =
+          recovery::FailPointRegistry::Default().Hit(
+              "shard.unit.fingerprint");
+      if (!corrupted.ok()) observed ^= kFingerprintCorruption;
+    }
+#endif
+    if (observed != work.fingerprint) {
+      return Status::Internal("shard " + std::to_string(shard_index) +
+                              " contribution fingerprint mismatch");
+    }
+    out.fingerprint = observed;
+    out.patterns = std::move(patterns);
+    unit_timer.AddItems(out.patterns.size());
+    return Status::OK();
+  };
+
+  // Failure isolation: an exception escaping anywhere in the attempt
+  // (a throw-action failpoint at a seam outside the miner, a crashing
+  // checkpoint writer) is this shard's failure, not the run's.
+  auto guarded_attempt = [&](size_t attempt) -> Status {
+    try {
+      return attempt_fn(attempt);
+    } catch (const std::exception& e) {
+      return Status::Internal("shard " + std::to_string(shard_index) +
+                              " attempt crashed: " + e.what());
+    }
+  };
+
+  auto sleeper = [&](uint64_t ms) {
+    reg.GetHistogram("shard.backoff_ms")->Record(ms);
+    if (options.sleep_ms) {
+      options.sleep_ms(ms);
+    } else if (ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    }
+  };
+  const RetryOutcome retried = RetryWithBackoff(
+      options.retry, shard_index, guarded_attempt, sleeper);
+  out.status = retried.status;
+  out.attempts = retried.attempts;
+  out.retries = retried.retries;
+  if (retried.retries > 0) {
+    reg.GetCounter("shard.retries")->Add(retried.retries);
+  }
+  if (!out.status.ok()) out.patterns.clear();
+  out.stages = collector.stages();
+  return out;
+}
+
+}  // namespace
+
+const char* ShardFailurePolicyName(ShardFailurePolicy policy) {
+  switch (policy) {
+    case ShardFailurePolicy::kFail:
+      return "fail";
+    case ShardFailurePolicy::kDrop:
+      return "drop";
+    case ShardFailurePolicy::kStale:
+      return "stale";
+  }
+  return "unknown";
+}
+
+Result<ShardFailurePolicy> ParseShardFailurePolicy(
+    const std::string& name) {
+  if (name == "fail") return ShardFailurePolicy::kFail;
+  if (name == "drop") return ShardFailurePolicy::kDrop;
+  if (name == "stale") return ShardFailurePolicy::kStale;
+  return Status::InvalidArgument("unknown shard failure policy '" + name +
+                                 "' (expected fail, drop or stale)");
+}
+
+Status ValidateShardedExplorerOptions(
+    const ShardedExplorerOptions& options) {
+  DIVEXP_RETURN_NOT_OK(ValidateExplorerOptions(options.base));
+  if (options.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.shard_parallelism == 0) {
+    return Status::InvalidArgument("shard_parallelism must be >= 1");
+  }
+  DIVEXP_RETURN_NOT_OK(ValidateRetryPolicy(options.retry));
+  return Status::OK();
+}
+
+Result<PatternTable> ShardedExplorer::Explore(
+    const EncodedDataset& dataset, const std::vector<int>& predictions,
+    const std::vector<int>& truths, Metric metric) const {
+  if (predictions.size() != dataset.num_rows ||
+      truths.size() != dataset.num_rows) {
+    return Status::InvalidArgument(
+        "predictions/truths length does not match dataset rows");
+  }
+  DIVEXP_ASSIGN_OR_RETURN(std::vector<Outcome> outcomes,
+                          ComputeOutcomes(metric, predictions, truths));
+  return ExploreOutcomes(dataset, std::move(outcomes));
+}
+
+Result<PatternTable> ShardedExplorer::ExploreOutcomes(
+    const EncodedDataset& dataset, std::vector<Outcome> outcomes) const {
+  DIVEXP_RETURN_NOT_OK(ValidateShardedExplorerOptions(options_));
+  if (outcomes.size() != dataset.num_rows) {
+    return Status::InvalidArgument(
+        "outcomes length " + std::to_string(outcomes.size()) +
+        " != dataset rows " + std::to_string(dataset.num_rows));
+  }
+  if (dataset.num_rows == 0) {
+    return Status::InvalidArgument("dataset has no rows");
+  }
+  obs::ScopedSpan explore_span("shard.explore");
+  Stopwatch total;
+  stats_ = ExplorerRunStats{};
+  stats_.shards = options_.num_shards;
+  stats_.effective_min_support = options_.base.min_support;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  reg.GetCounter("shard.runs")->Add(1);
+  const uint64_t faults0 =
+      recovery::FailPointRegistry::Default().faults_injected();
+
+  const std::vector<ShardRange> plan =
+      MakeShardPlan(dataset.num_rows, options_.num_shards);
+
+  // Slice the dataset once; each shard's transaction database and
+  // fingerprint are shared by all of its attempts.
+  std::vector<ShardWork> work(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (plan[i].size() == 0) {
+      work[i].empty = true;
+      continue;
+    }
+    EncodedDataset& slice = work[i].data;
+    slice.num_rows = plan[i].size();
+    slice.num_attributes = dataset.num_attributes;
+    slice.catalog = dataset.catalog;
+    slice.cells.assign(
+        dataset.cells.begin() +
+            static_cast<std::ptrdiff_t>(plan[i].begin *
+                                        dataset.num_attributes),
+        dataset.cells.begin() +
+            static_cast<std::ptrdiff_t>(plan[i].end *
+                                        dataset.num_attributes));
+    std::vector<Outcome> shard_outcomes(
+        outcomes.begin() + static_cast<std::ptrdiff_t>(plan[i].begin),
+        outcomes.begin() + static_cast<std::ptrdiff_t>(plan[i].end));
+    DIVEXP_ASSIGN_OR_RETURN(
+        work[i].db,
+        TransactionDatabase::Create(slice, std::move(shard_outcomes)));
+    work[i].fingerprint = recovery::DatasetFingerprint(work[i].db);
+  }
+
+  // Mine each shard as an isolated, retried work unit. Workers write
+  // only their own slot; all aggregation happens after the join.
+  std::vector<ShardOutcome> results(plan.size());
+  ParallelFor(options_.shard_parallelism, plan.size(), [&](size_t i) {
+    if (work[i].empty) {
+      results[i].shard = i;
+      return;
+    }
+    results[i] = RunShardUnit(i, work[i], options_);
+  });
+
+  obs::StageCollector stages;
+  std::vector<uint64_t> expected_fingerprints(plan.size(), 0);
+  std::vector<bool> include_rows(plan.size(), true);
+  std::vector<ShardContribution> contributions;
+  Status first_failure;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    ShardOutcome& r = results[i];
+    expected_fingerprints[i] = work[i].fingerprint;
+    stats_.retries_total += r.retries;
+    stats_.resumed_from_checkpoint =
+        stats_.resumed_from_checkpoint || r.resumed;
+    stats_.checkpoints_written += r.checkpoints_written;
+    stats_.checkpoint_bytes += r.checkpoint_bytes;
+    stats_.checkpoint_write_failures += r.checkpoint_write_failures;
+    if (!r.checkpoint_write_error.ok() &&
+        stats_.checkpoint_write_error.ok()) {
+      stats_.checkpoint_write_error = r.checkpoint_write_error;
+    }
+    stats_.peak_memory_bytes =
+        std::max(stats_.peak_memory_bytes, r.peak_memory_bytes);
+    stages.MergeFrom(r.stages);
+
+    if (r.status.ok()) {
+      if (!work[i].empty) {
+        contributions.push_back(ShardContribution{
+            i, r.fingerprint, std::move(r.patterns)});
+      }
+      continue;
+    }
+    // Cancellation is the caller's intent: it fails the run under
+    // every policy.
+    if (r.status.code() == StatusCode::kCancelled) return r.status;
+    ++stats_.shards_failed;
+    reg.GetCounter("shard.failures")->Add(1);
+    if (first_failure.ok()) {
+      first_failure =
+          Status(r.status.code(), "shard " + std::to_string(i) + " of " +
+                                      std::to_string(plan.size()) +
+                                      " failed after " +
+                                      std::to_string(r.attempts) +
+                                      " attempts: " + r.status.message());
+    }
+    switch (options_.on_shard_failure) {
+      case ShardFailurePolicy::kFail:
+        break;
+      case ShardFailurePolicy::kDrop:
+        include_rows[i] = false;
+        ++stats_.shards_dropped;
+        reg.GetCounter("shard.dropped")->Add(1);
+        break;
+      case ShardFailurePolicy::kStale: {
+        ++stats_.shards_stale;
+        reg.GetCounter("shard.stale")->Add(1);
+        // Best-effort candidate recovery from the shard's last
+        // snapshot; the merge recounts them exactly over all rows, so
+        // stale candidates can never bias a tally — only narrow the
+        // pattern set.
+        if (!options_.base.checkpoint_dir.empty()) {
+          Result<recovery::MiningStateSnapshot> snapshot =
+              recovery::LoadMiningState(
+                  ShardCheckpointDir(options_.base.checkpoint_dir, i) +
+                  "/mining.ckpt");
+          if (snapshot.ok() &&
+              snapshot->fingerprint == work[i].fingerprint) {
+            ShardContribution stale;
+            stale.shard = i;
+            stale.fingerprint = snapshot->fingerprint;
+            for (auto& [unit, patterns] : snapshot->units) {
+              stale.patterns.insert(
+                  stale.patterns.end(),
+                  std::make_move_iterator(patterns.begin()),
+                  std::make_move_iterator(patterns.end()));
+            }
+            contributions.push_back(std::move(stale));
+          }
+        }
+        break;
+      }
+    }
+  }
+  stats_.faults_injected =
+      recovery::FailPointRegistry::Default().faults_injected() - faults0;
+
+  if (stats_.shards_failed > 0 &&
+      options_.on_shard_failure == ShardFailurePolicy::kFail) {
+    return first_failure;
+  }
+  size_t covered_rows = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (include_rows[i]) covered_rows += plan[i].size();
+  }
+  if (covered_rows == 0) {
+    // Every shard was dropped: there is no population left to report
+    // honestly, so surface the failure instead of an empty table.
+    return first_failure;
+  }
+
+  ShardMergeResult merged;
+  {
+    obs::StageTimer merge_timer(&stages, obs::kStageShardMerge);
+    ShardMergeOptions mopts;
+    mopts.min_support = options_.base.min_support;
+    mopts.max_length = options_.base.max_length;
+    mopts.num_threads = options_.base.num_threads;
+    mopts.stages = &stages;
+    DIVEXP_ASSIGN_OR_RETURN(
+        merged, MergeShardContributions(dataset, outcomes, plan,
+                                        expected_fingerprints, include_rows,
+                                        contributions, mopts));
+    merge_timer.AddItems(merged.patterns.size());
+  }
+
+  PatternTableOptions topts;
+  topts.num_threads = options_.base.num_threads;
+  topts.stages = &stages;
+  obs::StageTimer divergence_timer(&stages, obs::kStageDivergence);
+  DIVEXP_ASSIGN_OR_RETURN(
+      PatternTable table,
+      PatternTable::Create(std::move(merged.patterns), dataset.catalog,
+                           merged.covered_rows, /*guard=*/nullptr, topts));
+  divergence_timer.AddItems(table.size());
+  divergence_timer.Finish();
+
+  stats_.patterns = table.size() - 1;
+  stats_.rows_covered_fraction =
+      static_cast<double>(merged.covered_rows) /
+      static_cast<double>(dataset.num_rows);
+  stats_.elapsed_ms = total.Millis();
+  stats_.stages = stages.stages();
+  return table;
+}
+
+}  // namespace shard
+}  // namespace divexp

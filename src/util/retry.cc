@@ -1,0 +1,88 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/random.h"
+
+namespace divexp {
+
+Status ValidateRetryPolicy(const RetryPolicy& policy) {
+  if (policy.backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry backoff_multiplier must be >= 1");
+  }
+  if (policy.jitter < 0.0 || policy.jitter >= 1.0) {
+    return Status::InvalidArgument("retry jitter must be in [0, 1)");
+  }
+  if (policy.max_backoff_ms < policy.initial_backoff_ms) {
+    return Status::InvalidArgument(
+        "retry max_backoff_ms must be >= initial_backoff_ms");
+  }
+  if (policy.timeout_escalation < 1.0) {
+    return Status::InvalidArgument("retry timeout_escalation must be >= 1");
+  }
+  if (policy.attempt_timeout_ms < 0) {
+    return Status::InvalidArgument("retry attempt_timeout_ms must be >= 0");
+  }
+  return Status::OK();
+}
+
+uint64_t RetryBackoffMs(const RetryPolicy& policy, uint64_t token,
+                        size_t retry_index) {
+  double base = static_cast<double>(policy.initial_backoff_ms);
+  for (size_t i = 0; i < retry_index; ++i) {
+    base *= policy.backoff_multiplier;
+    if (base >= static_cast<double>(policy.max_backoff_ms)) break;
+  }
+  const double cap = static_cast<double>(policy.max_backoff_ms);
+  if (base > cap) base = cap;
+  if (policy.jitter > 0.0) {
+    // Jitter stream keyed by (seed, token, retry); golden-ratio mixing
+    // keeps adjacent tokens decorrelated.
+    Rng rng(policy.jitter_seed ^ (token * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<uint64_t>(retry_index) << 32));
+    base *= 1.0 - policy.jitter * rng.Uniform();
+  }
+  return static_cast<uint64_t>(std::llround(base));
+}
+
+int64_t RetryAttemptTimeoutMs(const RetryPolicy& policy, size_t attempt) {
+  if (policy.attempt_timeout_ms == 0) return 0;
+  double timeout = static_cast<double>(policy.attempt_timeout_ms);
+  for (size_t i = 0; i < attempt; ++i) {
+    timeout *= policy.timeout_escalation;
+    if (timeout > 1e15) break;  // saturate well below int64 range
+  }
+  if (timeout > 1e15) timeout = 1e15;
+  return static_cast<int64_t>(timeout);
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return !status.ok() && status.code() != StatusCode::kCancelled;
+}
+
+RetryOutcome RetryWithBackoff(
+    const RetryPolicy& policy, uint64_t token,
+    const std::function<Status(size_t attempt)>& attempt_fn,
+    const std::function<void(uint64_t)>& sleep_ms) {
+  RetryOutcome outcome;
+  for (size_t attempt = 0;; ++attempt) {
+    ++outcome.attempts;
+    outcome.status = attempt_fn(attempt);
+    if (outcome.status.ok() || !IsRetryableStatus(outcome.status) ||
+        attempt >= policy.max_retries) {
+      return outcome;
+    }
+    const uint64_t backoff = RetryBackoffMs(policy, token, attempt);
+    outcome.backoff_ms_total += backoff;
+    ++outcome.retries;
+    if (sleep_ms) {
+      sleep_ms(backoff);
+    } else if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+  }
+}
+
+}  // namespace divexp

@@ -1,0 +1,84 @@
+// Generic bounded-retry policy with exponential backoff, deterministic
+// jitter and per-attempt timeouts. The shard driver wraps each shard
+// work unit in RetryWithBackoff; the policy is kept in src/util so any
+// subsystem with transient failures can reuse it.
+//
+// Determinism: jitter is a pure function of (seed, token, retry index),
+// never of wall-clock time or a global RNG, so a retried run replays
+// the exact same backoff schedule. Tests inject a fake sleeper and
+// assert on the recorded delays.
+#ifndef DIVEXP_UTIL_RETRY_H_
+#define DIVEXP_UTIL_RETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/status.h"
+
+namespace divexp {
+
+/// Bounded-retry configuration. An operation runs at most
+/// `1 + max_retries` times; between attempt k and k+1 the caller
+/// sleeps `RetryBackoffMs(policy, token, k)` milliseconds.
+struct RetryPolicy {
+  /// Retries after the first attempt (0 = no retries).
+  size_t max_retries = 3;
+  /// Backoff before the first retry; grows geometrically after that.
+  uint64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  /// Ceiling applied to the un-jittered backoff.
+  uint64_t max_backoff_ms = 5000;
+  /// Fraction of the backoff randomized away, in [0, 1). 0.25 means
+  /// the actual sleep is uniform in [0.75 * b, b].
+  double jitter = 0.25;
+  /// Seed for the deterministic jitter stream.
+  uint64_t jitter_seed = 0x5eedULL;
+  /// Deadline for each individual attempt (0 = none). Escalated by
+  /// `timeout_escalation` on every retry so that deadline-induced
+  /// failures converge instead of repeating forever.
+  int64_t attempt_timeout_ms = 0;
+  double timeout_escalation = 2.0;
+};
+
+/// Rejects nonsensical policies (multiplier < 1, jitter outside
+/// [0, 1), escalation < 1, zero backoff cap below the initial value).
+[[nodiscard]] Status ValidateRetryPolicy(const RetryPolicy& policy);
+
+/// Backoff before retry `retry_index` (0-based) of the work unit
+/// identified by `token`. Pure function: exponential growth capped at
+/// max_backoff_ms, then deterministic jitter from
+/// (jitter_seed, token, retry_index).
+uint64_t RetryBackoffMs(const RetryPolicy& policy, uint64_t token,
+                        size_t retry_index);
+
+/// Per-attempt deadline for `attempt` (0-based): attempt_timeout_ms
+/// scaled by timeout_escalation^attempt, saturating instead of
+/// overflowing. Returns 0 (no deadline) when the policy has none.
+int64_t RetryAttemptTimeoutMs(const RetryPolicy& policy, size_t attempt);
+
+/// Whether a failed attempt should be retried. Cancellation is the
+/// caller's intent, not a transient fault, so it is never retried.
+bool IsRetryableStatus(const Status& status);
+
+/// Outcome of RetryWithBackoff: the final status plus accounting the
+/// caller folds into its own stats.
+struct RetryOutcome {
+  Status status;
+  size_t attempts = 0;  ///< total attempts executed (>= 1)
+  size_t retries = 0;   ///< attempts beyond the first
+  uint64_t backoff_ms_total = 0;
+};
+
+/// Runs `attempt_fn(attempt)` until it returns OK, a non-retryable
+/// status, or the retry budget is exhausted. `sleep_ms` is invoked
+/// with each backoff delay; pass a recorder in tests, or an empty
+/// function to use a real std::this_thread sleep.
+RetryOutcome RetryWithBackoff(
+    const RetryPolicy& policy, uint64_t token,
+    const std::function<Status(size_t attempt)>& attempt_fn,
+    const std::function<void(uint64_t)>& sleep_ms = {});
+
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_RETRY_H_

@@ -128,13 +128,39 @@ TEST(ValidateMetricsJsonTest, RequiresRecoveryFields) {
   EXPECT_FALSE(ValidateMetricsJson(bad).ok());
 }
 
+TEST(ValidateMetricsJsonTest, RequiresShardFields) {
+  // Schema v3: the run summary must carry the sharding fields.
+  const std::string good = MetricsReportToJson(MakeReport());
+  for (const char* field :
+       {"\"shards\":1", "\"shards_failed\":0", "\"shards_dropped\":0",
+        "\"shards_stale\":0", "\"retries_total\":0",
+        "\"rows_covered_fraction\":1", "\"checkpoint_write_failures\":0"}) {
+    EXPECT_NE(good.find(field), std::string::npos) << field;
+  }
+  std::string bad = good;
+  const std::string victim = ",\"shards_failed\":0";
+  ASSERT_NE(bad.find(victim), std::string::npos);
+  bad.erase(bad.find(victim), victim.size());
+  EXPECT_FALSE(ValidateMetricsJson(bad).ok());
+}
+
+TEST(ValidateMetricsJsonTest, RejectsCoverageOutsideUnitInterval) {
+  MetricsReport report = MakeReport();
+  report.run.rows_covered_fraction = 0.75;
+  EXPECT_TRUE(ValidateMetricsJson(MetricsReportToJson(report)).ok());
+  report.run.rows_covered_fraction = 1.5;
+  EXPECT_FALSE(ValidateMetricsJson(MetricsReportToJson(report)).ok());
+  report.run.rows_covered_fraction = -0.1;
+  EXPECT_FALSE(ValidateMetricsJson(MetricsReportToJson(report)).ok());
+}
+
 TEST(ValidateMetricsJsonTest, RejectsTamperedDocuments) {
   const std::string good = MetricsReportToJson(MakeReport());
   // Not JSON at all.
   EXPECT_FALSE(ValidateMetricsJson("not json").ok());
   // Wrong schema version.
   std::string bad = good;
-  const std::string version = "\"schema_version\":2";
+  const std::string version = "\"schema_version\":3";
   ASSERT_NE(bad.find(version), std::string::npos);
   bad.replace(bad.find(version), version.size(), "\"schema_version\":99");
   EXPECT_FALSE(ValidateMetricsJson(bad).ok());

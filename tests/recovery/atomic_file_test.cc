@@ -75,6 +75,28 @@ TEST(AtomicFileTest, FaultBeforeRenameKeepsPreviousContents) {
   EXPECT_EQ(*ReadFileToString(path), "old contents");
 }
 
+TEST(AtomicFileTest, WriteFailureKeepsPreviousContentsAndCleansTemp) {
+  // Regression: a failing ::write (ENOSPC-style) must surface an
+  // IOError, leave the destination untouched and unlink the temp file
+  // instead of looping forever on zero-progress writes.
+  const std::string dir = TempDir();
+  const std::string path = dir + "/write_fail.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  {
+    ScopedFailPoints scope("io.atomic.write_fail@1:return-error");
+    const Status status = WriteFileAtomic(path, "NEW CONTENTS");
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+    // The error names the temp path being written.
+    EXPECT_NE(status.ToString().find("write '"), std::string::npos);
+  }
+  EXPECT_EQ(*ReadFileToString(path), "old contents");
+  // No orphaned temp file: writing again (successfully) works and the
+  // directory only contains what the tests created.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2").ok());
+  EXPECT_EQ(*ReadFileToString(path), "v2");
+}
+
 TEST(AtomicFileTest, FaultAtBeginLeavesMissingFileMissing) {
   const std::string path = TempDir() + "/never_created.txt";
   std::remove(path.c_str());

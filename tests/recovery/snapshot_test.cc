@@ -256,11 +256,22 @@ TEST(CheckpointerTest, WriteFailureIsRememberedNotFatal) {
     ScopedFailPoints scope("io.snapshot.write@1:return-error");
     // UnitMined never throws or aborts the run on a write failure.
     (*cp)->UnitMined(0, {});
-    EXPECT_FALSE((*cp)->last_write_error().ok());
+    const Status error = (*cp)->last_write_error();
+    ASSERT_FALSE(error.ok());
+    // The remembered error carries retry-relevant context: the
+    // snapshot path and the failure ordinal.
+    EXPECT_NE(error.ToString().find(dir + "/mining.ckpt"),
+              std::string::npos)
+        << error.ToString();
+    EXPECT_NE(error.ToString().find("write attempt 1"),
+              std::string::npos)
+        << error.ToString();
+    EXPECT_EQ((*cp)->write_failures(), 1u);
   }
   // The next write succeeds and the file is loadable.
   (*cp)->UnitMined(1, {});
   EXPECT_TRUE(LoadMiningState(dir + "/mining.ckpt").ok());
+  EXPECT_EQ((*cp)->write_failures(), 1u);
 }
 
 TEST(CheckpointerTest, WriteFailureSurfacesInExplorerRunStats) {

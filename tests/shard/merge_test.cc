@@ -1,0 +1,279 @@
+// SON merge unit tests: shard planning, exact phase-2 recounts, and
+// the edge cases that matter for degradation — empty shard tables,
+// single-row shards, duplicate contributions with disagreeing tallies,
+// and fingerprint-mismatch rejection.
+#include "shard/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/test_data.h"
+
+namespace divexp {
+namespace shard {
+namespace {
+
+using divexp::testing::MakeEncoded;
+
+// Two binary attributes; item ids are a0=v0 -> 0, a0=v1 -> 1,
+// a1=v0 -> 2, a1=v1 -> 3.
+struct Fixture {
+  EncodedDataset dataset;
+  std::vector<Outcome> outcomes;
+};
+
+Fixture MakeFixture() {
+  Fixture f;
+  f.dataset = MakeEncoded(
+      {{0, 0}, {0, 0}, {0, 1}, {1, 0}, {0, 0}, {1, 1}}, {2, 2});
+  f.outcomes = divexp::testing::OutcomesFromString("TFTBTF");
+  return f;
+}
+
+ShardMergeOptions LowSupport() {
+  ShardMergeOptions options;
+  options.min_support = 0.1;
+  return options;
+}
+
+MinedPattern Candidate(std::vector<uint32_t> items, uint64_t t = 0,
+                       uint64_t ff = 0, uint64_t bot = 0) {
+  MinedPattern p;
+  p.items = std::move(items);
+  p.counts.t = t;
+  p.counts.f = ff;
+  p.counts.bot = bot;
+  return p;
+}
+
+const MinedPattern* Find(const ShardMergeResult& result,
+                         const Itemset& items) {
+  for (const MinedPattern& p : result.patterns) {
+    if (p.items == items) return &p;
+  }
+  return nullptr;
+}
+
+TEST(ShardPlanTest, BalancedContiguousSplit) {
+  const std::vector<ShardRange> plan = MakeShardPlan(10, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan[0].size(), 3u);
+  EXPECT_EQ(plan[1].size(), 3u);
+  EXPECT_EQ(plan[2].size(), 2u);
+  EXPECT_EQ(plan[3].size(), 2u);
+  EXPECT_EQ(plan[0].begin, 0u);
+  EXPECT_EQ(plan[3].end, 10u);
+  for (size_t i = 1; i < plan.size(); ++i) {
+    EXPECT_EQ(plan[i].begin, plan[i - 1].end);
+  }
+}
+
+TEST(ShardPlanTest, MoreShardsThanRowsLeavesEmptyTail) {
+  const std::vector<ShardRange> plan = MakeShardPlan(3, 5);
+  ASSERT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan[0].size(), 1u);
+  EXPECT_EQ(plan[2].size(), 1u);
+  EXPECT_EQ(plan[3].size(), 0u);
+  EXPECT_EQ(plan[4].size(), 0u);
+}
+
+TEST(ShardPlanTest, SingleShardCoversEverything) {
+  const std::vector<ShardRange> plan = MakeShardPlan(7, 1);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].begin, 0u);
+  EXPECT_EQ(plan[0].end, 7u);
+}
+
+TEST(ShardMergeTest, EmptyShardTableContributesNothing) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 2);
+  // One shard mined nothing (empty pattern vector): the merge must
+  // still produce the whole-population row with exact totals.
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(ShardContribution{0, 11, {}});
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11, 22}, {true, true},
+                                        contributions, LowSupport());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->patterns.size(), 1u);  // just the empty itemset
+  EXPECT_TRUE(result->patterns[0].items.empty());
+  EXPECT_EQ(result->patterns[0].counts.t, 3u);
+  EXPECT_EQ(result->patterns[0].counts.f, 2u);
+  EXPECT_EQ(result->patterns[0].counts.bot, 1u);
+  EXPECT_EQ(result->covered_rows, 6u);
+  EXPECT_EQ(result->candidates, 0u);
+}
+
+TEST(ShardMergeTest, SingleRowShardRecountsExactly) {
+  const Fixture f = MakeFixture();
+  // Shard 1 is the single row 5 = (a0=v1, a1=v1, outcome F).
+  const std::vector<ShardRange> plan = {{0, 5}, {5, 6}};
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(
+      ShardContribution{1, 22, {Candidate({1}), Candidate({1, 3})}});
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11, 22}, {true, true},
+                                        contributions, LowSupport());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // {1} = a0=v1 matches rows 3 (B) and 5 (F) across the whole dataset;
+  // the recount is global even though the candidate came from a
+  // one-row shard.
+  const MinedPattern* p = Find(*result, {1});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->counts.t, 0u);
+  EXPECT_EQ(p->counts.f, 1u);
+  EXPECT_EQ(p->counts.bot, 1u);
+  // {1,3} needs both {1} and {3} kept; {3} was never a candidate, so
+  // the closure pass drops the pair.
+  EXPECT_EQ(Find(*result, {1, 3}), nullptr);
+}
+
+TEST(ShardMergeTest, DuplicatePatternWithDifferingTalliesIsRecounted) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 2);
+  // Both shards claim {0} with wildly wrong, mutually disagreeing
+  // tallies; phase 2 must ignore every claimed count and recount from
+  // the dataset: {0} matches rows 0,1,2,4 -> t=3 f=1 bot=0.
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(
+      ShardContribution{0, 11, {Candidate({0}, 100, 50, 25)}});
+  contributions.push_back(
+      ShardContribution{1, 22, {Candidate({0}, 1, 2, 3)}});
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11, 22}, {true, true},
+                                        contributions, LowSupport());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->candidates, 1u);  // duplicates collapse
+  const MinedPattern* p = Find(*result, {0});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->counts.t, 3u);
+  EXPECT_EQ(p->counts.f, 1u);
+  EXPECT_EQ(p->counts.bot, 0u);
+}
+
+TEST(ShardMergeTest, FingerprintMismatchIsRejected) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 2);
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(
+      ShardContribution{0, 999, {Candidate({0})}});  // wrong stamp
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11, 22}, {true, true},
+                                        contributions, LowSupport());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("fingerprint mismatch"),
+            std::string::npos);
+}
+
+TEST(ShardMergeTest, UnknownShardIsRejected) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 2);
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(ShardContribution{7, 0, {Candidate({0})}});
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11, 22}, {true, true},
+                                        contributions, LowSupport());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardMergeTest, ExcludedShardRowsDoNotEnterTheTallies) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 2);  // 3 + 3
+  // Drop shard 1 (rows 3..5); candidates may still come from it.
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(
+      ShardContribution{1, 22, {Candidate({0})}});
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11, 22}, {true, false},
+                                        contributions, LowSupport());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->covered_rows, 3u);
+  // Totals over rows 0..2 only: T, F, T.
+  EXPECT_EQ(result->patterns[0].counts.t, 2u);
+  EXPECT_EQ(result->patterns[0].counts.f, 1u);
+  EXPECT_EQ(result->patterns[0].counts.bot, 0u);
+  // {0} matches rows 0,1,2 within the covered range.
+  const MinedPattern* p = Find(*result, {0});
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->counts.total(), 3u);
+}
+
+TEST(ShardMergeTest, ClosureDropsCandidatesWithMissingSubsets) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 1);
+  // A stale checkpoint may surface {0,2} without {2}; the closure pass
+  // must drop the pair so every kept pattern's subset chain exists.
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(
+      ShardContribution{0, 11, {Candidate({0}), Candidate({0, 2})}});
+  auto result =
+      MergeShardContributions(f.dataset, f.outcomes, plan, {11}, {true},
+                              contributions, LowSupport());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(Find(*result, {0}), nullptr);
+  EXPECT_EQ(Find(*result, {0, 2}), nullptr);
+  // With the subset present the pair survives.
+  contributions[0].patterns.push_back(Candidate({2}));
+  result =
+      MergeShardContributions(f.dataset, f.outcomes, plan, {11}, {true},
+                              contributions, LowSupport());
+  ASSERT_TRUE(result.ok());
+  const MinedPattern* pair = Find(*result, {0, 2});
+  ASSERT_NE(pair, nullptr);
+  EXPECT_EQ(pair->counts.t, 2u);   // rows 0, 4
+  EXPECT_EQ(pair->counts.f, 1u);   // row 1
+  EXPECT_EQ(pair->counts.bot, 0u);
+}
+
+TEST(ShardMergeTest, MaxLengthFiltersLongCandidates) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 1);
+  std::vector<ShardContribution> contributions;
+  contributions.push_back(ShardContribution{
+      0, 11, {Candidate({0}), Candidate({2}), Candidate({0, 2})}});
+  ShardMergeOptions options = LowSupport();
+  options.max_length = 1;
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11}, {true}, contributions,
+                                        options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->candidates, 2u);
+  EXPECT_EQ(Find(*result, {0, 2}), nullptr);
+}
+
+TEST(ShardMergeTest, BelowThresholdCandidatesAreFilteredOut) {
+  const Fixture f = MakeFixture();
+  const std::vector<ShardRange> plan = MakeShardPlan(6, 1);
+  std::vector<ShardContribution> contributions;
+  // {1,3} matches only row 5 -> support 1/6; threshold 0.5 needs 3.
+  contributions.push_back(
+      ShardContribution{0, 11, {Candidate({0}), Candidate({1})}});
+  ShardMergeOptions options;
+  options.min_support = 0.5;
+  auto result = MergeShardContributions(f.dataset, f.outcomes, plan,
+                                        {11}, {true}, contributions,
+                                        options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(Find(*result, {0}), nullptr);  // 4 matches >= 3
+  EXPECT_EQ(Find(*result, {1}), nullptr);  // 2 matches < 3
+}
+
+TEST(ShardMergeTest, RejectsDisagreeingPlanVectors) {
+  const Fixture f = MakeFixture();
+  auto result = MergeShardContributions(
+      f.dataset, f.outcomes, MakeShardPlan(6, 2), {11}, {true, true}, {},
+      LowSupport());
+  EXPECT_FALSE(result.ok());
+  auto result2 = MergeShardContributions(
+      f.dataset, f.outcomes, MakeShardPlan(6, 2), {11, 22}, {true}, {},
+      LowSupport());
+  EXPECT_FALSE(result2.ok());
+}
+
+}  // namespace
+}  // namespace shard
+}  // namespace divexp

@@ -1,0 +1,17 @@
+// lint-path: src/shard/bad_consume.cc
+// expect: shard-status-propagated
+//
+// A consumer that reads a ShardOutcome's patterns without ever looking
+// at its status field treats a failed shard as an empty successful
+// one; the merge would silently lose that shard's rows.
+#include "shard/shard.h"
+
+namespace divexp {
+namespace shard {
+
+size_t CountPatterns(const ShardOutcome& outcome) {
+  return outcome.patterns.size();
+}
+
+}  // namespace shard
+}  // namespace divexp

@@ -62,6 +62,11 @@ TEST(LintLayersTest, LayerOrderMatchesTheTree) {
   EXPECT_LT(LayerOf("src/data/csv.cc"), LayerOf("src/fpm/fpgrowth.cc"));
   EXPECT_LT(LayerOf("src/fpm/fpgrowth.cc"),
             LayerOf("src/core/explorer.cc"));
+  // shard/ composes core explorers, so it sits between core and tools.
+  EXPECT_LT(LayerOf("src/core/explorer.cc"),
+            LayerOf("src/shard/shard.cc"));
+  EXPECT_LT(LayerOf("src/shard/shard.cc"),
+            LayerOf("tools/cli_run.cc"));
   EXPECT_LT(LayerOf("src/core/explorer.cc"),
             LayerOf("tools/cli_run.cc"));
   EXPECT_LT(LayerOf("tools/cli_run.cc"),
@@ -107,6 +112,54 @@ TEST(LintSuppressionTest, AllowWithoutReasonDoesNotSuppress) {
            SharedCatalogs(), &diags);
   ASSERT_EQ(diags.size(), 1u);
   EXPECT_EQ(diags[0].rule, kRuleNoRawFileOutput);
+}
+
+TEST(LintShardStatusTest, MentionWithoutStatusReadFlags) {
+  std::vector<Diagnostic> diags;
+  LintFile("src/shard/consume.cc",
+           "size_t N(const ShardOutcome& o) { return o.patterns.size(); }\n",
+           SharedCatalogs(), &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleShardStatus);
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintShardStatusTest, StatusReadAnywhereInFileClears) {
+  std::vector<Diagnostic> diags;
+  LintFile("src/shard/consume.cc",
+           "size_t N(const ShardOutcome& o) {\n"
+           "  if (!o.status.ok()) return 0;\n"
+           "  return o.patterns.size();\n"
+           "}\n",
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintShardStatusTest, DefinitionFileIsExempt) {
+  std::vector<Diagnostic> diags;
+  LintFile("src/shard/shard.h",
+           "struct ShardOutcome {\n"
+           "  size_t shard = 0;\n"
+           "};\n",
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintShardStatusTest, AllowWithReasonSuppresses) {
+  std::vector<Diagnostic> diags;
+  LintFile("src/shard/consume.cc",
+           "void Log(const ShardOutcome& o);  // lint:allow(" +
+               std::string(kRuleShardStatus) + "): declaration only\n",
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintShardStatusTest, UnlayeredPathsAreSkipped) {
+  std::vector<Diagnostic> diags;
+  LintFile("tests/shard/shard_test.cc",
+           "size_t N(const ShardOutcome& o) { return o.patterns.size(); }\n",
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
 }
 
 TEST(LintCorpusTest, EveryFixtureProducesExactlyItsDeclaredFindings) {

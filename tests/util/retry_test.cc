@@ -1,0 +1,199 @@
+// RetryPolicy unit tests: validation, deterministic backoff/jitter,
+// timeout escalation, and the RetryWithBackoff loop with an injected
+// fake sleeper.
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace divexp {
+namespace {
+
+TEST(RetryPolicyTest, DefaultPolicyIsValid) {
+  EXPECT_TRUE(ValidateRetryPolicy(RetryPolicy{}).ok());
+}
+
+TEST(RetryPolicyTest, RejectsNonsensicalPolicies) {
+  RetryPolicy p;
+  p.backoff_multiplier = 0.5;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = RetryPolicy{};
+  p.jitter = 1.0;  // must be strictly below 1
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+  p.jitter = -0.1;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = RetryPolicy{};
+  p.max_backoff_ms = 5;
+  p.initial_backoff_ms = 10;  // cap below the starting point
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = RetryPolicy{};
+  p.timeout_escalation = 0.9;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+
+  p = RetryPolicy{};
+  p.attempt_timeout_ms = -1;
+  EXPECT_FALSE(ValidateRetryPolicy(p).ok());
+}
+
+TEST(RetryBackoffTest, GrowsGeometricallyAndCaps) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_ms = 50;
+  p.jitter = 0.0;  // exact values
+  EXPECT_EQ(RetryBackoffMs(p, 0, 0), 10u);
+  EXPECT_EQ(RetryBackoffMs(p, 0, 1), 20u);
+  EXPECT_EQ(RetryBackoffMs(p, 0, 2), 40u);
+  EXPECT_EQ(RetryBackoffMs(p, 0, 3), 50u);   // capped
+  EXPECT_EQ(RetryBackoffMs(p, 0, 20), 50u);  // stays capped
+}
+
+TEST(RetryBackoffTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 1000;
+  p.jitter = 0.25;
+  for (uint64_t token : {0ull, 1ull, 42ull}) {
+    for (size_t retry = 0; retry < 4; ++retry) {
+      const uint64_t a = RetryBackoffMs(p, token, retry);
+      const uint64_t b = RetryBackoffMs(p, token, retry);
+      EXPECT_EQ(a, b) << "same inputs must give the same backoff";
+    }
+  }
+  // Jitter shaves at most `jitter` off the base and never adds.
+  const uint64_t first = RetryBackoffMs(p, 7, 0);
+  EXPECT_LE(first, 1000u);
+  EXPECT_GE(first, 750u);
+  // Different tokens draw from different jitter streams; at least one
+  // of a handful must differ (all-equal would mean jitter is dead).
+  bool any_diff = false;
+  for (uint64_t token = 0; token < 8 && !any_diff; ++token) {
+    any_diff = RetryBackoffMs(p, token, 0) != first;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RetryBackoffTest, SeedChangesTheSchedule) {
+  RetryPolicy a;
+  a.initial_backoff_ms = 100000;
+  a.jitter = 0.5;
+  RetryPolicy b = a;
+  b.jitter_seed = a.jitter_seed + 1;
+  bool any_diff = false;
+  for (size_t retry = 0; retry < 8 && !any_diff; ++retry) {
+    any_diff = RetryBackoffMs(a, 3, retry) != RetryBackoffMs(b, 3, retry);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RetryTimeoutTest, EscalatesPerAttemptAndSaturates) {
+  RetryPolicy p;
+  p.attempt_timeout_ms = 100;
+  p.timeout_escalation = 2.0;
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 0), 100);
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 1), 200);
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 2), 400);
+  // Huge attempt index saturates instead of overflowing.
+  EXPECT_GT(RetryAttemptTimeoutMs(p, 200), 0);
+  // No deadline configured -> no deadline, regardless of attempt.
+  p.attempt_timeout_ms = 0;
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 5), 0);
+}
+
+TEST(RetryStatusTest, CancellationIsNotRetryable) {
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_TRUE(IsRetryableStatus(Status::Internal("boom")));
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("disk")));
+  EXPECT_FALSE(IsRetryableStatus(Status::Cancelled("user said stop")));
+}
+
+TEST(RetryWithBackoffTest, SucceedsFirstTryWithoutSleeping) {
+  std::vector<uint64_t> sleeps;
+  const RetryOutcome out = RetryWithBackoff(
+      RetryPolicy{}, 0, [](size_t) { return Status::OK(); },
+      [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_EQ(out.retries, 0u);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryWithBackoffTest, RetriesUntilSuccess) {
+  RetryPolicy p;
+  p.max_retries = 5;
+  p.jitter = 0.0;
+  p.initial_backoff_ms = 10;
+  std::vector<uint64_t> sleeps;
+  size_t calls = 0;
+  const RetryOutcome out = RetryWithBackoff(
+      p, 9,
+      [&](size_t attempt) {
+        EXPECT_EQ(attempt, calls);
+        ++calls;
+        return calls < 3 ? Status::Internal("transient") : Status::OK();
+      },
+      [&](uint64_t ms) { sleeps.push_back(ms); });
+  EXPECT_TRUE(out.status.ok());
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(out.retries, 2u);
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 10u);
+  EXPECT_EQ(sleeps[1], 20u);
+  EXPECT_EQ(out.backoff_ms_total, 30u);
+}
+
+TEST(RetryWithBackoffTest, ExhaustsBudgetAndReturnsLastError) {
+  RetryPolicy p;
+  p.max_retries = 2;
+  size_t calls = 0;
+  const RetryOutcome out = RetryWithBackoff(
+      p, 0,
+      [&](size_t) {
+        ++calls;
+        return Status::Internal("always fails " + std::to_string(calls));
+      },
+      [](uint64_t) {});
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(calls, 3u);  // 1 attempt + 2 retries
+  EXPECT_EQ(out.attempts, 3u);
+  EXPECT_EQ(out.retries, 2u);
+  EXPECT_NE(out.status.message().find("always fails 3"),
+            std::string::npos);
+}
+
+TEST(RetryWithBackoffTest, DoesNotRetryCancellation) {
+  RetryPolicy p;
+  p.max_retries = 5;
+  size_t calls = 0;
+  const RetryOutcome out = RetryWithBackoff(
+      p, 0,
+      [&](size_t) {
+        ++calls;
+        return Status::Cancelled("stop");
+      },
+      [](uint64_t) {});
+  EXPECT_EQ(out.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(out.retries, 0u);
+}
+
+TEST(RetryWithBackoffTest, ZeroRetriesMeansSingleAttempt) {
+  RetryPolicy p;
+  p.max_retries = 0;
+  size_t calls = 0;
+  const RetryOutcome out = RetryWithBackoff(
+      p, 0,
+      [&](size_t) {
+        ++calls;
+        return Status::Internal("no");
+      },
+      [](uint64_t) {});
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(calls, 1u);
+}
+
+}  // namespace
+}  // namespace divexp

@@ -196,6 +196,33 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
       opts.checkpoint_every_ms = static_cast<uint64_t>(ms);
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--shards") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long k, ParseInt(arg, v));
+      if (k < 1 || k > 4096) {
+        return Status::InvalidArgument("--shards must be in [1, 4096]");
+      }
+      opts.shards = static_cast<size_t>(k);
+    } else if (arg == "--shard-parallelism") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long p, ParseInt(arg, v));
+      if (p < 1 || p > 256) {
+        return Status::InvalidArgument(
+            "--shard-parallelism must be in [1, 256]");
+      }
+      opts.shard_parallelism = static_cast<size_t>(p);
+    } else if (arg == "--shard-retries") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long r, ParseInt(arg, v));
+      if (r < 0 || r > 100) {
+        return Status::InvalidArgument(
+            "--shard-retries must be in [0, 100]");
+      }
+      opts.shard_retries = static_cast<size_t>(r);
+    } else if (arg == "--on-shard-failure") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.on_shard_failure,
+                              shard::ParseShardFailurePolicy(name));
     } else if (arg == "--failpoints") {
       DIVEXP_ASSIGN_OR_RETURN(opts.failpoints, next());
     } else if (arg == "--trace") {
@@ -213,6 +240,11 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
   if (opts.checkpoint_every_ms > 0 && opts.checkpoint_dir.empty()) {
     return Status::InvalidArgument(
         "--checkpoint-every-ms requires --checkpoint-dir");
+  }
+  if (opts.shards == 1 &&
+      opts.on_shard_failure != shard::ShardFailurePolicy::kFail) {
+    return Status::InvalidArgument(
+        "--on-shard-failure requires --shards > 1");
   }
   return opts;
 }
@@ -266,6 +298,20 @@ std::string UsageString() {
       "  --failpoints SPEC  deterministic fault injection, e.g.\n"
       "                     \"io.atomic.mid_write@2:abort\"; actions:\n"
       "                     return-error, throw, abort, delay-<ms>\n"
+      "\n"
+      "sharded exploration:\n"
+      "  --shards K         split the dataset into K horizontal shards,\n"
+      "                     mine each as an isolated, retried work unit\n"
+      "                     and merge exactly (default 1 = monolithic)\n"
+      "  --shard-parallelism N  shards mined concurrently (default: 1)\n"
+      "  --shard-retries R  retries per shard before degrading\n"
+      "                     (default: 3)\n"
+      "  --on-shard-failure MODE  fail (default), drop, or stale\n"
+      "                     fail: error out with the shard's status\n"
+      "                     drop: exclude the shard's rows; coverage\n"
+      "                     is reported in rows_covered_fraction\n"
+      "                     stale: keep the rows, source the shard's\n"
+      "                     candidates from its last checkpoint\n"
       "\n"
       "resource limits (0 = unlimited):\n"
       "  --deadline-ms MS   wall-clock budget for the exploration run\n"

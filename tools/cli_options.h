@@ -9,6 +9,7 @@
 #include "core/explorer.h"
 #include "core/outcome.h"
 #include "fpm/miner.h"
+#include "shard/shard.h"
 #include "util/status.h"
 
 namespace divexp {
@@ -53,6 +54,14 @@ struct CliOptions {
   std::string checkpoint_dir;
   uint64_t checkpoint_every_ms = 0;
   bool resume = false;
+  /// Sharded exploration: horizontal shards to split the dataset into
+  /// (1 = monolithic), shards mined concurrently, retries per shard,
+  /// and what to do with a shard whose retries are exhausted.
+  size_t shards = 1;
+  size_t shard_parallelism = 1;
+  size_t shard_retries = 3;
+  shard::ShardFailurePolicy on_shard_failure =
+      shard::ShardFailurePolicy::kFail;
   /// Deterministic fault-injection schedule, e.g.
   /// "io.atomic.mid_write@2:abort,fpm.fpgrowth.grow@5:throw".
   /// Requires a failpoints-enabled build (DIVEXP_ENABLE_FAILPOINTS).

@@ -1,5 +1,6 @@
 #include "tools/cli_run.h"
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "recovery/atomic_file.h"
+#include "shard/shard.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -144,12 +146,30 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   eopts.checkpoint_dir = opts.checkpoint_dir;
   eopts.checkpoint_every_ms = opts.checkpoint_every_ms;
   eopts.resume = opts.resume;
-  DivergenceExplorer explorer(eopts);
-  DIVEXP_ASSIGN_OR_RETURN(
-      PatternTable table,
-      explorer.Explore(encoded, preds, truths, opts.metric));
-
-  const ExplorerRunStats& stats = explorer.last_run_stats();
+  ExplorerRunStats stats;
+  std::optional<PatternTable> table_storage;
+  if (opts.shards > 1) {
+    shard::ShardedExplorerOptions sopts;
+    sopts.base = eopts;
+    sopts.num_shards = opts.shards;
+    sopts.shard_parallelism = opts.shard_parallelism;
+    sopts.on_shard_failure = opts.on_shard_failure;
+    sopts.retry.max_retries = opts.shard_retries;
+    shard::ShardedExplorer sharded(sopts);
+    DIVEXP_ASSIGN_OR_RETURN(
+        PatternTable mined,
+        sharded.Explore(encoded, preds, truths, opts.metric));
+    table_storage.emplace(std::move(mined));
+    stats = sharded.last_run_stats();
+  } else {
+    DivergenceExplorer explorer(eopts);
+    DIVEXP_ASSIGN_OR_RETURN(
+        PatternTable mined,
+        explorer.Explore(encoded, preds, truths, opts.metric));
+    table_storage.emplace(std::move(mined));
+    stats = explorer.last_run_stats();
+  }
+  PatternTable& table = *table_storage;
   run_stages.MergeFrom(stats.stages);
   if (stats.truncated) {
     log << "WARNING: exploration truncated ("
@@ -168,10 +188,25 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
         << stats.checkpoint_bytes << " bytes\n";
   }
   if (!stats.checkpoint_write_error.ok()) {
-    log << "WARNING: checkpoint write failed ("
+    // One aggregate warning for the run, not one line per failed
+    // snapshot interval.
+    log << "WARNING: " << stats.checkpoint_write_failures
+        << " checkpoint write(s) failed; first error: "
         << stats.checkpoint_write_error.ToString()
-        << "); --resume from " << opts.checkpoint_dir
+        << "; --resume from " << opts.checkpoint_dir
         << " would restart from a stale snapshot\n";
+  }
+  if (stats.shards_failed > 0) {
+    log << "WARNING: " << stats.shards_failed << " of " << stats.shards
+        << " shard(s) failed after retries (policy: "
+        << shard::ShardFailurePolicyName(
+               opts.on_shard_failure)
+        << ", " << stats.retries_total << " retries total)\n";
+  }
+  if (stats.rows_covered_fraction < 1.0) {
+    log << "WARNING: divergence computed over "
+        << (stats.rows_covered_fraction * 100.0) << "% of rows ("
+        << stats.shards_dropped << " shard(s) dropped)\n";
   }
 
   const std::string label = std::string("d_") + MetricName(opts.metric);
@@ -309,6 +344,13 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     report.run.checkpoints_written = stats.checkpoints_written;
     report.run.checkpoint_bytes = stats.checkpoint_bytes;
     report.run.faults_injected = stats.faults_injected;
+    report.run.shards = stats.shards;
+    report.run.shards_failed = stats.shards_failed;
+    report.run.shards_dropped = stats.shards_dropped;
+    report.run.shards_stale = stats.shards_stale;
+    report.run.retries_total = stats.retries_total;
+    report.run.rows_covered_fraction = stats.rows_covered_fraction;
+    report.run.checkpoint_write_failures = stats.checkpoint_write_failures;
     report.stages = run_stages.stages();
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     report.spans = obs::TraceCollector::Default().Snapshot();

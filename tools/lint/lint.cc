@@ -64,7 +64,7 @@ const std::map<std::string, int>& SrcDirLayers() {
       {"util", 0},    {"obs", 10},      {"stats", 10},
       {"data", 20},   {"model", 30},    {"fpm", 40},
       {"datasets", 50}, {"recovery", 60}, {"core", 70},
-      {"slicefinder", 70},
+      {"slicefinder", 70}, {"shard", 75},
   };
   return kLayers;
 }
@@ -262,7 +262,9 @@ class FileLinter {
       CheckFailPoints(line, lineno);
       CheckMetricNames(line, lineno);
       CheckStageNames(line, lineno);
+      NoteShardTokens(line, lineno);
     }
+    CheckShardStatus();
   }
 
  private:
@@ -517,6 +519,55 @@ class FileLinter {
     }
   }
 
+  // Accumulates evidence for the file-level shard-status-propagated
+  // rule: a file that consumes ShardOutcome values but never reads
+  // their `.status` field would silently treat a failed shard as an
+  // empty-but-successful one.
+  void NoteShardTokens(const std::string& line, int lineno) {
+    const std::string kType = "ShardOutcome";
+    size_t pos = 0;
+    while ((pos = line.find(kType, pos)) != std::string::npos) {
+      const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+      const size_t after = pos + kType.size();
+      const bool right_ok =
+          after >= line.size() || !IsWordChar(line[after]);
+      if (left_ok && right_ok) {
+        if (shard_mention_line_ == 0) {
+          shard_mention_line_ = lineno;
+          shard_mention_text_ = line;
+        }
+        // The type's own definition file (and forward declarations)
+        // cannot meaningfully "check" the field; exempt it.
+        if (pos >= 7 && line.compare(pos - 7, 7, "struct ") == 0) {
+          shard_defines_outcome_ = true;
+        }
+      }
+      pos = after;
+    }
+    for (const char* access : {".status", "->status"}) {
+      size_t hit = 0;
+      const std::string needle = access;
+      while ((hit = line.find(needle, hit)) != std::string::npos) {
+        const size_t end = hit + needle.size();
+        if (end >= line.size() || !IsWordChar(line[end])) {
+          shard_status_read_ = true;
+          return;
+        }
+        hit = end;
+      }
+    }
+  }
+
+  void CheckShardStatus() {
+    if (!in_layered_src_ || shard_mention_line_ == 0) return;
+    if (shard_defines_outcome_ || shard_status_read_) return;
+    Emit(shard_mention_text_, shard_mention_line_, kRuleShardStatus,
+         "this file consumes ShardOutcome but never reads `.status`; a "
+         "failed shard would be indistinguishable from an empty "
+         "successful one — check or propagate outcome.status before "
+         "using the patterns");
+  }
+
   void CheckStageNames(const std::string& line, int lineno) {
     if (path_ != "src/obs/stage.h") return;
     size_t pos = line.find("kStage");
@@ -540,6 +591,11 @@ class FileLinter {
   std::vector<Diagnostic>* out_;
   bool in_layered_src_ = false;
   int source_layer_ = -1;
+  // shard-status-propagated accumulator state.
+  int shard_mention_line_ = 0;
+  std::string shard_mention_text_;
+  bool shard_defines_outcome_ = false;
+  bool shard_status_read_ = false;
 };
 
 }  // namespace

@@ -28,6 +28,7 @@ inline constexpr const char* kRuleFailpointName = "failpoint-name";
 inline constexpr const char* kRuleMetricName = "metric-name-convention";
 inline constexpr const char* kRuleStageDocumented = "stage-name-documented";
 inline constexpr const char* kRuleIncludeLayering = "include-layering";
+inline constexpr const char* kRuleShardStatus = "shard-status-propagated";
 
 struct Diagnostic {
   std::string file;  // logical repo-relative path
