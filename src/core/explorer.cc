@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "fpm/dispatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "recovery/checkpoint.h"
@@ -85,7 +86,17 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     timer.SetPeakBytes(db.MemoryBytes());
   }
 
-  std::unique_ptr<FrequentPatternMiner> miner = MakeMiner(options_.miner);
+  // Resolve the adaptive plan (miner, kernel table, threads) once per
+  // run from the dataset shape; escalation attempts reuse it so the
+  // whole run is one consistent configuration.
+  fpm::DatasetShape shape;
+  shape.rows = db.num_rows();
+  shape.attributes = db.num_attributes();
+  shape.items = db.num_items();
+  const fpm::MiningPlan plan = fpm::ChooseMiningPlan(
+      shape, options_.min_support, options_.miner, options_.kernel,
+      options_.num_threads);
+  std::unique_ptr<FrequentPatternMiner> miner = MakeMiner(plan.miner);
   if (miner == nullptr) {
     return Status::InvalidArgument("unknown miner kind");
   }
@@ -118,6 +129,12 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
                                                   : &local_guard;
 
   stats_ = ExplorerRunStats{};
+  stats_.miner = MinerKindName(plan.miner);
+  stats_.kernel = plan.ops->name;
+  stats_.dispatch_rationale = plan.rationale;
+  obs::MetricsRegistry::Default()
+      .GetCounter(std::string("fpm.kernel.dispatch.") + plan.ops->name)
+      ->Add(1);
   timings_ = ExplorerTimings{};
   Stopwatch total;
 
@@ -128,15 +145,17 @@ Result<PatternTable> DivergenceExplorer::ExploreOutcomes(
     MinerOptions mopts;
     mopts.min_support = support;
     mopts.max_length = options_.max_length;
-    mopts.num_threads = options_.num_threads;
+    mopts.num_threads = plan.num_threads;
     mopts.guard = guard;
     mopts.stages = &stages;
+    mopts.kernel = plan.kernel;
+    mopts.use_arena = options_.use_arena;
     if (checkpointer != nullptr) {
       // Strict on the first attempt of an explicit --resume: a snapshot
       // that cannot apply is an error, not a silent remine.
       DIVEXP_ASSIGN_OR_RETURN(
           const bool restored,
-          checkpointer->BeginAttempt(fingerprint, options_.miner, support,
+          checkpointer->BeginAttempt(fingerprint, plan.miner, support,
                                      options_.max_length,
                                      options_.resume && attempt == 0));
       resumed_any = resumed_any || restored;

@@ -43,7 +43,18 @@ struct ExplorerOptions {
   /// The paper's single input parameter s (relative support).
   double min_support = 0.05;
   /// Mining backend; FP-growth is the paper's experimental default.
+  /// MinerKind::kAuto defers to fpm::ChooseMiningPlan, which picks the
+  /// miner (and may fold tiny runs to one thread) from the dataset
+  /// shape; see docs/performance.md.
   MinerKind miner = MinerKind::kFpGrowth;
+  /// Kernel implementation for the mining hot loops. Every choice is
+  /// bit-identical (kernel differential suite); kAuto/kSimd use the
+  /// best SIMD table the CPU supports, kScalar forces the portable
+  /// reference.
+  fpm::KernelKind kernel = fpm::KernelKind::kAuto;
+  /// Back FP-trees with the bump-pointer node arena (default) or the
+  /// per-node deque fallback; identical results either way.
+  bool use_arena = true;
   /// Cap on itemset length; 0 = full exploration.
   size_t max_length = 0;
   /// Worker threads for mining; 1 = sequential (the paper's setup).
@@ -155,6 +166,17 @@ struct ExplorerRunStats {
   /// Fraction of dataset rows the merged table's tallies cover;
   /// < 1.0 only when shards were dropped.
   double rows_covered_fraction = 1.0;
+
+  // Dispatch accounting (metrics-JSON schema v4): what actually ran
+  // after kAuto/kSimd resolution, so two runs can be compared knowing
+  // which backend produced them.
+  /// Resolved miner name ("fpgrowth", "apriori", "eclat").
+  std::string miner;
+  /// Resolved kernel name ("scalar", "avx2", "neon").
+  std::string kernel;
+  /// One-line justification from fpm::ChooseMiningPlan; printed by the
+  /// CLI under --trace (not part of the metrics JSON).
+  std::string dispatch_rationale;
 };
 
 /// Runs Alg. 1: outcome computation -> augmented FPM -> divergence and

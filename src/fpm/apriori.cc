@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "fpm/bitmap.h"
+#include "fpm/kernels/kernels.h"
+#include "obs/metrics.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
@@ -17,6 +19,14 @@ struct LevelEntry {
   Itemset items;
   Bitmap rows;
 };
+
+OutcomeCounts ToCounts(const fpm::KernelTally& kt) {
+  OutcomeCounts c;
+  c.t = kt.t;
+  c.f = kt.f;
+  c.bot = kt.support - kt.t - kt.f;
+  return c;
+}
 
 // All k-subsets of `candidate` (size k+1) must be frequent.
 bool AllSubsetsFrequent(
@@ -42,6 +52,11 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
   const size_t n = db.num_rows();
   const uint64_t min_count = MinCount(options.min_support, n);
   RunGuard* guard = options.guard;
+  // One kernel table for the whole run; every choice is bit-identical
+  // (kernel differential suite), so this only affects speed.
+  const fpm::KernelOps& ops = fpm::ResolveKernel(options.kernel);
+  obs::Counter* tally_calls =
+      obs::MetricsRegistry::Default().GetCounter("fpm.kernel.tally.calls");
   // All emissions happen on the calling thread (workers only count
   // supports), so a single MineControl keeps budget-truncated output
   // deterministic regardless of num_threads.
@@ -101,15 +116,6 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
   const uint64_t grow_checks0 =
       guard != nullptr ? guard->check_count() : 0;
 
-  auto tally = [&](const Bitmap& rows) {
-    OutcomeCounts c;
-    const uint64_t support = rows.Count();
-    c.t = rows.AndCount(t_mask);
-    c.f = rows.AndCount(f_mask);
-    c.bot = support - c.t - c.f;
-    return c;
-  };
-
   // Units for checkpoint/resume are whole levels (1-based; unit 1 =
   // the singletons). Restored levels splice their patterns into `out`
   // verbatim; the topmost restored level's row bitmaps are rebuilt by
@@ -150,7 +156,10 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
     std::vector<MinedPattern> singleton_patterns;
     bool complete = true;
     for (uint32_t id = 0; id < db.num_items(); ++id) {
-      if (item_rows[id].Count() < min_count) continue;
+      const fpm::KernelTally kt = ops.tally(
+          item_rows[id].words(), t_mask.words(), f_mask.words(), n);
+      tally_calls->Increment();
+      if (kt.support < min_count) continue;
       if (!ctrl.Emit(1)) {
         complete = false;
         break;
@@ -158,7 +167,7 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
       LevelEntry e;
       e.items = Itemset{id};
       e.rows = std::move(item_rows[id]);
-      MinedPattern p{e.items, tally(e.rows)};
+      MinedPattern p{e.items, ToCounts(kt)};
       if (sink != nullptr) singleton_patterns.push_back(p);
       out.push_back(std::move(p));
       level.push_back(std::move(e));
@@ -230,11 +239,18 @@ Result<std::vector<MinedPattern>> AprioriMiner::Mine(
       ParallelFor(options.num_threads, candidates.size(), [&](size_t c) {
         if (guard != nullptr && !guard->Tick()) return;
         LevelEntry& e = evaluated[c];
-        e.rows.AssignAnd(level[candidates[c].left].rows,
-                         level[candidates[c].right].rows);
-        if (e.rows.Count() < min_count) return;
+        // Fused AND + (support, T, F) popcounts: one pass over the
+        // words instead of the old AssignAnd + Count + two AndCounts
+        // (five passes) — this loop is Apriori's entire hot path.
+        e.rows = Bitmap(n);
+        const fpm::KernelTally kt = ops.and_assign_tally(
+            e.rows.mutable_words(), level[candidates[c].left].rows.words(),
+            level[candidates[c].right].rows.words(), t_mask.words(),
+            f_mask.words(), n);
+        tally_calls->Increment();
+        if (kt.support < min_count) return;
         e.items = std::move(candidates[c].items);
-        counts[c] = tally(e.rows);
+        counts[c] = ToCounts(kt);
         survives[c] = 1;
       });
     } catch (const std::exception& e) {

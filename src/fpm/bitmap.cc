@@ -2,14 +2,13 @@
 
 #include <bit>
 
+#include "fpm/kernels/kernels.h"
 #include "util/status.h"
 
 namespace divexp {
 
 uint64_t Bitmap::Count() const {
-  uint64_t n = 0;
-  for (uint64_t w : words_) n += static_cast<uint64_t>(std::popcount(w));
-  return n;
+  return fpm::ScalarKernelOps().popcount(words_.data(), num_bits_);
 }
 
 void Bitmap::AssignAnd(const Bitmap& a, const Bitmap& b) {
@@ -23,17 +22,15 @@ void Bitmap::AssignAnd(const Bitmap& a, const Bitmap& b) {
 
 uint64_t Bitmap::AndCount(const Bitmap& other) const {
   DIVEXP_CHECK(num_bits_ == other.num_bits_);
-  uint64_t n = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<uint64_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return n;
+  return fpm::ScalarKernelOps().and_popcount(words_.data(),
+                                             other.words_.data(), num_bits_);
 }
 
 std::vector<size_t> Bitmap::ToIndices() const {
   std::vector<size_t> out;
   for (size_t w = 0; w < words_.size(); ++w) {
     uint64_t word = words_[w];
+    if ((w + 1) * 64 > num_bits_) word &= fpm::TailWordMask(num_bits_);
     while (word != 0) {
       const int bit = std::countr_zero(word);
       out.push_back(w * 64 + static_cast<size_t>(bit));

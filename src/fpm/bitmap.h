@@ -1,6 +1,14 @@
 // Fixed-size bitmaps over dataset rows, the vertical representation
 // used by the Apriori miner: a candidate's (T, F, ⊥) tallies are
 // AND+popcount operations against the global outcome masks.
+//
+// Padding-bit contract: bits past num_bits in the last word are
+// *unspecified*. Set never writes them, but word-level writers (the
+// kernels' and_assign paths, mutable_words() users) may leave garbage
+// there. Every counting path therefore masks the tail word through
+// fpm::TailWordMask instead of trusting the padding to be zero —
+// tests/fpm/bitmap_test.cc seeds garbage padding and checks the counts
+// stay exact.
 #ifndef DIVEXP_FPM_BITMAP_H_
 #define DIVEXP_FPM_BITMAP_H_
 
@@ -24,7 +32,14 @@ class Bitmap {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
-  /// Number of set bits.
+  /// Raw word access for the fpm kernels (read-only / mutable). Writers
+  /// that go through mutable_words() may dirty the padding bits; see
+  /// the padding-bit contract above.
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  /// Number of set bits (tail padding excluded).
   uint64_t Count() const;
 
   /// this := a AND b (all three must have equal size).
@@ -33,7 +48,7 @@ class Bitmap {
   /// popcount(this AND other) without materializing the result.
   uint64_t AndCount(const Bitmap& other) const;
 
-  /// Row indices of set bits.
+  /// Row indices of set bits (tail padding excluded).
   std::vector<size_t> ToIndices() const;
 
  private:

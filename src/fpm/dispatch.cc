@@ -1,0 +1,65 @@
+#include "fpm/dispatch.h"
+
+namespace divexp {
+namespace fpm {
+namespace {
+
+// Shape thresholds. Density is the expected per-item support fraction
+// (attributes / items); see DatasetShape::density(). The values come
+// from the BENCH_mining.json grid: bitmap AND+popcount dominates once
+// an item's bitmap averages >= ~1 set bit per 16 words scanned, and
+// tid-list intersection wins when lists are a few percent of the rows.
+constexpr double kDenseDensity = 0.10;
+constexpr double kSparseDensity = 0.02;
+constexpr double kLowSupport = 0.10;
+// Below this many row*item cells, ParallelFor overhead exceeds the
+// mining work and one thread is faster.
+constexpr size_t kSmallWorkCells = size_t{1} << 15;
+
+}  // namespace
+
+MiningPlan ChooseMiningPlan(const DatasetShape& shape, double min_support,
+                            MinerKind requested_miner,
+                            KernelKind requested_kernel,
+                            size_t requested_threads) {
+  MiningPlan plan;
+  plan.kernel = requested_kernel == KernelKind::kScalar
+                    ? KernelKind::kScalar
+                    : (SimdAvailable() ? KernelKind::kSimd
+                                       : KernelKind::kScalar);
+  plan.ops = &ResolveKernel(requested_kernel);
+  plan.num_threads = requested_threads == 0 ? 1 : requested_threads;
+
+  if (requested_miner != MinerKind::kAuto) {
+    plan.miner = requested_miner;
+    plan.rationale = std::string("miner ") + MinerKindName(plan.miner) +
+                     " requested explicitly; kernel " + plan.ops->name;
+    return plan;
+  }
+
+  const double density = shape.density();
+  if (density >= kDenseDensity && min_support <= kLowSupport) {
+    // Dense items, deep lattice: candidate evaluation is pure bitmap
+    // AND+tally, exactly what the fused SIMD kernel accelerates.
+    plan.miner = MinerKind::kApriori;
+  } else if (density > 0.0 && density < kSparseDensity) {
+    // Sparse items: tid-lists are short, intersections cheap, and the
+    // bitmaps would be mostly zero words.
+    plan.miner = MinerKind::kEclat;
+  } else {
+    plan.miner = MinerKind::kFpGrowth;
+  }
+
+  const size_t cells = shape.rows * shape.items;
+  if (cells < kSmallWorkCells) plan.num_threads = 1;
+
+  plan.rationale = std::string("auto: density ") +
+                   std::to_string(density) + ", support " +
+                   std::to_string(min_support) + " -> " +
+                   MinerKindName(plan.miner) + " / " + plan.ops->name +
+                   " / " + std::to_string(plan.num_threads) + " threads";
+  return plan;
+}
+
+}  // namespace fpm
+}  // namespace divexp

@@ -1,0 +1,64 @@
+// Adaptive mining dispatch: picks the miner, kernel implementation and
+// parallelization for a run from the dataset's shape (rows, item
+// count, density) and the requested min-support. The choice is a pure
+// function of those inputs — two runs over the same data with the same
+// options always resolve identically, so checkpoints and shard merges
+// stay reproducible. BENCH_mining.json (bench/bench_mining.cc) is the
+// evidence behind the thresholds; see docs/performance.md.
+#ifndef DIVEXP_FPM_DISPATCH_H_
+#define DIVEXP_FPM_DISPATCH_H_
+
+#include <cstddef>
+#include <string>
+
+#include "fpm/kernels/kernels.h"
+#include "fpm/miner.h"
+
+namespace divexp {
+namespace fpm {
+
+/// The shape features the dispatcher keys on.
+struct DatasetShape {
+  size_t rows = 0;
+  size_t attributes = 0;
+  size_t items = 0;
+
+  /// Average fraction of rows containing a given item: every row holds
+  /// exactly one item per attribute, so the expected per-item support
+  /// is attributes / items. High density favors the bitmap miner
+  /// (dense words, SIMD AND+popcount); low density favors tid-lists.
+  double density() const {
+    return items == 0 ? 0.0
+                      : static_cast<double>(attributes) /
+                            static_cast<double>(items);
+  }
+};
+
+/// A resolved execution plan for one mining run.
+struct MiningPlan {
+  MinerKind miner = MinerKind::kFpGrowth;
+  KernelKind kernel = KernelKind::kScalar;
+  /// The concrete kernel table the run will use (never null).
+  const KernelOps* ops = nullptr;
+  size_t num_threads = 1;
+  /// One-line human-readable justification, surfaced via --trace.
+  std::string rationale;
+};
+
+/// Resolves (requested miner, kernel, threads) against the dataset
+/// shape. A concrete `requested_miner` is honored verbatim;
+/// MinerKind::kAuto picks: Apriori for dense/low-support shapes where
+/// the vertical bitmaps stay word-dense, Eclat for sparse shapes where
+/// tid-lists are short, FP-growth otherwise (the paper's default, best
+/// when neither vertical layout wins). Thread count is only adapted
+/// under kAuto: tiny inputs fold to one thread because fork/join
+/// overhead exceeds the mining work.
+MiningPlan ChooseMiningPlan(const DatasetShape& shape, double min_support,
+                            MinerKind requested_miner,
+                            KernelKind requested_kernel,
+                            size_t requested_threads);
+
+}  // namespace fpm
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_DISPATCH_H_

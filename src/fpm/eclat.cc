@@ -5,6 +5,8 @@
 #include <iterator>
 #include <string>
 
+#include "fpm/kernels/kernels.h"
+#include "obs/metrics.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
@@ -40,13 +42,13 @@ OutcomeCounts TallyTids(const TransactionDatabase& db,
   return c;
 }
 
-TidList Intersect(const TidList& a, const TidList& b) {
-  TidList out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
-}
+// Kernel table plus the per-run counters, threaded through the
+// recursion so workers touch only cached instrument pointers.
+struct GrowContext {
+  const fpm::KernelOps* ops = nullptr;
+  obs::Counter* intersect_calls = nullptr;
+  obs::Counter* intersect_pruned = nullptr;
+};
 
 uint64_t TidListBytes(const std::vector<EclatItem>& items) {
   uint64_t bytes = 0;
@@ -56,17 +58,17 @@ uint64_t TidListBytes(const std::vector<EclatItem>& items) {
   return bytes;
 }
 
-void Grow(const TransactionDatabase& db, const Itemset& prefix,
-          const std::vector<EclatItem>& siblings, uint64_t min_count,
-          size_t max_length, MineControl* ctrl,
+void Grow(const TransactionDatabase& db, const GrowContext& ctx,
+          const Itemset& prefix, const std::vector<EclatItem>& siblings,
+          uint64_t min_count, size_t max_length, MineControl* ctrl,
           std::vector<MinedPattern>* out);
 
 // One step of the depth-first extension: sibling i becomes the next
 // prefix item, joined against the siblings after it.
-void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
-             const std::vector<EclatItem>& siblings, size_t i,
-             uint64_t min_count, size_t max_length, MineControl* ctrl,
-             std::vector<MinedPattern>* out) {
+void GrowOne(const TransactionDatabase& db, const GrowContext& ctx,
+             const Itemset& prefix, const std::vector<EclatItem>& siblings,
+             size_t i, uint64_t min_count, size_t max_length,
+             MineControl* ctrl, std::vector<MinedPattern>* out) {
   DIVEXP_FAILPOINT("fpm.eclat.grow");
   const EclatItem& head = siblings[i];
   if (!ctrl->Emit(prefix.size() + 1)) return;
@@ -81,9 +83,22 @@ void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
     if (db.attribute_of(head.item) == db.attribute_of(tail.item)) {
       continue;  // same-attribute items never co-occur
     }
+    // Bounded intersection: the kernel bails out as soon as the
+    // remaining overlap can no longer reach min_count (the single-item
+    // support upper bound applied per step). A bailed-out result is
+    // < min_count by construction and the child is dropped, so every
+    // kernel produces the same surviving children.
     EclatItem child;
-    child.tids = Intersect(head.tids, tail.tids);
-    if (child.tids.size() < min_count) continue;
+    child.tids.resize(std::min(head.tids.size(), tail.tids.size()));
+    const size_t m = ctx.ops->intersect_bounded(
+        head.tids.data(), head.tids.size(), tail.tids.data(),
+        tail.tids.size(), child.tids.data(), min_count);
+    ctx.intersect_calls->Increment();
+    if (m < min_count) {
+      ctx.intersect_pruned->Increment();
+      continue;
+    }
+    child.tids.resize(m);
     child.item = tail.item;
     child.counts = TallyTids(db, child.tids);
     next.push_back(std::move(child));
@@ -95,19 +110,20 @@ void GrowOne(const TransactionDatabase& db, const Itemset& prefix,
     guard->SubMemory(next_bytes);
     return;
   }
-  Grow(db, items, next, min_count, max_length, ctrl, out);
+  Grow(db, ctx, items, next, min_count, max_length, ctrl, out);
   if (guard != nullptr) guard->SubMemory(next_bytes);
 }
 
 // Depth-first extension of `prefix` (whose covered rows are implied by
 // the tid-lists in `siblings`).
-void Grow(const TransactionDatabase& db, const Itemset& prefix,
-          const std::vector<EclatItem>& siblings, uint64_t min_count,
-          size_t max_length, MineControl* ctrl,
+void Grow(const TransactionDatabase& db, const GrowContext& ctx,
+          const Itemset& prefix, const std::vector<EclatItem>& siblings,
+          uint64_t min_count, size_t max_length, MineControl* ctrl,
           std::vector<MinedPattern>* out) {
   for (size_t i = 0; i < siblings.size(); ++i) {
     if (ctrl->stopped()) return;
-    GrowOne(db, prefix, siblings, i, min_count, max_length, ctrl, out);
+    GrowOne(db, ctx, prefix, siblings, i, min_count, max_length, ctrl,
+            out);
   }
 }
 
@@ -121,6 +137,12 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
   const size_t n = db.num_rows();
   const uint64_t min_count = MinCount(options.min_support, n);
   RunGuard* guard = options.guard;
+  GrowContext ctx;
+  ctx.ops = &fpm::ResolveKernel(options.kernel);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  ctx.intersect_calls = registry.GetCounter("fpm.kernel.intersect.calls");
+  ctx.intersect_pruned =
+      registry.GetCounter("fpm.kernel.intersect.pruned");
 
   std::vector<MinedPattern> out;
   out.push_back(MinedPattern{Itemset{}, db.totals()});
@@ -190,8 +212,8 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
   if (options.num_threads <= 1 && sink == nullptr) {
     MineControl ctrl(guard);
     try {
-      Grow(db, Itemset{}, roots, min_count, options.max_length, &ctrl,
-           &out);
+      Grow(db, ctx, Itemset{}, roots, min_count, options.max_length,
+           &ctrl, &out);
     } catch (const std::exception& e) {
       if (guard != nullptr) guard->SubMemory(root_bytes);
       return Status::Internal(std::string("eclat worker failed: ") +
@@ -219,8 +241,8 @@ Result<std::vector<MinedPattern>> EclatMiner::Mine(
         }
       }
       MineControl ctrl(guard);
-      GrowOne(db, Itemset{}, roots, i, min_count, options.max_length,
-              &ctrl, &partial[i]);
+      GrowOne(db, ctx, Itemset{}, roots, i, min_count,
+              options.max_length, &ctrl, &partial[i]);
       if (sink != nullptr && !ctrl.stopped()) {
         sink->UnitMined(i, partial[i]);
       }

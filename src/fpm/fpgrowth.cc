@@ -7,6 +7,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "fpm/kernels/arena.h"
+#include "obs/metrics.h"
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
@@ -15,13 +17,18 @@
 namespace divexp {
 namespace {
 
+// Field order is the access order of the two hot walks: Insert chases
+// first_child/next_sibling and compares item; PrefixPath chases parent.
+// Keeping those in the first 32 bytes means both walks touch only the
+// first cache line half of each node; next_header and the tallies (read
+// once per header scan) trail.
 struct FpNode {
-  uint32_t item = 0;
-  OutcomeCounts counts;
-  FpNode* parent = nullptr;
-  FpNode* next_header = nullptr;  // chain of same-item nodes
   FpNode* first_child = nullptr;
   FpNode* next_sibling = nullptr;
+  FpNode* parent = nullptr;
+  uint32_t item = 0;
+  FpNode* next_header = nullptr;  // chain of same-item nodes
+  OutcomeCounts counts;
 };
 
 struct HeaderEntry {
@@ -30,10 +37,19 @@ struct HeaderEntry {
   FpNode* head = nullptr;
 };
 
-// An FP-tree plus its header table, owning its nodes.
+// An FP-tree plus its header table, owning its nodes. Nodes live in a
+// bump-pointer NodeArena by default (contiguous in insertion order,
+// freed wholesale with the tree); the deque fallback exists for the
+// arena differential tests and as an escape hatch
+// (MinerOptions::use_arena). Both modes build identical trees — only
+// where the nodes live differs.
 class FpTree {
  public:
-  FpTree() { root_ = NewNode(); }
+  explicit FpTree(bool use_arena = true) : use_arena_(use_arena) {
+    root_ = NewNode();
+  }
+
+  bool uses_arena() const { return use_arena_; }
 
   /// Prepares the header for the given (already support-filtered) item
   /// totals. Items are ranked by descending support count, ties broken
@@ -94,10 +110,21 @@ class FpTree {
 
   const std::vector<HeaderEntry>& headers() const { return headers_; }
 
-  /// Approximate heap footprint, for the guard's memory accounting.
+  /// Heap footprint for the guard's memory accounting. In arena mode
+  /// this is the real reserved block bytes (what the allocator took
+  /// from the heap), not just the node payload sum.
   uint64_t MemoryBytes() const {
-    return arena_.size() * sizeof(FpNode) +
+    const uint64_t node_bytes = use_arena_
+                                    ? arena_.allocated_bytes()
+                                    : fallback_.size() * sizeof(FpNode);
+    return node_bytes +
            headers_.size() * (sizeof(HeaderEntry) + 3 * sizeof(uint64_t));
+  }
+
+  /// Bytes reserved by the node arena (0 in fallback mode); feeds the
+  /// fpm.kernel.arena.bytes counter.
+  uint64_t ArenaBytes() const {
+    return use_arena_ ? arena_.allocated_bytes() : 0;
   }
 
   /// Path of items from `node`'s parent up to (excluding) the root.
@@ -112,11 +139,14 @@ class FpTree {
 
  private:
   FpNode* NewNode() {
-    arena_.emplace_back();
-    return &arena_.back();
+    if (use_arena_) return arena_.New<FpNode>();
+    fallback_.emplace_back();
+    return &fallback_.back();
   }
 
-  std::deque<FpNode> arena_;
+  bool use_arena_;
+  fpm::NodeArena arena_;
+  std::deque<FpNode> fallback_;
   FpNode* root_ = nullptr;
   std::vector<HeaderEntry> headers_;
   std::unordered_map<uint32_t, uint32_t> rank_;
@@ -156,7 +186,7 @@ void MineHeaderItem(const FpTree& tree, size_t hi, const Itemset& suffix,
   }
   if (freq_items.empty()) return;
 
-  FpTree cond;
+  FpTree cond(tree.uses_arena());
   cond.SetItems(std::move(freq_items));
   for (auto& [path, counts] : base) {
     cond.Insert(std::move(path), counts);
@@ -204,7 +234,7 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
   // insertion), grow covers the enumeration. Truncated runs record
   // whatever the timers saw so far (the RAII destructors fire on every
   // return path).
-  FpTree tree;
+  FpTree tree(options.use_arena);
   obs::StageTimer build_timer(options.stages, obs::kStageMineBuild);
   obs::ScopedSpan build_span(obs::kStageMineBuild);
   const uint64_t build_checks0 =
@@ -275,6 +305,10 @@ Result<std::vector<MinedPattern>> FpGrowthMiner::Mine(
   }
 
   build_timer.AddItems(n);
+  // Top-level tree only; conditional trees are too transient to meter.
+  obs::MetricsRegistry::Default()
+      .GetCounter("fpm.kernel.arena.bytes")
+      ->Add(tree.ArenaBytes());
   const uint64_t tree_bytes = tree.MemoryBytes();
   if (guard != nullptr && !guard->AddMemory(tree_bytes)) {
     guard->SubMemory(tree_bytes);

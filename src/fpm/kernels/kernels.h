@@ -1,0 +1,131 @@
+// Runtime-dispatched compute kernels for the mining hot loops: fused
+// bitmap AND + popcount with (T, F, ⊥) outcome tallies in one pass
+// (Apriori), sorted tid-list intersection with an early-exit support
+// upper bound (ECLAT), and plain word popcounts (Bitmap). A KernelOps
+// table bundles one implementation; ResolveKernel() picks the fastest
+// one the running CPU supports (AVX2 on x86-64, NEON on aarch64, a
+// portable 64-bit-word loop otherwise).
+//
+// Contract for every implementation, enforced by the differential fuzz
+// suite (tests/fpm/kernel_differential_test.cc) and the kernel-no-alloc
+// lint rule:
+//  * bit-identical results to the scalar reference for every input —
+//    kernel choice must never change a mined pattern or tally;
+//  * pure compute: no allocation, no locks, no I/O. Callers own all
+//    buffers; kernels only read/write through the pointers given;
+//  * the word following `num_bits` may hold garbage padding bits —
+//    kernels mask the final partial word and never count past
+//    `num_bits` (the bitmap tail-word guarantee).
+#ifndef DIVEXP_FPM_KERNELS_KERNELS_H_
+#define DIVEXP_FPM_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace divexp {
+namespace fpm {
+
+/// Which kernel implementation a mining run requests. kAuto and kSimd
+/// resolve to the best SIMD table the CPU supports and fall back to
+/// scalar when there is none; kScalar forces the portable reference.
+enum class KernelKind {
+  kAuto,
+  kScalar,
+  kSimd,
+};
+
+const char* KernelKindName(KernelKind kind);
+
+/// Result of one fused AND + tally pass. `support` is the popcount of
+/// the row set; `t`/`f` count its intersection with the outcome masks;
+/// the ⊥ tally is implied (support - t - f), matching OutcomeCounts.
+struct KernelTally {
+  uint64_t support = 0;
+  uint64_t t = 0;
+  uint64_t f = 0;
+};
+
+/// One kernel implementation: a table of hot-loop primitives over raw
+/// 64-bit words and sorted uint32 tid arrays. All bitmap arguments
+/// cover the same `num_bits` rows and hold ceil(num_bits / 64) words.
+struct KernelOps {
+  /// Implementation name surfaced in ExplorerRunStats / metrics
+  /// ("scalar", "avx2", "neon").
+  const char* name;
+
+  /// popcount of `words[0 .. num_bits)`.
+  uint64_t (*popcount)(const uint64_t* words, size_t num_bits);
+
+  /// popcount(a & b) without materializing the intersection.
+  uint64_t (*and_popcount)(const uint64_t* a, const uint64_t* b,
+                           size_t num_bits);
+
+  /// Fused outcome tallies of an existing row set: one pass computes
+  /// popcount(rows), popcount(rows & t_mask) and popcount(rows & f_mask).
+  KernelTally (*tally)(const uint64_t* rows, const uint64_t* t_mask,
+                       const uint64_t* f_mask, size_t num_bits);
+
+  /// Candidate evaluation in one pass: dst = a & b, returning the fused
+  /// tallies of dst against the outcome masks. `dst` must not alias the
+  /// mask arrays; aliasing a or b is allowed.
+  KernelTally (*and_assign_tally)(uint64_t* dst, const uint64_t* a,
+                                  const uint64_t* b,
+                                  const uint64_t* t_mask,
+                                  const uint64_t* f_mask,
+                                  size_t num_bits);
+
+  /// Intersection of two sorted, duplicate-free tid arrays into `out`
+  /// (capacity >= min(na, nb); must not alias a or b). Returns the
+  /// number of tids written.
+  size_t (*intersect)(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, uint32_t* out);
+
+  /// Intersection with an early exit driven by the support upper
+  /// bound: once the tids matched so far plus the tids still unscanned
+  /// cannot reach `min_count`, the kernel may stop and return the
+  /// partial count. The caller must treat any result < min_count as
+  /// "infrequent, out undefined"; results >= min_count are always the
+  /// full exact intersection.
+  size_t (*intersect_bounded)(const uint32_t* a, size_t na,
+                              const uint32_t* b, size_t nb, uint32_t* out,
+                              uint64_t min_count);
+};
+
+/// The portable reference implementation (also the fallback target and
+/// the oracle of the differential suite).
+const KernelOps& ScalarKernelOps();
+
+/// The best SIMD table compiled in and supported by the running CPU,
+/// or nullptr when there is none.
+const KernelOps* SimdKernelOps();
+
+/// True when SimdKernelOps() returns a non-null table.
+bool SimdAvailable();
+
+/// Maps a requested kind to a concrete table: kScalar -> scalar,
+/// kAuto/kSimd -> SIMD when available, scalar otherwise (an explicit
+/// kSimd request degrades gracefully; the resolved name records what
+/// actually ran).
+const KernelOps& ResolveKernel(KernelKind kind);
+
+/// Mask selecting the valid bits of the final word of a `num_bits`
+/// bitmap (all-ones when num_bits is a multiple of 64). Shared by the
+/// implementations; exposed for the tail-word tests.
+inline uint64_t TailWordMask(size_t num_bits) {
+  const size_t rem = num_bits % 64;
+  return rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+}
+
+/// The single-item support upper bound (wpoanalytics'
+/// calculateSupportCountUpperBound): an itemset is at most as frequent
+/// as its least frequent member, so min over the per-item supports
+/// bounds the itemset's support from above without touching row data.
+/// `item_supports` is indexed by item id; items outside it bound to 0.
+uint64_t SupportUpperBound(const uint32_t* items, size_t num_items,
+                           const uint64_t* item_supports,
+                           size_t num_item_supports);
+
+}  // namespace fpm
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_KERNELS_KERNELS_H_

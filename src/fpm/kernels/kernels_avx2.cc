@@ -1,0 +1,264 @@
+// AVX2 kernels. Compiled with -mavx2 -mpopcnt only when the compiler
+// supports the flags (DIVEXP_HAVE_AVX2); the dispatcher additionally
+// gates every call behind the Avx2Supported() runtime CPU check, so
+// this TU's code never executes on a CPU without AVX2.
+//
+// Popcounts use the nibble-LUT algorithm (Muła): VPSHUFB looks up the
+// popcount of each 4-bit nibble, VPSADBW folds the per-byte counts
+// into four 64-bit lanes. Word-granular tails fall back to hardware
+// POPCNT with the tail mask applied, which keeps every result
+// bit-identical to the scalar reference.
+#if defined(DIVEXP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+
+#include "fpm/kernels/kernels_internal.h"
+
+namespace divexp {
+namespace fpm {
+namespace {
+
+constexpr size_t kWordsPerVec = 4;  // 256 bits
+
+inline size_t NumWords(size_t num_bits) { return (num_bits + 63) / 64; }
+
+// Per-byte popcount of v, then folded to four u64 lane sums.
+inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi =
+      _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline uint64_t HorizontalSum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+uint64_t Avx2Popcount(const uint64_t* words, size_t num_bits) {
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return 0;
+  const size_t full = nw - 1;  // words safe to count unmasked
+  const size_t vec_end = full - full % kWordsPerVec;
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + i));
+    acc = _mm256_add_epi64(acc, Popcount256(v));
+  }
+  uint64_t n = HorizontalSum(acc);
+  for (size_t i = vec_end; i < full; ++i) {
+    n += static_cast<uint64_t>(std::popcount(words[i]));
+  }
+  n += static_cast<uint64_t>(
+      std::popcount(words[full] & TailWordMask(num_bits)));
+  return n;
+}
+
+uint64_t Avx2AndPopcount(const uint64_t* a, const uint64_t* b,
+                         size_t num_bits) {
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return 0;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, Popcount256(_mm256_and_si256(va, vb)));
+  }
+  uint64_t n = HorizontalSum(acc);
+  for (size_t i = vec_end; i < full; ++i) {
+    n += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  n += static_cast<uint64_t>(
+      std::popcount(a[full] & b[full] & TailWordMask(num_bits)));
+  return n;
+}
+
+KernelTally Avx2Tally(const uint64_t* rows, const uint64_t* t_mask,
+                      const uint64_t* f_mask, size_t num_bits) {
+  KernelTally out;
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return out;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  __m256i acc_s = _mm256_setzero_si256();
+  __m256i acc_t = _mm256_setzero_si256();
+  __m256i acc_f = _mm256_setzero_si256();
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    const __m256i r = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(rows + i));
+    const __m256i t = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(t_mask + i));
+    const __m256i f = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(f_mask + i));
+    acc_s = _mm256_add_epi64(acc_s, Popcount256(r));
+    acc_t = _mm256_add_epi64(acc_t, Popcount256(_mm256_and_si256(r, t)));
+    acc_f = _mm256_add_epi64(acc_f, Popcount256(_mm256_and_si256(r, f)));
+  }
+  out.support = HorizontalSum(acc_s);
+  out.t = HorizontalSum(acc_t);
+  out.f = HorizontalSum(acc_f);
+  for (size_t i = vec_end; i < nw; ++i) {
+    uint64_t r = rows[i];
+    if (i + 1 == nw) r &= TailWordMask(num_bits);
+    out.support += static_cast<uint64_t>(std::popcount(r));
+    out.t += static_cast<uint64_t>(std::popcount(r & t_mask[i]));
+    out.f += static_cast<uint64_t>(std::popcount(r & f_mask[i]));
+  }
+  return out;
+}
+
+KernelTally Avx2AndAssignTally(uint64_t* dst, const uint64_t* a,
+                               const uint64_t* b, const uint64_t* t_mask,
+                               const uint64_t* f_mask, size_t num_bits) {
+  KernelTally out;
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return out;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  __m256i acc_s = _mm256_setzero_si256();
+  __m256i acc_t = _mm256_setzero_si256();
+  __m256i acc_f = _mm256_setzero_si256();
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + i));
+    const __m256i r = _mm256_and_si256(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    const __m256i t = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(t_mask + i));
+    const __m256i f = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(f_mask + i));
+    acc_s = _mm256_add_epi64(acc_s, Popcount256(r));
+    acc_t = _mm256_add_epi64(acc_t, Popcount256(_mm256_and_si256(r, t)));
+    acc_f = _mm256_add_epi64(acc_f, Popcount256(_mm256_and_si256(r, f)));
+  }
+  out.support = HorizontalSum(acc_s);
+  out.t = HorizontalSum(acc_t);
+  out.f = HorizontalSum(acc_f);
+  for (size_t i = vec_end; i < nw; ++i) {
+    uint64_t r = a[i] & b[i];
+    dst[i] = r;
+    if (i + 1 == nw) r &= TailWordMask(num_bits);
+    out.support += static_cast<uint64_t>(std::popcount(r));
+    out.t += static_cast<uint64_t>(std::popcount(r & t_mask[i]));
+    out.f += static_cast<uint64_t>(std::popcount(r & f_mask[i]));
+  }
+  return out;
+}
+
+// Sorted-set intersection for strictly increasing tid arrays: each
+// probe from the shorter-advancing side is compared against an 8-wide
+// window of the other side with one VPCMPEQD. The window skips ahead
+// whole blocks while its maximum stays below the probe. Strict
+// monotonicity guarantees a probe can only match inside a window whose
+// maximum is >= the probe, so no match is ever beyond the window.
+size_t Avx2Intersect(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t n = 0;
+  while (i < na && j + 8 <= nb) {
+    const uint32_t x = a[i];
+    if (b[j + 7] < x) {
+      j += 8;
+      continue;
+    }
+    const __m256i xv = _mm256_set1_epi32(static_cast<int>(x));
+    const __m256i bv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + j));
+    const __m256i eq = _mm256_cmpeq_epi32(xv, bv);
+    if (!_mm256_testz_si256(eq, eq)) out[n++] = x;
+    ++i;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+size_t Avx2IntersectBounded(const uint32_t* a, size_t na,
+                            const uint32_t* b, size_t nb, uint32_t* out,
+                            uint64_t min_count) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t n = 0;
+  while (i < na && j + 8 <= nb) {
+    const size_t rem_a = na - i;
+    const size_t rem_b = nb - j;
+    const size_t rem = rem_a < rem_b ? rem_a : rem_b;
+    if (n + rem < min_count) return n;
+    const uint32_t x = a[i];
+    if (b[j + 7] < x) {
+      j += 8;
+      continue;
+    }
+    const __m256i xv = _mm256_set1_epi32(static_cast<int>(x));
+    const __m256i bv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + j));
+    const __m256i eq = _mm256_cmpeq_epi32(xv, bv);
+    if (!_mm256_testz_si256(eq, eq)) out[n++] = x;
+    ++i;
+  }
+  while (i < na && j < nb) {
+    const size_t rem_a = na - i;
+    const size_t rem_b = nb - j;
+    const size_t rem = rem_a < rem_b ? rem_a : rem_b;
+    if (n + rem < min_count) return n;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+bool Avx2Supported() {
+  static const bool kSupported = __builtin_cpu_supports("avx2") != 0;
+  return kSupported;
+}
+
+const KernelOps& Avx2KernelOps() {
+  static constexpr KernelOps kOps = {
+      "avx2",     Avx2Popcount,        Avx2AndPopcount,
+      Avx2Tally,  Avx2AndAssignTally,  Avx2Intersect,
+      Avx2IntersectBounded,
+  };
+  return kOps;
+}
+
+}  // namespace fpm
+}  // namespace divexp
+
+#endif  // DIVEXP_HAVE_AVX2

@@ -1,0 +1,28 @@
+// Declarations shared between the kernel translation units. The SIMD
+// tables live in per-ISA files compiled with the matching -m flags;
+// only the dispatcher (kernels_scalar.cc) may call these, and only
+// after the corresponding runtime CPU check.
+#ifndef DIVEXP_FPM_KERNELS_KERNELS_INTERNAL_H_
+#define DIVEXP_FPM_KERNELS_KERNELS_INTERNAL_H_
+
+#include "fpm/kernels/kernels.h"
+
+namespace divexp {
+namespace fpm {
+
+#if defined(DIVEXP_HAVE_AVX2)
+/// True when the running CPU executes AVX2 (checked once, cached).
+bool Avx2Supported();
+/// The AVX2 table; call only when Avx2Supported().
+const KernelOps& Avx2KernelOps();
+#endif
+
+#if defined(__aarch64__)
+/// The NEON table (baseline on aarch64, no runtime check needed).
+const KernelOps& NeonKernelOps();
+#endif
+
+}  // namespace fpm
+}  // namespace divexp
+
+#endif  // DIVEXP_FPM_KERNELS_KERNELS_INTERNAL_H_

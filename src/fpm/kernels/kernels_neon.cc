@@ -1,0 +1,220 @@
+// NEON kernels for aarch64, where Advanced SIMD is baseline (no
+// runtime check or extra compile flag needed). Same structure and
+// bit-identity contract as the AVX2 table: CNT per-byte popcounts
+// folded with pairwise adds, word-granular tails masked scalar.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <bit>
+
+#include "fpm/kernels/kernels_internal.h"
+
+namespace divexp {
+namespace fpm {
+namespace {
+
+constexpr size_t kWordsPerVec = 2;  // 128 bits
+
+inline size_t NumWords(size_t num_bits) { return (num_bits + 63) / 64; }
+
+inline uint64x2_t Popcount128(uint8x16_t v) {
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v))));
+}
+
+inline uint64x2_t LoadAnd(const uint64_t* a, const uint64_t* b) {
+  return vandq_u64(vld1q_u64(a), vld1q_u64(b));
+}
+
+inline uint64_t HorizontalSum(uint64x2_t acc) {
+  return vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+}
+
+uint64_t NeonPopcount(const uint64_t* words, size_t num_bits) {
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return 0;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    acc = vaddq_u64(
+        acc, Popcount128(vreinterpretq_u8_u64(vld1q_u64(words + i))));
+  }
+  uint64_t n = HorizontalSum(acc);
+  for (size_t i = vec_end; i < full; ++i) {
+    n += static_cast<uint64_t>(std::popcount(words[i]));
+  }
+  n += static_cast<uint64_t>(
+      std::popcount(words[full] & TailWordMask(num_bits)));
+  return n;
+}
+
+uint64_t NeonAndPopcount(const uint64_t* a, const uint64_t* b,
+                         size_t num_bits) {
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return 0;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    acc = vaddq_u64(
+        acc, Popcount128(vreinterpretq_u8_u64(LoadAnd(a + i, b + i))));
+  }
+  uint64_t n = HorizontalSum(acc);
+  for (size_t i = vec_end; i < full; ++i) {
+    n += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  n += static_cast<uint64_t>(
+      std::popcount(a[full] & b[full] & TailWordMask(num_bits)));
+  return n;
+}
+
+KernelTally NeonTally(const uint64_t* rows, const uint64_t* t_mask,
+                      const uint64_t* f_mask, size_t num_bits) {
+  KernelTally out;
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return out;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  uint64x2_t acc_s = vdupq_n_u64(0);
+  uint64x2_t acc_t = vdupq_n_u64(0);
+  uint64x2_t acc_f = vdupq_n_u64(0);
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    const uint64x2_t r = vld1q_u64(rows + i);
+    acc_s = vaddq_u64(acc_s, Popcount128(vreinterpretq_u8_u64(r)));
+    acc_t = vaddq_u64(acc_t, Popcount128(vreinterpretq_u8_u64(vandq_u64(
+                                 r, vld1q_u64(t_mask + i)))));
+    acc_f = vaddq_u64(acc_f, Popcount128(vreinterpretq_u8_u64(vandq_u64(
+                                 r, vld1q_u64(f_mask + i)))));
+  }
+  out.support = HorizontalSum(acc_s);
+  out.t = HorizontalSum(acc_t);
+  out.f = HorizontalSum(acc_f);
+  for (size_t i = vec_end; i < nw; ++i) {
+    uint64_t r = rows[i];
+    if (i + 1 == nw) r &= TailWordMask(num_bits);
+    out.support += static_cast<uint64_t>(std::popcount(r));
+    out.t += static_cast<uint64_t>(std::popcount(r & t_mask[i]));
+    out.f += static_cast<uint64_t>(std::popcount(r & f_mask[i]));
+  }
+  return out;
+}
+
+KernelTally NeonAndAssignTally(uint64_t* dst, const uint64_t* a,
+                               const uint64_t* b, const uint64_t* t_mask,
+                               const uint64_t* f_mask, size_t num_bits) {
+  KernelTally out;
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return out;
+  const size_t full = nw - 1;
+  const size_t vec_end = full - full % kWordsPerVec;
+  uint64x2_t acc_s = vdupq_n_u64(0);
+  uint64x2_t acc_t = vdupq_n_u64(0);
+  uint64x2_t acc_f = vdupq_n_u64(0);
+  for (size_t i = 0; i < vec_end; i += kWordsPerVec) {
+    const uint64x2_t r = LoadAnd(a + i, b + i);
+    vst1q_u64(dst + i, r);
+    acc_s = vaddq_u64(acc_s, Popcount128(vreinterpretq_u8_u64(r)));
+    acc_t = vaddq_u64(acc_t, Popcount128(vreinterpretq_u8_u64(vandq_u64(
+                                 r, vld1q_u64(t_mask + i)))));
+    acc_f = vaddq_u64(acc_f, Popcount128(vreinterpretq_u8_u64(vandq_u64(
+                                 r, vld1q_u64(f_mask + i)))));
+  }
+  out.support = HorizontalSum(acc_s);
+  out.t = HorizontalSum(acc_t);
+  out.f = HorizontalSum(acc_f);
+  for (size_t i = vec_end; i < nw; ++i) {
+    uint64_t r = a[i] & b[i];
+    dst[i] = r;
+    if (i + 1 == nw) r &= TailWordMask(num_bits);
+    out.support += static_cast<uint64_t>(std::popcount(r));
+    out.t += static_cast<uint64_t>(std::popcount(r & t_mask[i]));
+    out.f += static_cast<uint64_t>(std::popcount(r & f_mask[i]));
+  }
+  return out;
+}
+
+// 4-wide window probe, same scheme (and same strict-monotonicity
+// argument) as the AVX2 intersection.
+size_t NeonIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t n = 0;
+  while (i < na && j + 4 <= nb) {
+    const uint32_t x = a[i];
+    if (b[j + 3] < x) {
+      j += 4;
+      continue;
+    }
+    const uint32x4_t eq = vceqq_u32(vdupq_n_u32(x), vld1q_u32(b + j));
+    if (vmaxvq_u32(eq) != 0) out[n++] = x;
+    ++i;
+  }
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+size_t NeonIntersectBounded(const uint32_t* a, size_t na,
+                            const uint32_t* b, size_t nb, uint32_t* out,
+                            uint64_t min_count) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t n = 0;
+  while (i < na && j + 4 <= nb) {
+    const size_t rem_a = na - i;
+    const size_t rem_b = nb - j;
+    const size_t rem = rem_a < rem_b ? rem_a : rem_b;
+    if (n + rem < min_count) return n;
+    const uint32_t x = a[i];
+    if (b[j + 3] < x) {
+      j += 4;
+      continue;
+    }
+    const uint32x4_t eq = vceqq_u32(vdupq_n_u32(x), vld1q_u32(b + j));
+    if (vmaxvq_u32(eq) != 0) out[n++] = x;
+    ++i;
+  }
+  while (i < na && j < nb) {
+    const size_t rem_a = na - i;
+    const size_t rem_b = nb - j;
+    const size_t rem = rem_a < rem_b ? rem_a : rem_b;
+    if (n + rem < min_count) return n;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelOps& NeonKernelOps() {
+  static constexpr KernelOps kOps = {
+      "neon",     NeonPopcount,        NeonAndPopcount,
+      NeonTally,  NeonAndAssignTally,  NeonIntersect,
+      NeonIntersectBounded,
+  };
+  return kOps;
+}
+
+}  // namespace fpm
+}  // namespace divexp
+
+#endif  // __aarch64__

@@ -1,0 +1,170 @@
+// Portable 64-bit-word reference kernels. Every other implementation
+// must be bit-identical to these (the differential fuzz suite uses
+// this table as its oracle), so keep them simple and obviously
+// correct; speed comes from the SIMD tables.
+#include <bit>
+
+#include "fpm/kernels/kernels_internal.h"
+
+namespace divexp {
+namespace fpm {
+namespace {
+
+inline size_t NumWords(size_t num_bits) { return (num_bits + 63) / 64; }
+
+uint64_t ScalarPopcount(const uint64_t* words, size_t num_bits) {
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return 0;
+  uint64_t n = 0;
+  for (size_t i = 0; i + 1 < nw; ++i) {
+    n += static_cast<uint64_t>(std::popcount(words[i]));
+  }
+  n += static_cast<uint64_t>(
+      std::popcount(words[nw - 1] & TailWordMask(num_bits)));
+  return n;
+}
+
+uint64_t ScalarAndPopcount(const uint64_t* a, const uint64_t* b,
+                           size_t num_bits) {
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return 0;
+  uint64_t n = 0;
+  for (size_t i = 0; i + 1 < nw; ++i) {
+    n += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  n += static_cast<uint64_t>(
+      std::popcount(a[nw - 1] & b[nw - 1] & TailWordMask(num_bits)));
+  return n;
+}
+
+KernelTally ScalarTally(const uint64_t* rows, const uint64_t* t_mask,
+                        const uint64_t* f_mask, size_t num_bits) {
+  KernelTally out;
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return out;
+  for (size_t i = 0; i < nw; ++i) {
+    uint64_t r = rows[i];
+    if (i + 1 == nw) r &= TailWordMask(num_bits);
+    out.support += static_cast<uint64_t>(std::popcount(r));
+    out.t += static_cast<uint64_t>(std::popcount(r & t_mask[i]));
+    out.f += static_cast<uint64_t>(std::popcount(r & f_mask[i]));
+  }
+  return out;
+}
+
+KernelTally ScalarAndAssignTally(uint64_t* dst, const uint64_t* a,
+                                 const uint64_t* b, const uint64_t* t_mask,
+                                 const uint64_t* f_mask, size_t num_bits) {
+  KernelTally out;
+  const size_t nw = NumWords(num_bits);
+  if (nw == 0) return out;
+  for (size_t i = 0; i < nw; ++i) {
+    uint64_t r = a[i] & b[i];
+    dst[i] = r;
+    if (i + 1 == nw) r &= TailWordMask(num_bits);
+    out.support += static_cast<uint64_t>(std::popcount(r));
+    out.t += static_cast<uint64_t>(std::popcount(r & t_mask[i]));
+    out.f += static_cast<uint64_t>(std::popcount(r & f_mask[i]));
+  }
+  return out;
+}
+
+size_t ScalarIntersect(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t n = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+size_t ScalarIntersectBounded(const uint32_t* a, size_t na,
+                              const uint32_t* b, size_t nb, uint32_t* out,
+                              uint64_t min_count) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t n = 0;
+  while (i < na && j < nb) {
+    // Support upper bound on the final intersection: matches so far
+    // plus everything still unscanned in the shorter remainder. Once
+    // it drops below min_count the caller will discard the candidate,
+    // so stop scanning (the partial count stays < min_count).
+    const size_t rem = na - i < nb - j ? na - i : nb - j;
+    if (n + rem < min_count) return n;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[n++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+const KernelOps& ScalarKernelOps() {
+  static constexpr KernelOps kOps = {
+      "scalar",          ScalarPopcount,        ScalarAndPopcount,
+      ScalarTally,       ScalarAndAssignTally,  ScalarIntersect,
+      ScalarIntersectBounded,
+  };
+  return kOps;
+}
+
+uint64_t SupportUpperBound(const uint32_t* items, size_t num_items,
+                           const uint64_t* item_supports,
+                           size_t num_item_supports) {
+  uint64_t bound = ~uint64_t{0};
+  for (size_t i = 0; i < num_items; ++i) {
+    const uint64_t s =
+        items[i] < num_item_supports ? item_supports[items[i]] : 0;
+    if (s < bound) bound = s;
+  }
+  return bound;
+}
+
+const char* KernelKindName(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kAuto:
+      return "auto";
+    case KernelKind::kScalar:
+      return "scalar";
+    case KernelKind::kSimd:
+      return "simd";
+  }
+  return "unknown";
+}
+
+const KernelOps* SimdKernelOps() {
+#if defined(DIVEXP_HAVE_AVX2)
+  if (Avx2Supported()) return &Avx2KernelOps();
+#elif defined(__aarch64__)
+  return &NeonKernelOps();
+#endif
+  return nullptr;
+}
+
+bool SimdAvailable() { return SimdKernelOps() != nullptr; }
+
+const KernelOps& ResolveKernel(KernelKind kind) {
+  if (kind == KernelKind::kScalar) return ScalarKernelOps();
+  const KernelOps* simd = SimdKernelOps();
+  return simd != nullptr ? *simd : ScalarKernelOps();
+}
+
+}  // namespace fpm
+}  // namespace divexp

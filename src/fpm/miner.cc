@@ -17,6 +17,8 @@ const char* MinerKindName(MinerKind kind) {
       return "apriori";
     case MinerKind::kEclat:
       return "eclat";
+    case MinerKind::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -29,6 +31,10 @@ std::unique_ptr<FrequentPatternMiner> MakeMiner(MinerKind kind) {
       return std::make_unique<AprioriMiner>();
     case MinerKind::kEclat:
       return std::make_unique<EclatMiner>();
+    case MinerKind::kAuto:
+      // kAuto must be resolved through fpm::ChooseMiningPlan first;
+      // there is no "auto miner" object.
+      return nullptr;
   }
   return nullptr;
 }

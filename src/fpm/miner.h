@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fpm/itemset.h"
+#include "fpm/kernels/kernels.h"
 #include "fpm/transactions.h"
 #include "obs/stage.h"
 #include "util/run_guard.h"
@@ -90,13 +91,27 @@ struct MinerOptions {
   /// identical either way (the PR 1 sequential/parallel equivalence
   /// invariant).
   MiningCheckpointSink* checkpoint = nullptr;
+  /// Kernel implementation for the hot loops (bitmap tallies, tid-list
+  /// intersection). Resolved once per Mine call via
+  /// fpm::ResolveKernel; every choice produces bit-identical output
+  /// (enforced by tests/fpm/kernel_differential_test.cc), so this is a
+  /// pure performance knob.
+  fpm::KernelKind kernel = fpm::KernelKind::kAuto;
+  /// Back FP-tree nodes with the bump-pointer NodeArena (the default)
+  /// instead of per-node deque slots. Identical trees either way; the
+  /// toggle exists for the arena differential tests and as an escape
+  /// hatch.
+  bool use_arena = true;
 };
 
-/// Which mining algorithm backs a DivergenceExplorer run.
+/// Which mining algorithm backs a DivergenceExplorer run. kAuto defers
+/// the choice to fpm::ChooseMiningPlan (dataset-shape heuristics); it
+/// must be resolved to a concrete kind before MakeMiner.
 enum class MinerKind {
   kFpGrowth,
   kApriori,
   kEclat,
+  kAuto,
 };
 
 const char* MinerKindName(MinerKind kind);

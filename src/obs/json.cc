@@ -159,6 +159,8 @@ std::string MetricsReportToJson(const MetricsReport& report) {
   w.Key("rows_covered_fraction").Value(report.run.rows_covered_fraction);
   w.Key("checkpoint_write_failures")
       .Value(report.run.checkpoint_write_failures);
+  w.Key("miner").Value(report.run.miner);
+  w.Key("kernel").Value(report.run.kernel);
   w.EndObject();
 
   w.Key("stages").BeginArray();
@@ -511,6 +513,8 @@ Status ValidateMetricsJson(const std::string& text,
     }
   }
   DIVEXP_RETURN_NOT_OK(RequireString(*run, "breach", "run"));
+  DIVEXP_RETURN_NOT_OK(RequireString(*run, "miner", "run"));
+  DIVEXP_RETURN_NOT_OK(RequireString(*run, "kernel", "run"));
 
   const JsonValue* stages = doc.Find("stages");
   if (stages == nullptr || !stages->is_array() || stages->array.empty()) {

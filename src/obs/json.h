@@ -73,6 +73,10 @@ struct RunSummary {
   uint64_t retries_total = 0;
   double rows_covered_fraction = 1.0;
   uint64_t checkpoint_write_failures = 0;
+  // Dispatch accounting (schema v4): the miner and kernel that actually
+  // ran after kAuto resolution.
+  std::string miner = "fpgrowth";
+  std::string kernel = "scalar";
 };
 
 /// Everything the CLI writes to --metrics-json.
@@ -89,7 +93,9 @@ struct MetricsReport {
 /// v3 added the sharded-exploration fields (shards, shards_failed,
 /// shards_dropped, shards_stale, retries_total, rows_covered_fraction,
 /// checkpoint_write_failures).
-inline constexpr int kMetricsSchemaVersion = 3;
+/// v4 added the dispatch fields (miner, kernel): which mining backend
+/// and which hot-loop kernel implementation actually ran.
+inline constexpr int kMetricsSchemaVersion = 4;
 
 /// Serializes a full report (schema_version, run, stages, counters,
 /// gauges, histograms, spans).

@@ -38,6 +38,10 @@ uint32_t MinerKindToU32(MinerKind kind) {
       return 1;
     case MinerKind::kEclat:
       return 2;
+    case MinerKind::kAuto:
+      // Callers snapshot the resolved plan, never kAuto; map it to the
+      // default so a stray value still round-trips to a valid kind.
+      return 0;
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fpm/itemset.h"
+#include "fpm/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "util/failpoint.h"
 #include "util/parallel.h"
@@ -117,12 +118,38 @@ Result<ShardMergeResult> MergeShardContributions(
       }
     }
   }
+  // Single-item supports over the covered rows feed the
+  // SupportUpperBound pre-filter below: an itemset is at most as
+  // frequent as its least frequent member, so candidates whose bound
+  // is already below min_count skip the full row scan. Exact: a
+  // skipped candidate's true count is <= its bound < min_count, so the
+  // threshold filter would have discarded it anyway.
+  std::vector<uint64_t> item_supports(dataset.catalog.num_items(), 0);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (!include_rows[i]) continue;
+    for (size_t r = plan[i].begin; r < plan[i].end; ++r) {
+      for (size_t a = 0; a < dataset.num_attributes; ++a) {
+        ++item_supports[dataset.at(r, a)];
+      }
+    }
+  }
+  const uint64_t min_count_bound =
+      MinCount(options.min_support, result.covered_rows);
+  obs::Counter* ubound_skips = obs::MetricsRegistry::Default().GetCounter(
+      "fpm.kernel.ubound.skips");
+
   std::vector<OutcomeCounts> counts(candidates.size());
   {
     obs::StageTimer timer(options.stages, obs::kStageShardVerify);
     ParallelFor(options.num_threads, candidates.size(), [&](size_t ci) {
       OutcomeCounts& tally = counts[ci];
       const Itemset& items = candidates[ci];
+      if (fpm::SupportUpperBound(items.data(), items.size(),
+                                 item_supports.data(),
+                                 item_supports.size()) < min_count_bound) {
+        ubound_skips->Increment();
+        return;  // tally stays zero; filtered by the threshold below
+      }
       for (size_t i = 0; i < plan.size(); ++i) {
         if (!include_rows[i]) continue;
         for (size_t r = plan[i].begin; r < plan[i].end; ++r) {
@@ -150,8 +177,7 @@ Result<ShardMergeResult> MergeShardContributions(
   // which the analyses built on the table assume present. Closure is
   // checked shortest-first so a kept pattern's whole subset chain is
   // kept.
-  const uint64_t min_count =
-      MinCount(options.min_support, result.covered_rows);
+  const uint64_t min_count = min_count_bound;
   std::vector<MinedPattern> frequent;
   for (size_t ci = 0; ci < candidates.size(); ++ci) {
     if (counts[ci].total() >= min_count) {

@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "fpm/dispatch.h"
 #include "fpm/transactions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -264,6 +265,21 @@ Result<PatternTable> ShardedExplorer::ExploreOutcomes(
   stats_ = ExplorerRunStats{};
   stats_.shards = options_.num_shards;
   stats_.effective_min_support = options_.base.min_support;
+  {
+    // Every shard inherits the base options and an identically-shaped
+    // slice (same attributes/items, fewer rows), so they all resolve to
+    // the same miner and kernel; record that resolution here.
+    fpm::DatasetShape shape;
+    shape.rows = dataset.num_rows;
+    shape.attributes = dataset.num_attributes;
+    shape.items = dataset.catalog.num_items();
+    const fpm::MiningPlan mining_plan = fpm::ChooseMiningPlan(
+        shape, options_.base.min_support, options_.base.miner,
+        options_.base.kernel, options_.base.num_threads);
+    stats_.miner = MinerKindName(mining_plan.miner);
+    stats_.kernel = mining_plan.ops->name;
+    stats_.dispatch_rationale = mining_plan.rationale;
+  }
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
   reg.GetCounter("shard.runs")->Add(1);
   const uint64_t faults0 =

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fpm/kernels/kernels.h"
+
 namespace divexp {
 namespace {
 
@@ -56,6 +58,52 @@ TEST(BitmapTest, EmptyBitmap) {
   Bitmap b(0);
   EXPECT_EQ(b.Count(), 0u);
   EXPECT_TRUE(b.ToIndices().empty());
+}
+
+// The padding-bit contract (bitmap.h): bits past num_bits are
+// unspecified, so every counting path must mask the tail word rather
+// than trust it to be zero. Seed garbage there through mutable_words()
+// — exactly what the kernels' word-level and_assign writers may do —
+// and check every read-side API stays exact.
+TEST(BitmapPaddingTest, CountIgnoresGarbagePaddingBits) {
+  for (size_t bits : {1ul, 63ul, 65ul, 100ul, 129ul}) {
+    Bitmap b(bits);
+    b.Set(0);
+    b.Set(bits - 1);
+    const uint64_t want = bits == 1 ? 1 : 2;
+    ASSERT_EQ(b.Count(), want) << bits;
+    // Poison every padding bit of the tail word.
+    b.mutable_words()[b.num_words() - 1] |=
+        ~fpm::TailWordMask(b.num_bits());
+    EXPECT_EQ(b.Count(), want) << "padding leaked into Count, bits=" << bits;
+  }
+}
+
+TEST(BitmapPaddingTest, AndCountIgnoresGarbagePaddingBits) {
+  Bitmap a(100), b(100);
+  for (size_t i = 0; i < 100; i += 2) a.Set(i);
+  for (size_t i = 0; i < 100; i += 5) b.Set(i);
+  const uint64_t want = a.AndCount(b);  // multiples of 10 in [0, 100)
+  EXPECT_EQ(want, 10u);
+  a.mutable_words()[a.num_words() - 1] |= ~fpm::TailWordMask(100);
+  b.mutable_words()[b.num_words() - 1] |= ~fpm::TailWordMask(100);
+  EXPECT_EQ(a.AndCount(b), want);
+  EXPECT_EQ(b.AndCount(a), want);
+}
+
+TEST(BitmapPaddingTest, ToIndicesIgnoresGarbagePaddingBits) {
+  Bitmap b(70);
+  b.Set(0);
+  b.Set(69);
+  b.mutable_words()[b.num_words() - 1] |= ~fpm::TailWordMask(70);
+  EXPECT_EQ(b.ToIndices(), (std::vector<size_t>{0, 69}));
+}
+
+TEST(BitmapPaddingTest, WholeWordBitmapHasNoPadding) {
+  Bitmap b(128);
+  b.Set(127);
+  EXPECT_EQ(fpm::TailWordMask(b.num_bits()), ~uint64_t{0});
+  EXPECT_EQ(b.Count(), 1u);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 // Differential cross-miner harness: seeded-PRNG random tables with
 // varying arity, NULL density and value skew, asserting that FP-growth,
 // Apriori and Eclat emit byte-identical (itemset, support,
-// outcome-tally) sets at several min-support levels, and that the
+// outcome-tally) sets at several min-support levels, across every
+// kernel implementation (scalar and the CPU's SIMD table), and that the
 // parallel mining paths (num_threads ∈ {1, 2, 8}) reproduce the
-// sequential result exactly. Runs under TSan in CI, so the 8-thread
-// configurations double as a race detector for the mining internals.
+// sequential result exactly. The full kernel × miner × threads matrix
+// runs under TSan in CI, so the 8-thread SIMD configurations double as
+// a race detector for the mining internals.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -102,9 +104,11 @@ TEST_P(DifferentialMinerTest, MinersAndThreadCountsAgree) {
   ASSERT_TRUE(db.ok());
 
   for (double support : {0.02, 0.08, 0.25}) {
-    // Sequential FP-growth is the reference for this support level.
+    // Sequential scalar-kernel FP-growth is the reference for this
+    // support level.
     MinerOptions ref_opts;
     ref_opts.min_support = support;
+    ref_opts.kernel = fpm::KernelKind::kScalar;
     auto reference = MakeMiner(MinerKind::kFpGrowth)->Mine(*db, ref_opts);
     ASSERT_TRUE(reference.ok());
     const PatternMap expected = ToMap(*reference);
@@ -112,17 +116,32 @@ TEST_P(DifferentialMinerTest, MinersAndThreadCountsAgree) {
 
     for (MinerKind kind :
          {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
-      for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
-        MinerOptions opts;
-        opts.min_support = support;
-        opts.num_threads = threads;
-        auto patterns = MakeMiner(kind)->Mine(*db, opts);
-        ASSERT_TRUE(patterns.ok());
-        EXPECT_EQ(ToMap(*patterns), expected)
-            << spec.label << ": " << MinerKindName(kind) << " s=" << support
-            << " threads=" << threads << " diverged from the reference";
+      for (fpm::KernelKind kernel :
+           {fpm::KernelKind::kScalar, fpm::KernelKind::kSimd}) {
+        for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+          MinerOptions opts;
+          opts.min_support = support;
+          opts.num_threads = threads;
+          opts.kernel = kernel;
+          auto patterns = MakeMiner(kind)->Mine(*db, opts);
+          ASSERT_TRUE(patterns.ok());
+          EXPECT_EQ(ToMap(*patterns), expected)
+              << spec.label << ": " << MinerKindName(kind)
+              << " s=" << support << " threads=" << threads << " kernel="
+              << fpm::KernelKindName(kernel)
+              << " diverged from the reference";
+        }
       }
     }
+
+    // Arena on/off must not change a single FP-growth tally: the arena
+    // only relocates node storage.
+    MinerOptions no_arena = ref_opts;
+    no_arena.use_arena = false;
+    auto fallback = MakeMiner(MinerKind::kFpGrowth)->Mine(*db, no_arena);
+    ASSERT_TRUE(fallback.ok());
+    EXPECT_EQ(ToMap(*fallback), expected)
+        << spec.label << ": arena-off FP-growth diverged, s=" << support;
   }
 }
 

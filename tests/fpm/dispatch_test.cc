@@ -1,0 +1,103 @@
+// Unit tests for the adaptive mining dispatcher: the plan must be a
+// pure function of (shape, support, request) so checkpoints and shard
+// merges resolve identically, explicit requests must be honored
+// verbatim, and the shape thresholds must route each corner of the
+// density/support grid to the documented miner.
+#include "fpm/dispatch.h"
+
+#include <gtest/gtest.h>
+
+namespace divexp {
+namespace fpm {
+namespace {
+
+// rows, attributes, items chosen so density() = attributes / items
+// lands well inside each regime.
+DatasetShape DenseShape() { return DatasetShape{100000, 10, 50}; }    // 0.2
+DatasetShape SparseShape() { return DatasetShape{100000, 10, 1000}; } // 0.01
+DatasetShape MidShape() { return DatasetShape{100000, 10, 200}; }     // 0.05
+
+TEST(DispatchTest, ExplicitMinerIsHonoredVerbatim) {
+  for (MinerKind kind :
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+    const MiningPlan plan = ChooseMiningPlan(
+        DenseShape(), 0.01, kind, KernelKind::kScalar, 4);
+    EXPECT_EQ(plan.miner, kind);
+    EXPECT_EQ(plan.num_threads, 4u) << "explicit miner keeps threads";
+  }
+}
+
+TEST(DispatchTest, AutoPicksAprioriOnDenseLowSupport) {
+  const MiningPlan plan = ChooseMiningPlan(
+      DenseShape(), 0.05, MinerKind::kAuto, KernelKind::kScalar, 2);
+  EXPECT_EQ(plan.miner, MinerKind::kApriori);
+}
+
+TEST(DispatchTest, AutoPicksEclatOnSparseShapes) {
+  const MiningPlan plan = ChooseMiningPlan(
+      SparseShape(), 0.05, MinerKind::kAuto, KernelKind::kScalar, 2);
+  EXPECT_EQ(plan.miner, MinerKind::kEclat);
+}
+
+TEST(DispatchTest, AutoDefaultsToFpGrowthInTheMiddle) {
+  const MiningPlan plan = ChooseMiningPlan(
+      MidShape(), 0.05, MinerKind::kAuto, KernelKind::kScalar, 2);
+  EXPECT_EQ(plan.miner, MinerKind::kFpGrowth);
+  // Dense but high support: the lattice is shallow, Apriori's edge
+  // evaporates, FP-growth stays the default.
+  const MiningPlan high = ChooseMiningPlan(
+      DenseShape(), 0.5, MinerKind::kAuto, KernelKind::kScalar, 2);
+  EXPECT_EQ(high.miner, MinerKind::kFpGrowth);
+}
+
+TEST(DispatchTest, AutoFoldsTinyWorkloadsToOneThread) {
+  const DatasetShape tiny{100, 5, 20};  // 2000 cells << 1<<15
+  const MiningPlan plan = ChooseMiningPlan(
+      tiny, 0.05, MinerKind::kAuto, KernelKind::kScalar, 8);
+  EXPECT_EQ(plan.num_threads, 1u);
+  const MiningPlan big = ChooseMiningPlan(
+      MidShape(), 0.05, MinerKind::kAuto, KernelKind::kScalar, 8);
+  EXPECT_EQ(big.num_threads, 8u);
+}
+
+TEST(DispatchTest, KernelResolutionNeverReturnsNull) {
+  for (KernelKind kind :
+       {KernelKind::kAuto, KernelKind::kScalar, KernelKind::kSimd}) {
+    const MiningPlan plan = ChooseMiningPlan(
+        MidShape(), 0.05, MinerKind::kAuto, kind, 1);
+    ASSERT_NE(plan.ops, nullptr);
+    if (kind == KernelKind::kScalar) {
+      EXPECT_EQ(plan.kernel, KernelKind::kScalar);
+      EXPECT_STREQ(plan.ops->name, "scalar");
+    } else if (SimdAvailable()) {
+      EXPECT_EQ(plan.kernel, KernelKind::kSimd);
+      EXPECT_STRNE(plan.ops->name, "scalar");
+    } else {
+      EXPECT_EQ(plan.kernel, KernelKind::kScalar);
+      EXPECT_STREQ(plan.ops->name, "scalar");
+    }
+  }
+}
+
+TEST(DispatchTest, PlanIsDeterministic) {
+  const MiningPlan a = ChooseMiningPlan(
+      DenseShape(), 0.05, MinerKind::kAuto, KernelKind::kAuto, 2);
+  const MiningPlan b = ChooseMiningPlan(
+      DenseShape(), 0.05, MinerKind::kAuto, KernelKind::kAuto, 2);
+  EXPECT_EQ(a.miner, b.miner);
+  EXPECT_EQ(a.kernel, b.kernel);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.num_threads, b.num_threads);
+  EXPECT_EQ(a.rationale, b.rationale);
+  EXPECT_FALSE(a.rationale.empty());
+}
+
+TEST(DispatchTest, ZeroThreadRequestFoldsToOne) {
+  const MiningPlan plan = ChooseMiningPlan(
+      MidShape(), 0.05, MinerKind::kFpGrowth, KernelKind::kScalar, 0);
+  EXPECT_EQ(plan.num_threads, 1u);
+}
+
+}  // namespace
+}  // namespace fpm
+}  // namespace divexp

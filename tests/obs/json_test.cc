@@ -160,12 +160,30 @@ TEST(ValidateMetricsJsonTest, RejectsTamperedDocuments) {
   EXPECT_FALSE(ValidateMetricsJson("not json").ok());
   // Wrong schema version.
   std::string bad = good;
-  const std::string version = "\"schema_version\":3";
+  const std::string version =
+      "\"schema_version\":" + std::to_string(kMetricsSchemaVersion);
   ASSERT_NE(bad.find(version), std::string::npos);
   bad.replace(bad.find(version), version.size(), "\"schema_version\":99");
   EXPECT_FALSE(ValidateMetricsJson(bad).ok());
   // Empty document.
   EXPECT_FALSE(ValidateMetricsJson("{}").ok());
+}
+
+TEST(ValidateMetricsJsonTest, RequiresMinerAndKernelFields) {
+  // Schema v4: the run summary names the resolved backend and kernel.
+  const std::string good = MetricsReportToJson(MakeReport());
+  for (const char* field :
+       {"\"miner\":\"fpgrowth\"", "\"kernel\":\"scalar\""}) {
+    EXPECT_NE(good.find(field), std::string::npos) << field;
+  }
+  for (const char* victim_cstr :
+       {",\"miner\":\"fpgrowth\"", ",\"kernel\":\"scalar\""}) {
+    std::string bad = good;
+    const std::string victim = victim_cstr;
+    ASSERT_NE(bad.find(victim), std::string::npos);
+    bad.erase(bad.find(victim), victim.size());
+    EXPECT_FALSE(ValidateMetricsJson(bad).ok()) << victim;
+  }
 }
 
 TEST(ValidateBenchJsonTest, AcceptsWellFormedRecords) {

@@ -79,11 +79,13 @@ Workload MakeWorkload() {
 }
 
 ExplorerOptions BaseOptions(MinerKind miner, double support,
-                            size_t threads) {
+                            size_t threads,
+                            fpm::KernelKind kernel = fpm::KernelKind::kAuto) {
   ExplorerOptions opts;
   opts.miner = miner;
   opts.min_support = support;
   opts.num_threads = threads;
+  opts.kernel = kernel;
   return opts;
 }
 
@@ -130,18 +132,20 @@ std::string RandomSchedule(Rng& rng, MinerKind miner) {
 
 void RunCell(MinerKind miner, double support, size_t threads,
              const Workload& w, const std::string& reference,
-             int schedules, uint64_t seed) {
+             int schedules, uint64_t seed,
+             fpm::KernelKind kernel = fpm::KernelKind::kAuto) {
   Rng rng(seed);
   int interrupted = 0;
   for (int round = 0; round < schedules; ++round) {
     const std::string dir =
         TempDir(std::string(MinerKindName(miner)) + "_s" +
                 std::to_string(static_cast<int>(support * 1000)) + "_t" +
-                std::to_string(threads));
+                std::to_string(threads) + "_k" +
+                fpm::KernelKindName(kernel));
     std::remove((dir + "/mining.ckpt").c_str());
 
     const std::string schedule = RandomSchedule(rng, miner);
-    ExplorerOptions opts = BaseOptions(miner, support, threads);
+    ExplorerOptions opts = BaseOptions(miner, support, threads, kernel);
     opts.checkpoint_dir = dir;
 
     bool died = true;
@@ -217,6 +221,26 @@ INSTANTIATE_TEST_SUITE_P(AllMiners, KillResumeTest,
                          [](const auto& info) {
                            return std::string(MinerKindName(info.param));
                          });
+
+// The --kernel=simd cells: faulted SIMD-kernel runs must resume onto
+// the *scalar* reference bytes — checkpoint envelopes (and therefore
+// resumed tables) are kernel-independent. On hosts without a SIMD
+// table kSimd degrades to scalar and the cell still runs, keeping the
+// assertion meaningful everywhere.
+TEST(KillResumeKernelTest, SimdCellsResumeBitIdenticalToScalarReference) {
+  const Workload w = MakeWorkload();
+  const int schedules = SchedulesPerCell();
+  uint64_t seed = 9000;
+  for (MinerKind miner :
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+    for (const size_t threads : {size_t{1}, size_t{8}}) {
+      const std::string reference = ReferenceSerialization(
+          w, BaseOptions(miner, 0.12, threads, fpm::KernelKind::kScalar));
+      RunCell(miner, 0.12, threads, w, reference, schedules, ++seed,
+              fpm::KernelKind::kSimd);
+    }
+  }
+}
 
 // Real process death: fork a child that aborts inside the snapshot
 // writer (and at other seams), then resume in the parent. This is the

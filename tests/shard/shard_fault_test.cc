@@ -110,11 +110,13 @@ std::string RandomSchedule(Rng& rng, MinerKind miner) {
   return schedule;
 }
 
-std::string MonolithicReference(const Workload& w, MinerKind miner,
-                                double support) {
+std::string MonolithicReference(
+    const Workload& w, MinerKind miner, double support,
+    fpm::KernelKind kernel = fpm::KernelKind::kAuto) {
   ExplorerOptions opts;
   opts.miner = miner;
   opts.min_support = support;
+  opts.kernel = kernel;
   DivergenceExplorer explorer(opts);
   auto table = explorer.ExploreOutcomes(w.dataset, w.outcomes);
   DIVEXP_CHECK(table.ok());
@@ -123,12 +125,13 @@ std::string MonolithicReference(const Workload& w, MinerKind miner,
 
 void RunCell(const Workload& w, MinerKind miner, double support,
              size_t shards, const std::string& reference, int schedules,
-             uint64_t seed) {
+             uint64_t seed,
+             fpm::KernelKind kernel = fpm::KernelKind::kAuto) {
   Rng rng(seed);
   const std::string dir =
       TempDir(std::string(MinerKindName(miner)) + "_s" +
               std::to_string(static_cast<int>(support * 1000)) + "_k" +
-              std::to_string(shards));
+              std::to_string(shards) + "_" + fpm::KernelKindName(kernel));
   int recovered = 0;
   for (int round = 0; round < schedules; ++round) {
     for (size_t i = 0; i < shards; ++i) {
@@ -142,6 +145,7 @@ void RunCell(const Workload& w, MinerKind miner, double support,
     ShardedExplorerOptions opts;
     opts.base.miner = miner;
     opts.base.min_support = support;
+    opts.base.kernel = kernel;
     opts.base.checkpoint_dir = dir;
     opts.num_shards = shards;
     opts.shard_parallelism = shards > 1 ? 2 : 1;
@@ -185,6 +189,26 @@ INSTANTIATE_TEST_SUITE_P(AllMiners, ShardFaultTest,
                          [](const auto& info) {
                            return std::string(MinerKindName(info.param));
                          });
+
+// The --kernel=simd cells: faulted+retried SIMD shard runs (including
+// the SON merge's SupportUpperBound recount skip) must land on the
+// *scalar* monolithic bytes — kernel choice can never change a shard
+// merge. Where no SIMD table exists kSimd degrades to scalar and the
+// cell still runs.
+TEST(ShardFaultKernelTest, SimdShardCellsMatchScalarMonolithicReference) {
+  const Workload w = MakeWorkload();
+  const int schedules = SchedulesPerCell();
+  uint64_t seed = 77000;
+  for (MinerKind miner :
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+    const std::string reference =
+        MonolithicReference(w, miner, 0.05, fpm::KernelKind::kScalar);
+    for (const size_t shards : {size_t{1}, size_t{4}}) {
+      RunCell(w, miner, 0.05, shards, reference, schedules, ++seed,
+              fpm::KernelKind::kSimd);
+    }
+  }
+}
 
 // Drop-mode differential: exhaust one shard under faults, then check
 // the degraded table equals a monolithic run over the surviving rows.

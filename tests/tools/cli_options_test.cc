@@ -99,13 +99,36 @@ TEST(ParsePatternTest, BadPatternsRejected) {
 }
 
 TEST(ParseMinerKindTest, AllBackends) {
-  for (const char* name : {"fpgrowth", "apriori", "eclat"}) {
+  for (const char* name : {"fpgrowth", "apriori", "eclat", "auto"}) {
     auto kind = ParseMinerKind(name);
     ASSERT_TRUE(kind.ok()) << name;
     EXPECT_STREQ(MinerKindName(*kind), name);
   }
+  EXPECT_EQ(*ParseMinerKind("auto"), MinerKind::kAuto);
   EXPECT_FALSE(ParseMinerKind("FPGROWTH").ok());
   EXPECT_FALSE(ParseMinerKind("").ok());
+}
+
+TEST(ParseKernelKindTest, AllKernels) {
+  EXPECT_EQ(*ParseKernelKind("auto"), fpm::KernelKind::kAuto);
+  EXPECT_EQ(*ParseKernelKind("scalar"), fpm::KernelKind::kScalar);
+  EXPECT_EQ(*ParseKernelKind("simd"), fpm::KernelKind::kSimd);
+  EXPECT_FALSE(ParseKernelKind("SIMD").ok());
+  EXPECT_FALSE(ParseKernelKind("avx2").ok());  // impl names are output-only
+  EXPECT_FALSE(ParseKernelKind("").ok());
+}
+
+TEST(ParseCliOptionsTest, KernelFlag) {
+  auto defaults = ParseCliOptions({"--csv", "d.csv"});
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_EQ(defaults->kernel, fpm::KernelKind::kAuto);
+  auto opts = ParseCliOptions(
+      {"--csv", "d.csv", "--kernel", "scalar", "--miner", "auto"});
+  ASSERT_TRUE(opts.ok());
+  EXPECT_EQ(opts->kernel, fpm::KernelKind::kScalar);
+  EXPECT_EQ(opts->miner, MinerKind::kAuto);
+  EXPECT_FALSE(
+      ParseCliOptions({"--csv", "d", "--kernel", "sse9"}).ok());
 }
 
 TEST(ParseCliOptionsTest, NewFlags) {
@@ -212,7 +235,7 @@ TEST(UsageStringTest, MentionsAllFlags) {
        {"--csv", "--pred-col", "--truth-col", "--metric", "--support",
         "--bins", "--top", "--epsilon", "--shapley", "--global",
         "--corrective", "--lattice", "--multi", "--export",
-        "--miner", "--threads", "--report", "--deadline-ms",
+        "--miner", "--kernel", "--threads", "--report", "--deadline-ms",
         "--max-patterns", "--max-memory-mb", "--on-limit",
         "--checkpoint-dir", "--checkpoint-every-ms", "--resume",
         "--failpoints"}) {

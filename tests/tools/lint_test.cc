@@ -77,6 +77,14 @@ TEST(LintLayersTest, LayerOrderMatchesTheTree) {
             LayerOf("src/data/csv.cc"));
   EXPECT_GT(LayerOf("src/recovery/checkpoint.cc"),
             LayerOf("src/fpm/fpgrowth.cc"));
+  // The compute kernels pin below the miners that call them, but above
+  // the data layer they know nothing about.
+  EXPECT_LT(LayerOf("src/fpm/kernels/kernels.h"),
+            LayerOf("src/fpm/fpgrowth.cc"));
+  EXPECT_GT(LayerOf("src/fpm/kernels/kernels.h"),
+            LayerOf("src/data/csv.cc"));
+  EXPECT_EQ(LayerOf("src/fpm/kernels/arena.h"),
+            LayerOf("src/fpm/kernels/kernels.h"));
   EXPECT_EQ(LayerOf("third_party/whatever.h"), -1);
 }
 
@@ -162,6 +170,39 @@ TEST(LintShardStatusTest, UnlayeredPathsAreSkipped) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(LintKernelNoAllocTest, FlagsAllocTokensInKernelUnits) {
+  const std::string token = std::string("vec") + "tor";  // stay lint-clean
+  std::vector<Diagnostic> diags;
+  LintFile("src/fpm/kernels/kernels_scalar.cc",
+           "std::" + token + "<uint64_t> tmp(n);\n", SharedCatalogs(),
+           &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleKernelNoAlloc);
+}
+
+TEST(LintKernelNoAllocTest, ArenaAndOutsideFilesAreExempt) {
+  const std::string line = "std::" + (std::string("vec") + "tor") +
+                           "<uint64_t> tmp(n);\n";
+  for (const char* path :
+       {"src/fpm/kernels/arena.h", "src/fpm/apriori.cc",
+        "tests/fpm/kernel_differential_test.cc"}) {
+    std::vector<Diagnostic> diags;
+    LintFile(path, line, SharedCatalogs(), &diags);
+    EXPECT_TRUE(diags.empty()) << path;
+  }
+}
+
+TEST(LintKernelNoAllocTest, CommentLinesAndAllowsAreSkipped) {
+  std::vector<Diagnostic> diags;
+  LintFile("src/fpm/kernels/kernels.h",
+           "//  * pure compute: no new, no malloc, no mutex\n"
+           "int x;  // lint:allow(" +
+               std::string(kRuleKernelNoAlloc) +
+               "): prose mentions new in a trailing comment\n",
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+}
+
 TEST(LintCorpusTest, EveryFixtureProducesExactlyItsDeclaredFindings) {
   const fs::path corpus =
       fs::path(DIVEXP_SOURCE_ROOT) / "tests" / "tools" / "lint_corpus";
@@ -199,7 +240,7 @@ TEST(LintCorpusTest, EveryFixtureProducesExactlyItsDeclaredFindings) {
     EXPECT_EQ(actual, expected);
   }
   // The corpus must keep covering every rule the linter ships.
-  EXPECT_GE(fixtures, 6u);
+  EXPECT_GE(fixtures, 7u);
 }
 
 }  // namespace

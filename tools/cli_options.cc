@@ -57,11 +57,23 @@ Result<Metric> ParseMetric(const std::string& name) {
 
 Result<MinerKind> ParseMinerKind(const std::string& name) {
   for (MinerKind kind :
-       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat}) {
+       {MinerKind::kFpGrowth, MinerKind::kApriori, MinerKind::kEclat,
+        MinerKind::kAuto}) {
     if (name == MinerKindName(kind)) return kind;
   }
   return Status::InvalidArgument(
-      "unknown miner '" + name + "' (use fpgrowth, apriori, eclat)");
+      "unknown miner '" + name +
+      "' (use fpgrowth, apriori, eclat, auto)");
+}
+
+Result<fpm::KernelKind> ParseKernelKind(const std::string& name) {
+  for (fpm::KernelKind kind :
+       {fpm::KernelKind::kAuto, fpm::KernelKind::kScalar,
+        fpm::KernelKind::kSimd}) {
+    if (name == fpm::KernelKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown kernel '" + name +
+                                 "' (use auto, scalar, simd)");
 }
 
 Result<LimitAction> ParseLimitAction(const std::string& name) {
@@ -158,6 +170,9 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
     } else if (arg == "--miner") {
       DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
       DIVEXP_ASSIGN_OR_RETURN(opts.miner, ParseMinerKind(name));
+    } else if (arg == "--kernel") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.kernel, ParseKernelKind(name));
     } else if (arg == "--deadline-ms") {
       DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
       DIVEXP_ASSIGN_OR_RETURN(long d, ParseInt(arg, v));
@@ -277,7 +292,11 @@ std::string UsageString() {
       "(Graphviz DOT)\n"
       "  --multi            print every metric for the top patterns\n"
       "  --export FILE      write the full pattern table as CSV\n"
-      "  --miner NAME       fpgrowth (default), apriori, or eclat\n"
+      "  --miner NAME       fpgrowth (default), apriori, eclat, or\n"
+      "                     auto (pick by dataset shape)\n"
+      "  --kernel NAME      hot-loop implementation: auto (default,\n"
+      "                     best SIMD the CPU supports), scalar, simd;\n"
+      "                     all choices give bit-identical results\n"
       "  --threads N        worker threads for mining (default: 1)\n"
       "  --report FILE      write a composed markdown audit report\n"
       "\n"

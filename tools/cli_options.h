@@ -36,8 +36,10 @@ struct CliOptions {
   std::string report_path;
   /// Print all 12 metrics for the top patterns (multi-metric run).
   bool multi = false;
-  /// Mining backend.
+  /// Mining backend ("auto" defers to the shape-based dispatcher).
   MinerKind miner = MinerKind::kFpGrowth;
+  /// Hot-loop kernel implementation (auto | scalar | simd).
+  fpm::KernelKind kernel = fpm::KernelKind::kAuto;
   /// Worker threads for mining.
   size_t num_threads = 1;
   /// Resource limits for the exploration run (0 = unlimited).
@@ -75,8 +77,11 @@ struct CliOptions {
 /// Parses a metric name ("FPR", "FNR", "ER", "ACC", ...).
 Result<Metric> ParseMetric(const std::string& name);
 
-/// Parses a miner name ("fpgrowth", "apriori", "eclat").
+/// Parses a miner name ("fpgrowth", "apriori", "eclat", "auto").
 Result<MinerKind> ParseMinerKind(const std::string& name);
+
+/// Parses a kernel name ("auto", "scalar", "simd").
+Result<fpm::KernelKind> ParseKernelKind(const std::string& name);
 
 /// Parses a limit action ("fail", "truncate", "escalate").
 Result<LimitAction> ParseLimitAction(const std::string& name);

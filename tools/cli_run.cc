@@ -138,6 +138,7 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   ExplorerOptions eopts;
   eopts.min_support = opts.min_support;
   eopts.miner = opts.miner;
+  eopts.kernel = opts.kernel;
   eopts.num_threads = opts.num_threads;
   eopts.limits.deadline_ms = opts.deadline_ms;
   eopts.limits.max_patterns = opts.max_patterns;
@@ -322,6 +323,10 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   }
 
   if (opts.trace) {
+    if (!stats.dispatch_rationale.empty()) {
+      log << "\nmining plan: " << stats.miner << " / " << stats.kernel
+          << " (" << stats.dispatch_rationale << ")\n";
+    }
     log << "\nper-stage summary:\n"
         << obs::FormatStageTable(run_stages.stages());
     const std::vector<obs::SpanStats> spans =
@@ -351,6 +356,8 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     report.run.retries_total = stats.retries_total;
     report.run.rows_covered_fraction = stats.rows_covered_fraction;
     report.run.checkpoint_write_failures = stats.checkpoint_write_failures;
+    report.run.miner = stats.miner;
+    report.run.kernel = stats.kernel;
     report.stages = run_stages.stages();
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     report.spans = obs::TraceCollector::Default().Snapshot();

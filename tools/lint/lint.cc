@@ -82,6 +82,13 @@ int PinnedRecoveryIoLayer(const std::string& src_relative) {
   return -1;
 }
 
+// The compute-kernel layer sits below the miners that call it: fpm/
+// files include fpm/kernels/ headers, never the reverse (the kernels
+// are pure primitives with no fpm dependency).
+int PinnedKernelLayer(const std::string& src_relative) {
+  return StartsWith(src_relative, "fpm/kernels/") ? 35 : -1;
+}
+
 // Maps a quoted include string (as written in the source, e.g.
 // "util/status.h") to (layer, implied repo-relative path). Unknown
 // first segments — single-file includes, third-party — yield layer -1
@@ -109,7 +116,8 @@ IncludeTarget ResolveInclude(const std::string& inc) {
   auto it = SrcDirLayers().find(head);
   if (it == SrcDirLayers().end()) return t;
   t.layer = it->second;
-  const int pinned = PinnedRecoveryIoLayer(inc);
+  int pinned = PinnedRecoveryIoLayer(inc);
+  if (pinned < 0) pinned = PinnedKernelLayer(inc);
   if (pinned >= 0) t.layer = pinned;
   t.implied_path = "src/" + inc;
   return t;
@@ -259,6 +267,7 @@ class FileLinter {
       if (IsCommentLine(line)) continue;
       CheckIgnoredStatus(line, lineno);
       CheckRawFileOutput(line, lineno);
+      CheckKernelNoAlloc(line, lineno);
       CheckFailPoints(line, lineno);
       CheckMetricNames(line, lineno);
       CheckStageNames(line, lineno);
@@ -373,6 +382,45 @@ class FileLinter {
                    "') outside src/recovery/atomic_file.cc; use "
                    "recovery::WriteFileAtomic so partial writes can "
                    "never be observed");
+          break;  // one diagnostic per token per line is enough
+        }
+        pos = after;
+      }
+    }
+  }
+
+  // The kernels_* translation units are the process's hot loops: they
+  // run under ResolveKernel() dispatch inside per-candidate inner
+  // loops, so any allocation, lock or container use there is a
+  // performance bug (and usually an aliasing one — callers own every
+  // buffer). arena.h lives in the same directory but allocates by
+  // design, so the rule keys on the "kernels" basename prefix.
+  void CheckKernelNoAlloc(const std::string& line, int lineno) {
+    if (!StartsWith(path_, "src/fpm/kernels/")) return;
+    const std::string base = path_.substr(path_.rfind('/') + 1);
+    if (!StartsWith(base, "kernels")) return;
+    static const char* kForbidden[] = {
+        "new",        "malloc",      "calloc",     "realloc",
+        "free",       "make_unique", "make_shared",
+        "vector",     "string",      "map",        "deque",
+        "mutex",      "lock_guard",  "unique_lock", "shared_lock",
+        "resize",     "push_back",   "reserve",    "emplace_back",
+    };
+    for (const char* token : kForbidden) {
+      const std::string text = token;
+      size_t pos = 0;
+      while ((pos = line.find(text, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+        const size_t after = pos + text.size();
+        const bool right_ok =
+            after >= line.size() || !IsWordChar(line[after]);
+        if (left_ok && right_ok) {
+          Emit(line, lineno, kRuleKernelNoAlloc,
+               "'" + text +
+                   "' in a kernel translation unit; kernels are pure "
+                   "compute over caller-owned buffers — no allocation, "
+                   "containers or locks (hoist it to the caller or to "
+                   "fpm/kernels/arena.h)");
           break;  // one diagnostic per token per line is enough
         }
         pos = after;
@@ -619,7 +667,8 @@ bool IsDottedName(const std::string& name) {
 int LayerOf(const std::string& logical_path) {
   if (StartsWith(logical_path, "src/")) {
     const std::string rest = logical_path.substr(4);
-    const int pinned = PinnedRecoveryIoLayer(rest);
+    int pinned = PinnedRecoveryIoLayer(rest);
+    if (pinned < 0) pinned = PinnedKernelLayer(rest);
     if (pinned >= 0) return pinned;
     size_t slash = rest.find('/');
     if (slash == std::string::npos) return -1;

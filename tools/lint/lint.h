@@ -29,6 +29,7 @@ inline constexpr const char* kRuleMetricName = "metric-name-convention";
 inline constexpr const char* kRuleStageDocumented = "stage-name-documented";
 inline constexpr const char* kRuleIncludeLayering = "include-layering";
 inline constexpr const char* kRuleShardStatus = "shard-status-propagated";
+inline constexpr const char* kRuleKernelNoAlloc = "kernel-no-alloc";
 
 struct Diagnostic {
   std::string file;  // logical repo-relative path
