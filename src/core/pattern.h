@@ -82,6 +82,11 @@ class PatternTable {
   /// Global positive rate f(D).
   double global_rate() const { return global_rate_; }
 
+  /// Beta posterior mean / variance of f(D); serialized alongside the
+  /// rate so snapshot and artifact loaders can rebuild t statistics.
+  double global_mean() const { return global_mean_; }
+  double global_variance() const { return global_variance_; }
+
   /// Index of an itemset, if frequent.
   std::optional<size_t> Find(const Itemset& items) const;
 

@@ -95,7 +95,12 @@ struct MetricsReport {
 /// checkpoint_write_failures).
 /// v4 added the dispatch fields (miner, kernel): which mining backend
 /// and which hot-loop kernel implementation actually ran.
-inline constexpr int kMetricsSchemaVersion = 4;
+/// v5 added the serving-layer metric families (serve.queries,
+/// serve.errors, serve.cache.hits/misses/evictions,
+/// serve.open.mmap/eager, and the per-verb serve.query_us.<type>
+/// histograms) emitted by the query daemon; run-summary fields are
+/// unchanged.
+inline constexpr int kMetricsSchemaVersion = 5;
 
 /// Serializes a full report (schema_version, run, stages, counters,
 /// gauges, histograms, spans).

@@ -128,6 +128,133 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<AtomicFileWriter>> AtomicFileWriter::Create(
+    const std::string& path) {
+  DIVEXP_FAILPOINT_STATUS("io.atomic.begin");
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("open", tmp));
+  }
+  return std::unique_ptr<AtomicFileWriter>(
+      new AtomicFileWriter(path, std::move(tmp), fd));
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!committed_ && dead_.ok()) ::unlink(tmp_.c_str());
+}
+
+Status AtomicFileWriter::Fail(Status status) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(tmp_.c_str());
+  dead_ = status;
+  return dead_;
+}
+
+Status AtomicFileWriter::Append(std::string_view chunk) {
+  if (!dead_.ok()) return dead_;
+  if (fd_ < 0) {
+    return Status::Internal("AtomicFileWriter used after Commit");
+  }
+  size_t written = 0;
+  while (written < chunk.size()) {
+#if defined(DIVEXP_FAILPOINTS_ENABLED)
+    // Mirror WriteFileAtomic's injection points: mid_write simulates
+    // death with part of the stream on disk (never before the first
+    // chunk, so the temp file is genuinely partial), write_fail
+    // simulates ENOSPC on the write itself.
+    if (FailPointRegistry::Default().armed()) {
+      if (appended_ > 0 || written > 0) {
+        const Status fp_status =
+            FailPointRegistry::Default().Hit("io.atomic.mid_write");
+        if (!fp_status.ok()) return Fail(fp_status);
+      }
+      const Status fp_status =
+          FailPointRegistry::Default().Hit("io.atomic.write_fail");
+      if (!fp_status.ok()) {
+        return Fail(Status::IOError("write '" + tmp_ +
+                                    "': " + fp_status.message()));
+      }
+    }
+#endif
+    const ssize_t n = ::write(fd_, chunk.data() + written,
+                              chunk.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(Status::IOError(Errno("write", tmp_)));
+    }
+    if (n == 0) {
+      return Fail(Status::IOError(
+          "write '" + tmp_ + "': short write, no progress (device full?)"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  appended_ += chunk.size();
+  return Status::OK();
+}
+
+Status AtomicFileWriter::WriteAt(uint64_t offset, std::string_view bytes) {
+  if (!dead_.ok()) return dead_;
+  if (fd_ < 0) {
+    return Status::Internal("AtomicFileWriter used after Commit");
+  }
+  if (offset + bytes.size() > appended_) {
+    return Status::OutOfRange(
+        "WriteAt patch [" + std::to_string(offset) + ", " +
+        std::to_string(offset + bytes.size()) + ") extends past the " +
+        std::to_string(appended_) + " appended bytes");
+  }
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::pwrite(fd_, bytes.data() + written, bytes.size() - written,
+                 static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Fail(Status::IOError(Errno("pwrite", tmp_)));
+    }
+    if (n == 0) {
+      return Fail(Status::IOError(
+          "pwrite '" + tmp_ + "': short write, no progress (device full?)"));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!dead_.ok()) return dead_;
+  if (fd_ < 0) {
+    return Status::Internal("AtomicFileWriter used after Commit");
+  }
+  if (::fsync(fd_) != 0) {
+    return Fail(Status::IOError(Errno("fsync", tmp_)));
+  }
+  if (::close(fd_) != 0) {
+    const Status status = Status::IOError(Errno("close", tmp_));
+    fd_ = -1;
+    return Fail(status);
+  }
+  fd_ = -1;
+#if defined(DIVEXP_FAILPOINTS_ENABLED)
+  if (FailPointRegistry::Default().armed()) {
+    const Status fp_status =
+        FailPointRegistry::Default().Hit("io.atomic.before_rename");
+    if (!fp_status.ok()) return Fail(fp_status);
+  }
+#endif
+  if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    return Fail(Status::IOError(Errno("rename", tmp_ + " -> " + path_)));
+  }
+  committed_ = true;
+  SyncDirectory(DirName(path_));
+  return Status::OK();
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
   DIVEXP_FAILPOINT_STATUS("io.atomic.read");
   std::ifstream in(path, std::ios::binary);

@@ -152,7 +152,9 @@ Status Checkpointer::Flush() {
 
 Status Checkpointer::WriteLocked() {
   uint64_t bytes = 0;
-  const Status saved = SaveMiningState(path_, state_, &bytes);
+  // Streaming writer: peak memory during a checkpoint is O(chunk), not
+  // O(payload), and the in-flight chunk is charged to the run's guard.
+  const Status saved = SaveMiningStateChunked(path_, state_, &bytes, guard_);
   if (!saved.ok()) {
     ++write_failures_;
     obs::MetricsRegistry::Default()

@@ -141,6 +141,54 @@ Status SaveMiningState(const std::string& path,
   return Status::OK();
 }
 
+Status SaveMiningStateChunked(const std::string& path,
+                              const MiningStateSnapshot& state,
+                              uint64_t* bytes_written, RunGuard* guard) {
+  DIVEXP_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotFileWriter> writer,
+                          SnapshotFileWriter::Create(
+                              path, SnapshotKind::kMiningState));
+  ByteWriter chunk;
+  const auto flush = [&]() -> Status {
+    const std::string bytes = chunk.Take();
+    chunk = ByteWriter();
+    if (guard != nullptr) guard->AddMemory(bytes.size());
+    const Status appended = writer->Append(bytes);
+    if (guard != nullptr) guard->SubMemory(bytes.size());
+    return appended;
+  };
+  // Field order mirrors SerializeMiningState exactly; chunk boundaries
+  // are invisible in the output, so the two writers stay bit-identical
+  // (asserted by StreamingSnapshotTest).
+  chunk.PutU64(state.fingerprint);
+  chunk.PutU32(MinerKindToU32(state.miner));
+  chunk.PutF64(state.min_support);
+  chunk.PutU64(state.max_length);
+  chunk.PutU64(state.num_units);
+  chunk.PutU64(state.units.size());
+  for (const auto& [unit, patterns] : state.units) {
+    chunk.PutU64(unit);
+    chunk.PutU64(patterns.size());
+    for (const MinedPattern& p : patterns) {
+      chunk.PutU32Vector(p.items);
+      chunk.PutU64(p.counts.t);
+      chunk.PutU64(p.counts.f);
+      chunk.PutU64(p.counts.bot);
+      if (chunk.data().size() >= kSnapshotChunkBytes) {
+        DIVEXP_RETURN_NOT_OK(flush());
+      }
+    }
+    if (chunk.data().size() >= kSnapshotChunkBytes) {
+      DIVEXP_RETURN_NOT_OK(flush());
+    }
+  }
+  DIVEXP_RETURN_NOT_OK(flush());
+  DIVEXP_RETURN_NOT_OK(writer->Commit());
+  if (bytes_written != nullptr) {
+    *bytes_written = kSnapshotHeaderSize + writer->payload_size();
+  }
+  return Status::OK();
+}
+
 Result<MiningStateSnapshot> LoadMiningState(const std::string& path) {
   DIVEXP_ASSIGN_OR_RETURN(
       const std::string payload,

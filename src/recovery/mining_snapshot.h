@@ -23,6 +23,7 @@
 
 #include "fpm/miner.h"
 #include "fpm/transactions.h"
+#include "util/run_guard.h"
 #include "util/status.h"
 
 namespace divexp {
@@ -60,10 +61,30 @@ Result<MiningStateSnapshot> DeserializeMiningState(
 
 /// Writes `state` as a CRC-checked kMiningState snapshot file
 /// (write-temp/fsync/rename). `bytes_written` (optional) receives the
-/// file size for checkpoint accounting.
+/// file size for checkpoint accounting. Buffered: builds the whole
+/// payload in memory first (peak ~2x payload); kept as the streaming
+/// path's differential oracle.
 Status SaveMiningState(const std::string& path,
                        const MiningStateSnapshot& state,
                        uint64_t* bytes_written = nullptr);
+
+/// Serialization chunk granularity of SaveMiningStateChunked; exposed
+/// so the RunGuard accounting test can assert the O(chunk) bound.
+inline constexpr size_t kSnapshotChunkBytes = 64 * 1024;
+
+/// Streaming SaveMiningState: serializes into ~kSnapshotChunkBytes
+/// chunks through a SnapshotFileWriter, so peak memory during a
+/// checkpoint write is O(chunk) instead of O(payload) — the state a
+/// Checkpointer persists can be orders of magnitude larger than RAM
+/// headroom mid-mine. The file produced is byte-identical to
+/// SaveMiningState's. When `guard` is non-null each in-flight chunk is
+/// recorded against it (AddMemory/SubMemory), so checkpoint writes
+/// show up in peak-memory accounting like every other tracked
+/// allocation.
+Status SaveMiningStateChunked(const std::string& path,
+                              const MiningStateSnapshot& state,
+                              uint64_t* bytes_written = nullptr,
+                              RunGuard* guard = nullptr);
 
 /// Loads and verifies a kMiningState snapshot file.
 Result<MiningStateSnapshot> LoadMiningState(const std::string& path);

@@ -95,6 +95,50 @@ Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
   return WriteFileAtomic(path, file);
 }
 
+namespace {
+
+/// The 28-byte envelope with the given size/CRC fields. The streaming
+/// writer emits it twice: zeroed placeholders up front, real values
+/// patched in at Commit.
+std::string EnvelopeHeader(SnapshotKind kind, uint64_t payload_size,
+                           uint32_t payload_crc) {
+  ByteWriter header;
+  header.PutU64(kSnapshotMagic);
+  header.PutU32(kSnapshotVersion);
+  header.PutU32(static_cast<uint32_t>(kind));
+  header.PutU64(payload_size);
+  header.PutU32(payload_crc);
+  return header.Take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SnapshotFileWriter>> SnapshotFileWriter::Create(
+    const std::string& path, SnapshotKind kind) {
+  DIVEXP_FAILPOINT_STATUS("io.snapshot.write");
+  DIVEXP_ASSIGN_OR_RETURN(std::unique_ptr<AtomicFileWriter> file,
+                          AtomicFileWriter::Create(path));
+  std::unique_ptr<SnapshotFileWriter> writer(
+      new SnapshotFileWriter(kind, std::move(file)));
+  DIVEXP_RETURN_NOT_OK(writer->file_->Append(EnvelopeHeader(kind, 0, 0)));
+  return writer;
+}
+
+SnapshotFileWriter::~SnapshotFileWriter() = default;
+
+Status SnapshotFileWriter::Append(std::string_view chunk) {
+  DIVEXP_RETURN_NOT_OK(file_->Append(chunk));
+  crc_ = Crc32Update(crc_, chunk.data(), chunk.size());
+  payload_size_ += chunk.size();
+  return Status::OK();
+}
+
+Status SnapshotFileWriter::Commit() {
+  DIVEXP_RETURN_NOT_OK(
+      file_->WriteAt(0, EnvelopeHeader(kind_, payload_size_, crc_)));
+  return file_->Commit();
+}
+
 Result<std::string> ReadSnapshotFile(const std::string& path,
                                      SnapshotKind expected_kind) {
   DIVEXP_ASSIGN_OR_RETURN(const std::string file, ReadFileToString(path));

@@ -19,10 +19,12 @@
 #define DIVEXP_RECOVERY_SNAPSHOT_FILE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "recovery/atomic_file.h"
 #include "util/status.h"
 
 namespace divexp {
@@ -117,6 +119,44 @@ class ByteReader {
 /// Wraps `payload` in the envelope and writes it atomically to `path`.
 Status WriteSnapshotFile(const std::string& path, SnapshotKind kind,
                          std::string_view payload);
+
+/// Streaming envelope writer: the payload arrives in chunks, so peak
+/// memory is O(chunk) instead of O(payload) + O(file). A placeholder
+/// header is written first; Commit() patches in the real payload size
+/// and CRC (accumulated incrementally across Append calls), then
+/// performs the atomic rename. The resulting file is byte-identical to
+/// WriteSnapshotFile(path, kind, concat(chunks)) — chunk boundaries
+/// leave no trace — so the buffered writer doubles as its differential
+/// oracle. Not thread-safe.
+class SnapshotFileWriter {
+ public:
+  /// Opens the temp file and writes the placeholder header. Fires
+  /// io.snapshot.write (and, underneath, io.atomic.begin).
+  static Result<std::unique_ptr<SnapshotFileWriter>> Create(
+      const std::string& path, SnapshotKind kind);
+
+  ~SnapshotFileWriter();
+
+  /// Appends payload bytes, extending the running CRC.
+  Status Append(std::string_view chunk);
+
+  /// Patches the header with the final payload size + CRC and renames
+  /// the temp file over the destination.
+  Status Commit();
+
+  /// Payload bytes appended so far (the file adds kSnapshotHeaderSize).
+  uint64_t payload_size() const { return payload_size_; }
+
+ private:
+  SnapshotFileWriter(SnapshotKind kind,
+                     std::unique_ptr<AtomicFileWriter> file)
+      : kind_(kind), file_(std::move(file)) {}
+
+  SnapshotKind kind_;
+  std::unique_ptr<AtomicFileWriter> file_;
+  uint64_t payload_size_ = 0;
+  uint32_t crc_ = 0;
+};
 
 /// Reads `path`, verifies the envelope (magic/version/kind/size/CRC),
 /// and returns the payload bytes.

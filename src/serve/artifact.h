@@ -1,0 +1,242 @@
+// Zero-copy pattern-table artifact (format v1).
+//
+// The artifact is the serving-side sibling of the pattern-table
+// snapshot (core/table_snapshot.h): where the snapshot is a portable
+// length-prefixed stream that must be deserialized row by row, the
+// artifact is a relocatable, offset-based columnar image that is served
+// straight out of an mmap. Opening one costs O(header + catalog)
+// regardless of row count — no per-row allocation, no decode pass — so
+// a query daemon can map a multi-gigabyte table in milliseconds.
+//
+// On-disk layout (host-endian, guarded by an endianness tag):
+//
+//   offset  size  field
+//   0       8     magic          kArtifactMagic ("DVEXPTBL")
+//   8       4     version        kArtifactVersion
+//   12      4     endian_tag     kArtifactEndianTag (0x01020304)
+//   16      8     file_size      total bytes, must equal the file
+//   24      8     fingerprint    TableFingerprint of the logical table
+//   32      8     num_rows
+//   40      8     num_dataset_rows
+//   48      8     global_rate    f(D)
+//   56      8     global_mean    Beta posterior mean of f(D)
+//   64      8     global_variance
+//   72      4     section_count  kArtifactSectionCount
+//   76      4     section_table_crc  CRC32 of the section table bytes
+//   80      4     header_crc     CRC32 of header bytes [0, 80)
+//   84      4     reserved       0
+//   88      7x32  section table  {id, pad, offset, size, crc, pad}
+//   ...           sections, each 64-byte aligned (file-relative offsets)
+//
+// Sections (fixed ids and order):
+//   1 items         u32[total_items]   concatenated row itemsets
+//   2 item_offsets  u64[num_rows + 1]
+//   3 tallies       u64[3 * num_rows]  (t, f, bot) per row
+//   4 stats         f64[4 * num_rows]  (support, rate, divergence, t)
+//   5 subset_links  u32[total_items]   lattice links, kNoLink = absent
+//   6 link_offsets  u64[num_rows + 1]
+//   7 catalog       ByteWriter blob (same shape as the snapshot catalog)
+//
+// Rows are stored in canonical order (length, then lexicographic items
+// — the SortPatterns order), so lookup is a binary search over the
+// offset arrays and the artifact needs no hash index.
+//
+// Validation is two-tier: kHeader (the default for Open) verifies the
+// envelope CRCs plus O(1) structural arithmetic and parses the catalog;
+// kFull additionally checksums every section and walks all rows
+// (monotone offsets, sorted items, in-range links, canonical order,
+// fingerprint recompute). Both tiers return descriptive Status errors
+// on any corruption — never UB (fuzzed in tests/serve/artifact_test.cc).
+#ifndef DIVEXP_SERVE_ARTIFACT_H_
+#define DIVEXP_SERVE_ARTIFACT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+#include "serve/table_view.h"
+#include "util/status.h"
+
+namespace divexp {
+namespace serve {
+
+inline constexpr uint64_t kArtifactMagic = 0x4C42545058455644ull;
+inline constexpr uint32_t kArtifactVersion = 1;
+inline constexpr uint32_t kArtifactEndianTag = 0x01020304u;
+inline constexpr size_t kArtifactHeaderSize = 88;
+inline constexpr size_t kArtifactSectionCount = 7;
+inline constexpr size_t kArtifactSectionEntrySize = 32;
+inline constexpr size_t kArtifactAlignment = 64;
+
+/// Section ids, in file order.
+enum class ArtifactSection : uint32_t {
+  kItems = 1,
+  kItemOffsets = 2,
+  kTallies = 3,
+  kStats = 4,
+  kSubsetLinks = 5,
+  kLinkOffsets = 6,
+  kCatalog = 7,
+};
+
+/// "items", "item_offsets", ... for dumps and error messages.
+const char* ArtifactSectionName(ArtifactSection id);
+
+/// One parsed section-table entry.
+struct ArtifactSectionInfo {
+  ArtifactSection id = ArtifactSection::kItems;
+  uint64_t offset = 0;  ///< file-relative, kArtifactAlignment-aligned
+  uint64_t size = 0;    ///< payload bytes (padding excluded)
+  uint32_t crc = 0;     ///< CRC32 of the payload bytes
+};
+
+/// Parsed header + section table, exposed for divexp-dump-table.
+struct ArtifactInfo {
+  uint32_t version = 0;
+  uint64_t file_size = 0;
+  uint64_t fingerprint = 0;
+  uint64_t num_rows = 0;
+  uint64_t num_dataset_rows = 0;
+  double global_rate = 0.0;
+  double global_mean = 0.0;
+  double global_variance = 0.0;
+  std::vector<ArtifactSectionInfo> sections;
+};
+
+/// FNV-1a fingerprint of the *logical* table content: catalog, dataset
+/// row count, global stats, and every row's (items, tallies, stats).
+/// Subset links are derived state and excluded, so a snapshot and the
+/// artifact migrated from it fingerprint identically.
+uint64_t TableFingerprint(const PatternTable& table);
+uint64_t TableFingerprint(const TableView& view);
+
+/// Serializes `table` into artifact format and writes it atomically.
+/// Rows must be in canonical order with the empty itemset first (the
+/// explorer's SortPatterns output satisfies this); InvalidArgument
+/// otherwise — the binary-search contract would silently break.
+Status WritePatternTableArtifact(const std::string& path,
+                                 const PatternTable& table,
+                                 uint64_t* bytes_written = nullptr);
+
+/// How much of an artifact to verify when attaching to it.
+enum class ArtifactValidation {
+  /// Envelope CRCs + O(1) structural arithmetic + catalog parse. The
+  /// O(ms) default: open cost is independent of the row count.
+  kHeader,
+  /// kHeader plus every section CRC and an O(rows) structural walk,
+  /// ending in a fingerprint recompute.
+  kFull,
+};
+
+/// A pattern-table artifact attached read-only. Owns the mapping (or
+/// the aligned copy) and the parsed catalog; view() spans alias that
+/// storage directly, so the object must outlive every query against it.
+/// Immutable after construction — safe to share across server threads.
+class PatternTableArtifact {
+ public:
+  /// Maps `path` with mmap(PROT_READ, MAP_PRIVATE) and validates.
+  static Result<std::unique_ptr<PatternTableArtifact>> Open(
+      const std::string& path,
+      ArtifactValidation validation = ArtifactValidation::kHeader);
+
+  /// Takes ownership of in-memory artifact bytes, copying them into
+  /// 8-byte-aligned storage (the portable fallback when mmap is
+  /// unavailable; also what the byte-flip fuzz tests drive).
+  static Result<std::unique_ptr<PatternTableArtifact>> FromBuffer(
+      std::string bytes,
+      ArtifactValidation validation = ArtifactValidation::kHeader);
+
+  /// Non-owning view over caller-managed bytes, which must stay alive
+  /// and be 8-byte aligned (InvalidArgument otherwise — the columnar
+  /// sections are reinterpreted in place).
+  static Result<std::unique_ptr<PatternTableArtifact>> FromMemory(
+      const void* data, size_t size,
+      ArtifactValidation validation = ArtifactValidation::kHeader);
+
+  ~PatternTableArtifact();
+
+  PatternTableArtifact(const PatternTableArtifact&) = delete;
+  PatternTableArtifact& operator=(const PatternTableArtifact&) = delete;
+
+  const TableView& view() const { return view_; }
+  const ArtifactInfo& info() const { return info_; }
+  uint64_t fingerprint() const { return info_.fingerprint; }
+
+  /// The kFull tier, runnable after a kHeader open (divexp-dump-table
+  /// --verify, optional daemon startup check).
+  Status ValidateFully() const;
+
+ private:
+  PatternTableArtifact() = default;
+
+  /// Parses base_/size_ into view_/info_ at the requested tier.
+  Status Attach(ArtifactValidation validation);
+
+  const uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  void* map_ = nullptr;  ///< mmap ownership (Open)
+  size_t map_len_ = 0;
+  std::vector<uint64_t> buffer_;  ///< aligned-copy ownership (FromBuffer)
+  ItemCatalog catalog_;
+  TableView view_;
+  ArtifactInfo info_;
+};
+
+/// The portable fallback backing: materializes the same columnar view
+/// from an in-memory PatternTable (typically loaded from a snapshot).
+/// O(rows) construction — the differential oracle for the mmap path.
+class EagerTableBacking {
+ public:
+  /// Copies the table's columns out. Same canonical-order requirement
+  /// as the artifact writer.
+  static Result<std::unique_ptr<EagerTableBacking>> FromTable(
+      const PatternTable& table);
+
+  /// LoadPatternTable(path) + FromTable.
+  static Result<std::unique_ptr<EagerTableBacking>> Load(
+      const std::string& snapshot_path);
+
+  const TableView& view() const { return view_; }
+
+ private:
+  EagerTableBacking() = default;
+
+  std::vector<uint32_t> items_;
+  std::vector<uint64_t> item_offsets_;
+  std::vector<uint64_t> tallies_;
+  std::vector<double> stats_;
+  std::vector<uint32_t> subset_links_;
+  std::vector<uint64_t> link_offsets_;
+  ItemCatalog catalog_;
+  TableView view_;
+};
+
+/// Whichever backing a table file resolved to; view() is the common
+/// query surface.
+struct ServingTable {
+  std::unique_ptr<PatternTableArtifact> artifact;
+  std::unique_ptr<EagerTableBacking> eager;
+
+  const TableView& view() const {
+    return artifact != nullptr ? artifact->view() : eager->view();
+  }
+};
+
+/// Opens either kind of table file by sniffing the magic: an artifact
+/// maps zero-copy (serve.open.mmap), a pattern-table snapshot loads
+/// eagerly (serve.open.eager). Queries are bit-identical either way.
+Result<ServingTable> OpenServingTable(
+    const std::string& path,
+    ArtifactValidation validation = ArtifactValidation::kHeader);
+
+/// Migrates a kPatternTable snapshot into an artifact: the versioned
+/// upgrade path from the PR-4 snapshot format (see docs/serving.md).
+Status MigrateSnapshotToArtifact(const std::string& snapshot_path,
+                                 const std::string& artifact_path);
+
+}  // namespace serve
+}  // namespace divexp
+
+#endif  // DIVEXP_SERVE_ARTIFACT_H_

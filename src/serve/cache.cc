@@ -1,0 +1,94 @@
+#include "serve/cache.h"
+
+#include <functional>
+
+#include "obs/metrics.h"
+
+namespace divexp {
+namespace serve {
+
+ResultCache::ResultCache(const ResultCacheOptions& options) {
+  const size_t num_shards = options.shards == 0 ? 1 : options.shards;
+  shard_capacity_ = options.capacity_bytes / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+  hit_counter_ = reg.GetCounter("serve.cache.hits");
+  miss_counter_ = reg.GetCounter("serve.cache.misses");
+  eviction_counter_ = reg.GetCounter("serve.cache.evictions");
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    miss_counter_->Add(1);
+    return std::nullopt;
+  }
+  // Refresh recency: splice the node to the front without reallocating.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  hit_counter_->Add(1);
+  return it->second->value;
+}
+
+void ResultCache::Put(const std::string& key, std::string value) {
+  const size_t entry_bytes =
+      key.size() + value.size() + kEntryOverheadBytes;
+  if (entry_bytes > shard_capacity_) return;  // would only thrash
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->value.size();
+    shard.bytes += value.size();
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += entry_bytes;
+  }
+  while (shard.bytes > shard_capacity_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.key.size() + victim.value.size() +
+                   kEntryOverheadBytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    eviction_counter_->Add(1);
+  }
+}
+
+void ResultCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats out;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    MutexLock lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->lru.size();
+    out.bytes += shard->bytes;
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace divexp

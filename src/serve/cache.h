@@ -1,0 +1,101 @@
+// Sharded LRU result cache for the query daemon.
+//
+// Keys are (artifact fingerprint, canonicalized query line) — built by
+// the server, see serve/server.h — and values are fully rendered
+// response strings, so a hit skips both the query computation and the
+// JSON rendering. Shards keep lock hold times short under concurrent
+// mixed workloads: a key hashes to one shard and only that shard's
+// mutex is taken.
+//
+// Observability: serve.cache.hits / serve.cache.misses /
+// serve.cache.evictions counters (docs/observability.md schema v5).
+#ifndef DIVEXP_SERVE_CACHE_H_
+#define DIVEXP_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace divexp {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace serve {
+
+struct ResultCacheOptions {
+  /// Total budget across all shards; 0 disables caching entirely.
+  size_t capacity_bytes = 64ull << 20;
+  /// Number of independently locked shards (clamped to >= 1).
+  size_t shards = 8;
+};
+
+/// Thread-safe sharded LRU keyed by strings, storing response strings.
+class ResultCache {
+ public:
+  explicit ResultCache(const ResultCacheOptions& options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached response and refreshes its recency, or nullopt.
+  std::optional<std::string> Get(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used
+  /// entries of the same shard until it fits. Values larger than a
+  /// whole shard are not cached (they would only thrash it).
+  void Put(const std::string& key, std::string value);
+
+  /// Drops every entry (stat counters are preserved).
+  void Clear();
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+    uint64_t bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  ///< front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
+  };
+
+  /// Approximate heap footprint of one entry (list node + index slot).
+  static constexpr size_t kEntryOverheadBytes = 64;
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Counter* hit_counter_;
+  obs::Counter* miss_counter_;
+  obs::Counter* eviction_counter_;
+};
+
+}  // namespace serve
+}  // namespace divexp
+
+#endif  // DIVEXP_SERVE_CACHE_H_

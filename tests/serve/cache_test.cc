@@ -1,0 +1,112 @@
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace divexp {
+namespace serve {
+namespace {
+
+ResultCacheOptions SmallCache(size_t capacity, size_t shards = 1) {
+  ResultCacheOptions options;
+  options.capacity_bytes = capacity;
+  options.shards = shards;
+  return options;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(SmallCache(1 << 20));
+  EXPECT_FALSE(cache.Get("a").has_value());
+  cache.Put("a", "value-a");
+  auto hit = cache.Get("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "value-a");
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ResultCacheTest, PutReplacesExistingValue) {
+  ResultCache cache(SmallCache(1 << 20));
+  cache.Put("k", "old");
+  cache.Put("k", "new");
+  EXPECT_EQ(cache.Get("k"), "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  // Each entry costs key(2) + value(100) + 64 overhead = 166 bytes;
+  // capacity fits exactly two.
+  ResultCache cache(SmallCache(340));
+  const std::string big(100, 'x');
+  cache.Put("k1", big);
+  cache.Put("k2", big);
+  ASSERT_TRUE(cache.Get("k1").has_value());  // k2 is now LRU
+  cache.Put("k3", big);
+  EXPECT_TRUE(cache.Get("k1").has_value());
+  EXPECT_FALSE(cache.Get("k2").has_value());
+  EXPECT_TRUE(cache.Get("k3").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, OversizedValuesAreNotCached) {
+  ResultCache cache(SmallCache(128));
+  cache.Put("k", std::string(1024, 'x'));
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ResultCache cache(SmallCache(1 << 20));
+  cache.Put("a", "1");
+  ASSERT_TRUE(cache.Get("a").has_value());
+  cache.Clear();
+  EXPECT_FALSE(cache.Get("a").has_value());
+  const ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCacheTest, ShardedBytesStayWithinTotalCapacity) {
+  ResultCache cache(SmallCache(4096, /*shards=*/4));
+  for (int i = 0; i < 200; ++i) {
+    cache.Put("key-" + std::to_string(i), std::string(64, 'v'));
+  }
+  EXPECT_LE(cache.stats().bytes, 4096u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedAccessIsConsistent) {
+  ResultCache cache(SmallCache(1 << 16, /*shards=*/8));
+  constexpr int kThreads = 8;
+  constexpr int kOps = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 64);
+        if (i % 3 == 0) {
+          cache.Put(key, "value-" + key);
+        } else if (auto hit = cache.Get(key)) {
+          // A hit must always carry the value written for that key.
+          ASSERT_EQ(*hit, "value-" + key);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const ResultCache::Stats stats = cache.stats();
+  // Every Get (i % 3 != 0) counts as exactly one hit or miss.
+  const uint64_t gets_per_thread = kOps - (kOps + 2) / 3;
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * gets_per_thread);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace divexp

@@ -1,0 +1,288 @@
+// Differential oracle for the serving path: every query must be
+// bit-identical across the in-memory PatternTable (the reference
+// implementation in core/), the mmap'd artifact backing and the eager
+// snapshot backing. Exact double equality throughout — the serve
+// engine replicates the core algorithms including their tie-breaks and
+// scan orders, so any drift is a bug, not tolerance noise.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/corrective.h"
+#include "core/lattice.h"
+#include "core/shapley.h"
+#include "core/table_snapshot.h"
+#include "recovery/atomic_file.h"
+#include "serve/artifact.h"
+#include "serve/query.h"
+#include "testing/test_explore.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace serve {
+namespace {
+
+using divexp::testing::ExploreForTest;
+
+std::string TempDir(const std::string& leaf) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base != nullptr ? base : "/tmp") +
+                    "/divexp_query_diff_test/" + leaf;
+  DIVEXP_CHECK_OK(recovery::EnsureDirectory(dir));
+  return dir;
+}
+
+PatternTable MakeRandomTable(uint64_t seed, size_t rows = 160,
+                             size_t attrs = 4, int domain = 2,
+                             double support = 0.02) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells(rows, std::vector<int>(attrs));
+  std::string outcomes;
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t a = 0; a < attrs; ++a) {
+      cells[r][a] = static_cast<int>(rng.Below(domain));
+    }
+    const double u = rng.Uniform();
+    outcomes += (u < 0.35 ? 'T' : u < 0.8 ? 'F' : 'B');
+  }
+  return ExploreForTest(cells, std::vector<int>(attrs, domain), outcomes,
+                        support);
+}
+
+/// The reference table plus both serving backings over it.
+struct Harness {
+  PatternTable table;
+  std::unique_ptr<PatternTableArtifact> artifact;
+  std::unique_ptr<EagerTableBacking> eager;
+  std::vector<std::pair<const char*, const TableView*>> views;
+
+  explicit Harness(uint64_t seed, const std::string& leaf)
+      : table(MakeRandomTable(seed)) {
+    const std::string path = TempDir(leaf) + "/table.dvt";
+    DIVEXP_CHECK_OK(WritePatternTableArtifact(path, table));
+    auto opened = PatternTableArtifact::Open(path);
+    DIVEXP_CHECK_OK(opened.status());
+    artifact = std::move(opened).value();
+    auto from_table = EagerTableBacking::FromTable(table);
+    DIVEXP_CHECK_OK(from_table.status());
+    eager = std::move(from_table).value();
+    views = {{"mmap", &artifact->view()}, {"eager", &eager->view()}};
+  }
+};
+
+TEST(QueryDifferentialTest, TopKMatchesPatternTableTopK) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Harness h(seed, "topk" + std::to_string(seed));
+    for (size_t k : {size_t{1}, size_t{5}, size_t{10000}}) {
+      for (bool descending : {true, false}) {
+        for (double min_support : {0.0, 0.05}) {
+          const std::vector<size_t> expected =
+              h.table.TopK(k, descending, min_support, /*min_len=*/1,
+                           /*max_len=*/2);
+          TopKQuery query;
+          query.k = k;
+          query.descending = descending;
+          query.min_support = min_support;
+          query.max_len = 2;
+          for (const auto& [name, view] : h.views) {
+            QueryEngine engine(view);
+            auto got = engine.TopK(query);
+            ASSERT_TRUE(got.ok()) << name;
+            EXPECT_EQ(*got, expected)
+                << name << " k=" << k << " desc=" << descending
+                << " min_support=" << min_support;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryDifferentialTest, UnboundedTopKMatchesRankForEveryKey) {
+  Harness h(4, "rank");
+  for (const auto key :
+       {PatternTable::RankKey::kDivergence,
+        PatternTable::RankKey::kSignificance,
+        PatternTable::RankKey::kSupport}) {
+    for (bool descending : {true, false}) {
+      const std::vector<size_t> expected = h.table.Rank(key, descending);
+      TopKQuery query;
+      query.k = h.table.size() + 1;  // no truncation: Rank equivalence
+      query.key = key;
+      query.descending = descending;
+      for (const auto& [name, view] : h.views) {
+        QueryEngine engine(view);
+        auto got = engine.TopK(query);
+        ASSERT_TRUE(got.ok()) << name;
+        EXPECT_EQ(*got, expected) << name << " desc=" << descending;
+      }
+    }
+  }
+}
+
+TEST(QueryDifferentialTest, ShapleyIsBitIdenticalForEveryRow) {
+  for (uint64_t seed : {5u, 6u}) {
+    Harness h(seed, "shapley" + std::to_string(seed));
+    for (size_t i = 0; i < h.table.size(); ++i) {
+      const Itemset& items = h.table.row(i).items;
+      if (items.empty()) continue;
+      auto expected = ShapleyContributions(h.table, items);
+      ASSERT_TRUE(expected.ok());
+      for (const auto& [name, view] : h.views) {
+        QueryEngine engine(view);
+        auto got = engine.Shapley(items);
+        ASSERT_TRUE(got.ok()) << name;
+        ASSERT_EQ(got->size(), expected->size()) << name;
+        for (size_t j = 0; j < got->size(); ++j) {
+          EXPECT_EQ((*got)[j].item, (*expected)[j].item) << name;
+          // Bit-identical, not approximately equal.
+          EXPECT_EQ((*got)[j].contribution, (*expected)[j].contribution)
+              << name << " row " << i << " item " << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryDifferentialTest, BrowseMatchesBuildLattice) {
+  Harness h(7, "browse");
+  size_t targets = 0;
+  for (size_t i = 0; i < h.table.size(); ++i) {
+    const Itemset& target = h.table.row(i).items;
+    if (target.size() < 2) continue;
+    ++targets;
+    auto expected = BuildLattice(h.table, target);
+    ASSERT_TRUE(expected.ok());
+    for (const auto& [name, view] : h.views) {
+      QueryEngine engine(view);
+      auto got = engine.Browse(target);
+      ASSERT_TRUE(got.ok()) << name;
+      ASSERT_EQ(got->nodes.size(), expected->nodes.size()) << name;
+      for (size_t n = 0; n < got->nodes.size(); ++n) {
+        const LatticeNode& a = got->nodes[n];
+        const LatticeNode& b = expected->nodes[n];
+        EXPECT_EQ(a.items, b.items) << name;
+        EXPECT_EQ(a.level, b.level) << name;
+        EXPECT_EQ(a.divergence, b.divergence) << name;
+        EXPECT_EQ(a.t, b.t) << name;
+        EXPECT_EQ(a.frequent, b.frequent) << name;
+        EXPECT_EQ(a.corrective, b.corrective) << name;
+      }
+      ASSERT_EQ(got->edges.size(), expected->edges.size()) << name;
+      for (size_t e = 0; e < got->edges.size(); ++e) {
+        EXPECT_EQ(got->edges[e].from, expected->edges[e].from) << name;
+        EXPECT_EQ(got->edges[e].to, expected->edges[e].to) << name;
+      }
+    }
+  }
+  ASSERT_GT(targets, 0u) << "test table has no multi-item patterns";
+}
+
+TEST(QueryDifferentialTest, CorrectiveMatchesFindCorrectiveItems) {
+  Harness h(8, "corrective");
+  for (double min_factor : {0.0, 0.01}) {
+    for (size_t top_k : {size_t{0}, size_t{5}}) {
+      CorrectiveOptions options;
+      options.min_factor = min_factor;
+      options.top_k = top_k;
+      const std::vector<CorrectiveItem> expected =
+          FindCorrectiveItems(h.table, options);
+      for (const auto& [name, view] : h.views) {
+        QueryEngine engine(view);
+        auto got = engine.Corrective(options);
+        ASSERT_TRUE(got.ok()) << name;
+        ASSERT_EQ(got->size(), expected.size())
+            << name << " min_factor=" << min_factor << " k=" << top_k;
+        for (size_t j = 0; j < got->size(); ++j) {
+          EXPECT_EQ((*got)[j].base, expected[j].base) << name;
+          EXPECT_EQ((*got)[j].item, expected[j].item) << name;
+          EXPECT_EQ((*got)[j].base_divergence,
+                    expected[j].base_divergence)
+              << name;
+          EXPECT_EQ((*got)[j].with_divergence,
+                    expected[j].with_divergence)
+              << name;
+          EXPECT_EQ((*got)[j].factor, expected[j].factor) << name;
+          EXPECT_EQ((*got)[j].t, expected[j].t) << name;
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryDifferentialTest, SnapshotLoadedBackingMatchesArtifact) {
+  // The full migration path: explore → snapshot → (a) eager load,
+  // (b) migrate to artifact. Both serve identical bits.
+  Harness h(9, "snapshot");
+  const std::string dir = TempDir("snapshot_load");
+  const std::string snap = dir + "/table.snap";
+  const std::string dvt = dir + "/table.dvt";
+  ASSERT_TRUE(SavePatternTable(snap, h.table).ok());
+  ASSERT_TRUE(MigrateSnapshotToArtifact(snap, dvt).ok());
+  auto eager = EagerTableBacking::Load(snap);
+  ASSERT_TRUE(eager.ok());
+  auto artifact = PatternTableArtifact::Open(dvt);
+  ASSERT_TRUE(artifact.ok());
+
+  QueryEngine via_eager(&(*eager)->view());
+  QueryEngine via_artifact(&(*artifact)->view());
+  TopKQuery query;
+  query.k = h.table.size();
+  auto a = via_eager.TopK(query);
+  auto b = via_artifact.TopK(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*a, h.table.TopK(h.table.size()));
+}
+
+TEST(QueryDifferentialTest, ErrorMessagesMatchTheCoreImplementations) {
+  Harness h(10, "errors");
+  // Two items of the same attribute never co-occur, so this itemset is
+  // guaranteed infrequent whatever the seed produced.
+  const Itemset missing{0, 1};
+  ASSERT_FALSE(h.table.Contains(missing));
+  auto core_shapley = ShapleyContributions(h.table, missing);
+  auto core_lattice = BuildLattice(h.table, missing);
+  for (const auto& [name, view] : h.views) {
+    QueryEngine engine(view);
+    auto shapley = engine.Shapley(missing);
+    ASSERT_FALSE(shapley.ok()) << name;
+    EXPECT_EQ(shapley.status().ToString(),
+              core_shapley.status().ToString())
+        << name;
+    auto browse = engine.Browse(missing);
+    ASSERT_FALSE(browse.ok()) << name;
+    EXPECT_EQ(browse.status().ToString(),
+              core_lattice.status().ToString())
+        << name;
+  }
+}
+
+TEST(QueryDifferentialTest, CancelledGuardStopsEveryQuery) {
+  Harness h(11, "guard");
+  RunGuard guard;
+  guard.RequestCancel();
+  QueryEngine engine(&h.artifact->view());
+  EXPECT_EQ(engine.TopK(TopKQuery{}, &guard).status().code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(engine.Corrective(CorrectiveOptions{}, &guard).status().code(),
+            StatusCode::kCancelled);
+  // Browse / Shapley need a valid multi-item target to reach the
+  // guarded loops.
+  for (size_t i = 0; i < h.table.size(); ++i) {
+    const Itemset& items = h.table.row(i).items;
+    if (items.size() < 2) continue;
+    EXPECT_EQ(engine.Browse(items, &guard).status().code(),
+              StatusCode::kCancelled);
+    EXPECT_EQ(engine.Shapley(items, &guard).status().code(),
+              StatusCode::kCancelled);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace divexp

@@ -1,0 +1,219 @@
+// Concurrency coverage for the serving stack: many threads over one
+// QueryService (shared immutable mapping + sharded cache), and a real
+// unix-socket daemon exercised by concurrent clients. CI's serve-smoke
+// job reruns this binary under TSan.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recovery/atomic_file.h"
+#include "serve/artifact.h"
+#include "serve/server.h"
+#include "testing/test_explore.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace serve {
+namespace {
+
+using divexp::testing::ExploreForTest;
+
+std::string TempDir(const std::string& leaf) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base != nullptr ? base : "/tmp") +
+                    "/divexp_serve_conc_test/" + leaf;
+  DIVEXP_CHECK_OK(recovery::EnsureDirectory(dir));
+  return dir;
+}
+
+ServingTable OpenTestTable(const std::string& leaf) {
+  Rng rng(42);
+  std::vector<std::vector<int>> cells(200, std::vector<int>(4));
+  std::string outcomes;
+  for (size_t r = 0; r < 200; ++r) {
+    for (size_t a = 0; a < 4; ++a) {
+      cells[r][a] = static_cast<int>(rng.Below(2));
+    }
+    const double u = rng.Uniform();
+    outcomes += (u < 0.35 ? 'T' : u < 0.8 ? 'F' : 'B');
+  }
+  const PatternTable table =
+      ExploreForTest(cells, {2, 2, 2, 2}, outcomes, 0.02);
+  const std::string path = TempDir(leaf) + "/table.dvt";
+  DIVEXP_CHECK_OK(WritePatternTableArtifact(path, table));
+  auto opened = OpenServingTable(path);
+  DIVEXP_CHECK_OK(opened.status());
+  return std::move(opened).value();
+}
+
+/// A request mix covering every verb plus parse errors; indexed
+/// per-thread so workloads interleave differently.
+std::vector<std::string> RequestMix(const TableView& view) {
+  std::vector<std::string> mix = {
+      "topk k=5",
+      "topk k=5 order=asc",
+      "topk k=3 key=support",
+      "corrective k=4",
+      "stats",
+      "topk k=banana",  // parse error; must not poison shared state
+  };
+  for (size_t i = 0; i < view.size() && mix.size() < 10; ++i) {
+    const ItemSpan items = view.row_items(i);
+    if (items.size() != 2) continue;
+    std::string spec;
+    for (size_t j = 0; j < items.size(); ++j) {
+      if (j) spec += ',';
+      spec += view.catalog->ItemName(items[j]);
+    }
+    mix.push_back("shapley items=" + spec);
+    mix.push_back("browse items=" + spec);
+  }
+  return mix;
+}
+
+TEST(ServeConcurrencyTest, ManyThreadsOneServiceAgreeWithSequential) {
+  ServingTable table = OpenTestTable("service");
+  QueryService service(&table);
+  const std::vector<std::string> mix = RequestMix(table.view());
+
+  // Sequential reference answers (from a separate service so the
+  // shared one starts cold).
+  QueryService reference(&table);
+  std::vector<std::string> expected;
+  for (const std::string& line : mix) {
+    expected.push_back(reference.HandleLine(line));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t q = (t + r) % mix.size();
+        const std::string response = service.HandleLine(mix[q]);
+        if (mix[q] == "stats") {
+          // stats reads live cache counters, so only the envelope is
+          // deterministic under concurrency.
+          if (response.find("\"ok\":true") == std::string::npos) {
+            mismatches.fetch_add(1);
+          }
+        } else if (response != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Conservation: every cacheable request was either a hit or a miss.
+  const ResultCache::Stats stats = service.cache().stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+/// Minimal blocking line client against a unix socket.
+class LineClient {
+ public:
+  explicit LineClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    DIVEXP_CHECK(fd_ >= 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    DIVEXP_CHECK(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0);
+  }
+  ~LineClient() { ::close(fd_); }
+
+  std::string RoundTrip(const std::string& line) {
+    const std::string request = line + "\n";
+    DIVEXP_CHECK(::write(fd_, request.data(), request.size()) ==
+                 static_cast<ssize_t>(request.size()));
+    std::string response;
+    char c;
+    while (::read(fd_, &c, 1) == 1) {
+      if (c == '\n') return response;
+      response += c;
+    }
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(ServeConcurrencyTest, SocketDaemonServesConcurrentClients) {
+  ServingTable table = OpenTestTable("daemon");
+  QueryService service(&table);
+  SocketServer server(&service);
+  const std::string socket_path = TempDir("daemon") + "/serve.sock";
+  ASSERT_TRUE(server.Start(socket_path, /*num_threads=*/4).ok());
+
+  const std::vector<std::string> mix = RequestMix(table.view());
+  QueryService reference(&table);
+  std::vector<std::string> expected;
+  for (const std::string& line : mix) {
+    expected.push_back(reference.HandleLine(line));
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      LineClient client(socket_path);
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t q = (c * 3 + r) % mix.size();
+        const std::string response = client.RoundTrip(mix[q]);
+        if (mix[q] == "stats") {
+          if (response.find("\"ok\":true") == std::string::npos) {
+            mismatches.fetch_add(1);
+          }
+        } else if (response != expected[q]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      // quit closes this connection; the daemon keeps serving others.
+      client.RoundTrip("quit");
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  server.Stop();
+  // Stop is idempotent and removes the socket file.
+  server.Stop();
+  EXPECT_FALSE(recovery::FileExists(socket_path));
+}
+
+TEST(ServeConcurrencyTest, StopUnblocksIdleConnections) {
+  ServingTable table = OpenTestTable("stop");
+  QueryService service(&table);
+  SocketServer server(&service);
+  const std::string socket_path = TempDir("stop") + "/serve.sock";
+  ASSERT_TRUE(server.Start(socket_path, /*num_threads=*/2).ok());
+
+  // An idle client holds a connection open; Stop must still return
+  // (shutting the connection down) instead of joining forever.
+  LineClient idle(socket_path);
+  ASSERT_FALSE(idle.RoundTrip("stats").empty());
+  server.Stop();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace divexp

@@ -1,0 +1,249 @@
+// Line-protocol tests for QueryService / ServeLoop: JSON envelopes,
+// request canonicalization (equivalent spellings share one cache
+// entry), error paths, and the stdin/stdout REPL.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/table_snapshot.h"
+#include "obs/json.h"
+#include "recovery/atomic_file.h"
+#include "serve/artifact.h"
+#include "testing/test_explore.h"
+#include "util/random.h"
+
+namespace divexp {
+namespace serve {
+namespace {
+
+using divexp::testing::ExploreForTest;
+
+std::string TempDir(const std::string& leaf) {
+  const char* base = std::getenv("TMPDIR");
+  std::string dir = std::string(base != nullptr ? base : "/tmp") +
+                    "/divexp_server_test/" + leaf;
+  DIVEXP_CHECK_OK(recovery::EnsureDirectory(dir));
+  return dir;
+}
+
+PatternTable MakeRandomTable(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> cells(160, std::vector<int>(3));
+  std::string outcomes;
+  for (size_t r = 0; r < 160; ++r) {
+    for (size_t a = 0; a < 3; ++a) {
+      cells[r][a] = static_cast<int>(rng.Below(2));
+    }
+    const double u = rng.Uniform();
+    outcomes += (u < 0.35 ? 'T' : u < 0.8 ? 'F' : 'B');
+  }
+  return ExploreForTest(cells, {2, 2, 2}, outcomes, 0.02);
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const PatternTable table = MakeRandomTable(1);
+    const std::string path = TempDir("table") + "/table.dvt";
+    DIVEXP_CHECK_OK(WritePatternTableArtifact(path, table));
+    auto opened = OpenServingTable(path);
+    DIVEXP_CHECK_OK(opened.status());
+    table_ = std::make_unique<ServingTable>(std::move(opened).value());
+  }
+
+  QueryService MakeService(QueryServiceOptions options = {}) {
+    return QueryService(table_.get(), options);
+  }
+
+  /// Asserts the response parses as JSON and returns it.
+  obs::JsonValue Parse(const std::string& response) {
+    auto value = obs::ParseJson(response);
+    DIVEXP_CHECK_OK(value.status());
+    return std::move(value).value();
+  }
+
+  bool Ok(const obs::JsonValue& v) {
+    const obs::JsonValue* ok = v.Find("ok");
+    return ok != nullptr && ok->kind == obs::JsonValue::Kind::kBool &&
+           ok->boolean;
+  }
+
+  std::unique_ptr<ServingTable> table_;
+};
+
+TEST_F(ServerTest, TopKReturnsRowsRankedByDivergence) {
+  QueryService service = MakeService();
+  const obs::JsonValue v = Parse(service.HandleLine("topk k=3"));
+  ASSERT_TRUE(Ok(v));
+  const obs::JsonValue* rows = v.Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  ASSERT_EQ(rows->array.size(), 3u);
+  double prev = 1e300;
+  for (const obs::JsonValue& row : rows->array) {
+    const obs::JsonValue* div = row.Find("divergence");
+    ASSERT_NE(div, nullptr);
+    EXPECT_LE(div->number, prev);
+    prev = div->number;
+  }
+}
+
+TEST_F(ServerTest, EquivalentSpellingsShareOneCacheEntry) {
+  QueryService service = MakeService();
+  // Same query, four spellings: defaults elided vs explicit, argument
+  // order shuffled, whitespace noise.
+  const std::string r1 = service.HandleLine("topk k=10");
+  const std::string r2 = service.HandleLine("topk  k=10   order=desc");
+  const std::string r3 =
+      service.HandleLine("topk order=desc key=divergence k=10");
+  const std::string r4 =
+      service.HandleLine("topk min_len=1 max_len=0 min_support=0 k=10");
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r3);
+  EXPECT_EQ(r1, r4);
+  const ResultCache::Stats stats = service.cache().stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST_F(ServerTest, CacheDisabledStillAnswersIdentically) {
+  QueryServiceOptions options;
+  options.cache_enabled = false;
+  QueryService cached = MakeService();
+  QueryService uncached = MakeService(options);
+  EXPECT_EQ(cached.HandleLine("topk k=5"), uncached.HandleLine("topk k=5"));
+  EXPECT_EQ(uncached.cache().stats().misses, 0u);
+}
+
+TEST_F(ServerTest, ShapleyAndBrowseResolveItemNames) {
+  QueryService service = MakeService();
+  // Find a 2-item pattern via the engine, then query it by name.
+  const TableView& view = table_->view();
+  std::string spec;
+  for (size_t i = 0; i < view.size(); ++i) {
+    const ItemSpan items = view.row_items(i);
+    if (items.size() != 2) continue;
+    for (size_t j = 0; j < items.size(); ++j) {
+      if (j) spec += ',';
+      spec += view.catalog->ItemName(items[j]);
+    }
+    break;
+  }
+  ASSERT_FALSE(spec.empty());
+  const obs::JsonValue shapley =
+      Parse(service.HandleLine("shapley items=" + spec));
+  ASSERT_TRUE(Ok(shapley)) << service.HandleLine("shapley items=" + spec);
+  ASSERT_TRUE(shapley.Find("contributions")->is_array());
+  EXPECT_EQ(shapley.Find("contributions")->array.size(), 2u);
+
+  const obs::JsonValue browse =
+      Parse(service.HandleLine("browse items=" + spec));
+  ASSERT_TRUE(Ok(browse));
+  // 2-item target: lattice has 4 nodes (∅, two singletons, target).
+  EXPECT_EQ(browse.Find("nodes")->array.size(), 4u);
+  EXPECT_EQ(browse.Find("edges")->array.size(), 4u);
+}
+
+TEST_F(ServerTest, StatsReportsBackingAndCacheCounters) {
+  QueryService service = MakeService();
+  service.HandleLine("topk k=1");
+  service.HandleLine("topk k=1");
+  const obs::JsonValue v = Parse(service.HandleLine("stats"));
+  ASSERT_TRUE(Ok(v));
+  EXPECT_EQ(v.Find("backing")->string, "mmap");
+  const obs::JsonValue* cache = v.Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("hits")->number, 1.0);
+  EXPECT_EQ(cache->Find("misses")->number, 1.0);
+}
+
+TEST_F(ServerTest, ErrorEnvelopesCarryCodeAndMessage) {
+  QueryService service = MakeService();
+  const struct {
+    const char* line;
+    const char* code;
+  } kCases[] = {
+      {"", "InvalidArgument"},
+      {"frobnicate", "InvalidArgument"},
+      {"topk k=banana", "InvalidArgument"},
+      {"topk bogus_arg=1", "InvalidArgument"},
+      {"topk k", "InvalidArgument"},
+      {"topk key=upside_down", "InvalidArgument"},
+      {"shapley", "InvalidArgument"},
+      {"shapley items=no_such_attr=1", "NotFound"},
+      {"stats k=1", "InvalidArgument"},
+  };
+  for (const auto& c : kCases) {
+    const obs::JsonValue v = Parse(service.HandleLine(c.line));
+    EXPECT_FALSE(Ok(v)) << c.line;
+    const obs::JsonValue* code = v.Find("code");
+    ASSERT_NE(code, nullptr) << c.line;
+    EXPECT_EQ(code->string, c.code) << c.line;
+    EXPECT_NE(v.Find("error"), nullptr) << c.line;
+  }
+}
+
+TEST_F(ServerTest, ErrorsAreNotCached) {
+  QueryService service = MakeService();
+  service.HandleLine("shapley items=no_such_attr=1");
+  EXPECT_EQ(service.cache().stats().entries, 0u);
+}
+
+TEST_F(ServerTest, CancelledGuardBecomesCleanError) {
+  QueryServiceOptions options;
+  options.limits.deadline_ms = 1;
+  QueryService service = MakeService(options);
+  // A 1ms deadline may or may not trip on a small table — both outcomes
+  // must be a well-formed envelope, never a crash or a hang.
+  const obs::JsonValue v = Parse(service.HandleLine("corrective"));
+  if (!Ok(v)) {
+    EXPECT_EQ(v.Find("code")->string, "DeadlineExceeded");
+  }
+}
+
+TEST_F(ServerTest, ServeLoopAnswersEachLineAndStopsOnQuit) {
+  QueryService service = MakeService();
+  std::istringstream in("topk k=1\n\nstats\nquit\ntopk k=2\n");
+  std::ostringstream out;
+  ServeLoop(service, in, out);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  for (std::string line; std::getline(reader, line);) {
+    lines.push_back(line);
+  }
+  // topk, stats, quit — the post-quit request is never served; the
+  // blank line is skipped without a response.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(Ok(Parse(lines[0])));
+  EXPECT_TRUE(Ok(Parse(lines[1])));
+  EXPECT_NE(lines[2].find("\"quit\":true"), std::string::npos);
+}
+
+TEST_F(ServerTest, EagerBackingServesSnapshots) {
+  const PatternTable table = MakeRandomTable(1);
+  const std::string path = TempDir("snap") + "/table.snap";
+  DIVEXP_CHECK_OK(SavePatternTable(path, table));
+  auto opened = OpenServingTable(path);
+  ASSERT_TRUE(opened.ok());
+  ServingTable snapshot_table = std::move(opened).value();
+  QueryService service(&snapshot_table);
+  const obs::JsonValue v = Parse(service.HandleLine("stats"));
+  ASSERT_TRUE(Ok(v));
+  EXPECT_EQ(v.Find("backing")->string, "eager");
+
+  // Same fingerprint as the artifact backing: cache keys are portable
+  // across backings of the same logical table.
+  QueryService artifact_service = MakeService();
+  const obs::JsonValue a = Parse(artifact_service.HandleLine("stats"));
+  EXPECT_EQ(v.Find("fingerprint")->string, a.Find("fingerprint")->string);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace divexp

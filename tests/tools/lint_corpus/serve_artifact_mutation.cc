@@ -1,0 +1,22 @@
+// lint-path: src/serve/bad_mutation.cc
+// expect: serve-no-artifact-mutation
+// expect: serve-no-artifact-mutation
+//
+// The serving layer shares one read-only artifact mapping across all
+// server threads with no locks; casting away const or remapping the
+// pages writable breaks that contract.
+#include "serve/artifact.h"
+
+namespace divexp {
+namespace serve {
+
+void BadMutation(const TableView& view) {
+  auto* rows = const_cast<uint32_t*>(view.items.data());
+  const int flags = PROT_WRITE;
+  rows[0] = static_cast<uint32_t>(flags);
+  // Suppression still works when a vetted reason exists:
+  ::mprotect(rows, 4096, 0);  // lint:allow(serve-no-artifact-mutation): fixture demonstrates suppression
+}
+
+}  // namespace serve
+}  // namespace divexp

@@ -156,6 +156,8 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
       DIVEXP_ASSIGN_OR_RETURN(opts.lattice_pattern, next());
     } else if (arg == "--export") {
       DIVEXP_ASSIGN_OR_RETURN(opts.export_path, next());
+    } else if (arg == "--save-artifact") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.artifact_path, next());
     } else if (arg == "--report") {
       DIVEXP_ASSIGN_OR_RETURN(opts.report_path, next());
     } else if (arg == "--multi") {
@@ -292,6 +294,8 @@ std::string UsageString() {
       "(Graphviz DOT)\n"
       "  --multi            print every metric for the top patterns\n"
       "  --export FILE      write the full pattern table as CSV\n"
+      "  --save-artifact FILE  write the table as a zero-copy serving\n"
+      "                     artifact for `divexp serve`\n"
       "  --miner NAME       fpgrowth (default), apriori, eclat, or\n"
       "                     auto (pick by dataset shape)\n"
       "  --kernel NAME      hot-loop implementation: auto (default,\n"

@@ -32,6 +32,9 @@ struct CliOptions {
   std::string lattice_pattern;
   /// Write the full pattern table as CSV to this path.
   std::string export_path;
+  /// Write the table as a zero-copy serving artifact to this path
+  /// (opened by `divexp serve` / divexp-dump-table).
+  std::string artifact_path;
   /// Write a composed markdown audit report to this path.
   std::string report_path;
   /// Print all 12 metrics for the top patterns (multi-metric run).

@@ -22,6 +22,7 @@
 #include "obs/stage.h"
 #include "obs/trace.h"
 #include "recovery/atomic_file.h"
+#include "serve/artifact.h"
 #include "shard/shard.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -298,6 +299,14 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
   if (!opts.export_path.empty()) {
     DIVEXP_RETURN_NOT_OK(WritePatternTableFile(table, opts.export_path));
     log << "pattern table written to " << opts.export_path << "\n";
+  }
+
+  if (!opts.artifact_path.empty()) {
+    uint64_t bytes = 0;
+    DIVEXP_RETURN_NOT_OK(serve::WritePatternTableArtifact(
+        opts.artifact_path, table, &bytes));
+    log << "serving artifact written to " << opts.artifact_path << " ("
+        << bytes << " bytes)\n";
   }
 
   if (!opts.report_path.empty()) {

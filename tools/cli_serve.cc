@@ -1,0 +1,161 @@
+#include "tools/cli_serve.h"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+
+#include "serve/artifact.h"
+
+namespace divexp {
+namespace cli {
+namespace {
+
+Result<long> ParseInt(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end != value.c_str() + value.size() || value.empty()) {
+    return Status::InvalidArgument("bad value for " + flag + ": '" + value +
+                                   "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<ServeOptions> ParseServeOptions(const std::vector<std::string>& args) {
+  ServeOptions opts;
+  std::vector<std::string> expanded;
+  expanded.reserve(args.size());
+  for (const std::string& arg : args) {
+    size_t eq;
+    if (arg.rfind("--", 0) == 0 &&
+        (eq = arg.find('=')) != std::string::npos) {
+      expanded.push_back(arg.substr(0, eq));
+      expanded.push_back(arg.substr(eq + 1));
+    } else {
+      expanded.push_back(arg);
+    }
+  }
+  for (size_t i = 0; i < expanded.size(); ++i) {
+    const std::string& arg = expanded[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= expanded.size()) {
+        return Status::InvalidArgument("missing value for " + arg);
+      }
+      return expanded[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      opts.show_help = true;
+    } else if (arg == "--table") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.table_path, next());
+    } else if (arg == "--socket") {
+      DIVEXP_ASSIGN_OR_RETURN(opts.socket_path, next());
+    } else if (arg == "--threads") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long t, ParseInt(arg, v));
+      if (t < 1 || t > 256) {
+        return Status::InvalidArgument("--threads must be in [1, 256]");
+      }
+      opts.num_threads = static_cast<size_t>(t);
+    } else if (arg == "--verify") {
+      opts.verify = true;
+    } else if (arg == "--deadline-ms") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long d, ParseInt(arg, v));
+      if (d < 0) {
+        return Status::InvalidArgument("--deadline-ms must be >= 0");
+      }
+      opts.service.limits.deadline_ms = static_cast<int64_t>(d);
+    } else if (arg == "--max-memory-mb") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long m, ParseInt(arg, v));
+      if (m < 0) {
+        return Status::InvalidArgument("--max-memory-mb must be >= 0");
+      }
+      opts.service.limits.max_memory_mb = static_cast<uint64_t>(m);
+    } else if (arg == "--cache-mb") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long m, ParseInt(arg, v));
+      if (m < 0) {
+        return Status::InvalidArgument("--cache-mb must be >= 0");
+      }
+      opts.service.cache.capacity_bytes =
+          static_cast<size_t>(m) << 20;
+    } else if (arg == "--no-cache") {
+      opts.service.cache_enabled = false;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  if (!opts.show_help && opts.table_path.empty()) {
+    return Status::InvalidArgument("serve requires --table");
+  }
+  return opts;
+}
+
+std::string ServeUsageString() {
+  return
+      "divexp serve — query a pattern-table artifact interactively or\n"
+      "as a daemon\n"
+      "\n"
+      "usage: divexp serve --table FILE [options]\n"
+      "\n"
+      "  --table FILE       pattern-table artifact (divexp\n"
+      "                     --save-artifact) or snapshot (--export-\n"
+      "                     snapshot); artifacts are mmapped zero-copy\n"
+      "  --socket PATH      listen on a unix socket instead of the\n"
+      "                     stdin/stdout REPL; serves until stdin EOF\n"
+      "  --threads N        server threads sharing the mapping\n"
+      "                     (default: 4)\n"
+      "  --verify           fully validate the artifact (all section\n"
+      "                     CRCs + fingerprint) before serving\n"
+      "  --deadline-ms MS   per-query wall-clock budget (0 = none)\n"
+      "  --max-memory-mb M  per-query tracked-memory budget\n"
+      "  --cache-mb M       result cache capacity (default 64,\n"
+      "                     0 disables)\n"
+      "  --no-cache         disable the result cache\n"
+      "\n"
+      "protocol (one request per line, one JSON response per line):\n"
+      "  topk [k=10] [key=divergence|significance|support]\n"
+      "       [order=desc|asc] [min_support=S] [min_len=N] [max_len=N]\n"
+      "  browse items=attr=val[,attr=val...]\n"
+      "  shapley items=attr=val[,attr=val...]\n"
+      "  corrective [k=10] [min_factor=F]\n"
+      "  stats\n"
+      "  quit\n";
+}
+
+Status RunServe(const ServeOptions& opts, std::istream& in,
+                std::ostream& out, std::ostream& log) {
+  const serve::ArtifactValidation validation =
+      opts.verify ? serve::ArtifactValidation::kFull
+                  : serve::ArtifactValidation::kHeader;
+  DIVEXP_ASSIGN_OR_RETURN(serve::ServingTable table,
+                          serve::OpenServingTable(opts.table_path,
+                                                  validation));
+  const serve::TableView& view = table.view();
+  log << "serving " << (view.size() - 1) << " patterns from "
+      << opts.table_path << " ("
+      << (table.artifact != nullptr ? "mmap" : "eager") << " backing)\n";
+
+  serve::QueryService service(&table, opts.service);
+  if (opts.socket_path.empty()) {
+    serve::ServeLoop(service, in, out);
+    return Status::OK();
+  }
+
+  serve::SocketServer server(&service);
+  DIVEXP_RETURN_NOT_OK(server.Start(opts.socket_path, opts.num_threads));
+  log << "listening on " << opts.socket_path << " with "
+      << opts.num_threads << " thread(s); EOF on stdin stops\n";
+  // Block until the controlling stream closes, then shut down cleanly.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "quit") break;
+  }
+  server.Stop();
+  return Status::OK();
+}
+
+}  // namespace cli
+}  // namespace divexp

@@ -15,9 +15,31 @@
 
 #include "tools/cli_options.h"
 #include "tools/cli_run.h"
+#include "tools/cli_serve.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "serve") {
+    auto sopts = divexp::cli::ParseServeOptions(
+        {args.begin() + 1, args.end()});
+    if (!sopts.ok()) {
+      std::fprintf(stderr, "error: %s\n\n%s",
+                   sopts.status().message().c_str(),
+                   divexp::cli::ServeUsageString().c_str());
+      return 2;
+    }
+    if (sopts->show_help) {
+      std::printf("%s", divexp::cli::ServeUsageString().c_str());
+      return 0;
+    }
+    const divexp::Status status =
+        divexp::cli::RunServe(*sopts, std::cin, std::cout, std::cerr);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
   auto opts = divexp::cli::ParseCliOptions(args);
   if (!opts.ok()) {
     std::fprintf(stderr, "error: %s\n\n%s",

@@ -64,7 +64,7 @@ const std::map<std::string, int>& SrcDirLayers() {
       {"util", 0},    {"obs", 10},      {"stats", 10},
       {"data", 20},   {"model", 30},    {"fpm", 40},
       {"datasets", 50}, {"recovery", 60}, {"core", 70},
-      {"slicefinder", 70}, {"shard", 75},
+      {"slicefinder", 70}, {"shard", 75},  {"serve", 78},
   };
   return kLayers;
 }
@@ -268,6 +268,7 @@ class FileLinter {
       CheckIgnoredStatus(line, lineno);
       CheckRawFileOutput(line, lineno);
       CheckKernelNoAlloc(line, lineno);
+      CheckServeNoMutation(line, lineno);
       CheckFailPoints(line, lineno);
       CheckMetricNames(line, lineno);
       CheckStageNames(line, lineno);
@@ -421,6 +422,38 @@ class FileLinter {
                    "compute over caller-owned buffers — no allocation, "
                    "containers or locks (hoist it to the caller or to "
                    "fpm/kernels/arena.h)");
+          break;  // one diagnostic per token per line is enough
+        }
+        pos = after;
+      }
+    }
+  }
+
+  // The serving layer's whole concurrency story is that the mapped
+  // artifact is immutable: one mapping shared by every server thread
+  // with no synchronization. Any path to writing through it —
+  // const_cast of the view's spans, remapping the pages writable —
+  // breaks that contract, so the tokens are banned outright in
+  // src/serve/ rather than reviewed case by case.
+  void CheckServeNoMutation(const std::string& line, int lineno) {
+    if (!StartsWith(path_, "src/serve/")) return;
+    static const char* kForbidden[] = {"const_cast", "PROT_WRITE",
+                                       "mprotect", "MAP_SHARED"};
+    for (const char* token : kForbidden) {
+      const std::string text = token;
+      size_t pos = 0;
+      while ((pos = line.find(text, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+        const size_t after = pos + text.size();
+        const bool right_ok =
+            after >= line.size() || !IsWordChar(line[after]);
+        if (left_ok && right_ok) {
+          Emit(line, lineno, kRuleServeNoMutation,
+               "'" + text +
+                   "' in the serving layer; an attached artifact is "
+                   "immutable and shared across server threads without "
+                   "locks — nothing in src/serve/ may open a path to "
+                   "writing through the mapping");
           break;  // one diagnostic per token per line is enough
         }
         pos = after;

@@ -30,6 +30,8 @@ inline constexpr const char* kRuleStageDocumented = "stage-name-documented";
 inline constexpr const char* kRuleIncludeLayering = "include-layering";
 inline constexpr const char* kRuleShardStatus = "shard-status-propagated";
 inline constexpr const char* kRuleKernelNoAlloc = "kernel-no-alloc";
+inline constexpr const char* kRuleServeNoMutation =
+    "serve-no-artifact-mutation";
 
 struct Diagnostic {
   std::string file;  // logical repo-relative path
