@@ -13,6 +13,12 @@ namespace divexp {
 Result<std::vector<ItemContribution>> ShapleyContributions(
     const PatternTable& table, const Itemset& items) {
   obs::ScopedSpan span(obs::kStageShapley);
+  if (items.size() > kMaxShapleyItems) {
+    return Status::InvalidArgument(
+        "shapley accepts at most " + std::to_string(kMaxShapleyItems) +
+        " items, got " + std::to_string(items.size()) +
+        ": the exact computation enumerates 2^n subsets");
+  }
   const auto row_idx = table.Find(items);
   if (!row_idx.has_value()) {
     return Status::NotFound("itemset not in pattern table: " +
@@ -45,8 +51,8 @@ Result<std::vector<ItemContribution>> ShapleyContributions(
   for (size_t a = 0; a < n; ++a) {
     double value = 0.0;
     // All subsets J ⊆ I \ {α}: masks over the n positions with bit a
-    // forced off.
-    const uint64_t full = (n >= 64 ? ~0ULL : (1ULL << n) - 1);
+    // forced off (n <= kMaxShapleyItems, so the shift is in range).
+    const uint64_t full = (1ULL << n) - 1;
     const uint64_t rest = full & ~(1ULL << a);
     // Enumerate submasks of `rest` in increasing order.
     uint64_t mask = 0;

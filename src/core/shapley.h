@@ -17,6 +17,13 @@ struct ItemContribution {
   double contribution = 0.0;
 };
 
+/// Largest itemset the exact Shapley enumeration accepts. The cost is
+/// Θ(n · 2^n) subset lookups — already minutes of work at this bound —
+/// and the submask arithmetic shifts 1ULL by item positions, which is
+/// undefined at n >= 64; rejecting early keeps oversized requests a
+/// clean InvalidArgument on every path (core and serving engine alike).
+inline constexpr size_t kMaxShapleyItems = 24;
+
 /// Shapley contribution Δ(α | I) of each α ∈ I (paper Eq. 5).
 ///
 /// Every subset of a frequent itemset is frequent, so all lookups hit

@@ -505,10 +505,11 @@ Status PatternTableArtifact::Attach(ArtifactValidation validation) {
   view_.link_offsets = std::span<const uint64_t>(
       reinterpret_cast<const uint64_t*>(base_ + sec_loff.offset), n + 1);
 
-  // Endpoint checks are O(1) and close the last structural gap a
-  // header-tier open could fall into: row spans never exceed the
-  // mapped columns as long as offsets are monotone, and monotonicity
-  // is only walked in the full tier — so clamp the endpoints here.
+  // Endpoint checks are O(1); interior offset entries are only proven
+  // monotone in the full tier. A header-tier open therefore hands out a
+  // view whose interior offsets are untrusted — TableView's accessors
+  // clamp every span and the query engine's row_ok/link checks turn
+  // interior corruption into clean errors (see serve/query.h).
   if (view_.item_offsets.front() != 0 ||
       view_.item_offsets.back() != total_items) {
     return SectionError(sec_ioff.id,

@@ -45,8 +45,14 @@
 // envelope CRCs plus O(1) structural arithmetic and parses the catalog;
 // kFull additionally checksums every section and walks all rows
 // (monotone offsets, sorted items, in-range links, canonical order,
-// fingerprint recompute). Both tiers return descriptive Status errors
-// on any corruption — never UB (fuzzed in tests/serve/artifact_test.cc).
+// fingerprint recompute). Envelope corruption is rejected by both tiers
+// at open. Payload corruption (section bytes) is rejected at open only
+// by kFull; a kHeader open may attach to it, but serving stays safe —
+// TableView clamps every row span and the query engine validates
+// offsets, link values, and item ids per row, so detected corruption
+// becomes a clean Status and undetected corruption at worst a wrong
+// value, never UB (fuzzed at both tiers in
+// tests/serve/artifact_test.cc, rerun under ASan/UBSan in CI).
 #ifndef DIVEXP_SERVE_ARTIFACT_H_
 #define DIVEXP_SERVE_ARTIFACT_H_
 
@@ -123,7 +129,10 @@ Status WritePatternTableArtifact(const std::string& path,
 /// How much of an artifact to verify when attaching to it.
 enum class ArtifactValidation {
   /// Envelope CRCs + O(1) structural arithmetic + catalog parse. The
-  /// O(ms) default: open cost is independent of the row count.
+  /// O(ms) default: open cost is independent of the row count. Payload
+  /// corruption may go undetected until a query touches it — the
+  /// serving paths then fail with a clean Status (never UB); run
+  /// ValidateFully() (or open with kFull) to prove integrity up front.
   kHeader,
   /// kHeader plus every section CRC and an O(rows) structural walk,
   /// ending in a fingerprint recompute.

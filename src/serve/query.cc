@@ -38,6 +38,14 @@ Status GuardStatus(RunGuard* guard) {
   return Status::DeadlineExceeded("query stopped by its run guard");
 }
 
+/// A header-tier open defers payload CRCs, so offset/link corruption can
+/// first surface mid-query; it must become a clean error, never UB.
+Status CorruptStatus(const std::string& what) {
+  return Status::InvalidArgument(
+      "artifact payload corruption detected while serving (" + what +
+      "); reopen with full validation for a complete diagnosis");
+}
+
 }  // namespace
 
 Result<std::vector<size_t>> QueryEngine::TopK(const TopKQuery& query,
@@ -47,6 +55,10 @@ Result<std::vector<size_t>> QueryEngine::TopK(const TopKQuery& query,
   std::vector<size_t> candidates;
   for (size_t i = 0; i < view.size(); ++i) {
     if (guard != nullptr && !guard->Tick()) return GuardStatus(guard);
+    if (!view.row_ok(i)) {
+      return CorruptStatus("row " + std::to_string(i) +
+                           " has out-of-range offsets");
+    }
     switch (query.key) {
       case PatternTable::RankKey::kDivergence:
         keys[i] = view.divergence(i);
@@ -134,10 +146,23 @@ Result<Lattice> QueryEngine::Browse(const Itemset& target,
 Result<std::vector<ItemContribution>> QueryEngine::Shapley(
     const Itemset& items, RunGuard* guard) const {
   const TableView& view = *view_;
+  // Same cap, same message as core ShapleyContributions: the 2^n
+  // enumeration is intractable long before the 1ULL << n submask
+  // arithmetic would overflow at 64 items.
+  if (items.size() > kMaxShapleyItems) {
+    return Status::InvalidArgument(
+        "shapley accepts at most " + std::to_string(kMaxShapleyItems) +
+        " items, got " + std::to_string(items.size()) +
+        ": the exact computation enumerates 2^n subsets");
+  }
   const auto row_idx = view.FindRow(ItemSpan(items));
   if (!row_idx.has_value()) {
     return Status::NotFound("itemset not in pattern table: " +
                             ItemsetDebugString(items));
+  }
+  if (!view.row_ok(*row_idx)) {
+    return CorruptStatus("row " + std::to_string(*row_idx) +
+                         " has out-of-range offsets");
   }
   const size_t n = items.size();
   const double n_fact = Factorial(n);
@@ -158,7 +183,8 @@ Result<std::vector<ItemContribution>> QueryEngine::Shapley(
   out.reserve(n);
   for (size_t a = 0; a < n; ++a) {
     double value = 0.0;
-    const uint64_t full = (n >= 64 ? ~0ULL : (1ULL << n) - 1);
+    // n <= kMaxShapleyItems, so the shifts are in range.
+    const uint64_t full = (1ULL << n) - 1;
     const uint64_t rest = full & ~(1ULL << a);
     uint64_t mask = 0;
     while (true) {
@@ -170,6 +196,10 @@ Result<std::vector<ItemContribution>> QueryEngine::Shapley(
         if (links[a] == PatternTable::kNoLink) {
           return Status::NotFound("subset dropped by truncation under " +
                                   ItemsetDebugString(items));
+        }
+        if (links[a] >= view.size()) {
+          return CorruptStatus("subset link " + std::to_string(links[a]) +
+                               " points past the last row");
         }
         with_div = view.divergence(*row_idx);
         without_div = view.divergence(links[a]);
@@ -202,12 +232,21 @@ Result<std::vector<CorrectiveItem>> QueryEngine::Corrective(
   std::vector<CorrectiveItem> out;
   for (size_t i = 0; i < view.size(); ++i) {
     if (guard != nullptr && !guard->Tick()) return GuardStatus(guard);
+    if (!view.row_ok(i)) {
+      return CorruptStatus("row " + std::to_string(i) +
+                           " has out-of-range offsets");
+    }
     const ItemSpan k = view.row_items(i);
     if (k.empty()) continue;
     const std::span<const uint32_t> links = view.row_links(i);
     for (size_t j = 0; j < k.size(); ++j) {
       const uint32_t link = links[j];
       if (link == PatternTable::kNoLink) continue;
+      if (link >= view.size() || !view.row_ok(link)) {
+        return CorruptStatus("subset link " + std::to_string(link) +
+                             " under row " + std::to_string(i) +
+                             " is out of range");
+      }
       const ItemSpan base_items = view.row_items(link);
       if (base_items.empty()) continue;  // Δ(∅) = 0: nothing to correct
       const double factor = std::fabs(view.divergence(link)) -
@@ -238,12 +277,22 @@ Result<std::vector<CorrectiveItem>> QueryEngine::Corrective(
   return out;
 }
 
+std::string QueryEngine::ItemName(uint32_t item) const {
+  // Item ids read off a header-tier artifact are unvalidated; an id the
+  // catalog does not know must render as a placeholder, not trip the
+  // catalog's bounds CHECK and take the daemon down.
+  if (item >= view_->catalog->num_items()) {
+    return "<item " + std::to_string(item) + " outside catalog>";
+  }
+  return view_->catalog->ItemName(item);
+}
+
 std::string QueryEngine::ItemsetName(ItemSpan items) const {
   if (items.empty()) return "(all)";
   std::string out;
   for (size_t i = 0; i < items.size(); ++i) {
     if (i) out += ", ";
-    out += view_->catalog->ItemName(items[i]);
+    out += ItemName(items[i]);
   }
   return out;
 }

@@ -9,9 +9,18 @@
 //
 // Each entry point takes an optional RunGuard: the serving daemon arms
 // one per query with its configured budget, so a pathological request
-// (a Shapley drill-down on a 30-item pattern, a top-k over a
+// (a Shapley drill-down on a 20-item pattern, a top-k over a
 // billion-row table with a tight deadline) degrades into a clean
-// kDeadlineExceeded / kCancelled instead of pinning a thread.
+// kDeadlineExceeded / kCancelled instead of pinning a thread. Shapley
+// requests beyond kMaxShapleyItems are rejected up front — the 2^n
+// enumeration is intractable well before the submask arithmetic would
+// overflow.
+//
+// Corruption safety: a header-tier artifact open defers the payload
+// CRCs, so the engine treats row offsets, subset-link values, and item
+// ids as untrusted — every scan validates them (TableView::row_ok,
+// explicit link bounds, placeholder item names) and surfaces corruption
+// as a clean InvalidArgument instead of an out-of-range read.
 #ifndef DIVEXP_SERVE_QUERY_H_
 #define DIVEXP_SERVE_QUERY_H_
 
@@ -72,6 +81,11 @@ class QueryEngine {
 
   /// "attr1=v1, attr2=v2" rendering ("(all)" for the empty itemset).
   std::string ItemsetName(ItemSpan items) const;
+
+  /// Bounds-checked single-item rendering: ids outside the catalog
+  /// (possible only on a corrupted header-tier artifact) render as a
+  /// placeholder instead of tripping the catalog's bounds CHECK.
+  std::string ItemName(uint32_t item) const;
 
   /// Resolves "attr=value" pairs into a canonical itemset.
   Result<Itemset> ParseItemset(

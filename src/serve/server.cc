@@ -309,8 +309,12 @@ std::string QueryService::HandleLine(const std::string& line) {
     }
   }
 
-  std::string response = Execute(request);
-  if (cacheable && !request.cache_key.empty()) {
+  bool ok = false;
+  std::string response = Execute(request, &ok);
+  // Errors are never cached: a transient guard breach would otherwise be
+  // served as a hit long after load subsides, and cached error hits
+  // would bypass serve.errors accounting.
+  if (cacheable && ok && !request.cache_key.empty()) {
     cache_.Put(request.cache_key, response);
   }
   RecordLatency(request.verb, timer);
@@ -325,10 +329,11 @@ void QueryService::RecordLatency(const std::string& verb,
   }
 }
 
-std::string QueryService::Execute(const Request& request) {
+std::string QueryService::Execute(const Request& request, bool* ok) {
   const TableView& view = table_->view();
   RunGuard guard(options_.limits);
   obs::JsonWriter json;
+  *ok = false;
 
   if (request.verb == "topk") {
     Result<std::vector<size_t>> rows = engine_.TopK(request.topk, &guard);
@@ -336,6 +341,7 @@ std::string QueryService::Execute(const Request& request) {
       error_counter_->Add(1);
       return ErrorJson(rows.status());
     }
+    *ok = true;
     json.BeginObject().Key("ok").Value(true).Key("rows").BeginArray();
     for (const size_t i : rows.value()) {
       json.BeginObject()
@@ -361,6 +367,7 @@ std::string QueryService::Execute(const Request& request) {
       error_counter_->Add(1);
       return ErrorJson(lattice.status());
     }
+    *ok = true;
     json.BeginObject()
         .Key("ok")
         .Value(true)
@@ -402,6 +409,7 @@ std::string QueryService::Execute(const Request& request) {
       error_counter_->Add(1);
       return ErrorJson(contribs.status());
     }
+    *ok = true;
     json.BeginObject()
         .Key("ok")
         .Value(true)
@@ -412,7 +420,7 @@ std::string QueryService::Execute(const Request& request) {
     for (const ItemContribution& c : contribs.value()) {
       json.BeginObject()
           .Key("item")
-          .Value(view.catalog->ItemName(c.item))
+          .Value(engine_.ItemName(c.item))
           .Key("contribution")
           .Value(c.contribution)
           .EndObject();
@@ -428,13 +436,14 @@ std::string QueryService::Execute(const Request& request) {
       error_counter_->Add(1);
       return ErrorJson(pairs.status());
     }
+    *ok = true;
     json.BeginObject().Key("ok").Value(true).Key("pairs").BeginArray();
     for (const CorrectiveItem& c : pairs.value()) {
       json.BeginObject()
           .Key("base")
           .Value(engine_.ItemsetName(ItemSpan(c.base)))
           .Key("item")
-          .Value(view.catalog->ItemName(c.item))
+          .Value(engine_.ItemName(c.item))
           .Key("base_divergence")
           .Value(c.base_divergence)
           .Key("with_divergence")
@@ -450,6 +459,7 @@ std::string QueryService::Execute(const Request& request) {
   }
 
   DIVEXP_CHECK(request.verb == "stats");
+  *ok = true;
   const ResultCache::Stats cache_stats = cache_.stats();
   json.BeginObject()
       .Key("ok")
@@ -589,9 +599,11 @@ void SocketServer::ServeConnection(int fd) {
       const std::string response = service_->HandleLine(line) + "\n";
       size_t written = 0;
       while (written < response.size()) {
-        const ssize_t w = ::write(fd, response.data() + written,
-                                  response.size() - written);
-        if (w <= 0) return;
+        // MSG_NOSIGNAL: a client that disconnects mid-response must be
+        // an EPIPE for this connection, not a SIGPIPE for the daemon.
+        const ssize_t w = ::send(fd, response.data() + written,
+                                 response.size() - written, MSG_NOSIGNAL);
+        if (w <= 0) return;  // EPIPE/ECONNRESET: a normal client drop
         written += static_cast<size_t>(w);
       }
       if (Split(Trim(line), ' ')[0] == "quit") return;

@@ -81,7 +81,11 @@ class QueryService {
   /// under (empty for uncacheable verbs).
   struct Request;
 
-  std::string Execute(const Request& request);
+  /// Runs the request, sets *ok to whether it succeeded. Only successful
+  /// responses may be cached: transient guard breaches (DeadlineExceeded,
+  /// ResourceExhausted) must not be pinned as hits after load subsides,
+  /// and every error must reach error_counter_.
+  std::string Execute(const Request& request, bool* ok);
   void RecordLatency(const std::string& verb, const Stopwatch& timer);
 
   const ServingTable* table_;

@@ -58,13 +58,37 @@ struct TableView {
     return item_offsets.empty() ? 0 : item_offsets.size() - 1;
   }
 
+  // The row-span accessors clamp both offsets into the backing column:
+  // a header-tier artifact open defers the payload CRCs, so a corrupted
+  // offset entry must degrade to an empty/truncated span — never an
+  // out-of-range subspan. The query paths call row_ok() to turn such
+  // corruption into a clean Status instead of a silently wrong answer.
   ItemSpan row_items(size_t i) const {
-    return items.subspan(item_offsets[i],
-                         item_offsets[i + 1] - item_offsets[i]);
+    const uint64_t limit = items.size();
+    const uint64_t begin = std::min<uint64_t>(item_offsets[i], limit);
+    const uint64_t end = std::min<uint64_t>(
+        std::max(item_offsets[i + 1], begin), limit);
+    return items.subspan(begin, end - begin);
   }
   std::span<const uint32_t> row_links(size_t i) const {
-    return subset_links.subspan(link_offsets[i],
-                                link_offsets[i + 1] - link_offsets[i]);
+    const uint64_t limit = subset_links.size();
+    const uint64_t begin = std::min<uint64_t>(link_offsets[i], limit);
+    const uint64_t end = std::min<uint64_t>(
+        std::max(link_offsets[i + 1], begin), limit);
+    return subset_links.subspan(begin, end - begin);
+  }
+
+  /// Exact offset validity for row i: both offset pairs ordered, in
+  /// range, and of equal length (the writer emits one link per item).
+  /// False means the artifact's payload is corrupt in a way the
+  /// header-tier open cannot see.
+  bool row_ok(size_t i) const {
+    const uint64_t ib = item_offsets[i];
+    const uint64_t ie = item_offsets[i + 1];
+    const uint64_t lb = link_offsets[i];
+    const uint64_t le = link_offsets[i + 1];
+    return ib <= ie && ie <= items.size() && lb <= le &&
+           le <= subset_links.size() && ie - ib == le - lb;
   }
 
   uint64_t tally_t(size_t i) const { return tallies[3 * i]; }

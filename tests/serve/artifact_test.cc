@@ -13,6 +13,7 @@
 
 #include "core/table_snapshot.h"
 #include "recovery/atomic_file.h"
+#include "serve/server.h"
 #include "testing/test_explore.h"
 #include "util/random.h"
 
@@ -182,6 +183,32 @@ TEST(ArtifactTest, EveryTruncationFailsCleanly) {
   EXPECT_TRUE(full.ok()) << full.status().ToString();
 }
 
+/// First item of attribute 0 as an "attr=value" spec the line protocol
+/// accepts — the catalog section is intact in every corruption case
+/// below, so name resolution itself is trustworthy.
+std::string FirstItemSpec(const ItemCatalog& catalog) {
+  return catalog.attribute_name(0) + "=" + catalog.item(0).value;
+}
+
+/// Serves a fixed query mix over a header-tier-attached artifact. The
+/// explicit assertions are deliberately weak (every response is a
+/// well-formed envelope); the real teeth are the ASan/UBSan reruns in
+/// CI — no request may read out of range, whatever the payload holds.
+void ServeMixedQueries(std::unique_ptr<PatternTableArtifact> artifact,
+                       const std::string& item_spec) {
+  ServingTable table;
+  table.artifact = std::move(artifact);
+  QueryService service(&table);
+  for (const std::string& line :
+       {std::string("topk k=5"),
+        std::string("topk k=5 key=support order=asc"),
+        std::string("corrective k=5"), std::string("stats"),
+        "browse items=" + item_spec, "shapley items=" + item_spec}) {
+    const std::string response = service.HandleLine(line);
+    EXPECT_NE(response.find("\"ok\":"), std::string::npos) << line;
+  }
+}
+
 TEST(ArtifactTest, ByteFlipsInHeaderAndSectionTableAreCaughtOnOpen) {
   const std::string bytes = WriteArtifactBytes(MakeRandomTable(6),
                                                "flip_header");
@@ -213,14 +240,109 @@ TEST(ArtifactTest, ByteFlipsInEverySectionAreCaughtByFullValidation) {
       EXPECT_FALSE(artifact.ok())
           << ArtifactSectionName(section.id) << " byte " << rel;
       // A header-tier open may accept the flip (payload CRCs are
-      // deferred), but ValidateFully must then reject it.
+      // deferred), but ValidateFully must then reject it — and serving
+      // queries through the corrupted view must stay clean (the
+      // ASan/UBSan CI rerun turns any out-of-range read into a failure).
       auto lazy = PatternTableArtifact::FromBuffer(corrupt);
       if (lazy.ok()) {
         EXPECT_FALSE((*lazy)->ValidateFully().ok())
             << ArtifactSectionName(section.id) << " byte " << rel;
+        if (section.id != ArtifactSection::kCatalog) {
+          const std::string spec =
+              FirstItemSpec(*(*lazy)->view().catalog);
+          ServeMixedQueries(std::move(*lazy), spec);
+        }
       }
     }
   }
+}
+
+TEST(ArtifactTest, HeaderTierCorruptInteriorOffsetsServeCleanErrors) {
+  const PatternTable table = MakeRandomTable(12);
+  const std::string bytes = WriteArtifactBytes(table, "corrupt_offsets");
+  auto clean = PatternTableArtifact::FromBuffer(bytes);
+  ASSERT_TRUE(clean.ok());
+  const ArtifactSectionInfo& ioff = (*clean)->info().sections[1];
+  ASSERT_EQ(ioff.id, ArtifactSection::kItemOffsets);
+
+  // The review scenario: item_offsets = [0, huge, ..., total_items].
+  // Interior entries are not validated at the header tier, so the open
+  // succeeds — but every query touching row 0 must answer a clean
+  // corruption error, not subspan out of range.
+  std::string corrupt = bytes;
+  const uint64_t huge = 0x7fffffffffff0000ull;
+  std::memcpy(corrupt.data() + ioff.offset + 8, &huge, sizeof(huge));
+  auto artifact = PatternTableArtifact::FromBuffer(corrupt);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_FALSE((*artifact)->ValidateFully().ok());
+
+  ServingTable serving;
+  serving.artifact = std::move(*artifact);
+  QueryService service(&serving);
+  for (const char* line : {"topk k=5", "corrective k=5"}) {
+    const std::string response = service.HandleLine(line);
+    EXPECT_NE(response.find("\"ok\":false"), std::string::npos) << line;
+    EXPECT_NE(response.find("corruption"), std::string::npos) << line;
+  }
+  // The rest of the mix must stay well-formed (ok or error, no UB).
+  auto again = PatternTableArtifact::FromBuffer(corrupt);
+  ASSERT_TRUE(again.ok());
+  const std::string spec = FirstItemSpec(*(*again)->view().catalog);
+  ServeMixedQueries(std::move(*again), spec);
+}
+
+TEST(ArtifactTest, HeaderTierCorruptLinkValuesServeCleanErrors) {
+  const PatternTable table = MakeRandomTable(13);
+  const std::string bytes = WriteArtifactBytes(table, "corrupt_links");
+  auto clean = PatternTableArtifact::FromBuffer(bytes);
+  ASSERT_TRUE(clean.ok());
+  const ArtifactSectionInfo& links = (*clean)->info().sections[4];
+  ASSERT_EQ(links.id, ArtifactSection::kSubsetLinks);
+  ASSERT_GT(links.size, 0u);
+
+  // Row 1's first subset link points far past the last row (but is not
+  // kNoLink): Corrective indexes stats through link values, so it must
+  // detect the corruption instead of reading out of range.
+  std::string corrupt = bytes;
+  const uint32_t bogus =
+      static_cast<uint32_t>((*clean)->view().size()) + 1000;
+  std::memcpy(corrupt.data() + links.offset, &bogus, sizeof(bogus));
+  auto artifact = PatternTableArtifact::FromBuffer(corrupt);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_FALSE((*artifact)->ValidateFully().ok());
+
+  ServingTable serving;
+  serving.artifact = std::move(*artifact);
+  QueryService service(&serving);
+  const std::string response = service.HandleLine("corrective k=5");
+  EXPECT_NE(response.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(response.find("corruption"), std::string::npos);
+
+  auto again = PatternTableArtifact::FromBuffer(corrupt);
+  ASSERT_TRUE(again.ok());
+  const std::string spec = FirstItemSpec(*(*again)->view().catalog);
+  ServeMixedQueries(std::move(*again), spec);
+}
+
+TEST(ArtifactTest, HeaderTierCorruptItemIdsRenderPlaceholders) {
+  const PatternTable table = MakeRandomTable(14);
+  const std::string bytes = WriteArtifactBytes(table, "corrupt_items");
+  auto clean = PatternTableArtifact::FromBuffer(bytes);
+  ASSERT_TRUE(clean.ok());
+  const ArtifactSectionInfo& items = (*clean)->info().sections[0];
+  ASSERT_EQ(items.id, ArtifactSection::kItems);
+  ASSERT_GT(items.size, 0u);
+
+  // An item id far outside the catalog: name rendering must degrade to
+  // a placeholder, not trip the catalog's bounds CHECK mid-response.
+  std::string corrupt = bytes;
+  const uint32_t bogus = 0x40000000u;
+  std::memcpy(corrupt.data() + items.offset, &bogus, sizeof(bogus));
+  auto artifact = PatternTableArtifact::FromBuffer(corrupt);
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_FALSE((*artifact)->ValidateFully().ok());
+  const std::string spec = FirstItemSpec(*(*artifact)->view().catalog);
+  ServeMixedQueries(std::move(*artifact), spec);
 }
 
 TEST(ArtifactTest, WrongMagicAndByteSwappedMagicAreRejected) {

@@ -195,6 +195,40 @@ TEST_F(ServerTest, ErrorsAreNotCached) {
   EXPECT_EQ(service.cache().stats().entries, 0u);
 }
 
+TEST_F(ServerTest, ExecuteTimeErrorsAreNotCached) {
+  QueryService service = MakeService();
+  // Two values of the same attribute are mutually exclusive, so the
+  // pair can never be a frequent itemset: the request parses cleanly
+  // and fails inside Execute with NotFound. Unlike a parse error, this
+  // path reaches the cache-insert decision — a transient error cached
+  // here would be served as a stale hit forever.
+  const ItemCatalog& catalog = *table_->view().catalog;
+  const uint32_t first = catalog.first_item(0);
+  const std::string spec =
+      catalog.ItemName(first) + "," + catalog.ItemName(first + 1);
+  const std::string r1 = service.HandleLine("browse items=" + spec);
+  const std::string r2 = service.HandleLine("browse items=" + spec);
+  EXPECT_NE(r1.find("\"NotFound\""), std::string::npos) << r1;
+  EXPECT_EQ(r1, r2);
+  const ResultCache::Stats stats = service.cache().stats();
+  EXPECT_EQ(stats.entries, 0u);  // errors never enter the cache
+  EXPECT_EQ(stats.hits, 0u);     // ... so the retry re-executes
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST_F(ServerTest, ShapleyRejectsOversizedItemsets) {
+  QueryService service = MakeService();
+  // 70 items would shift 1ULL past 63 in the submask enumeration; the
+  // engine must reject the request before touching the table.
+  std::vector<uint32_t> ids(70);
+  for (uint32_t i = 0; i < 70; ++i) ids[i] = i;
+  const auto result =
+      service.engine().Shapley(MakeItemset(std::move(ids)), nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("at most"), std::string::npos);
+}
+
 TEST_F(ServerTest, CancelledGuardBecomesCleanError) {
   QueryServiceOptions options;
   options.limits.deadline_ms = 1;
