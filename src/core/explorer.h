@@ -166,6 +166,10 @@ struct ExplorerRunStats {
   /// Fraction of dataset rows the merged table's tallies cover;
   /// < 1.0 only when shards were dropped.
   double rows_covered_fraction = 1.0;
+  /// Where shard attempts executed (metrics-JSON schema v6): "thread"
+  /// for in-process workers (and every monolithic run), "process" when
+  /// shards ran in supervised `divexp shard-worker` subprocesses.
+  std::string shard_isolation = "thread";
 
   // Dispatch accounting (metrics-JSON schema v4): what actually ran
   // after kAuto/kSimd resolution, so two runs can be compared knowing

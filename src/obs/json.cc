@@ -161,6 +161,7 @@ std::string MetricsReportToJson(const MetricsReport& report) {
       .Value(report.run.checkpoint_write_failures);
   w.Key("miner").Value(report.run.miner);
   w.Key("kernel").Value(report.run.kernel);
+  w.Key("shard_isolation").Value(report.run.shard_isolation);
   w.EndObject();
 
   w.Key("stages").BeginArray();
@@ -515,6 +516,11 @@ Status ValidateMetricsJson(const std::string& text,
   DIVEXP_RETURN_NOT_OK(RequireString(*run, "breach", "run"));
   DIVEXP_RETURN_NOT_OK(RequireString(*run, "miner", "run"));
   DIVEXP_RETURN_NOT_OK(RequireString(*run, "kernel", "run"));
+  DIVEXP_RETURN_NOT_OK(RequireString(*run, "shard_isolation", "run"));
+  const JsonValue* isolation = run->Find("shard_isolation");
+  if (isolation->string != "thread" && isolation->string != "process") {
+    return Violation("run shard_isolation must be thread or process");
+  }
 
   const JsonValue* stages = doc.Find("stages");
   if (stages == nullptr || !stages->is_array() || stages->array.empty()) {

@@ -77,6 +77,9 @@ struct RunSummary {
   // ran after kAuto resolution.
   std::string miner = "fpgrowth";
   std::string kernel = "scalar";
+  // Isolation accounting (schema v6): where shard attempts executed
+  // ("thread", or "process" under --shard-isolation=process).
+  std::string shard_isolation = "thread";
 };
 
 /// Everything the CLI writes to --metrics-json.
@@ -100,7 +103,10 @@ struct MetricsReport {
 /// serve.open.mmap/eager, and the per-verb serve.query_us.<type>
 /// histograms) emitted by the query daemon; run-summary fields are
 /// unchanged.
-inline constexpr int kMetricsSchemaVersion = 5;
+/// v6 added the run-level shard_isolation field plus the
+/// process-supervision metric families (shard.proc.spawned/killed/
+/// reaped/heartbeats/heartbeat_timeouts, serve.idle_disconnects).
+inline constexpr int kMetricsSchemaVersion = 6;
 
 /// Serializes a full report (schema_version, run, stages, counters,
 /// gauges, histograms, spans).

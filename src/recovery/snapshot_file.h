@@ -38,6 +38,10 @@ inline constexpr uint32_t kSnapshotVersion = 1;
 enum class SnapshotKind : uint32_t {
   kMiningState = 1,
   kPatternTable = 2,
+  /// Shard-worker input spec (src/shard/worker/protocol.h): the slice,
+  /// outcomes and attempt parameters handed to a `divexp shard-worker`
+  /// process.
+  kWorkerSpec = 3,
 };
 
 /// Appends little-endian scalars / length-prefixed buffers to a string.

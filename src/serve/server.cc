@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -502,6 +503,13 @@ void ServeLoop(QueryService& service, std::istream& in, std::ostream& out) {
   }
 }
 
+SocketServer::SocketServer(QueryService* service,
+                           const SocketServerOptions& options)
+    : service_(service),
+      options_(options),
+      idle_counter_(obs::MetricsRegistry::Default().GetCounter(
+          "serve.idle_disconnects")) {}
+
 SocketServer::~SocketServer() { Stop(); }
 
 Status SocketServer::Start(const std::string& socket_path,
@@ -544,14 +552,18 @@ Status SocketServer::Start(const std::string& socket_path,
   return Status::OK();
 }
 
-void SocketServer::Stop() {
+void SocketServer::Stop(StopMode mode) {
   if (!running_.exchange(false)) return;
   // Wake every acceptor blocked in accept(), then every connection
-  // blocked in read().
+  // blocked in poll()/read(). kDrain half-closes only the read side so
+  // a response being written right now still reaches the client before
+  // the connection thread sees EOF and exits.
   ::shutdown(listen_fd_, SHUT_RDWR);
   {
     MutexLock lock(mu_);
-    for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : connections_) {
+      ::shutdown(fd, mode == StopMode::kDrain ? SHUT_RD : SHUT_RDWR);
+    }
   }
   for (std::thread& t : threads_) t.join();
   threads_.clear();
@@ -586,9 +598,39 @@ void SocketServer::AcceptLoop() {
 void SocketServer::ServeConnection(int fd) {
   std::string pending;
   char buf[4096];
+  uint64_t idle_left_ms = options_.idle_timeout_ms;
   while (running_.load()) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    // Wait for readable bytes in short slices so both the stop flag
+    // and the idle deadline are honored while the peer stays silent.
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const uint64_t slice =
+        options_.idle_timeout_ms == 0
+            ? 100
+            : std::min<uint64_t>(100, idle_left_ms);
+    const int pr = ::poll(&pfd, 1, static_cast<int>(slice));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pr == 0) {
+      if (options_.idle_timeout_ms == 0) continue;
+      idle_left_ms -= slice;
+      if (idle_left_ms == 0) {
+        // Idle deadline reached: reclaim the thread from a client that
+        // connected and walked away.
+        idle_counter_->Add(1);
+        return;
+      }
+      continue;
+    }
+    ssize_t n;
+    do {
+      n = ::read(fd, buf, sizeof(buf));
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return;  // EOF, shutdown, or error: drop the connection
+    idle_left_ms = options_.idle_timeout_ms;
     pending.append(buf, static_cast<size_t>(n));
     size_t newline;
     while ((newline = pending.find('\n')) != std::string::npos) {
@@ -603,6 +645,7 @@ void SocketServer::ServeConnection(int fd) {
         // an EPIPE for this connection, not a SIGPIPE for the daemon.
         const ssize_t w = ::send(fd, response.data() + written,
                                  response.size() - written, MSG_NOSIGNAL);
+        if (w < 0 && errno == EINTR) continue;
         if (w <= 0) return;  // EPIPE/ECONNRESET: a normal client drop
         written += static_cast<size_t>(w);
       }

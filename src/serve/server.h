@@ -103,12 +103,28 @@ class QueryService {
 /// one response line per request line, returns on EOF or `quit`.
 void ServeLoop(QueryService& service, std::istream& in, std::ostream& out);
 
+struct SocketServerOptions {
+  /// Per-connection idle deadline: a connection that sends no bytes for
+  /// this long is disconnected and counted in `serve.idle_disconnects`.
+  /// Without it, a client that opens a connection and walks away pins a
+  /// server thread forever. 0 disables the deadline.
+  uint64_t idle_timeout_ms = 60000;
+};
+
 /// Unix-domain-socket daemon: N threads share one listening socket
 /// (and one immutable table mapping), each serving connections with
 /// the same line protocol. `quit` closes that connection only.
 class SocketServer {
  public:
-  explicit SocketServer(QueryService* service) : service_(service) {}
+  /// How Stop() treats connections that are mid-request. kHard cuts
+  /// both directions immediately; kDrain half-closes the read side so
+  /// an in-flight response is still written before the connection
+  /// thread notices EOF and exits. The daemon's SIGTERM/SIGINT path
+  /// uses kDrain.
+  enum class StopMode { kHard, kDrain };
+
+  explicit SocketServer(QueryService* service,
+                        const SocketServerOptions& options = {});
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
@@ -118,15 +134,17 @@ class SocketServer {
   /// `num_threads` acceptor threads.
   Status Start(const std::string& socket_path, size_t num_threads);
 
-  /// Stops accepting, shuts down in-flight connections, joins all
-  /// threads, and removes the socket file. Idempotent.
-  void Stop();
+  /// Stops accepting, shuts down in-flight connections (per `mode`),
+  /// joins all threads, and removes the socket file. Idempotent.
+  void Stop(StopMode mode = StopMode::kHard);
 
  private:
   void AcceptLoop();
   void ServeConnection(int fd);
 
   QueryService* service_;
+  SocketServerOptions options_;
+  obs::Counter* idle_counter_;
   std::string socket_path_;
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};

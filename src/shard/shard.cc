@@ -11,8 +11,8 @@
 #include "fpm/transactions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-#include "recovery/checkpoint.h"
 #include "recovery/mining_snapshot.h"
+#include "shard/unit.h"
 #include "util/failpoint.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -21,17 +21,12 @@ namespace divexp {
 namespace shard {
 namespace {
 
-/// XOR mask applied by the shard.unit.fingerprint failpoint to emulate
-/// a corrupted contribution stamp.
-constexpr uint64_t kFingerprintCorruption = 0xbadc0ffee0ddf00dULL;
-
-std::string ShardCheckpointDir(const std::string& base_dir, size_t shard) {
-  return base_dir + "/shard_" + std::to_string(shard);
-}
-
 /// Immutable per-shard inputs, built once and reused by every attempt.
 struct ShardWork {
   EncodedDataset data;
+  /// Outcome slice, retained only when an attempt runner needs to ship
+  /// it out of process (TransactionDatabase::Create consumes its copy).
+  std::vector<Outcome> outcomes;
   TransactionDatabase db;
   uint64_t fingerprint = 0;
   bool empty = false;
@@ -58,112 +53,45 @@ ShardOutcome RunShardUnit(size_t shard_index, const ShardWork& work,
         options.base.guard->cancel_requested()) {
       return options.base.guard->ToStatus();
     }
-    DIVEXP_FAILPOINT_STATUS("shard.unit.mine");
-    obs::StageTimer unit_timer(&collector, obs::kStageShardMine);
-
-    // Fresh guard per attempt; the retry policy's per-attempt timeout
-    // (escalated on every retry) overrides the base deadline so
-    // deadline-induced failures converge.
-    RunLimits limits = options.base.limits;
     const int64_t timeout = RetryAttemptTimeoutMs(options.retry, attempt);
-    if (timeout > 0) limits.deadline_ms = timeout;
-    RunGuard guard(limits);
-    RunGuard* guard_ptr = limits.unlimited() ? nullptr : &guard;
-
-    std::unique_ptr<recovery::Checkpointer> checkpointer;
-    if (!options.base.checkpoint_dir.empty()) {
-      recovery::CheckpointerOptions copts;
-      copts.dir =
-          ShardCheckpointDir(options.base.checkpoint_dir, shard_index);
-      copts.every_ms = options.base.checkpoint_every_ms;
-      // Retries always resume: whatever the previous attempt managed
-      // to persist is progress this attempt keeps.
-      copts.resume = options.base.resume || attempt > 0;
-      const std::string snapshot = copts.dir + "/mining.ckpt";
-      Result<std::unique_ptr<recovery::Checkpointer>> created =
-          recovery::Checkpointer::Create(copts);
-      if (!created.ok()) {
-        // Corrupt or unreadable snapshot: discard it so the next
-        // attempt remines from scratch instead of failing identically.
-        std::remove(snapshot.c_str());
-        return created.status();
-      }
-      checkpointer = std::move(*created);
-      Result<bool> restored = checkpointer->BeginAttempt(
-          work.fingerprint, options.base.miner, options.base.min_support,
-          options.base.max_length, /*strict=*/false);
-      if (!restored.ok()) {
-        std::remove(snapshot.c_str());
-        return restored.status();
-      }
-      checkpointer->AttachGuard(guard_ptr);
+    ShardAttemptResult result;
+    if (options.attempt_runner) {
+      // Out-of-line (process-isolated) attempt: the runner owns the
+      // whole unit including its failpoints and checkpointing; account
+      // the coordinator-side wall time as the shard-mine stage.
+      obs::StageTimer unit_timer(&collector, obs::kStageShardMine);
+      ShardAttemptContext ctx;
+      ctx.shard = shard_index;
+      ctx.attempt = attempt;
+      ctx.data = &work.data;
+      ctx.outcomes = &work.outcomes;
+      ctx.fingerprint = work.fingerprint;
+      ctx.timeout_ms = timeout;
+      ctx.base = &options.base;
+      result = options.attempt_runner(ctx);
+      unit_timer.AddItems(result.patterns.size());
+    } else {
+      ShardAttemptParams params;
+      params.shard = shard_index;
+      params.attempt = attempt;
+      params.fingerprint = work.fingerprint;
+      params.timeout_ms = timeout;
+      result = RunShardAttempt(work.db, options.base, *miner, params,
+                               &collector);
     }
-    // Fold this attempt's checkpoint accounting into the outcome on
-    // every exit path — failed attempts wrote snapshots too.
-    auto absorb_checkpoint_stats = [&]() {
-      if (checkpointer == nullptr) return;
-      out.resumed = out.resumed || checkpointer->resumed();
-      out.checkpoints_written += checkpointer->checkpoints_written();
-      out.checkpoint_bytes += checkpointer->checkpoint_bytes();
-      out.checkpoint_write_failures += checkpointer->write_failures();
-      const Status write_error = checkpointer->last_write_error();
-      if (!write_error.ok() && out.checkpoint_write_error.ok()) {
-        out.checkpoint_write_error = write_error;
-      }
-    };
-
-    MinerOptions mopts;
-    mopts.min_support = options.base.min_support;
-    mopts.max_length = options.base.max_length;
-    mopts.num_threads = options.base.num_threads;
-    mopts.guard = guard_ptr;
-    mopts.stages = &collector;
-    mopts.checkpoint = checkpointer.get();
-
-    std::vector<MinedPattern> patterns;
-    try {
-      Result<std::vector<MinedPattern>> mined =
-          miner->Mine(work.db, mopts);
-      if (!mined.ok()) {
-        absorb_checkpoint_stats();
-        return mined.status();
-      }
-      patterns = std::move(*mined);
-    } catch (const std::exception& e) {
-      absorb_checkpoint_stats();
-      return Status::Internal("shard " + std::to_string(shard_index) +
-                              " mining failed: " + e.what());
+    out.resumed = out.resumed || result.resumed;
+    out.checkpoints_written += result.checkpoints_written;
+    out.checkpoint_bytes += result.checkpoint_bytes;
+    out.checkpoint_write_failures += result.checkpoint_write_failures;
+    if (!result.checkpoint_write_error.ok() &&
+        out.checkpoint_write_error.ok()) {
+      out.checkpoint_write_error = result.checkpoint_write_error;
     }
-    if (guard_ptr != nullptr) {
-      out.peak_memory_bytes =
-          std::max(out.peak_memory_bytes, guard_ptr->peak_memory_bytes());
-      if (guard_ptr->stopped()) {
-        if (checkpointer != nullptr) {
-          // A failed flush is already latched in last_write_error.
-          Status ignored = checkpointer->Flush();  // best-effort: keep the truncated units for the retry
-        }
-        absorb_checkpoint_stats();
-        return guard_ptr->ToStatus();
-      }
-    }
-    absorb_checkpoint_stats();
-
-    uint64_t observed = work.fingerprint;
-#if defined(DIVEXP_FAILPOINTS_ENABLED)
-    if (recovery::FailPointRegistry::Default().armed()) {
-      const Status corrupted =
-          recovery::FailPointRegistry::Default().Hit(
-              "shard.unit.fingerprint");
-      if (!corrupted.ok()) observed ^= kFingerprintCorruption;
-    }
-#endif
-    if (observed != work.fingerprint) {
-      return Status::Internal("shard " + std::to_string(shard_index) +
-                              " contribution fingerprint mismatch");
-    }
-    out.fingerprint = observed;
-    out.patterns = std::move(patterns);
-    unit_timer.AddItems(out.patterns.size());
+    out.peak_memory_bytes =
+        std::max(out.peak_memory_bytes, result.peak_memory_bytes);
+    if (!result.status.ok()) return result.status;
+    out.fingerprint = result.fingerprint;
+    out.patterns = std::move(result.patterns);
     return Status::OK();
   };
 
@@ -223,6 +151,23 @@ Result<ShardFailurePolicy> ParseShardFailurePolicy(
                                  "' (expected fail, drop or stale)");
 }
 
+const char* ShardIsolationName(ShardIsolation isolation) {
+  switch (isolation) {
+    case ShardIsolation::kThread:
+      return "thread";
+    case ShardIsolation::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+Result<ShardIsolation> ParseShardIsolation(const std::string& name) {
+  if (name == "thread") return ShardIsolation::kThread;
+  if (name == "process") return ShardIsolation::kProcess;
+  return Status::InvalidArgument("unknown shard isolation '" + name +
+                                 "' (expected thread or process)");
+}
+
 Status ValidateShardedExplorerOptions(
     const ShardedExplorerOptions& options) {
   DIVEXP_RETURN_NOT_OK(ValidateExplorerOptions(options.base));
@@ -231,6 +176,12 @@ Status ValidateShardedExplorerOptions(
   }
   if (options.shard_parallelism == 0) {
     return Status::InvalidArgument("shard_parallelism must be >= 1");
+  }
+  if (options.isolation == ShardIsolation::kProcess &&
+      !options.attempt_runner) {
+    return Status::InvalidArgument(
+        "process isolation requires an attempt runner "
+        "(MakeProcessAttemptRunner)");
   }
   DIVEXP_RETURN_NOT_OK(ValidateRetryPolicy(options.retry));
   return Status::OK();
@@ -264,6 +215,7 @@ Result<PatternTable> ShardedExplorer::ExploreOutcomes(
   Stopwatch total;
   stats_ = ExplorerRunStats{};
   stats_.shards = options_.num_shards;
+  stats_.shard_isolation = ShardIsolationName(options_.isolation);
   stats_.effective_min_support = options_.base.min_support;
   {
     // Every shard inherits the base options and an identically-shaped
@@ -310,6 +262,11 @@ Result<PatternTable> ShardedExplorer::ExploreOutcomes(
     std::vector<Outcome> shard_outcomes(
         outcomes.begin() + static_cast<std::ptrdiff_t>(plan[i].begin),
         outcomes.begin() + static_cast<std::ptrdiff_t>(plan[i].end));
+    if (options_.attempt_runner) {
+      // An out-of-process attempt ships the raw slice, so keep the
+      // outcome copy TransactionDatabase::Create is about to consume.
+      work[i].outcomes = shard_outcomes;
+    }
     DIVEXP_ASSIGN_OR_RETURN(
         work[i].db,
         TransactionDatabase::Create(slice, std::move(shard_outcomes)));

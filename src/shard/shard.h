@@ -22,7 +22,9 @@
 #include "core/outcome.h"
 #include "core/pattern.h"
 #include "data/encoder.h"
+#include "fpm/transactions.h"
 #include "shard/merge.h"
+#include "shard/unit.h"
 #include "util/retry.h"
 #include "util/status.h"
 
@@ -48,6 +50,49 @@ const char* ShardFailurePolicyName(ShardFailurePolicy policy);
 /// Parses "fail" / "drop" / "stale".
 Result<ShardFailurePolicy> ParseShardFailurePolicy(const std::string& name);
 
+/// Where a shard attempt executes.
+enum class ShardIsolation {
+  /// In a worker thread of this process (the default): cheapest, but a
+  /// crash in any shard takes the whole run down.
+  kThread,
+  /// In a fork/exec'd `divexp shard-worker` process supervised by the
+  /// coordinator (src/shard/worker): SIGSEGV, OOM-kill or a wedged
+  /// miner in one shard becomes an ordinary retryable shard failure.
+  kProcess,
+};
+
+const char* ShardIsolationName(ShardIsolation isolation);
+
+/// Parses "thread" / "process".
+Result<ShardIsolation> ParseShardIsolation(const std::string& name);
+
+/// Everything an injected attempt runner needs to execute one
+/// (shard, attempt) somewhere else. All pointers are non-owning and
+/// valid for the duration of the call.
+struct ShardAttemptContext {
+  size_t shard = 0;
+  size_t attempt = 0;
+  /// The shard's dataset slice and outcome slice (what a worker spec
+  /// serializes; the transaction database does not cross the process
+  /// line).
+  const EncodedDataset* data = nullptr;
+  const std::vector<Outcome>* outcomes = nullptr;
+  /// Expected DatasetFingerprint of the slice.
+  uint64_t fingerprint = 0;
+  /// Per-attempt deadline, already escalated by the retry policy
+  /// (0 = base deadline only).
+  int64_t timeout_ms = 0;
+  /// The run's base exploration parameters.
+  const ExplorerOptions* base = nullptr;
+};
+
+/// Executes one shard attempt out-of-line — the seam the process
+/// coordinator (src/shard/worker/coordinator.h, a higher layer) plugs
+/// into without this header ever depending on it. Must be
+/// exception-free: report failures through the result's status.
+using ShardAttemptRunner =
+    std::function<ShardAttemptResult(const ShardAttemptContext&)>;
+
 /// Configuration of a sharded exploration.
 struct ShardedExplorerOptions {
   /// Per-shard exploration parameters. `limits` govern each shard
@@ -70,6 +115,12 @@ struct ShardedExplorerOptions {
   RetryPolicy retry;
   /// Test hook: receives each backoff delay instead of sleeping.
   std::function<void(uint64_t)> sleep_ms;
+  /// Where shard attempts execute. kProcess requires `attempt_runner`
+  /// (wired by the CLI / tests via MakeProcessAttemptRunner) —
+  /// validation rejects the combination without it.
+  ShardIsolation isolation = ShardIsolation::kThread;
+  /// Out-of-line attempt executor for kProcess; ignored under kThread.
+  ShardAttemptRunner attempt_runner;
 };
 
 [[nodiscard]] Status ValidateShardedExplorerOptions(

@@ -1,0 +1,77 @@
+// Supervising side of process-isolated shard attempts: builds the
+// ShardAttemptRunner that ShardedExplorer's retry loop calls for every
+// (shard, attempt) under --shard-isolation=process.
+//
+// Per attempt the runner:
+//   1. writes a WorkerSpec (dataset slice, outcomes, mining parameters,
+//      escalated deadline, heartbeat cadence, chaos schedule) to the
+//      scratch directory,
+//   2. fork/execs `<worker_exe> shard-worker --spec=... --status-fd=3`
+//      (util/subprocess.h is the only spawn site in the tree),
+//   3. supervises the status pipe: every heartbeat / progress /
+//      checkpoint frame refreshes the heartbeat deadline; missing the
+//      deadline — or the optional wall-clock watchdog, or an external
+//      cancel — SIGKILLs the worker,
+//   4. always reaps the child exactly once (RAII, so no path leaks a
+//      zombie) and classifies the exit: result frame + clean exit is
+//      success; a fatal-status frame carries the attempt's own Status;
+//      a signal death, nonzero exit, protocol corruption or timeout
+//      becomes a retryable Internal error for the retry loop,
+//   5. on success opens the worker's result artifact (full-validation
+//      tier) and reconstructs the shard contribution exactly.
+//
+// Failure handling is the point: a SIGKILL'd, SIGSEGV'd or wedged
+// worker is an ordinary shard failure, and its next attempt resumes
+// from the shard checkpoint the dead worker left behind.
+#ifndef DIVEXP_SHARD_WORKER_COORDINATOR_H_
+#define DIVEXP_SHARD_WORKER_COORDINATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "shard/shard.h"
+
+namespace divexp {
+namespace shard {
+namespace worker {
+
+/// Supervision parameters for process-isolated attempts.
+struct ProcessIsolationOptions {
+  /// Executable to re-exec with the `shard-worker` verb; empty means
+  /// SelfExecutablePath() (the normal case — the CLI re-execs itself).
+  std::string worker_exe;
+  /// Heartbeat cadence the spec asks the worker to sustain; 0 disables
+  /// worker heartbeats (and heartbeat supervision with them).
+  uint64_t heartbeat_interval_ms = 100;
+  /// Coordinator-side deadline: a worker silent for this long is
+  /// presumed wedged and SIGKILLed. Must comfortably exceed the
+  /// interval; 0 disables heartbeat supervision.
+  uint64_t heartbeat_timeout_ms = 10000;
+  /// Optional wall-clock cap per attempt (0 = none); an attempt still
+  /// heartbeating past this is SIGKILLed anyway. The backstop for a
+  /// worker whose mining loop is live but never finishes.
+  uint64_t watchdog_ms = 0;
+  /// Directory for per-attempt spec and result-artifact files (created
+  /// if missing). Required.
+  std::string scratch_dir;
+  /// Failpoint schedule armed inside every worker ("" = none).
+  std::string failpoints;
+  /// Chaos hook: overrides `failpoints` per (shard, attempt). Worker
+  /// processes start with fresh hit counters, so a schedule returned
+  /// here fires relative to that attempt alone.
+  std::function<std::string(size_t shard, size_t attempt)>
+      failpoint_schedule;
+};
+
+/// Builds the process-isolation attempt runner to plug into
+/// ShardedExplorerOptions::attempt_runner. The returned callable is
+/// exception-free and safe to invoke from concurrent shard workers
+/// (each call supervises its own child).
+ShardAttemptRunner MakeProcessAttemptRunner(ProcessIsolationOptions options);
+
+}  // namespace worker
+}  // namespace shard
+}  // namespace divexp
+
+#endif  // DIVEXP_SHARD_WORKER_COORDINATOR_H_

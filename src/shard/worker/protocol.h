@@ -1,0 +1,164 @@
+// Wire protocol between the shard coordinator and a `divexp
+// shard-worker` process.
+//
+// Two halves:
+//
+//  1. The *worker spec*: everything one (shard, attempt) needs to run
+//     somewhere else — the dataset slice, outcomes, mining parameters,
+//     checkpoint location, per-attempt deadline, heartbeat cadence,
+//     result path and an optional failpoint schedule. Written as a
+//     kWorkerSpec snapshot file (CRC-checked envelope, atomic
+//     replace), handed to the worker via --spec=<path>.
+//
+//  2. *Status frames* streamed worker → coordinator over the status
+//     pipe: length-prefixed and CRC-checked, so a worker dying
+//     mid-write (SIGKILL chaos) surfaces as a truncated or corrupt
+//     frame the coordinator can classify, never as garbage parsed as
+//     success. Frame layout:
+//
+//        u32 payload_len   (bounded by kMaxFramePayload)
+//        u32 crc32(payload)
+//        payload           ByteWriter: u8 type + typed fields
+//
+//     Types: heartbeat (liveness, seq), progress (patterns mined),
+//     checkpoint-written (snapshot count), result-ready (fingerprint,
+//     artifact path, attempt accounting) and fatal-status (the
+//     attempt's non-OK Status plus the same accounting).
+//
+// Results themselves never cross the pipe: the worker writes its shard
+// table as a PR-8 serving artifact (WriteFileAtomic underneath) and
+// the coordinator attaches it zero-copy (serve/artifact.h).
+#ifndef DIVEXP_SHARD_WORKER_PROTOCOL_H_
+#define DIVEXP_SHARD_WORKER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+#include "data/encoder.h"
+#include "fpm/transactions.h"
+#include "util/status.h"
+
+namespace divexp {
+namespace shard {
+namespace worker {
+
+/// Upper bound on one frame's payload; a length prefix beyond this is
+/// protocol corruption (frames carry accounting and paths, not data).
+inline constexpr uint32_t kMaxFramePayload = 1 << 20;
+
+/// Frame type tags (u8 on the wire).
+enum class FrameType : uint8_t {
+  kHeartbeat = 1,
+  kProgress = 2,
+  kCheckpointWritten = 3,
+  kResultReady = 4,
+  kFatalStatus = 5,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// Attempt accounting shipped with result-ready and fatal-status
+/// frames (the ShardAttemptResult fields that must survive the
+/// process boundary).
+struct FrameStats {
+  bool resumed = false;
+  uint64_t checkpoints_written = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t checkpoint_write_failures = 0;
+  uint32_t checkpoint_error_code = 0;  ///< StatusCode, 0 = OK
+  std::string checkpoint_error_message;
+  uint64_t peak_memory_bytes = 0;
+};
+
+/// One decoded status frame. Unused fields are zero/empty for types
+/// that do not carry them.
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  /// Heartbeat sequence / patterns mined / checkpoints written.
+  uint64_t value = 0;
+  /// Contribution fingerprint (result-ready).
+  uint64_t fingerprint = 0;
+  /// Artifact path the worker wrote (result-ready).
+  std::string artifact_path;
+  /// The attempt's failure (fatal-status): StatusCode + message.
+  uint32_t status_code = 0;
+  std::string message;
+  FrameStats stats;
+};
+
+/// Serializes one frame: length prefix, payload CRC, payload.
+std::string EncodeFrame(const Frame& frame);
+
+/// EncodeFrame + EINTR-safe full write to `fd`.
+Status WriteFrame(int fd, const Frame& frame);
+
+/// Incremental frame decoder for the coordinator's poll loop: feed
+/// raw pipe bytes in, pull complete frames out. A CRC mismatch,
+/// oversized length prefix or malformed payload is a permanent
+/// protocol error (every later Next() repeats it).
+class FrameReader {
+ public:
+  /// Appends raw bytes from the pipe.
+  void Feed(const void* data, size_t len);
+
+  /// Next complete frame; nullopt when more bytes are needed.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by a complete frame. A
+  /// nonzero value at EOF means the worker died mid-frame.
+  size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  Status error_;
+};
+
+/// Everything one shard attempt needs to execute out of process.
+struct WorkerSpec {
+  uint64_t shard = 0;
+  uint64_t attempt = 0;
+  /// Expected DatasetFingerprint of (data, outcomes); the worker
+  /// recomputes and refuses to mine a mismatched slice.
+  uint64_t expected_fingerprint = 0;
+  /// Per-attempt deadline override (already escalated); 0 = none.
+  int64_t timeout_ms = 0;
+  /// Heartbeat cadence the worker must sustain.
+  uint64_t heartbeat_interval_ms = 100;
+  /// Where the worker writes its result artifact.
+  std::string result_path;
+  /// Failpoint schedule armed inside the worker ("" = none); the
+  /// chaos harness's per-(shard, attempt) injection channel — worker
+  /// processes start with fresh hit counters, so schedules are
+  /// per-attempt by construction.
+  std::string failpoints;
+  /// Mining parameters (the serializable ExplorerOptions subset:
+  /// guard/hook fields cannot cross the process line and stay
+  /// default).
+  ExplorerOptions base;
+  /// The shard's dataset slice and outcomes.
+  EncodedDataset data;
+  std::vector<Outcome> outcomes;
+};
+
+/// Serializes `spec` into a kWorkerSpec snapshot payload.
+std::string SerializeWorkerSpec(const WorkerSpec& spec);
+
+/// Parses a kWorkerSpec payload; malformed input yields a descriptive
+/// Status, never UB.
+Result<WorkerSpec> DeserializeWorkerSpec(const std::string& payload);
+
+/// Writes `spec` as a CRC-checked kWorkerSpec snapshot file
+/// (write-temp/fsync/rename).
+Status WriteWorkerSpec(const std::string& path, const WorkerSpec& spec);
+
+/// Loads and verifies a kWorkerSpec snapshot file.
+Result<WorkerSpec> ReadWorkerSpec(const std::string& path);
+
+}  // namespace worker
+}  // namespace shard
+}  // namespace divexp
+
+#endif  // DIVEXP_SHARD_WORKER_PROTOCOL_H_

@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <thread>
 
@@ -27,6 +28,10 @@ const char* FailPointActionName(FailPointAction action) {
       return "abort";
     case FailPointAction::kDelay:
       return "delay";
+    case FailPointAction::kSegv:
+      return "segv";
+    case FailPointAction::kKill:
+      return "kill";
   }
   return "unknown";
 }
@@ -73,10 +78,14 @@ Result<std::vector<FailPointSpec>> ParseFailPointSpecs(
       }
       fp.action = FailPointAction::kDelay;
       fp.delay_ms = delay;
+    } else if (action == "segv") {
+      fp.action = FailPointAction::kSegv;
+    } else if (action == "kill") {
+      fp.action = FailPointAction::kKill;
     } else {
       return Status::InvalidArgument(
           "unknown failpoint action '" + action +
-          "' (use return-error, throw, abort, delay-<ms>)");
+          "' (use return-error, throw, abort, delay-<ms>, segv, kill)");
     }
     out.push_back(std::move(fp));
   }
@@ -156,6 +165,14 @@ Status FailPointRegistry::Fire(const FailPointSpec& spec) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(spec.delay_ms));
       return Status::OK();
+    case FailPointAction::kSegv:
+      std::raise(SIGSEGV);
+      // A sanitizer's deadly-signal handler may return control after
+      // scheduling the process exit; stop deterministically either way.
+      std::abort();
+    case FailPointAction::kKill:
+      std::raise(SIGKILL);
+      std::abort();  // unreachable: SIGKILL cannot be handled
   }
   return Status::OK();
 }

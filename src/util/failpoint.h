@@ -27,6 +27,11 @@
 //   throw         throw FailPointError
 //   abort         std::abort() — simulated process death
 //   delay-<ms>    sleep for <ms> milliseconds, then continue
+//   segv          raise(SIGSEGV) — simulated memory fault (under a
+//                 sanitizer the deadly-signal handler turns this into
+//                 a nonzero exit; chaos tests accept both shapes)
+//   kill          raise(SIGKILL) — uncatchable process death, the
+//                 chaos harness's stand-in for the OOM killer
 //
 // Every fired fault increments the obs counter
 // `recovery.failpoint.<name>` and the registry's faults_injected()
@@ -55,6 +60,8 @@ enum class FailPointAction {
   kThrow,
   kAbort,
   kDelay,
+  kSegv,
+  kKill,
 };
 
 const char* FailPointActionName(FailPointAction action);

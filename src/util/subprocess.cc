@@ -1,0 +1,147 @@
+#include "util/subprocess.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace divexp {
+
+namespace {
+
+std::atomic<uint64_t> g_spawned{0};
+std::atomic<uint64_t> g_reaped{0};
+
+Status ErrnoStatus(const std::string& what, int err) {
+  return Status::Internal(what + ": " + std::strerror(err));
+}
+
+}  // namespace
+
+Result<ChildProcess> SpawnWithStatusPipe(
+    const std::vector<std::string>& argv, int child_status_fd) {
+  if (argv.empty()) {
+    return Status::InvalidArgument("subprocess argv is empty");
+  }
+  if (child_status_fd < 0) {
+    return Status::InvalidArgument("child_status_fd must be >= 0");
+  }
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return ErrnoStatus("pipe", errno);
+  }
+  // The exec argv must be built before fork: the child may only call
+  // async-signal-safe functions, and std::string operations are not.
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    cargv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return ErrnoStatus("fork", err);
+  }
+  if (pid == 0) {
+    // Child: route the status pipe's write end to the agreed
+    // descriptor, drop the read end, exec. Only async-signal-safe
+    // calls from here on.
+    ::close(fds[0]);
+    if (fds[1] != child_status_fd) {
+      if (::dup2(fds[1], child_status_fd) < 0) _exit(127);
+      ::close(fds[1]);
+    }
+    ::execv(cargv[0], cargv.data());
+    _exit(127);
+  }
+  ::close(fds[1]);
+  g_spawned.fetch_add(1, std::memory_order_relaxed);
+  ChildProcess child;
+  child.pid = pid;
+  child.status_fd = fds[0];
+  return child;
+}
+
+Result<ExitStatus> WaitForExit(pid_t pid) {
+  if (pid <= 0) {
+    return Status::InvalidArgument("WaitForExit needs a positive pid");
+  }
+  int wstatus = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &wstatus, 0);
+    if (r == pid) break;
+    if (r < 0 && errno == EINTR) continue;
+    return ErrnoStatus("waitpid", errno);
+  }
+  g_reaped.fetch_add(1, std::memory_order_relaxed);
+  ExitStatus out;
+  if (WIFSIGNALED(wstatus)) {
+    out.kind = ExitKind::kSignaled;
+    out.term_signal = WTERMSIG(wstatus);
+  } else {
+    out.kind = ExitKind::kExited;
+    out.exit_code = WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : 127;
+  }
+  return out;
+}
+
+Status KillProcess(pid_t pid, int signal) {
+  if (pid <= 0) {
+    return Status::InvalidArgument("KillProcess needs a positive pid");
+  }
+  if (::kill(pid, signal) != 0 && errno != ESRCH) {
+    return ErrnoStatus("kill", errno);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ReadSome(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return ErrnoStatus("read", errno);
+  }
+}
+
+Status WriteAll(int fd, const void* buf, size_t len) {
+  const char* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return ErrnoStatus("write", n < 0 ? errno : EIO);
+  }
+  return Status::OK();
+}
+
+uint64_t SubprocessSpawnCount() {
+  return g_spawned.load(std::memory_order_relaxed);
+}
+
+uint64_t SubprocessReapCount() {
+  return g_reaped.load(std::memory_order_relaxed);
+}
+
+std::string SelfExecutablePath() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return std::string();
+  buf[n] = '\0';
+  return std::string(buf);
+}
+
+}  // namespace divexp

@@ -9,12 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "recovery/atomic_file.h"
 #include "serve/artifact.h"
 #include "serve/server.h"
@@ -150,6 +152,15 @@ class LineClient {
     return response;
   }
 
+  /// Blocks until the server closes the connection; true on clean EOF.
+  bool WaitForEof() {
+    char c;
+    ssize_t n;
+    while ((n = ::read(fd_, &c, 1)) == 1) {
+    }
+    return n == 0;
+  }
+
  private:
   int fd_ = -1;
 };
@@ -197,6 +208,71 @@ TEST(ServeConcurrencyTest, SocketDaemonServesConcurrentClients) {
   // Stop is idempotent and removes the socket file.
   server.Stop();
   EXPECT_FALSE(recovery::FileExists(socket_path));
+}
+
+uint64_t IdleDisconnects() {
+  return obs::MetricsRegistry::Default()
+      .GetCounter("serve.idle_disconnects")
+      ->Value();
+}
+
+TEST(ServeConcurrencyTest, SilentConnectionIsDisconnectedAtIdleDeadline) {
+  ServingTable table = OpenTestTable("idle");
+  QueryService service(&table);
+  SocketServerOptions options;
+  options.idle_timeout_ms = 200;
+  SocketServer server(&service, options);
+  const std::string socket_path = TempDir("idle") + "/serve.sock";
+  ASSERT_TRUE(server.Start(socket_path, /*num_threads=*/2).ok());
+
+  const uint64_t idle_before = IdleDisconnects();
+  LineClient quiet(socket_path);
+  // One request proves the connection is live; then go silent. The
+  // server must hang up on its own — a walked-away client can never
+  // pin a server thread forever.
+  ASSERT_FALSE(quiet.RoundTrip("stats").empty());
+  EXPECT_TRUE(quiet.WaitForEof());
+  EXPECT_GT(IdleDisconnects(), idle_before);
+  server.Stop();
+}
+
+TEST(ServeConcurrencyTest, ActiveConnectionOutlivesTheIdleDeadline) {
+  ServingTable table = OpenTestTable("active");
+  QueryService service(&table);
+  SocketServerOptions options;
+  options.idle_timeout_ms = 300;
+  SocketServer server(&service, options);
+  const std::string socket_path = TempDir("active") + "/serve.sock";
+  ASSERT_TRUE(server.Start(socket_path, /*num_threads=*/2).ok());
+
+  // Requests spaced well inside the deadline, for several deadlines'
+  // worth of wall clock: every byte read must refresh the countdown.
+  LineClient client(socket_path);
+  for (int i = 0; i < 10; ++i) {
+    const std::string response = client.RoundTrip("topk k=1");
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+}
+
+TEST(ServeConcurrencyTest, DrainStopDeliversResponsesThenEof) {
+  ServingTable table = OpenTestTable("drain");
+  QueryService service(&table);
+  SocketServer server(&service);
+  const std::string socket_path = TempDir("drain") + "/serve.sock";
+  ASSERT_TRUE(server.Start(socket_path, /*num_threads=*/2).ok());
+
+  LineClient client(socket_path);
+  const std::string response = client.RoundTrip("stats");
+  EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+  // Drain half-closes the read side only: the connection winds down
+  // with a clean EOF (the daemon's SIGTERM path), never a mid-response
+  // cut or an ECONNRESET.
+  std::thread stopper(
+      [&server] { server.Stop(SocketServer::StopMode::kDrain); });
+  EXPECT_TRUE(client.WaitForEof());
+  stopper.join();
 }
 
 TEST(ServeConcurrencyTest, StopUnblocksIdleConnections) {

@@ -1,0 +1,15 @@
+// Known-bad fixture: raw process creation outside the sanctioned
+// wrapper translation unit. All spawning must go through
+// util/subprocess.h so the coordinator's spawn/reap accounting (the
+// zombie invariant) can never be bypassed.
+// lint-path: src/core/explorer.cc
+#include <unistd.h>
+
+int SpawnHelper(char** argv) {
+  const int pid = fork();  // expect: no-raw-subprocess
+  if (pid == 0) {
+    execv(argv[0], argv);  // expect: no-raw-subprocess
+    _exit(127);
+  }
+  return pid;
+}

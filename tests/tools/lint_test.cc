@@ -93,6 +93,15 @@ TEST(LintLayersTest, LayerOrderMatchesTheTree) {
             LayerOf("src/data/csv.cc"));
   EXPECT_EQ(LayerOf("src/fpm/kernels/arena.h"),
             LayerOf("src/fpm/kernels/kernels.h"));
+  // The process-isolation layer pins above both the shard driver and
+  // serve/ (it writes worker results in the artifact format) but below
+  // tools/, so shard/shard.cc can never include a worker header.
+  EXPECT_GT(LayerOf("src/shard/worker/coordinator.cc"),
+            LayerOf("src/shard/shard.cc"));
+  EXPECT_GT(LayerOf("src/shard/worker/worker.cc"),
+            LayerOf("src/serve/artifact.cc"));
+  EXPECT_LT(LayerOf("src/shard/worker/coordinator.cc"),
+            LayerOf("tools/cli_run.cc"));
   EXPECT_EQ(LayerOf("third_party/whatever.h"), -1);
 }
 
@@ -228,6 +237,54 @@ TEST(LintServeNoMutationTest, FlagsMutationTokensOnlyInServe) {
   }
 }
 
+TEST(LintRawSubprocessTest, FlagsCallsOutsideTheWrapper) {
+  // Token assembled by concatenation so this test file stays clean.
+  const std::string line =
+      "const int pid = ::" + (std::string("fo") + "rk") + "();\n";
+  std::vector<Diagnostic> diags;
+  LintFile("src/shard/worker/coordinator.cc", line, SharedCatalogs(),
+           &diags);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleNoRawSubprocess);
+}
+
+TEST(LintRawSubprocessTest, WrapperUnitAndProseAreExempt) {
+  const std::string call =
+      "const int pid = ::" + (std::string("fo") + "rk") + "();\n";
+  std::vector<Diagnostic> diags;
+  LintFile("src/util/subprocess.cc", call, SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+  // Non-call mentions (prose in trailing comments, identifier
+  // fragments) stay quiet.
+  std::vector<Diagnostic> prose;
+  LintFile("src/shard/worker/coordinator.cc",
+           "int x = 0;  // workers are " + (std::string("fo") + "rk") +
+               "/exec children\n",
+           SharedCatalogs(), &prose);
+  EXPECT_TRUE(prose.empty());
+}
+
+TEST(LintFailpointSpecTest, ProcessChaosActionsAreValid) {
+  // The arming-site trigger is kept in its own string so this test
+  // file's physical lines never pair it with an @-spec literal (the
+  // tree lint scans this file too).
+  const std::string trigger = ";  // --failpoints example\n";
+  // Specs with the chaos actions pass; a bogus action still fails.
+  std::vector<Diagnostic> diags;
+  LintFile("src/shard/worker/coordinator.cc",
+           "const char* s = \"shard.unit.mine@1:kill,"
+           "io.snapshot.write@1:segv\"" +
+               trigger,
+           SharedCatalogs(), &diags);
+  EXPECT_TRUE(diags.empty());
+  std::vector<Diagnostic> bad;
+  LintFile("src/shard/worker/coordinator.cc",
+           "const char* s = \"shard.unit.mine@1:explode\"" + trigger,
+           SharedCatalogs(), &bad);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].rule, kRuleFailpointName);
+}
+
 TEST(LintCorpusTest, EveryFixtureProducesExactlyItsDeclaredFindings) {
   const fs::path corpus =
       fs::path(DIVEXP_SOURCE_ROOT) / "tests" / "tools" / "lint_corpus";
@@ -265,7 +322,7 @@ TEST(LintCorpusTest, EveryFixtureProducesExactlyItsDeclaredFindings) {
     EXPECT_EQ(actual, expected);
   }
   // The corpus must keep covering every rule the linter ships.
-  EXPECT_GE(fixtures, 9u);
+  EXPECT_GE(fixtures, 10u);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 namespace divexp {
@@ -178,6 +179,78 @@ TEST(RetryWithBackoffTest, DoesNotRetryCancellation) {
   EXPECT_EQ(out.status.code(), StatusCode::kCancelled);
   EXPECT_EQ(calls, 1u);
   EXPECT_EQ(out.retries, 0u);
+}
+
+TEST(RetryTimeoutTest, EscalationSaturatesNearOverflow) {
+  RetryPolicy p;
+  p.attempt_timeout_ms = 1000;
+  p.timeout_escalation = 10.0;
+  // 1000 * 10^40 overflows double->int64 conversion unless the policy
+  // saturates; the cap is 1e15 ms (~31k years), far below INT64_MAX.
+  const int64_t far = RetryAttemptTimeoutMs(p, 40);
+  EXPECT_EQ(far, static_cast<int64_t>(1e15));
+  // Saturation is sticky: later attempts stay pinned at the cap.
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 400), far);
+  // Pre-saturation attempts still escalate normally.
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 0), 1000);
+  EXPECT_EQ(RetryAttemptTimeoutMs(p, 3), 1000000);
+}
+
+TEST(RetryTimeoutTest, MaximalPolicyValuesDoNotOverflow) {
+  RetryPolicy p;
+  p.attempt_timeout_ms = std::numeric_limits<int64_t>::max();
+  p.timeout_escalation = 1e9;
+  const int64_t t = RetryAttemptTimeoutMs(p, 100);
+  EXPECT_GT(t, 0);
+  EXPECT_EQ(t, static_cast<int64_t>(1e15));
+}
+
+TEST(RetryBackoffTest, IndexBeyondRetryBudgetStaysCapped) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.backoff_multiplier = 3.0;
+  p.max_backoff_ms = 500;
+  p.jitter = 0.0;
+  p.max_retries = 2;
+  // Callers may probe indices past max_retries (e.g. logging the
+  // would-be schedule); the curve must stay capped, not overflow the
+  // double accumulation.
+  EXPECT_EQ(RetryBackoffMs(p, 7, 2), 90u);
+  EXPECT_EQ(RetryBackoffMs(p, 7, 10), 500u);
+  EXPECT_EQ(RetryBackoffMs(p, 7, 1000), 500u);
+}
+
+TEST(RetryBackoffTest, JitterStaysInsideDocumentedBounds) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 1000;
+  p.backoff_multiplier = 1.0;
+  p.max_backoff_ms = 1000;
+  p.jitter = 0.25;
+  for (uint64_t token = 0; token < 64; ++token) {
+    for (size_t retry = 0; retry < 8; ++retry) {
+      const uint64_t b = RetryBackoffMs(p, token, retry);
+      // Documented contract: uniform in [(1 - jitter) * base, base].
+      EXPECT_GE(b, 750u) << "token=" << token << " retry=" << retry;
+      EXPECT_LE(b, 1000u) << "token=" << token << " retry=" << retry;
+    }
+  }
+}
+
+TEST(RetryBackoffTest, JitterIsDeterministicPerSeedTokenIndex) {
+  RetryPolicy p;
+  p.jitter = 0.5;
+  p.initial_backoff_ms = 1000;
+  p.max_backoff_ms = 4000;
+  // Same (seed, token, retry) triple replays the same delay, so a
+  // resumed run reproduces the original backoff schedule exactly.
+  EXPECT_EQ(RetryBackoffMs(p, 42, 1), RetryBackoffMs(p, 42, 1));
+  // Each coordinate perturbs the stream.
+  RetryPolicy q = p;
+  q.jitter_seed = p.jitter_seed + 1;
+  const uint64_t base_case = RetryBackoffMs(p, 42, 1);
+  EXPECT_TRUE(RetryBackoffMs(q, 42, 1) != base_case ||
+              RetryBackoffMs(q, 43, 1) != RetryBackoffMs(p, 43, 1));
+  EXPECT_NE(RetryBackoffMs(p, 42, 1), RetryBackoffMs(p, 43, 1));
 }
 
 TEST(RetryWithBackoffTest, ZeroRetriesMeansSingleAttempt) {

@@ -1,0 +1,178 @@
+// util/subprocess: the tree's only fork/exec site. Covers the spawn /
+// status-pipe / reap lifecycle against real children (/bin/sh), exit
+// classification (codes, signals, exec failure), argument validation,
+// the EINTR-safe IO helpers, and the spawn/reap accounting the shard
+// coordinator's zombie invariant is built on.
+#include "util/subprocess.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace divexp {
+namespace {
+
+std::string Sh(const std::string& script, ChildProcess* child) {
+  auto spawned =
+      SpawnWithStatusPipe({"/bin/sh", "-c", script}, /*child_status_fd=*/3);
+  EXPECT_TRUE(spawned.ok()) << spawned.status().ToString();
+  *child = spawned.value();
+  return script;
+}
+
+std::string DrainPipe(int fd) {
+  std::string out;
+  char buf[256];
+  for (;;) {
+    auto n = ReadSome(fd, buf, sizeof(buf));
+    EXPECT_TRUE(n.ok()) << n.status().ToString();
+    if (!n.ok() || n.value() == 0) break;
+    out.append(buf, n.value());
+  }
+  return out;
+}
+
+TEST(SubprocessTest, ChildWritesStatusPipeAndExitsZero) {
+  ChildProcess child;
+  Sh("printf hello >&3", &child);
+  EXPECT_EQ(DrainPipe(child.status_fd), "hello");
+  ::close(child.status_fd);
+  auto exit = WaitForExit(child.pid);
+  ASSERT_TRUE(exit.ok()) << exit.status().ToString();
+  EXPECT_EQ(exit.value().kind, ExitKind::kExited);
+  EXPECT_EQ(exit.value().exit_code, 0);
+}
+
+TEST(SubprocessTest, ChildExitSurfacesAsPipeEofThenExitCode) {
+  ChildProcess child;
+  Sh("exit 7", &child);
+  // The parent's copy of the write end is closed inside spawn, so the
+  // child dying is exactly one EOF — no dangling writer keeps the read
+  // side open.
+  EXPECT_EQ(DrainPipe(child.status_fd), "");
+  ::close(child.status_fd);
+  auto exit = WaitForExit(child.pid);
+  ASSERT_TRUE(exit.ok());
+  EXPECT_EQ(exit.value().kind, ExitKind::kExited);
+  EXPECT_EQ(exit.value().exit_code, 7);
+}
+
+TEST(SubprocessTest, SigkilledChildReportsKSignaled) {
+  ChildProcess child;
+  // Signal readiness over the pipe first so the kill cannot race the
+  // exec (a pre-exec SIGKILL would still be kSignaled, but make the
+  // test deterministic about *which* process state is killed). `exec`
+  // keeps it a single process: a forked `sleep` grandchild would
+  // inherit the pipe's write end and hold the drain open long after
+  // the shell died.
+  Sh("printf r >&3; exec sleep 30", &child);
+  char c = 0;
+  auto n = ReadSome(child.status_fd, &c, 1);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(n.value(), 1u);
+  ASSERT_TRUE(KillProcess(child.pid, SIGKILL).ok());
+  EXPECT_EQ(DrainPipe(child.status_fd), "");
+  ::close(child.status_fd);
+  auto exit = WaitForExit(child.pid);
+  ASSERT_TRUE(exit.ok());
+  EXPECT_EQ(exit.value().kind, ExitKind::kSignaled);
+  EXPECT_EQ(exit.value().term_signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ExecFailureExitsOneTwentySeven) {
+  auto spawned = SpawnWithStatusPipe({"/nonexistent/divexp-no-such-exe"},
+                                     /*child_status_fd=*/3);
+  ASSERT_TRUE(spawned.ok()) << spawned.status().ToString();
+  EXPECT_EQ(DrainPipe(spawned.value().status_fd), "");
+  ::close(spawned.value().status_fd);
+  auto exit = WaitForExit(spawned.value().pid);
+  ASSERT_TRUE(exit.ok());
+  EXPECT_EQ(exit.value().kind, ExitKind::kExited);
+  EXPECT_EQ(exit.value().exit_code, 127);
+}
+
+TEST(SubprocessTest, InvalidSpawnArgumentsAreRejected) {
+  EXPECT_FALSE(SpawnWithStatusPipe({}, 3).ok());
+  EXPECT_FALSE(
+      SpawnWithStatusPipe({"/bin/sh", "-c", "true"}, /*child_status_fd=*/-1)
+          .ok());
+}
+
+TEST(SubprocessTest, KillProcessRefusesNonPositivePids) {
+  // pid 0 signals the whole process group and pid -1 "every process we
+  // may signal"; a coordinator bug must never reach kill(2) with them.
+  EXPECT_FALSE(KillProcess(0, SIGKILL).ok());
+  EXPECT_FALSE(KillProcess(-1, SIGKILL).ok());
+  EXPECT_FALSE(KillProcess(-42, SIGKILL).ok());
+}
+
+TEST(SubprocessTest, WaitForExitRejectsNonPositivePids) {
+  EXPECT_FALSE(WaitForExit(0).ok());
+  EXPECT_FALSE(WaitForExit(-1).ok());
+}
+
+TEST(SubprocessTest, WriteAllReadSomeRoundTripOverAPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Below any plausible pipe capacity, so the single-threaded write
+  // cannot block; short writes are exercised by the chunked reader.
+  std::string payload;
+  for (int i = 0; i < 4096; ++i) payload += static_cast<char>('a' + i % 26);
+  ASSERT_TRUE(WriteAll(fds[1], payload.data(), payload.size()).ok());
+  ::close(fds[1]);
+  EXPECT_EQ(DrainPipe(fds[0]), payload);
+  ::close(fds[0]);
+}
+
+TEST(SubprocessTest, WriteAllToClosedReaderFailsCleanly) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  // EPIPE path: the worker ignores SIGPIPE and relies on WriteAll
+  // surfacing a Status instead. The test process may have SIGPIPE at
+  // default disposition, so mask it around the write.
+  struct sigaction ignore_action {};
+  struct sigaction old_action {};
+  ignore_action.sa_handler = SIG_IGN;
+  ASSERT_EQ(sigaction(SIGPIPE, &ignore_action, &old_action), 0);
+  const char byte = 'x';
+  EXPECT_FALSE(WriteAll(fds[1], &byte, 1).ok());
+  ASSERT_EQ(sigaction(SIGPIPE, &old_action, nullptr), 0);
+  ::close(fds[1]);
+}
+
+TEST(SubprocessTest, SpawnAndReapCountsStayBalanced) {
+  const uint64_t spawned_before = SubprocessSpawnCount();
+  const uint64_t reaped_before = SubprocessReapCount();
+  constexpr int kChildren = 5;
+  std::vector<ChildProcess> children;
+  for (int i = 0; i < kChildren; ++i) {
+    ChildProcess child;
+    Sh(i % 2 == 0 ? "exit 0" : "exit 3", &child);
+    children.push_back(child);
+  }
+  EXPECT_EQ(SubprocessSpawnCount() - spawned_before,
+            static_cast<uint64_t>(kChildren));
+  for (const ChildProcess& child : children) {
+    ::close(child.status_fd);
+    EXPECT_TRUE(WaitForExit(child.pid).ok());
+  }
+  EXPECT_EQ(SubprocessReapCount() - reaped_before,
+            static_cast<uint64_t>(kChildren));
+  EXPECT_EQ(SubprocessSpawnCount() - spawned_before,
+            SubprocessReapCount() - reaped_before);
+}
+
+TEST(SubprocessTest, SelfExecutablePathIsAbsoluteAndRunnable) {
+  const std::string self = SelfExecutablePath();
+  ASSERT_FALSE(self.empty());
+  EXPECT_EQ(self.front(), '/');
+  EXPECT_EQ(::access(self.c_str(), X_OK), 0) << self;
+}
+
+}  // namespace
+}  // namespace divexp

@@ -240,6 +240,26 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
       DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
       DIVEXP_ASSIGN_OR_RETURN(opts.on_shard_failure,
                               shard::ParseShardFailurePolicy(name));
+    } else if (arg == "--shard-isolation") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string name, next());
+      DIVEXP_ASSIGN_OR_RETURN(opts.shard_isolation,
+                              shard::ParseShardIsolation(name));
+    } else if (arg == "--shard-heartbeat-timeout-ms") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long ms, ParseInt(arg, v));
+      if (ms < 1) {
+        return Status::InvalidArgument(
+            "--shard-heartbeat-timeout-ms must be >= 1");
+      }
+      opts.shard_heartbeat_timeout_ms = static_cast<uint64_t>(ms);
+    } else if (arg == "--shard-watchdog-ms") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long ms, ParseInt(arg, v));
+      if (ms < 0) {
+        return Status::InvalidArgument(
+            "--shard-watchdog-ms must be >= 0");
+      }
+      opts.shard_watchdog_ms = static_cast<uint64_t>(ms);
     } else if (arg == "--failpoints") {
       DIVEXP_ASSIGN_OR_RETURN(opts.failpoints, next());
     } else if (arg == "--trace") {
@@ -262,6 +282,11 @@ Result<CliOptions> ParseCliOptions(const std::vector<std::string>& args) {
       opts.on_shard_failure != shard::ShardFailurePolicy::kFail) {
     return Status::InvalidArgument(
         "--on-shard-failure requires --shards > 1");
+  }
+  if (opts.shards == 1 &&
+      opts.shard_isolation != shard::ShardIsolation::kThread) {
+    return Status::InvalidArgument(
+        "--shard-isolation=process requires --shards > 1");
   }
   return opts;
 }
@@ -320,7 +345,8 @@ std::string UsageString() {
       "                     snapshot before mining\n"
       "  --failpoints SPEC  deterministic fault injection, e.g.\n"
       "                     \"io.atomic.mid_write@2:abort\"; actions:\n"
-      "                     return-error, throw, abort, delay-<ms>\n"
+      "                     return-error, throw, abort, delay-<ms>,\n"
+      "                     segv, kill\n"
       "\n"
       "sharded exploration:\n"
       "  --shards K         split the dataset into K horizontal shards,\n"
@@ -335,6 +361,15 @@ std::string UsageString() {
       "                     is reported in rows_covered_fraction\n"
       "                     stale: keep the rows, source the shard's\n"
       "                     candidates from its last checkpoint\n"
+      "  --shard-isolation MODE  thread (default) or process: run each\n"
+      "                     shard attempt in a supervised, fork/exec'd\n"
+      "                     `divexp shard-worker` subprocess so a crash\n"
+      "                     or OOM-kill in one shard is an ordinary\n"
+      "                     retryable failure (results bit-identical)\n"
+      "  --shard-heartbeat-timeout-ms MS  kill a process-isolated\n"
+      "                     worker silent this long (default: 10000)\n"
+      "  --shard-watchdog-ms MS  wall-clock cap per process-isolated\n"
+      "                     attempt (default 0 = none)\n"
       "\n"
       "resource limits (0 = unlimited):\n"
       "  --deadline-ms MS   wall-clock budget for the exploration run\n"

@@ -67,6 +67,13 @@ struct CliOptions {
   size_t shard_retries = 3;
   shard::ShardFailurePolicy on_shard_failure =
       shard::ShardFailurePolicy::kFail;
+  /// Where shard attempts run: in worker threads (default) or in
+  /// supervised `divexp shard-worker` subprocesses.
+  shard::ShardIsolation shard_isolation = shard::ShardIsolation::kThread;
+  /// Process-isolation supervision: kill a worker silent this long.
+  uint64_t shard_heartbeat_timeout_ms = 10000;
+  /// Optional wall-clock cap per process-isolated attempt (0 = none).
+  uint64_t shard_watchdog_ms = 0;
   /// Deterministic fault-injection schedule, e.g.
   /// "io.atomic.mid_write@2:abort,fpm.fpgrowth.grow@5:throw".
   /// Requires a failpoints-enabled build (DIVEXP_ENABLE_FAILPOINTS).

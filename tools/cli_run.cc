@@ -1,5 +1,6 @@
 #include "tools/cli_run.h"
 
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "recovery/atomic_file.h"
 #include "serve/artifact.h"
 #include "shard/shard.h"
+#include "shard/worker/coordinator.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -157,6 +159,31 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     sopts.shard_parallelism = opts.shard_parallelism;
     sopts.on_shard_failure = opts.on_shard_failure;
     sopts.retry.max_retries = opts.shard_retries;
+    if (opts.shard_isolation == shard::ShardIsolation::kProcess) {
+      sopts.isolation = shard::ShardIsolation::kProcess;
+      shard::worker::ProcessIsolationOptions popts;
+      popts.heartbeat_timeout_ms = opts.shard_heartbeat_timeout_ms;
+      popts.watchdog_ms = opts.shard_watchdog_ms;
+      // Scratch for per-attempt specs and result artifacts: beside the
+      // checkpoints when the run has them, else a fresh temp directory.
+      if (!opts.checkpoint_dir.empty()) {
+        popts.scratch_dir = opts.checkpoint_dir + "/worker-scratch";
+      } else {
+        std::string tmpl = "/tmp/divexp-shard-XXXXXX";
+        if (::mkdtemp(tmpl.data()) == nullptr) {
+          return Status::IOError(
+              "cannot create a scratch directory for shard workers");
+        }
+        popts.scratch_dir = tmpl;
+      }
+      // The chaos schedule rides into every worker; ordinals there
+      // count per worker process (see docs/process-isolation.md).
+      popts.failpoints = opts.failpoints;
+      sopts.attempt_runner =
+          shard::worker::MakeProcessAttemptRunner(popts);
+      log << "shard isolation: process (scratch in " << popts.scratch_dir
+          << ")\n";
+    }
     shard::ShardedExplorer sharded(sopts);
     DIVEXP_ASSIGN_OR_RETURN(
         PatternTable mined,
@@ -367,6 +394,7 @@ Status Run(const CliOptions& opts, std::ostream& out, std::ostream& log) {
     report.run.checkpoint_write_failures = stats.checkpoint_write_failures;
     report.run.miner = stats.miner;
     report.run.kernel = stats.kernel;
+    report.run.shard_isolation = stats.shard_isolation;
     report.stages = run_stages.stages();
     report.metrics = obs::MetricsRegistry::Default().Snapshot();
     report.spans = obs::TraceCollector::Default().Snapshot();

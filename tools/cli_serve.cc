@@ -1,6 +1,12 @@
 #include "tools/cli_serve.h"
 
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
 #include <cstdlib>
+#include <iostream>
 #include <istream>
 #include <ostream>
 
@@ -18,6 +24,96 @@ Result<long> ParseInt(const std::string& flag, const std::string& value) {
                                    "'");
   }
   return v;
+}
+
+// Self-pipe for SIGTERM/SIGINT: the handler may only make
+// async-signal-safe calls, so it writes one byte here and the daemon's
+// wait loop polls the read end alongside stdin.
+volatile int g_signal_pipe_write = -1;
+
+extern "C" void HandleShutdownSignal(int /*signo*/) {
+  const int fd = g_signal_pipe_write;
+  if (fd < 0) return;
+  const char byte = 1;
+  const int saved_errno = errno;
+  [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  errno = saved_errno;
+}
+
+/// Blocks until the daemon should shut down: `in` reaches EOF or sends
+/// a `quit` line, or — when `in` is the process's real stdin — a
+/// SIGTERM/SIGINT arrives. Signal wiring only engages for std::cin:
+/// unit tests drive shutdown through stream EOF instead.
+void WaitForShutdown(std::istream& in, std::ostream& log) {
+  if (&in != &std::cin) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line == "quit") break;
+    }
+    return;
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    // No self-pipe: fall back to the plain blocking loop; SIGTERM then
+    // takes the default (non-draining) disposition.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit") break;
+    }
+    return;
+  }
+  g_signal_pipe_write = pipe_fds[1];
+  struct sigaction action {};
+  action.sa_handler = HandleShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  struct sigaction old_term {}, old_int {};
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+
+  std::string pending;
+  bool done = false;
+  while (!done) {
+    pollfd pfds[2] = {};
+    pfds[0].fd = STDIN_FILENO;
+    pfds[0].events = POLLIN;
+    pfds[1].fd = pipe_fds[0];
+    pfds[1].events = POLLIN;
+    const int pr = ::poll(pfds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;  // the handler ran; loop re-polls
+      break;
+    }
+    if (pfds[1].revents != 0) {
+      log << "shutdown signal received; draining connections\n";
+      break;
+    }
+    if (pfds[0].revents != 0) {
+      char buf[256];
+      ssize_t n;
+      do {
+        n = ::read(STDIN_FILENO, buf, sizeof(buf));
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) break;  // stdin EOF stops the daemon
+      pending.append(buf, static_cast<size_t>(n));
+      size_t newline;
+      while ((newline = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, newline);
+        pending.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line == "quit") {
+          done = true;
+          break;
+        }
+      }
+    }
+  }
+
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  g_signal_pipe_write = -1;
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
 }
 
 }  // namespace
@@ -83,6 +179,13 @@ Result<ServeOptions> ParseServeOptions(const std::vector<std::string>& args) {
           static_cast<size_t>(m) << 20;
     } else if (arg == "--no-cache") {
       opts.service.cache_enabled = false;
+    } else if (arg == "--idle-timeout-ms") {
+      DIVEXP_ASSIGN_OR_RETURN(std::string v, next());
+      DIVEXP_ASSIGN_OR_RETURN(long t, ParseInt(arg, v));
+      if (t < 0) {
+        return Status::InvalidArgument("--idle-timeout-ms must be >= 0");
+      }
+      opts.socket.idle_timeout_ms = static_cast<uint64_t>(t);
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -114,6 +217,9 @@ std::string ServeUsageString() {
       "  --cache-mb M       result cache capacity (default 64,\n"
       "                     0 disables)\n"
       "  --no-cache         disable the result cache\n"
+      "  --idle-timeout-ms MS  disconnect socket clients idle for MS\n"
+      "                     (default 60000, 0 = never; counted in\n"
+      "                     serve.idle_disconnects)\n"
       "\n"
       "protocol (one request per line, one JSON response per line):\n"
       "  topk [k=10] [key=divergence|significance|support]\n"
@@ -144,16 +250,16 @@ Status RunServe(const ServeOptions& opts, std::istream& in,
     return Status::OK();
   }
 
-  serve::SocketServer server(&service);
+  serve::SocketServer server(&service, opts.socket);
   DIVEXP_RETURN_NOT_OK(server.Start(opts.socket_path, opts.num_threads));
   log << "listening on " << opts.socket_path << " with "
-      << opts.num_threads << " thread(s); EOF on stdin stops\n";
-  // Block until the controlling stream closes, then shut down cleanly.
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line == "quit") break;
-  }
-  server.Stop();
+      << opts.num_threads << " thread(s); EOF on stdin, SIGTERM, or "
+      << "SIGINT stops\n";
+  // Block until the controlling stream closes or a shutdown signal
+  // arrives, then drain: in-flight responses finish before the
+  // listener goes away.
+  WaitForShutdown(in, log);
+  server.Stop(serve::SocketServer::StopMode::kDrain);
   return Status::OK();
 }
 

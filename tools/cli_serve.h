@@ -25,6 +25,8 @@ struct ServeOptions {
   /// serving, instead of the default O(1) header validation.
   bool verify = false;
   serve::QueryServiceOptions service;
+  /// Socket-daemon knobs (per-connection idle deadline).
+  serve::SocketServerOptions socket;
   bool show_help = false;
 };
 
@@ -35,7 +37,10 @@ Result<ServeOptions> ParseServeOptions(const std::vector<std::string>& args);
 std::string ServeUsageString();
 
 /// Runs the REPL (no --socket) or the socket daemon (--socket; serves
-/// until `in` reaches EOF). Returns after the server has shut down.
+/// until `in` reaches EOF, or — when `in` is the real stdin — until
+/// SIGTERM/SIGINT arrives, observed through a self-pipe so the handler
+/// stays async-signal-safe). Shutdown drains in-flight responses
+/// before the listener closes. Returns after the server has shut down.
 Status RunServe(const ServeOptions& opts, std::istream& in,
                 std::ostream& out, std::ostream& log);
 

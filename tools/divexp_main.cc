@@ -13,12 +13,20 @@
 #include <string>
 #include <vector>
 
+#include "shard/worker/worker.h"
 #include "tools/cli_options.h"
 #include "tools/cli_run.h"
 #include "tools/cli_serve.h"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  // Hidden verb: the shard coordinator re-execs this binary as a
+  // process-isolated worker (--shard-isolation=process). Dispatched
+  // before normal flag parsing; not part of the user-facing surface.
+  if (!args.empty() && args[0] == "shard-worker") {
+    return divexp::shard::worker::ShardWorkerMain(
+        {args.begin() + 1, args.end()});
+  }
   if (!args.empty() && args[0] == "serve") {
     auto sopts = divexp::cli::ParseServeOptions(
         {args.begin() + 1, args.end()});

@@ -89,6 +89,15 @@ int PinnedKernelLayer(const std::string& src_relative) {
   return StartsWith(src_relative, "fpm/kernels/") ? 35 : -1;
 }
 
+// The process-isolation layer sits above the shard driver it runs
+// attempts for (and above serve/, whose artifact format carries worker
+// results) but below tools/: shard/shard.cc reaches workers only
+// through the ShardAttemptRunner seam, never by including these
+// headers, so a thread-isolation build carries no subprocess code.
+int PinnedWorkerLayer(const std::string& src_relative) {
+  return StartsWith(src_relative, "shard/worker/") ? 79 : -1;
+}
+
 // Maps a quoted include string (as written in the source, e.g.
 // "util/status.h") to (layer, implied repo-relative path). Unknown
 // first segments — single-file includes, third-party — yield layer -1
@@ -118,6 +127,7 @@ IncludeTarget ResolveInclude(const std::string& inc) {
   t.layer = it->second;
   int pinned = PinnedRecoveryIoLayer(inc);
   if (pinned < 0) pinned = PinnedKernelLayer(inc);
+  if (pinned < 0) pinned = PinnedWorkerLayer(inc);
   if (pinned >= 0) t.layer = pinned;
   t.implied_path = "src/" + inc;
   return t;
@@ -219,7 +229,8 @@ bool ValidateFailPointSpec(const std::string& spec, std::string* why) {
     return false;
   }
   const std::string action = spec.substr(colon + 1);
-  if (action == "return-error" || action == "throw" || action == "abort") {
+  if (action == "return-error" || action == "throw" || action == "abort" ||
+      action == "segv" || action == "kill") {
     return true;
   }
   if (StartsWith(action, "delay-")) {
@@ -269,6 +280,7 @@ class FileLinter {
       CheckRawFileOutput(line, lineno);
       CheckKernelNoAlloc(line, lineno);
       CheckServeNoMutation(line, lineno);
+      CheckRawSubprocess(line, lineno);
       CheckFailPoints(line, lineno);
       CheckMetricNames(line, lineno);
       CheckStageNames(line, lineno);
@@ -461,6 +473,44 @@ class FileLinter {
     }
   }
 
+  // Process creation is allowed in exactly one translation unit:
+  // src/util/subprocess.cc. Everything else must go through its
+  // wrappers so the coordinator's spawn/reap accounting (the zombie
+  // invariant tests assert SpawnCount == ReapCount) can never be
+  // bypassed, and so a worker can never itself become a fork site.
+  void CheckRawSubprocess(const std::string& line, int lineno) {
+    if (!in_layered_src_) return;
+    if (path_ == "src/util/subprocess.cc") return;
+    static const char* kForbidden[] = {
+        "fork",  "vfork",       "execv",        "execve",
+        "execvp", "execl",      "execlp",       "execle",
+        "posix_spawn", "posix_spawnp", "system",
+    };
+    for (const char* token : kForbidden) {
+      const std::string text = token;
+      size_t pos = 0;
+      while ((pos = line.find(text, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+        const size_t after = pos + text.size();
+        const bool right_ok =
+            after >= line.size() || !IsWordChar(line[after]);
+        // Only call-like uses count: prose ("fork/exec") and
+        // identifiers embedded in longer words stay quiet.
+        const size_t paren = SkipSpaces(line, after);
+        const bool is_call = paren < line.size() && line[paren] == '(';
+        if (left_ok && right_ok && is_call) {
+          Emit(line, lineno, kRuleNoRawSubprocess,
+               "raw process creation ('" + text +
+                   "') outside src/util/subprocess.cc; use "
+                   "divexp::SpawnWithStatusPipe so every child is "
+                   "accounted for and reaped");
+          break;  // one diagnostic per token per line is enough
+        }
+        pos = after;
+      }
+    }
+  }
+
   void CheckFailPoints(const std::string& line, int lineno) {
     // Definition sites: DIVEXP_FAILPOINT("name") literals.
     static const char* kMacros[] = {"DIVEXP_FAILPOINT_STATUS",
@@ -533,7 +583,7 @@ class FileLinter {
           Emit(line, lineno, kRuleFailpointName,
                "fail-point spec '" + spec + "': " + why +
                    " (grammar: name@ordinal:action, action one of "
-                   "return-error|throw|abort|delay-<ms>)");
+                   "return-error|throw|abort|segv|kill|delay-<ms>)");
         } else if (in_layered_src_) {
           const std::string name = spec.substr(0, spec.find('@'));
           if (catalogs_.failpoints.count(name) == 0) {
@@ -702,6 +752,7 @@ int LayerOf(const std::string& logical_path) {
     const std::string rest = logical_path.substr(4);
     int pinned = PinnedRecoveryIoLayer(rest);
     if (pinned < 0) pinned = PinnedKernelLayer(rest);
+    if (pinned < 0) pinned = PinnedWorkerLayer(rest);
     if (pinned >= 0) return pinned;
     size_t slash = rest.find('/');
     if (slash == std::string::npos) return -1;

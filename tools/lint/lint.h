@@ -32,6 +32,7 @@ inline constexpr const char* kRuleShardStatus = "shard-status-propagated";
 inline constexpr const char* kRuleKernelNoAlloc = "kernel-no-alloc";
 inline constexpr const char* kRuleServeNoMutation =
     "serve-no-artifact-mutation";
+inline constexpr const char* kRuleNoRawSubprocess = "no-raw-subprocess";
 
 struct Diagnostic {
   std::string file;  // logical repo-relative path
