@@ -73,6 +73,10 @@ class ResultCache {
     std::string value;
   };
   struct Shard {
+    /// Rank 20 in the canonical lock hierarchy
+    /// (docs/static-analysis.md). Shard locks are never nested with
+    /// each other — ShardFor picks exactly one per operation — and
+    /// nothing else is acquired while one is held.
     mutable Mutex mu;
     std::list<Entry> lru GUARDED_BY(mu);  ///< front = most recent
     std::unordered_map<std::string, std::list<Entry>::iterator> index

@@ -136,10 +136,10 @@ class SocketServer {
 
   /// Stops accepting, shuts down in-flight connections (per `mode`),
   /// joins all threads, and removes the socket file. Idempotent.
-  void Stop(StopMode mode = StopMode::kHard);
+  void Stop(StopMode mode = StopMode::kHard) EXCLUDES(mu_);
 
  private:
-  void AcceptLoop();
+  void AcceptLoop() EXCLUDES(mu_);
   void ServeConnection(int fd);
 
   QueryService* service_;
@@ -149,6 +149,9 @@ class SocketServer {
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::vector<std::thread> threads_;
+  /// Rank 10 in the canonical lock hierarchy
+  /// (docs/static-analysis.md): held only for the connection-list
+  /// bookkeeping below — never across IO or another acquisition.
   Mutex mu_;
   std::vector<int> connections_ GUARDED_BY(mu_);
 };

@@ -30,6 +30,14 @@ namespace {
 /// Serializes frame writes: the heartbeat thread and the attempt's
 /// final result share one pipe, and an interleaved write would corrupt
 /// the stream mid-frame.
+///
+/// Deliberately a plain std::mutex, not divexp::Mutex: the worker
+/// writes frames while the lock is held (blocking IO under the lock
+/// is the whole point — the pipe is the serialization domain), and it
+/// never nests with any lock in the canonical hierarchy of
+/// docs/static-analysis.md. Keeping it off divexp::Mutex keeps it out
+/// of the lock-order passes and the runtime cycle detector, both of
+/// which track divexp::Mutex only.
 class FrameSender {
  public:
   explicit FrameSender(int fd) : fd_(fd) {}
@@ -91,6 +99,10 @@ class Heartbeater {
   FrameSender* sender_;
   uint64_t interval_ms_;
   std::thread thread_;
+  /// Plain std::mutex by design: it pairs with the condition variable
+  /// below (divexp::Mutex has no cv integration) and the wait_for is
+  /// the one sanctioned "block while holding" — it releases the lock
+  /// for the duration. Never nests with any hierarchy lock.
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,221 @@
+// Implementation of the debug-build lock-cycle detector. The whole
+// file is inside DIVEXP_DEADLOCK_DETECTOR so a release archive member
+// carries no detector symbols (CI checks this with nm).
+#include "util/deadlock.h"
+
+#ifdef DIVEXP_DEADLOCK_DETECTOR
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define DIVEXP_DEADLOCK_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace divexp {
+namespace deadlock {
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+// The call stack captured at the moment an edge was first recorded.
+struct Capture {
+  void* frames[kMaxFrames];
+  int depth = 0;
+
+  void Take() {
+#ifdef DIVEXP_DEADLOCK_HAVE_BACKTRACE
+    depth = backtrace(frames, kMaxFrames);
+#else
+    depth = 0;
+#endif
+  }
+
+  void Dump(const char* label) const {
+    std::fprintf(stderr, "%s\n", label);
+#ifdef DIVEXP_DEADLOCK_HAVE_BACKTRACE
+    if (depth > 0) {
+      backtrace_symbols_fd(const_cast<void* const*>(frames), depth, 2);
+      return;
+    }
+#endif
+    std::fprintf(stderr, "  (backtrace unavailable on this platform)\n");
+  }
+};
+
+struct Edge {
+  const void* to;
+  Capture stack;  // where the edge was first observed
+};
+
+// Global "held A, then acquired B" graph. Guarded by a plain
+// std::mutex — the detector must not recurse into divexp::Mutex.
+struct Graph {
+  std::mutex mu;
+  std::map<const void*, std::vector<Edge>> out;
+  size_t edge_count = 0;
+
+  const Edge* Find(const void* from, const void* to) {
+    auto it = out.find(from);
+    if (it == out.end()) return nullptr;
+    for (const Edge& e : it->second) {
+      if (e.to == to) return &e;
+    }
+    return nullptr;
+  }
+
+  // DFS: is `goal` reachable from `start`? Fills `path` with the
+  // nodes visited on the successful walk (start..goal's predecessor)
+  // and `first_hop` with the first edge taken.
+  bool Reaches(const void* start, const void* goal,
+               std::set<const void*>* visited,
+               std::vector<const void*>* path) {
+    if (start == goal) return true;
+    if (!visited->insert(start).second) return false;
+    auto it = out.find(start);
+    if (it == out.end()) return false;
+    for (const Edge& e : it->second) {
+      path->push_back(start);
+      if (Reaches(e.to, goal, visited, path)) return true;
+      path->pop_back();
+    }
+    return false;
+  }
+};
+
+// Leaked on purpose: mutexes locked during static destruction must
+// still find a live graph.
+Graph* GlobalGraph() {
+  static Graph* g = new Graph;
+  return g;
+}
+
+thread_local std::vector<const void*> t_held;
+
+[[noreturn]] void Abort(const char* kind, const void* from,
+                        const void* to, const Capture& current,
+                        const Capture* prior) {
+  std::fprintf(stderr,
+               "divexp deadlock detector: %s: acquiring mutex %p while "
+               "holding mutex %p\n",
+               kind, to, from);
+  current.Dump("--- acquisition stack (this thread, now):");
+  if (prior != nullptr) {
+    prior->Dump(
+        "--- conflicting acquisition stack (first observation of the "
+        "reverse ordering):");
+  }
+  std::fprintf(stderr,
+               "divexp deadlock detector: aborting; fix the lock order "
+               "(see docs/static-analysis.md, 'Canonical lock "
+               "hierarchy')\n");
+  std::abort();
+}
+
+// Shared by OnAcquire/OnTryAcquire. `blocking` acquisitions abort on a
+// cycle; try-acquisitions only record (they back off, never deadlock).
+void Record(const void* mu, bool blocking) {
+  Capture now;
+  now.Take();
+  Graph* g = GlobalGraph();
+  {
+    std::lock_guard<std::mutex> guard(g->mu);
+    for (const void* held : t_held) {
+      if (held == mu) {
+        if (blocking) {
+          Abort("recursive acquisition (self-deadlock)", held, mu, now,
+                nullptr);
+        }
+        continue;
+      }
+      if (g->Find(held, mu) != nullptr) continue;
+      if (blocking) {
+        // Adding held->mu closes a cycle iff mu already reaches held.
+        std::set<const void*> visited;
+        std::vector<const void*> path;
+        if (g->Reaches(mu, held, &visited, &path)) {
+          const Edge* reverse =
+              path.empty() ? g->Find(mu, held)
+                           : g->Find(path[0], path.size() > 1
+                                                  ? path[1]
+                                                  : held);
+          Abort("lock-order inversion", held, mu, now,
+                reverse != nullptr ? &reverse->stack : nullptr);
+        }
+      }
+      g->out[held].push_back(Edge{mu, now});
+      ++g->edge_count;
+    }
+    // Make sure the node exists even for a first, un-nested
+    // acquisition so GetStats() sees it.
+    g->out.try_emplace(mu);
+  }
+  t_held.push_back(mu);
+}
+
+}  // namespace
+
+void OnAcquire(const void* mu) { Record(mu, /*blocking=*/true); }
+
+void OnTryAcquire(const void* mu) { Record(mu, /*blocking=*/false); }
+
+void OnRelease(const void* mu) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it != mu) continue;
+    t_held.erase(std::next(it).base());
+    return;
+  }
+  // Releasing a lock this thread never acquired (or released twice):
+  // broken RAII discipline upstream.
+  std::fprintf(stderr,
+               "divexp deadlock detector: releasing mutex %p not held "
+               "by this thread\n",
+               mu);
+  std::abort();
+}
+
+void OnDestroy(const void* mu) {
+  Graph* g = GlobalGraph();
+  std::lock_guard<std::mutex> guard(g->mu);
+  auto it = g->out.find(mu);
+  if (it != g->out.end()) {
+    g->edge_count -= it->second.size();
+    g->out.erase(it);
+  }
+  for (auto& [from, edges] : g->out) {
+    (void)from;
+    for (auto e = edges.begin(); e != edges.end();) {
+      if (e->to == mu) {
+        e = edges.erase(e);
+        --g->edge_count;
+      } else {
+        ++e;
+      }
+    }
+  }
+}
+
+Stats GetStats() {
+  Graph* g = GlobalGraph();
+  std::lock_guard<std::mutex> guard(g->mu);
+  return Stats{g->out.size(), g->edge_count};
+}
+
+void ResetForTest() {
+  Graph* g = GlobalGraph();
+  std::lock_guard<std::mutex> guard(g->mu);
+  g->out.clear();
+  g->edge_count = 0;
+}
+
+}  // namespace deadlock
+}  // namespace divexp
+
+#endif  // DIVEXP_DEADLOCK_DETECTOR

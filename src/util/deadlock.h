@@ -1,0 +1,81 @@
+// Debug-build lock-cycle detector behind DIVEXP_DEADLOCK_DETECTOR.
+//
+// The static lock-order passes in divexp-lint prove ordering for the
+// code they can see; this closes the dynamic gap. Every divexp::Mutex
+// acquisition pushes onto a per-thread held-lock stack and records
+// held->acquiring edges in a process-global graph. An acquisition that
+// would close a cycle in that graph aborts immediately with both
+// acquisition stacks — deterministically, on the *potential* deadlock,
+// without needing the unlucky interleaving that actually wedges.
+//
+// With the macro undefined (any non-Debug build unless the CMake
+// option DIVEXP_DEADLOCK_DETECTOR is forced on), the hook calls in
+// mutex.h are preprocessed away and deadlock.cc contributes no
+// symbols: the detector is zero-cost in release by construction, not
+// by branch prediction.
+//
+// See docs/static-analysis.md ("The runtime lock-cycle detector").
+#ifndef DIVEXP_UTIL_DEADLOCK_H_
+#define DIVEXP_UTIL_DEADLOCK_H_
+
+#include <cstddef>
+
+namespace divexp {
+namespace deadlock {
+
+// Counters for tests and diagnostics.
+struct Stats {
+  size_t locks_tracked = 0;  // nodes currently in the edge graph
+  size_t edges = 0;          // distinct held->acquiring pairs observed
+};
+
+#ifdef DIVEXP_DEADLOCK_DETECTOR
+
+inline constexpr bool kDeadlockDetectorEnabled = true;
+
+// Called by divexp::Mutex. `mu` is an opaque identity (the Mutex
+// address); the detector never dereferences it.
+//
+// OnAcquire runs *before* the underlying lock blocks, so an inversion
+// aborts with stacks instead of deadlocking. A cycle or a recursive
+// acquisition prints "lock-order inversion" / "recursive acquisition"
+// plus the acquisition stack of both participating edges, then
+// aborts.
+void OnAcquire(const void* mu);
+
+// Records a successful TryLock. Pushes the held stack and the edges
+// but never aborts on a cycle: a try-acquisition backs off instead of
+// blocking, so an inversion through it cannot deadlock.
+void OnTryAcquire(const void* mu);
+
+void OnRelease(const void* mu);
+
+// Forgets a destroyed mutex so a recycled address cannot inherit its
+// edges (false cycles from the allocator reusing memory).
+void OnDestroy(const void* mu);
+
+Stats GetStats();
+
+// Clears the global edge graph (not the per-thread held stacks, which
+// must already be empty in a correct test). Tests only.
+void ResetForTest();
+
+#else  // !DIVEXP_DEADLOCK_DETECTOR
+
+inline constexpr bool kDeadlockDetectorEnabled = false;
+
+// Release stubs: never called (mutex.h compiles the call sites away),
+// defined only so tests can reference the API unconditionally.
+inline void OnAcquire(const void*) {}
+inline void OnTryAcquire(const void*) {}
+inline void OnRelease(const void*) {}
+inline void OnDestroy(const void*) {}
+inline Stats GetStats() { return Stats{}; }
+inline void ResetForTest() {}
+
+#endif  // DIVEXP_DEADLOCK_DETECTOR
+
+}  // namespace deadlock
+}  // namespace divexp
+
+#endif  // DIVEXP_UTIL_DEADLOCK_H_

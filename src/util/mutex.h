@@ -11,21 +11,45 @@
 
 #include <mutex>
 
+#include "util/deadlock.h"
 #include "util/thread_annotations.h"
 
 namespace divexp {
 
 /// Exclusive mutex participating in capability analysis. Same cost as
-/// std::mutex (the wrapper is fully inlined).
+/// std::mutex (the wrapper is fully inlined) unless the debug-build
+/// lock-cycle detector is compiled in, in which case every
+/// acquisition also updates the global lock-order graph (see
+/// util/deadlock.h; the hooks preprocess away in release).
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#ifdef DIVEXP_DEADLOCK_DETECTOR
+  ~Mutex() { deadlock::OnDestroy(this); }
+
+  void Lock() ACQUIRE() {
+    // Hook first: an inversion aborts with stacks instead of
+    // deadlocking inside lock().
+    deadlock::OnAcquire(this);
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    deadlock::OnRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) deadlock::OnTryAcquire(this);
+    return acquired;
+  }
+#else
   void Lock() ACQUIRE() { mu_.lock(); }
   void Unlock() RELEASE() { mu_.unlock(); }
   bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+#endif
 
  private:
   std::mutex mu_;

@@ -1,0 +1,27 @@
+// lint-path: src/demo/blocking_under_lock.cc
+// expect: no-blocking-under-lock
+//
+// Sleeping while holding a divexp::Mutex stalls every other waiter
+// for the full duration. The same rule catches file IO, condition
+// waits, joins and util/subprocess calls under a lock, directly or
+// through a call chain; locks marked "may block: yes" in the
+// hierarchy table are exempt.
+#include <chrono>
+#include <thread>
+
+#include "util/mutex.h"
+
+namespace divexp {
+
+class Throttle {
+ public:
+  void Tick() {
+    MutexLock l(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+ private:
+  Mutex mu_;
+};
+
+}  // namespace divexp

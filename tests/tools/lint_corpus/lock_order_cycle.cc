@@ -1,0 +1,30 @@
+// lint-path: src/demo/lock_order_cycle.cc
+// expect: lock-order-cycle
+//
+// Two functions take the same pair of locks in opposite orders: the
+// classic AB/BA deadlock. The analyzer derives one edge per nested
+// acquisition and reports the edge that closes the cycle (the later
+// one in file order); the other edge is part of the same bug and is
+// deliberately not double-reported.
+#include "util/mutex.h"
+
+namespace divexp {
+
+class Pair {
+ public:
+  void First() {
+    MutexLock la(a_);
+    MutexLock lb(b_);  // edge a_ -> b_
+  }
+
+  void Second() {
+    MutexLock lb(b_);
+    MutexLock la(a_);  // edge b_ -> a_: closes the cycle
+  }
+
+ private:
+  Mutex a_;
+  Mutex b_;
+};
+
+}  // namespace divexp

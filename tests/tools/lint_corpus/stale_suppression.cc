@@ -1,0 +1,14 @@
+// lint-path: src/demo/stale_suppression.cc
+// expect: stale-suppression
+//
+// A well-formed allow whose rule never fires on its line. The code it
+// once excused has been refactored away; the leftover suppression
+// would silently mask the next real no-ignored-status regression at
+// this site, so the inventory pass flags it for deletion.
+namespace divexp {
+
+int Answer() {
+  return 42;  // lint:allow(no-ignored-status): refactored away long ago
+}
+
+}  // namespace divexp

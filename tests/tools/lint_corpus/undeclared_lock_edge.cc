@@ -1,0 +1,24 @@
+// lint-path: src/demo/undeclared_lock_edge.cc
+// expect: undeclared-lock-edge
+//
+// A consistent nesting order (no cycle), but neither lock appears in
+// the canonical hierarchy table of docs/static-analysis.md. New lock
+// pairs must be declared there — with ranks that keep the table
+// acyclic — before they ship.
+#include "util/mutex.h"
+
+namespace divexp {
+
+class Nested {
+ public:
+  void Refresh() {
+    MutexLock lo(outer_);
+    MutexLock li(inner_);  // edge outer_ -> inner_, neither ranked
+  }
+
+ private:
+  Mutex outer_;
+  Mutex inner_;
+};
+
+}  // namespace divexp

@@ -1,0 +1,55 @@
+// Seeded lock-order inversion for the deadlock detector's CI gate.
+//
+// Takes two locks AB on one code path and BA on another, in a single
+// thread — a latent deadlock that never wedges by itself, which is
+// exactly the class of bug the detector must catch without the
+// unlucky interleaving. The contract, checked by CI:
+//
+//   detector ON  (-DDIVEXP_DEADLOCK_DETECTOR=ON): the second ordering
+//     aborts with "lock-order inversion" -> nonzero exit;
+//   detector OFF (any release build): both orderings are just nested
+//     locks that release cleanly -> exit 0, proving the hooks are
+//     compiled out rather than merely quiet.
+//
+// The deliberate inversion below is also a divexp-lint fixture in
+// production code: the closing edge carries a vetted suppression,
+// which doubles as a live use of lint:allow for the
+// stale-suppression pass.
+#include <cstdio>
+
+#include "util/deadlock.h"
+#include "util/mutex.h"
+
+namespace {
+
+divexp::Mutex g_a;
+divexp::Mutex g_b;
+
+void LockAThenB() {
+  divexp::MutexLock la(g_a);
+  divexp::MutexLock lb(g_b);
+}
+
+void LockBThenA() {
+  divexp::MutexLock lb(g_b);
+  divexp::MutexLock la(g_a);  // lint:allow(lock-order-cycle): seeded inversion; CI requires the detector to abort here
+}
+
+}  // namespace
+
+int main() {
+  std::fprintf(stderr, "deadlock-selfcheck: detector %s\n",
+               divexp::deadlock::kDeadlockDetectorEnabled ? "ON" : "OFF");
+  LockAThenB();
+  // With the detector on, this call aborts before returning.
+  LockBThenA();
+  if (divexp::deadlock::kDeadlockDetectorEnabled) {
+    std::fprintf(stderr,
+                 "deadlock-selfcheck: FAIL — inversion not detected\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "deadlock-selfcheck: OK — detector compiled out, nested "
+               "locking ran clean\n");
+  return 0;
+}

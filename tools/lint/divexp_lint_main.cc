@@ -55,7 +55,8 @@ std::vector<fs::path> CollectTreeFiles(const fs::path& root) {
 }
 
 int Usage() {
-  std::cerr << "usage: divexp-lint [--root DIR] [file...]\n"
+  std::cerr << "usage: divexp-lint [--root DIR] [--format=text|json|github] "
+               "[file...]\n"
                "  Lints the repo tree (or the given files) against the\n"
                "  rules in docs/static-analysis.md.\n";
   return 2;
@@ -66,11 +67,18 @@ int Usage() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<fs::path> files;
+  std::string format = "text";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
       if (i + 1 >= argc) return Usage();
       root = argv[++i];
+    } else if (arg.compare(0, 9, "--format=") == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "github") {
+        std::cerr << "divexp-lint: unknown format '" << format << "'\n";
+        return Usage();
+      }
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -92,7 +100,7 @@ int main(int argc, char** argv) {
 
   if (files.empty()) files = CollectTreeFiles(root);
 
-  std::vector<divexp::lint::Diagnostic> diagnostics;
+  divexp::lint::TreeLinter linter(catalogs);
   size_t linted = 0;
   for (const fs::path& file : files) {
     std::string content;
@@ -108,16 +116,26 @@ int main(int argc, char** argv) {
       // the logical location.
       logical = file.generic_string();
     }
-    divexp::lint::LintFile(logical, content, catalogs, &diagnostics);
+    linter.AddFile(logical, content);
     ++linted;
   }
+  const std::vector<divexp::lint::Diagnostic> diagnostics = linter.Run();
 
-  for (const auto& d : diagnostics) {
-    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
-              << d.message << "\n";
+  if (format == "json") {
+    std::cout << divexp::lint::RenderJson(diagnostics, linted);
+  } else if (format == "github") {
+    std::cout << divexp::lint::RenderGitHub(diagnostics);
+    std::cerr << "divexp-lint: " << linted << " files, "
+              << diagnostics.size() << " finding"
+              << (diagnostics.size() == 1 ? "" : "s") << "\n";
+  } else {
+    for (const auto& d : diagnostics) {
+      std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+                << d.message << "\n";
+    }
+    std::cout << "divexp-lint: " << linted << " files, "
+              << diagnostics.size() << " finding"
+              << (diagnostics.size() == 1 ? "" : "s") << "\n";
   }
-  std::cout << "divexp-lint: " << linted << " files, "
-            << diagnostics.size() << " finding"
-            << (diagnostics.size() == 1 ? "" : "s") << "\n";
   return diagnostics.empty() ? 0 : 1;
 }

@@ -1,0 +1,861 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <memory>
+
+namespace divexp {
+namespace lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Identifiers that can never be a function name at a call/definition
+// site. Not a full keyword table — just what precedes '(' in practice.
+bool IsNonCallKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",       "while",    "switch",  "return",
+      "sizeof",   "alignof",   "decltype", "noexcept", "catch",
+      "throw",    "new",       "delete",   "assert",  "defined",
+      "static_assert", "alignas", "operator", "void",  "int",
+      "char",     "bool",      "auto",     "float",   "double",
+      "unsigned", "long",      "short",    "co_await", "co_return",
+  };
+  return kKeywords.count(s) > 0;
+}
+
+// Annotation macros whose arguments name locks. TRY_ACQUIRE/RELEASE
+// args are deliberately excluded: TRY_ACQUIRE's argument is the success
+// value, and RELEASE adds no ordering information.
+bool IsLockAnnotation(const std::string& s) {
+  return s == "REQUIRES" || s == "EXCLUDES" || s == "ACQUIRE" ||
+         s == "ACQUIRE_SHARED" || s == "REQUIRES_SHARED";
+}
+
+// Direct blocking tokens for the no-blocking-under-lock pass. The
+// `member_only` ones (condition waits, thread join) only count after
+// `.`/`->` so that unrelated free functions named `wait` stay quiet.
+struct BlockingToken {
+  const char* text;
+  bool member_only;
+  bool needs_call;  // must be followed by '(' (stream types are not)
+};
+const BlockingToken kBlockingTokens[] = {
+    {"sleep_for", false, true},   {"sleep_until", false, true},
+    {"usleep", false, true},      {"nanosleep", false, true},
+    {"wait", true, true},         {"wait_for", true, true},
+    {"wait_until", true, true},   {"join", true, true},
+    {"poll", false, true},        {"select", false, true},
+    {"accept", false, true},      {"accept4", false, true},
+    {"connect", false, true},     {"recv", false, true},
+    {"recvmsg", false, true},     {"recvfrom", false, true},
+    {"send", false, true},        {"sendmsg", false, true},
+    {"sendto", false, true},      {"waitpid", false, true},
+    {"fsync", false, true},       {"fdatasync", false, true},
+    {"fopen", false, true},       {"fread", false, true},
+    {"fwrite", false, true},      {"fgets", false, true},
+    {"system", false, true},      {"ifstream", false, false},
+    // Banned-token strings, not writes:
+    {"ofstream", false, false},  // lint:allow(no-raw-file-output): token table
+    {"fstream", false, false},
+    // util/subprocess.h API: spawning, waiting on and killing children
+    // are all potentially unbounded waits.
+    {"SpawnWithStatusPipe", false, true},
+    {"WaitForExit", false, true}, {"KillProcess", false, true},
+    {"ReadSome", false, true},    {"WriteAll", false, true},
+    // The sanctioned file-write entry point is still file IO.
+    {"WriteFileAtomic", false, true},
+};
+
+const BlockingToken* FindBlockingToken(const std::string& s) {
+  for (const BlockingToken& t : kBlockingTokens) {
+    if (s == t.text) return &t;
+  }
+  return nullptr;
+}
+
+// Lock-infrastructure files whose own bodies must not feed the passes
+// (MutexLock's constructor is the acquisition primitive itself).
+bool IsLockInfraFile(const std::string& path) {
+  return path == "src/util/mutex.h" || path == "src/util/deadlock.h" ||
+         path == "src/util/deadlock.cc";
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string line;
+  size_t start = 0;
+  while (start <= content.size()) {
+    size_t nl = content.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < content.size()) {
+        lines.push_back(content.substr(start));
+      }
+      break;
+    }
+    lines.push_back(content.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+std::string DirName(const std::string& path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Joins scope components into a canonical id, dropping the repo-wide
+// `divexp` namespace and anonymous scopes.
+std::string JoinScopes(const std::vector<std::string>& scopes) {
+  std::string out;
+  for (const std::string& s : scopes) {
+    if (s.empty() || s == "divexp") continue;
+    if (!out.empty()) out += "::";
+    out += s;
+  }
+  return out;
+}
+
+// Last identifier-ish segment of a raw lock expression
+// (`shard.mu` -> `mu`, `self->mu_` -> `mu_`, `mu_` -> `mu_`).
+std::string LastIdent(const std::string& expr) {
+  size_t end = expr.size();
+  while (end > 0) {
+    const char c = expr[end - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      break;
+    }
+    --end;
+  }
+  size_t start = end;
+  while (start > 0) {
+    const char c = expr[start - 1];
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      break;
+    }
+    --start;
+  }
+  return expr.substr(start, end - start);
+}
+
+}  // namespace
+
+// Raw per-function facts captured during the structural scan; lock
+// references stay unresolved strings until Build() has seen every
+// file's Mutex declarations.
+namespace internal_index {
+
+struct RawFunction {
+  FunctionInfo info;                     // lock fields hold raw refs
+  std::vector<std::string> scope_path;   // canonical enclosing scopes
+  std::map<std::string, std::string> local_locks;  // name -> file#name
+};
+
+struct RawFile {
+  IndexedFile indexed;
+  std::vector<std::string> raw_includes;
+  std::vector<std::unique_ptr<RawFunction>> functions;
+};
+
+struct Scanner {
+  Scanner(const std::string& path, const std::vector<Token>& toks,
+          RawFile* out, std::map<std::string, std::string>* locks)
+      : path_(path), toks_(toks), out_(out), locks_(locks) {}
+
+  struct Scope {
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+    std::string name;
+    RawFunction* fn = nullptr;
+    int saved_paren_depth = 0;
+  };
+
+  void Run() {
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      const Token& t = toks_[i];
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") {
+          ++paren_depth_;
+        } else if (t.text == ")") {
+          if (paren_depth_ > 0) --paren_depth_;
+        } else if (t.text == "{") {
+          OpenBrace();
+          continue;
+        } else if (t.text == "}") {
+          CloseBrace();
+          continue;
+        } else if (t.text == ";" && paren_depth_ == 0) {
+          EndStatement();
+          continue;
+        }
+      }
+      stmt_.push_back(t);
+    }
+  }
+
+ private:
+  RawFunction* EnclosingFunction() {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Scope::kFunction) return it->fn;
+      if (it->kind == Scope::kClass || it->kind == Scope::kNamespace) {
+        return nullptr;  // a local class resets function context
+      }
+    }
+    return nullptr;
+  }
+
+  int InnerDepth() {
+    // 1 when directly inside the nearest function body, +1 per block.
+    int depth = 0;
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      ++depth;
+      if (it->kind == Scope::kFunction) return depth;
+    }
+    return 0;
+  }
+
+  std::vector<std::string> ScopePath() {
+    std::vector<std::string> path;
+    for (const Scope& s : stack_) {
+      if (s.kind == Scope::kNamespace || s.kind == Scope::kClass) {
+        path.push_back(s.name);
+      }
+    }
+    return path;
+  }
+
+  // --- statement classification -----------------------------------
+
+  bool HasTopLevelToken(const std::string& text) {
+    int depth = 0;
+    for (const Token& t : stmt_) {
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == "]") --depth;
+      }
+      if (depth == 0 && t.text == text) return true;
+    }
+    return false;
+  }
+
+  bool HasKeyword(const std::string& kw) {
+    for (const Token& t : stmt_) {
+      if (t.kind == TokKind::kIdent && t.text == kw) return true;
+    }
+    return false;
+  }
+
+  // Class/struct name: last identifier before the first top-level ':'
+  // (base clause) ignoring identifiers inside parens (attribute macros
+  // like CAPABILITY("mutex")) and the `final` specifier.
+  std::string ClassName() {
+    std::string name;
+    int depth = 0;
+    for (const Token& t : stmt_) {
+      if (t.kind == TokKind::kPunct) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") --depth;
+        if (depth == 0 && t.text == ":") break;
+      }
+      if (depth == 0 && t.kind == TokKind::kIdent && t.text != "final") {
+        name = t.text;
+      }
+    }
+    return name;
+  }
+
+  // Function signature shape: first top-level '(' preceded by a
+  // non-keyword identifier, with a matching ')'. Fills name, explicit
+  // `Foo::` qualifier chain and lock annotations.
+  struct Signature {
+    bool ok = false;
+    std::string name;
+    std::vector<std::string> qual;  // e.g. {"Checkpointer"}
+    int line = 0;
+    std::vector<std::string> requires_locks;  // raw refs
+    std::vector<std::string> acquired_locks;  // raw refs
+  };
+
+  Signature ParseSignature() {
+    Signature sig;
+    int depth = 0;
+    size_t open = stmt_.size();
+    for (size_t i = 0; i < stmt_.size(); ++i) {
+      const Token& t = stmt_[i];
+      if (t.kind != TokKind::kPunct) continue;
+      if (t.text == "(") {
+        if (depth == 0) {
+          open = i;
+          break;
+        }
+        ++depth;
+      } else if (t.text == "<") {
+        ++depth;  // crude template-argument skip
+      } else if (t.text == ">") {
+        if (depth > 0) --depth;
+      }
+    }
+    if (open == stmt_.size() || open == 0) return sig;
+    const Token& name_tok = stmt_[open - 1];
+    if (name_tok.kind != TokKind::kIdent ||
+        IsNonCallKeyword(name_tok.text)) {
+      return sig;
+    }
+    sig.name = name_tok.text;
+    sig.line = name_tok.line;
+    // Walk the `A::B::name` qualifier chain backwards.
+    size_t i = open - 1;
+    while (i >= 2 && stmt_[i - 1].text == "::" &&
+           stmt_[i - 2].kind == TokKind::kIdent) {
+      sig.qual.insert(sig.qual.begin(), stmt_[i - 2].text);
+      i -= 2;
+    }
+    // Find the matching ')'.
+    int pdepth = 0;
+    size_t close = stmt_.size();
+    for (size_t j = open; j < stmt_.size(); ++j) {
+      if (stmt_[j].text == "(") ++pdepth;
+      if (stmt_[j].text == ")" && --pdepth == 0) {
+        close = j;
+        break;
+      }
+    }
+    if (close == stmt_.size()) return sig;
+    // Annotations after the parameter list.
+    for (size_t j = close + 1; j + 1 < stmt_.size(); ++j) {
+      if (stmt_[j].kind != TokKind::kIdent ||
+          !IsLockAnnotation(stmt_[j].text) || stmt_[j + 1].text != "(") {
+        continue;
+      }
+      std::vector<std::string> args;
+      std::string arg;
+      int adepth = 0;
+      size_t k = j + 1;
+      for (; k < stmt_.size(); ++k) {
+        if (stmt_[k].text == "(" && ++adepth == 1) continue;
+        if (stmt_[k].text == ")" && --adepth == 0) break;
+        if (stmt_[k].text == "," && adepth == 1) {
+          if (!arg.empty()) args.push_back(arg);
+          arg.clear();
+          continue;
+        }
+        arg += stmt_[k].text;
+      }
+      if (!arg.empty()) args.push_back(arg);
+      for (const std::string& a : args) {
+        if (a.empty() || a[0] == '!') continue;  // negative capability
+        if (stmt_[j].text == "REQUIRES" ||
+            stmt_[j].text == "REQUIRES_SHARED") {
+          sig.requires_locks.push_back(a);
+        } else {
+          sig.acquired_locks.push_back(a);
+        }
+      }
+      j = k;
+    }
+    sig.ok = true;
+    return sig;
+  }
+
+  // --- fact extraction --------------------------------------------
+
+  // Registers `Mutex name;` declarations found in `stmt_` for the
+  // given scope. At class/namespace scope the id is scope-qualified;
+  // inside a function it becomes a file-local id.
+  void ScanMutexDecls(RawFunction* fn) {
+    for (size_t i = 0; i + 1 < stmt_.size(); ++i) {
+      if (stmt_[i].kind != TokKind::kIdent || stmt_[i].text != "Mutex") {
+        continue;
+      }
+      // Only a declaration when preceded by nothing, an access
+      // specifier (the `private:` tokens share the member's statement
+      // buffer), `static`, `mutable`, or a `divexp::` qualifier.
+      if (i > 0) {
+        const std::string& prev = stmt_[i - 1].text;
+        const bool qualified =
+            prev == "::" && i >= 2 && stmt_[i - 2].text == "divexp";
+        const bool after_access =
+            prev == ":" && i >= 2 &&
+            (stmt_[i - 2].text == "public" ||
+             stmt_[i - 2].text == "private" ||
+             stmt_[i - 2].text == "protected");
+        if (!qualified && !after_access && prev != "static" &&
+            prev != "mutable" && prev != "inline") {
+          continue;
+        }
+        if (prev == "::" && !(i >= 2 && stmt_[i - 2].text == "divexp")) {
+          continue;
+        }
+      }
+      // One or more `name` tokens separated by commas, ending the
+      // statement (references/pointers/returns don't match).
+      size_t j = i + 1;
+      while (j < stmt_.size() && stmt_[j].kind == TokKind::kIdent) {
+        const std::string name = stmt_[j].text;
+        const bool last = j + 1 == stmt_.size();
+        const bool comma = !last && stmt_[j + 1].text == ",";
+        if (!last && !comma) break;
+        if (fn != nullptr) {
+          fn->local_locks[name] = path_ + "#" + name;
+        } else {
+          const std::string scope = JoinScopes(ScopePath());
+          const std::string id =
+              scope.empty() ? name : scope + "::" + name;
+          (*locks_)[id] = path_;
+        }
+        if (last) break;
+        j += 2;
+      }
+    }
+  }
+
+  // Extracts MutexLock acquisitions, calls and blocking tokens from
+  // the current statement into `fn`.
+  void ScanFunctionStatement(RawFunction* fn) {
+    const int depth = InnerDepth();
+    for (size_t i = 0; i < stmt_.size(); ++i) {
+      const Token& t = stmt_[i];
+      if (t.kind != TokKind::kIdent) continue;
+      const bool call_next =
+          i + 1 < stmt_.size() && stmt_[i + 1].text == "(";
+      // MutexLock guard(expr): an acquisition holding to end of scope.
+      if (t.text == "MutexLock" && i + 2 < stmt_.size() &&
+          stmt_[i + 1].kind == TokKind::kIdent &&
+          stmt_[i + 2].text == "(") {
+        std::string expr;
+        int pdepth = 0;
+        for (size_t j = i + 2; j < stmt_.size(); ++j) {
+          if (stmt_[j].text == "(" && ++pdepth == 1) continue;
+          if (stmt_[j].text == ")" && --pdepth == 0) break;
+          expr += stmt_[j].text;
+        }
+        AcquireSite site;
+        site.lock = expr;  // raw; resolved in Build()
+        site.line = t.line;
+        site.depth = depth;
+        for (const auto& h : held_) site.held.push_back(h.first);
+        fn->info.acquires.push_back(site);
+        held_.emplace_back(expr, depth);
+        i += 2;
+        continue;
+      }
+      // Fail-point macros reach FailPointRegistry::Fire (which locks
+      // the registry and, for delay actions, sleeps).
+      if ((t.text == "DIVEXP_FAILPOINT" ||
+           t.text == "DIVEXP_FAILPOINT_STATUS") &&
+          call_next) {
+        CallSite call;
+        call.name = "Fire";
+        call.class_qual = "FailPointRegistry";
+        call.line = t.line;
+        for (const auto& h : held_) call.held.push_back(h.first);
+        fn->info.calls.push_back(call);
+        continue;
+      }
+      const BlockingToken* blocking = FindBlockingToken(t.text);
+      if (blocking != nullptr) {
+        const bool member =
+            i > 0 &&
+            (stmt_[i - 1].text == "." || stmt_[i - 1].text == "->");
+        const bool shape_ok =
+            (!blocking->needs_call || call_next) &&
+            (!blocking->member_only || member);
+        if (shape_ok) {
+          BlockSite site;
+          site.token = t.text;
+          site.line = t.line;
+          for (const auto& h : held_) site.held.push_back(h.first);
+          fn->info.blocks.push_back(site);
+          continue;
+        }
+      }
+      if (!call_next || IsNonCallKeyword(t.text) ||
+          IsLockAnnotation(t.text) || t.text == "MutexLock") {
+        continue;
+      }
+      CallSite call;
+      call.line = t.line;
+      // `Type var(...)`: the side effect is Type's constructor.
+      if (i > 0 && stmt_[i - 1].kind == TokKind::kIdent &&
+          !IsNonCallKeyword(stmt_[i - 1].text) &&
+          stmt_[i - 1].text != "return") {
+        call.name = stmt_[i - 1].text;
+        call.class_qual = stmt_[i - 1].text;
+      } else {
+        call.name = t.text;
+        size_t k = i;
+        while (k >= 2 && stmt_[k - 1].text == "::" &&
+               stmt_[k - 2].kind == TokKind::kIdent) {
+          call.class_qual = stmt_[k - 2].text;
+          k -= 2;
+        }
+      }
+      for (const auto& h : held_) call.held.push_back(h.first);
+      fn->info.calls.push_back(call);
+    }
+  }
+
+  // --- brace handling ---------------------------------------------
+
+  void OpenBrace() {
+    Scope scope;
+    scope.saved_paren_depth = paren_depth_;
+    RawFunction* fn = EnclosingFunction();
+    if (paren_depth_ > 0 || fn != nullptr) {
+      // Inside parens (lambda/init in an argument list) or a function
+      // body: a plain block — but local classes still open class
+      // scope, and the control header may carry facts.
+      if (fn != nullptr && paren_depth_ == 0 &&
+          (HasKeyword("class") || HasKeyword("struct")) &&
+          !ParseSignature().ok) {
+        scope.kind = Scope::kClass;
+        scope.name = ClassName();
+      } else {
+        if (fn != nullptr) {
+          ScanMutexDecls(fn);
+          ScanFunctionStatement(fn);
+        }
+        scope.kind = Scope::kBlock;
+      }
+    } else if (HasKeyword("namespace")) {
+      scope.kind = Scope::kNamespace;
+      std::string name;
+      for (const Token& t : stmt_) {
+        if (t.kind == TokKind::kIdent && t.text != "namespace" &&
+            t.text != "inline") {
+          name = t.text;
+        }
+      }
+      scope.name = name;
+    } else if (HasKeyword("class") || HasKeyword("struct") ||
+               HasKeyword("union") || HasKeyword("enum")) {
+      scope.kind = Scope::kClass;
+      scope.name = ClassName();
+    } else if (!HasTopLevelToken("=")) {
+      Signature sig = ParseSignature();
+      if (sig.ok) {
+        auto raw = std::make_unique<RawFunction>();
+        raw->info.name = sig.name;
+        raw->info.file = path_;
+        raw->info.line = sig.line;
+        raw->info.is_definition = true;
+        raw->info.requires_locks = sig.requires_locks;
+        raw->info.acquired_locks = sig.acquired_locks;
+        raw->scope_path = ScopePath();
+        for (const std::string& q : sig.qual) {
+          raw->scope_path.push_back(q);
+        }
+        // The innermost enclosing class (scope or qualifier chain).
+        raw->info.class_name = JoinScopes(raw->scope_path);
+        raw->info.display = raw->info.class_name.empty()
+                                ? sig.name
+                                : raw->info.class_name + "::" + sig.name;
+        // scope_path holds the *class* path only when the enclosing
+        // scope actually is a class; for free functions it is the
+        // namespace path, which resolution also wants.
+        scope.kind = Scope::kFunction;
+        scope.fn = raw.get();
+        out_->functions.push_back(std::move(raw));
+      } else {
+        scope.kind = Scope::kBlock;
+      }
+    } else {
+      scope.kind = Scope::kBlock;  // aggregate initializer etc.
+    }
+    stack_.push_back(scope);
+    paren_depth_ = 0;
+    stmt_.clear();
+  }
+
+  void CloseBrace() {
+    stmt_.clear();
+    if (stack_.empty()) return;
+    const Scope scope = stack_.back();
+    stack_.pop_back();
+    paren_depth_ = scope.saved_paren_depth;
+    // Release every lock acquired at or inside the closed scope.
+    const int depth = InnerDepth();
+    if (EnclosingFunction() == nullptr) {
+      held_.clear();
+    } else {
+      while (!held_.empty() && held_.back().second > depth) {
+        held_.pop_back();
+      }
+    }
+  }
+
+  void EndStatement() {
+    RawFunction* fn = EnclosingFunction();
+    if (fn != nullptr) {
+      ScanMutexDecls(fn);
+      ScanFunctionStatement(fn);
+      stmt_.clear();
+      return;
+    }
+    // Class or namespace scope: Mutex members/globals and function
+    // declarations (with or without annotations).
+    ScanMutexDecls(nullptr);
+    Signature sig = ParseSignature();
+    if (sig.ok && !HasTopLevelToken("=")) {
+      auto raw = std::make_unique<RawFunction>();
+      raw->info.name = sig.name;
+      raw->info.file = path_;
+      raw->info.line = sig.line;
+      raw->info.is_definition = false;
+      raw->info.requires_locks = sig.requires_locks;
+      raw->info.acquired_locks = sig.acquired_locks;
+      raw->scope_path = ScopePath();
+      for (const std::string& q : sig.qual) {
+        raw->scope_path.push_back(q);
+      }
+      raw->info.class_name = JoinScopes(raw->scope_path);
+      raw->info.display = raw->info.class_name.empty()
+                              ? sig.name
+                              : raw->info.class_name + "::" + sig.name;
+      out_->functions.push_back(std::move(raw));
+    }
+    stmt_.clear();
+  }
+
+  const std::string& path_;
+  const std::vector<Token>& toks_;
+  RawFile* out_;
+  std::map<std::string, std::string>* locks_;
+  std::vector<Scope> stack_;
+  std::vector<Token> stmt_;
+  int paren_depth_ = 0;
+  // Raw lock refs currently held, with the inner depth they were
+  // acquired at.
+  std::vector<std::pair<std::string, int>> held_;
+};
+
+}  // namespace internal_index
+
+using internal_index::RawFile;
+using internal_index::RawFunction;
+using internal_index::Scanner;
+
+namespace {
+
+// Storage bridging AddFile and Build. Lives in a per-index side table
+// keyed by the SymbolIndex instance to keep the header std-container
+// only.
+struct PendingState {
+  std::vector<std::unique_ptr<RawFile>> raw_files;
+};
+
+std::map<const SymbolIndex*, std::unique_ptr<PendingState>>&
+PendingStates() {
+  static auto* states =
+      new std::map<const SymbolIndex*, std::unique_ptr<PendingState>>();
+  return *states;
+}
+
+PendingState& StateFor(const SymbolIndex* index) {
+  auto& states = PendingStates();
+  auto it = states.find(index);
+  if (it == states.end()) {
+    it = states.emplace(index, std::make_unique<PendingState>()).first;
+  }
+  return *it->second;
+}
+
+// Resolves a raw lock reference against the function's context.
+std::string ResolveLockRef(
+    const std::string& raw, const RawFunction& fn,
+    const std::map<std::string, std::string>& locks) {
+  const std::string name = LastIdent(raw);
+  if (name.empty()) return fn.info.file + "#<unknown>";
+  auto local = fn.local_locks.find(name);
+  if (local != fn.local_locks.end()) return local->second;
+  // Exact member walk: innermost enclosing scope outwards.
+  std::vector<std::string> path = fn.scope_path;
+  while (true) {
+    const std::string scope = JoinScopes(path);
+    const std::string id = scope.empty() ? name : scope + "::" + name;
+    if (locks.count(id) > 0) return id;
+    if (path.empty()) break;
+    path.pop_back();
+  }
+  // Nested classes of an enclosing scope (e.g. ResultCache::Shard::mu
+  // reached from a ResultCache method as `shard.mu`).
+  path = fn.scope_path;
+  while (!path.empty()) {
+    const std::string prefix = JoinScopes(path);
+    if (!prefix.empty()) {
+      std::string found;
+      int count = 0;
+      for (const auto& [id, file] : locks) {
+        (void)file;
+        if (StartsWith(id, prefix + "::") && EndsWith(id, "::" + name)) {
+          found = id;
+          ++count;
+        }
+      }
+      if (count == 1) return found;
+    }
+    path.pop_back();
+  }
+  // Globally unique base name.
+  std::string found;
+  int count = 0;
+  for (const auto& [id, file] : locks) {
+    (void)file;
+    if (id == name || EndsWith(id, "::" + name)) {
+      found = id;
+      ++count;
+    }
+  }
+  if (count == 1) return found;
+  return fn.info.file + "#" + name;
+}
+
+}  // namespace
+
+void SymbolIndex::AddFile(const std::string& logical_path,
+                          const std::string& content) {
+  auto raw = std::make_unique<RawFile>();
+  raw->indexed.path = logical_path;
+  raw->indexed.lines = SplitLines(content);
+  // Quoted includes from raw lines (the lexer drops preprocessor
+  // directives); resolution against indexed paths happens in Build().
+  for (const std::string& line : raw->indexed.lines) {
+    size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '#') continue;
+    size_t inc = line.find("include", i);
+    if (inc == std::string::npos) continue;
+    size_t open = line.find('"', inc);
+    if (open == std::string::npos) continue;
+    size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    raw->raw_includes.push_back(line.substr(open + 1, close - open - 1));
+  }
+  // Structural scan: only layered sources contribute lock facts (tests
+  // deliberately misuse locks; the lock primitive itself is exempt).
+  const bool scan = (StartsWith(logical_path, "src/") ||
+                     StartsWith(logical_path, "tools/")) &&
+                    !IsLockInfraFile(logical_path);
+  if (scan) {
+    const std::vector<Token> tokens = Lex(content);
+    Scanner scanner(logical_path, tokens, raw.get(), &locks_);
+    scanner.Run();
+  }
+  StateFor(this).raw_files.push_back(std::move(raw));
+}
+
+void SymbolIndex::Build() {
+  PendingState& state = StateFor(this);
+  // Candidate implied paths for a quoted include, resolved against the
+  // set of paths actually indexed.
+  std::set<std::string> known_paths;
+  for (const auto& raw : state.raw_files) {
+    known_paths.insert(raw->indexed.path);
+  }
+  for (auto& raw : state.raw_files) {
+    for (const std::string& inc : raw->raw_includes) {
+      const std::string candidates[] = {
+          "src/" + inc, inc, "tests/" + inc, "tools/" + inc,
+          DirName(raw->indexed.path) + "/" + inc};
+      for (const std::string& candidate : candidates) {
+        if (known_paths.count(candidate) > 0) {
+          raw->indexed.includes.push_back(candidate);
+          break;
+        }
+      }
+    }
+  }
+  // Resolve every raw lock reference now that locks_ is complete.
+  for (auto& raw : state.raw_files) {
+    for (auto& fn : raw->functions) {
+      auto resolve_list = [&](std::vector<std::string>* refs) {
+        for (std::string& ref : *refs) {
+          ref = ResolveLockRef(ref, *fn, locks_);
+        }
+        std::sort(refs->begin(), refs->end());
+        refs->erase(std::unique(refs->begin(), refs->end()),
+                    refs->end());
+      };
+      resolve_list(&fn->info.requires_locks);
+      resolve_list(&fn->info.acquired_locks);
+      for (AcquireSite& site : fn->info.acquires) {
+        site.lock = ResolveLockRef(site.lock, *fn, locks_);
+        for (std::string& h : site.held) {
+          h = ResolveLockRef(h, *fn, locks_);
+        }
+      }
+      for (CallSite& site : fn->info.calls) {
+        for (std::string& h : site.held) {
+          h = ResolveLockRef(h, *fn, locks_);
+        }
+      }
+      for (BlockSite& site : fn->info.blocks) {
+        for (std::string& h : site.held) {
+          h = ResolveLockRef(h, *fn, locks_);
+        }
+      }
+      raw->indexed.functions.push_back(fn->info);
+    }
+  }
+  // Move the finalized files into place and build the lookup tables.
+  files_.clear();
+  for (auto& raw : state.raw_files) {
+    files_.push_back(std::move(raw->indexed));
+  }
+  for (const IndexedFile& file : files_) {
+    for (const FunctionInfo& fn : file.functions) {
+      // Key on the innermost class component so out-of-line
+      // definitions and in-class declarations meet.
+      std::string class_base = fn.class_name;
+      size_t sep = class_base.rfind("::");
+      if (sep != std::string::npos) class_base = class_base.substr(sep + 2);
+      const std::string key =
+          class_base.empty() ? fn.name : class_base + "::" + fn.name;
+      by_key_.emplace(key, &fn);
+      by_name_.emplace(fn.name, &fn);
+      decl_files_[key].insert(file.path);
+      decl_files_[fn.name].insert(file.path);
+    }
+  }
+  PendingStates().erase(this);
+}
+
+const std::set<std::string>& SymbolIndex::Closure(
+    const std::string& path) const {
+  auto it = closures_.find(path);
+  if (it != closures_.end()) return it->second;
+  std::map<std::string, const IndexedFile*> by_path;
+  for (const IndexedFile& file : files_) {
+    by_path[file.path] = &file;
+  }
+  std::set<std::string>& closure = closures_[path];
+  std::deque<std::string> queue = {path};
+  closure.insert(path);
+  while (!queue.empty()) {
+    const std::string current = queue.front();
+    queue.pop_front();
+    auto found = by_path.find(current);
+    if (found == by_path.end()) continue;
+    for (const std::string& inc : found->second->includes) {
+      if (closure.insert(inc).second) queue.push_back(inc);
+    }
+  }
+  return closure;
+}
+
+const std::set<std::string>& SymbolIndex::DeclFiles(
+    const std::string& key) const {
+  static const std::set<std::string>* empty = new std::set<std::string>();
+  auto it = decl_files_.find(key);
+  return it == decl_files_.end() ? *empty : it->second;
+}
+
+}  // namespace lint
+}  // namespace divexp

@@ -1,0 +1,137 @@
+// Cross-file symbol index for the lock-order passes: per-TU token
+// streams (lint/lexer.h), the quoted-include graph, every
+// `divexp::Mutex` declaration (members, globals and function locals),
+// and every function with its `MutexLock` acquisitions, call sites and
+// blocking-call sites — each recorded with the set of locks held at
+// that point. lockcheck.cc consumes this to derive "lock A held while
+// acquiring lock B" edges and blocking-under-lock findings.
+//
+// Like the rest of tools/lint this is a best-effort structural parse,
+// not a compiler: it must never crash on odd input, and it errs toward
+// silence (an unrecognized construct contributes no facts) because a
+// lint that cries wolf gets suppressed instead of fixed.
+#ifndef DIVEXP_TOOLS_LINT_INDEX_H_
+#define DIVEXP_TOOLS_LINT_INDEX_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace divexp {
+namespace lint {
+
+// A canonical lock identifier:
+//  - class member:   enclosing scopes + member, with the repo-wide
+//    `divexp` namespace stripped (e.g. `recovery::Checkpointer::mu_`,
+//    `serve::ResultCache::Shard::mu`)
+//  - namespace-scope global: scopes + name (e.g. `detail::g_mu`)
+//  - function local: `<file>#<name>` (never rankable; local locks are
+//    anonymous leaves of the hierarchy)
+// The docs/static-analysis.md hierarchy table keys on these strings.
+
+// One "lock X acquired at this point" event inside a function body.
+struct AcquireSite {
+  std::string lock;               // canonical lock id
+  int line = 0;
+  int depth = 0;                  // brace depth inside the body (>= 1)
+  std::vector<std::string> held;  // locks already held, outermost first
+};
+
+// A call made while analyzing a function body. `held` is the held-lock
+// snapshot; callee resolution happens in lockcheck.cc via the index.
+struct CallSite {
+  std::string name;        // base callee name (last identifier)
+  std::string class_qual;  // explicit `Foo::` qualifier if written
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+// A direct blocking token (sleep/IO/subprocess/condition wait) hit
+// while locks were held. Token-level; the transitive closure through
+// calls is lockcheck.cc's job.
+struct BlockSite {
+  std::string token;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+struct FunctionInfo {
+  std::string name;        // base name, e.g. "WriteLocked"
+  std::string class_name;  // fully scoped class, "" for free functions
+  std::string display;     // human name for messages
+  std::string file;
+  int line = 0;
+  bool is_definition = false;
+  // Locks from REQUIRES(...) — held on entry to the definition's body.
+  std::vector<std::string> requires_locks;
+  // Locks from EXCLUDES(...)/ACQUIRE(...) — acquired internally. By
+  // repo convention EXCLUDES(mu) documents "takes mu inside".
+  std::vector<std::string> acquired_locks;
+  // Definition-body facts (empty for pure declarations).
+  std::vector<AcquireSite> acquires;
+  std::vector<CallSite> calls;
+  std::vector<BlockSite> blocks;
+};
+
+struct IndexedFile {
+  std::string path;                   // logical repo-relative path
+  std::vector<std::string> lines;     // raw lines, for suppressions
+  std::vector<std::string> includes;  // implied repo paths of quoted
+                                      // includes (e.g. src/util/mutex.h)
+  std::vector<FunctionInfo> functions;
+};
+
+// The index itself. Usage: AddFile() for every file, then Build()
+// exactly once, then query.
+class SymbolIndex {
+ public:
+  // Lexes and structurally scans one file. `logical_path` must already
+  // be the effective (lint-path-pinned) path.
+  void AddFile(const std::string& logical_path,
+               const std::string& content);
+
+  // Resolves lock names and finalizes per-function facts. Call after
+  // the last AddFile.
+  void Build();
+
+  const std::vector<IndexedFile>& files() const { return files_; }
+
+  // Every canonical member/global lock id, with the file declaring it.
+  const std::map<std::string, std::string>& locks() const {
+    return locks_;
+  }
+
+  // Functions keyed by "Class::name" (or "name" for free functions);
+  // multiple entries on overloads / multi-class name collisions.
+  const std::multimap<std::string, const FunctionInfo*>& by_key() const {
+    return by_key_;
+  }
+  // Same functions keyed by bare base name.
+  const std::multimap<std::string, const FunctionInfo*>& by_name() const {
+    return by_name_;
+  }
+
+  // Include closure of `path` (reflexive, transitive over quoted
+  // includes that resolve into the tree).
+  const std::set<std::string>& Closure(const std::string& path) const;
+
+  // Files in which the key "Class::name" (or "name") is declared or
+  // defined — used to check whether a callee is visible to a caller.
+  const std::set<std::string>& DeclFiles(const std::string& key) const;
+
+ private:
+  std::vector<IndexedFile> files_;
+  std::map<std::string, std::string> locks_;
+  std::multimap<std::string, const FunctionInfo*> by_key_;
+  std::multimap<std::string, const FunctionInfo*> by_name_;
+  std::map<std::string, std::set<std::string>> decl_files_;
+  mutable std::map<std::string, std::set<std::string>> closures_;
+};
+
+}  // namespace lint
+}  // namespace divexp
+
+#endif  // DIVEXP_TOOLS_LINT_INDEX_H_

@@ -1,0 +1,160 @@
+#include "lint/lexer.h"
+
+#include <cctype>
+
+namespace divexp {
+namespace lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& content) {
+  std::vector<Token> tokens;
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+    // Preprocessor directive: swallow the logical line, honouring
+    // backslash continuations. Comments inside are handled by falling
+    // through newline detection (a // comment cannot continue a line).
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        size_t eol = content.find('\n', i);
+        if (eol == std::string::npos) {
+          advance(n - i);
+          break;
+        }
+        // Continuation if the last non-CR char before the newline is
+        // a backslash.
+        size_t last = eol;
+        while (last > i && (content[last - 1] == '\r')) --last;
+        const bool continued = last > i && content[last - 1] == '\\';
+        advance(eol - i + 1);
+        if (!continued) break;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      size_t eol = content.find('\n', i);
+      advance(eol == std::string::npos ? n - i : eol - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      size_t close = content.find("*/", i + 2);
+      advance(close == std::string::npos ? n - i : close - i + 2);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"' &&
+        (tokens.empty() || i == 0 || !IsIdentChar(content[i - 1]))) {
+      size_t open_paren = content.find('(', i + 2);
+      if (open_paren != std::string::npos && open_paren - i - 2 <= 16) {
+        const std::string delim =
+            content.substr(i + 2, open_paren - i - 2);
+        const std::string closer = ")" + delim + "\"";
+        size_t close = content.find(closer, open_paren + 1);
+        const int tok_line = line;
+        if (close != std::string::npos) {
+          tokens.push_back(
+              {TokKind::kString,
+               content.substr(open_paren + 1, close - open_paren - 1),
+               tok_line});
+          advance(close + closer.size() - i);
+          continue;
+        }
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      // Digit separator: '...' directly between alphanumerics is part
+      // of a number (1'000'000), not a char literal.
+      if (quote == '\'' && i > 0 && IsIdentChar(content[i - 1]) &&
+          i + 1 < n && IsIdentChar(content[i + 1])) {
+        advance(1);
+        continue;
+      }
+      const int tok_line = line;
+      std::string text;
+      size_t j = i + 1;
+      while (j < n && content[j] != quote) {
+        if (content[j] == '\\' && j + 1 < n) {
+          text += content[j + 1];
+          j += 2;
+          continue;
+        }
+        if (content[j] == '\n') break;  // unterminated: resync
+        text += content[j];
+        ++j;
+      }
+      tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                        text, tok_line});
+      advance((j < n && content[j] == quote ? j + 1 : j) - i);
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      tokens.push_back({TokKind::kIdent, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i + 1;
+      while (j < n &&
+             (IsIdentChar(content[j]) || content[j] == '.' ||
+              content[j] == '\'' ||
+              ((content[j] == '+' || content[j] == '-') && j > 0 &&
+               (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      tokens.push_back({TokKind::kNumber, content.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+    // Punctuators: keep "::" and "->" whole (scope chains and member
+    // access matter to the passes); everything else is one char.
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      tokens.push_back({TokKind::kPunct, "::", line});
+      advance(2);
+      continue;
+    }
+    if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      tokens.push_back({TokKind::kPunct, "->", line});
+      advance(2);
+      continue;
+    }
+    tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return tokens;
+}
+
+}  // namespace lint
+}  // namespace divexp

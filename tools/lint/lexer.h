@@ -1,0 +1,40 @@
+// Token stream for the cross-file lint passes. The per-line rules in
+// lint.cc deliberately stay textual (they survive unparseable input),
+// but the lock-order and blocking passes need real statement structure:
+// comments and string bodies must not look like code, and brace depth
+// must be exact. This lexer produces just enough of C++ for that — no
+// preprocessing, no templates-awareness, no keywords table — while
+// staying std-only like the rest of tools/lint.
+#ifndef DIVEXP_TOOLS_LINT_LEXER_H_
+#define DIVEXP_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace divexp {
+namespace lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (digit separators included)
+  kString,  // "...", R"(...)" — text excludes the quotes
+  kChar,    // '...'
+  kPunct,   // one punctuator; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// Lexes `content`. Comments are dropped. Preprocessor directives
+// (including backslash-continued ones) are dropped entirely — the
+// include graph is built from raw lines, not tokens. Malformed input
+// never fails; the lexer resynchronizes at the next character.
+std::vector<Token> Lex(const std::string& content);
+
+}  // namespace lint
+}  // namespace divexp
+
+#endif  // DIVEXP_TOOLS_LINT_LEXER_H_

@@ -1,7 +1,9 @@
 #include "lint/lint.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -9,6 +11,9 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint/index.h"
+#include "lint/lockcheck.h"
 
 namespace divexp {
 namespace lint {
@@ -55,6 +60,72 @@ bool HasAllow(const std::string& line, const std::string& rule) {
   if (after >= line.size() || line[after] != ':') return false;
   size_t reason = line.find_first_not_of(" \t", after + 1);
   return reason != std::string::npos;
+}
+
+// Every shipped rule id; the stale-suppression pass only treats an
+// allow of a *known* rule as a suppression site (prose like
+// `lint:allow(<rule-id>)` in docs comments stays invisible).
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kRules = {
+      kRuleNoIgnoredStatus,  kRuleNoRawFileOutput,
+      kRuleFailpointName,    kRuleMetricName,
+      kRuleStageDocumented,  kRuleIncludeLayering,
+      kRuleShardStatus,      kRuleKernelNoAlloc,
+      kRuleServeNoMutation,  kRuleNoRawSubprocess,
+      kRuleLockOrderCycle,   kRuleUndeclaredLockEdge,
+      kRuleNoBlockingUnderLock, kRuleStaleSuppression,
+  };
+  return kRules;
+}
+
+// All well-formed suppressions (`lint:allow(<known-rule>): <reason>`)
+// on one line.
+std::vector<std::string> AllowedRulesOnLine(const std::string& line) {
+  std::vector<std::string> rules;
+  const std::string marker = "lint:allow(";
+  size_t pos = 0;
+  while ((pos = line.find(marker, pos)) != std::string::npos) {
+    size_t start = pos + marker.size();
+    size_t close = line.find(')', start);
+    pos = start;
+    if (close == std::string::npos) break;
+    const std::string rule = line.substr(start, close - start);
+    if (KnownRules().count(rule) > 0 && HasAllow(line, rule)) {
+      rules.push_back(rule);
+    }
+  }
+  return rules;
+}
+
+// Shared record of which allow comments actually suppressed a finding,
+// keyed "file\x1fline\x1frule". Fed by every pass; drained by the
+// stale-suppression pass.
+struct SuppressionLog {
+  std::set<std::string> used;
+  static std::string Key(const std::string& file, int line,
+                         const std::string& rule) {
+    return file + "\x1f" + std::to_string(line) + "\x1f" + rule;
+  }
+};
+
+// Applies the `// lint-path: <path>` override a corpus fixture may
+// carry in its first lines.
+std::string EffectivePath(const std::string& logical_path,
+                          const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  const std::string marker = "// lint-path: ";
+  for (int i = 0; i < 5 && std::getline(in, line); ++i) {
+    size_t pos = line.find(marker);
+    if (pos == std::string::npos) continue;
+    std::string path = line.substr(pos + marker.size());
+    while (!path.empty() &&
+           (path.back() == ' ' || path.back() == '\r')) {
+      path.pop_back();
+    }
+    return path;
+  }
+  return logical_path;
 }
 
 // All directory ranks are spaced by 10 so future layers can slot in
@@ -247,8 +318,11 @@ bool ValidateFailPointSpec(const std::string& spec, std::string* why) {
 class FileLinter {
  public:
   FileLinter(std::string logical_path, const Catalogs& catalogs,
-             std::vector<Diagnostic>* out)
-      : path_(std::move(logical_path)), catalogs_(catalogs), out_(out) {
+             std::vector<Diagnostic>* out, SuppressionLog* log)
+      : path_(std::move(logical_path)),
+        catalogs_(catalogs),
+        out_(out),
+        log_(log) {
     in_layered_src_ =
         StartsWith(path_, "src/") || StartsWith(path_, "tools/");
   }
@@ -292,7 +366,12 @@ class FileLinter {
  private:
   void Emit(const std::string& line, int lineno, const char* rule,
             std::string message) {
-    if (HasAllow(line, rule)) return;
+    if (HasAllow(line, rule)) {
+      if (log_ != nullptr) {
+        log_->used.insert(SuppressionLog::Key(path_, lineno, rule));
+      }
+      return;
+    }
     out_->push_back(Diagnostic{path_, lineno, rule, std::move(message)});
   }
 
@@ -360,11 +439,14 @@ class FileLinter {
       const char* text;
       bool needs_call;  // must be followed by '(' to count
     };
+    // Only the first entry needs a suppression: the needs_call tokens
+    // are not followed by '(' on their own table lines, so the rule
+    // never fires there (the stale-suppression pass enforces this).
     static const Token kTokens[] = {{"ofstream", false},  // lint:allow(no-raw-file-output): the rule's own token table
-                                    {"fopen", true},  // lint:allow(no-raw-file-output): the rule's own token table
-                                    {"fwrite", true},  // lint:allow(no-raw-file-output): the rule's own token table
-                                    {"fputs", true},  // lint:allow(no-raw-file-output): the rule's own token table
-                                    {"fprintf", true}};  // lint:allow(no-raw-file-output): the rule's own token table
+                                    {"fopen", true},
+                                    {"fwrite", true},
+                                    {"fputs", true},
+                                    {"fprintf", true}};
     for (const Token& token : kTokens) {
       const std::string text = token.text;
       size_t pos = 0;
@@ -720,6 +802,7 @@ class FileLinter {
   std::string path_;
   const Catalogs& catalogs_;
   std::vector<Diagnostic>* out_;
+  SuppressionLog* log_ = nullptr;
   bool in_layered_src_ = false;
   int source_layer_ = -1;
   // shard-status-propagated accumulator state.
@@ -769,10 +852,167 @@ int LayerOf(const std::string& logical_path) {
   return -1;
 }
 
+struct TreeLinter::Impl {
+  explicit Impl(const Catalogs& catalogs) : catalogs(catalogs) {}
+
+  const Catalogs& catalogs;
+  SuppressionLog log;
+  std::vector<Diagnostic> diags;
+  SymbolIndex index;
+};
+
+TreeLinter::TreeLinter(const Catalogs& catalogs)
+    : impl_(std::make_unique<Impl>(catalogs)) {}
+
+TreeLinter::~TreeLinter() = default;
+
+void TreeLinter::AddFile(const std::string& logical_path,
+                         const std::string& content) {
+  const std::string path = EffectivePath(logical_path, content);
+  FileLinter linter(path, impl_->catalogs, &impl_->diags, &impl_->log);
+  linter.Lint(content);
+  impl_->index.AddFile(path, content);
+}
+
+std::vector<Diagnostic> TreeLinter::Run() {
+  impl_->index.Build();
+  // Line text per file, for suppression checks on lock findings.
+  auto line_text = [this](const std::string& file,
+                          int lineno) -> const std::string* {
+    for (const IndexedFile& f : impl_->index.files()) {
+      if (f.path != file) continue;
+      if (lineno >= 1 &&
+          static_cast<size_t>(lineno) <= f.lines.size()) {
+        return &f.lines[lineno - 1];
+      }
+      return nullptr;
+    }
+    return nullptr;
+  };
+  RunLockPasses(
+      impl_->index, impl_->catalogs,
+      [&](const std::string& file, int line, const char* rule,
+          const std::string& message) {
+        const std::string* text = line_text(file, line);
+        if (text != nullptr && HasAllow(*text, rule)) {
+          impl_->log.used.insert(SuppressionLog::Key(file, line, rule));
+          return;
+        }
+        impl_->diags.push_back(Diagnostic{file, line, rule, message});
+      });
+  // Stale-suppression pass: every well-formed allow must have earned
+  // its keep in one of the passes above. (An allow of
+  // stale-suppression itself is never honoured — the inventory check
+  // must not be suppressible.)
+  for (const IndexedFile& file : impl_->index.files()) {
+    for (size_t i = 0; i < file.lines.size(); ++i) {
+      const int lineno = static_cast<int>(i) + 1;
+      for (const std::string& rule : AllowedRulesOnLine(file.lines[i])) {
+        if (impl_->log.used.count(
+                SuppressionLog::Key(file.path, lineno, rule)) > 0) {
+          continue;
+        }
+        impl_->diags.push_back(Diagnostic{
+            file.path, lineno, kRuleStaleSuppression,
+            "lint:allow(" + rule +
+                ") suppresses nothing: no '" + rule +
+                "' finding fires on this line any more — delete the "
+                "stale allow so it cannot mask a future regression"});
+      }
+    }
+  }
+  std::sort(impl_->diags.begin(), impl_->diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return std::move(impl_->diags);
+}
+
 void LintFile(const std::string& logical_path, const std::string& content,
               const Catalogs& catalogs, std::vector<Diagnostic>* out) {
-  FileLinter linter(logical_path, catalogs, out);
-  linter.Lint(content);
+  TreeLinter linter(catalogs);
+  linter.AddFile(logical_path, content);
+  std::vector<Diagnostic> diags = linter.Run();
+  out->insert(out->end(), diags.begin(), diags.end());
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// GitHub workflow commands percent-encode their message payload;
+// property values additionally escape ':' and ','.
+std::string GithubEscapeData(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '%') out += "%25";
+    else if (c == '\r') out += "%0D";
+    else if (c == '\n') out += "%0A";
+    else out += c;
+  }
+  return out;
+}
+
+std::string GithubEscapeProperty(const std::string& s) {
+  std::string out;
+  for (char c : GithubEscapeData(s)) {
+    if (c == ':') out += "%3A";
+    else if (c == ',') out += "%2C";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       size_t files_linted) {
+  std::string out = "{\n  \"files\": " + std::to_string(files_linted) +
+                    ",\n  \"findings\": [";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + JsonEscape(d.file) +
+           "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+           JsonEscape(d.rule) + "\", \"message\": \"" +
+           JsonEscape(d.message) + "\"}";
+  }
+  out += diagnostics.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::string RenderGitHub(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += "::error file=" + GithubEscapeProperty(d.file) +
+           ",line=" + std::to_string(d.line) +
+           ",title=" + GithubEscapeProperty("divexp-lint " + d.rule) +
+           "::" + GithubEscapeData("[" + d.rule + "] " + d.message) +
+           "\n";
+  }
+  return out;
 }
 
 bool LoadCatalogs(const std::string& root, Catalogs* catalogs,
@@ -846,6 +1086,61 @@ bool LoadCatalogs(const std::string& root, Catalogs* catalogs,
     }
   }
 
+  // Canonical lock hierarchy: the table under "## Canonical lock
+  // hierarchy" in docs/static-analysis.md. Columns:
+  // | Rank | Lock | Declared in | May block |
+  const std::string static_analysis_md =
+      ReadFileOrEmpty(fs::path(root) / "docs" / "static-analysis.md");
+  if (static_analysis_md.empty()) {
+    *error = "missing docs/static-analysis.md under " + root;
+    return false;
+  }
+  bool in_hierarchy = false;
+  for (const std::string& line : SplitLines(static_analysis_md)) {
+    if (line.find("Canonical lock hierarchy") != std::string::npos) {
+      in_hierarchy = true;
+      continue;
+    }
+    if (in_hierarchy && StartsWith(line, "#")) in_hierarchy = false;
+    if (!in_hierarchy || line.empty() || line[0] != '|') continue;
+    // Split into cells.
+    std::vector<std::string> cells;
+    size_t pos = 1;
+    while (pos < line.size()) {
+      size_t next = line.find('|', pos);
+      if (next == std::string::npos) break;
+      cells.push_back(line.substr(pos, next - pos));
+      pos = next + 1;
+    }
+    if (cells.size() < 3) continue;
+    // Rank cell must be an integer (skips the header and |---| rows).
+    const std::string& rank_cell = cells[0];
+    size_t digit = rank_cell.find_first_of("0123456789");
+    if (digit == std::string::npos) continue;
+    bool all_digits = true;
+    int rank = 0;
+    for (size_t i = digit; i < rank_cell.size(); ++i) {
+      char c = rank_cell[i];
+      if (c >= '0' && c <= '9') {
+        rank = rank * 10 + (c - '0');
+      } else if (c == ' ') {
+        break;
+      } else {
+        all_digits = false;
+        break;
+      }
+    }
+    if (!all_digits) continue;
+    const std::vector<std::string> lock_tokens = BacktickTokens(cells[1]);
+    if (lock_tokens.empty()) continue;
+    const std::string& lock = lock_tokens[0];
+    catalogs->lock_ranks[lock] = rank;
+    if (cells.size() >= 4 &&
+        cells[3].find("yes") != std::string::npos) {
+      catalogs->lock_may_block.insert(lock);
+    }
+  }
+
   if (catalogs->failpoints.empty()) {
     *error = "no fail-point catalog parsed from docs/recovery.md";
     return false;
@@ -856,6 +1151,12 @@ bool LoadCatalogs(const std::string& root, Catalogs* catalogs,
   }
   if (catalogs->status_functions.empty()) {
     *error = "no Status/Result-returning declarations found under src/";
+    return false;
+  }
+  if (catalogs->lock_ranks.empty()) {
+    *error =
+        "no lock hierarchy table parsed from docs/static-analysis.md "
+        "(section 'Canonical lock hierarchy')";
     return false;
   }
   return true;

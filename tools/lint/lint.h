@@ -11,6 +11,8 @@
 #ifndef DIVEXP_TOOLS_LINT_LINT_H_
 #define DIVEXP_TOOLS_LINT_LINT_H_
 
+#include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -33,6 +35,12 @@ inline constexpr const char* kRuleKernelNoAlloc = "kernel-no-alloc";
 inline constexpr const char* kRuleServeNoMutation =
     "serve-no-artifact-mutation";
 inline constexpr const char* kRuleNoRawSubprocess = "no-raw-subprocess";
+inline constexpr const char* kRuleLockOrderCycle = "lock-order-cycle";
+inline constexpr const char* kRuleUndeclaredLockEdge =
+    "undeclared-lock-edge";
+inline constexpr const char* kRuleNoBlockingUnderLock =
+    "no-blocking-under-lock";
+inline constexpr const char* kRuleStaleSuppression = "stale-suppression";
 
 struct Diagnostic {
   std::string file;  // logical repo-relative path
@@ -50,11 +58,19 @@ struct Diagnostic {
 //    `recovery.failpoint.<name>` reduced to their literal prefix
 //  - status_functions: names of functions/methods declared in headers
 //    with a Status or Result<...> return type
+//  - lock_ranks: the canonical lock hierarchy table in
+//    docs/static-analysis.md — canonical lock id -> rank; edges must
+//    go strictly rank-upwards
+//  - lock_may_block: hierarchy rows whose "May block" column is yes
+//    (locks that serialize IO by design; exempt from
+//    no-blocking-under-lock)
 struct Catalogs {
   std::set<std::string> failpoints;
   std::set<std::string> documented_names;
   std::set<std::string> dynamic_prefixes;
   std::set<std::string> status_functions;
+  std::map<std::string, int> lock_ranks;
+  std::set<std::string> lock_may_block;
 };
 
 // Loads all catalogs from a repo root. Missing docs or an empty
@@ -66,9 +82,44 @@ bool LoadCatalogs(const std::string& root, Catalogs* catalogs,
 // Lints one file's contents. `logical_path` is the repo-relative path
 // used for all path-dependent rules (layering, exemptions); for corpus
 // fixtures it may be overridden by a `// lint-path: <path>` comment in
-// the first lines of the content.
+// the first lines of the content. Runs every pass — per-line rules,
+// the cross-file lock passes (degenerately, over the one file) and
+// stale-suppression detection.
 void LintFile(const std::string& logical_path, const std::string& content,
               const Catalogs& catalogs, std::vector<Diagnostic>* out);
+
+// Multi-pass tree linter. AddFile() every file, then Run() once:
+//  1. per-line rules (the historical per-file scanner),
+//  2. the cross-file lock-order / blocking passes over a shared symbol
+//     index (lint/index.h, lint/lockcheck.h),
+//  3. stale-suppression detection — a well-formed
+//     `lint:allow(<rule>): <reason>` that suppressed nothing in any
+//     pass is itself a finding; an obsolete allow hides the next real
+//     regression on that line.
+// Diagnostics come back sorted by (file, line, rule).
+class TreeLinter {
+ public:
+  explicit TreeLinter(const Catalogs& catalogs);
+  ~TreeLinter();
+  TreeLinter(const TreeLinter&) = delete;
+  TreeLinter& operator=(const TreeLinter&) = delete;
+
+  void AddFile(const std::string& logical_path,
+               const std::string& content);
+  std::vector<Diagnostic> Run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Renderers for `divexp-lint --format=...`. JSON is a stable
+// machine-readable schema ({"files": N, "findings": [...]});
+// the GitHub form emits one `::error file=...,line=...` workflow
+// command per finding so CI annotates the diff.
+std::string RenderJson(const std::vector<Diagnostic>& diagnostics,
+                       size_t files_linted);
+std::string RenderGitHub(const std::vector<Diagnostic>& diagnostics);
 
 // The include-layering rank of a repo-relative path, or -1 when the
 // path is outside the layered tree (unknown directories are skipped,

@@ -1,0 +1,380 @@
+#include "lint/lockcheck.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace divexp {
+namespace lint {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool InScope(const std::string& path) {
+  return StartsWith(path, "src/") || StartsWith(path, "tools/");
+}
+
+// Pretty-prints a lock id for messages; file-local ids keep their
+// `file#name` form, which is self-explanatory.
+std::string Lk(const std::string& id) { return "`" + id + "`"; }
+
+struct Edge {
+  std::string from;
+  std::string to;
+  std::string file;
+  int line = 0;
+  std::string via;  // "" for a direct MutexLock nesting
+};
+
+class LockAnalysis {
+ public:
+  LockAnalysis(const SymbolIndex& index, const Catalogs& catalogs,
+               const LockCheckEmit& emit)
+      : index_(index), catalogs_(catalogs), emit_(emit) {}
+
+  void Run() {
+    CollectAnnotations();
+    CollectDefinitions();
+    CollectEdges();
+    CheckEdges();
+    CheckBlocking();
+  }
+
+ private:
+  struct KeyAnnotations {
+    std::set<std::string> requires_locks;
+    std::set<std::string> acquired_locks;
+  };
+
+  std::string KeyOf(const FunctionInfo& fn) const {
+    std::string class_base = fn.class_name;
+    size_t sep = class_base.rfind("::");
+    if (sep != std::string::npos) class_base = class_base.substr(sep + 2);
+    return class_base.empty() ? fn.name : class_base + "::" + fn.name;
+  }
+
+  void CollectAnnotations() {
+    for (const IndexedFile& file : index_.files()) {
+      for (const FunctionInfo& fn : file.functions) {
+        KeyAnnotations& ann = annotations_[KeyOf(fn)];
+        ann.requires_locks.insert(fn.requires_locks.begin(),
+                                  fn.requires_locks.end());
+        ann.acquired_locks.insert(fn.acquired_locks.begin(),
+                                  fn.acquired_locks.end());
+      }
+    }
+  }
+
+  void CollectDefinitions() {
+    for (const IndexedFile& file : index_.files()) {
+      for (const FunctionInfo& fn : file.functions) {
+        if (fn.is_definition) definitions_.push_back(&fn);
+      }
+    }
+    std::sort(definitions_.begin(), definitions_.end(),
+              [](const FunctionInfo* a, const FunctionInfo* b) {
+                if (a->file != b->file) return a->file < b->file;
+                return a->line < b->line;
+              });
+  }
+
+  // Callee candidates for a call site, visibility-filtered: the
+  // callee's key must be declared in a file the caller includes
+  // (transitively) or in the caller's own file.
+  std::vector<const FunctionInfo*> Resolve(const CallSite& call,
+                                           const std::string& from_file) {
+    std::vector<const FunctionInfo*> out;
+    const std::set<std::string>& closure = index_.Closure(from_file);
+    auto visible = [&](const FunctionInfo* fn) {
+      if (fn->file == from_file) return true;
+      for (const std::string& f : index_.DeclFiles(KeyOf(*fn))) {
+        if (closure.count(f) > 0) return true;
+      }
+      return false;
+    };
+    if (!call.class_qual.empty()) {
+      const std::string key = call.class_qual + "::" + call.name;
+      auto [lo, hi] = index_.by_key().equal_range(key);
+      for (auto it = lo; it != hi; ++it) {
+        if (visible(it->second)) out.push_back(it->second);
+      }
+      if (!out.empty()) return out;
+    }
+    auto [lo, hi] = index_.by_name().equal_range(call.name);
+    for (auto it = lo; it != hi; ++it) {
+      if (visible(it->second)) out.push_back(it->second);
+    }
+    return out;
+  }
+
+  // Locks a function may acquire internally: direct MutexLock sites,
+  // EXCLUDES/ACQUIRE annotations on any declaration of its key, and
+  // transitively its callees'. REQUIRES locks are excluded — the
+  // caller already holds those.
+  const std::set<std::string>& AcquiresStar(const FunctionInfo* fn) {
+    auto memo = acquires_star_.find(fn);
+    if (memo != acquires_star_.end()) return memo->second;
+    // Break recursion cycles: an on-stack function contributes what is
+    // known so far (its direct set).
+    if (acquires_on_stack_.count(fn) > 0) {
+      static const std::set<std::string>* empty =
+          new std::set<std::string>();
+      return *empty;
+    }
+    acquires_on_stack_.insert(fn);
+    std::set<std::string> result;
+    auto ann = annotations_.find(KeyOf(*fn));
+    if (ann != annotations_.end()) {
+      result.insert(ann->second.acquired_locks.begin(),
+                    ann->second.acquired_locks.end());
+    }
+    for (const AcquireSite& site : fn->acquires) {
+      result.insert(site.lock);
+    }
+    if (fn->is_definition) {
+      for (const CallSite& call : fn->calls) {
+        for (const FunctionInfo* callee : Resolve(call, fn->file)) {
+          const std::set<std::string>& sub = AcquiresStar(callee);
+          result.insert(sub.begin(), sub.end());
+        }
+      }
+    }
+    acquires_on_stack_.erase(fn);
+    return acquires_star_.emplace(fn, std::move(result)).first->second;
+  }
+
+  // Whether a function may block, with a human-readable reason chain.
+  // Empty string = does not block (as far as the index can see).
+  const std::string& BlocksStar(const FunctionInfo* fn) {
+    auto memo = blocks_star_.find(fn);
+    if (memo != blocks_star_.end()) return memo->second;
+    static const std::string* empty = new std::string();
+    if (blocks_on_stack_.count(fn) > 0) return *empty;
+    blocks_on_stack_.insert(fn);
+    std::string reason;
+    if (!fn->blocks.empty()) {
+      reason = "'" + fn->blocks.front().token + "' in " + fn->display +
+               " (" + fn->file + ":" +
+               std::to_string(fn->blocks.front().line) + ")";
+    } else if (fn->is_definition) {
+      for (const CallSite& call : fn->calls) {
+        for (const FunctionInfo* callee : Resolve(call, fn->file)) {
+          const std::string& sub = BlocksStar(callee);
+          if (!sub.empty()) {
+            reason = sub;
+            break;
+          }
+        }
+        if (!reason.empty()) break;
+      }
+    }
+    blocks_on_stack_.erase(fn);
+    return blocks_star_.emplace(fn, std::move(reason)).first->second;
+  }
+
+  std::set<std::string> EntryHeld(const FunctionInfo* fn) {
+    std::set<std::string> held(fn->requires_locks.begin(),
+                               fn->requires_locks.end());
+    auto ann = annotations_.find(KeyOf(*fn));
+    if (ann != annotations_.end()) {
+      held.insert(ann->second.requires_locks.begin(),
+                  ann->second.requires_locks.end());
+    }
+    return held;
+  }
+
+  void AddEdge(const std::string& from, const std::string& to,
+               const std::string& file, int line, std::string via) {
+    if (!seen_edges_.insert(from + "\x1f" + to).second) return;
+    edges_.push_back(Edge{from, to, file, line, std::move(via)});
+  }
+
+  void CollectEdges() {
+    for (const FunctionInfo* fn : definitions_) {
+      if (!InScope(fn->file)) continue;
+      const std::set<std::string> entry = EntryHeld(fn);
+      for (const AcquireSite& site : fn->acquires) {
+        std::set<std::string> held = entry;
+        held.insert(site.held.begin(), site.held.end());
+        for (const std::string& h : held) {
+          AddEdge(h, site.lock, fn->file, site.line, "");
+        }
+      }
+      for (const CallSite& call : fn->calls) {
+        std::set<std::string> held = entry;
+        held.insert(call.held.begin(), call.held.end());
+        if (held.empty()) continue;
+        for (const FunctionInfo* callee : Resolve(call, fn->file)) {
+          for (const std::string& lock : AcquiresStar(callee)) {
+            if (held.count(lock) > 0) continue;  // caller-held re-entry
+                                                 // is clang TSA's beat
+            for (const std::string& h : held) {
+              AddEdge(h, lock, fn->file, call.line,
+                      "via call to " + callee->display);
+            }
+          }
+        }
+      }
+    }
+    std::sort(edges_.begin(), edges_.end(),
+              [](const Edge& a, const Edge& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                if (a.from != b.from) return a.from < b.from;
+                return a.to < b.to;
+              });
+  }
+
+  // Is `to` already known to reach `from` through recorded edges?
+  // Fills `path` with the lock chain from `to` back to `from`.
+  bool Reaches(const std::string& start, const std::string& goal,
+               std::vector<std::string>* path,
+               std::set<std::string>* visited) {
+    if (!visited->insert(start).second) return false;
+    path->push_back(start);
+    if (start == goal) return true;
+    auto it = adjacency_.find(start);
+    if (it != adjacency_.end()) {
+      for (const std::string& next : it->second) {
+        if (Reaches(next, goal, path, visited)) return true;
+      }
+    }
+    path->pop_back();
+    return false;
+  }
+
+  void CheckEdges() {
+    std::set<std::string> in_cycle;  // edge keys skipped by rank check
+    for (const Edge& e : edges_) {
+      const std::string suffix =
+          e.via.empty() ? "" : " (" + e.via + ")";
+      if (e.from == e.to) {
+        emit_(e.file, e.line, kRuleLockOrderCycle,
+              "acquiring " + Lk(e.to) + " while already holding it" +
+                  suffix + "; divexp::Mutex is non-recursive — this "
+                  "self-deadlocks");
+        in_cycle.insert(e.from + "\x1f" + e.to);
+        continue;
+      }
+      std::vector<std::string> path;
+      std::set<std::string> visited;
+      if (Reaches(e.to, e.from, &path, &visited)) {
+        std::string chain;
+        for (const std::string& lock : path) chain += Lk(lock) + " -> ";
+        chain += Lk(e.to);
+        emit_(e.file, e.line, kRuleLockOrderCycle,
+              "acquiring " + Lk(e.to) + " while holding " + Lk(e.from) +
+                  suffix + " closes a lock cycle: " + chain +
+                  "; two threads taking these locks in opposite order "
+                  "deadlock");
+        in_cycle.insert(e.from + "\x1f" + e.to);
+        // The edges along the discovered path are part of the same
+        // cycle; reporting them again as undeclared would double-count
+        // one bug.
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          in_cycle.insert(path[i] + "\x1f" + path[i + 1]);
+        }
+        if (!path.empty()) {
+          in_cycle.insert(path.back() + "\x1f" + e.to);
+        }
+      }
+      adjacency_[e.from].insert(e.to);
+    }
+    for (const Edge& e : edges_) {
+      if (in_cycle.count(e.from + "\x1f" + e.to) > 0) continue;
+      const std::string suffix =
+          e.via.empty() ? "" : " (" + e.via + ")";
+      auto from_rank = catalogs_.lock_ranks.find(e.from);
+      auto to_rank = catalogs_.lock_ranks.find(e.to);
+      if (from_rank == catalogs_.lock_ranks.end() ||
+          to_rank == catalogs_.lock_ranks.end()) {
+        const std::string& missing =
+            from_rank == catalogs_.lock_ranks.end() ? e.from : e.to;
+        emit_(e.file, e.line, kRuleUndeclaredLockEdge,
+              "holds " + Lk(e.from) + " while acquiring " + Lk(e.to) +
+                  suffix + ", but " + Lk(missing) +
+                  " has no rank in the canonical lock hierarchy of "
+                  "docs/static-analysis.md; declare the lock (and this "
+                  "edge's direction) there before shipping it");
+        continue;
+      }
+      if (from_rank->second >= to_rank->second) {
+        emit_(e.file, e.line, kRuleLockOrderCycle,
+              "holds " + Lk(e.from) + " (rank " +
+                  std::to_string(from_rank->second) +
+                  ") while acquiring " + Lk(e.to) + " (rank " +
+                  std::to_string(to_rank->second) + ")" + suffix +
+                  "; the canonical hierarchy in docs/static-analysis.md "
+                  "only permits acquiring strictly increasing ranks");
+      }
+    }
+  }
+
+  void CheckBlocking() {
+    for (const FunctionInfo* fn : definitions_) {
+      if (!InScope(fn->file)) continue;
+      const std::set<std::string> entry = EntryHeld(fn);
+      auto strict_held = [&](const std::vector<std::string>& site_held) {
+        std::set<std::string> held = entry;
+        held.insert(site_held.begin(), site_held.end());
+        std::set<std::string> strict;
+        for (const std::string& h : held) {
+          if (catalogs_.lock_may_block.count(h) == 0) strict.insert(h);
+        }
+        return strict;
+      };
+      for (const BlockSite& site : fn->blocks) {
+        const std::set<std::string> held = strict_held(site.held);
+        if (held.empty()) continue;
+        emit_(fn->file, site.line, kRuleNoBlockingUnderLock,
+              "'" + site.token + "' while holding " + Lk(*held.begin()) +
+                  "; blocking under a divexp::Mutex stalls every other "
+                  "waiter — move the IO/wait outside the critical "
+                  "section (locks that serialize IO by design are "
+                  "marked 'may block' in docs/static-analysis.md)");
+      }
+      for (const CallSite& call : fn->calls) {
+        const std::set<std::string> held = strict_held(call.held);
+        if (held.empty()) continue;
+        for (const FunctionInfo* callee : Resolve(call, fn->file)) {
+          const std::string& reason = BlocksStar(callee);
+          if (reason.empty()) continue;
+          emit_(fn->file, call.line, kRuleNoBlockingUnderLock,
+                "call to " + callee->display + " may block (" + reason +
+                    ") while holding " + Lk(*held.begin()) +
+                    "; move the call outside the critical section or "
+                    "mark the lock 'may block' in "
+                    "docs/static-analysis.md");
+          break;  // one finding per call site is enough
+        }
+      }
+    }
+  }
+
+  const SymbolIndex& index_;
+  const Catalogs& catalogs_;
+  const LockCheckEmit& emit_;
+  std::map<std::string, KeyAnnotations> annotations_;
+  std::vector<const FunctionInfo*> definitions_;
+  std::map<const FunctionInfo*, std::set<std::string>> acquires_star_;
+  std::set<const FunctionInfo*> acquires_on_stack_;
+  std::map<const FunctionInfo*, std::string> blocks_star_;
+  std::set<const FunctionInfo*> blocks_on_stack_;
+  std::vector<Edge> edges_;
+  std::set<std::string> seen_edges_;
+  std::map<std::string, std::set<std::string>> adjacency_;
+};
+
+}  // namespace
+
+void RunLockPasses(const SymbolIndex& index, const Catalogs& catalogs,
+                   const LockCheckEmit& emit) {
+  LockAnalysis(index, catalogs, emit).Run();
+}
+
+}  // namespace lint
+}  // namespace divexp

@@ -1,0 +1,46 @@
+// The cross-file lock passes built on lint/index.h:
+//
+//  lock-order-cycle      — derives every "lock A held while acquiring
+//                          lock B" edge from nested MutexLock scopes,
+//                          REQUIRES entry sets and annotated call
+//                          edges, then fails on any cycle among the
+//                          edges or any edge that contradicts the
+//                          canonical hierarchy in
+//                          docs/static-analysis.md.
+//  undeclared-lock-edge  — an edge whose endpoints are not both ranked
+//                          in the hierarchy table (new lock pairs must
+//                          be declared before they ship).
+//  no-blocking-under-lock — file IO, util/subprocess calls, sleeps and
+//                          condition waits while a divexp::Mutex is
+//                          held, directly or through a call chain.
+//                          Locks marked "may block: yes" in the
+//                          hierarchy table are exempt (serialized IO
+//                          under the lock is their documented design).
+#ifndef DIVEXP_TOOLS_LINT_LOCKCHECK_H_
+#define DIVEXP_TOOLS_LINT_LOCKCHECK_H_
+
+#include <functional>
+#include <string>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+
+namespace divexp {
+namespace lint {
+
+// Sink for findings. The caller owns suppression handling
+// (`lint:allow` on the site line) and diagnostic storage.
+using LockCheckEmit = std::function<void(
+    const std::string& file, int line, const char* rule,
+    const std::string& message)>;
+
+// Runs both passes over a built index. Only functions defined under
+// src/ and tools/ contribute findings; tests and benches may violate
+// ordering on purpose (the runtime detector's own tests do).
+void RunLockPasses(const SymbolIndex& index, const Catalogs& catalogs,
+                   const LockCheckEmit& emit);
+
+}  // namespace lint
+}  // namespace divexp
+
+#endif  // DIVEXP_TOOLS_LINT_LOCKCHECK_H_
